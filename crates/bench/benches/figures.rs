@@ -1,0 +1,60 @@
+//! Criterion harness that regenerates every figure and table of the
+//! paper — one benchmark per artifact, measuring the full sweep that
+//! produces it. `cargo bench -p llmib-bench --bench figures` reruns the
+//! entire evaluation; per-figure filtering works as usual
+//! (`cargo bench ... fig08`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmib_core::experiments::{all_experiments, ExperimentContext, ExperimentOutput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_all_figures(c: &mut Criterion) {
+    let ctx = ExperimentContext::new();
+    let mut group = c.benchmark_group("paper_artifacts");
+    // Each iteration runs a whole parameter sweep; keep sampling light.
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for e in all_experiments() {
+        group.bench_function(e.id(), |b| {
+            b.iter(|| {
+                let out = e.run(black_box(&ctx));
+                // Touch the output so the sweep cannot be optimized out.
+                let points = match &out {
+                    ExperimentOutput::Figure(f) => {
+                        f.series.iter().map(|s| s.y.len()).sum::<usize>()
+                    }
+                    ExperimentOutput::Table(t) => t.rows.len(),
+                };
+                black_box(points)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shape_checks(c: &mut Criterion) {
+    let ctx = ExperimentContext::new();
+    // Pre-run the outputs; measure only the verification pass.
+    let prepared: Vec<_> = all_experiments()
+        .into_iter()
+        .map(|e| {
+            let out = e.run(&ctx);
+            (e, out)
+        })
+        .collect();
+    c.bench_function("verify_all_shape_checks", |b| {
+        b.iter(|| {
+            let mut passed = 0usize;
+            for (e, out) in &prepared {
+                passed += e.check(black_box(out)).iter().filter(|c| c.passed).count();
+            }
+            black_box(passed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_all_figures, bench_shape_checks);
+criterion_main!(benches);

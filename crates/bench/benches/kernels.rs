@@ -1,0 +1,215 @@
+//! Microbenchmarks of the executable substrates: engine kernels, the
+//! paged/monolithic KV allocators, and the serving simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmib_engine::{
+    generate, matmul_vec, BatchSession, EngineConfig, GenerateOptions, Matrix, QuantizedLinear,
+    Sampler, TransformerModel,
+};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::{PerfModel, Scenario};
+use llmib_sched::{
+    ArrivalPattern, BatchingPolicy, KvAllocator, MonolithicAllocator, PagedAllocator,
+    ServingSimulator, SimConfig,
+};
+use llmib_types::TokenShape;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_matmul");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [64usize, 256, 512] {
+        let w = Matrix::random(n, n, 1, 0.1);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |b, _| {
+            b.iter(|| black_box(matmul_vec(black_box(&w), black_box(&x))))
+        });
+        let q = QuantizedLinear::quantize(&w);
+        group.bench_with_input(BenchmarkId::new("int8", n), &n, |b, _| {
+            b.iter(|| black_box(q.matmul_vec(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_generation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, cfg) in [
+        ("mhsa", EngineConfig::tiny()),
+        ("gqa", EngineConfig::tiny_gqa()),
+        ("moe", EngineConfig::tiny_moe()),
+    ] {
+        let model = TransformerModel::new(cfg, false).unwrap();
+        group.bench_function(BenchmarkId::new("decode32", name), |b| {
+            b.iter(|| {
+                let r = generate(
+                    &model,
+                    black_box(&[1usize, 2, 3, 4]),
+                    GenerateOptions {
+                        max_new_tokens: 32,
+                        use_kv_cache: true,
+                        sampler: Sampler::Greedy,
+                    },
+                );
+                black_box(r.tokens.len())
+            })
+        });
+    }
+    // The Fig. 2a mechanism, measured for real: cached vs uncached decode.
+    let model = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+    for (name, kv) in [("with_kv_cache", true), ("without_kv_cache", false)] {
+        group.bench_function(BenchmarkId::new("kv_ablation", name), |b| {
+            b.iter(|| {
+                let r = generate(
+                    &model,
+                    black_box(&[1usize, 2, 3, 4]),
+                    GenerateOptions {
+                        max_new_tokens: 24,
+                        use_kv_cache: kv,
+                        sampler: Sampler::Greedy,
+                    },
+                );
+                black_box(r.forward_passes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_session(c: &mut Criterion) {
+    let model = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+    let mut group = c.benchmark_group("engine_batching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    // 8 sequences decoded sequentially vs through the rayon-parallel
+    // continuous-batching session.
+    group.bench_function("sequential_8seqs_x16", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..8u64 {
+                let r = generate(
+                    &model,
+                    black_box(&[1usize, 2 + i as usize % 8]),
+                    GenerateOptions {
+                        max_new_tokens: 16,
+                        use_kv_cache: true,
+                        sampler: Sampler::Greedy,
+                    },
+                );
+                total += r.tokens.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("batched_8seqs_x16", |b| {
+        b.iter(|| {
+            let mut session = BatchSession::new(&model);
+            for i in 0..8u64 {
+                session
+                    .admit(i, &[1usize, 2 + i as usize % 8], 16, Sampler::Greedy)
+                    .unwrap();
+            }
+            let out = session.run_to_completion();
+            black_box(out.iter().map(|(_, t)| t.len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_allocators");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("paged_admit_grow_release_64seqs", |b| {
+        b.iter(|| {
+            let mut a = PagedAllocator::new(1 << 20, 16);
+            for id in 0..64u64 {
+                a.admit(id, 2048).unwrap();
+                a.append(id, 512).unwrap();
+            }
+            for id in 0..64u64 {
+                a.append(id, 512).unwrap();
+            }
+            for id in 0..64u64 {
+                a.release(id);
+            }
+            black_box(a.stats().free_tokens)
+        })
+    });
+    group.bench_function("monolithic_admit_release_64seqs", |b| {
+        b.iter(|| {
+            let mut a = MonolithicAllocator::new(1 << 20);
+            for id in 0..64u64 {
+                a.admit(id, 2048).unwrap();
+                a.append(id, 1024).unwrap();
+            }
+            for id in (0..64u64).step_by(2) {
+                a.release(id);
+            }
+            for id in 64..96u64 {
+                let _ = a.admit(id, 2048);
+            }
+            black_box(a.stats().external_fragmentation())
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let perf = PerfModel::default_calibration();
+    let s = Scenario::simple(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        TokenShape::square(128, 8),
+    );
+    let resolved = perf.resolve_scenario(&s).unwrap();
+    let mut group = c.benchmark_group("serving_simulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for policy in [BatchingPolicy::Continuous, BatchingPolicy::Static] {
+        let name = match policy {
+            BatchingPolicy::Continuous => "continuous",
+            BatchingPolicy::Static => "static",
+        };
+        group.bench_function(BenchmarkId::new("poisson_48_requests", name), |b| {
+            b.iter(|| {
+                let sim = ServingSimulator::new(SimConfig {
+                    policy,
+                    max_concurrency: 16,
+                    kv_capacity_tokens: 1 << 18,
+                    kv_block_tokens: Some(16),
+                });
+                let reqs = ArrivalPattern::Poisson {
+                    rate_per_s: 60.0,
+                    seed: 7,
+                }
+                .generate(48, 128, 64);
+                black_box(sim.run(reqs, &resolved).throughput_tokens_per_s)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_generation,
+    bench_batched_session,
+    bench_allocators,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Benchmarks and ablations of the analytical performance model itself:
+//! prediction latency, full-grid sweep cost, and the design-choice
+//! ablations DESIGN.md calls out (block-penalty curve, GQA streaming
+//! penalty, speculative-decoding evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::{Calibration, PerfModel, Scenario, SpecDecode};
+use llmib_types::{TokenShape, PAPER_BATCH_SIZES, PAPER_TOKEN_LENGTHS};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn base_scenario(batch: u32, len: u32) -> Scenario {
+    Scenario::simple(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        TokenShape::square(len, batch),
+    )
+}
+
+fn bench_single_prediction(c: &mut Criterion) {
+    let perf = PerfModel::default_calibration();
+    let mut group = c.benchmark_group("perf_model");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("predict_dense", |b| {
+        let s = base_scenario(16, 1024);
+        b.iter(|| {
+            black_box(
+                perf.predict(black_box(&s))
+                    .unwrap()
+                    .throughput_tokens_per_s(),
+            )
+        })
+    });
+    group.bench_function("predict_moe_tp4", |b| {
+        let mut s = Scenario::simple(
+            ModelId::Mixtral8x7b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(512, 16),
+        );
+        s.parallelism = llmib_types::Parallelism::tensor_parallel(4);
+        b.iter(|| {
+            black_box(
+                perf.predict(black_box(&s))
+                    .unwrap()
+                    .throughput_tokens_per_s(),
+            )
+        })
+    });
+    group.bench_function("predict_with_spec_decode", |b| {
+        let mut s = base_scenario(1, 512);
+        s.spec_decode = Some(SpecDecode::default());
+        b.iter(|| {
+            black_box(
+                perf.predict(black_box(&s))
+                    .unwrap()
+                    .throughput_tokens_per_s(),
+            )
+        })
+    });
+    group.bench_function("full_batch_length_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &batch in &PAPER_BATCH_SIZES {
+                for &len in &PAPER_TOKEN_LENGTHS {
+                    if let Ok(t) = perf.throughput(&base_scenario(batch, len)) {
+                        acc += t;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: how much each modeled mechanism moves the headline numbers.
+/// Reported as separate benchmark ids so `cargo bench` output doubles as
+/// an ablation table.
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // (a) Paged-KV block penalty off vs on (Fig. 2b's mechanism).
+    for (name, scale) in [("block_penalty_on", 6.5f64), ("block_penalty_off", 1e-9)] {
+        let calib = Calibration {
+            block_penalty_scale: scale,
+            ..Calibration::default()
+        };
+        let perf = PerfModel::with_calibration(calib);
+        group.bench_function(BenchmarkId::new("fig02b_mechanism", name), |b| {
+            b.iter(|| {
+                let mut s = base_scenario(64, 1024);
+                s.kv_block_override = Some(8);
+                black_box(perf.throughput(&s).unwrap())
+            })
+        });
+    }
+
+    // (b) Monolithic fragmentation factor (the §IV-B2 concurrency tax).
+    for (name, frag) in [("fragmentation_1.0", 1.0f64), ("fragmentation_1.3", 1.3)] {
+        let calib = Calibration {
+            monolithic_fragmentation: frag,
+            ..Calibration::default()
+        };
+        let perf = PerfModel::with_calibration(calib);
+        group.bench_function(BenchmarkId::new("monolithic_kv", name), |b| {
+            b.iter(|| {
+                let mut s = base_scenario(64, 1024);
+                s.framework = FrameworkId::LlamaCpp;
+                black_box(perf.throughput(&s).unwrap())
+            })
+        });
+    }
+
+    // (c) Expert-parallel imbalance (§IV-C3).
+    for (name, imb) in [("ep_balanced", 0.0f64), ("ep_imbalance_0.25", 0.25)] {
+        let calib = Calibration {
+            ep_imbalance: imb,
+            ..Calibration::default()
+        };
+        let perf = PerfModel::with_calibration(calib);
+        group.bench_function(BenchmarkId::new("expert_parallel", name), |b| {
+            b.iter(|| {
+                let mut s = Scenario::simple(
+                    ModelId::Mixtral8x7b,
+                    HardwareId::A100,
+                    FrameworkId::Vllm,
+                    TokenShape::square(512, 16),
+                );
+                s.parallelism = llmib_types::Parallelism::expert_parallel(4);
+                black_box(perf.throughput(&s).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_prediction, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark harness for LLM-Inference-Bench.
+//!
+//! This crate's library target is intentionally empty; all content lives
+//! in `benches/` (one Criterion target per paper figure/table) so that
+//! `cargo bench --workspace` regenerates the full evaluation.

@@ -1,0 +1,277 @@
+//! The `llm-inference-bench` command-line interface.
+//!
+//! ```text
+//! llm-inference-bench list                 # enumerate experiments
+//! llm-inference-bench run fig08 [--out D]  # run one experiment
+//! llm-inference-bench all [--out D]        # run everything + dashboard
+//! llm-inference-bench tables               # print Tables I-III
+//! ```
+
+use llmib_core::experiments::{
+    all_experiments, find_experiment, run_all, ExperimentContext, ExperimentOutput,
+};
+use llmib_report::{
+    ascii_chart, figure_to_csv, figure_to_json, render_dashboard, table_to_csv, table_to_markdown,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => positional.push(other),
+        }
+    }
+
+    match positional.as_slice() {
+        ["list"] => cmd_list(),
+        ["run", id] => cmd_run(id, out_dir.as_deref()),
+        ["all"] => cmd_all(out_dir.as_deref()),
+        ["tables"] => cmd_tables(),
+        ["report"] => cmd_report(),
+        ["calibrate"] => cmd_calibrate(),
+        ["insights"] => cmd_insights(),
+        [] => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other:?} (try --help)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "LLM-Inference-Bench — reproduce every figure/table of the paper\n\n\
+         USAGE:\n  llm-inference-bench list\n  llm-inference-bench run <id> [--out DIR]\n  \
+         llm-inference-bench all [--out DIR]\n  llm-inference-bench tables\n\n\
+         Use `list` to see experiment ids (fig01a..fig38, tab1..tab3).\n           `report` emits the paper-vs-measured Markdown used in EXPERIMENTS.md.\n  \
+         `calibrate` evaluates the model against the paper's published ratios.\n  \
+         `insights` computes the paper's §VII takeaways from the data."
+    );
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<8} {:<18} TITLE", "ID", "PAPER");
+    for e in all_experiments() {
+        println!("{:<8} {:<18} {}", e.id(), e.paper_ref(), e.title());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(id: &str, out_dir: Option<&Path>) -> ExitCode {
+    let Some(e) = find_experiment(id) else {
+        eprintln!("unknown experiment {id:?}; see `list`");
+        return ExitCode::FAILURE;
+    };
+    let ctx = ExperimentContext::new();
+    let out = e.run(&ctx);
+    match &out {
+        ExperimentOutput::Figure(f) => print!("{}", ascii_chart(f, 48)),
+        ExperimentOutput::Table(t) => {
+            println!("{} — {}", t.id, t.title);
+            print!("{}", table_to_markdown(t));
+        }
+    }
+    println!();
+    let checks = e.check(&out);
+    let mut ok = true;
+    for c in &checks {
+        let mark = if c.passed { "PASS" } else { "FAIL" };
+        ok &= c.passed;
+        println!("  [{mark}] {} — {}", c.claim, c.detail);
+    }
+    if let Some(dir) = out_dir {
+        if let Err(err) = write_artifacts(dir, &out) {
+            eprintln!("failed to write artifacts: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("artifacts written to {}", dir.display());
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_all(out_dir: Option<&Path>) -> ExitCode {
+    let ctx = ExperimentContext::new();
+    let runs = run_all(&ctx);
+    let mut figures = Vec::new();
+    let mut tables = Vec::new();
+    let mut failed = 0usize;
+    let mut total = 0usize;
+    for run in &runs {
+        let n_fail = run.checks.iter().filter(|c| !c.passed).count();
+        total += run.checks.len();
+        failed += n_fail;
+        println!(
+            "{:<8} {:<18} {} checks, {} failed",
+            run.id,
+            run.paper_ref,
+            run.checks.len(),
+            n_fail
+        );
+        for c in run.checks.iter().filter(|c| !c.passed) {
+            println!("    FAIL: {} — {}", c.claim, c.detail);
+        }
+        match &run.output {
+            ExperimentOutput::Figure(f) => figures.push(f.clone()),
+            ExperimentOutput::Table(t) => tables.push(t.clone()),
+        }
+    }
+    println!(
+        "\n{} experiments, {} shape checks, {} failed",
+        runs.len(),
+        total,
+        failed
+    );
+    if let Some(dir) = out_dir {
+        for run in &runs {
+            if let Err(err) = write_artifacts(dir, &run.output) {
+                eprintln!("failed to write artifacts: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        figures.sort_by(|a, b| a.id.cmp(&b.id));
+        tables.sort_by(|a, b| a.id.cmp(&b.id));
+        let html = render_dashboard("LLM-Inference-Bench Dashboard", &figures, &tables);
+        let path = dir.join("dashboard.html");
+        if let Err(err) = std::fs::write(&path, html) {
+            eprintln!("failed to write dashboard: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("dashboard: {}", path.display());
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_tables() -> ExitCode {
+    let ctx = ExperimentContext::new();
+    for id in ["tab1", "tab2", "tab3"] {
+        let e = find_experiment(id).expect("tables registered");
+        if let ExperimentOutput::Table(t) = e.run(&ctx) {
+            println!("## {} — {}\n", t.id, t.title);
+            print!("{}", table_to_markdown(&t));
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report() -> ExitCode {
+    let ctx = ExperimentContext::new();
+    let mut runs = run_all(&ctx);
+    runs.sort_by(|a, b| a.id.cmp(&b.id));
+    println!("# EXPERIMENTS — paper vs. measured\n");
+    println!(
+        "Generated by `llm-inference-bench report`. Every row is a machine-checked \
+         claim: the *claim* column quotes the paper's finding, the *measured* \
+         column shows what this reproduction observes on the simulated substrates \
+         (see DESIGN.md for the substitution table), and *verdict* is the shape \
+         check outcome. Absolute values are not expected to match the authors' \
+         testbeds; orderings, factors and crossovers are.\n"
+    );
+    let mut total = 0usize;
+    let mut passed = 0usize;
+    for run in &runs {
+        let (kind, caption) = match &run.output {
+            ExperimentOutput::Figure(f) => ("figure", f.title.clone()),
+            ExperimentOutput::Table(t) => ("table", t.title.clone()),
+        };
+        println!("## {} ({}) — {}\n", run.id, run.paper_ref, caption);
+        println!("| claim (paper) | measured (this repo) | verdict |");
+        println!("|---|---|---|");
+        for c in &run.checks {
+            total += 1;
+            if c.passed {
+                passed += 1;
+            }
+            println!(
+                "| {} | {} | {} |",
+                c.claim.replace('|', "\\|"),
+                c.detail.replace('|', "\\|"),
+                if c.passed { "PASS" } else { "FAIL" }
+            );
+        }
+        let notes: Vec<&String> = match &run.output {
+            ExperimentOutput::Figure(f) => f.notes.iter().collect(),
+            ExperimentOutput::Table(_) => Vec::new(),
+        };
+        if !notes.is_empty() {
+            println!("\n<sub>{} {} data notes (OOM/unsupported gaps, provenance) — see the {}'s JSON artifact.</sub>", notes.len(), kind, kind);
+        }
+        println!();
+    }
+    println!("---\n\n**{passed}/{total} shape checks pass.**");
+    ExitCode::SUCCESS
+}
+
+fn cmd_insights() -> ExitCode {
+    let ctx = ExperimentContext::new();
+    let ts = llmib_core::insights::takeaways(&ctx);
+    print!("{}", llmib_core::insights::render_takeaways(&ts));
+    if ts.iter().all(|t| t.supported) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_calibrate() -> ExitCode {
+    use llmib_perf::{evaluate, paper_targets, Calibration};
+    let targets = paper_targets();
+    let reports = evaluate(&Calibration::default(), &targets);
+    println!(
+        "{:<28} {:>8} {:>10} {:>10}",
+        "anchor", "paper", "measured", "log err"
+    );
+    let mut total = 0.0;
+    for r in &reports {
+        println!(
+            "{:<28} {:>8.2} {:>10.2} {:>10.3}",
+            r.name, r.target, r.measured, r.log_error
+        );
+        total += r.log_error * r.log_error;
+    }
+    println!("\nsummed squared log-error: {total:.4}");
+    println!("(re-tune with llmib_perf::fit — see crates/perf/src/fit.rs)");
+    ExitCode::SUCCESS
+}
+
+fn write_artifacts(dir: &Path, out: &ExperimentOutput) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    match out {
+        ExperimentOutput::Figure(f) => {
+            std::fs::write(dir.join(format!("{}.csv", f.id)), figure_to_csv(f))?;
+            std::fs::write(dir.join(format!("{}.json", f.id)), figure_to_json(f))?;
+        }
+        ExperimentOutput::Table(t) => {
+            std::fs::write(dir.join(format!("{}.csv", t.id)), table_to_csv(t))?;
+            std::fs::write(dir.join(format!("{}.md", t.id)), table_to_markdown(t))?;
+        }
+    }
+    Ok(())
+}

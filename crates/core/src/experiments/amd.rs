@@ -1,0 +1,217 @@
+//! §VI-2 AMD MI250 experiments: Fig. 17 and App. E Figs. 35, 37.
+
+use super::common::{last_finite, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::Figure;
+use llmib_types::{PAPER_BATCH_SIZES, PAPER_TOKEN_LENGTHS};
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig17), Box::new(Fig35), Box::new(Fig37)]
+}
+
+/// Fig. 17: LLaMA-3-8B with vLLM on a single MI250 (early saturation).
+struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 17"
+    }
+    fn title(&self) -> &'static str {
+        "LLaMA-3-8B using vLLM on single MI250 GPU"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for len in PAPER_TOKEN_LENGTHS {
+            fig.series.push(sweep_batches(
+                ctx,
+                format!("in/out {len}"),
+                ModelId::Llama3_8b,
+                HardwareId::Mi250,
+                FrameworkId::Vllm,
+                len,
+                &PAPER_BATCH_SIZES,
+                1,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        // "The throughput of LLaMA-3-8B drops beyond batch size 32 with
+        // an increase in input/output length" — the decline is a
+        // long-sequence phenomenon, so it is checked at lengths >= 512.
+        let drops = PAPER_TOKEN_LENGTHS
+            .iter()
+            .filter(|l| **l >= 512)
+            .all(|len| {
+                let s = fig.series_by_label(&format!("in/out {len}")).unwrap();
+                !s.y[2].is_finite() || !s.y[3].is_finite() || s.y[3] < s.y[2]
+            });
+        vec![ShapeCheck::new(
+            "throughput drops beyond batch 32 at longer lengths (NUMA saturation)",
+            drops,
+            "lengths 512, 1024, 2048",
+        )]
+    }
+}
+
+/// App. E Fig. 35: vLLM 7B models on MI250.
+struct Fig35;
+
+impl Experiment for Fig35 {
+    fn id(&self) -> &'static str {
+        "fig35"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 35 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "MI250: vLLM on 7B Models"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [
+            ModelId::Qwen2_7b,
+            ModelId::Mistral7b,
+            ModelId::Llama3_8b,
+            ModelId::Llama2_7b,
+        ] {
+            fig.series.push(sweep_batches(
+                ctx,
+                model.name(),
+                model,
+                HardwareId::Mi250,
+                FrameworkId::Vllm,
+                1024,
+                &PAPER_BATCH_SIZES,
+                1,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let mut checks = Vec::new();
+        // GQA models peak at batch 32 and decline at 64.
+        for m in ["Qwen-2-7B", "Mistral-7B", "LLaMA-3-8B"] {
+            let s = fig.series_by_label(m).unwrap();
+            checks.push(ShapeCheck::new(
+                format!("{m} peaks at batch 32 and declines at 64"),
+                s.y[2].is_finite() && s.y[3].is_finite() && s.y[2] > s.y[3],
+                format!("bs32 {:.0} vs bs64 {:.0}", s.y[2], s.y[3]),
+            ));
+        }
+        // Within batch 32, Qwen2-7B outperforms Mistral-7B which is
+        // slightly better than LLaMA-3-8B.
+        let at32 = |m: &str| fig.series_by_label(m).unwrap().y[2];
+        checks.push(ShapeCheck::new(
+            "within batch 32: Qwen2-7B > Mistral-7B > LLaMA-3-8B",
+            at32("Qwen-2-7B") > at32("Mistral-7B") && at32("Mistral-7B") > at32("LLaMA-3-8B"),
+            format!(
+                "{:.0} > {:.0} > {:.0}",
+                at32("Qwen-2-7B"),
+                at32("Mistral-7B"),
+                at32("LLaMA-3-8B")
+            ),
+        ));
+        checks
+    }
+}
+
+/// App. E Fig. 37: vLLM 70B/MoE models on 4 MI250 GPUs.
+struct Fig37;
+
+impl Experiment for Fig37 {
+    fn id(&self) -> &'static str {
+        "fig37"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 37 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "MI250: vLLM on 70B Models (4 GPUs)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [
+            ModelId::Mixtral8x7b,
+            ModelId::Llama2_70b,
+            ModelId::Llama3_70b,
+            ModelId::Qwen2_72b,
+        ] {
+            for gpus in [2u32, 4] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} x{gpus}"),
+                    model,
+                    HardwareId::Mi250,
+                    FrameworkId::Vllm,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    gpus,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, n: u32| {
+            last_finite(fig.series_by_label(&format!("{m} x{n}")).unwrap()).unwrap_or(f64::NAN)
+        };
+        let mut checks = Vec::new();
+        checks.push(ShapeCheck::new(
+            "Mixtral-8x7B attains the highest 70B-class throughput",
+            g("Mixtral-8x7B", 4) > g("LLaMA-2-70B", 4) && g("Mixtral-8x7B", 4) > g("Qwen-2-72B", 4),
+            format!("Mixtral {:.0} tok/s", g("Mixtral-8x7B", 4)),
+        ));
+        checks.push(ShapeCheck::new(
+            "all models scale with the number of GPUs",
+            ["Mixtral-8x7B", "LLaMA-2-70B", "LLaMA-3-70B", "Qwen-2-72B"]
+                .iter()
+                .all(|m| {
+                    let two = g(m, 2);
+                    let four = g(m, 4);
+                    two.is_nan() || four > two
+                }),
+            "x2 -> x4",
+        ));
+        checks
+    }
+}

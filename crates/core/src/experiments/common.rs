@@ -1,0 +1,172 @@
+//! Shared helpers for experiment implementations.
+
+use crate::experiments::ExperimentContext;
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::Scenario;
+use llmib_report::Series;
+use llmib_types::{Parallelism, TokenShape};
+
+/// Throughput (Eq. 2 tokens/s) for a scenario, or a `NaN` gap plus a note
+/// when the point is OOM/unsupported — exactly how the paper's plots
+/// handle Gaudi2 OOMs and Table III gaps.
+pub fn tput_or_gap(ctx: &ExperimentContext, scenario: &Scenario) -> (f64, Option<String>) {
+    match ctx.perf.throughput(scenario) {
+        Ok(t) => (t, None),
+        Err(e) => (
+            f64::NAN,
+            Some(format!(
+                "{} / {} / {} @bs{} len{}: {}",
+                scenario.model,
+                scenario.hardware,
+                scenario.framework,
+                scenario.shape.batch_size,
+                scenario.shape.input_tokens,
+                e
+            )),
+        ),
+    }
+}
+
+/// Build a scenario with the common defaults.
+pub fn scenario(
+    model: ModelId,
+    hw: HardwareId,
+    fw: FrameworkId,
+    len: u32,
+    batch: u32,
+    tp: u32,
+) -> Scenario {
+    let mut s = Scenario::simple(model, hw, fw, TokenShape::square(len, batch));
+    s.parallelism = Parallelism::tensor_parallel(tp);
+    s
+}
+
+/// Throughput-vs-batch series at a fixed input/output length.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_batches(
+    ctx: &ExperimentContext,
+    label: impl Into<String>,
+    model: ModelId,
+    hw: HardwareId,
+    fw: FrameworkId,
+    len: u32,
+    batches: &[u32],
+    tp: u32,
+    notes: &mut Vec<String>,
+) -> Series {
+    let mut x = Vec::with_capacity(batches.len());
+    let mut y = Vec::with_capacity(batches.len());
+    for &b in batches {
+        let (t, note) = tput_or_gap(ctx, &scenario(model, hw, fw, len, b, tp));
+        x.push(f64::from(b));
+        y.push(t);
+        if let Some(n) = note {
+            notes.push(n);
+        }
+    }
+    Series::new(label, x, y)
+}
+
+/// Throughput-vs-length series at a fixed batch size.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_lengths(
+    ctx: &ExperimentContext,
+    label: impl Into<String>,
+    model: ModelId,
+    hw: HardwareId,
+    fw: FrameworkId,
+    lengths: &[u32],
+    batch: u32,
+    tp: u32,
+    notes: &mut Vec<String>,
+) -> Series {
+    let mut x = Vec::with_capacity(lengths.len());
+    let mut y = Vec::with_capacity(lengths.len());
+    for &len in lengths {
+        let (t, note) = tput_or_gap(ctx, &scenario(model, hw, fw, len, batch, tp));
+        x.push(f64::from(len));
+        y.push(t);
+        if let Some(n) = note {
+            notes.push(n);
+        }
+    }
+    Series::new(label, x, y)
+}
+
+/// Last finite y value of a series (typically the largest batch).
+pub fn last_finite(s: &Series) -> Option<f64> {
+    s.y.iter().rev().copied().find(|v| v.is_finite())
+}
+
+/// Mean of the finite y values of a series.
+pub fn mean_finite(s: &Series) -> f64 {
+    let vals: Vec<f64> = s.y.iter().copied().filter(|v| v.is_finite()).collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// `a` dominates `b` when every shared finite point of `a` is at least
+/// `factor` times `b`'s.
+pub fn dominates(a: &Series, b: &Series, factor: f64) -> bool {
+    a.y.iter()
+        .zip(&b.y)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .all(|(x, y)| *x >= factor * *y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_for_unsupported_combination() {
+        let ctx = ExperimentContext::new();
+        // TRT-LLM on MI250 is N/A per Table III.
+        let s = scenario(
+            ModelId::Llama3_8b,
+            HardwareId::Mi250,
+            FrameworkId::TrtLlm,
+            128,
+            1,
+            1,
+        );
+        let (t, note) = tput_or_gap(&ctx, &s);
+        assert!(t.is_nan());
+        assert!(note.unwrap().contains("unsupported"));
+    }
+
+    #[test]
+    fn sweep_batches_shapes() {
+        let ctx = ExperimentContext::new();
+        let mut notes = Vec::new();
+        let s = sweep_batches(
+            &ctx,
+            "test",
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            256,
+            &[1, 16, 64],
+            1,
+            &mut notes,
+        );
+        assert_eq!(s.x, vec![1.0, 16.0, 64.0]);
+        assert!(s.y.iter().all(|v| v.is_finite()));
+        assert!(notes.is_empty());
+        assert!(s.y[2] > s.y[0]);
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("s", vec![1.0, 2.0, 3.0], vec![2.0, f64::NAN, 6.0]);
+        assert_eq!(last_finite(&s), Some(6.0));
+        assert!((mean_finite(&s) - 4.0).abs() < 1e-12);
+        let b = Series::new("b", vec![1.0, 2.0, 3.0], vec![1.0, 5.0, 2.0]);
+        assert!(dominates(&s, &b, 1.5));
+    }
+}

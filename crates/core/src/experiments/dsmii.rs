@@ -1,0 +1,136 @@
+//! §V-3 DeepSpeed-MII experiments: Figs. 11 and 12.
+
+use super::common::{last_finite, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::Figure;
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig11), Box::new(Fig12)]
+}
+
+/// Fig. 11: 7B models with DS-MII on A100 (GQA unexploited).
+struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 11"
+    }
+    fn title(&self) -> &'static str {
+        "7B Models using DS-MII on A100 GPUs"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [ModelId::Llama2_7b, ModelId::Llama3_8b, ModelId::Mistral7b] {
+            fig.series.push(sweep_batches(
+                ctx,
+                model.name(),
+                model,
+                HardwareId::A100,
+                FrameworkId::DsMii,
+                128,
+                &PAPER_BATCH_SIZES,
+                1,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str| last_finite(fig.series_by_label(m).unwrap()).unwrap();
+        let l2 = g("LLaMA-2-7B");
+        let l3 = g("LLaMA-3-8B");
+        let ratio = l2 / l3;
+        vec![
+            ShapeCheck::new(
+                "LLaMA-2-7B (MHSA) outperforms LLaMA-3-8B (GQA) — DS-MII does \
+                 not exploit GQA (paper: 1.18x at batch 64)",
+                ratio > 1.0 && ratio < 1.8,
+                format!("measured {ratio:.2}x"),
+            ),
+            ShapeCheck::new(
+                "the GQA ordering is inverted vs TRT-LLM/vLLM",
+                l2 > l3,
+                format!("L2 {l2:.0} vs L3 {l3:.0} tok/s"),
+            ),
+        ]
+    }
+}
+
+/// Fig. 12: Mixtral-8x7B — DS-MII vs vLLM crossover.
+struct Fig12;
+
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 12"
+    }
+    fn title(&self) -> &'static str {
+        "Mixtral-8x7B Comparison on A100 (DS-MII vs vLLM, TP=4)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for (fw, fw_label) in [(FrameworkId::DsMii, "DS-MII"), (FrameworkId::Vllm, "vLLM")] {
+            for len in [128u32, 2048] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{fw_label} len {len}"),
+                    ModelId::Mixtral8x7b,
+                    HardwareId::A100,
+                    fw,
+                    len,
+                    &PAPER_BATCH_SIZES,
+                    4,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let at = |l: &str, i: usize| fig.series_by_label(l).unwrap().y[i];
+        // Index 3 = batch 64.
+        let big = at("DS-MII len 2048", 3) / at("vLLM len 2048", 3);
+        let small = at("DS-MII len 128", 0) / at("vLLM len 128", 0);
+        vec![
+            ShapeCheck::new(
+                "DS-MII overtakes vLLM at batch 64 / length 2048 (paper 1.04x)",
+                big > 1.0 && big < 1.35,
+                format!("measured {big:.2}x"),
+            ),
+            ShapeCheck::new(
+                "vLLM wins at small batch and short sequences",
+                small < 1.0,
+                format!("DS-MII/vLLM = {small:.2} at batch 1 / length 128"),
+            ),
+        ]
+    }
+}

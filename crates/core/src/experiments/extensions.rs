@@ -1,0 +1,577 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * `extA` — accelerator power for *all* platforms: the paper reports
+//!   power "of only Nvidia GPUs using pynvml and these measurements on
+//!   other hardware are planned for future work" (§III-5e). Our power
+//!   model covers every platform, so we deliver the future work.
+//! * `extB` — MI300X results: Table II lists MI300X but no figure uses
+//!   it; this experiment places it against MI250 and H100.
+//! * `extC` — cross-validation of Fig. 2b through the discrete-event
+//!   simulator: the block-size effect re-measured with the *real* paged
+//!   allocator and scheduler rather than the closed-form model.
+//! * `extD` — INT4 weight-only quantization (TRT-LLM supports it; the
+//!   paper stops at INT8/FP8).
+//! * `extE` — blended-traffic serving (§IV-A2 made concrete): the DES
+//!   simulator under summarization / generation / chat mixes.
+
+use super::common::{last_finite, scenario, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::{Cell, Figure, Series, Table};
+use llmib_sched::{
+    ArrivalPattern, BatchingPolicy, LoadSweep, Request, ServingSimulator, SimConfig,
+};
+use llmib_types::{Parallelism, Precision, Seconds, PAPER_BATCH_SIZES};
+use llmib_workloads::TrafficProfile;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(ExtPowerAll),
+        Box::new(ExtMi300x),
+        Box::new(ExtSimBlocks),
+        Box::new(ExtInt4),
+        Box::new(ExtTraffic),
+        Box::new(ExtSaturation),
+    ]
+}
+
+/// extA: power and perf/W across every platform.
+struct ExtPowerAll;
+
+impl Experiment for ExtPowerAll {
+    fn id(&self) -> &'static str {
+        "extA"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Extension of §III-5e"
+    }
+    fn title(&self) -> &'static str {
+        "Power and Performance-per-Watt on all seven platforms (the paper's future work)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec![
+                "Hardware",
+                "Framework",
+                "Devices",
+                "Throughput (tok/s)",
+                "Total Power (W)",
+                "Tok/s/W",
+                "Energy/token (J)",
+            ],
+        );
+        let platforms = [
+            (HardwareId::A100, FrameworkId::Vllm, 1u32),
+            (HardwareId::H100, FrameworkId::Vllm, 1),
+            (HardwareId::Gh200, FrameworkId::Vllm, 1),
+            (HardwareId::Mi250, FrameworkId::Vllm, 1),
+            (HardwareId::Mi300x, FrameworkId::Vllm, 1),
+            (HardwareId::Gaudi2, FrameworkId::Vllm, 1),
+            (HardwareId::Sn40l, FrameworkId::SambaFlow, 8),
+        ];
+        for (hw, fw, tp) in platforms {
+            let s = scenario(ModelId::Llama3_8b, hw, fw, 512, 16, tp);
+            match ctx.perf.predict(&s) {
+                Ok(p) => {
+                    let tokens = s.shape.total_tokens() as f64;
+                    table.push_row(vec![
+                        Cell::from(hw.name()),
+                        Cell::from(fw.name()),
+                        Cell::from(tp),
+                        Cell::from(p.throughput.value()),
+                        Cell::from(p.total_power.value()),
+                        Cell::from(p.perf_per_watt),
+                        Cell::from(p.energy.value() / tokens),
+                    ]);
+                }
+                Err(e) => table.push_row(vec![
+                    Cell::from(hw.name()),
+                    Cell::from(fw.name()),
+                    Cell::from(tp),
+                    Cell::from(format!("({e})")),
+                    Cell::from("—"),
+                    Cell::from("—"),
+                    Cell::from("—"),
+                ]),
+            }
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let t = out.table().expect("table");
+        let col = |hw: &str, c: usize| {
+            t.rows
+                .iter()
+                .find(|r| r[0].render() == hw)
+                .and_then(|r| r[c].render().parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        };
+        vec![
+            ShapeCheck::new(
+                "every platform reports finite power (no pynvml gap remains)",
+                t.rows.iter().all(|r| r[4].render().parse::<f64>().is_ok()),
+                "7 platforms",
+            ),
+            ShapeCheck::new(
+                "H100 delivers the best single-device perf/W among GPUs (paper §VIII)",
+                col("Nvidia H100", 5) > col("Nvidia A100", 5)
+                    && col("Nvidia H100", 5) > col("AMD MI250", 5),
+                format!(
+                    "H100 {:.2} vs A100 {:.2} vs MI250 {:.2} tok/s/W",
+                    col("Nvidia H100", 5),
+                    col("Nvidia A100", 5),
+                    col("AMD MI250", 5)
+                ),
+            ),
+            ShapeCheck::new(
+                "power stays within each device's envelope",
+                t.rows.iter().all(|r| {
+                    let hw = HardwareId::parse(&r[0].render()).expect("known hw");
+                    let devices: f64 = r[2].render().parse().unwrap_or(1.0);
+                    r[4].render()
+                        .parse::<f64>()
+                        .map(|w| w <= hw.spec().power.tdp.value() * devices + 1e-9)
+                        .unwrap_or(true)
+                }),
+                "TDP bound per device",
+            ),
+        ]
+    }
+}
+
+/// extB: MI300X placed against MI250 and H100.
+struct ExtMi300x;
+
+impl Experiment for ExtMi300x {
+    fn id(&self) -> &'static str {
+        "extB"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Extension of Table II"
+    }
+    fn title(&self) -> &'static str {
+        "MI300X vs MI250 vs H100 (vLLM, LLaMA-3-8B) — the platform Table II lists but no figure shows"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::Mi300x, HardwareId::Mi250, HardwareId::H100] {
+            fig.series.push(sweep_batches(
+                ctx,
+                hw.name(),
+                ModelId::Llama3_8b,
+                hw,
+                FrameworkId::Vllm,
+                1024,
+                &PAPER_BATCH_SIZES,
+                1,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        fig.notes.push(
+            "MI300X uses the footnote-1 out-of-the-box software efficiency, like MI250".into(),
+        );
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |h: &str| last_finite(fig.series_by_label(h).unwrap()).unwrap();
+        vec![
+            ShapeCheck::new(
+                "MI300X clearly outperforms MI250 (HBM3 + CDNA3)",
+                g("AMD MI300X") > 1.5 * g("AMD MI250"),
+                format!("{:.0} vs {:.0} tok/s", g("AMD MI300X"), g("AMD MI250")),
+            ),
+            ShapeCheck::new(
+                "out-of-the-box MI300X still trails H100 (software maturity)",
+                g("AMD MI300X") < g("Nvidia H100"),
+                format!("{:.0} vs {:.0} tok/s", g("AMD MI300X"), g("Nvidia H100")),
+            ),
+        ]
+    }
+}
+
+/// extC: Fig. 2b re-measured through the DES simulator.
+struct ExtSimBlocks;
+
+impl Experiment for ExtSimBlocks {
+    fn id(&self) -> &'static str {
+        "extC"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Cross-validation of Fig. 2b"
+    }
+    fn title(&self) -> &'static str {
+        "Blocked KV sweep through the discrete-event simulator (real allocator)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "KV block size (tokens)",
+            "throughput (tokens/s)",
+        );
+        let blocks = [1u32, 4, 8, 16, 32, 64];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for &blk in &blocks {
+            let mut s = scenario(
+                ModelId::Llama3_8b,
+                HardwareId::A100,
+                FrameworkId::Vllm,
+                256,
+                16,
+                1,
+            );
+            s.kv_block_override = Some(blk);
+            match ctx.perf.resolve_scenario(&s) {
+                Ok(resolved) => {
+                    let sim = ServingSimulator::new(SimConfig {
+                        policy: BatchingPolicy::Continuous,
+                        max_concurrency: 16,
+                        kv_capacity_tokens: 1 << 16,
+                        kv_block_tokens: Some(blk),
+                    });
+                    let rep = sim.run(ArrivalPattern::Burst.generate(32, 256, 256), &resolved);
+                    x.push(f64::from(blk));
+                    y.push(rep.throughput_tokens_per_s);
+                }
+                Err(e) => {
+                    x.push(f64::from(blk));
+                    y.push(f64::NAN);
+                    fig.notes.push(e.to_string());
+                }
+            }
+        }
+        fig.series.push(Series::new("simulated serving", x, y));
+        fig.notes.push(
+            "step durations from the roofline model; admission/eviction from the real \
+             paged allocator"
+                .into(),
+        );
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let s = &fig.series[0];
+        // x layout: [1,4,8,16,32,64].
+        let best = s.max_y().unwrap();
+        vec![
+            ShapeCheck::new(
+                "the simulator reproduces Fig. 2b's shape: blocks >= 16 near-optimal",
+                s.y[3] >= 0.95 * best && s.y[4] >= 0.95 * best,
+                format!("blk16 {:.0}, blk32 {:.0}, best {:.0}", s.y[3], s.y[4], best),
+            ),
+            ShapeCheck::new(
+                "tiny blocks hurt end-to-end serving too",
+                s.y[0] < 0.85 * best,
+                format!("blk1 {:.0} vs best {:.0}", s.y[0], best),
+            ),
+        ]
+    }
+}
+
+/// extD: INT4 weight-only quantization.
+struct ExtInt4;
+
+impl Experiment for ExtInt4 {
+    fn id(&self) -> &'static str {
+        "extD"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Extension of Fig. 3"
+    }
+    fn title(&self) -> &'static str {
+        "INT4 weight-only quantization (TRT-LLM on A100) — one step past the paper's INT8"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        for prec in [Precision::Fp16, Precision::Int8, Precision::Int4] {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for b in PAPER_BATCH_SIZES {
+                let mut s = scenario(
+                    ModelId::Llama2_7b,
+                    HardwareId::A100,
+                    FrameworkId::TrtLlm,
+                    1024,
+                    b,
+                    1,
+                );
+                s.precision = prec;
+                match ctx.perf.throughput(&s) {
+                    Ok(t) => {
+                        x.push(f64::from(b));
+                        y.push(t);
+                    }
+                    Err(e) => {
+                        x.push(f64::from(b));
+                        y.push(f64::NAN);
+                        fig.notes.push(e.to_string());
+                    }
+                }
+            }
+            fig.series.push(Series::new(prec.to_string(), x, y));
+        }
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |p: &str| last_finite(fig.series_by_label(p).unwrap()).unwrap();
+        vec![
+            ShapeCheck::new(
+                "INT4 extends the memory-bound win beyond INT8",
+                g("INT4") > g("INT8") && g("INT8") > g("FP16"),
+                format!(
+                    "FP16 {:.0} < INT8 {:.0} < INT4 {:.0} tok/s",
+                    g("FP16"),
+                    g("INT8"),
+                    g("INT4")
+                ),
+            ),
+            ShapeCheck::new(
+                "quantization gains stay sub-linear (dequant overhead)",
+                g("INT4") < 4.0 * g("FP16"),
+                format!("INT4/FP16 = {:.2}x", g("INT4") / g("FP16")),
+            ),
+        ]
+    }
+}
+
+/// extF: the operator's capacity question — offered load vs latency.
+struct ExtSaturation;
+
+impl Experiment for ExtSaturation {
+    fn id(&self) -> &'static str {
+        "extF"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Extension of §IV-A"
+    }
+    fn title(&self) -> &'static str {
+        "Serving saturation sweep: p95 latency and throughput vs arrival rate"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "arrival rate (req/s)",
+            "p95 latency (s) / throughput (ktok/s)",
+        );
+        let mut s = scenario(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            256,
+            16,
+            1,
+        );
+        s.parallelism = Parallelism::SINGLE;
+        let resolved = match ctx.perf.resolve_scenario(&s) {
+            Ok(r) => r,
+            Err(e) => {
+                return ExperimentOutput::Figure(fig.with_note(e.to_string()));
+            }
+        };
+        let rates = [2.0, 8.0, 32.0, 128.0, 512.0];
+        let sweep = LoadSweep::run(
+            &SimConfig {
+                policy: BatchingPolicy::Continuous,
+                max_concurrency: 16,
+                kv_capacity_tokens: 1 << 17,
+                kv_block_tokens: Some(16),
+            },
+            &resolved,
+            &rates,
+            48,
+            256,
+            128,
+            17,
+        );
+        let x: Vec<f64> = sweep.points.iter().map(|p| p.arrival_rate).collect();
+        fig.series.push(Series::new(
+            "p95 latency (s)",
+            x.clone(),
+            sweep.points.iter().map(|p| p.p95_latency_s).collect(),
+        ));
+        fig.series.push(Series::new(
+            "throughput (ktok/s)",
+            x,
+            sweep
+                .points
+                .iter()
+                .map(|p| p.throughput_tokens_per_s / 1e3)
+                .collect(),
+        ));
+        if let Some(knee) = sweep.saturation_rate(3.0) {
+            fig.notes.push(format!(
+                "saturation knee (p95 within 3x of idle): ~{knee} req/s"
+            ));
+        }
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let p95 = fig.series_by_label("p95 latency (s)").unwrap();
+        let tput = fig.series_by_label("throughput (ktok/s)").unwrap();
+        let first = p95.y[0];
+        let last = *p95.y.last().unwrap();
+        vec![
+            ShapeCheck::new(
+                "p95 latency explodes past the saturation knee (hockey stick)",
+                last > 3.0 * first,
+                format!("{first:.2}s at light load -> {last:.2}s under overload"),
+            ),
+            ShapeCheck::new(
+                "throughput saturates rather than collapsing under overload",
+                {
+                    let peak = tput.max_y().unwrap();
+                    *tput.y.last().unwrap() > 0.5 * peak
+                },
+                "served rate holds at capacity",
+            ),
+            ShapeCheck::new(
+                "a finite saturation knee is reported",
+                fig.notes.iter().any(|n| n.contains("saturation knee")),
+                "see figure notes",
+            ),
+        ]
+    }
+}
+
+/// extE: blended-traffic serving through the DES simulator.
+struct ExtTraffic;
+
+impl Experiment for ExtTraffic {
+    fn id(&self) -> &'static str {
+        "extE"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Extension of §IV-A2"
+    }
+    fn title(&self) -> &'static str {
+        "Blended-token traffic through the serving simulator (summarization / generation / chat)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec![
+                "Profile",
+                "In:Out ratio",
+                "Throughput (tok/s)",
+                "Mean TTFT (ms)",
+                "p95 latency (s)",
+            ],
+        );
+        let mut s = scenario(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            512,
+            16,
+            1,
+        );
+        s.parallelism = Parallelism::SINGLE;
+        let resolved = match ctx.perf.resolve_scenario(&s) {
+            Ok(r) => r,
+            Err(e) => {
+                table.push_row(vec![
+                    Cell::from(format!("({e})")),
+                    Cell::from("—"),
+                    Cell::from("—"),
+                    Cell::from("—"),
+                    Cell::from("—"),
+                ]);
+                return ExperimentOutput::Table(table);
+            }
+        };
+        for (name, profile) in [
+            ("summarization", TrafficProfile::Summarization),
+            ("generation", TrafficProfile::Generation),
+            ("chat", TrafficProfile::Chat),
+        ] {
+            let shapes = profile.sample(48, 99);
+            let requests: Vec<Request> = shapes
+                .iter()
+                .enumerate()
+                .map(|(i, sh)| {
+                    Request::new(i as u64, Seconds::ZERO, sh.prompt_tokens, sh.output_tokens)
+                })
+                .collect();
+            let sim = ServingSimulator::new(SimConfig {
+                policy: BatchingPolicy::Continuous,
+                max_concurrency: 16,
+                kv_capacity_tokens: 1 << 18,
+                kv_block_tokens: Some(16),
+            });
+            let rep = sim.run(requests, &resolved);
+            table.push_row(vec![
+                Cell::from(name),
+                Cell::from(profile.io_ratio(99)),
+                Cell::from(rep.throughput_tokens_per_s),
+                Cell::from(rep.mean_ttft.value() * 1e3),
+                Cell::from(rep.p95_latency.value()),
+            ]);
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let t = out.table().expect("table");
+        let col = |p: &str, c: usize| {
+            t.rows
+                .iter()
+                .find(|r| r[0].render() == p)
+                .and_then(|r| r[c].render().parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        };
+        vec![
+            ShapeCheck::new(
+                "summarization (input-heavy) achieves the highest Eq.2 throughput \
+                 (Fig. 1b's mechanism under real serving)",
+                col("summarization", 2) > col("generation", 2),
+                format!(
+                    "summarization {:.0} vs generation {:.0} tok/s",
+                    col("summarization", 2),
+                    col("generation", 2)
+                ),
+            ),
+            ShapeCheck::new(
+                "generation-heavy traffic pays more mean TTFT: long decodes hold                  scheduler slots, so queued requests wait longer for admission",
+                col("generation", 3) > col("summarization", 3),
+                format!(
+                    "generation {:.0} vs summarization {:.0} ms",
+                    col("generation", 3),
+                    col("summarization", 3)
+                ),
+            ),
+        ]
+    }
+}

@@ -1,0 +1,177 @@
+//! §VI-4 Habana Gaudi2 experiments: Fig. 20 and App. E Fig. 38.
+
+use super::common::{last_finite, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::Figure;
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig20), Box::new(Fig38)]
+}
+
+/// Fig. 20: 7B models on Gaudi2 vs H100 vs A100.
+struct Fig20;
+
+impl Experiment for Fig20 {
+    fn id(&self) -> &'static str {
+        "fig20"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 20"
+    }
+    fn title(&self) -> &'static str {
+        "H100 vs A100 vs Gaudi2: 7B Models"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::Gaudi2, HardwareId::A100] {
+            for model in [ModelId::Llama3_8b, ModelId::Mistral7b] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::Vllm,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    1,
+                    &mut notes,
+                ));
+            }
+        }
+        // The OOM behavior at long contexts (footnote 1): LLaMA-2-7B's
+        // MHSA-sized KV at batch 32/64 and length 2048 exceeds Gaudi2's
+        // usable HBM and the graph allocator hard-fails.
+        fig.series.push(sweep_batches(
+            ctx,
+            "LLaMA-2-7B on Habana Gaudi2 (len 2048)",
+            ModelId::Llama2_7b,
+            HardwareId::Gaudi2,
+            FrameworkId::Vllm,
+            2048,
+            &PAPER_BATCH_SIZES,
+            1,
+            &mut notes,
+        ));
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        for m in ["LLaMA-3-8B", "Mistral-7B"] {
+            let h = g(m, "Nvidia H100");
+            let ga = g(m, "Habana Gaudi2");
+            let a = g(m, "Nvidia A100");
+            checks.push(ShapeCheck::new(
+                format!("{m}: Gaudi2 outperforms A100 but trails H100"),
+                ga > a && ga < h,
+                format!("H100 {h:.0} > Gaudi2 {ga:.0} > A100 {a:.0}"),
+            ));
+        }
+        let long = fig
+            .series_by_label("LLaMA-2-7B on Habana Gaudi2 (len 2048)")
+            .unwrap();
+        checks.push(ShapeCheck::new(
+            "Gaudi2 hits OOM at batch 32/64 in long-context scenarios (footnote 1)",
+            long.y[2].is_nan() && long.y[3].is_nan() && long.y[0].is_finite(),
+            "gaps at batch 32 and 64",
+        ));
+        checks
+    }
+}
+
+/// App. E Fig. 38: 70B models on Gaudi2 (TP=8) vs H100/A100 (TP=4).
+struct Fig38;
+
+impl Experiment for Fig38 {
+    fn id(&self) -> &'static str {
+        "fig38"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 38 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "H100 vs A100 vs Gaudi2: 70B Models"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [ModelId::Llama2_70b, ModelId::Llama3_70b] {
+            fig.series.push(sweep_batches(
+                ctx,
+                format!("{model} on Nvidia H100"),
+                model,
+                HardwareId::H100,
+                FrameworkId::Vllm,
+                512,
+                &PAPER_BATCH_SIZES,
+                4,
+                &mut notes,
+            ));
+            fig.series.push(sweep_batches(
+                ctx,
+                format!("{model} on Habana Gaudi2"),
+                model,
+                HardwareId::Gaudi2,
+                FrameworkId::Vllm,
+                512,
+                &PAPER_BATCH_SIZES,
+                8,
+                &mut notes,
+            ));
+            fig.series.push(sweep_batches(
+                ctx,
+                format!("{model} on Nvidia A100"),
+                model,
+                HardwareId::A100,
+                FrameworkId::Vllm,
+                512,
+                &PAPER_BATCH_SIZES,
+                4,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        for m in ["LLaMA-2-70B", "LLaMA-3-70B"] {
+            let h = g(m, "Nvidia H100");
+            let ga = g(m, "Habana Gaudi2");
+            let a = g(m, "Nvidia A100");
+            checks.push(ShapeCheck::new(
+                format!("{m}: Gaudi2 lies between H100 and A100"),
+                ga > a && ga < h,
+                format!("H100 {h:.0} > Gaudi2 {ga:.0} > A100 {a:.0}"),
+            ));
+        }
+        checks
+    }
+}

@@ -1,0 +1,299 @@
+//! §V-4 llama.cpp experiments: Figs. 13, 14 and App. E Figs. 32, 36.
+
+use super::common::{last_finite, scenario, sweep_batches, tput_or_gap};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::{Figure, Series};
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Fig13),
+        Box::new(Fig14),
+        Box::new(Fig32),
+        Box::new(Fig36),
+    ]
+}
+
+/// Fig. 13: llama.cpp 7B throughput vs GPU count across platforms.
+struct Fig13;
+
+impl Experiment for Fig13 {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 13"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 7B Models using llama.cpp (GPU-count scaling)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(self.id(), self.title(), "GPUs", "throughput (tokens/s)");
+        for hw in [HardwareId::A100, HardwareId::H100, HardwareId::Mi250] {
+            for model in [ModelId::Llama2_7b, ModelId::Mistral7b] {
+                let mut x = Vec::new();
+                let mut y = Vec::new();
+                for gpus in [1u32, 2, 4] {
+                    let s = scenario(model, hw, FrameworkId::LlamaCpp, 512, 16, gpus);
+                    let (t, note) = tput_or_gap(ctx, &s);
+                    x.push(f64::from(gpus));
+                    y.push(t);
+                    if let Some(n) = note {
+                        fig.notes.push(n);
+                    }
+                }
+                fig.series
+                    .push(Series::new(format!("{model} on {hw}"), x, y));
+            }
+        }
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        // Marginal benefits: x4 gives less than 1.5x of x1, everywhere.
+        let marginal = fig.series.iter().all(|s| match (s.y.first(), s.y.last()) {
+            (Some(a), Some(b)) if a.is_finite() && b.is_finite() => b / a < 1.5,
+            _ => true,
+        });
+        vec![ShapeCheck::new(
+            "llama.cpp shows only marginal gains with more GPUs (layer-split, no true TP)",
+            marginal,
+            "all platform/model series",
+        )]
+    }
+}
+
+/// Fig. 14: llama.cpp weak scaling across batch sizes and models.
+struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 14"
+    }
+    fn title(&self) -> &'static str {
+        "llama.cpp: 7B Model Scaling (4 A100 GPUs)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [ModelId::Llama2_7b, ModelId::Mistral7b, ModelId::Llama3_8b] {
+            fig.series.push(sweep_batches(
+                ctx,
+                model.name(),
+                model,
+                HardwareId::A100,
+                FrameworkId::LlamaCpp,
+                512,
+                &PAPER_BATCH_SIZES,
+                4,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str| last_finite(fig.series_by_label(m).unwrap()).unwrap();
+        let l2 = g("LLaMA-2-7B");
+        let mi = g("Mistral-7B");
+        let l3 = g("LLaMA-3-8B");
+        vec![
+            ShapeCheck::new(
+                "LLaMA-2-7B outperforms both GQA models (llama.cpp cannot exploit GQA)",
+                l2 > mi && l2 > l3,
+                format!("L2 {l2:.0}, Mistral {mi:.0}, L3 {l3:.0}"),
+            ),
+            ShapeCheck::new(
+                "Mistral-7B surpasses LLaMA-3-8B (vocabulary difference)",
+                mi > l3,
+                format!("{mi:.0} vs {l3:.0}"),
+            ),
+        ]
+    }
+}
+
+/// App. E Fig. 32: llama.cpp 70B models on 4x H100/MI250 (A100 excluded —
+/// the 70B models do not fit a 160 GB A100 node).
+struct Fig32;
+
+impl Experiment for Fig32 {
+    fn id(&self) -> &'static str {
+        "fig32"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 32 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "llama.cpp: 70B Models on H100 and MI250 (4 GPUs)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::Mi250] {
+            for model in [
+                ModelId::Mixtral8x7b,
+                ModelId::Llama2_70b,
+                ModelId::Llama3_70b,
+            ] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::LlamaCpp,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    4,
+                    &mut notes,
+                ));
+            }
+        }
+        // Demonstrate the A100 exclusion: weights alone overflow the node.
+        let a100 = scenario(
+            ModelId::Llama2_70b,
+            HardwareId::A100,
+            FrameworkId::LlamaCpp,
+            512,
+            1,
+            4,
+        );
+        if let Err(e) = ctx.perf.throughput(&a100) {
+            notes.push(format!(
+                "A100 excluded as in the paper (\"could not fit on one A100 node\"): {e}"
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on {h}")).unwrap()).unwrap()
+        };
+        vec![
+            ShapeCheck::new(
+                "H100 beats MI250 for every 70B model",
+                ["Mixtral-8x7B", "LLaMA-2-70B", "LLaMA-3-70B"]
+                    .iter()
+                    .all(|m| g(m, "Nvidia H100") > g(m, "AMD MI250")),
+                "all three models",
+            ),
+            ShapeCheck::new(
+                "Mixtral-8x7B outperforms the dense 70B models (sparse MoE)",
+                g("Mixtral-8x7B", "Nvidia H100") > g("LLaMA-2-70B", "Nvidia H100"),
+                format!(
+                    "{:.0} vs {:.0}",
+                    g("Mixtral-8x7B", "Nvidia H100"),
+                    g("LLaMA-2-70B", "Nvidia H100")
+                ),
+            ),
+            ShapeCheck::new(
+                "the A100 node is excluded because the 70B model does not fit",
+                fig.notes.iter().any(|n| n.contains("A100 excluded")),
+                "OOM note recorded",
+            ),
+        ]
+    }
+}
+
+/// App. E Fig. 36: llama.cpp 7B models on MI250.
+struct Fig36;
+
+impl Experiment for Fig36 {
+    fn id(&self) -> &'static str {
+        "fig36"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 36 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "MI250: llama.cpp on 7B Models"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for model in [
+            ModelId::Llama2_7b,
+            ModelId::Llama3_8b,
+            ModelId::Mistral7b,
+            ModelId::Qwen2_7b,
+        ] {
+            fig.series.push(sweep_batches(
+                ctx,
+                model.name(),
+                model,
+                HardwareId::Mi250,
+                FrameworkId::LlamaCpp,
+                512,
+                &PAPER_BATCH_SIZES,
+                1,
+                &mut notes,
+            ));
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let l2 = fig.series_by_label("LLaMA-2-7B").unwrap();
+        let mut best_everywhere = true;
+        for (i, v) in l2.y.iter().enumerate() {
+            for other in &fig.series {
+                if other.label != "LLaMA-2-7B"
+                    && other.y[i].is_finite()
+                    && v.is_finite()
+                    && other.y[i] > *v
+                {
+                    best_everywhere = false;
+                }
+            }
+        }
+        let qwen = last_finite(fig.series_by_label("Qwen-2-7B").unwrap()).unwrap();
+        let others_min = ["LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"]
+            .iter()
+            .map(|m| last_finite(fig.series_by_label(m).unwrap()).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        vec![
+            ShapeCheck::new(
+                "LLaMA-2-7B attains the best llama.cpp throughput at every batch size",
+                best_everywhere,
+                "GQA unexploited ⇒ MHSA model wins",
+            ),
+            ShapeCheck::new(
+                "Qwen2-7B — best with vLLM — is the worst with llama.cpp",
+                qwen <= others_min,
+                format!("Qwen {qwen:.0} vs min(others) {others_min:.0}"),
+            ),
+        ]
+    }
+}

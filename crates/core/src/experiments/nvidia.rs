@@ -1,0 +1,336 @@
+//! §VI-1 Nvidia hardware experiments: Figs. 15, 16 and App. E Figs. 33, 34.
+
+use super::common::{last_finite, scenario, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::{Cell, Figure, Table};
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Fig15),
+        Box::new(Fig16),
+        Box::new(Fig33),
+        Box::new(Fig34),
+    ]
+}
+
+/// Fig. 15: 7B models across all four frameworks on A100.
+struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 15"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 7B Models on A100 (all frameworks)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for fw in [
+            FrameworkId::TrtLlm,
+            FrameworkId::Vllm,
+            FrameworkId::DsMii,
+            FrameworkId::LlamaCpp,
+        ] {
+            for model in [ModelId::Llama3_8b, ModelId::Mistral7b] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} + {fw}"),
+                    model,
+                    HardwareId::A100,
+                    fw,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    1,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, f: &str| {
+            last_finite(fig.series_by_label(&format!("{m} + {f}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        for m in ["LLaMA-3-8B", "Mistral-7B"] {
+            let trt = g(m, "TensorRT-LLM");
+            let vllm = g(m, "vLLM");
+            let ds = g(m, "Deepspeed-MII");
+            let lcpp = g(m, "llama.cpp");
+            checks.push(ShapeCheck::new(
+                format!("{m}: TRT-LLM > vLLM > DS-MII > llama.cpp"),
+                trt > vllm && vllm > ds && ds > lcpp,
+                format!("{trt:.0} > {vllm:.0} > {ds:.0} > {lcpp:.0}"),
+            ));
+        }
+        checks.push(ShapeCheck::new(
+            "llama.cpp is the slowest framework (suboptimal device use)",
+            g("Mistral-7B", "llama.cpp") < 0.5 * g("Mistral-7B", "vLLM"),
+            "well below vLLM",
+        ));
+        checks
+    }
+}
+
+/// Fig. 16: power and throughput-per-watt on A100/H100/GH200.
+struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 16"
+    }
+    fn title(&self) -> &'static str {
+        "Power Consumption and Throughput per Watt (vLLM & TRT-LLM)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec![
+                "Model",
+                "Hardware",
+                "Framework",
+                "Avg Power (W)",
+                "Throughput (tok/s)",
+                "Tok/s/W",
+            ],
+        );
+        for model in [ModelId::Llama2_7b, ModelId::Llama3_8b] {
+            for hw in [HardwareId::A100, HardwareId::H100, HardwareId::Gh200] {
+                for fw in [FrameworkId::Vllm, FrameworkId::TrtLlm] {
+                    let s = scenario(model, hw, fw, 1024, 32, 1);
+                    match ctx.perf.predict(&s) {
+                        Ok(p) => table.push_row(vec![
+                            Cell::from(model.name()),
+                            Cell::from(hw.name()),
+                            Cell::from(fw.name()),
+                            Cell::from(p.avg_power_per_device.value()),
+                            Cell::from(p.throughput.value()),
+                            Cell::from(p.perf_per_watt),
+                        ]),
+                        Err(e) => table.push_row(vec![
+                            Cell::from(model.name()),
+                            Cell::from(hw.name()),
+                            Cell::from(fw.name()),
+                            Cell::from(format!("({e})")),
+                            Cell::from("—"),
+                            Cell::from("—"),
+                        ]),
+                    }
+                }
+            }
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let table = out.table().expect("table");
+        let get = |model: &str, hw: &str, fw: &str, col: usize| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0].render() == model && r[1].render() == hw && r[2].render() == fw)
+                .and_then(|r| r[col].render().parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let mut checks = Vec::new();
+        // TRT-LLM draws more power AND delivers more perf/W than vLLM.
+        let mut power_ok = true;
+        let mut ppw_ok = true;
+        for model in ["LLaMA-2-7B", "LLaMA-3-8B"] {
+            for hw in ["Nvidia A100", "Nvidia H100", "Nvidia GH200"] {
+                power_ok &= get(model, hw, "TensorRT-LLM", 3) > get(model, hw, "vLLM", 3);
+                ppw_ok &= get(model, hw, "TensorRT-LLM", 5) > get(model, hw, "vLLM", 5);
+            }
+        }
+        checks.push(ShapeCheck::new(
+            "TRT-LLM consumes more power than vLLM (higher utilization)",
+            power_ok,
+            "all model/hardware pairs",
+        ));
+        checks.push(ShapeCheck::new(
+            "TRT-LLM delivers more performance per watt",
+            ppw_ok,
+            "all model/hardware pairs",
+        ));
+        // LLaMA-3-8B perf/W exceeds LLaMA-2-7B everywhere.
+        let mut l3_better = true;
+        for hw in ["Nvidia A100", "Nvidia H100", "Nvidia GH200"] {
+            for fw in ["vLLM", "TensorRT-LLM"] {
+                l3_better &= get("LLaMA-3-8B", hw, fw, 5) > get("LLaMA-2-7B", hw, fw, 5);
+            }
+        }
+        checks.push(ShapeCheck::new(
+            "LLaMA-3-8B's performance per watt exceeds LLaMA-2-7B's everywhere",
+            l3_better,
+            "GQA efficiency shows up in energy too",
+        ));
+        checks
+    }
+}
+
+/// App. E Fig. 33: framework comparison on H100 at length 1024.
+struct Fig33;
+
+impl Experiment for Fig33 {
+    fn id(&self) -> &'static str {
+        "fig33"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 33 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "7B Model Framework Comparison on H100 (length 1024, batch 32)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec!["Model", "Framework", "Throughput (tok/s)"],
+        );
+        for model in [
+            ModelId::Qwen2_7b,
+            ModelId::Llama2_7b,
+            ModelId::Llama3_8b,
+            ModelId::Mistral7b,
+        ] {
+            for fw in [
+                FrameworkId::TrtLlm,
+                FrameworkId::Vllm,
+                FrameworkId::LlamaCpp,
+            ] {
+                let s = scenario(model, HardwareId::H100, fw, 1024, 32, 1);
+                let cell = match ctx.perf.throughput(&s) {
+                    Ok(t) => Cell::from(t),
+                    Err(e) => Cell::from(format!("({e})")),
+                };
+                table.push_row(vec![Cell::from(model.name()), Cell::from(fw.name()), cell]);
+            }
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let table = out.table().expect("table");
+        let get = |model: &str, fw: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0].render() == model && r[1].render() == fw)
+                .and_then(|r| r[2].render().parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let qwen_trt = get("Qwen-2-7B", "TensorRT-LLM");
+        let qwen_vllm = get("Qwen-2-7B", "vLLM");
+        let best_other = ["LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"]
+            .iter()
+            .flat_map(|m| ["TensorRT-LLM", "vLLM", "llama.cpp"].map(|f| get(m, f)))
+            .fold(0.0f64, f64::max);
+        vec![
+            ShapeCheck::new(
+                "Qwen2-7B + TRT-LLM attains the highest throughput",
+                qwen_trt >= best_other && qwen_trt >= qwen_vllm,
+                format!("{qwen_trt:.0} tok/s"),
+            ),
+            ShapeCheck::new(
+                "Qwen2-7B + vLLM is the next-closest performer",
+                qwen_vllm >= best_other,
+                format!("{qwen_vllm:.0} vs best other {best_other:.0}"),
+            ),
+        ]
+    }
+}
+
+/// App. E Fig. 34: 70B models, TRT-LLM vs vLLM on A100 and H100.
+struct Fig34;
+
+impl Experiment for Fig34 {
+    fn id(&self) -> &'static str {
+        "fig34"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 34 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "70B Models on A100 and H100 (TRT-LLM vs vLLM, TP=4)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::A100] {
+            for fw in [FrameworkId::TrtLlm, FrameworkId::Vllm] {
+                for model in [
+                    ModelId::Mixtral8x7b,
+                    ModelId::Llama2_70b,
+                    ModelId::Llama3_70b,
+                ] {
+                    fig.series.push(sweep_batches(
+                        ctx,
+                        format!("{model} {fw} {hw}"),
+                        model,
+                        hw,
+                        fw,
+                        1024,
+                        &PAPER_BATCH_SIZES,
+                        4,
+                        &mut notes,
+                    ));
+                }
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, f: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} {f} {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        for (fw, hw) in [
+            ("TensorRT-LLM", "Nvidia H100"),
+            ("vLLM", "Nvidia H100"),
+            ("TensorRT-LLM", "Nvidia A100"),
+            ("vLLM", "Nvidia A100"),
+        ] {
+            let mix = g("Mixtral-8x7B", fw, hw);
+            let l2 = g("LLaMA-2-70B", fw, hw);
+            let l3 = g("LLaMA-3-70B", fw, hw);
+            checks.push(ShapeCheck::new(
+                format!("{fw} on {hw}: Mixtral wins by a considerable margin; L2-70B ≥ L3-70B"),
+                mix > 1.3 * l2.max(l3) && l2 >= l3,
+                format!("mix {mix:.0}, L2 {l2:.0}, L3 {l3:.0}"),
+            ));
+        }
+        checks
+    }
+}

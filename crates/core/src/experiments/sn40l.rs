@@ -1,0 +1,169 @@
+//! §VI-3 SambaNova SN40L experiments: Figs. 18 and 19.
+
+use super::common::sweep_lengths;
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::Figure;
+use llmib_types::PAPER_TOKEN_LENGTHS;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig18), Box::new(Fig19)]
+}
+
+fn run_comparison(
+    ctx: &ExperimentContext,
+    id: &str,
+    title: &str,
+    models: &[ModelId],
+    batch: u32,
+) -> Figure {
+    let mut fig = Figure::new(id, title, "input/output length", "throughput (tokens/s)");
+    let mut notes = Vec::new();
+    for &model in models {
+        // 8 SN40L RDUs (fixed TP) vs 4 H100s vs 4 A100s, as in the paper.
+        fig.series.push(sweep_lengths(
+            ctx,
+            format!("{model} on 8x SN40L"),
+            model,
+            HardwareId::Sn40l,
+            FrameworkId::SambaFlow,
+            &PAPER_TOKEN_LENGTHS,
+            batch,
+            8,
+            &mut notes,
+        ));
+        fig.series.push(sweep_lengths(
+            ctx,
+            format!("{model} on 4x H100"),
+            model,
+            HardwareId::H100,
+            FrameworkId::Vllm,
+            &PAPER_TOKEN_LENGTHS,
+            batch,
+            4,
+            &mut notes,
+        ));
+        fig.series.push(sweep_lengths(
+            ctx,
+            format!("{model} on 4x A100"),
+            model,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            &PAPER_TOKEN_LENGTHS,
+            batch,
+            4,
+            &mut notes,
+        ));
+    }
+    fig.notes = notes;
+    fig
+}
+
+/// Fig. 18: 7B models on 8 SN40L RDUs vs 4 H100s and 4 A100s.
+struct Fig18;
+
+impl Experiment for Fig18 {
+    fn id(&self) -> &'static str {
+        "fig18"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 18"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput Comparison of 7B Models on 8 SN40L RDUs vs 4 H100s and 4 A100s"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        ExperimentOutput::Figure(run_comparison(
+            ctx,
+            self.id(),
+            self.title(),
+            &[ModelId::Llama3_8b, ModelId::Mistral7b, ModelId::Llama2_7b],
+            16,
+        ))
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let series = |l: String| fig.series_by_label(&l).unwrap();
+        let mut checks = Vec::new();
+        // SN40L throughput rises with length up to 512 (index 0->2).
+        let sn = series("LLaMA-3-8B on 8x SN40L".into());
+        checks.push(ShapeCheck::new(
+            "SN40L throughput increases with input/output length till 512",
+            sn.y[0] < sn.y[1] && sn.y[1] < sn.y[2],
+            format!("{:.0} -> {:.0} -> {:.0}", sn.y[0], sn.y[1], sn.y[2]),
+        ));
+        // GPUs fall with length — the opposite trend.
+        let h = series("LLaMA-3-8B on 4x H100".into());
+        checks.push(ShapeCheck::new(
+            "GPU throughput decreases with length (contradicting trend the paper notes)",
+            h.y[2] < h.y[0],
+            format!("H100: {:.0} -> {:.0}", h.y[0], h.y[2]),
+        ));
+        // SN40L beats both GPU baselines at length >= 512 for GQA models.
+        checks.push(ShapeCheck::new(
+            "8x SN40L outperforms 4x H100 and 4x A100 at length 512 (batch 16)",
+            sn.y[2] > h.y[2] && sn.y[2] > series("LLaMA-3-8B on 4x A100".into()).y[2],
+            format!("SN40L {:.0} vs H100 {:.0}", sn.y[2], h.y[2]),
+        ));
+        // LLaMA-3-8B and Mistral-7B outperform LLaMA-2-7B on SN40L (the
+        // small-model compiler improvements skipped LLaMA-2-7B).
+        let l2 = series("LLaMA-2-7B on 8x SN40L".into());
+        let mi = series("Mistral-7B on 8x SN40L".into());
+        checks.push(ShapeCheck::new(
+            "LLaMA-3-8B and Mistral-7B outperform LLaMA-2-7B on SN40L (compiler gap)",
+            sn.y[2] > l2.y[2] && mi.y[2] > l2.y[2],
+            format!(
+                "L3 {:.0}, Mistral {:.0} vs L2 {:.0}",
+                sn.y[2], mi.y[2], l2.y[2]
+            ),
+        ));
+        checks
+    }
+}
+
+/// Fig. 19: a 70B model on 8 SN40L RDUs vs 4 A100s and 4 H100s.
+struct Fig19;
+
+impl Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 19"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput Comparison of a 70B Model on 8 SN40L RDUs vs 4 A100s and 4 H100s"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        ExperimentOutput::Figure(run_comparison(
+            ctx,
+            self.id(),
+            self.title(),
+            &[ModelId::Llama2_70b],
+            16,
+        ))
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let sn = fig.series_by_label("LLaMA-2-70B on 8x SN40L").unwrap();
+        let a = fig.series_by_label("LLaMA-2-70B on 4x A100").unwrap();
+        vec![
+            ShapeCheck::new(
+                "SN40L beats the 4x A100 baseline on the 70B model at length >= 512",
+                sn.y[2] > a.y[2],
+                format!("SN40L {:.0} vs A100 {:.0}", sn.y[2], a.y[2]),
+            ),
+            ShapeCheck::new(
+                "SN40L's length ramp also holds at 70B",
+                sn.y[0] < sn.y[2],
+                format!("{:.0} -> {:.0}", sn.y[0], sn.y[2]),
+            ),
+        ]
+    }
+}

@@ -1,0 +1,239 @@
+//! Table reproductions: Table I (models), Table II (hardware),
+//! Table III (framework support matrix).
+
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::{support_matrix, FrameworkId};
+use llmib_hardware::HardwareId;
+use llmib_models::{PAPER_70B_CLASS_MODELS, PAPER_7B_CLASS_MODELS};
+use llmib_report::{Cell, Table};
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Tab1), Box::new(Tab2), Box::new(Tab3)]
+}
+
+/// Table I: LLaMA model family summary.
+struct Tab1;
+
+impl Experiment for Tab1 {
+    fn id(&self) -> &'static str {
+        "tab1"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table I"
+    }
+    fn title(&self) -> &'static str {
+        "LLaMA Model Family Summary"
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec![
+                "Models",
+                "#Hidden Layers",
+                "Hidden Size",
+                "Attention Type",
+                "#Attention Heads",
+                "#KV Heads",
+                "FFN Type",
+                "#FFN Experts",
+                "FFN Intermediate Size",
+                "Max Sequence Length",
+                "Vocab Size",
+                "Total Params (B)",
+            ],
+        );
+        for id in PAPER_7B_CLASS_MODELS.iter().chain(&PAPER_70B_CLASS_MODELS) {
+            let c = id.config();
+            table.push_row(vec![
+                Cell::from(c.name),
+                Cell::from(c.layers),
+                Cell::from(c.hidden),
+                Cell::from(c.attention.label()),
+                Cell::from(c.heads),
+                Cell::from(c.kv_heads),
+                Cell::from(c.ffn.label()),
+                Cell::from(c.num_experts),
+                Cell::from(c.intermediate),
+                Cell::from(c.max_seq_len),
+                Cell::from(c.vocab),
+                Cell::from(c.total_params() as f64 / 1e9),
+            ]);
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let t = out.table().expect("table");
+        let row = |name: &str| t.rows.iter().find(|r| r[0].render() == name).unwrap();
+        vec![
+            ShapeCheck::new(
+                "exactly the eight Table I models are listed",
+                t.rows.len() == 8,
+                format!("{} rows", t.rows.len()),
+            ),
+            ShapeCheck::new(
+                "LLaMA-2-7B row matches the paper (MHSA, 32 KV heads, 11008 FFN)",
+                {
+                    let r = row("LLaMA-2-7B");
+                    r[3].render() == "MHSA" && r[5].render() == "32" && r[8].render() == "11008"
+                },
+                "verbatim row",
+            ),
+            ShapeCheck::new(
+                "Mixtral-8x7B is the only MoE with 8 experts",
+                {
+                    let r = row("Mixtral-8x7B");
+                    r[6].render() == "MoE"
+                        && r[7].render() == "8"
+                        && t.rows.iter().filter(|r| r[6].render() == "MoE").count() == 1
+                },
+                "one MoE row",
+            ),
+        ]
+    }
+}
+
+/// Table II: accelerator features.
+struct Tab2;
+
+impl Experiment for Tab2 {
+    fn id(&self) -> &'static str {
+        "tab2"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table II"
+    }
+    fn title(&self) -> &'static str {
+        "Features of evaluated AI accelerators"
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut table = Table::new(
+            self.id(),
+            self.title(),
+            vec![
+                "Feature",
+                "# Devices",
+                "Memory (/node, GiB)",
+                "Memory (/device, GiB)",
+                "Interconnect",
+                "Memory Tiers",
+                "TDP (W)",
+            ],
+        );
+        for hw in HardwareId::ALL {
+            let s = hw.spec();
+            table.push_row(vec![
+                Cell::from(s.name),
+                Cell::from(s.devices_per_node),
+                Cell::from(s.node_memory().as_gib()),
+                Cell::from(s.memory.primary_tier().capacity.as_gib()),
+                Cell::from(s.interconnect.kind.label()),
+                Cell::from(s.memory.tier_count() as i64),
+                Cell::from(s.power.tdp.value()),
+            ]);
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let t = out.table().expect("table");
+        let row = |name: &str| t.rows.iter().find(|r| r[0].render() == name).unwrap();
+        vec![
+            ShapeCheck::new(
+                "all seven Table II platforms are listed",
+                t.rows.len() == 7,
+                format!("{} rows", t.rows.len()),
+            ),
+            ShapeCheck::new(
+                "A100 node memory is 160 GB (4 x 40 GB)",
+                row("Nvidia A100")[2].render() == "160.00",
+                row("Nvidia A100")[2].render(),
+            ),
+            ShapeCheck::new(
+                "SN40L is the only platform with a 3-tier memory system",
+                row("SambaNova SN40L")[5].render() == "3"
+                    && t.rows.iter().filter(|r| r[5].render() == "3").count() == 1,
+                "3-tier vs traditional GPUs",
+            ),
+            ShapeCheck::new(
+                "Gaudi2 uses RoCE V2 as in Table II",
+                row("Habana Gaudi2")[4].render() == "RoCE V2",
+                row("Habana Gaudi2")[4].render(),
+            ),
+        ]
+    }
+}
+
+/// Table III: framework x hardware support.
+struct Tab3;
+
+impl Experiment for Tab3 {
+    fn id(&self) -> &'static str {
+        "tab3"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table III"
+    }
+    fn title(&self) -> &'static str {
+        "Summary of Inference Frameworks Evaluated"
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> ExperimentOutput {
+        let hardware = [
+            HardwareId::A100,
+            HardwareId::H100,
+            HardwareId::Gh200,
+            HardwareId::Mi250,
+            HardwareId::Gaudi2,
+        ];
+        let mut headers = vec!["Framework"];
+        let names: Vec<&'static str> = hardware.iter().map(|h| h.name()).collect();
+        headers.extend(names.iter().copied());
+        let mut table = Table::new(self.id(), self.title(), headers);
+        for fw in [
+            FrameworkId::Vllm,
+            FrameworkId::LlamaCpp,
+            FrameworkId::TrtLlm,
+            FrameworkId::DsMii,
+        ] {
+            let mut row = vec![Cell::from(fw.name())];
+            for hw in hardware {
+                row.push(Cell::from(support_matrix(fw, hw).label()));
+            }
+            table.push_row(row);
+        }
+        ExperimentOutput::Table(table)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let t = out.table().expect("table");
+        let row = |name: &str| t.rows.iter().find(|r| r[0].render() == name).unwrap();
+        let cells =
+            |name: &str| -> Vec<String> { row(name)[1..].iter().map(|c| c.render()).collect() };
+        vec![
+            ShapeCheck::new(
+                "vLLM row: Yes on every platform",
+                cells("vLLM").iter().all(|c| c == "Yes"),
+                cells("vLLM").join(","),
+            ),
+            ShapeCheck::new(
+                "llama.cpp row: Yes on GPUs, N/A on Gaudi2",
+                cells("llama.cpp") == ["Yes", "Yes", "Yes", "Yes", "N/A"],
+                cells("llama.cpp").join(","),
+            ),
+            ShapeCheck::new(
+                "TensorRT-LLM row: Yes on Nvidia, N/A elsewhere",
+                cells("TensorRT-LLM") == ["Yes", "Yes", "Yes", "N/A", "N/A"],
+                cells("TensorRT-LLM").join(","),
+            ),
+            ShapeCheck::new(
+                "Deepspeed-MII row: Yes on A100/Gaudi2, No elsewhere",
+                cells("Deepspeed-MII") == ["Yes", "No", "No", "No", "Yes"],
+                cells("Deepspeed-MII").join(","),
+            ),
+        ]
+    }
+}

@@ -1,0 +1,250 @@
+//! §V-1 TensorRT-LLM experiments: Figs. 6, 7 and App. E Fig. 30.
+
+use super::common::{last_finite, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_report::Figure;
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig06), Box::new(Fig07), Box::new(Fig30)]
+}
+
+const SEVEN_B: [ModelId; 3] = [ModelId::Llama2_7b, ModelId::Llama3_8b, ModelId::Mistral7b];
+
+/// Fig. 6: 7B models with TRT-LLM on GH200/H100/A100.
+struct Fig06;
+
+impl Experiment for Fig06 {
+    fn id(&self) -> &'static str {
+        "fig06"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 6"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 7B Models using TRT-LLM (GH200, H100, A100)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::Gh200, HardwareId::H100, HardwareId::A100] {
+            for model in SEVEN_B {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::TrtLlm,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    1,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        // Newer generations win (for the GQA models).
+        for m in ["LLaMA-3-8B", "Mistral-7B"] {
+            let gh = g(m, "Nvidia GH200");
+            let h = g(m, "Nvidia H100");
+            let a = g(m, "Nvidia A100");
+            checks.push(ShapeCheck::new(
+                format!("{m}: GH200 >= H100 > A100"),
+                gh >= h && h > a,
+                format!("GH200 {gh:.0}, H100 {h:.0}, A100 {a:.0}"),
+            ));
+        }
+        // GQA speedups over LLaMA-2-7B at batch 64.
+        let h_ratio = g("Mistral-7B", "Nvidia H100") / g("LLaMA-2-7B", "Nvidia H100");
+        let a_ratio = g("Mistral-7B", "Nvidia A100") / g("LLaMA-2-7B", "Nvidia A100");
+        checks.push(ShapeCheck::new(
+            "GQA models ~1.9x LLaMA-2-7B on H100 at batch 64 (band 1.4-2.9x)",
+            (1.4..=2.9).contains(&h_ratio),
+            format!("measured {h_ratio:.2}x"),
+        ));
+        checks.push(ShapeCheck::new(
+            "GQA models ~2.79x LLaMA-2-7B on A100 at batch 64 (band 1.7-5.0x)",
+            (1.7..=5.0).contains(&a_ratio),
+            format!("measured {a_ratio:.2}x"),
+        ));
+        checks.push(ShapeCheck::new(
+            "Mistral-7B and LLaMA-3-8B are close (vocab is the only difference)",
+            {
+                let mi = g("Mistral-7B", "Nvidia H100");
+                let l3 = g("LLaMA-3-8B", "Nvidia H100");
+                (mi / l3) > 1.0 && (mi / l3) < 1.5
+            },
+            "Mistral slightly ahead via the 4x smaller vocabulary",
+        ));
+        checks
+    }
+}
+
+/// Fig. 7: 70B/MoE models with TRT-LLM on H100/A100.
+struct Fig07;
+
+impl Experiment for Fig07 {
+    fn id(&self) -> &'static str {
+        "fig07"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 7"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 70B/MoE Models using TRT-LLM (H100 vs A100, TP=4)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::A100] {
+            for model in [
+                ModelId::Mixtral8x7b,
+                ModelId::Llama2_70b,
+                ModelId::Llama3_70b,
+            ] {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::TrtLlm,
+                    1024,
+                    &PAPER_BATCH_SIZES,
+                    4,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let series = |m: &str, h: &str| fig.series_by_label(&format!("{m} on {h}")).unwrap();
+        let g = |m: &str, h: &str| last_finite(series(m, h)).unwrap();
+        let mix_h = g("Mixtral-8x7B", "Nvidia H100");
+        let l2_h = g("LLaMA-2-70B", "Nvidia H100");
+        let l3_h = g("LLaMA-3-70B", "Nvidia H100");
+        let l3_a = g("LLaMA-3-70B", "Nvidia A100");
+        let h_scaling = {
+            let s = series("LLaMA-3-70B", "Nvidia H100");
+            s.y[3] / s.y[0]
+        };
+        let a_scaling = {
+            let s = series("LLaMA-3-70B", "Nvidia A100");
+            s.y[3] / s.y[0]
+        };
+        vec![
+            ShapeCheck::new(
+                "Mixtral (MoE, ~14B active) outperforms the dense 70B models",
+                mix_h > l2_h && mix_h > l3_h,
+                format!("Mixtral {mix_h:.0} vs L2-70B {l2_h:.0}, L3-70B {l3_h:.0}"),
+            ),
+            ShapeCheck::new(
+                "LLaMA-2-70B beats LLaMA-3-70B (smaller vocabulary)",
+                l2_h > l3_h,
+                format!("{l2_h:.0} vs {l3_h:.0}"),
+            ),
+            ShapeCheck::new(
+                "H100 is several times faster than A100 at batch 64 (paper 7.8x)",
+                l3_h / l3_a > 3.0,
+                format!("measured {:.1}x", l3_h / l3_a),
+            ),
+            ShapeCheck::new(
+                "H100 scales ~39x from batch 1 to 64 while A100 plateaus (paper 3x)",
+                h_scaling > 10.0 && h_scaling > 3.0 * a_scaling,
+                format!("H100 {h_scaling:.1}x vs A100 {a_scaling:.1}x"),
+            ),
+        ]
+    }
+}
+
+/// App. E Fig. 30: TRT-LLM 7B models on 1, 2 and 4 A100s.
+struct Fig30;
+
+impl Experiment for Fig30 {
+    fn id(&self) -> &'static str {
+        "fig30"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 30 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "TRT-LLM: 7B Models on 1, 2 and 4 A100 GPUs"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for gpus in [1u32, 2, 4] {
+            for model in SEVEN_B {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} x{gpus} GPU"),
+                    model,
+                    HardwareId::A100,
+                    FrameworkId::TrtLlm,
+                    512,
+                    &PAPER_BATCH_SIZES,
+                    gpus,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, n: u32| {
+            last_finite(fig.series_by_label(&format!("{m} x{n} GPU")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        for m in ["LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B"] {
+            checks.push(ShapeCheck::new(
+                format!("{m}: throughput grows with GPU count"),
+                g(m, 4) > g(m, 2) && g(m, 2) > g(m, 1),
+                format!("x1 {:.0}, x2 {:.0}, x4 {:.0}", g(m, 1), g(m, 2), g(m, 4)),
+            ));
+        }
+        checks.push(ShapeCheck::new(
+            "Mistral-7B outperforms LLaMA-3-8B across GPU counts",
+            (1..=4)
+                .filter(|n| [1, 2, 4].contains(n))
+                .all(|n| g("Mistral-7B", n) >= g("LLaMA-3-8B", n)),
+            "smaller vocabulary, same body",
+        ));
+        checks
+    }
+}

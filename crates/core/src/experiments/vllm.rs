@@ -1,0 +1,259 @@
+//! §V-2 vLLM experiments: Figs. 8, 9 and App. E Fig. 31.
+
+use super::common::{last_finite, sweep_batches};
+use super::{Experiment, ExperimentContext, ExperimentOutput, ShapeCheck};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::{ModelId, PAPER_70B_CLASS_MODELS, PAPER_7B_CLASS_MODELS};
+use llmib_report::Figure;
+use llmib_types::PAPER_BATCH_SIZES;
+
+pub(super) fn experiments() -> Vec<Box<dyn Experiment>> {
+    vec![Box::new(Fig08), Box::new(Fig09), Box::new(Fig31)]
+}
+
+/// Fig. 8: 7B models with vLLM across GH200/H100/A100/MI250.
+struct Fig08;
+
+impl Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig08"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 8"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 7B Models using vLLM (GH200, H100, A100, MI250)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [
+            HardwareId::Gh200,
+            HardwareId::H100,
+            HardwareId::A100,
+            HardwareId::Mi250,
+        ] {
+            for model in PAPER_7B_CLASS_MODELS {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::Vllm,
+                    1024,
+                    &PAPER_BATCH_SIZES,
+                    1,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        // GH200 leads every model; H100 second.
+        let mut gh_leads = true;
+        let mut h_second = true;
+        for m in ["LLaMA-2-7B", "LLaMA-3-8B", "Mistral-7B", "Qwen-2-7B"] {
+            let gh = g(m, "Nvidia GH200");
+            let h = g(m, "Nvidia H100");
+            let a = g(m, "Nvidia A100");
+            let mi = g(m, "AMD MI250");
+            gh_leads &= gh >= h && gh >= a && gh >= mi;
+            h_second &= h >= a && h >= mi;
+        }
+        checks.push(ShapeCheck::new(
+            "vLLM on GH200 consistently achieves the highest throughput",
+            gh_leads,
+            "all four 7B models",
+        ));
+        checks.push(ShapeCheck::new(
+            "H100 is the second-best performer",
+            h_second,
+            "all four 7B models",
+        ));
+        // Qwen2-7B on GH200 tops every 7B/hardware point.
+        let qwen_gh = g("Qwen-2-7B", "Nvidia GH200");
+        let all_leq = fig
+            .series
+            .iter()
+            .filter_map(last_finite)
+            .all(|v| v <= qwen_gh * 1.0001);
+        checks.push(ShapeCheck::new(
+            "Qwen2-7B on GH200 has the highest 7B throughput",
+            all_leq,
+            format!("{qwen_gh:.0} tok/s"),
+        ));
+        // A100 vs MI250: comparable, A100 marginally ahead.
+        let a = g("LLaMA-3-8B", "Nvidia A100");
+        let mi = g("LLaMA-3-8B", "AMD MI250");
+        checks.push(ShapeCheck::new(
+            "A100 and MI250 are comparable with A100 marginally ahead",
+            a > mi && a < 3.0 * mi,
+            format!("A100 {a:.0} vs MI250 {mi:.0}"),
+        ));
+        // GQA at scale: LLaMA-3-8B beats LLaMA-2-7B at batch 64 despite
+        // having one billion more parameters.
+        let l3 = g("LLaMA-3-8B", "Nvidia A100");
+        let l2 = g("LLaMA-2-7B", "Nvidia A100");
+        checks.push(ShapeCheck::new(
+            "LLaMA-3-8B (GQA) beats LLaMA-2-7B (MHSA) at large batch",
+            l3 > l2,
+            format!("{l3:.0} vs {l2:.0}"),
+        ));
+        checks
+    }
+}
+
+/// Fig. 9: 70B models with vLLM.
+struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig09"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 9"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput of 70B Models using vLLM (H100 and A100, TP=4)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::A100] {
+            for model in PAPER_70B_CLASS_MODELS {
+                fig.series.push(sweep_batches(
+                    ctx,
+                    format!("{model} on {hw}"),
+                    model,
+                    hw,
+                    FrameworkId::Vllm,
+                    1024,
+                    &PAPER_BATCH_SIZES,
+                    4,
+                    &mut notes,
+                ));
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str| {
+            last_finite(fig.series_by_label(&format!("{m} on Nvidia H100")).unwrap()).unwrap()
+        };
+        let (mix, l2, l3, qw) = (
+            g("Mixtral-8x7B"),
+            g("LLaMA-2-70B"),
+            g("LLaMA-3-70B"),
+            g("Qwen-2-72B"),
+        );
+        vec![
+            ShapeCheck::new(
+                "Mixtral-8x7B performs better than the dense 70B models",
+                mix > l2 && mix > l3 && mix > qw,
+                format!("Mixtral {mix:.0}"),
+            ),
+            ShapeCheck::new(
+                "LLaMA-2-70B is faster than LLaMA-3-70B and Qwen-2-72B (vocab)",
+                l2 > l3 && l3 > qw,
+                format!("L2 {l2:.0} > L3 {l3:.0} > Qwen {qw:.0}"),
+            ),
+        ]
+    }
+}
+
+/// App. E Fig. 31: vLLM 7B models on 1, 2, 4 devices of H100/A100/MI250.
+struct Fig31;
+
+impl Experiment for Fig31 {
+    fn id(&self) -> &'static str {
+        "fig31"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 31 (App. E)"
+    }
+    fn title(&self) -> &'static str {
+        "vLLM: 7B Models on 1, 2 and 4 GPUs (H100, A100, MI250)"
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> ExperimentOutput {
+        let mut fig = Figure::new(
+            self.id(),
+            self.title(),
+            "batch size",
+            "throughput (tokens/s)",
+        );
+        let mut notes = Vec::new();
+        for hw in [HardwareId::H100, HardwareId::A100, HardwareId::Mi250] {
+            for gpus in [1u32, 2, 4] {
+                for model in [ModelId::Llama3_8b, ModelId::Mistral7b] {
+                    fig.series.push(sweep_batches(
+                        ctx,
+                        format!("{model} x{gpus} {hw}"),
+                        model,
+                        hw,
+                        FrameworkId::Vllm,
+                        512,
+                        &PAPER_BATCH_SIZES,
+                        gpus,
+                        &mut notes,
+                    ));
+                }
+            }
+        }
+        fig.notes = notes;
+        ExperimentOutput::Figure(fig)
+    }
+
+    fn check(&self, out: &ExperimentOutput) -> Vec<ShapeCheck> {
+        let fig = out.figure().expect("figure");
+        let g = |m: &str, n: u32, h: &str| {
+            last_finite(fig.series_by_label(&format!("{m} x{n} {h}")).unwrap()).unwrap()
+        };
+        let mut checks = Vec::new();
+        // H100 systems consistently achieve higher throughput.
+        let h_leads = [1u32, 2, 4].iter().all(|&n| {
+            g("LLaMA-3-8B", n, "Nvidia H100") > g("LLaMA-3-8B", n, "Nvidia A100")
+                && g("LLaMA-3-8B", n, "Nvidia H100") > g("LLaMA-3-8B", n, "AMD MI250")
+        });
+        checks.push(ShapeCheck::new(
+            "H100 consistently tops every device count",
+            h_leads,
+            "LLaMA-3-8B at x1/x2/x4",
+        ));
+        // vLLM scales with device count on H100.
+        checks.push(ShapeCheck::new(
+            "throughput grows with device count",
+            g("LLaMA-3-8B", 4, "Nvidia H100") > g("LLaMA-3-8B", 1, "Nvidia H100"),
+            format!(
+                "x1 {:.0} -> x4 {:.0}",
+                g("LLaMA-3-8B", 1, "Nvidia H100"),
+                g("LLaMA-3-8B", 4, "Nvidia H100")
+            ),
+        ));
+        checks
+    }
+}

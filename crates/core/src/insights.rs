@@ -1,0 +1,385 @@
+//! §VII "Insights and Discussion", computed rather than narrated.
+//!
+//! The paper closes with takeaways from three perspectives — framework-
+//! wise, accelerator-wise and model-wise. This module derives each
+//! takeaway *from the reproduced data* and reports it with its numeric
+//! evidence, so the discussion section stays true whenever the model or
+//! calibration changes.
+
+use crate::experiments::ExperimentContext;
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::Scenario;
+use llmib_types::{Parallelism, TokenShape};
+use serde::Serialize;
+
+/// One computed takeaway.
+#[derive(Debug, Clone, Serialize)]
+pub struct Takeaway {
+    /// Perspective: "framework", "accelerator" or "model".
+    pub perspective: &'static str,
+    /// The claim, mirroring §VII.
+    pub claim: &'static str,
+    /// Whether the reproduced data supports it.
+    pub supported: bool,
+    /// Numeric evidence.
+    pub evidence: String,
+}
+
+fn tput(
+    ctx: &ExperimentContext,
+    model: ModelId,
+    hw: HardwareId,
+    fw: FrameworkId,
+    len: u32,
+    batch: u32,
+    tp: u32,
+) -> Option<f64> {
+    let mut s = Scenario::simple(model, hw, fw, TokenShape::square(len, batch));
+    s.parallelism = Parallelism::tensor_parallel(tp);
+    ctx.perf.throughput(&s).ok()
+}
+
+/// Compute the §VII takeaways from the model.
+pub fn takeaways(ctx: &ExperimentContext) -> Vec<Takeaway> {
+    let mut out = Vec::new();
+    let t = |m, h, f, l, b, tp| tput(ctx, m, h, f, l, b, tp).unwrap_or(f64::NAN);
+
+    // --- Framework-wise ---
+    let trt = t(
+        ModelId::Mistral7b,
+        HardwareId::A100,
+        FrameworkId::TrtLlm,
+        512,
+        32,
+        1,
+    );
+    let vllm = t(
+        ModelId::Mistral7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        32,
+        1,
+    );
+    let lcpp = t(
+        ModelId::Mistral7b,
+        HardwareId::A100,
+        FrameworkId::LlamaCpp,
+        512,
+        32,
+        1,
+    );
+    out.push(Takeaway {
+        perspective: "framework",
+        claim: "TensorRT-LLM on Nvidia GPUs offers the highest performance but is \
+                limited to specific platforms; vLLM supports broader hardware but is slower",
+        supported: trt > vllm
+            && tput(
+                ctx,
+                ModelId::Mistral7b,
+                HardwareId::Mi250,
+                FrameworkId::TrtLlm,
+                512,
+                32,
+                1,
+            )
+            .is_none()
+            && tput(
+                ctx,
+                ModelId::Mistral7b,
+                HardwareId::Mi250,
+                FrameworkId::Vllm,
+                512,
+                32,
+                1,
+            )
+            .is_some(),
+        evidence: format!("A100: TRT {trt:.0} vs vLLM {vllm:.0} tok/s; TRT unavailable on MI250"),
+    });
+    out.push(Takeaway {
+        perspective: "framework",
+        claim: "llama.cpp is highly portable but experiences weak scaling and does \
+                not utilize compute resources well",
+        supported: lcpp < 0.5 * vllm,
+        evidence: format!("llama.cpp {lcpp:.0} vs vLLM {vllm:.0} tok/s on A100"),
+    });
+    let l2_trt = t(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::TrtLlm,
+        512,
+        64,
+        1,
+    );
+    let l3_trt = t(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::TrtLlm,
+        512,
+        64,
+        1,
+    );
+    // The DS-MII inversion is a short-context effect (Fig. 11 uses
+    // length 128): there the weight stream dominates and LLaMA-2-7B's
+    // smaller body wins; at long contexts even a partially-exploited GQA
+    // cache pulls ahead.
+    let l2_ds = t(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        128,
+        64,
+        1,
+    );
+    let l3_ds = t(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        128,
+        64,
+        1,
+    );
+    out.push(Takeaway {
+        perspective: "framework",
+        claim: "GQA models outperform LLaMA-2-7B with TRT-LLM and vLLM, but not with \
+                llama.cpp and DS-MII, which do not support model-wise optimizations well",
+        supported: l3_trt > l2_trt && l3_ds < l2_ds,
+        evidence: format!(
+            "TRT: L3 {l3_trt:.0} > L2 {l2_trt:.0}; DS-MII at len 128: L2 {l2_ds:.0} > L3 {l3_ds:.0}"
+        ),
+    });
+
+    // --- Accelerator-wise ---
+    let h100 = t(
+        ModelId::Llama3_8b,
+        HardwareId::H100,
+        FrameworkId::Vllm,
+        512,
+        32,
+        1,
+    );
+    let a100 = t(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        32,
+        1,
+    );
+    let gaudi = t(
+        ModelId::Llama3_8b,
+        HardwareId::Gaudi2,
+        FrameworkId::Vllm,
+        512,
+        32,
+        1,
+    );
+    let mi_32 = t(
+        ModelId::Llama3_8b,
+        HardwareId::Mi250,
+        FrameworkId::Vllm,
+        1024,
+        32,
+        1,
+    );
+    let mi_64 = t(
+        ModelId::Llama3_8b,
+        HardwareId::Mi250,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    out.push(Takeaway {
+        perspective: "accelerator",
+        claim: "Gaudi2 outperforms A100 but faces out-of-memory issues for large \
+                batch sizes; H100 leads among the GPUs",
+        supported: gaudi > a100 && gaudi < h100 && {
+            let mut s = Scenario::simple(
+                ModelId::Llama2_7b,
+                HardwareId::Gaudi2,
+                FrameworkId::Vllm,
+                TokenShape::square(2048, 64),
+            );
+            s.parallelism = Parallelism::SINGLE;
+            ctx.perf
+                .throughput(&s)
+                .err()
+                .map(|e| e.is_oom())
+                .unwrap_or(false)
+        },
+        evidence: format!(
+            "H100 {h100:.0} > Gaudi2 {gaudi:.0} > A100 {a100:.0} tok/s; Gaudi2 OOM at bs64/len2048"
+        ),
+    });
+    out.push(Takeaway {
+        perspective: "accelerator",
+        claim: "MI250 is comparable to A100 for certain scenarios but suffers early \
+                saturation: performance drops beyond batch 32",
+        supported: mi_64 < mi_32 && (0.3..1.2).contains(&(mi_32 / a100)),
+        evidence: format!("MI250 bs32 {mi_32:.0} -> bs64 {mi_64:.0} tok/s (A100 {a100:.0})"),
+    });
+    let sn = {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::Sn40l,
+            FrameworkId::SambaFlow,
+            TokenShape::square(512, 32),
+        );
+        s.parallelism = Parallelism::tensor_parallel(8);
+        ctx.perf.predict(&s).ok()
+    };
+    let h_pred = {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::H100,
+            FrameworkId::Vllm,
+            TokenShape::square(512, 32),
+        );
+        s.parallelism = Parallelism::tensor_parallel(4);
+        ctx.perf.predict(&s).ok()
+    };
+    out.push(Takeaway {
+        perspective: "accelerator",
+        claim: "SN40L exhibits higher TTFT but lower ITL, indicating faster token \
+                generation after the initial output",
+        supported: match (&sn, &h_pred) {
+            (Some(sn), Some(h)) => sn.ttft_ms() > h.ttft_ms() && sn.itl_ms() < h.itl_ms(),
+            _ => false,
+        },
+        evidence: match (&sn, &h_pred) {
+            (Some(sn), Some(h)) => format!(
+                "SN40L TTFT {:.0} ms / ITL {:.3} ms vs 4xH100 {:.0} ms / {:.3} ms",
+                sn.ttft_ms(),
+                sn.itl_ms(),
+                h.ttft_ms(),
+                h.itl_ms()
+            ),
+            _ => "prediction unavailable".into(),
+        },
+    });
+
+    // --- Model-wise ---
+    let mix = t(
+        ModelId::Mixtral8x7b,
+        HardwareId::H100,
+        FrameworkId::Vllm,
+        1024,
+        32,
+        4,
+    );
+    let l2_70 = t(
+        ModelId::Llama2_70b,
+        HardwareId::H100,
+        FrameworkId::Vllm,
+        1024,
+        32,
+        4,
+    );
+    let l3_70 = t(
+        ModelId::Llama3_70b,
+        HardwareId::H100,
+        FrameworkId::Vllm,
+        1024,
+        32,
+        4,
+    );
+    out.push(Takeaway {
+        perspective: "model",
+        claim: "the Mixtral MoE model surpasses 70B models by activating only two \
+                experts per layer, effectively functioning as a 14B model",
+        supported: mix > l2_70 && mix > l3_70,
+        evidence: format!("Mixtral {mix:.0} vs L2-70B {l2_70:.0}, L3-70B {l3_70:.0} tok/s"),
+    });
+    out.push(Takeaway {
+        perspective: "model",
+        claim: "LLaMA-2-70B is slightly more efficient than LLaMA-3-70B due to its \
+                smaller vocabulary",
+        supported: l2_70 > l3_70 && l2_70 < 1.5 * l3_70,
+        evidence: format!("{l2_70:.0} vs {l3_70:.0} tok/s on 4x H100"),
+    });
+    let qwen_gh = t(
+        ModelId::Qwen2_7b,
+        HardwareId::Gh200,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    let l3_gh = t(
+        ModelId::Llama3_8b,
+        HardwareId::Gh200,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    out.push(Takeaway {
+        perspective: "model",
+        claim: "Qwen2-7B outperforms other 7B models: its large vocabulary affects \
+                only inputs and outputs, leaving the core model smaller",
+        supported: qwen_gh > l3_gh,
+        evidence: format!("GH200 bs64: Qwen2 {qwen_gh:.0} vs LLaMA-3 {l3_gh:.0} tok/s"),
+    });
+    out
+}
+
+/// Render the takeaways as Markdown.
+pub fn render_takeaways(takeaways: &[Takeaway]) -> String {
+    let mut out = String::from("# Insights (computed, §VII)\n");
+    for perspective in ["framework", "accelerator", "model"] {
+        out.push_str(&format!("\n## {perspective}-wise\n\n"));
+        for t in takeaways.iter().filter(|t| t.perspective == perspective) {
+            let mark = if t.supported { "✓" } else { "✗" };
+            out.push_str(&format!(
+                "- [{mark}] {}\n  - evidence: {}\n",
+                t.claim, t.evidence
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_section_vii_takeaways_are_supported_by_the_data() {
+        let ctx = ExperimentContext::new();
+        let ts = takeaways(&ctx);
+        assert!(ts.len() >= 8);
+        for t in &ts {
+            assert!(
+                t.supported,
+                "{} takeaway unsupported: {} ({})",
+                t.perspective, t.claim, t.evidence
+            );
+        }
+    }
+
+    #[test]
+    fn takeaways_cover_all_three_perspectives() {
+        let ctx = ExperimentContext::new();
+        let ts = takeaways(&ctx);
+        for p in ["framework", "accelerator", "model"] {
+            assert!(ts.iter().filter(|t| t.perspective == p).count() >= 2, "{p}");
+        }
+    }
+
+    #[test]
+    fn markdown_rendering_contains_evidence() {
+        let ctx = ExperimentContext::new();
+        let md = render_takeaways(&takeaways(&ctx));
+        assert!(md.contains("## framework-wise"));
+        assert!(md.contains("## accelerator-wise"));
+        assert!(md.contains("## model-wise"));
+        assert!(md.contains("evidence:"));
+        assert!(
+            !md.contains("[✗]"),
+            "an unsupported takeaway leaked in:\n{md}"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Run every registered experiment and assert every shape check — the
+//! machine-checked equivalent of eyeballing each figure against the paper.
+
+use llmib_core::experiments::{all_experiments, ExperimentContext, ExperimentOutput};
+
+#[test]
+fn every_experiment_runs_and_every_shape_check_passes() {
+    let ctx = ExperimentContext::new();
+    let mut failures = Vec::new();
+    let mut total_checks = 0usize;
+    for e in all_experiments() {
+        let out = e.run(&ctx);
+        let checks = e.check(&out);
+        assert!(
+            !checks.is_empty(),
+            "{} has no shape checks — every figure must assert something",
+            e.id()
+        );
+        for c in &checks {
+            total_checks += 1;
+            if !c.passed {
+                failures.push(format!(
+                    "{} [{}]: {} ({})",
+                    e.id(),
+                    e.paper_ref(),
+                    c.claim,
+                    c.detail
+                ));
+            }
+        }
+        // Structural sanity: figures have series, tables have rows.
+        match &out {
+            ExperimentOutput::Figure(f) => {
+                assert!(!f.series.is_empty(), "{}: empty figure", e.id());
+                assert!(
+                    f.series.iter().any(|s| s.y.iter().any(|v| v.is_finite())),
+                    "{}: no finite data at all",
+                    e.id()
+                );
+            }
+            ExperimentOutput::Table(t) => {
+                assert!(!t.rows.is_empty(), "{}: empty table", e.id());
+            }
+        }
+    }
+    assert!(
+        total_checks >= 80,
+        "expected a substantial body of shape checks, got {total_checks}"
+    );
+    assert!(
+        failures.is_empty(),
+        "{} of {} shape checks failed:\n{}",
+        failures.len(),
+        total_checks,
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn parallel_run_all_matches_serial_ids() {
+    let ctx = ExperimentContext::new();
+    let runs = llmib_core::experiments::run_all(&ctx);
+    let mut ids: Vec<&str> = runs.iter().map(|r| r.id.as_str()).collect();
+    ids.sort_unstable();
+    let mut expected: Vec<String> = all_experiments()
+        .iter()
+        .map(|e| e.id().to_string())
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}

@@ -1,0 +1,282 @@
+//! Self-attention with KV caching, supporting both MHSA and GQA.
+
+use crate::config::EngineConfig;
+use crate::model::Linear;
+use crate::tensor::{rope_in_place, softmax_in_place};
+
+/// Per-layer key/value cache. Keys/values are stored position-major
+/// (`pos * kv_dim + i`).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    kv_dim: usize,
+    keys: Vec<Vec<f32>>,
+    vals: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    /// Empty cache for `layers` layers with the given KV width.
+    pub fn new(layers: usize, kv_dim: usize) -> Self {
+        Self {
+            kv_dim,
+            keys: vec![Vec::new(); layers],
+            vals: vec![Vec::new(); layers],
+        }
+    }
+
+    /// Cached positions (same across layers).
+    pub fn len(&self) -> usize {
+        self.keys[0].len() / self.kv_dim
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one position's K and V for a layer.
+    pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), self.kv_dim);
+        assert_eq!(v.len(), self.kv_dim);
+        self.keys[layer].extend_from_slice(k);
+        self.vals[layer].extend_from_slice(v);
+    }
+
+    /// Discard cached positions beyond `len` (speculative-decoding
+    /// rollback after a rejected draft token).
+    pub fn truncate(&mut self, len: usize) {
+        for l in 0..self.keys.len() {
+            self.keys[l].truncate(len * self.kv_dim);
+            self.vals[l].truncate(len * self.kv_dim);
+        }
+    }
+
+    /// Bytes held by the cache.
+    pub fn bytes(&self) -> usize {
+        self.keys
+            .iter()
+            .chain(self.vals.iter())
+            .map(|v| v.len() * 4)
+            .sum()
+    }
+
+    fn key_at(&self, layer: usize, pos: usize) -> &[f32] {
+        &self.keys[layer][pos * self.kv_dim..(pos + 1) * self.kv_dim]
+    }
+
+    fn val_at(&self, layer: usize, pos: usize) -> &[f32] {
+        &self.vals[layer][pos * self.kv_dim..(pos + 1) * self.kv_dim]
+    }
+}
+
+/// One attention module (Q, K, V, O projections).
+#[derive(Debug, Clone)]
+pub struct Attention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    rope_theta: f32,
+    sliding_window: Option<usize>,
+}
+
+impl Attention {
+    /// Build with seeded random weights.
+    pub fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+        let h = cfg.hidden;
+        let kv = cfg.kv_dim();
+        let scale = (6.0 / (2.0 * h as f32)).sqrt();
+        Self {
+            wq: Linear::random(h, h, seed, scale, quantized),
+            wk: Linear::random(kv, h, seed.wrapping_add(1), scale, quantized),
+            wv: Linear::random(kv, h, seed.wrapping_add(2), scale, quantized),
+            wo: Linear::random(h, h, seed.wrapping_add(3), scale, quantized),
+            heads: cfg.heads,
+            kv_heads: cfg.kv_heads,
+            head_dim: cfg.head_dim(),
+            rope_theta: cfg.rope_theta,
+            sliding_window: cfg.sliding_window,
+        }
+    }
+
+    /// Forward one token at absolute position `pos`, reading and
+    /// extending the cache for `layer`.
+    pub fn forward(&self, x: &[f32], pos: usize, layer: usize, cache: &mut KvCache) -> Vec<f32> {
+        let d = self.head_dim;
+        let mut q = self.wq.matmul_vec(x);
+        let mut k = self.wk.matmul_vec(x);
+        let v = self.wv.matmul_vec(x);
+
+        for h in 0..self.heads {
+            rope_in_place(&mut q[h * d..(h + 1) * d], pos, self.rope_theta);
+        }
+        for h in 0..self.kv_heads {
+            rope_in_place(&mut k[h * d..(h + 1) * d], pos, self.rope_theta);
+        }
+        cache.append(layer, &k, &v);
+
+        let positions = cache.len();
+        // Sliding-window attention (Mistral-style): attend only to the
+        // most recent `window` positions.
+        let start = match self.sliding_window {
+            Some(w) => positions.saturating_sub(w),
+            None => 0,
+        };
+        let span = positions - start;
+        let group = self.heads / self.kv_heads;
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+        let mut out = vec![0.0f32; self.heads * d];
+        let mut scores = vec![0.0f32; span];
+        for h in 0..self.heads {
+            let kvh = h / group;
+            let qh = &q[h * d..(h + 1) * d];
+            for (i, score) in scores.iter_mut().enumerate() {
+                let kt = &cache.key_at(layer, start + i)[kvh * d..(kvh + 1) * d];
+                *score = qh.iter().zip(kt).map(|(a, b)| a * b).sum::<f32>() * inv_sqrt_d;
+            }
+            softmax_in_place(&mut scores);
+            let oh = &mut out[h * d..(h + 1) * d];
+            for (i, &w) in scores.iter().enumerate() {
+                let vt = &cache.val_at(layer, start + i)[kvh * d..(kvh + 1) * d];
+                for (o, vv) in oh.iter_mut().zip(vt) {
+                    *o += w * vv;
+                }
+            }
+        }
+        self.wo.matmul_vec(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_roundtrip_and_truncate() {
+        let mut c = KvCache::new(2, 4);
+        assert!(c.is_empty());
+        c.append(0, &[1.0; 4], &[2.0; 4]);
+        c.append(1, &[1.0; 4], &[2.0; 4]);
+        c.append(0, &[3.0; 4], &[4.0; 4]);
+        c.append(1, &[3.0; 4], &[4.0; 4]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.key_at(0, 1), &[3.0; 4]);
+        assert_eq!(c.bytes(), 2 * 2 * 2 * 4 * 4);
+        c.truncate(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.val_at(1, 0), &[2.0; 4]);
+    }
+
+    #[test]
+    fn attention_output_is_deterministic() {
+        let cfg = EngineConfig::tiny();
+        let attn = Attention::new(&cfg, 7, false);
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.1).sin()).collect();
+        let mut c1 = KvCache::new(1, cfg.kv_dim());
+        let mut c2 = KvCache::new(1, cfg.kv_dim());
+        let y1 = attn.forward(&x, 0, 0, &mut c1);
+        let y2 = attn.forward(&x, 0, 0, &mut c2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn gqa_group1_matches_structure_of_mhsa() {
+        // With kv_heads == heads the GQA code path degenerates to MHSA:
+        // same cache growth per position and same output length.
+        let cfg = EngineConfig::tiny();
+        let attn = Attention::new(&cfg, 3, false);
+        let mut cache = KvCache::new(1, cfg.kv_dim());
+        let x = vec![0.3f32; cfg.hidden];
+        let y = attn.forward(&x, 0, 0, &mut cache);
+        assert_eq!(y.len(), cfg.hidden);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), 2 * cfg.kv_dim() * 4);
+    }
+
+    #[test]
+    fn gqa_cache_is_smaller_than_mhsa() {
+        let mhsa = EngineConfig::tiny();
+        let gqa = EngineConfig::tiny_gqa();
+        let am = Attention::new(&mhsa, 3, false);
+        let ag = Attention::new(&gqa, 3, false);
+        let mut cm = KvCache::new(1, mhsa.kv_dim());
+        let mut cg = KvCache::new(1, gqa.kv_dim());
+        let x = vec![0.5f32; mhsa.hidden];
+        for pos in 0..8 {
+            am.forward(&x, pos, 0, &mut cm);
+            ag.forward(&x, pos, 0, &mut cg);
+        }
+        // tiny_gqa has 1 KV head vs 4: cache is 4x smaller.
+        assert_eq!(cm.bytes(), 4 * cg.bytes());
+    }
+
+    #[test]
+    fn sliding_window_ignores_distant_history() {
+        // Two different histories that agree on the last `window` tokens
+        // must produce identical outputs under windowed attention...
+        let cfg = EngineConfig::tiny_swa(2);
+        let attn = Attention::new(&cfg, 21, false);
+        let recent = [vec![0.5f32; cfg.hidden], vec![-0.2f32; cfg.hidden]];
+        let old_a = vec![0.9f32; cfg.hidden];
+        let old_b = vec![-0.9f32; cfg.hidden];
+        let x = vec![0.1f32; cfg.hidden];
+        let run = |old: &Vec<f32>| {
+            let mut c = KvCache::new(1, cfg.kv_dim());
+            attn.forward(old, 0, 0, &mut c);
+            attn.forward(&recent[0], 1, 0, &mut c);
+            attn.forward(&recent[1], 2, 0, &mut c);
+            attn.forward(&x, 3, 0, &mut c)
+        };
+        // The window covers positions {2, 3}: position 0 is out of range
+        // once x lands at position 3... but position 1 leaves the window
+        // only at span > 2. With window 2 and 4 positions cached, start=2.
+        assert_eq!(run(&old_a), run(&old_b));
+
+        // ...while full attention distinguishes them.
+        let full = Attention::new(&EngineConfig::tiny(), 21, false);
+        let run_full = |old: &Vec<f32>| {
+            let mut c = KvCache::new(1, EngineConfig::tiny().kv_dim());
+            full.forward(old, 0, 0, &mut c);
+            full.forward(&recent[0], 1, 0, &mut c);
+            full.forward(&recent[1], 2, 0, &mut c);
+            full.forward(&x, 3, 0, &mut c)
+        };
+        assert_ne!(run_full(&old_a), run_full(&old_b));
+    }
+
+    #[test]
+    fn window_larger_than_context_matches_full_attention() {
+        let full_cfg = EngineConfig::tiny();
+        let swa_cfg = EngineConfig::tiny_swa(64);
+        let a_full = Attention::new(&full_cfg, 5, false);
+        let a_swa = Attention::new(&swa_cfg, 5, false);
+        let x = vec![0.3f32; full_cfg.hidden];
+        let mut c1 = KvCache::new(1, full_cfg.kv_dim());
+        let mut c2 = KvCache::new(1, swa_cfg.kv_dim());
+        for pos in 0..6 {
+            let y1 = a_full.forward(&x, pos, 0, &mut c1);
+            let y2 = a_swa.forward(&x, pos, 0, &mut c2);
+            assert_eq!(y1, y2, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn attention_attends_to_history() {
+        // Feeding different histories must change the output for the
+        // same current token.
+        let cfg = EngineConfig::tiny();
+        let attn = Attention::new(&cfg, 11, false);
+        let a = vec![0.9f32; cfg.hidden];
+        let b = vec![-0.9f32; cfg.hidden];
+        let x = vec![0.1f32; cfg.hidden];
+        let mut c1 = KvCache::new(1, cfg.kv_dim());
+        attn.forward(&a, 0, 0, &mut c1);
+        let y1 = attn.forward(&x, 1, 0, &mut c1);
+        let mut c2 = KvCache::new(1, cfg.kv_dim());
+        attn.forward(&b, 0, 0, &mut c2);
+        let y2 = attn.forward(&x, 1, 0, &mut c2);
+        assert_ne!(y1, y2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Batched decoding: many sequences stepped together, with mid-stream
+//! admission — the engine-level realization of continuous batching
+//! (§IV-A1). Each sequence owns its KV cache, so a decode step is
+//! embarrassingly parallel across sequences (rayon).
+
+use crate::attention::KvCache;
+use crate::model::TransformerModel;
+use crate::sampler::Sampler;
+use llmib_types::{Error, Result};
+use rayon::prelude::*;
+
+/// One live sequence in a batch session.
+#[derive(Debug)]
+struct SeqState {
+    id: u64,
+    tokens: Vec<usize>,
+    remaining: usize,
+    cache: KvCache,
+    sampler: Sampler,
+    logits: Vec<f32>,
+}
+
+/// An emitted token event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// Sequence id.
+    pub seq: u64,
+    /// The generated token.
+    pub token: usize,
+    /// Whether the sequence finished with this token.
+    pub finished: bool,
+}
+
+/// A continuous-batching session over one model: sequences join at any
+/// step boundary and leave when their budget is exhausted.
+#[derive(Debug)]
+pub struct BatchSession<'m> {
+    model: &'m TransformerModel,
+    seqs: Vec<SeqState>,
+}
+
+impl<'m> BatchSession<'m> {
+    /// Empty session over `model`.
+    pub fn new(model: &'m TransformerModel) -> Self {
+        Self {
+            model,
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Live sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the session has no live sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Total KV bytes held across live sequences.
+    pub fn kv_bytes(&self) -> usize {
+        self.seqs.iter().map(|s| s.cache.bytes()).sum()
+    }
+
+    /// Admit a sequence: runs its prefill immediately (in-flight batching
+    /// admits "even if the requests arrive at different times").
+    pub fn admit(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<()> {
+        if prompt.is_empty() {
+            return Err(Error::InvalidConfig("empty prompt".into()));
+        }
+        if self.seqs.iter().any(|s| s.id == id) {
+            return Err(Error::InvalidConfig(format!("sequence {id} already live")));
+        }
+        if prompt.len() + max_new_tokens > self.model.config().max_seq {
+            return Err(Error::InvalidConfig(format!(
+                "sequence {id}: prompt {} + budget {max_new_tokens} exceeds max_seq {}",
+                prompt.len(),
+                self.model.config().max_seq
+            )));
+        }
+        let mut cache = self.model.new_cache();
+        let logits = self.model.prefill(prompt, &mut cache);
+        self.seqs.push(SeqState {
+            id,
+            tokens: prompt.to_vec(),
+            remaining: max_new_tokens,
+            cache,
+            sampler,
+            logits,
+        });
+        Ok(())
+    }
+
+    /// Run one decode step for every live sequence (rayon-parallel),
+    /// returning the emitted tokens. Finished sequences are retired.
+    pub fn step(&mut self) -> Vec<TokenEvent> {
+        let model = self.model;
+        let events: Vec<TokenEvent> = self
+            .seqs
+            .par_iter_mut()
+            .map(|s| {
+                let token = s.sampler.sample(&s.logits);
+                s.tokens.push(token);
+                s.remaining -= 1;
+                let finished = s.remaining == 0;
+                if !finished {
+                    s.logits = model.forward(token, s.tokens.len() - 1, &mut s.cache);
+                }
+                TokenEvent {
+                    seq: s.id,
+                    token,
+                    finished,
+                }
+            })
+            .collect();
+        self.seqs.retain(|s| s.remaining > 0);
+        events
+    }
+
+    /// Drive all live sequences to completion, returning per-sequence
+    /// generated tokens in admission order.
+    pub fn run_to_completion(&mut self) -> Vec<(u64, Vec<usize>)> {
+        let mut out: Vec<(u64, Vec<usize>)> =
+            self.seqs.iter().map(|s| (s.id, Vec::new())).collect();
+        while !self.is_empty() {
+            for ev in self.step() {
+                if let Some((_, toks)) = out.iter_mut().find(|(id, _)| *id == ev.seq) {
+                    toks.push(ev.token);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::generate::{generate, GenerateOptions};
+
+    fn model() -> TransformerModel {
+        TransformerModel::new(EngineConfig::tiny(), false).unwrap()
+    }
+
+    #[test]
+    fn batched_greedy_matches_independent_generation() {
+        let m = model();
+        let prompts: [&[usize]; 3] = [&[1, 2, 3], &[9, 8], &[5, 5, 5, 5]];
+        let mut session = BatchSession::new(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            session.admit(i as u64, p, 12, Sampler::Greedy).unwrap();
+        }
+        let batched = session.run_to_completion();
+        for (i, p) in prompts.iter().enumerate() {
+            let solo = generate(
+                &m,
+                p,
+                GenerateOptions {
+                    max_new_tokens: 12,
+                    use_kv_cache: true,
+                    sampler: Sampler::Greedy,
+                },
+            );
+            assert_eq!(batched[i].1, solo.tokens, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn mid_stream_admission_is_isolated() {
+        let m = model();
+        let mut session = BatchSession::new(&m);
+        session.admit(0, &[1, 2, 3], 10, Sampler::Greedy).unwrap();
+        // Let sequence 0 run half its budget...
+        let mut seq0 = Vec::new();
+        for _ in 0..5 {
+            for ev in session.step() {
+                seq0.push(ev.token);
+            }
+        }
+        // ...then admit sequence 1 (continuous batching) and finish both.
+        session.admit(1, &[7, 7], 4, Sampler::Greedy).unwrap();
+        assert_eq!(session.len(), 2);
+        let mut seq1 = Vec::new();
+        while !session.is_empty() {
+            for ev in session.step() {
+                match ev.seq {
+                    0 => seq0.push(ev.token),
+                    1 => seq1.push(ev.token),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        // Both sequences must match their solo runs exactly — joining a
+        // batch must not change anyone's output.
+        let solo0 = generate(
+            &m,
+            &[1, 2, 3],
+            GenerateOptions {
+                max_new_tokens: 10,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        let solo1 = generate(
+            &m,
+            &[7, 7],
+            GenerateOptions {
+                max_new_tokens: 4,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        assert_eq!(seq0, solo0.tokens);
+        assert_eq!(seq1, solo1.tokens);
+    }
+
+    #[test]
+    fn finished_sequences_release_kv() {
+        let m = model();
+        let mut session = BatchSession::new(&m);
+        session.admit(0, &[1], 2, Sampler::Greedy).unwrap();
+        session.admit(1, &[2], 8, Sampler::Greedy).unwrap();
+        let before = session.kv_bytes();
+        for _ in 0..3 {
+            session.step();
+        }
+        assert_eq!(session.len(), 1, "sequence 0 should have retired");
+        assert!(session.kv_bytes() > 0);
+        // The retired sequence's cache is gone; only seq 1's (longer than
+        // before, but a single sequence) remains.
+        assert!(session.kv_bytes() < before * 4);
+    }
+
+    #[test]
+    fn admission_errors() {
+        let m = model();
+        let mut session = BatchSession::new(&m);
+        assert!(session.admit(0, &[], 4, Sampler::Greedy).is_err());
+        session.admit(0, &[1], 4, Sampler::Greedy).unwrap();
+        assert!(session.admit(0, &[1], 4, Sampler::Greedy).is_err());
+        let too_long = vec![1usize; 200];
+        assert!(session.admit(1, &too_long, 100, Sampler::Greedy).is_err());
+    }
+
+    #[test]
+    fn events_flag_completion() {
+        let m = model();
+        let mut session = BatchSession::new(&m);
+        session.admit(0, &[3], 1, Sampler::Greedy).unwrap();
+        let events = session.step();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].finished);
+        assert!(session.is_empty());
+    }
+}

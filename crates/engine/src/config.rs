@@ -1,0 +1,209 @@
+//! Engine model configuration: a laptop-scale analog of a Table I row.
+
+use llmib_models::{AttentionKind, FfnKind, ModelConfig, ModelId};
+
+/// Configuration of an executable engine model. Semantically identical to
+/// [`llmib_models::ModelConfig`] but with dimensions small enough to run
+/// in milliseconds on a CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Query heads.
+    pub heads: usize,
+    /// KV heads (GQA when `< heads`).
+    pub kv_heads: usize,
+    /// FFN intermediate dimension.
+    pub intermediate: usize,
+    /// Stored experts (1 = dense).
+    pub num_experts: usize,
+    /// Experts active per token.
+    pub active_experts: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+    /// Sliding-window attention span (App. A: "Mistral-7B features
+    /// sliding window attention"); `None` = full causal attention.
+    pub sliding_window: Option<usize>,
+    /// RoPE theta.
+    pub rope_theta: f32,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Small config for unit tests (dense MHSA).
+    pub fn tiny() -> Self {
+        Self {
+            vocab: 128,
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads: 4,
+            intermediate: 64,
+            num_experts: 1,
+            active_experts: 1,
+            max_seq: 128,
+            sliding_window: None,
+            rope_theta: 10000.0,
+            seed: 42,
+        }
+    }
+
+    /// Small sliding-window-attention variant (Mistral-style).
+    pub fn tiny_swa(window: usize) -> Self {
+        Self {
+            sliding_window: Some(window),
+            ..Self::tiny()
+        }
+    }
+
+    /// Small GQA variant.
+    pub fn tiny_gqa() -> Self {
+        Self {
+            kv_heads: 1,
+            ..Self::tiny()
+        }
+    }
+
+    /// Small MoE variant (4 experts, top-2).
+    pub fn tiny_moe() -> Self {
+        Self {
+            num_experts: 4,
+            active_experts: 2,
+            ..Self::tiny()
+        }
+    }
+
+    /// Laptop-scale analog of a Table I model: preserves the attention
+    /// type, GQA group factor, FFN/hidden ratio, expert structure and the
+    /// *relative* vocabulary size, shrunk to `hidden` units.
+    pub fn scaled_from(id: ModelId, hidden: usize, seed: u64) -> Self {
+        let m: ModelConfig = id.config();
+        let heads = 4usize;
+        let kv_heads = match m.attention {
+            AttentionKind::Mhsa => heads,
+            AttentionKind::Gqa => (heads / m.gqa_group_factor() as usize).max(1),
+        };
+        let inter = (hidden as f64 * f64::from(m.intermediate) / f64::from(m.hidden))
+            .round()
+            .max(1.0) as usize;
+        // Vocabulary shrinks to ~1/250th, floor 64, preserving relative
+        // vocab-size differences between models.
+        let vocab = ((m.vocab as f64 / 250.0).round() as usize).max(64);
+        let (num_experts, active_experts) = match m.ffn {
+            FfnKind::Dense => (1, 1),
+            FfnKind::Moe => (m.num_experts as usize, m.active_experts as usize),
+        };
+        // Mistral's 4096-token window is 1/8 of its 32768 context;
+        // preserve the ratio at engine scale.
+        let sliding_window = (id == ModelId::Mistral7b).then_some(64);
+        Self {
+            vocab,
+            hidden,
+            layers: 4,
+            heads,
+            kv_heads,
+            intermediate: inter,
+            num_experts,
+            active_experts,
+            max_seq: 512,
+            sliding_window,
+            rope_theta: 10000.0,
+            seed,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// KV projection width.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> llmib_types::Result<()> {
+        use llmib_types::Error;
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(Error::InvalidConfig(
+                "hidden must be divisible by heads".into(),
+            ));
+        }
+        if !self.heads.is_multiple_of(self.kv_heads) {
+            return Err(Error::InvalidConfig(
+                "heads must be divisible by kv_heads".into(),
+            ));
+        }
+        if !self.head_dim().is_multiple_of(2) {
+            return Err(Error::InvalidConfig(
+                "head_dim must be even for RoPE".into(),
+            ));
+        }
+        if self.active_experts == 0 || self.active_experts > self.num_experts {
+            return Err(Error::InvalidConfig("bad expert counts".into()));
+        }
+        if self.sliding_window == Some(0) {
+            return Err(Error::InvalidConfig(
+                "sliding window must be at least 1 token".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_configs_validate() {
+        EngineConfig::tiny().validate().unwrap();
+        EngineConfig::tiny_gqa().validate().unwrap();
+        EngineConfig::tiny_moe().validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_preserves_attention_structure() {
+        let l2 = EngineConfig::scaled_from(ModelId::Llama2_7b, 64, 1);
+        let l3 = EngineConfig::scaled_from(ModelId::Llama3_8b, 64, 1);
+        let mix = EngineConfig::scaled_from(ModelId::Mixtral8x7b, 64, 1);
+        assert_eq!(l2.kv_heads, l2.heads, "LLaMA-2-7B is MHSA");
+        assert_eq!(l3.heads / l3.kv_heads, 4, "LLaMA-3-8B group factor 4");
+        assert_eq!(mix.num_experts, 8);
+        assert_eq!(mix.active_experts, 2);
+        // LLaMA-3's vocab is 4x Mistral's; the scaled analogs preserve it.
+        let mi = EngineConfig::scaled_from(ModelId::Mistral7b, 64, 1);
+        assert!(l3.vocab > 3 * mi.vocab);
+        l2.validate().unwrap();
+        l3.validate().unwrap();
+        mix.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = EngineConfig::tiny();
+        c.kv_heads = 3;
+        assert!(c.validate().is_err());
+        let mut c2 = EngineConfig::tiny();
+        c2.hidden = 33;
+        assert!(c2.validate().is_err());
+        let mut c3 = EngineConfig::tiny();
+        c3.sliding_window = Some(0);
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn mistral_analog_gets_a_sliding_window() {
+        let mi = EngineConfig::scaled_from(ModelId::Mistral7b, 64, 1);
+        assert_eq!(mi.sliding_window, Some(64));
+        let l3 = EngineConfig::scaled_from(ModelId::Llama3_8b, 64, 1);
+        assert_eq!(l3.sliding_window, None);
+        mi.validate().unwrap();
+    }
+}

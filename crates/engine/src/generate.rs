@@ -1,0 +1,346 @@
+//! Generation loops: plain autoregressive (with or without KV caching)
+//! and speculative decoding with a draft model.
+
+use crate::model::TransformerModel;
+use crate::sampler::Sampler;
+use std::time::{Duration, Instant};
+
+/// Options for plain generation.
+#[derive(Debug, Clone)]
+pub struct GenerateOptions {
+    /// Tokens to generate.
+    pub max_new_tokens: usize,
+    /// Whether to reuse past K/V (disabled = the §IV-B1 ablation: the
+    /// full prefix is re-processed every step).
+    pub use_kv_cache: bool,
+    /// Sampling strategy.
+    pub sampler: Sampler,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        Self {
+            max_new_tokens: 16,
+            use_kv_cache: true,
+            sampler: Sampler::Greedy,
+        }
+    }
+}
+
+/// Output of a generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationResult {
+    /// Generated token ids (excluding the prompt).
+    pub tokens: Vec<usize>,
+    /// Wall-clock time processing the prompt.
+    pub prefill_time: Duration,
+    /// Wall-clock time generating tokens.
+    pub decode_time: Duration,
+    /// Forward passes executed (measures recompute waste without cache).
+    pub forward_passes: usize,
+    /// Draft tokens accepted (speculative decoding only).
+    pub accepted_draft_tokens: usize,
+    /// Draft-verify cycles executed (speculative decoding only).
+    pub cycles: usize,
+}
+
+impl GenerationResult {
+    /// Decode throughput in tokens per second of wall-clock time.
+    pub fn decode_tokens_per_s(&self) -> f64 {
+        if self.decode_time.is_zero() {
+            return 0.0;
+        }
+        self.tokens.len() as f64 / self.decode_time.as_secs_f64()
+    }
+}
+
+/// Autoregressive generation.
+pub fn generate(
+    model: &TransformerModel,
+    prompt: &[usize],
+    mut opts: GenerateOptions,
+) -> GenerationResult {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let mut tokens: Vec<usize> = prompt.to_vec();
+    let mut out = Vec::with_capacity(opts.max_new_tokens);
+    let mut forward_passes = 0usize;
+
+    let t0 = Instant::now();
+    let mut cache = model.new_cache();
+    let mut logits = model.prefill(prompt, &mut cache);
+    forward_passes += prompt.len();
+    let prefill_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    for _ in 0..opts.max_new_tokens {
+        let next = opts.sampler.sample(&logits);
+        out.push(next);
+        tokens.push(next);
+        if tokens.len() >= model.config().max_seq {
+            break;
+        }
+        if opts.use_kv_cache {
+            logits = model.forward(next, tokens.len() - 1, &mut cache);
+            forward_passes += 1;
+        } else {
+            // §IV-B1: "the model must recompute attention heads for all
+            // previous tokens for new token generation".
+            let mut fresh = model.new_cache();
+            logits = model.prefill(&tokens, &mut fresh);
+            forward_passes += tokens.len();
+        }
+    }
+    GenerationResult {
+        tokens: out,
+        prefill_time,
+        decode_time: t1.elapsed(),
+        forward_passes,
+        accepted_draft_tokens: 0,
+        cycles: 0,
+    }
+}
+
+/// Greedy speculative decoding (§IV-B5): `draft` proposes `lookahead`
+/// tokens which `target` verifies; accepted prefixes commit in one pass.
+/// With greedy verification the output is *identical* to plain greedy
+/// decoding of the target model — asserted by tests.
+pub fn generate_speculative(
+    target: &TransformerModel,
+    draft: &TransformerModel,
+    prompt: &[usize],
+    max_new_tokens: usize,
+    lookahead: usize,
+) -> GenerationResult {
+    assert!(!prompt.is_empty());
+    assert!(lookahead >= 1);
+    assert_eq!(
+        target.config().vocab,
+        draft.config().vocab,
+        "draft and target must share a vocabulary"
+    );
+    let mut greedy = Sampler::Greedy;
+    let mut tokens: Vec<usize> = prompt.to_vec();
+    let mut out: Vec<usize> = Vec::with_capacity(max_new_tokens);
+    let mut accepted_draft = 0usize;
+    let mut cycles = 0usize;
+    let mut forward_passes = 0usize;
+
+    let t0 = Instant::now();
+    let mut tcache = target.new_cache();
+    let mut dcache = draft.new_cache();
+    let mut tlogits = target.prefill(&tokens, &mut tcache);
+    let mut dlogits = draft.prefill(&tokens, &mut dcache);
+    forward_passes += 2 * tokens.len();
+    let prefill_time = t0.elapsed();
+
+    let limit = target.config().max_seq.min(draft.config().max_seq);
+
+    let t1 = Instant::now();
+    'outer: while out.len() < max_new_tokens && tokens.len() < limit {
+        cycles += 1;
+        // --- Draft proposes up to `lookahead` tokens ---
+        let mut proposal = Vec::with_capacity(lookahead);
+        let mut dl = dlogits.clone();
+        for i in 0..lookahead {
+            if tokens.len() + proposal.len() + 1 >= limit
+                || out.len() + proposal.len() >= max_new_tokens
+            {
+                break;
+            }
+            let tok = greedy.sample(&dl);
+            proposal.push(tok);
+            if i + 1 < lookahead {
+                dl = draft.forward(tok, tokens.len() + proposal.len() - 1, &mut dcache);
+                forward_passes += 1;
+            }
+        }
+
+        // --- Target verifies the proposal token by token ---
+        // `tlogits` holds the target's prediction for the next position.
+        let mut accepted_now = 0usize;
+        for &tok in &proposal {
+            let target_tok = greedy.sample(&tlogits);
+            if target_tok == tok {
+                // Accept: commit and advance both models.
+                tokens.push(tok);
+                out.push(tok);
+                accepted_now += 1;
+                accepted_draft += 1;
+                tlogits = target.forward(tok, tokens.len() - 1, &mut tcache);
+                forward_passes += 1;
+                if out.len() >= max_new_tokens || tokens.len() >= limit {
+                    // Roll the draft cache back to committed history.
+                    dcache.truncate(tokens.len().saturating_sub(1));
+                    break 'outer;
+                }
+            } else {
+                // Reject: take the target's token instead.
+                tokens.push(target_tok);
+                out.push(target_tok);
+                tlogits = target.forward(target_tok, tokens.len() - 1, &mut tcache);
+                forward_passes += 1;
+                break;
+            }
+        }
+        if accepted_now == proposal.len() && !proposal.is_empty() {
+            // Everything accepted: target also emits its own next token
+            // ("bonus" token of speculative decoding).
+            let bonus = greedy.sample(&tlogits);
+            tokens.push(bonus);
+            out.push(bonus);
+            tlogits = target.forward(bonus, tokens.len() - 1, &mut tcache);
+            forward_passes += 1;
+        }
+        // --- Resynchronize the draft cache with committed history ---
+        dcache.truncate(tokens.len() - 1);
+        let last = *tokens.last().expect("non-empty");
+        // Replay any missing positions for the draft.
+        while dcache.len() < tokens.len() - 1 {
+            let pos = dcache.len();
+            draft.forward(tokens[pos], pos, &mut dcache);
+            forward_passes += 1;
+        }
+        dlogits = draft.forward(last, tokens.len() - 1, &mut dcache);
+        forward_passes += 1;
+    }
+    out.truncate(max_new_tokens);
+
+    GenerationResult {
+        tokens: out,
+        prefill_time,
+        decode_time: t1.elapsed(),
+        forward_passes,
+        accepted_draft_tokens: accepted_draft,
+        cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn model(cfg: EngineConfig) -> TransformerModel {
+        TransformerModel::new(cfg, false).unwrap()
+    }
+
+    #[test]
+    fn cached_and_uncached_greedy_agree() {
+        // The central KV-cache correctness property (§IV-B1): caching is
+        // an optimization, not an approximation.
+        for cfg in [
+            EngineConfig::tiny(),
+            EngineConfig::tiny_gqa(),
+            EngineConfig::tiny_moe(),
+        ] {
+            let m = model(cfg);
+            let prompt = [1usize, 5, 9, 2];
+            let with = generate(
+                &m,
+                &prompt,
+                GenerateOptions {
+                    max_new_tokens: 12,
+                    use_kv_cache: true,
+                    sampler: Sampler::Greedy,
+                },
+            );
+            let without = generate(
+                &m,
+                &prompt,
+                GenerateOptions {
+                    max_new_tokens: 12,
+                    use_kv_cache: false,
+                    sampler: Sampler::Greedy,
+                },
+            );
+            assert_eq!(with.tokens, without.tokens);
+            // Without the cache, far more forward passes are executed.
+            assert!(without.forward_passes > 3 * with.forward_passes);
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let m = model(EngineConfig::tiny());
+        let a = generate(&m, &[3, 1, 4], GenerateOptions::default());
+        let b = generate(&m, &[3, 1, 4], GenerateOptions::default());
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.tokens.len(), 16);
+    }
+
+    #[test]
+    fn topk_sampling_is_seeded() {
+        let m = model(EngineConfig::tiny());
+        let opts = |seed| GenerateOptions {
+            max_new_tokens: 10,
+            use_kv_cache: true,
+            sampler: Sampler::top_k(8, 1.0, seed),
+        };
+        let a = generate(&m, &[2, 7], opts(1));
+        let b = generate(&m, &[2, 7], opts(1));
+        let c = generate(&m, &[2, 7], opts(2));
+        assert_eq!(a.tokens, b.tokens);
+        assert_ne!(a.tokens, c.tokens);
+    }
+
+    #[test]
+    fn speculative_matches_plain_greedy_exactly() {
+        // Greedy speculative decoding is lossless: same tokens out.
+        let target = model(EngineConfig::tiny());
+        // Draft: smaller sibling with a different seed but same vocab.
+        let draft_cfg = EngineConfig {
+            layers: 1,
+            hidden: 16,
+            heads: 2,
+            kv_heads: 2,
+            intermediate: 32,
+            seed: 7,
+            ..EngineConfig::tiny()
+        };
+        let draft = model(draft_cfg);
+        let prompt = [1usize, 2, 3];
+        let plain = generate(
+            &target,
+            &prompt,
+            GenerateOptions {
+                max_new_tokens: 20,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        for lookahead in [1, 2, 4] {
+            let sd = generate_speculative(&target, &draft, &prompt, 20, lookahead);
+            assert_eq!(sd.tokens, plain.tokens, "lookahead {lookahead}");
+            assert!(sd.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn self_draft_accepts_everything() {
+        // Drafting with the target itself accepts every proposal.
+        let m = model(EngineConfig::tiny());
+        let sd = generate_speculative(&m, &m, &[4, 4, 2], 12, 4);
+        assert_eq!(sd.tokens.len(), 12);
+        // Every non-bonus token came from the draft.
+        assert!(sd.accepted_draft_tokens >= sd.tokens.len() / 2);
+        // Few cycles needed: each commits lookahead+1 tokens.
+        assert!(sd.cycles <= 4, "cycles {}", sd.cycles);
+    }
+
+    #[test]
+    fn respects_max_seq() {
+        let mut cfg = EngineConfig::tiny();
+        cfg.max_seq = 8;
+        let m = model(cfg);
+        let r = generate(
+            &m,
+            &[1, 2, 3],
+            GenerateOptions {
+                max_new_tokens: 50,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        assert!(r.tokens.len() + 3 <= 8);
+    }
+}

@@ -1,0 +1,225 @@
+//! The decoder-only transformer model.
+
+use crate::attention::{Attention, KvCache};
+use crate::config::EngineConfig;
+use crate::moe::MoeFfn;
+use crate::quant::QuantizedLinear;
+use crate::tensor::{matmul_vec, rmsnorm, Matrix};
+
+/// A linear layer in either full or INT8 precision.
+#[derive(Debug, Clone)]
+pub enum Linear {
+    /// f32 weights.
+    F32(Matrix),
+    /// INT8 weights with per-row scales.
+    Int8(QuantizedLinear),
+}
+
+impl Linear {
+    /// Seeded random layer, optionally quantized.
+    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32, quantized: bool) -> Self {
+        let w = Matrix::random(rows, cols, seed, scale);
+        if quantized {
+            Linear::Int8(QuantizedLinear::quantize(&w))
+        } else {
+            Linear::F32(w)
+        }
+    }
+
+    /// `y = W · x`.
+    pub fn matmul_vec(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Linear::F32(w) => matmul_vec(w, x),
+            Linear::Int8(q) => q.matmul_vec(x),
+        }
+    }
+}
+
+/// One decoder layer: pre-norm attention + pre-norm FFN, residual both.
+#[derive(Debug, Clone)]
+pub struct DecoderBlock {
+    attn: Attention,
+    ffn: MoeFfn,
+    attn_norm: Vec<f32>,
+    ffn_norm: Vec<f32>,
+}
+
+impl DecoderBlock {
+    fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+        Self {
+            attn: Attention::new(cfg, seed, quantized),
+            ffn: MoeFfn::new(cfg, seed.wrapping_add(50), quantized),
+            attn_norm: vec![1.0; cfg.hidden],
+            ffn_norm: vec![1.0; cfg.hidden],
+        }
+    }
+
+    fn forward(&self, x: &mut [f32], pos: usize, layer: usize, cache: &mut KvCache) {
+        let normed = rmsnorm(x, &self.attn_norm, 1e-6);
+        let attn_out = self.attn.forward(&normed, pos, layer, cache);
+        for (a, b) in x.iter_mut().zip(&attn_out) {
+            *a += b;
+        }
+        let normed = rmsnorm(x, &self.ffn_norm, 1e-6);
+        let ffn_out = self.ffn.forward(&normed);
+        for (a, b) in x.iter_mut().zip(&ffn_out) {
+            *a += b;
+        }
+    }
+
+    /// The FFN block (exposed for routing statistics in tests/examples).
+    pub fn ffn(&self) -> &MoeFfn {
+        &self.ffn
+    }
+}
+
+/// A runnable decoder-only transformer with seeded random weights.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    config: EngineConfig,
+    embedding: Matrix,
+    blocks: Vec<DecoderBlock>,
+    final_norm: Vec<f32>,
+    lm_head: Linear,
+}
+
+impl TransformerModel {
+    /// Build a model from a config; `quantized` uses INT8 weights for all
+    /// projection matrices (embeddings and norms stay f32).
+    pub fn new(config: EngineConfig, quantized: bool) -> llmib_types::Result<Self> {
+        config.validate()?;
+        let embed_scale = (1.0 / config.hidden as f32).sqrt();
+        let embedding = Matrix::random(config.vocab, config.hidden, config.seed, embed_scale);
+        let blocks = (0..config.layers)
+            .map(|l| {
+                DecoderBlock::new(
+                    &config,
+                    config.seed.wrapping_add(1000 * (l as u64 + 1)),
+                    quantized,
+                )
+            })
+            .collect();
+        let lm_head = Linear::random(
+            config.vocab,
+            config.hidden,
+            config.seed.wrapping_add(999_999),
+            embed_scale,
+            quantized,
+        );
+        Ok(Self {
+            final_norm: vec![1.0; config.hidden],
+            config,
+            embedding,
+            blocks,
+            lm_head,
+        })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// A fresh, empty KV cache sized for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.config.layers, self.config.kv_dim())
+    }
+
+    /// Forward one token at position `pos`, returning vocabulary logits.
+    pub fn forward(&self, token: usize, pos: usize, cache: &mut KvCache) -> Vec<f32> {
+        assert!(token < self.config.vocab, "token id out of range");
+        assert!(pos < self.config.max_seq, "position beyond max_seq");
+        let mut x = self.embedding.row(token).to_vec();
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward(&mut x, pos, l, cache);
+        }
+        let normed = rmsnorm(&x, &self.final_norm, 1e-6);
+        self.lm_head.matmul_vec(&normed)
+    }
+
+    /// Process a whole prompt, returning the logits after its last token.
+    pub fn prefill(&self, prompt: &[usize], cache: &mut KvCache) -> Vec<f32> {
+        assert!(!prompt.is_empty());
+        let mut logits = Vec::new();
+        for (pos, &tok) in prompt.iter().enumerate() {
+            logits = self.forward(tok, pos, cache);
+        }
+        logits
+    }
+
+    /// Decoder blocks (read-only).
+    pub fn blocks(&self) -> &[DecoderBlock] {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        let l1 = m.forward(5, 0, &mut c1);
+        let l2 = m.forward(5, 0, &mut c2);
+        assert_eq!(l1, l2);
+        assert_eq!(l1.len(), m.config().vocab);
+    }
+
+    #[test]
+    fn logits_depend_on_history() {
+        let m = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+        let mut c1 = m.new_cache();
+        m.prefill(&[1, 2, 3], &mut c1);
+        let a = m.forward(7, 3, &mut c1);
+        let mut c2 = m.new_cache();
+        m.prefill(&[4, 5, 6], &mut c2);
+        let b = m.forward(7, 3, &mut c2);
+        assert_ne!(a, b, "history must influence next-token logits");
+    }
+
+    #[test]
+    fn quantized_model_close_to_f32() {
+        let cfg = EngineConfig::tiny();
+        let f = TransformerModel::new(cfg.clone(), false).unwrap();
+        let q = TransformerModel::new(cfg, true).unwrap();
+        let mut cf = f.new_cache();
+        let mut cq = q.new_cache();
+        let lf = f.prefill(&[3, 9, 27], &mut cf);
+        let lq = q.prefill(&[3, 9, 27], &mut cq);
+        // Logits track each other: top-1 usually agrees at these scales;
+        // require high cosine similarity rather than exact argmax.
+        let dot: f32 = lf.iter().zip(&lq).map(|(a, b)| a * b).sum();
+        let nf: f32 = lf.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nq: f32 = lq.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let cos = dot / (nf * nq);
+        assert!(cos > 0.98, "cosine similarity {cos}");
+    }
+
+    #[test]
+    fn all_tiny_variants_run() {
+        for cfg in [
+            EngineConfig::tiny(),
+            EngineConfig::tiny_gqa(),
+            EngineConfig::tiny_moe(),
+        ] {
+            let m = TransformerModel::new(cfg, false).unwrap();
+            let mut c = m.new_cache();
+            let logits = m.prefill(&[1, 2, 3, 4], &mut c);
+            assert!(logits.iter().all(|v| v.is_finite()));
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_tokens() {
+        let m = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+        let mut c = m.new_cache();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.forward(usize::MAX, 0, &mut c)
+        }));
+        assert!(r.is_err());
+    }
+}

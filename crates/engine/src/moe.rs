@@ -1,0 +1,175 @@
+//! Feed-forward block: dense SwiGLU or a Mixture-of-Experts of them.
+
+use crate::config::EngineConfig;
+use crate::model::Linear;
+use crate::tensor::{silu, softmax_in_place};
+
+/// One SwiGLU expert: `w2 · (silu(w1·x) ⊙ (w3·x))`.
+#[derive(Debug, Clone)]
+struct Expert {
+    w1: Linear,
+    w2: Linear,
+    w3: Linear,
+}
+
+impl Expert {
+    fn new(hidden: usize, inter: usize, seed: u64, quantized: bool) -> Self {
+        let scale = (6.0 / (hidden + inter) as f32).sqrt();
+        Self {
+            w1: Linear::random(inter, hidden, seed, scale, quantized),
+            w2: Linear::random(hidden, inter, seed.wrapping_add(1), scale, quantized),
+            w3: Linear::random(inter, hidden, seed.wrapping_add(2), scale, quantized),
+        }
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let gate = self.w1.matmul_vec(x);
+        let up = self.w3.matmul_vec(x);
+        let act: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| silu(*g) * u).collect();
+        self.w2.matmul_vec(&act)
+    }
+}
+
+/// Dense FFN (`num_experts == 1`) or a routed Mixture-of-Experts
+/// (Fig. 26: "the usage of different experts is within the MLP block").
+#[derive(Debug, Clone)]
+pub struct MoeFfn {
+    experts: Vec<Expert>,
+    router: Option<Linear>,
+    active: usize,
+}
+
+impl MoeFfn {
+    /// Build with seeded random weights.
+    pub fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+        let experts = (0..cfg.num_experts)
+            .map(|e| {
+                Expert::new(
+                    cfg.hidden,
+                    cfg.intermediate,
+                    seed.wrapping_add(100 * e as u64),
+                    quantized,
+                )
+            })
+            .collect();
+        let router = (cfg.num_experts > 1).then(|| {
+            Linear::random(
+                cfg.num_experts,
+                cfg.hidden,
+                seed.wrapping_add(7777),
+                0.5,
+                false, // routers stay full precision even in INT8 models
+            )
+        });
+        Self {
+            experts,
+            router,
+            active: cfg.active_experts,
+        }
+    }
+
+    /// Top-k expert indices and renormalized routing weights for `x`.
+    pub fn route(&self, x: &[f32]) -> Vec<(usize, f32)> {
+        match &self.router {
+            None => vec![(0, 1.0)],
+            Some(router) => {
+                let mut logits = router.matmul_vec(x);
+                softmax_in_place(&mut logits);
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+                let top = &idx[..self.active];
+                let denom: f32 = top.iter().map(|&i| logits[i]).sum();
+                top.iter().map(|&i| (i, logits[i] / denom)).collect()
+            }
+        }
+    }
+
+    /// Forward through the routed experts.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let routes = self.route(x);
+        let mut out = vec![0.0f32; x.len()];
+        for (e, w) in routes {
+            let y = self.experts[e].forward(x);
+            for (o, v) in out.iter_mut().zip(&y) {
+                *o += w * v;
+            }
+        }
+        out
+    }
+
+    /// Number of stored experts.
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ffn_routes_to_single_expert() {
+        let ffn = MoeFfn::new(&EngineConfig::tiny(), 1, false);
+        let x = vec![0.2f32; 32];
+        assert_eq!(ffn.route(&x), vec![(0, 1.0)]);
+        assert_eq!(ffn.num_experts(), 1);
+    }
+
+    #[test]
+    fn moe_routes_exactly_topk_with_normalized_weights() {
+        let cfg = EngineConfig::tiny_moe();
+        let ffn = MoeFfn::new(&cfg, 1, false);
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.3).cos()).collect();
+        let routes = ffn.route(&x);
+        assert_eq!(routes.len(), 2);
+        let wsum: f32 = routes.iter().map(|(_, w)| w).sum();
+        assert!((wsum - 1.0).abs() < 1e-5);
+        // Distinct experts.
+        assert_ne!(routes[0].0, routes[1].0);
+        // Sorted by weight.
+        assert!(routes[0].1 >= routes[1].1);
+    }
+
+    #[test]
+    fn different_inputs_can_route_differently() {
+        let cfg = EngineConfig::tiny_moe();
+        let ffn = MoeFfn::new(&cfg, 5, false);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..20 {
+            let x: Vec<f32> = (0..cfg.hidden)
+                .map(|i| ((i + s * 13) as f32 * 0.7).sin())
+                .collect();
+            let top = ffn.route(&x)[0].0;
+            seen.insert(top);
+        }
+        assert!(seen.len() > 1, "router collapsed to one expert");
+    }
+
+    #[test]
+    fn moe_output_is_convex_mix_of_expert_outputs() {
+        let cfg = EngineConfig::tiny_moe();
+        let ffn = MoeFfn::new(&cfg, 9, false);
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.17).sin()).collect();
+        let routes = ffn.route(&x);
+        let mut manual = vec![0.0f32; cfg.hidden];
+        for (e, w) in &routes {
+            let y = ffn.experts[*e].forward(&x);
+            for (m, v) in manual.iter_mut().zip(&y) {
+                *m += w * v;
+            }
+        }
+        let out = ffn.forward(&x);
+        for (a, b) in out.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ffn_deterministic_given_seed() {
+        let cfg = EngineConfig::tiny();
+        let a = MoeFfn::new(&cfg, 42, false);
+        let b = MoeFfn::new(&cfg, 42, false);
+        let x = vec![0.4f32; cfg.hidden];
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+}

@@ -1,0 +1,121 @@
+//! INT8 weight-only quantization (per-output-row scales).
+
+use crate::tensor::Matrix;
+use rayon::prelude::*;
+
+/// A linear layer with INT8 weights and per-row dequantization scales.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    rows: usize,
+    cols: usize,
+    weights: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantize an `f32` matrix row-wise: `w_q = round(w / scale)` with
+    /// `scale = max|row| / 127`.
+    pub fn quantize(w: &Matrix) -> Self {
+        let rows = w.rows();
+        let cols = w.cols();
+        let mut weights = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = w.row(r);
+            let maxabs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if maxabs > 0.0 { maxabs / 127.0 } else { 1.0 };
+            scales[r] = scale;
+            for (c, v) in row.iter().enumerate() {
+                weights[r * cols + c] = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self {
+            rows,
+            cols,
+            weights,
+            scales,
+        }
+    }
+
+    /// `y = W_q · x`, accumulating in `i32` against a quantized input and
+    /// dequantizing per row — the classic W8A8 inner loop.
+    pub fn matmul_vec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len());
+        // Quantize activations once (per-tensor scale).
+        let xmax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let xscale = if xmax > 0.0 { xmax / 127.0 } else { 1.0 };
+        let xq: Vec<i8> = x
+            .iter()
+            .map(|v| (v / xscale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        let mut y = vec![0.0f32; self.rows];
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            let row = &self.weights[r * self.cols..(r + 1) * self.cols];
+            let acc: i32 = row
+                .iter()
+                .zip(&xq)
+                .map(|(w, a)| i32::from(*w) * i32::from(*a))
+                .sum();
+            *out = acc as f32 * self.scales[r] * xscale;
+        });
+        y
+    }
+
+    /// Bytes of quantized storage (weights + scales).
+    pub fn storage_bytes(&self) -> usize {
+        self.weights.len() + self.scales.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::matmul_vec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantized_matvec_close_to_f32() {
+        let w = Matrix::random(24, 48, 3, 0.8);
+        let x: Vec<f32> = (0..48).map(|i| ((i * 7) as f32 * 0.11).sin()).collect();
+        let exact = matmul_vec(&w, &x);
+        let q = QuantizedLinear::quantize(&w).matmul_vec(&x);
+        for (a, b) in exact.iter().zip(&q) {
+            let tol = 0.05 * (1.0 + a.abs());
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn storage_is_quarter_of_f32() {
+        let w = Matrix::random(64, 64, 1, 1.0);
+        let q = QuantizedLinear::quantize(&w);
+        let f32_bytes = 64 * 64 * 4;
+        assert!(q.storage_bytes() < f32_bytes / 3);
+    }
+
+    #[test]
+    fn zero_matrix_roundtrips() {
+        let w = Matrix::zeros(4, 4);
+        let q = QuantizedLinear::quantize(&w);
+        let y = q.matmul_vec(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(y.iter().all(|v| *v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn relative_error_bounded(seed in 0u64..50) {
+            let w = Matrix::random(16, 32, seed, 1.0);
+            let x: Vec<f32> = (0..32).map(|i| ((i as f32) * 0.23).cos()).collect();
+            let exact = matmul_vec(&w, &x);
+            let q = QuantizedLinear::quantize(&w).matmul_vec(&x);
+            let norm_e: f32 = exact.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let err: f32 = exact
+                .iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            prop_assert!(err <= 0.05 * norm_e + 1e-3, "err {err} vs norm {norm_e}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Token sampling strategies.
+
+use crate::tensor::softmax_in_place;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling strategy for next-token selection.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Greedy is a unit; TopK carries its RNG by design
+pub enum Sampler {
+    /// Argmax decoding (deterministic; used by every correctness test).
+    Greedy,
+    /// Top-k sampling with temperature, seeded.
+    TopK {
+        /// Candidates retained.
+        k: usize,
+        /// Softmax temperature.
+        temperature: f32,
+        /// RNG state.
+        rng: StdRng,
+    },
+}
+
+impl Sampler {
+    /// Seeded top-k sampler.
+    pub fn top_k(k: usize, temperature: f32, seed: u64) -> Self {
+        assert!(k >= 1);
+        assert!(temperature > 0.0);
+        Sampler::TopK {
+            k,
+            temperature,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pick the next token from logits.
+    pub fn sample(&mut self, logits: &[f32]) -> usize {
+        match self {
+            Sampler::Greedy => argmax(logits),
+            Sampler::TopK {
+                k,
+                temperature,
+                rng,
+            } => {
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
+                idx.truncate(*k);
+                let mut probs: Vec<f32> = idx.iter().map(|&i| logits[i] / *temperature).collect();
+                softmax_in_place(&mut probs);
+                let mut u: f32 = rng.gen_range(0.0..1.0);
+                for (j, p) in probs.iter().enumerate() {
+                    if u < *p {
+                        return idx[j];
+                    }
+                    u -= p;
+                }
+                idx[idx.len() - 1]
+            }
+        }
+    }
+}
+
+fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty logits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut s = Sampler::Greedy;
+        assert_eq!(s.sample(&[0.1, 5.0, -2.0]), 1);
+        assert_eq!(s.sample(&[9.0, 5.0]), 0);
+    }
+
+    #[test]
+    fn topk_stays_within_top_candidates() {
+        let logits = vec![10.0, 9.0, -50.0, -50.0, -50.0];
+        let mut s = Sampler::top_k(2, 1.0, 3);
+        for _ in 0..50 {
+            let t = s.sample(&logits);
+            assert!(t == 0 || t == 1);
+        }
+    }
+
+    #[test]
+    fn topk_seeded_reproducible() {
+        let logits = vec![1.0, 1.1, 0.9, 1.05];
+        let run = |seed| {
+            let mut s = Sampler::top_k(4, 1.0, seed);
+            (0..20).map(|_| s.sample(&logits)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn k1_topk_equals_greedy() {
+        let logits = vec![0.3, 2.0, 1.0];
+        let mut s = Sampler::top_k(1, 0.7, 1);
+        let mut g = Sampler::Greedy;
+        assert_eq!(s.sample(&logits), g.sample(&logits));
+    }
+}

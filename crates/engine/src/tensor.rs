@@ -1,0 +1,257 @@
+//! Minimal dense linear algebra: row-major matrices and the handful of
+//! kernels a decoder-only transformer needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Row-major dense `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from existing row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Seeded uniform random weights in ±`scale` (Xavier-ish when
+    /// `scale = (6/(rows+cols)).sqrt()`).
+    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// `y = W · x` where `W` is `rows × cols` and `x` has `cols` entries.
+/// Rows are computed in parallel with rayon.
+pub fn matmul_vec(w: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.cols(), x.len(), "matmul_vec dimension mismatch");
+    let mut y = vec![0.0f32; w.rows()];
+    y.par_iter_mut().enumerate().for_each(|(r, out)| {
+        let row = w.row(r);
+        // Manual 4-way unroll helps LLVM vectorize reliably.
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let chunks = row.len() / 4 * 4;
+        let mut i = 0;
+        while i < chunks {
+            acc0 += row[i] * x[i];
+            acc1 += row[i + 1] * x[i + 1];
+            acc2 += row[i + 2] * x[i + 2];
+            acc3 += row[i + 3] * x[i + 3];
+            i += 4;
+        }
+        for j in chunks..row.len() {
+            acc0 += row[j] * x[j];
+        }
+        *out = acc0 + acc1 + acc2 + acc3;
+    });
+    y
+}
+
+/// RMSNorm: `x_i * g_i / sqrt(mean(x^2) + eps)`.
+pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len());
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+}
+
+/// SiLU activation `x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// In-place numerically-stable softmax.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Apply rotary position embedding (RoPE) to a head vector in place.
+/// Pairs `(2i, 2i+1)` are rotated by `pos / theta^(2i/d)`.
+pub fn rope_in_place(head: &mut [f32], pos: usize, theta: f32) {
+    let d = head.len();
+    let mut i = 0;
+    while i + 1 < d {
+        let freq = 1.0 / theta.powf(i as f32 / d as f32);
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let (a, b) = (head[i], head[i + 1]);
+        head[i] = a * cos - b * sin;
+        head[i + 1] = a * sin + b * cos;
+        i += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_matmul_vec(w: &Matrix, x: &[f32]) -> Vec<f32> {
+        (0..w.rows())
+            .map(|r| w.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let w = Matrix::random(17, 23, 1, 0.5);
+        let x: Vec<f32> = (0..23).map(|i| (i as f32 * 0.37).sin()).collect();
+        let fast = matmul_vec(&w, &x);
+        let slow = naive_matmul_vec(&w, &x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 8;
+        let mut w = Matrix::zeros(n, n);
+        for i in 0..n {
+            w.row_mut(i)[i] = 1.0;
+        }
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assert_eq!(matmul_vec(&w, &x), x);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_ordered() {
+        let mut x = vec![1.0, 3.0, 2.0, -1.0];
+        softmax_in_place(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[1] > x[2] && x[2] > x[0] && x[0] > x[3]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax_in_place(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_unit_output_scale() {
+        let x = vec![3.0f32; 16];
+        let gain = vec![1.0f32; 16];
+        let y = rmsnorm(&x, &gain, 1e-6);
+        // RMS of constant vector is its magnitude: output ≈ 1 everywhere.
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut head: Vec<f32> = (0..8).map(|i| i as f32 + 1.0).collect();
+        let before: f32 = head.iter().map(|v| v * v).sum();
+        rope_in_place(&mut head, 17, 10000.0);
+        let after: f32 = head.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() / before < 1e-5);
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut head: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let orig = head.clone();
+        rope_in_place(&mut head, 0, 10000.0);
+        assert_eq!(head, orig);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a = Matrix::random(4, 4, 9, 1.0);
+        let b = Matrix::random(4, 4, 9, 1.0);
+        let c = Matrix::random(4, 4, 10, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #[test]
+        fn silu_bounded_below(x in -50.0f32..50.0) {
+            let y = silu(x);
+            prop_assert!(y >= -0.3);
+            prop_assert!(y <= x.max(0.0) + 1e-6);
+        }
+
+        #[test]
+        fn softmax_is_distribution(values in proptest::collection::vec(-20.0f32..20.0, 1..64)) {
+            let mut x = values;
+            softmax_in_place(&mut x);
+            let sum: f32 = x.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+
+        #[test]
+        fn matmul_linearity(seed in 0u64..100, k in 0.1f32..4.0) {
+            let w = Matrix::random(6, 10, seed, 1.0);
+            let x: Vec<f32> = (0..10).map(|i| (i as f32).cos()).collect();
+            let kx: Vec<f32> = x.iter().map(|v| v * k).collect();
+            let y = matmul_vec(&w, &x);
+            let ky = matmul_vec(&w, &kx);
+            for (a, b) in y.iter().zip(&ky) {
+                prop_assert!((a * k - b).abs() < 1e-3 * (1.0 + a.abs() * k.abs()));
+            }
+        }
+    }
+}

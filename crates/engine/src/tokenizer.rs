@@ -1,0 +1,207 @@
+//! A byte-level tokenizer with a merged-pair extension — a minimal,
+//! dependency-free stand-in for the SentencePiece/Tiktoken tokenizers the
+//! paper's models ship with (App. A: LLaMA-3 "utilizes OpenAI's Tiktoken
+//! for tokenization, replacing LLaMA-2's SentencePiece"). Byte fallback
+//! guarantees every string round-trips exactly.
+
+use llmib_types::{Error, Result};
+use std::collections::HashMap;
+
+/// Token id of the beginning-of-sequence marker.
+pub const BOS: usize = 256;
+
+/// Byte-level tokenizer: ids 0–255 are raw bytes, 256 is BOS, and ids
+/// above that are learned byte-pair merges.
+#[derive(Debug, Clone)]
+pub struct ByteTokenizer {
+    /// Merge rules in priority order: (left id, right id) -> merged id.
+    merges: Vec<(usize, usize)>,
+    merge_lookup: HashMap<(usize, usize), usize>,
+}
+
+impl ByteTokenizer {
+    /// Plain byte tokenizer with no merges (vocab = 257).
+    pub fn bytes_only() -> Self {
+        Self {
+            merges: Vec::new(),
+            merge_lookup: HashMap::new(),
+        }
+    }
+
+    /// Learn up to `num_merges` byte-pair merges from a training corpus
+    /// (classic BPE: repeatedly merge the most frequent adjacent pair).
+    pub fn train(corpus: &str, num_merges: usize) -> Self {
+        let mut tok = Self::bytes_only();
+        let mut ids: Vec<usize> = corpus.bytes().map(usize::from).collect();
+        for _ in 0..num_merges {
+            let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+            for w in ids.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by_key(|(p, c)| (**c, std::cmp::Reverse(**p)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = tok.vocab_size();
+            tok.merge_lookup.insert(pair, new_id);
+            tok.merges.push(pair);
+            ids = merge_pass(&ids, pair, new_id);
+        }
+        tok
+    }
+
+    /// Vocabulary size (bytes + BOS + merges).
+    pub fn vocab_size(&self) -> usize {
+        257 + self.merges.len()
+    }
+
+    /// Encode a string to token ids (BOS-prefixed).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        let mut ids: Vec<usize> = Vec::with_capacity(text.len() + 1);
+        ids.push(BOS);
+        ids.extend(text.bytes().map(usize::from));
+        // Apply merges in learned priority order.
+        for (rank, &pair) in self.merges.iter().enumerate() {
+            let merged_id = 257 + rank;
+            if ids.len() >= 2 {
+                ids = merge_pass(&ids, pair, merged_id);
+            }
+        }
+        ids
+    }
+
+    /// Decode token ids back to a string (lossy only on invalid UTF-8
+    /// boundaries, which byte-level tokens cannot produce from `encode`).
+    pub fn decode(&self, ids: &[usize]) -> Result<String> {
+        let mut bytes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            self.push_bytes(id, &mut bytes)?;
+        }
+        String::from_utf8(bytes)
+            .map_err(|e| Error::InvalidConfig(format!("token stream is not UTF-8: {e}")))
+    }
+
+    /// Decode with invalid UTF-8 replaced by U+FFFD — for displaying
+    /// samples from untrained models, which emit arbitrary bytes.
+    pub fn decode_lossy(&self, ids: &[usize]) -> String {
+        let mut bytes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let _ = self.push_bytes(id, &mut bytes);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn push_bytes(&self, id: usize, out: &mut Vec<u8>) -> Result<()> {
+        if id < 256 {
+            out.push(id as u8);
+            Ok(())
+        } else if id == BOS {
+            Ok(())
+        } else {
+            let rank = id - 257;
+            let &(a, b) = self
+                .merges
+                .get(rank)
+                .ok_or_else(|| Error::InvalidConfig(format!("unknown token id {id}")))?;
+            self.push_bytes(a, out)?;
+            self.push_bytes(b, out)
+        }
+    }
+}
+
+fn merge_pass(ids: &[usize], pair: (usize, usize), new_id: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(ids.len());
+    let mut i = 0;
+    while i < ids.len() {
+        if i + 1 < ids.len() && (ids[i], ids[i + 1]) == pair {
+            out.push(new_id);
+            i += 2;
+        } else {
+            out.push(ids[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bytes_only_roundtrip() {
+        let tok = ByteTokenizer::bytes_only();
+        let text = "Hello, LLM-Inference-Bench! ∞";
+        let ids = tok.encode(text);
+        assert_eq!(ids[0], BOS);
+        assert_eq!(tok.decode(&ids).unwrap(), text);
+    }
+
+    #[test]
+    fn training_learns_frequent_pairs() {
+        let corpus = "the throughput of the theory of the throughput";
+        let tok = ByteTokenizer::train(corpus, 16);
+        assert!(tok.vocab_size() > 257);
+        // Merges compress the training distribution.
+        let ids = tok.encode(corpus);
+        assert!(
+            ids.len() < corpus.len() + 1,
+            "{} vs {}",
+            ids.len(),
+            corpus.len()
+        );
+        assert_eq!(tok.decode(&ids).unwrap(), corpus);
+    }
+
+    #[test]
+    fn merged_tokenizer_still_roundtrips_unseen_text() {
+        let tok = ByteTokenizer::train("aaabbbaaabbb", 8);
+        for text in ["zzz totally unseen ⚡ bytes", "", "a", "ab"] {
+            let ids = tok.encode(text);
+            assert_eq!(tok.decode(&ids).unwrap(), text, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_ids() {
+        let tok = ByteTokenizer::bytes_only();
+        assert!(tok.decode(&[9999]).is_err());
+    }
+
+    #[test]
+    fn decode_lossy_never_fails() {
+        let tok = ByteTokenizer::bytes_only();
+        let s = tok.decode_lossy(&[0xFF, 0xFE, b'h' as usize, b'i' as usize]);
+        assert!(s.ends_with("hi"));
+        assert!(s.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn vocab_fits_engine_configs() {
+        let tok = ByteTokenizer::train("some tiny corpus for a tiny model", 32);
+        assert!(tok.vocab_size() <= 512);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_ascii(text in "[ -~]{0,200}") {
+            let tok = ByteTokenizer::train("the quick brown fox the quick", 24);
+            let ids = tok.encode(&text);
+            prop_assert_eq!(tok.decode(&ids).unwrap(), text);
+        }
+
+        #[test]
+        fn encode_never_exceeds_bytes_plus_bos(text in "\\PC{0,120}") {
+            let tok = ByteTokenizer::train("ababab cdcdcd", 8);
+            let ids = tok.encode(&text);
+            prop_assert!(ids.len() <= text.len() + 1);
+            prop_assert!(ids.iter().all(|&i| i < tok.vocab_size()));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Inference-framework behavior models.
+//!
+//! The paper evaluates TensorRT-LLM, vLLM, DeepSpeed-MII and llama.cpp
+//! (plus SambaNova's SambaFlow stack on SN40L). We cannot run those
+//! binaries, so this crate models the *behaviors* the paper credits their
+//! performance differences to: kernel efficiency, GQA exploitation (or
+//! the lack of it), paged vs monolithic KV caches, continuous vs static
+//! batching, per-step launch overhead, tensor-parallel quality, and the
+//! precision/hardware support matrices (Table III).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod profile;
+
+pub use matrix::{support_matrix, SupportEntry};
+pub use profile::{FrameworkId, FrameworkProfile, KvLayout, TpMode, PAPER_FRAMEWORKS};

@@ -1,0 +1,167 @@
+//! The framework × hardware support matrix (paper Table III, extended
+//! with the platforms of Table II that Table III omits).
+
+use crate::profile::FrameworkId;
+use llmib_hardware::HardwareId;
+use serde::Serialize;
+
+/// One cell of the support matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SupportEntry {
+    /// Evaluated and working in the paper ("Yes").
+    Supported,
+    /// Could not be run in the paper's study ("No").
+    NotSupported,
+    /// Not applicable — the framework cannot target the platform ("N/A").
+    NotApplicable,
+}
+
+impl SupportEntry {
+    /// Table III cell text.
+    pub fn label(self) -> &'static str {
+        match self {
+            SupportEntry::Supported => "Yes",
+            SupportEntry::NotSupported => "No",
+            SupportEntry::NotApplicable => "N/A",
+        }
+    }
+
+    /// Whether experiments may run on this combination.
+    pub fn is_runnable(self) -> bool {
+        self == SupportEntry::Supported
+    }
+}
+
+/// Support entry for a (framework, hardware) pair.
+///
+/// Table III covers {vLLM, llama.cpp, TRT-LLM, DS-MII} ×
+/// {A100, H100, GH200, MI250, Gaudi2}; MI300X follows Table II's
+/// "Inference Framework" row, and SN40L is reachable only through the
+/// SambaFlow vendor stack.
+pub fn support_matrix(framework: FrameworkId, hardware: HardwareId) -> SupportEntry {
+    use FrameworkId::*;
+    use HardwareId::*;
+    use SupportEntry::*;
+    match (framework, hardware) {
+        // vLLM row: Yes on every Table III platform.
+        (Vllm, A100 | H100 | Gh200 | Mi250 | Gaudi2 | Mi300x) => Supported,
+        (Vllm, Sn40l) => NotApplicable,
+
+        // llama.cpp row: Yes on GPUs, N/A on Gaudi2; Table II also lists
+        // it for MI300X.
+        (LlamaCpp, A100 | H100 | Gh200 | Mi250 | Mi300x) => Supported,
+        (LlamaCpp, Gaudi2 | Sn40l) => NotApplicable,
+
+        // TensorRT-LLM row: CUDA-only.
+        (TrtLlm, A100 | H100 | Gh200) => Supported,
+        (TrtLlm, Mi250 | Mi300x | Gaudi2 | Sn40l) => NotApplicable,
+
+        // Deepspeed-MII row: Yes on A100 and Gaudi2, No elsewhere it
+        // could in principle target (the paper could not run it there).
+        (DsMii, A100 | Gaudi2) => Supported,
+        (DsMii, H100 | Gh200 | Mi250 | Mi300x) => NotSupported,
+        (DsMii, Sn40l) => NotApplicable,
+
+        // SambaFlow: SN40L only.
+        (SambaFlow, Sn40l) => Supported,
+        (SambaFlow, _) => NotApplicable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        use FrameworkId::*;
+        use HardwareId::*;
+        // Exact Table III cells.
+        let rows = [
+            (
+                Vllm,
+                vec![
+                    (A100, "Yes"),
+                    (H100, "Yes"),
+                    (Gh200, "Yes"),
+                    (Mi250, "Yes"),
+                    (Gaudi2, "Yes"),
+                ],
+            ),
+            (
+                LlamaCpp,
+                vec![
+                    (A100, "Yes"),
+                    (H100, "Yes"),
+                    (Gh200, "Yes"),
+                    (Mi250, "Yes"),
+                    (Gaudi2, "N/A"),
+                ],
+            ),
+            (
+                TrtLlm,
+                vec![
+                    (A100, "Yes"),
+                    (H100, "Yes"),
+                    (Gh200, "Yes"),
+                    (Mi250, "N/A"),
+                    (Gaudi2, "N/A"),
+                ],
+            ),
+            (
+                DsMii,
+                vec![
+                    (A100, "Yes"),
+                    (H100, "No"),
+                    (Gh200, "No"),
+                    (Mi250, "No"),
+                    (Gaudi2, "Yes"),
+                ],
+            ),
+        ];
+        for (fw, cells) in rows {
+            for (hw, expect) in cells {
+                assert_eq!(
+                    support_matrix(fw, hw).label(),
+                    expect,
+                    "{} on {}",
+                    fw.name(),
+                    hw.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sn40l_only_runs_sambaflow() {
+        for fw in FrameworkId::ALL {
+            let entry = support_matrix(fw, HardwareId::Sn40l);
+            assert_eq!(
+                entry.is_runnable(),
+                fw == FrameworkId::SambaFlow,
+                "{}",
+                fw.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_hardware_has_at_least_one_framework() {
+        for hw in HardwareId::ALL {
+            assert!(
+                FrameworkId::ALL
+                    .into_iter()
+                    .any(|fw| support_matrix(fw, hw).is_runnable()),
+                "{} has no runnable framework",
+                hw.name()
+            );
+        }
+    }
+
+    #[test]
+    fn runnable_iff_supported() {
+        assert!(SupportEntry::Supported.is_runnable());
+        assert!(!SupportEntry::NotSupported.is_runnable());
+        assert!(!SupportEntry::NotApplicable.is_runnable());
+    }
+}

@@ -1,0 +1,182 @@
+//! Node-level interconnect cost model for multi-device parallelism.
+//!
+//! Provides analytical costs for the collectives the parallelism schemes
+//! use: ring all-reduce (tensor parallel), point-to-point (pipeline
+//! parallel), and all-to-all (expert parallel).
+
+use llmib_types::{ByteCount, BytesPerSecond, Seconds};
+use serde::Serialize;
+
+/// Interconnect families from Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum InterconnectKind {
+    /// Nvidia NVLink (A100: gen3, H100: gen4).
+    NvLink,
+    /// AMD Infinity Fabric.
+    InfinityFabric,
+    /// RDMA over Converged Ethernet (Gaudi2's 24×100 GbE).
+    RoCeV2,
+    /// SambaNova's PCIe-based inter-RDU network.
+    PcieInterRdu,
+    /// Single-device platform (GH200 node in the paper has one superchip).
+    None,
+}
+
+impl InterconnectKind {
+    /// Label as printed in Table II.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterconnectKind::NvLink => "NVLink",
+            InterconnectKind::InfinityFabric => "Infinity Fabric",
+            InterconnectKind::RoCeV2 => "RoCE V2",
+            InterconnectKind::PcieInterRdu => "PCIe Inter-RDU network",
+            InterconnectKind::None => "N/A",
+        }
+    }
+}
+
+/// A node's device-to-device interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Interconnect {
+    /// Interconnect family.
+    pub kind: InterconnectKind,
+    /// Per-direction bandwidth between a device pair.
+    pub link_bandwidth: BytesPerSecond,
+    /// Per-message latency (software + wire).
+    pub latency: Seconds,
+}
+
+/// Cost of one collective operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Wall-clock time of the collective.
+    pub time: Seconds,
+    /// Total bytes crossing links (for energy/utilization accounting).
+    pub bytes_on_wire: ByteCount,
+}
+
+impl Interconnect {
+    /// No interconnect (single-device platforms).
+    pub fn none() -> Self {
+        Self {
+            kind: InterconnectKind::None,
+            link_bandwidth: BytesPerSecond(f64::INFINITY),
+            latency: Seconds::ZERO,
+        }
+    }
+
+    /// Ring all-reduce of `payload` bytes across `n` devices:
+    /// `2·(n−1)/n · payload / bw` transfer plus `2·(n−1)` latency hops.
+    pub fn all_reduce(&self, payload: ByteCount, n: u32) -> CollectiveCost {
+        if n <= 1 || self.kind == InterconnectKind::None {
+            return CollectiveCost {
+                time: Seconds::ZERO,
+                bytes_on_wire: ByteCount::ZERO,
+            };
+        }
+        let nf = f64::from(n);
+        let transfer = 2.0 * (nf - 1.0) / nf * payload.value() / self.link_bandwidth.value();
+        let latency = 2.0 * (nf - 1.0) * self.latency.value();
+        CollectiveCost {
+            time: Seconds(transfer + latency),
+            bytes_on_wire: ByteCount(2.0 * (nf - 1.0) / nf * payload.value() * nf),
+        }
+    }
+
+    /// Point-to-point transfer of `payload` bytes (one pipeline hop).
+    pub fn p2p(&self, payload: ByteCount) -> CollectiveCost {
+        if self.kind == InterconnectKind::None {
+            return CollectiveCost {
+                time: Seconds::ZERO,
+                bytes_on_wire: ByteCount::ZERO,
+            };
+        }
+        CollectiveCost {
+            time: Seconds(payload.value() / self.link_bandwidth.value() + self.latency.value()),
+            bytes_on_wire: payload,
+        }
+    }
+
+    /// All-to-all of `payload` bytes per device across `n` devices
+    /// (expert-parallel token shuffle).
+    pub fn all_to_all(&self, payload: ByteCount, n: u32) -> CollectiveCost {
+        if n <= 1 || self.kind == InterconnectKind::None {
+            return CollectiveCost {
+                time: Seconds::ZERO,
+                bytes_on_wire: ByteCount::ZERO,
+            };
+        }
+        let nf = f64::from(n);
+        let transfer = (nf - 1.0) / nf * payload.value() / self.link_bandwidth.value();
+        let latency = (nf - 1.0) * self.latency.value();
+        CollectiveCost {
+            time: Seconds(transfer + latency),
+            bytes_on_wire: ByteCount((nf - 1.0) * payload.value()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvlink() -> Interconnect {
+        Interconnect {
+            kind: InterconnectKind::NvLink,
+            link_bandwidth: BytesPerSecond::gb(600.0),
+            latency: Seconds::micros(3.0),
+        }
+    }
+
+    #[test]
+    fn all_reduce_single_device_is_free() {
+        let c = nvlink().all_reduce(ByteCount::mib(4.0), 1);
+        assert_eq!(c.time.value(), 0.0);
+    }
+
+    #[test]
+    fn all_reduce_scales_with_payload() {
+        let ic = nvlink();
+        let small = ic.all_reduce(ByteCount::mib(1.0), 4);
+        let large = ic.all_reduce(ByteCount::mib(16.0), 4);
+        assert!(large.time.value() > small.time.value());
+    }
+
+    #[test]
+    fn all_reduce_latency_term_dominates_tiny_payloads() {
+        let ic = nvlink();
+        let c = ic.all_reduce(ByteCount(8.0), 4);
+        // 6 hops * 3us = 18us >> 8B transfer time.
+        assert!(c.time.value() > 17e-6);
+    }
+
+    #[test]
+    fn p2p_cost() {
+        let ic = nvlink();
+        let c = ic.p2p(ByteCount::gib(0.6)); // ~0.644 GB over 600 GB/s
+        assert!((c.time.value() - (0.6 * (1u64 << 30) as f64 / 600e9 + 3e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_all_cheaper_than_all_reduce() {
+        let ic = nvlink();
+        let payload = ByteCount::mib(8.0);
+        let a2a = ic.all_to_all(payload, 4);
+        let ar = ic.all_reduce(payload, 4);
+        assert!(a2a.time.value() < ar.time.value());
+    }
+
+    #[test]
+    fn none_interconnect_all_free() {
+        let ic = Interconnect::none();
+        assert_eq!(ic.all_reduce(ByteCount::gib(1.0), 8).time.value(), 0.0);
+        assert_eq!(ic.p2p(ByteCount::gib(1.0)).time.value(), 0.0);
+        assert_eq!(ic.all_to_all(ByteCount::gib(1.0), 8).time.value(), 0.0);
+    }
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(InterconnectKind::RoCeV2.label(), "RoCE V2");
+        assert_eq!(InterconnectKind::NvLink.label(), "NVLink");
+    }
+}

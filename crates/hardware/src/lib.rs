@@ -1,0 +1,24 @@
+//! AI accelerator specifications and physical cost models.
+//!
+//! Encodes the paper's Table II platforms — Nvidia A100/H100/GH200, AMD
+//! MI250/MI300X, Habana Gaudi2, SambaNova SN40L — as parameterized
+//! [`AcceleratorSpec`]s: peak compute per precision, memory tiers
+//! (capacity + bandwidth), node interconnect, power envelope, and the
+//! per-vendor behavioral quirks the paper attributes results to (SN40L's
+//! 3-tier memory, Gaudi2's MME/TPC overlap and early OOM, MI250's NUMA
+//! saturation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interconnect;
+mod memory;
+mod power;
+mod spec;
+mod zoo;
+
+pub use interconnect::{CollectiveCost, Interconnect, InterconnectKind};
+pub use memory::{MemorySystem, MemoryTier};
+pub use power::PowerSpec;
+pub use spec::{AcceleratorSpec, PrecisionPeaks, Quirks, Vendor};
+pub use zoo::{HardwareId, PAPER_GPUS, PAPER_HARDWARE};

@@ -1,0 +1,212 @@
+//! Device memory systems, including multi-tier hierarchies.
+//!
+//! GPUs have a single HBM tier; GH200 adds the Grace LPDDR5X tier over
+//! NVLink-C2C; SN40L has the paper's "3-tier memory system unlike the
+//! traditional 2-tier memory system in GPUs" (SRAM / HBM / DDR).
+
+use llmib_types::{ByteCount, BytesPerSecond, Error, Result};
+use serde::Serialize;
+
+/// One tier of a device memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MemoryTier {
+    /// Tier name, e.g. `"HBM3"`, `"LPDDR5X"`, `"SRAM"`, `"DDR"`.
+    pub name: &'static str,
+    /// Capacity per device.
+    pub capacity: ByteCount,
+    /// Peak bandwidth to the compute units.
+    pub bandwidth: BytesPerSecond,
+}
+
+/// A device's full memory hierarchy, fastest tier first.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MemorySystem {
+    tiers: Vec<MemoryTier>,
+    /// Fraction of nominal capacity usable by a serving workload before the
+    /// runtime OOMs (Gaudi2 "attains memory issues quicker": lower value).
+    usable_fraction: f64,
+}
+
+impl MemorySystem {
+    /// Build from tiers ordered fastest-first.
+    pub fn new(tiers: Vec<MemoryTier>, usable_fraction: f64) -> Self {
+        assert!(!tiers.is_empty(), "at least one memory tier required");
+        assert!(
+            (0.0..=1.0).contains(&usable_fraction),
+            "usable_fraction must be in [0,1]"
+        );
+        Self {
+            tiers,
+            usable_fraction,
+        }
+    }
+
+    /// Single-tier convenience constructor (a plain GPU).
+    pub fn single(name: &'static str, capacity: ByteCount, bandwidth: BytesPerSecond) -> Self {
+        Self::new(
+            vec![MemoryTier {
+                name,
+                capacity,
+                bandwidth,
+            }],
+            0.92,
+        )
+    }
+
+    /// All tiers, fastest first.
+    pub fn tiers(&self) -> &[MemoryTier] {
+        &self.tiers
+    }
+
+    /// Number of tiers (the paper contrasts SN40L's 3 vs GPUs' "2-tier",
+    /// counting registers/SRAM implicitly; we count addressable tiers).
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Primary (fastest bulk) tier: where weights live if they fit. Tiers
+    /// under 1 GiB (SN40L's SRAM) are staging, not bulk storage.
+    pub fn primary_tier(&self) -> &MemoryTier {
+        self.tiers
+            .iter()
+            .find(|t| t.capacity.value() >= ByteCount::gib(1.0).value())
+            .unwrap_or(&self.tiers[0])
+    }
+
+    /// Total usable capacity across all bulk tiers on one device.
+    pub fn usable_capacity(&self) -> ByteCount {
+        let total: f64 = self
+            .tiers
+            .iter()
+            .filter(|t| t.capacity.value() >= ByteCount::gib(1.0).value())
+            .map(|t| t.capacity.value())
+            .sum();
+        ByteCount(total * self.usable_fraction)
+    }
+
+    /// Usable capacity of only the primary tier.
+    pub fn usable_primary_capacity(&self) -> ByteCount {
+        ByteCount(self.primary_tier().capacity.value() * self.usable_fraction)
+    }
+
+    /// Effective bandwidth for streaming a working set of `resident_bytes`.
+    ///
+    /// If the set fits in the primary tier, primary bandwidth applies. If it
+    /// spills into slower tiers, the harmonic blend of tier bandwidths
+    /// weighted by the bytes resident in each tier applies — exactly the
+    /// penalty that makes SN40L's DDR tier usable but slower, and that
+    /// models GH200 spilling KV to LPDDR.
+    pub fn effective_bandwidth(&self, resident_bytes: ByteCount) -> Result<BytesPerSecond> {
+        let mut remaining = resident_bytes.value();
+        let mut time_per_pass = 0.0_f64;
+        for tier in self
+            .tiers
+            .iter()
+            .filter(|t| t.capacity.value() >= ByteCount::gib(1.0).value() || self.tiers.len() == 1)
+        {
+            if remaining <= 0.0 {
+                break;
+            }
+            let here = remaining.min(tier.capacity.value() * self.usable_fraction);
+            time_per_pass += here / tier.bandwidth.value();
+            remaining -= here;
+        }
+        if remaining > 1e-6 {
+            return Err(Error::OutOfMemory {
+                required_bytes: resident_bytes.value(),
+                available_bytes: self.usable_capacity().value(),
+                detail: "working set exceeds all memory tiers".into(),
+            });
+        }
+        if resident_bytes.value() <= 0.0 {
+            return Ok(self.primary_tier().bandwidth);
+        }
+        Ok(BytesPerSecond(resident_bytes.value() / time_per_pass))
+    }
+
+    /// Whether a working set fits at all.
+    pub fn fits(&self, bytes: ByteCount) -> bool {
+        bytes.value() <= self.usable_capacity().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> MemorySystem {
+        MemorySystem::new(
+            vec![
+                MemoryTier {
+                    name: "HBM",
+                    capacity: ByteCount::gib(64.0),
+                    bandwidth: BytesPerSecond::tb(1.6),
+                },
+                MemoryTier {
+                    name: "DDR",
+                    capacity: ByteCount::gib(192.0),
+                    bandwidth: BytesPerSecond::gb(100.0),
+                },
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn fits_within_primary_uses_primary_bandwidth() {
+        let m = two_tier();
+        let bw = m.effective_bandwidth(ByteCount::gib(32.0)).unwrap();
+        assert!((bw.value() - 1.6e12).abs() / 1.6e12 < 1e-9);
+    }
+
+    #[test]
+    fn spill_blends_bandwidth_down() {
+        let m = two_tier();
+        let bw = m.effective_bandwidth(ByteCount::gib(128.0)).unwrap();
+        assert!(bw.value() < 1.6e12);
+        assert!(bw.value() > 100e9);
+    }
+
+    #[test]
+    fn overflow_errors_as_oom() {
+        let m = two_tier();
+        let err = m.effective_bandwidth(ByteCount::gib(512.0)).unwrap_err();
+        assert!(err.is_oom());
+        assert!(!m.fits(ByteCount::gib(512.0)));
+    }
+
+    #[test]
+    fn usable_fraction_shrinks_capacity() {
+        let m = MemorySystem::single("HBM", ByteCount::gib(100.0), BytesPerSecond::tb(1.0));
+        assert!(m.usable_capacity().as_gib() < 100.0);
+        assert!(m.usable_capacity().as_gib() > 85.0);
+    }
+
+    #[test]
+    fn small_sram_tier_is_not_bulk() {
+        let m = MemorySystem::new(
+            vec![
+                MemoryTier {
+                    name: "SRAM",
+                    capacity: ByteCount::mib(520.0),
+                    bandwidth: BytesPerSecond::tb(100.0),
+                },
+                MemoryTier {
+                    name: "HBM",
+                    capacity: ByteCount::gib(64.0),
+                    bandwidth: BytesPerSecond::tb(1.6),
+                },
+            ],
+            1.0,
+        );
+        assert_eq!(m.primary_tier().name, "HBM");
+        assert_eq!(m.tier_count(), 2);
+    }
+
+    #[test]
+    fn zero_working_set_is_primary_bandwidth() {
+        let m = two_tier();
+        let bw = m.effective_bandwidth(ByteCount::ZERO).unwrap();
+        assert_eq!(bw.value(), 1.6e12);
+    }
+}

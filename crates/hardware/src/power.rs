@@ -1,0 +1,116 @@
+//! Accelerator power model (paper §III-5(e)).
+//!
+//! The paper reports *average power* (total work / total time) and
+//! *performance per watt* (tokens/s/W), measured via pynvml on Nvidia
+//! GPUs. We model instantaneous device power as
+//!
+//! ```text
+//! P(U) = P_idle + (P_tdp − P_idle) · U^α
+//! ```
+//!
+//! where `U ∈ [0,1]` is roofline occupancy (how busy the bounding resource
+//! is) and `α < 1` captures that partially-utilized accelerators still burn
+//! a large share of their envelope (clock/voltage floors, HBM refresh).
+
+use llmib_types::{Joules, Seconds, Watts};
+use serde::Serialize;
+
+/// Power envelope of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerSpec {
+    /// Idle draw with the runtime loaded.
+    pub idle: Watts,
+    /// Thermal design power (sustained max).
+    pub tdp: Watts,
+    /// Sub-linearity exponent of the utilization→power curve.
+    pub alpha: f64,
+}
+
+impl PowerSpec {
+    /// Construct and validate a power spec.
+    pub fn new(idle: Watts, tdp: Watts, alpha: f64) -> Self {
+        assert!(idle.value() >= 0.0 && tdp.value() > idle.value());
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Self { idle, tdp, alpha }
+    }
+
+    /// Instantaneous power at roofline occupancy `utilization`.
+    pub fn power_at(&self, utilization: f64) -> Watts {
+        let u = utilization.clamp(0.0, 1.0);
+        Watts(self.idle.value() + (self.tdp.value() - self.idle.value()) * u.powf(self.alpha))
+    }
+
+    /// Energy consumed over `duration` at a constant `utilization`.
+    pub fn energy(&self, utilization: f64, duration: Seconds) -> Joules {
+        duration.energy_at(self.power_at(utilization))
+    }
+
+    /// Average power over a sequence of (utilization, duration) phases —
+    /// the paper's "ratio of total work done to the total time taken".
+    pub fn average_power(&self, phases: &[(f64, Seconds)]) -> Watts {
+        let total_time: f64 = phases.iter().map(|(_, d)| d.value()).sum();
+        if total_time <= 0.0 {
+            return self.power_at(0.0);
+        }
+        let total_energy: f64 = phases
+            .iter()
+            .map(|(u, d)| self.energy(*u, *d).value())
+            .sum();
+        Watts(total_energy / total_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a100_like() -> PowerSpec {
+        PowerSpec::new(Watts(55.0), Watts(400.0), 0.55)
+    }
+
+    #[test]
+    fn idle_and_peak_endpoints() {
+        let p = a100_like();
+        assert_eq!(p.power_at(0.0).value(), 55.0);
+        assert!((p.power_at(1.0).value() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sublinear_curve_burns_power_early() {
+        let p = a100_like();
+        // At 30% occupancy we draw well over 30% of the dynamic range.
+        let frac = (p.power_at(0.3).value() - 55.0) / (400.0 - 55.0);
+        assert!(frac > 0.45, "got {frac}");
+    }
+
+    #[test]
+    fn average_power_weights_by_time() {
+        let p = a100_like();
+        let avg = p.average_power(&[(1.0, Seconds(1.0)), (0.0, Seconds(3.0))]);
+        let expected = (400.0 + 3.0 * 55.0) / 4.0;
+        assert!((avg.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_phases_report_idle() {
+        let p = a100_like();
+        assert_eq!(p.average_power(&[]).value(), 55.0);
+    }
+
+    proptest! {
+        #[test]
+        fn power_monotone_in_utilization(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+            let p = a100_like();
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            prop_assert!(p.power_at(lo).value() <= p.power_at(hi).value() + 1e-12);
+        }
+
+        #[test]
+        fn power_bounded_by_envelope(u in -1.0f64..2.0) {
+            let p = a100_like();
+            let w = p.power_at(u).value();
+            prop_assert!((55.0..=400.0 + 1e-9).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Accelerator specification: the full Table II row plus cost-model knobs.
+
+use crate::{Interconnect, MemorySystem, PowerSpec};
+use llmib_types::{FlopsRate, Precision, Seconds};
+use serde::Serialize;
+
+/// Hardware vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Vendor {
+    /// Nvidia (A100, H100, GH200).
+    Nvidia,
+    /// AMD (MI250, MI300X).
+    Amd,
+    /// Intel Habana (Gaudi2).
+    Habana,
+    /// SambaNova (SN40L).
+    SambaNova,
+}
+
+impl Vendor {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Vendor::Nvidia => "Nvidia",
+            Vendor::Amd => "AMD",
+            Vendor::Habana => "Intel Habana",
+            Vendor::SambaNova => "SambaNova",
+        }
+    }
+}
+
+/// Peak dense compute per precision (`None` = precision unsupported, as in
+/// Table II's "Precision Support" row — e.g. no FP8 on A100/MI250).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PrecisionPeaks {
+    /// FP32 peak (non-tensor-core for GPUs).
+    pub fp32: Option<FlopsRate>,
+    /// FP16 tensor peak.
+    pub fp16: Option<FlopsRate>,
+    /// BF16 tensor peak.
+    pub bf16: Option<FlopsRate>,
+    /// FP8 tensor peak.
+    pub fp8: Option<FlopsRate>,
+    /// INT8 tensor peak (ops/s counted as FLOP/s).
+    pub int8: Option<FlopsRate>,
+    /// INT4 peak.
+    pub int4: Option<FlopsRate>,
+}
+
+impl PrecisionPeaks {
+    /// Peak rate for `precision`, if the hardware supports it natively.
+    pub fn peak(&self, precision: Precision) -> Option<FlopsRate> {
+        match precision {
+            Precision::Fp32 => self.fp32,
+            Precision::Fp16 => self.fp16,
+            Precision::Bf16 => self.bf16,
+            Precision::Fp8 => self.fp8,
+            Precision::Int8 => self.int8,
+            Precision::Int4 => self.int4,
+        }
+    }
+
+    /// Whether `precision` has native compute support.
+    pub fn supports(&self, precision: Precision) -> bool {
+        self.peak(precision).is_some()
+    }
+}
+
+/// Per-platform behavioral quirks the paper calls out. All fields have
+/// inert defaults; each spec overrides only what its vendor exhibits.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Quirks {
+    /// Batch size beyond which effective memory efficiency degrades
+    /// (MI250: "compute and memory units reach saturation more rapidly"
+    /// due to NUMA-balancing page-fault stalls; throughput drops past 32).
+    pub saturation_batch: Option<u32>,
+    /// Multiplicative efficiency retained per batch doubling beyond
+    /// `saturation_batch` (e.g. 0.6 ⇒ 40% loss per doubling).
+    pub saturation_penalty: f64,
+    /// Fixed per-request dispatch overhead of dataflow-graph platforms
+    /// (SN40L's high TTFT, Fig. 21).
+    pub graph_dispatch_overhead: Seconds,
+    /// Sequence length at which a length-specialized compiler reaches full
+    /// efficiency (SN40L: "throughput increases with increasing
+    /// input/output length till 512", Fig. 18/24).
+    pub seq_efficiency_knee: Option<u32>,
+    /// Relative efficiency at very short sequences when
+    /// `seq_efficiency_knee` is set.
+    pub short_seq_efficiency: f64,
+    /// Compute-efficiency bonus from heterogeneous engine overlap
+    /// (Gaudi2's MME ∥ TPC execution, §VI-4).
+    pub overlap_bonus: f64,
+    /// Largest batch size the serving stack accepts (SN40L footnote:
+    /// batch sizes beyond 64 untested on that platform).
+    pub max_batch: Option<u32>,
+    /// Fixed tensor-parallel degree required by the serving stack
+    /// (SN40L: "a fixed number of RDUs (8 in our case)").
+    pub fixed_tp: Option<u32>,
+    /// Out-of-the-box software-stack efficiency multiplier applied to
+    /// both compute and memory efficiency (footnote 1: "The paper's
+    /// MI250, MI300X and Gaudi2 numbers are out-of-the-box without
+    /// special optimization flags" — immature ROCm kernels keep MI250
+    /// "comparable to A100" despite a 2x bandwidth edge).
+    pub sw_efficiency: f64,
+    /// Whether the runtime hard-fails when the working set exceeds
+    /// memory instead of admitting fewer requests at a time (Gaudi2's
+    /// graph-mode allocator: "encountered out-of-memory issues on Gaudi2
+    /// at batch sizes of 32 and 64 in several test scenarios").
+    pub strict_allocation: bool,
+}
+
+impl Default for Quirks {
+    fn default() -> Self {
+        Self {
+            saturation_batch: None,
+            saturation_penalty: 1.0,
+            graph_dispatch_overhead: Seconds::ZERO,
+            seq_efficiency_knee: None,
+            short_seq_efficiency: 1.0,
+            overlap_bonus: 1.0,
+            max_batch: None,
+            fixed_tp: None,
+            sw_efficiency: 1.0,
+            strict_allocation: false,
+        }
+    }
+}
+
+impl Quirks {
+    /// Memory-efficiency multiplier at a given batch size (≤ 1.0).
+    pub fn saturation_factor(&self, batch: u32) -> f64 {
+        match self.saturation_batch {
+            Some(knee) if batch > knee => {
+                let doublings = (f64::from(batch) / f64::from(knee)).log2();
+                self.saturation_penalty.powf(doublings)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Sequence-dependent compute-efficiency multiplier (≤ 1.0); ramps
+    /// linearly from `short_seq_efficiency` at length 0 to 1.0 at the knee.
+    pub fn seq_factor(&self, seq_len: u32) -> f64 {
+        match self.seq_efficiency_knee {
+            Some(knee) if seq_len < knee => {
+                let t = f64::from(seq_len) / f64::from(knee);
+                self.short_seq_efficiency + (1.0 - self.short_seq_efficiency) * t
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// One accelerator platform: a Table II row plus the cost-model parameters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AcceleratorSpec {
+    /// Marketing name, e.g. `"Nvidia H100"`.
+    pub name: &'static str,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Devices per node in the paper's testbed (Table II "# Devices").
+    pub devices_per_node: u32,
+    /// Per-device memory hierarchy.
+    pub memory: MemorySystem,
+    /// Peak compute rates per precision.
+    pub peaks: PrecisionPeaks,
+    /// Node interconnect.
+    pub interconnect: Interconnect,
+    /// Power envelope per device.
+    pub power: PowerSpec,
+    /// Behavioral quirks.
+    pub quirks: Quirks,
+}
+
+impl AcceleratorSpec {
+    /// Roofline ridge point at `precision`: the arithmetic intensity
+    /// (FLOPs/byte) above which a kernel is compute-bound on this device.
+    /// Decode at small batch sits far below it; prefill far above — the
+    /// mechanism behind every batch-scaling figure in the paper.
+    pub fn ridge_point(&self, precision: llmib_types::Precision) -> Option<f64> {
+        let peak = self.peaks.peak(precision)?;
+        Some(peak.value() / self.memory.primary_tier().bandwidth.value())
+    }
+
+    /// Per-node memory (Table II "Memory (/node)").
+    pub fn node_memory(&self) -> llmib_types::ByteCount {
+        llmib_types::ByteCount(
+            self.memory.primary_tier().capacity.value() * f64::from(self.devices_per_node),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_types::{ByteCount, BytesPerSecond, Watts};
+
+    #[test]
+    fn peaks_lookup() {
+        let peaks = PrecisionPeaks {
+            fp32: Some(FlopsRate::tera(19.5)),
+            fp16: Some(FlopsRate::tera(312.0)),
+            bf16: Some(FlopsRate::tera(312.0)),
+            fp8: None,
+            int8: Some(FlopsRate::tera(624.0)),
+            int4: None,
+        };
+        assert!(peaks.supports(Precision::Fp16));
+        assert!(!peaks.supports(Precision::Fp8));
+        assert_eq!(peaks.peak(Precision::Int8).unwrap().value(), 624e12);
+    }
+
+    #[test]
+    fn quirk_saturation_factor() {
+        let q = Quirks {
+            saturation_batch: Some(32),
+            saturation_penalty: 0.6,
+            ..Quirks::default()
+        };
+        assert_eq!(q.saturation_factor(16), 1.0);
+        assert_eq!(q.saturation_factor(32), 1.0);
+        assert!((q.saturation_factor(64) - 0.6).abs() < 1e-12);
+        assert!((q.saturation_factor(128) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quirk_seq_factor_ramps_to_knee() {
+        let q = Quirks {
+            seq_efficiency_knee: Some(512),
+            short_seq_efficiency: 0.4,
+            ..Quirks::default()
+        };
+        assert!((q.seq_factor(0) - 0.4).abs() < 1e-12);
+        assert!(q.seq_factor(256) > 0.4 && q.seq_factor(256) < 1.0);
+        assert_eq!(q.seq_factor(512), 1.0);
+        assert_eq!(q.seq_factor(2048), 1.0);
+    }
+
+    #[test]
+    fn default_quirks_are_inert() {
+        let q = Quirks::default();
+        assert_eq!(q.saturation_factor(1024), 1.0);
+        assert_eq!(q.seq_factor(1), 1.0);
+        assert_eq!(q.overlap_bonus, 1.0);
+    }
+
+    #[test]
+    fn ridge_point_math() {
+        let spec = AcceleratorSpec {
+            name: "test",
+            vendor: Vendor::Nvidia,
+            devices_per_node: 1,
+            memory: MemorySystem::single("HBM", ByteCount::gib(40.0), BytesPerSecond(1e12)),
+            peaks: PrecisionPeaks {
+                fp32: None,
+                fp16: Some(FlopsRate(300e12)),
+                bf16: None,
+                fp8: None,
+                int8: None,
+                int4: None,
+            },
+            interconnect: Interconnect::none(),
+            power: PowerSpec::new(Watts(50.0), Watts(400.0), 0.5),
+            quirks: Quirks::default(),
+        };
+        assert!((spec.ridge_point(Precision::Fp16).unwrap() - 300.0).abs() < 1e-9);
+        assert!(spec.ridge_point(Precision::Fp8).is_none());
+    }
+
+    #[test]
+    fn node_memory_multiplies_devices() {
+        let spec = AcceleratorSpec {
+            name: "test",
+            vendor: Vendor::Nvidia,
+            devices_per_node: 4,
+            memory: MemorySystem::single("HBM", ByteCount::gib(40.0), BytesPerSecond::tb(1.5)),
+            peaks: PrecisionPeaks {
+                fp32: None,
+                fp16: Some(FlopsRate::tera(312.0)),
+                bf16: None,
+                fp8: None,
+                int8: None,
+                int4: None,
+            },
+            interconnect: Interconnect::none(),
+            power: PowerSpec::new(Watts(50.0), Watts(400.0), 0.5),
+            quirks: Quirks::default(),
+        };
+        assert!((spec.node_memory().as_gib() - 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Model architecture configuration, mirroring the columns of Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Type of self-attention (paper §II-A, Fig. 27).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// Multi-Head Self-Attention: every query head owns a K and V head.
+    Mhsa,
+    /// Grouped-Query Attention: query heads share `kv_heads` K/V heads.
+    Gqa,
+}
+
+impl AttentionKind {
+    /// Short label as printed in Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttentionKind::Mhsa => "MHSA",
+            AttentionKind::Gqa => "GQA",
+        }
+    }
+}
+
+/// Feed-forward block type (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FfnKind {
+    /// Conventional dense MLP; every token uses the full FFN.
+    Dense,
+    /// Mixture-of-Experts: `num_experts` stored, `active_experts` used per
+    /// token (Mixtral routes each token to 2 of 8).
+    Moe,
+}
+
+impl FfnKind {
+    /// Short label as printed in Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            FfnKind::Dense => "Dense",
+            FfnKind::Moe => "MoE",
+        }
+    }
+}
+
+/// Complete architectural description of a decoder-only LLM — one row of
+/// the paper's Table I, with two extra fields (`ffn_gated`, `tied_embeddings`)
+/// needed to compute parameter counts exactly for the non-LLaMA auxiliary
+/// models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name, e.g. `"LLaMA-3-8B"`.
+    pub name: &'static str,
+    /// Number of decoder layers.
+    pub layers: u32,
+    /// Hidden (model) dimension.
+    pub hidden: u32,
+    /// Attention mechanism.
+    pub attention: AttentionKind,
+    /// Number of query attention heads.
+    pub heads: u32,
+    /// Number of key/value heads (`== heads` for MHSA).
+    pub kv_heads: u32,
+    /// FFN block type.
+    pub ffn: FfnKind,
+    /// Experts stored per FFN (1 for dense).
+    pub num_experts: u32,
+    /// Experts active per token (1 for dense, 2 for Mixtral).
+    pub active_experts: u32,
+    /// FFN intermediate dimension.
+    pub intermediate: u32,
+    /// Maximum sequence length the model supports.
+    pub max_seq_len: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Whether the FFN is gated (SwiGLU-style, 3 weight matrices) or plain
+    /// (GELU-style, 2 matrices). LLaMA-family models are gated.
+    pub ffn_gated: bool,
+    /// Whether input embedding and LM head share one weight matrix.
+    pub tied_embeddings: bool,
+}
+
+impl ModelConfig {
+    /// Head dimension (`hidden / heads`).
+    pub fn head_dim(&self) -> u32 {
+        self.hidden / self.heads
+    }
+
+    /// Dimension of the K (or V) projection output: `kv_heads * head_dim`.
+    /// This is what GQA shrinks relative to MHSA.
+    pub fn kv_dim(&self) -> u32 {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// GQA group factor: query heads per KV head (1 for MHSA).
+    pub fn gqa_group_factor(&self) -> u32 {
+        self.heads / self.kv_heads.max(1)
+    }
+
+    /// Total KV heads across all layers, the quantity the paper quotes for
+    /// DeciLM ("67 KV heads across all 32 layers" vs 256 for LLaMA-3-8B).
+    pub fn total_kv_heads(&self) -> u32 {
+        self.kv_heads * self.layers
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> llmib_types::Result<()> {
+        use llmib_types::Error;
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(Error::InvalidConfig(format!(
+                "{}: hidden {} not divisible by heads {}",
+                self.name, self.hidden, self.heads
+            )));
+        }
+        if !self.heads.is_multiple_of(self.kv_heads.max(1)) {
+            return Err(Error::InvalidConfig(format!(
+                "{}: heads {} not divisible by kv_heads {}",
+                self.name, self.heads, self.kv_heads
+            )));
+        }
+        if self.attention == AttentionKind::Mhsa && self.kv_heads != self.heads {
+            return Err(Error::InvalidConfig(format!(
+                "{}: MHSA requires kv_heads == heads",
+                self.name
+            )));
+        }
+        if self.ffn == FfnKind::Dense && (self.num_experts != 1 || self.active_experts != 1) {
+            return Err(Error::InvalidConfig(format!(
+                "{}: dense FFN must have exactly one (active) expert",
+                self.name
+            )));
+        }
+        if self.active_experts > self.num_experts {
+            return Err(Error::InvalidConfig(format!(
+                "{}: active experts exceed stored experts",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llama3_8b_like() -> ModelConfig {
+        ModelConfig {
+            name: "test-8b",
+            layers: 32,
+            hidden: 4096,
+            attention: AttentionKind::Gqa,
+            heads: 32,
+            kv_heads: 8,
+            ffn: FfnKind::Dense,
+            num_experts: 1,
+            active_experts: 1,
+            intermediate: 14336,
+            max_seq_len: 8192,
+            vocab: 128256,
+            ffn_gated: true,
+            tied_embeddings: false,
+        }
+    }
+
+    #[test]
+    fn derived_dims() {
+        let m = llama3_8b_like();
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_dim(), 1024);
+        assert_eq!(m.gqa_group_factor(), 4);
+        assert_eq!(m.total_kv_heads(), 256); // paper: 8*32 = 256
+    }
+
+    #[test]
+    fn validation_accepts_good_config() {
+        llama3_8b_like().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_mhsa_with_fewer_kv_heads() {
+        let mut m = llama3_8b_like();
+        m.attention = AttentionKind::Mhsa;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_indivisible_heads() {
+        let mut m = llama3_8b_like();
+        m.kv_heads = 7;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_overactive_experts() {
+        let mut m = llama3_8b_like();
+        m.ffn = FfnKind::Moe;
+        m.num_experts = 4;
+        m.active_experts = 5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AttentionKind::Gqa.label(), "GQA");
+        assert_eq!(FfnKind::Moe.label(), "MoE");
+    }
+}

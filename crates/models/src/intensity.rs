@@ -1,0 +1,94 @@
+//! Arithmetic intensity: FLOPs per byte moved, the quantity that decides
+//! which side of the roofline a phase lands on.
+
+use crate::config::ModelConfig;
+use llmib_types::Precision;
+
+/// Arithmetic-intensity figures for one model at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityReport {
+    /// Decode-phase FLOPs per byte at the given batch/context (weights
+    /// amortized over the batch, KV reads included).
+    pub decode_flops_per_byte: f64,
+    /// Prefill-phase FLOPs per byte (weights read once for the whole
+    /// prompt batch).
+    pub prefill_flops_per_byte: f64,
+}
+
+impl ModelConfig {
+    /// Arithmetic intensity at a given batch size and context length.
+    pub fn arithmetic_intensity(
+        &self,
+        precision: Precision,
+        batch: u32,
+        context: u32,
+    ) -> IntensityReport {
+        let b = f64::from(batch.max(1));
+        let ctx = f64::from(context.max(1));
+
+        // Decode step: all active weights stream once for the batch; each
+        // request reads its KV prefix.
+        let decode_flops = b * self.decode_flops(context).value();
+        let weight_bytes = self
+            .streamed_weight_bytes(precision, self.active_experts.max(1))
+            .value();
+        let kv_bytes = b * ctx * self.kv_bytes_per_token(precision, true).value();
+        let decode_intensity = decode_flops / (weight_bytes + kv_bytes);
+
+        // Prefill: the whole prompt batch reuses each streamed weight.
+        let prefill_flops = b * self.prefill_flops(context).value();
+        let prefill_intensity = prefill_flops / weight_bytes;
+
+        IntensityReport {
+            decode_flops_per_byte: decode_intensity,
+            prefill_flops_per_byte: prefill_intensity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo::ModelId;
+    use llmib_types::Precision;
+
+    #[test]
+    fn decode_intensity_grows_with_batch() {
+        let m = ModelId::Llama3_8b.config();
+        let b1 = m.arithmetic_intensity(Precision::Fp16, 1, 512);
+        let b64 = m.arithmetic_intensity(Precision::Fp16, 64, 512);
+        assert!(b64.decode_flops_per_byte > 10.0 * b1.decode_flops_per_byte);
+    }
+
+    #[test]
+    fn prefill_is_far_more_intense_than_decode() {
+        // The roofline reason prefill is compute-bound and decode is
+        // memory-bound at small batch.
+        let m = ModelId::Llama3_8b.config();
+        let r = m.arithmetic_intensity(Precision::Fp16, 1, 1024);
+        assert!(r.prefill_flops_per_byte > 100.0 * r.decode_flops_per_byte);
+    }
+
+    #[test]
+    fn batch1_decode_intensity_is_about_two_flops_per_byte() {
+        // Classic result: one token re-reads every FP16 weight, doing 2
+        // FLOPs per parameter = ~1 FLOP/byte (plus attention corrections).
+        let m = ModelId::Llama2_7b.config();
+        let r = m.arithmetic_intensity(Precision::Fp16, 1, 128);
+        assert!(
+            (0.5..2.5).contains(&r.decode_flops_per_byte),
+            "{}",
+            r.decode_flops_per_byte
+        );
+    }
+
+    #[test]
+    fn gqa_keeps_long_context_decode_intensity_higher() {
+        // GQA's smaller KV means fewer bytes per attended token, so at
+        // long contexts its FLOPs/byte stays higher than MHSA's.
+        let gqa = ModelId::Llama3_8b.config();
+        let mhsa = ModelId::Llama2_7b.config();
+        let g = gqa.arithmetic_intensity(Precision::Fp16, 32, 4096);
+        let m = mhsa.arithmetic_intensity(Precision::Fp16, 32, 4096);
+        assert!(g.decode_flops_per_byte > m.decode_flops_per_byte);
+    }
+}

@@ -1,0 +1,22 @@
+//! Model architecture zoo and derived compute/memory math.
+//!
+//! This crate encodes the paper's Table I (the eight primary LLaMA-family
+//! models) plus the auxiliary ~7B models used in the perplexity studies
+//! (Figs. 10 and 29) and the LLaMA-68M speculative-decoding draft model.
+//!
+//! From each [`ModelConfig`] it derives the quantities the roofline
+//! performance model needs: parameter counts, per-token FLOPs for prefill
+//! and decode, weight bytes, and KV-cache bytes per token.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod intensity;
+mod math;
+mod zoo;
+
+pub use config::{AttentionKind, FfnKind, ModelConfig};
+pub use intensity::IntensityReport;
+pub use math::ArchBreakdown;
+pub use zoo::{ModelId, PAPER_70B_CLASS_MODELS, PAPER_7B_CLASS_MODELS, PERPLEXITY_STUDY_MODELS};

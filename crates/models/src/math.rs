@@ -1,0 +1,268 @@
+//! Derived architecture math: parameter counts, FLOPs, and byte traffic.
+//!
+//! These quantities feed the roofline model in `llmib-perf`. Conventions:
+//! one multiply-accumulate = 2 FLOPs; attention score/value products are
+//! counted per query head; normalization/activation FLOPs are ignored
+//! (sub-1% of a transformer's work).
+
+use crate::config::{FfnKind, ModelConfig};
+use llmib_types::{ByteCount, Flops, Precision};
+
+/// Per-component parameter breakdown of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchBreakdown {
+    /// Attention projection parameters across all layers (Q, K, V, O).
+    pub attention_params: u64,
+    /// FFN parameters across all layers, counting all stored experts.
+    pub ffn_params_stored: u64,
+    /// FFN parameters active per token across all layers.
+    pub ffn_params_active: u64,
+    /// Input embedding parameters.
+    pub embedding_params: u64,
+    /// LM head parameters (0 when tied with the embedding).
+    pub lm_head_params: u64,
+}
+
+impl ArchBreakdown {
+    /// Total stored parameters.
+    pub fn total_params(&self) -> u64 {
+        self.attention_params + self.ffn_params_stored + self.embedding_params + self.lm_head_params
+    }
+
+    /// Parameters touched per token (MoE activates a subset of experts).
+    pub fn active_params(&self) -> u64 {
+        self.attention_params + self.ffn_params_active + self.embedding_params + self.lm_head_params
+    }
+}
+
+impl ModelConfig {
+    /// Parameter breakdown per component.
+    pub fn breakdown(&self) -> ArchBreakdown {
+        let h = u64::from(self.hidden);
+        let kv = u64::from(self.kv_dim());
+        let layers = u64::from(self.layers);
+        let inter = u64::from(self.intermediate);
+        let vocab = u64::from(self.vocab);
+
+        // Q and O are h x h; K and V are h x kv_dim.
+        let attn_per_layer = h * h + 2 * h * kv + h * h;
+        let ffn_mats: u64 = if self.ffn_gated { 3 } else { 2 };
+        let ffn_per_expert = ffn_mats * h * inter;
+
+        let embedding = vocab * h;
+        let lm_head = if self.tied_embeddings { 0 } else { vocab * h };
+
+        ArchBreakdown {
+            attention_params: layers * attn_per_layer,
+            ffn_params_stored: layers * ffn_per_expert * u64::from(self.num_experts),
+            ffn_params_active: layers * ffn_per_expert * u64::from(self.active_experts),
+            embedding_params: embedding,
+            lm_head_params: lm_head,
+        }
+    }
+
+    /// Total stored parameters.
+    pub fn total_params(&self) -> u64 {
+        self.breakdown().total_params()
+    }
+
+    /// Parameters active per generated token.
+    pub fn active_params(&self) -> u64 {
+        self.breakdown().active_params()
+    }
+
+    /// Bytes of resident weights at `precision`.
+    pub fn weight_bytes(&self, precision: Precision) -> ByteCount {
+        ByteCount(self.total_params() as f64 * precision.bytes_per_element())
+    }
+
+    /// Bytes of weights that must be streamed for one decode step assuming
+    /// `distinct_experts` of the MoE experts are activated somewhere in the
+    /// batch (all non-expert weights are always streamed).
+    pub fn streamed_weight_bytes(&self, precision: Precision, distinct_experts: u32) -> ByteCount {
+        let b = self.breakdown();
+        let per_expert = if self.num_experts > 0 {
+            b.ffn_params_stored / u64::from(self.num_experts)
+        } else {
+            0
+        };
+        let experts = u64::from(distinct_experts.min(self.num_experts));
+        let params = b.attention_params + per_expert * experts + b.lm_head_params;
+        ByteCount(params as f64 * precision.bytes_per_element())
+    }
+
+    /// Expected number of distinct experts activated by a batch of
+    /// `batch` tokens in one decode step. Each token independently picks
+    /// `active_experts` of `num_experts` (uniform routing assumption):
+    /// classic coupon-collector coverage `E[(1 - (1-k/E)^B) * E]`.
+    pub fn expected_distinct_experts(&self, batch: u32) -> f64 {
+        if self.ffn == FfnKind::Dense {
+            return 1.0;
+        }
+        let e = f64::from(self.num_experts);
+        let k = f64::from(self.active_experts);
+        let b = f64::from(batch);
+        e * (1.0 - (1.0 - k / e).powf(b))
+    }
+
+    /// KV-cache bytes stored per token per request (across all layers) at
+    /// `precision`. `gqa_exploited` is false for frameworks that materialize
+    /// the full MHSA-sized cache (the paper's llama.cpp/DS-MII finding).
+    pub fn kv_bytes_per_token(&self, precision: Precision, gqa_exploited: bool) -> ByteCount {
+        let dim = if gqa_exploited {
+            u64::from(self.kv_dim())
+        } else {
+            u64::from(self.hidden)
+        };
+        // K and V each, per layer.
+        let per_token = 2 * u64::from(self.layers) * dim;
+        ByteCount(per_token as f64 * precision.bytes_per_element())
+    }
+
+    /// FLOPs of the linear (weight-multiplying) work for one token of
+    /// decode: 2 FLOPs per active parameter, excluding embeddings (lookup,
+    /// not matmul).
+    pub fn linear_flops_per_token(&self) -> Flops {
+        let b = self.breakdown();
+        let matmul_params = b.attention_params
+            + b.ffn_params_active
+            + b.lm_head_params.max(if self.tied_embeddings {
+                b.embedding_params
+            } else {
+                0
+            });
+        Flops(2.0 * matmul_params as f64)
+    }
+
+    /// Attention score/value FLOPs for one new token attending to a context
+    /// of length `context`: QK^T and A·V are each `2 * hidden * context`
+    /// per layer (summed over query heads).
+    pub fn attention_flops_per_token(&self, context: u32) -> Flops {
+        let per_layer = 4.0 * f64::from(self.hidden) * f64::from(context);
+        Flops(per_layer * f64::from(self.layers))
+    }
+
+    /// Total FLOPs to prefill `input_len` prompt tokens for one request:
+    /// linear work for each token plus the causal-attention triangle
+    /// (average context `input_len / 2`).
+    pub fn prefill_flops(&self, input_len: u32) -> Flops {
+        let n = f64::from(input_len);
+        let linear = self.linear_flops_per_token().value() * n;
+        let attn = self.attention_flops_per_token(input_len).value() * n / 2.0;
+        Flops(linear + attn)
+    }
+
+    /// FLOPs for one decode step of one request at context length `context`.
+    pub fn decode_flops(&self, context: u32) -> Flops {
+        Flops(
+            self.linear_flops_per_token().value() + self.attention_flops_per_token(context).value(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo::ModelId;
+    use llmib_types::Precision;
+
+    /// Parameter counts should land near the advertised sizes. Published
+    /// sizes count norms/biases we ignore, so allow a few percent.
+    #[test]
+    fn param_counts_match_advertised_sizes() {
+        let cases = [
+            (ModelId::Llama2_7b, 6.74e9, 0.03),
+            (ModelId::Llama3_8b, 8.03e9, 0.03),
+            (ModelId::Mistral7b, 7.24e9, 0.03),
+            // Qwen2-7B's Table I dims slightly overshoot the advertised
+            // 7.07B (its real FFN has per-layer size variation we don't
+            // model), hence the wider band.
+            (ModelId::Qwen2_7b, 7.07e9, 0.09),
+            (ModelId::Llama2_70b, 69.0e9, 0.03),
+            (ModelId::Llama3_70b, 70.6e9, 0.03),
+            (ModelId::Qwen2_72b, 72.7e9, 0.05),
+            (ModelId::Mixtral8x7b, 46.7e9, 0.04),
+        ];
+        for (id, expected, tol) in cases {
+            let got = id.config().total_params() as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(
+                rel < tol,
+                "{}: expected ~{expected:.3e}, got {got:.3e} (rel err {rel:.3})",
+                id.config().name
+            );
+        }
+    }
+
+    #[test]
+    fn mixtral_active_params_look_like_14b() {
+        // Paper: "The Mixtral model is equivalent to a 14B model, as only
+        // two of eight experts are active per layer during inference."
+        let active = ModelId::Mixtral8x7b.config().active_params() as f64;
+        assert!(
+            (1.1e10..1.55e10).contains(&active),
+            "active params {active:.3e} outside ~14B-equivalent band"
+        );
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_bytes_by_group_factor() {
+        let l3 = ModelId::Llama3_8b.config();
+        let exploited = l3.kv_bytes_per_token(Precision::Fp16, true);
+        let unexploited = l3.kv_bytes_per_token(Precision::Fp16, false);
+        let ratio = unexploited / exploited;
+        assert!((ratio - f64::from(l3.gqa_group_factor())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llama2_7b_kv_bytes_exact() {
+        // 2 (K,V) * 32 layers * 4096 dim * 2 bytes = 512 KiB per token.
+        let kv = ModelId::Llama2_7b
+            .config()
+            .kv_bytes_per_token(Precision::Fp16, true);
+        assert_eq!(kv.value(), 524288.0);
+    }
+
+    #[test]
+    fn expected_distinct_experts_saturates() {
+        let m = ModelId::Mixtral8x7b.config();
+        assert!((m.expected_distinct_experts(1) - 2.0).abs() < 1e-9);
+        assert!(m.expected_distinct_experts(64) > 7.9);
+        let dense = ModelId::Llama2_7b.config();
+        assert_eq!(dense.expected_distinct_experts(64), 1.0);
+    }
+
+    #[test]
+    fn decode_flops_grow_with_context() {
+        let m = ModelId::Llama3_8b.config();
+        assert!(m.decode_flops(2048).value() > m.decode_flops(128).value());
+    }
+
+    #[test]
+    fn prefill_flops_superlinear_in_input() {
+        let m = ModelId::Llama3_8b.config();
+        let f1 = m.prefill_flops(512).value();
+        let f2 = m.prefill_flops(1024).value();
+        assert!(f2 > 2.0 * f1, "quadratic attention term missing");
+    }
+
+    #[test]
+    fn vocab_dominates_llama3_vs_mistral_param_gap() {
+        // Same body; LLaMA-3-8B has 4x the vocab of Mistral-7B.
+        let l3 = ModelId::Llama3_8b.config().breakdown();
+        let mi = ModelId::Mistral7b.config().breakdown();
+        assert_eq!(l3.attention_params, mi.attention_params);
+        assert_eq!(l3.ffn_params_stored, mi.ffn_params_stored);
+        assert!(l3.lm_head_params > 3 * mi.lm_head_params);
+    }
+
+    #[test]
+    fn streamed_bytes_interpolate_between_active_and_stored() {
+        let m = ModelId::Mixtral8x7b.config();
+        let two = m.streamed_weight_bytes(Precision::Fp16, 2);
+        let eight = m.streamed_weight_bytes(Precision::Fp16, 8);
+        let full = m.weight_bytes(Precision::Fp16);
+        assert!(two.value() < eight.value());
+        // Streaming excludes the embedding lookup table.
+        assert!(eight.value() <= full.value());
+    }
+}

@@ -1,0 +1,55 @@
+//! Analytical roofline performance model for LLM inference.
+//!
+//! Given a [`Scenario`] — model × hardware × framework × precision ×
+//! parallelism × token shape — [`PerfModel::predict`] returns a
+//! [`Prediction`] with the paper's §III-5 metrics: TTFT, inter-token
+//! latency (Eq. 1), end-to-end latency, throughput (Eq. 2), average power
+//! and performance-per-watt.
+//!
+//! The model is mechanistic, not curve-fit: prefill is compute-bound work
+//! over the prompt; each decode step is `max(compute, memory)` where the
+//! memory side streams resident weights (amortized over the batch) plus the
+//! growing KV cache, and parallelism adds interconnect collectives. The
+//! paper's qualitative findings (GQA wins at large batch, MoE streams like
+//! 45B but computes like 14B, A100 plateaus on 70B models, MI250 declines
+//! past batch 32, SN40L ramps with sequence length, …) all emerge from
+//! these mechanics plus the vendor quirks in `llmib-hardware` and the
+//! framework behaviors in `llmib-frameworks`.
+//!
+//! ```
+//! use llmib_perf::{PerfModel, Scenario};
+//! use llmib_models::ModelId;
+//! use llmib_hardware::HardwareId;
+//! use llmib_frameworks::FrameworkId;
+//! use llmib_types::TokenShape;
+//!
+//! let scenario = Scenario::simple(
+//!     ModelId::Llama3_8b,
+//!     HardwareId::H100,
+//!     FrameworkId::Vllm,
+//!     TokenShape::square(512, 16),
+//! );
+//! let p = PerfModel::default_calibration().predict(&scenario).unwrap();
+//! assert!(p.throughput_tokens_per_s() > 0.0);
+//! assert!(p.ttft.value() < p.e2e.value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod fit;
+mod model;
+mod plan;
+mod resolved;
+mod roofline;
+mod scenario;
+mod specdec;
+
+pub use calibrate::Calibration;
+pub use fit::{evaluate, fit, loss, paper_targets, CalibParam, RatioReport, RatioTarget};
+pub use model::{PerfModel, PhaseBreakdown, Prediction};
+pub use plan::MemoryPlan;
+pub use resolved::ResolvedScenario;
+pub use roofline::StepCosts;
+pub use scenario::{Scenario, ScenarioBuilder, SpecDecode};

@@ -1,0 +1,380 @@
+//! The public prediction API: [`PerfModel`] and [`Prediction`].
+
+use crate::calibrate::Calibration;
+use crate::plan::MemoryPlan;
+use crate::roofline::{Roofline, StepCosts};
+use crate::scenario::Scenario;
+use crate::specdec;
+use llmib_types::{Joules, Result, Seconds, TokensPerSecond, Watts};
+use serde::Serialize;
+
+/// The analytical performance model. Cheap to construct and `Sync`;
+/// share one instance across threads for parallel sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct PerfModel {
+    calibration: Calibration,
+}
+
+/// Per-phase timing of one prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PhaseBreakdown {
+    /// Prompt-processing time of one wave.
+    pub prefill: Seconds,
+    /// Token-generation time of one wave.
+    pub decode: Seconds,
+    /// Decode-step costs sampled at the midpoint context.
+    pub midpoint_step: StepCosts,
+}
+
+/// Prediction of every §III-5 performance metric for one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct Prediction {
+    /// The scenario predicted.
+    pub scenario: Scenario,
+    /// Time to first token (§III-5b).
+    pub ttft: Seconds,
+    /// Inter-token latency per Eq. 1; `None` when output length is 1.
+    pub itl: Option<Seconds>,
+    /// End-to-end latency for the whole batch.
+    pub e2e: Seconds,
+    /// Throughput per Eq. 2: `batch × (input + output) / e2e`.
+    pub throughput: TokensPerSecond,
+    /// Generation-only throughput (output tokens per second).
+    pub decode_throughput: TokensPerSecond,
+    /// Average power of one device over the run.
+    pub avg_power_per_device: Watts,
+    /// Average power summed over all devices (what the paper reports).
+    pub total_power: Watts,
+    /// Total energy over the run, all devices.
+    pub energy: Joules,
+    /// Tokens per second per watt (§III-5e).
+    pub perf_per_watt: f64,
+    /// Phase timing of one wave.
+    pub phases: PhaseBreakdown,
+    /// Requests concurrently resident (may be below the requested batch
+    /// when KV capacity limits concurrency).
+    pub effective_batch: u32,
+    /// Sequential admission waves needed to serve the batch.
+    pub waves: u32,
+    /// Whether the working set spilled past the primary memory tier.
+    pub spilled: bool,
+}
+
+impl Prediction {
+    /// Throughput in tokens/s (Eq. 2) as a bare float.
+    pub fn throughput_tokens_per_s(&self) -> f64 {
+        self.throughput.value()
+    }
+
+    /// TTFT in milliseconds.
+    pub fn ttft_ms(&self) -> f64 {
+        self.ttft.as_millis()
+    }
+
+    /// ITL in milliseconds (0 when undefined).
+    pub fn itl_ms(&self) -> f64 {
+        self.itl.map_or(0.0, |s| s.as_millis())
+    }
+}
+
+impl PerfModel {
+    /// Model with the default calibration (see `calibrate.rs`).
+    pub fn default_calibration() -> Self {
+        Self::default()
+    }
+
+    /// Model with a custom calibration.
+    pub fn with_calibration(calibration: Calibration) -> Self {
+        Self { calibration }
+    }
+
+    /// The active calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Resolve the memory plan for a scenario without timing it.
+    pub fn plan(&self, scenario: &Scenario) -> Result<MemoryPlan> {
+        Ok(Roofline::resolve(scenario, &self.calibration)?.plan)
+    }
+
+    /// Predict all §III-5 metrics for a scenario.
+    ///
+    /// Errors are data, not bugs: [`llmib_types::Error::Unsupported`]
+    /// mirrors Table III gaps (e.g. TensorRT-LLM on MI250, FP8 on A100)
+    /// and [`llmib_types::Error::OutOfMemory`] mirrors the paper's Gaudi2
+    /// OOMs and the 70B-on-one-A100-node failures.
+    pub fn predict(&self, scenario: &Scenario) -> Result<Prediction> {
+        let r = Roofline::resolve(scenario, &self.calibration)?;
+        let shape = scenario.shape;
+        let eff_b = r.plan.effective_batch;
+        let waves = r.plan.waves;
+
+        let prefill_costs = r.prefill(eff_b);
+        let prefill = prefill_costs.total();
+        let first_step = r.decode_step(eff_b, shape.input_tokens).total();
+        let ttft = prefill + first_step;
+
+        let decode = match &scenario.spec_decode {
+            Some(sd) => specdec::decode_total_with_sd(
+                &r,
+                sd,
+                eff_b,
+                shape.input_tokens,
+                shape.output_tokens,
+            )?,
+            None => r.decode_total(eff_b, shape.input_tokens, shape.output_tokens),
+        };
+
+        let wave_time = prefill + decode;
+        let e2e = wave_time * f64::from(waves);
+
+        let throughput = TokensPerSecond(shape.total_tokens() as f64 / e2e.value());
+        let decode_throughput = TokensPerSecond(
+            f64::from(shape.batch_size) * f64::from(shape.output_tokens)
+                / (decode.value() * f64::from(waves)),
+        );
+
+        let itl = if shape.output_tokens > 1 {
+            // Paper Eq. 1.
+            Some(Seconds(
+                (e2e.value() - ttft.value())
+                    / (f64::from(shape.batch_size) * f64::from(shape.output_tokens - 1)),
+            ))
+        } else {
+            None
+        };
+
+        // --- Power ---
+        let midpoint_step = r.midpoint_step(eff_b);
+        let calib = &self.calibration;
+        let u_prefill = phase_utilization(&r, &prefill_costs, eff_b, calib, true);
+        let u_decode = phase_utilization(&r, &midpoint_step, eff_b, calib, false);
+        let phases = [(u_prefill, prefill), (u_decode, decode)];
+        let avg_power = r.hw.power.average_power(&phases);
+        let devices = f64::from(r.plan.devices);
+        let total_power = Watts(avg_power.value() * devices);
+        let energy = e2e.energy_at(total_power);
+        let perf_per_watt = total_power.perf_per_watt(throughput);
+
+        Ok(Prediction {
+            scenario: scenario.clone(),
+            ttft,
+            itl,
+            e2e,
+            throughput,
+            decode_throughput,
+            avg_power_per_device: avg_power,
+            total_power,
+            energy,
+            perf_per_watt,
+            phases: PhaseBreakdown {
+                prefill,
+                decode,
+                midpoint_step,
+            },
+            effective_batch: eff_b,
+            waves,
+            spilled: r.plan.spilled,
+        })
+    }
+
+    /// Convenience: throughput (tokens/s, Eq. 2) or an error.
+    pub fn throughput(&self, scenario: &Scenario) -> Result<f64> {
+        Ok(self.predict(scenario)?.throughput_tokens_per_s())
+    }
+}
+
+/// Utilization for the power model: compute occupancy scaled by how much
+/// of the silicon the framework's kernels actually light up (TRT-LLM
+/// "consumes more power than vLLM due to more utilization of the
+/// hardware", Fig. 16), and memory occupancy discounted because HBM
+/// streaming burns less than saturated tensor cores.
+fn phase_utilization(
+    r: &Roofline,
+    costs: &StepCosts,
+    batch: u32,
+    calib: &Calibration,
+    is_prefill: bool,
+) -> f64 {
+    let total = costs.total().value();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Normalize framework kernel quality to the best profile (0.72).
+    let eff_c = if is_prefill {
+        r.fw.compute_efficiency
+    } else {
+        r.fw.compute_efficiency_at(batch)
+    };
+    let kernel_quality = (eff_c / 0.65).min(1.0);
+    let u_compute = costs.compute.value() / total * kernel_quality;
+    let u_memory =
+        costs.memory.value() / total * r.fw.memory_efficiency * calib.memory_power_weight;
+    let base = if is_prefill {
+        calib.prefill_utilization * kernel_quality
+    } else {
+        0.0
+    };
+    u_compute
+        .max(u_memory)
+        .max(base * costs.compute.value() / total)
+        .clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_frameworks::FrameworkId;
+    use llmib_hardware::HardwareId;
+    use llmib_models::ModelId;
+    use llmib_types::{Parallelism, TokenShape};
+
+    fn model() -> PerfModel {
+        PerfModel::default_calibration()
+    }
+
+    fn scenario(batch: u32, len: u32) -> Scenario {
+        Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(len, batch),
+        )
+    }
+
+    #[test]
+    fn prediction_fields_are_consistent() {
+        let p = model().predict(&scenario(16, 1024)).unwrap();
+        assert!(p.ttft.value() > 0.0);
+        assert!(p.e2e.value() > p.ttft.value());
+        assert!(p.throughput.value() > 0.0);
+        // Eq. 2 round trip.
+        let expected = 16.0 * 2048.0 / p.e2e.value();
+        assert!((p.throughput.value() - expected).abs() < 1e-6);
+        // Eq. 1 round trip.
+        let itl = p.itl.unwrap().value();
+        let expected_itl = (p.e2e.value() - p.ttft.value()) / (16.0 * 1023.0);
+        assert!((itl - expected_itl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_rises_with_batch() {
+        let m = model();
+        let t1 = m.throughput(&scenario(1, 1024)).unwrap();
+        let t16 = m.throughput(&scenario(16, 1024)).unwrap();
+        let t64 = m.throughput(&scenario(64, 1024)).unwrap();
+        assert!(t16 > 3.0 * t1);
+        assert!(t64 > t16);
+    }
+
+    #[test]
+    fn output_one_has_no_itl() {
+        let mut s = scenario(1, 128);
+        s.shape = TokenShape::new(128, 1, 1);
+        let p = model().predict(&s).unwrap();
+        assert!(p.itl.is_none());
+        assert_eq!(p.itl_ms(), 0.0);
+    }
+
+    #[test]
+    fn power_within_envelope() {
+        let p = model().predict(&scenario(64, 1024)).unwrap();
+        let spec = HardwareId::A100.spec();
+        assert!(p.avg_power_per_device.value() >= spec.power.idle.value());
+        assert!(p.avg_power_per_device.value() <= spec.power.tdp.value());
+        assert!(p.perf_per_watt > 0.0);
+        // Energy = total power × e2e.
+        assert!(
+            (p.energy.value() - p.total_power.value() * p.e2e.value()).abs()
+                < 1e-6 * p.energy.value()
+        );
+    }
+
+    #[test]
+    fn trt_llm_draws_more_power_and_more_perf_per_watt_than_vllm() {
+        // Fig. 16's finding.
+        let m = model();
+        let mut s = scenario(64, 1024);
+        let vllm = m.predict(&s).unwrap();
+        s.framework = FrameworkId::TrtLlm;
+        let trt = m.predict(&s).unwrap();
+        assert!(
+            trt.avg_power_per_device.value() > vllm.avg_power_per_device.value(),
+            "TRT {} vs vLLM {}",
+            trt.avg_power_per_device,
+            vllm.avg_power_per_device
+        );
+        assert!(trt.perf_per_watt > vllm.perf_per_watt);
+    }
+
+    #[test]
+    fn multi_device_power_sums() {
+        let m = model();
+        let mut s = scenario(16, 1024);
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let p = m.predict(&s).unwrap();
+        assert!((p.total_power.value() - 4.0 * p.avg_power_per_device.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_decode_helps_7b_at_short_context_only() {
+        // Fig. 4b: SD improves the 7B model; benefit vanishes with length
+        // and for the MoE model.
+        let m = model();
+        let mk = |model_id, len: u32, sd: bool| {
+            let mut s = Scenario::simple(
+                model_id,
+                HardwareId::A100,
+                FrameworkId::Vllm,
+                TokenShape::square(len, 1),
+            );
+            // Mixtral needs the full 4-GPU node; use it everywhere so the
+            // comparison is apples-to-apples.
+            s.parallelism = Parallelism::tensor_parallel(4);
+            if sd {
+                s.spec_decode = Some(crate::scenario::SpecDecode::default());
+            }
+            m.throughput(&s).unwrap()
+        };
+        let base_short = mk(ModelId::Llama2_7b, 128, false);
+        let sd_short = mk(ModelId::Llama2_7b, 128, true);
+        assert!(
+            sd_short > base_short,
+            "SD should help at 128: {sd_short} vs {base_short}"
+        );
+
+        let base_long = mk(ModelId::Llama2_7b, 2048, false);
+        let sd_long = mk(ModelId::Llama2_7b, 2048, true);
+        let gain_short = sd_short / base_short;
+        let gain_long = sd_long / base_long;
+        assert!(gain_long < gain_short, "SD benefit must shrink with length");
+
+        let moe_base = mk(ModelId::Mixtral8x7b, 512, false);
+        let moe_sd = mk(ModelId::Mixtral8x7b, 512, true);
+        assert!(moe_sd < moe_base * 1.05, "SD must not help Mixtral");
+    }
+
+    #[test]
+    fn waves_reported_for_capacity_limited_scenarios() {
+        let m = model();
+        let mut s = Scenario::simple(
+            ModelId::Llama3_70b,
+            HardwareId::A100,
+            FrameworkId::TrtLlm,
+            TokenShape::square(1024, 64),
+        );
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let p = m.predict(&s).unwrap();
+        assert!(p.waves > 1);
+        assert!(p.effective_batch < 64);
+    }
+
+    #[test]
+    fn unsupported_is_error_not_panic() {
+        let m = model();
+        let mut s = scenario(1, 128);
+        s.hardware = HardwareId::Sn40l; // vLLM N/A on SN40L
+        assert!(m.predict(&s).unwrap_err().is_unsupported());
+    }
+}

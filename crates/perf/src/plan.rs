@@ -1,0 +1,424 @@
+//! Device memory planning: where weights and KV live, how many requests
+//! fit, and what happens when they don't.
+//!
+//! This is where the paper's capacity phenomena come from:
+//! * 70B models "could not fit on one A100 node" for llama.cpp (App. E-C)
+//!   → static batching + insufficient memory = hard OOM;
+//! * A100 70B throughput plateaus with batch (Fig. 7: 3× vs H100's 39×)
+//!   → continuous batching admits only `max_concurrency` requests and the
+//!   rest wait ("waves");
+//! * Gaudi2 "attains memory issues quicker" → strict allocation = OOM
+//!   instead of waves;
+//! * GH200/SN40L keep going past HBM by spilling to their slower tiers.
+
+use crate::calibrate::Calibration;
+use crate::scenario::Scenario;
+use llmib_frameworks::{FrameworkProfile, KvLayout, TpMode};
+use llmib_hardware::AcceleratorSpec;
+use llmib_models::ModelConfig;
+use llmib_types::{ByteCount, Error, Result};
+use serde::Serialize;
+
+/// Resolved memory layout for a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MemoryPlan {
+    /// Devices participating.
+    pub devices: u32,
+    /// Resident weight bytes per device.
+    pub weight_bytes_per_device: ByteCount,
+    /// KV bytes stored per token of one request, per device.
+    pub kv_bytes_per_token_per_device: ByteCount,
+    /// KV bytes *reserved* per request at its maximum context, including
+    /// paging round-up or monolithic fragmentation waste, per device.
+    pub kv_reserved_per_request: ByteCount,
+    /// Bytes available for KV after weights + activation overhead.
+    pub kv_budget_per_device: ByteCount,
+    /// Requests that can be resident simultaneously.
+    pub max_concurrency: u32,
+    /// Requests actually run per wave (`min(batch, max_concurrency)`).
+    pub effective_batch: u32,
+    /// Number of sequential waves needed to serve the full batch.
+    pub waves: u32,
+    /// Peak per-device working set at full effective batch.
+    pub peak_bytes_per_device: ByteCount,
+    /// Whether the working set spills beyond the primary memory tier.
+    pub spilled: bool,
+    /// KV block size in tokens (paged layouts), if any.
+    pub kv_block_tokens: Option<u32>,
+    /// Multiplier (>= 1) on KV bytes *streamed* by the attention kernels:
+    /// frameworks with weak GQA support read the cache as if it were
+    /// (partially) MHSA-sized even though they store it compactly.
+    pub gqa_stream_multiplier: f64,
+}
+
+impl MemoryPlan {
+    /// Build the memory plan for a scenario. Errors with
+    /// [`Error::OutOfMemory`] when the platform/framework combination
+    /// cannot serve the workload at all.
+    pub fn build(
+        scenario: &Scenario,
+        model: &ModelConfig,
+        hw: &AcceleratorSpec,
+        fw: &FrameworkProfile,
+        calib: &Calibration,
+    ) -> Result<Self> {
+        let devices = scenario.parallelism.device_count();
+        let p = scenario.parallelism;
+        let precision = scenario.precision;
+
+        // --- Weight sharding ---
+        let breakdown = model.breakdown();
+        let bpe = precision.bytes_per_element();
+        let dense_bytes = (breakdown.attention_params
+            + breakdown.embedding_params
+            + breakdown.lm_head_params) as f64
+            * bpe;
+        let expert_bytes = breakdown.ffn_params_stored as f64 * bpe;
+        let weight_bytes_per_device = match fw.tp_mode {
+            // Layer-split divides everything by device count.
+            TpMode::LayerSplit => ByteCount((dense_bytes + expert_bytes) / f64::from(devices)),
+            TpMode::Sharded => {
+                let mesh = f64::from((p.tensor * p.pipeline).max(1));
+                // Expert parallelism additionally shards the expert
+                // weights; attention/embeddings are replicated across the
+                // EP dimension beyond the TP×PP mesh.
+                let ep_extra = f64::from(p.expert.max(1)).max(mesh) / mesh;
+                ByteCount(dense_bytes / mesh + expert_bytes / (mesh * ep_extra))
+            }
+        };
+
+        // --- KV sizing ---
+        // Storage is always the exact GQA-sized cache; frameworks with
+        // weak GQA kernels pay at *read* time (the paper's llama.cpp and
+        // DS-MII findings are throughput, not capacity, effects), so the
+        // group-factor penalty goes into `gqa_stream_multiplier`.
+        // INT8/INT4 are weight-only formats (GPTQ/AWQ-style): activations
+        // and the KV cache remain 16-bit; only FP8 shrinks the KV cache
+        // ("low precision for weights and KV cache", §IV-B3).
+        let kv_precision = match precision {
+            llmib_types::Precision::Int8 | llmib_types::Precision::Int4 => {
+                llmib_types::Precision::Fp16
+            }
+            p => p,
+        };
+        let kv_tok_total = if scenario.kv_cache {
+            model.kv_bytes_per_token(kv_precision, true)
+        } else {
+            ByteCount::ZERO
+        };
+        let group = f64::from(model.gqa_group_factor());
+        let gqa_stream_multiplier = group.powf(1.0 - fw.gqa_kv_efficiency.clamp(0.0, 1.0));
+        let kv_bytes_per_token_per_device = ByteCount(kv_tok_total.value() / f64::from(devices));
+
+        let max_ctx = f64::from(scenario.shape.max_context());
+        let kv_block_tokens = match (scenario.kv_block_override, fw.kv_layout) {
+            (Some(b), _) => Some(b),
+            (None, KvLayout::Paged { default_block }) => Some(default_block),
+            (None, KvLayout::Monolithic) => None,
+        };
+        let kv_reserved_per_request = match kv_block_tokens {
+            Some(block) => {
+                let blocks = (max_ctx / f64::from(block)).ceil();
+                ByteCount(blocks * f64::from(block) * kv_bytes_per_token_per_device.value())
+            }
+            None => ByteCount(
+                max_ctx * kv_bytes_per_token_per_device.value() * calib.monolithic_fragmentation,
+            ),
+        };
+
+        // Activation/workspace buffers scale with each request's context
+        // (a handful of hidden-sized buffers per position in flight),
+        // sharded across the participating devices like everything else.
+        let act_per_request =
+            max_ctx * f64::from(model.hidden) * calib.activation_buffers / f64::from(devices);
+        let request_footprint = kv_reserved_per_request.value() + act_per_request;
+
+        // --- Capacity ---
+        let overhead_frac = calib.activation_overhead.max(fw.resident_overhead);
+        let overhead = ByteCount(weight_bytes_per_device.value() * overhead_frac);
+        // Static-batching frameworks simply run the batch in sequential
+        // sub-batches when it doesn't fit; only graph-mode allocators
+        // (Gaudi2) hard-fail (footnote 1).
+        let strict = hw.quirks.strict_allocation;
+        // Strict runtimes must fit in the primary tier; elastic ones may
+        // use every bulk tier (spilling costs bandwidth, handled by the
+        // roofline via `effective_bandwidth`).
+        let capacity = if strict {
+            hw.memory.usable_primary_capacity()
+        } else {
+            hw.memory.usable_capacity()
+        };
+        let base = weight_bytes_per_device.value() + overhead.value();
+        if base > capacity.value() {
+            return Err(Error::OutOfMemory {
+                required_bytes: base,
+                available_bytes: capacity.value(),
+                detail: format!("weights alone exceed {} memory", hw.name),
+            });
+        }
+        let kv_budget = ByteCount(capacity.value() - base);
+
+        let batch = scenario.shape.batch_size;
+        let per_request = request_footprint;
+        let max_concurrency = if per_request <= 0.0 {
+            batch
+        } else {
+            (kv_budget.value() / per_request).floor() as u32
+        };
+
+        let (effective_batch, waves) = if max_concurrency >= batch {
+            (batch, 1)
+        } else if strict {
+            return Err(Error::OutOfMemory {
+                required_bytes: base + f64::from(batch) * per_request,
+                available_bytes: capacity.value(),
+                detail: format!(
+                    "KV cache for batch {batch} at context {} does not fit and {}'s \
+                     allocator cannot admit partial batches",
+                    scenario.shape.max_context(),
+                    hw.name
+                ),
+            });
+        } else if max_concurrency == 0 {
+            return Err(Error::OutOfMemory {
+                required_bytes: base + per_request,
+                available_bytes: capacity.value(),
+                detail: "not even one request's KV cache fits".into(),
+            });
+        } else {
+            (max_concurrency, batch.div_ceil(max_concurrency))
+        };
+
+        let peak = ByteCount(base + f64::from(effective_batch) * per_request);
+        let spilled = peak.value() > hw.memory.usable_primary_capacity().value();
+
+        Ok(Self {
+            devices,
+            weight_bytes_per_device,
+            kv_bytes_per_token_per_device,
+            kv_reserved_per_request,
+            kv_budget_per_device: kv_budget,
+            max_concurrency,
+            effective_batch,
+            waves,
+            peak_bytes_per_device: peak,
+            spilled,
+            kv_block_tokens,
+            gqa_stream_multiplier,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use llmib_frameworks::FrameworkId;
+    use llmib_hardware::HardwareId;
+    use llmib_models::ModelId;
+    use llmib_types::{Parallelism, TokenShape};
+
+    fn plan_for(s: &Scenario) -> Result<MemoryPlan> {
+        MemoryPlan::build(
+            s,
+            &s.model.config(),
+            &s.hardware.spec(),
+            &s.framework.profile(),
+            &Calibration::default(),
+        )
+    }
+
+    #[test]
+    fn small_model_fits_single_a100() {
+        let s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(1024, 16),
+        );
+        let p = plan_for(&s).unwrap();
+        assert_eq!(p.effective_batch, 16);
+        assert_eq!(p.waves, 1);
+        assert!(!p.spilled);
+        // ~16 GB of FP16 weights.
+        assert!((14.0..18.0).contains(&p.weight_bytes_per_device.as_gib()));
+    }
+
+    #[test]
+    fn seventy_b_does_not_fit_one_a100() {
+        let s = Scenario::simple(
+            ModelId::Llama3_70b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(128, 1),
+        );
+        let err = plan_for(&s).unwrap_err();
+        assert!(err.is_oom());
+    }
+
+    #[test]
+    fn seventy_b_on_4xa100_runs_in_waves_at_large_batch() {
+        // Fig. 7's A100 plateau: weights almost fill the 40 GB devices,
+        // so only a few requests are concurrently resident.
+        let mut s = Scenario::simple(
+            ModelId::Llama3_70b,
+            HardwareId::A100,
+            FrameworkId::TrtLlm,
+            TokenShape::square(1024, 64),
+        );
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let p = plan_for(&s).unwrap();
+        assert!(p.max_concurrency >= 1);
+        assert!(
+            p.max_concurrency < 64,
+            "A100 should not fit 64 concurrent 70B requests"
+        );
+        assert!(p.waves > 1);
+        assert_eq!(p.effective_batch, p.max_concurrency);
+    }
+
+    #[test]
+    fn seventy_b_on_4xh100_fits_whole_batch() {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_70b,
+            HardwareId::H100,
+            FrameworkId::TrtLlm,
+            TokenShape::square(1024, 64),
+        );
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let p = plan_for(&s).unwrap();
+        assert_eq!(p.waves, 1, "H100 80GB x4 fits 64 concurrent requests");
+    }
+
+    #[test]
+    fn gaudi2_strict_allocation_ooms_instead_of_waving() {
+        // Footnote 1: OOM at batch 32/64 in several scenarios.
+        let s = Scenario::simple(
+            ModelId::Llama2_7b,
+            HardwareId::Gaudi2,
+            FrameworkId::Vllm,
+            TokenShape::square(2048, 64),
+        );
+        let err = plan_for(&s).unwrap_err();
+        assert!(err.is_oom());
+        // Same scenario with continuous batching on A100 runs in waves.
+        let s2 = Scenario::simple(
+            ModelId::Llama2_7b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(2048, 64),
+        );
+        let p2 = plan_for(&s2).unwrap();
+        assert!(p2.waves >= 1);
+    }
+
+    #[test]
+    fn gqa_exploitation_changes_kv_streaming_not_storage() {
+        let mk = |fw| {
+            let mut s = Scenario::simple(
+                ModelId::Llama3_8b,
+                HardwareId::A100,
+                FrameworkId::Vllm,
+                TokenShape::square(512, 8),
+            );
+            s.framework = fw;
+            plan_for(&s).unwrap()
+        };
+        let vllm = mk(FrameworkId::Vllm);
+        let dsmii = mk(FrameworkId::DsMii);
+        let lcpp = mk(FrameworkId::LlamaCpp);
+        // Storage is identical (the cache itself is GQA-sized)...
+        assert_eq!(
+            vllm.kv_bytes_per_token_per_device,
+            lcpp.kv_bytes_per_token_per_device
+        );
+        // ...but the kernels of GQA-blind frameworks stream more bytes.
+        // LLaMA-3-8B group factor is 4: llama.cpp (no GQA support) pays
+        // the full 4x; DS-MII (mostly blind) pays 4^0.85 ≈ 3.25x.
+        assert!((vllm.gqa_stream_multiplier - 1.0).abs() < 1e-12);
+        assert!((lcpp.gqa_stream_multiplier - 4.0).abs() < 1e-9);
+        assert!((3.0..3.5).contains(&dsmii.gqa_stream_multiplier));
+    }
+
+    #[test]
+    fn monolithic_reserves_more_than_paged() {
+        let paged = Scenario::simple(
+            ModelId::Mistral7b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(1000, 4),
+        );
+        let mut mono = paged.clone();
+        mono.framework = FrameworkId::LlamaCpp;
+        let pp = plan_for(&paged).unwrap();
+        let pm = plan_for(&mono).unwrap();
+        // Same GQA-ignorant factor must not confound: compare reservation
+        // relative to the respective per-token cost.
+        let paged_ratio = pp.kv_reserved_per_request.value()
+            / (pp.kv_bytes_per_token_per_device.value() * 2000.0);
+        let mono_ratio = pm.kv_reserved_per_request.value()
+            / (pm.kv_bytes_per_token_per_device.value() * 2000.0);
+        assert!(mono_ratio > paged_ratio);
+        assert!(mono_ratio > 1.2);
+        assert!(paged_ratio < 1.05);
+    }
+
+    #[test]
+    fn tensor_parallel_shards_weights() {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(128, 1),
+        );
+        let single = plan_for(&s).unwrap();
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let tp4 = plan_for(&s).unwrap();
+        let ratio = single.weight_bytes_per_device.value() / tp4.weight_bytes_per_device.value();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kv_block_override_rounds_reservation() {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::new(100, 28, 1),
+        );
+        s.kv_block_override = Some(64);
+        let p = plan_for(&s).unwrap();
+        // 128 tokens exactly = 2 blocks of 64.
+        let expected = 128.0 * p.kv_bytes_per_token_per_device.value();
+        assert!((p.kv_reserved_per_request.value() - expected).abs() < 1.0);
+        assert_eq!(p.kv_block_tokens, Some(64));
+    }
+
+    #[test]
+    fn gh200_spills_rather_than_ooms() {
+        // A 70B model does not fit GH200's 96 GB HBM at FP16, but the
+        // LPDDR tier absorbs it.
+        let s = Scenario::simple(
+            ModelId::Llama2_70b,
+            HardwareId::Gh200,
+            FrameworkId::Vllm,
+            TokenShape::square(128, 1),
+        );
+        let p = plan_for(&s).unwrap();
+        assert!(p.spilled);
+    }
+
+    #[test]
+    fn kv_cache_disabled_reserves_nothing() {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(1024, 16),
+        );
+        s.kv_cache = false;
+        let p = plan_for(&s).unwrap();
+        assert_eq!(p.kv_reserved_per_request.value(), 0.0);
+        assert_eq!(p.waves, 1);
+    }
+}

@@ -1,0 +1,509 @@
+//! The roofline itself: per-phase cost evaluation.
+
+use crate::calibrate::Calibration;
+use crate::plan::MemoryPlan;
+use crate::scenario::Scenario;
+use llmib_frameworks::{support_matrix, FrameworkProfile, TpMode};
+use llmib_hardware::AcceleratorSpec;
+use llmib_models::ModelConfig;
+use llmib_types::{ByteCount, Error, FlopsRate, Precision, Result, Seconds};
+use serde::Serialize;
+
+/// Cost breakdown of one execution phase (a decode step or a prefill).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StepCosts {
+    /// Tensor-compute time on the bounding device.
+    pub compute: Seconds,
+    /// Memory-streaming time on the bounding device.
+    pub memory: Seconds,
+    /// Interconnect collective time.
+    pub comm: Seconds,
+    /// Fixed host/launch/sync overhead.
+    pub overhead: Seconds,
+}
+
+impl StepCosts {
+    /// Wall-clock time: compute and memory overlap (roofline max); comm
+    /// and launch overhead serialize with them.
+    pub fn total(&self) -> Seconds {
+        self.compute.max(self.memory) + self.comm + self.overhead
+    }
+
+    /// Roofline occupancy of the device for the power model: compute
+    /// occupancy at full weight, memory occupancy discounted by
+    /// `memory_weight` (streaming burns less power than tensor math).
+    pub fn utilization(&self, memory_weight: f64) -> f64 {
+        let total = self.total().value();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let cu = self.compute.value() / total;
+        let mu = self.memory.value() / total;
+        cu.max(memory_weight * mu).clamp(0.0, 1.0)
+    }
+}
+
+/// A fully-resolved scenario ready for cost evaluation.
+#[derive(Debug, Clone)]
+pub(crate) struct Roofline {
+    pub scenario: Scenario,
+    pub model: ModelConfig,
+    pub hw: AcceleratorSpec,
+    pub fw: FrameworkProfile,
+    pub calib: Calibration,
+    pub plan: MemoryPlan,
+    compute_rate: FlopsRate,
+    effective_bw_value: f64,
+}
+
+impl Roofline {
+    /// Resolve a scenario: support checks, precision gating, memory plan.
+    pub fn resolve(scenario: &Scenario, calib: &Calibration) -> Result<Self> {
+        let entry = support_matrix(scenario.framework, scenario.hardware);
+        if !entry.is_runnable() {
+            return Err(Error::Unsupported {
+                what: format!(
+                    "{} on {}",
+                    scenario.framework.name(),
+                    scenario.hardware.name()
+                ),
+                reason: format!("support matrix entry is {}", entry.label()),
+            });
+        }
+        let model = scenario.model.config();
+        model.validate()?;
+        let hw = scenario.hardware.spec();
+        let fw = scenario.framework.profile();
+
+        let devices = scenario.parallelism.device_count();
+        if devices > hw.devices_per_node {
+            return Err(Error::Unsupported {
+                what: format!("{} devices on a {} node", devices, hw.name),
+                reason: format!("node has {} devices", hw.devices_per_node),
+            });
+        }
+        if let Some(tp) = hw.quirks.fixed_tp {
+            if devices != tp {
+                return Err(Error::Unsupported {
+                    what: format!("{} with {} devices", hw.name, devices),
+                    reason: format!("serving stack runs at a fixed TP of {tp}"),
+                });
+            }
+        }
+        if let Some(maxb) = hw.quirks.max_batch {
+            if scenario.shape.batch_size > maxb {
+                return Err(Error::Unsupported {
+                    what: format!("batch {} on {}", scenario.shape.batch_size, hw.name),
+                    reason: format!("stack serves batch sizes up to {maxb}"),
+                });
+            }
+        }
+
+        // Precision gating: the framework must implement it AND the
+        // hardware must execute it (Fig. 3: "the absence of FP8 support
+        // on A100 limits the framework").
+        if !fw.supports_precision(scenario.precision) {
+            return Err(Error::Unsupported {
+                what: format!("{} at {}", fw.name, scenario.precision),
+                reason: "framework does not implement this precision".into(),
+            });
+        }
+        let peak = compute_peak(&hw, scenario.precision).ok_or_else(|| Error::Unsupported {
+            what: format!("{} at {}", hw.name, scenario.precision),
+            reason: "hardware lacks native support for this precision".into(),
+        })?;
+        let compute_rate = match scenario.precision {
+            Precision::Int8 | Precision::Int4 => FlopsRate(peak.value() * calib.dequant_efficiency),
+            _ => peak,
+        };
+
+        let plan = MemoryPlan::build(scenario, &model, &hw, &fw, calib)?;
+        let effective_bw_value = hw
+            .memory
+            .effective_bandwidth(plan.peak_bytes_per_device)
+            .map(|b| b.value())
+            .unwrap_or_else(|_| hw.memory.primary_tier().bandwidth.value());
+
+        Ok(Self {
+            scenario: scenario.clone(),
+            model,
+            hw,
+            fw,
+            calib: calib.clone(),
+            plan,
+            compute_rate,
+            effective_bw_value,
+        })
+    }
+
+    /// Compute-time speedup from parallelism (TP shards GEMMs; PP
+    /// pipelines micro-batches when the batch is deep enough; layer-split
+    /// runs serially; EP divides expert work with a load-imbalance tax).
+    fn compute_speedup(&self, batch: u32) -> f64 {
+        if self.fw.tp_mode == TpMode::LayerSplit {
+            return 1.0;
+        }
+        let p = self.scenario.parallelism;
+        let ep = if p.expert > 1 {
+            f64::from(p.expert) / (1.0 + self.calib.ep_imbalance)
+        } else {
+            1.0
+        };
+        f64::from(p.tensor) * ep.max(1.0) * self.pp_factor(batch)
+    }
+
+    /// Pipeline-parallel speedup per the GPipe bubble formula: `m`
+    /// micro-batches over `pp` stages overlap to `pp * m / (m + pp - 1)`.
+    /// A shallow batch (m = 1) degenerates to serial execution; this is
+    /// why the paper measures TP only ~1.94x over PP (Fig. 5a) rather
+    /// than the 4x a fully serial pipeline would give up.
+    fn pp_factor(&self, batch: u32) -> f64 {
+        let pp = f64::from(self.scenario.parallelism.pipeline);
+        if pp <= 1.0 {
+            return 1.0;
+        }
+        let m = (f64::from(batch) / self.calib.pp_micro_batch_requests)
+            .floor()
+            .max(1.0);
+        pp * m / (m + pp - 1.0)
+    }
+
+    /// Memory-streaming speedup from parallelism (same structure: TP
+    /// reads shards in parallel, pipelined PP overlaps stage reads,
+    /// layer-split reads serially).
+    fn mem_speedup(&self, batch: u32) -> f64 {
+        self.compute_speedup(batch)
+    }
+
+    /// Framework/hardware model-specific throughput penalty (<= 1).
+    fn model_penalty(&self) -> f64 {
+        self.fw.model_penalty(self.scenario.model)
+    }
+
+    /// Cost of one decode step for `batch` concurrent requests at context
+    /// length `ctx`.
+    pub fn decode_step(&self, batch: u32, ctx: u32) -> StepCosts {
+        let s = &self.scenario;
+        let b = f64::from(batch);
+
+        // --- Compute ---
+        let flops = b * self.model.decode_flops(ctx).value();
+        let eff_c = self.fw.compute_efficiency_at(batch)
+            * self.hw.quirks.overlap_bonus
+            * self.hw.quirks.seq_factor(ctx)
+            * self.fw.large_batch_seq_bonus(batch, ctx)
+            * self.hw.quirks.sw_efficiency
+            * self.model_penalty();
+        let mut compute =
+            Seconds(flops / (self.compute_rate.value() * eff_c * self.compute_speedup(batch)));
+        if !s.kv_cache {
+            // Without KV caching the model "must recompute attention
+            // heads for all previous tokens for new token generation"
+            // (§IV-B1). The prefix re-processing runs as large batched
+            // GEMMs, i.e. at prefill-grade efficiency.
+            let recompute = b
+                * f64::from(ctx)
+                * self.model.linear_flops_per_token().value()
+                * self.calib.no_kv_recompute_fraction;
+            let eff_pre = self.fw.compute_efficiency
+                * self.calib.prefill_efficiency_scale
+                * self.hw.quirks.overlap_bonus
+                * self.hw.quirks.sw_efficiency
+                * self.model_penalty();
+            compute += Seconds(
+                recompute / (self.compute_rate.value() * eff_pre * self.compute_speedup(batch)),
+            );
+        }
+
+        // --- Memory ---
+        let distinct = self.model.expected_distinct_experts(batch).ceil() as u32;
+        let weights = self
+            .model
+            .streamed_weight_bytes(s.precision, distinct.max(1));
+        let kv_read = if s.kv_cache {
+            b * f64::from(ctx)
+                * self.plan.kv_bytes_per_token_per_device.value()
+                * f64::from(self.plan.devices)
+                * self.plan.gqa_stream_multiplier
+        } else {
+            0.0
+        };
+        let block_pen = match self.plan.kv_block_tokens {
+            Some(blk) if s.kv_cache => self.calib.block_penalty(blk),
+            _ => 1.0,
+        };
+        let eff_m = self.fw.memory_efficiency
+            * self.hw.quirks.saturation_factor(batch)
+            * block_pen
+            * self.hw.quirks.sw_efficiency
+            * self.fw.large_batch_seq_bonus(batch, ctx)
+            * self.model_penalty();
+        let memory = Seconds(
+            (weights.value() + kv_read)
+                / (self.effective_bw_value * eff_m * self.mem_speedup(batch)),
+        );
+
+        StepCosts {
+            compute,
+            memory,
+            comm: self.decode_comm(batch),
+            overhead: self.step_overhead(),
+        }
+    }
+
+    /// Interconnect time per decode step.
+    fn decode_comm(&self, batch: u32) -> Seconds {
+        self.comm_for_tokens(f64::from(batch))
+    }
+
+    /// Interconnect time for a phase that moves `tokens` activations.
+    fn comm_for_tokens(&self, tokens: f64) -> Seconds {
+        let p = self.scenario.parallelism;
+        let act_bytes = tokens * f64::from(self.model.hidden) * 2.0;
+        let layers = f64::from(self.model.layers);
+        let mut t = 0.0;
+        if self.fw.tp_mode == TpMode::LayerSplit {
+            let devices = self.plan.devices;
+            if devices > 1 {
+                t += f64::from(devices - 1)
+                    * self.hw.interconnect.p2p(ByteCount(act_bytes)).time.value();
+            }
+            return Seconds(t * self.fw.comm_fusion);
+        }
+        if p.tensor > 1 {
+            let per = self
+                .hw
+                .interconnect
+                .all_reduce(ByteCount(act_bytes), p.tensor)
+                .time
+                .value();
+            t += layers * self.calib.tp_allreduces_per_layer * per;
+        }
+        if p.pipeline > 1 {
+            t += f64::from(p.pipeline - 1)
+                * self.hw.interconnect.p2p(ByteCount(act_bytes)).time.value();
+        }
+        if p.expert > 1 {
+            let per = self
+                .hw
+                .interconnect
+                .all_to_all(ByteCount(act_bytes), p.expert)
+                .time
+                .value();
+            t += layers * 2.0 * per;
+        }
+        Seconds(t * self.fw.comm_fusion)
+    }
+
+    /// Fixed launch/sync overhead per step.
+    fn step_overhead(&self) -> Seconds {
+        let extra = f64::from(self.plan.devices.saturating_sub(1));
+        Seconds(self.fw.step_overhead.value() + extra * self.fw.per_device_sync.value())
+    }
+
+    /// Cost of prefilling `input` tokens for `batch` requests.
+    pub fn prefill(&self, batch: u32) -> StepCosts {
+        let s = &self.scenario;
+        let b = f64::from(batch);
+        let input = s.shape.input_tokens;
+
+        let flops = b * self.model.prefill_flops(input).value();
+        let eff_c = self.fw.compute_efficiency
+            * self.calib.prefill_efficiency_scale
+            * self.hw.quirks.overlap_bonus
+            * self.hw.quirks.seq_factor(input)
+            * self.hw.quirks.sw_efficiency
+            * self.model_penalty();
+        let compute =
+            Seconds(flops / (self.compute_rate.value() * eff_c * self.compute_speedup(batch)));
+
+        // Memory floor: weights stream through at least once.
+        let distinct = if b * f64::from(input) >= f64::from(self.model.num_experts) {
+            self.model.num_experts
+        } else {
+            self.model.active_experts
+        };
+        let weights = self.model.streamed_weight_bytes(s.precision, distinct);
+        let memory = Seconds(
+            weights.value()
+                / (self.effective_bw_value
+                    * self.fw.memory_efficiency
+                    * self.hw.quirks.sw_efficiency
+                    * self.mem_speedup(batch)),
+        );
+
+        let comm = self.comm_for_tokens(b * f64::from(input));
+        let overhead =
+            Seconds(self.step_overhead().value() + self.hw.quirks.graph_dispatch_overhead.value());
+        StepCosts {
+            compute,
+            memory,
+            comm,
+            overhead,
+        }
+    }
+
+    /// Total decode time for one wave of `batch` requests generating
+    /// `output` tokens after an `input`-token prompt, by 4-point midpoint
+    /// quadrature over the growing context.
+    pub fn decode_total(&self, batch: u32, input: u32, output: u32) -> Seconds {
+        const POINTS: u32 = 4;
+        if output == 0 {
+            return Seconds::ZERO;
+        }
+        let mut acc = 0.0;
+        for i in 0..POINTS {
+            let frac = (f64::from(i) + 0.5) / f64::from(POINTS);
+            let ctx = f64::from(input) + frac * f64::from(output);
+            acc += self.decode_step(batch, ctx.round() as u32).total().value();
+        }
+        Seconds(acc / f64::from(POINTS) * f64::from(output))
+    }
+
+    /// Average decode-step costs (for utilization accounting), sampled at
+    /// the midpoint context.
+    pub fn midpoint_step(&self, batch: u32) -> StepCosts {
+        let shape = self.scenario.shape;
+        self.decode_step(batch, shape.input_tokens + shape.output_tokens / 2)
+    }
+}
+
+/// Native compute peak for a precision on this hardware.
+fn compute_peak(hw: &AcceleratorSpec, precision: Precision) -> Option<FlopsRate> {
+    hw.peaks.peak(precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_frameworks::FrameworkId;
+    use llmib_hardware::HardwareId;
+    use llmib_models::ModelId;
+    use llmib_types::{Parallelism, TokenShape};
+
+    fn resolve(s: &Scenario) -> Roofline {
+        Roofline::resolve(s, &Calibration::default()).unwrap()
+    }
+
+    fn base() -> Scenario {
+        Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(1024, 16),
+        )
+    }
+
+    #[test]
+    fn decode_step_is_memory_bound_at_batch_one() {
+        let mut s = base();
+        s.shape = TokenShape::square(1024, 1);
+        let r = resolve(&s);
+        let c = r.decode_step(1, 1024);
+        assert!(c.memory.value() > c.compute.value());
+    }
+
+    #[test]
+    fn decode_step_grows_with_context() {
+        let r = resolve(&base());
+        assert!(r.decode_step(16, 2048).total().value() > r.decode_step(16, 128).total().value());
+    }
+
+    #[test]
+    fn larger_batch_amortizes_weights() {
+        let r = resolve(&base());
+        let t1 = r.decode_step(1, 512).total().value();
+        let t16 = r.decode_step(16, 512).total().value();
+        // 16x the tokens per step must cost far less than 16x the time.
+        assert!(t16 < 6.0 * t1);
+    }
+
+    #[test]
+    fn unsupported_combinations_rejected() {
+        // TRT-LLM cannot run on MI250 (Table III).
+        let mut s = base();
+        s.framework = FrameworkId::TrtLlm;
+        s.hardware = HardwareId::Mi250;
+        let err = Roofline::resolve(&s, &Calibration::default()).unwrap_err();
+        assert!(err.is_unsupported());
+    }
+
+    #[test]
+    fn fp8_rejected_on_a100_but_not_h100() {
+        let mut s = base();
+        s.precision = Precision::Fp8;
+        assert!(Roofline::resolve(&s, &Calibration::default())
+            .unwrap_err()
+            .is_unsupported());
+        s.hardware = HardwareId::H100;
+        assert!(Roofline::resolve(&s, &Calibration::default()).is_ok());
+    }
+
+    #[test]
+    fn sn40l_requires_fixed_tp8() {
+        let mut s = base();
+        s.hardware = HardwareId::Sn40l;
+        s.framework = FrameworkId::SambaFlow;
+        assert!(Roofline::resolve(&s, &Calibration::default())
+            .unwrap_err()
+            .is_unsupported());
+        s.parallelism = Parallelism::tensor_parallel(8);
+        assert!(Roofline::resolve(&s, &Calibration::default()).is_ok());
+    }
+
+    #[test]
+    fn too_many_devices_rejected() {
+        let mut s = base();
+        s.parallelism = Parallelism::tensor_parallel(8); // A100 node has 4
+        assert!(Roofline::resolve(&s, &Calibration::default())
+            .unwrap_err()
+            .is_unsupported());
+    }
+
+    #[test]
+    fn tp_speeds_up_decode_pp_does_not() {
+        let mut s = base();
+        s.parallelism = Parallelism::tensor_parallel(4);
+        let tp = resolve(&s);
+        s.parallelism = Parallelism::pipeline_parallel(4);
+        let pp = resolve(&s);
+        let t_tp = tp.decode_step(16, 1024).total().value();
+        let t_pp = pp.decode_step(16, 1024).total().value();
+        assert!(t_tp < t_pp, "TP step {t_tp} should beat PP step {t_pp}");
+    }
+
+    #[test]
+    fn no_kv_cache_costs_more_at_long_context() {
+        let mut s = base();
+        s.kv_cache = false;
+        let off = resolve(&s);
+        let on = resolve(&base());
+        let t_off = off.decode_step(16, 1024).total().value();
+        let t_on = on.decode_step(16, 1024).total().value();
+        assert!(t_off > 2.0 * t_on, "recompute {t_off} vs cached {t_on}");
+    }
+
+    #[test]
+    fn prefill_dominated_by_compute_at_long_input() {
+        let r = resolve(&base());
+        let p = r.prefill(16);
+        assert!(p.compute.value() > p.memory.value());
+    }
+
+    #[test]
+    fn decode_total_scales_with_output() {
+        let r = resolve(&base());
+        let short = r.decode_total(16, 1024, 128).value();
+        let long = r.decode_total(16, 1024, 1024).value();
+        assert!(long > 7.0 * short);
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let r = resolve(&base());
+        let u = r.decode_step(16, 1024).utilization(0.72);
+        assert!((0.0..=1.0).contains(&u));
+        let up = r.prefill(16).utilization(0.72);
+        assert!((0.0..=1.0).contains(&up));
+    }
+}

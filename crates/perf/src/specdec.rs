@@ -1,0 +1,132 @@
+//! Speculative decoding analytical model (paper §IV-B5, Fig. 4b).
+//!
+//! A draft model proposes `k` tokens per cycle; the target model verifies
+//! them in one wide forward pass. Expected accepted tokens per cycle for
+//! per-token acceptance `α` is the truncated geometric sum
+//! `(1 − α^{k+1})/(1 − α)`. Acceptance decays with context length (draft
+//! and target diverge on long-range structure), which is why "with an
+//! increase in sequence length and model size, the benefit of SD
+//! vanishes"; an MoE target additionally pays extra expert streaming per
+//! verify pass and suffers draft/target mismatch.
+
+use crate::roofline::Roofline;
+use crate::scenario::{Scenario, SpecDecode};
+use llmib_models::FfnKind;
+use llmib_types::{Result, Seconds};
+
+/// Context-decay scale of acceptance (tokens).
+const ACCEPTANCE_DECAY_TOKENS: f64 = 800.0;
+/// Acceptance multiplier when the target is an MoE model (the LLaMA-68M
+/// draft was not trained to match Mixtral's routing behavior).
+const MOE_DRAFT_MISMATCH: f64 = 0.7;
+
+/// Per-token acceptance probability at context length `ctx`.
+pub(crate) fn acceptance(sd: &SpecDecode, target_is_moe: bool, ctx: u32) -> f64 {
+    let decay = 1.0 / (1.0 + f64::from(ctx) / ACCEPTANCE_DECAY_TOKENS);
+    let mismatch = if target_is_moe {
+        MOE_DRAFT_MISMATCH
+    } else {
+        1.0
+    };
+    (sd.base_acceptance * decay * mismatch).clamp(0.0, 0.99)
+}
+
+/// Expected tokens emitted per draft-verify cycle.
+pub(crate) fn expected_tokens_per_cycle(alpha: f64, lookahead: u32) -> f64 {
+    if alpha <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - alpha.powi(lookahead as i32 + 1)) / (1.0 - alpha)
+}
+
+/// Total decode time of one wave under speculative decoding.
+pub(crate) fn decode_total_with_sd(
+    target: &Roofline,
+    sd: &SpecDecode,
+    batch: u32,
+    input: u32,
+    output: u32,
+) -> Result<Seconds> {
+    // Resolve the draft model on the same stack.
+    let draft_scenario = Scenario {
+        model: sd.draft,
+        ..target.scenario.clone()
+    };
+    let draft = Roofline::resolve(&draft_scenario, &target.calib)?;
+    let target_is_moe = target.model.ffn == FfnKind::Moe;
+    let k = sd.lookahead.max(1);
+
+    const POINTS: u32 = 4;
+    let mut acc = 0.0;
+    for i in 0..POINTS {
+        let frac = (f64::from(i) + 0.5) / f64::from(POINTS);
+        let ctx = (f64::from(input) + frac * f64::from(output)).round() as u32;
+
+        let draft_step = draft.decode_step(batch, ctx).total().value();
+        let base = target.decode_step(batch, ctx);
+
+        // Verify pass: compute widens by (k+1) proposed tokens; for MoE
+        // targets the wider token set touches more distinct experts,
+        // inflating the weight stream proportionally.
+        let verify_compute = base.compute.value() * f64::from(k + 1);
+        let expert_ratio = if target_is_moe {
+            let narrow = target.model.expected_distinct_experts(batch).max(1.0);
+            let wide = target
+                .model
+                .expected_distinct_experts(batch * (k + 1))
+                .max(1.0);
+            wide / narrow
+        } else {
+            1.0
+        };
+        let verify_memory = base.memory.value() * expert_ratio;
+        let verify = verify_compute.max(verify_memory) + base.comm.value() + base.overhead.value();
+
+        let cycle = f64::from(k) * draft_step + verify;
+        let alpha = acceptance(sd, target_is_moe, ctx);
+        let per_token = cycle / expected_tokens_per_cycle(alpha, k);
+        acc += per_token;
+    }
+    Ok(Seconds(acc / f64::from(POINTS) * f64::from(output)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_tokens_formula() {
+        // α = 0: every cycle emits exactly the 1 verified token.
+        assert_eq!(expected_tokens_per_cycle(0.0, 4), 1.0);
+        // α → 1: all k drafted tokens plus the bonus token.
+        assert!((expected_tokens_per_cycle(0.99, 4) - 4.90).abs() < 0.05);
+        // Midpoint sanity.
+        let e = expected_tokens_per_cycle(0.5, 4);
+        assert!((e - (1.0 - 0.5f64.powi(5)) / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_decays_with_context() {
+        let sd = SpecDecode::default();
+        let short = acceptance(&sd, false, 128);
+        let long = acceptance(&sd, false, 2048);
+        assert!(short > long);
+        assert!(long > 0.0);
+    }
+
+    #[test]
+    fn moe_mismatch_lowers_acceptance() {
+        let sd = SpecDecode::default();
+        assert!(acceptance(&sd, true, 128) < acceptance(&sd, false, 128));
+    }
+
+    #[test]
+    fn expected_tokens_monotone_in_alpha() {
+        let mut prev = 0.0;
+        for a in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+            let e = expected_tokens_per_cycle(a, 4);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Headline-ratio checks: the load-bearing quantitative claims of the
+//! paper, asserted as wide bands around the published factors. These are
+//! the calibration targets for `Calibration` — if one fails after a model
+//! change, re-tune there, not here.
+
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::{PerfModel, Scenario};
+use llmib_types::{Parallelism, TokenShape};
+
+fn tput(model: ModelId, hw: HardwareId, fw: FrameworkId, len: u32, batch: u32, tp: u32) -> f64 {
+    let mut s = Scenario::simple(model, hw, fw, TokenShape::square(len, batch));
+    s.parallelism = Parallelism::tensor_parallel(tp);
+    PerfModel::default_calibration()
+        .throughput(&s)
+        .unwrap_or_else(|e| panic!("{model} on {hw}/{fw} bs{batch} len{len} tp{tp}: {e}"))
+}
+
+/// Fig. 1a: LLaMA-3-8B + vLLM on one A100, length 2048 — batch 64 is
+/// ~26.6x batch 1.
+#[test]
+fn fig1a_batch_scaling_band() {
+    let t1 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        2048,
+        1,
+        1,
+    );
+    let t64 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        2048,
+        64,
+        1,
+    );
+    let ratio = t64 / t1;
+    println!("fig1a bs64/bs1 = {ratio:.1} (paper 26.6)");
+    assert!((12.0..=45.0).contains(&ratio), "got {ratio}");
+}
+
+/// Fig. 1b: TRT-LLM on A100 — {in 1024, out 128} is ~14.6x {in 128, out 1024}.
+#[test]
+fn fig1b_blended_tokens_band() {
+    let m = PerfModel::default_calibration();
+    let mk = |input, output| {
+        let s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::TrtLlm,
+            TokenShape::new(input, output, 16),
+        );
+        m.throughput(&s).unwrap()
+    };
+    let ratio = mk(1024, 128) / mk(128, 1024);
+    // The mechanistic ceiling of this ratio is ~8x (decode steps are the
+    // serial resource); the paper's 14.6x additionally reflects
+    // measurement effects our model does not chase. Direction and a
+    // large factor are the reproducible shape.
+    println!("fig1b (1024,128)/(128,1024) = {ratio:.1} (paper 14.6)");
+    assert!((3.0..=25.0).contains(&ratio), "got {ratio}");
+}
+
+/// Fig. 6: GQA models ≈1.9x (H100) and ≈2.79x (A100) faster than
+/// LLaMA-2-7B with TRT-LLM at batch 64 (length 512: at the paper's longer
+/// lengths the MHSA model additionally hits the KV capacity wall and the
+/// gap widens further).
+#[test]
+fn fig6_gqa_speedup_band() {
+    for (hw, lo, hi, paper) in [
+        (HardwareId::H100, 1.4, 2.9, 1.9),
+        (HardwareId::A100, 1.7, 5.0, 2.79),
+    ] {
+        let l2 = tput(ModelId::Llama2_7b, hw, FrameworkId::TrtLlm, 512, 64, 1);
+        let mi = tput(ModelId::Mistral7b, hw, FrameworkId::TrtLlm, 512, 64, 1);
+        let ratio = mi / l2;
+        println!("fig6 {hw}: Mistral/LLaMA-2 = {ratio:.2} (paper {paper})");
+        assert!((lo..=hi).contains(&ratio), "{hw}: got {ratio}");
+    }
+}
+
+/// Fig. 7: H100 scales ~39x from batch 1→64 on LLaMA-3-70B while A100
+/// manages only ~3x (KV capacity limits concurrency).
+#[test]
+fn fig7_70b_batch_scaling_contrast() {
+    let h1 = tput(
+        ModelId::Llama3_70b,
+        HardwareId::H100,
+        FrameworkId::TrtLlm,
+        1024,
+        1,
+        4,
+    );
+    let h64 = tput(
+        ModelId::Llama3_70b,
+        HardwareId::H100,
+        FrameworkId::TrtLlm,
+        1024,
+        64,
+        4,
+    );
+    let a1 = tput(
+        ModelId::Llama3_70b,
+        HardwareId::A100,
+        FrameworkId::TrtLlm,
+        1024,
+        1,
+        4,
+    );
+    let a64 = tput(
+        ModelId::Llama3_70b,
+        HardwareId::A100,
+        FrameworkId::TrtLlm,
+        1024,
+        64,
+        4,
+    );
+    let h_scale = h64 / h1;
+    let a_scale = a64 / a1;
+    println!("fig7 scaling: H100 {h_scale:.1}x (paper 39x), A100 {a_scale:.1}x (paper 3x)");
+    assert!(h_scale > 10.0, "H100 scaling {h_scale}");
+    // The paper's 3x also reflects TRT engine-build-time reservations we
+    // do not model; the reproducible shape is "A100 plateaus hard while
+    // H100 scales near-linearly".
+    assert!(a_scale < 12.0, "A100 scaling {a_scale}");
+    assert!(h_scale > 3.0 * a_scale);
+    let hw_ratio = h64 / a64;
+    println!("fig7 H100/A100 @bs64 = {hw_ratio:.1} (paper 7.8)");
+    assert!(hw_ratio > 3.0, "H100/A100 {hw_ratio}");
+}
+
+/// Fig. 5a: on 4 A100s, TP beats PP by ~1.94x and the TP2×PP2 hybrid by
+/// ~1.30x for LLaMA-3-8B.
+#[test]
+fn fig5a_parallelism_ordering() {
+    let m = PerfModel::default_calibration();
+    let mk = |p: Parallelism| {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            HardwareId::A100,
+            FrameworkId::Vllm,
+            TokenShape::square(1024, 16),
+        );
+        s.parallelism = p;
+        m.throughput(&s).unwrap()
+    };
+    let tp = mk(Parallelism::tensor_parallel(4));
+    let pp = mk(Parallelism::pipeline_parallel(4));
+    let hybrid = mk(Parallelism::hybrid(2, 2));
+    let tp_over_pp = tp / pp;
+    let tp_over_hybrid = tp / hybrid;
+    println!(
+        "fig5a TP/PP = {tp_over_pp:.2} (paper 1.94), TP/hybrid = {tp_over_hybrid:.2} (paper 1.30)"
+    );
+    assert!((1.3..=3.2).contains(&tp_over_pp), "TP/PP {tp_over_pp}");
+    assert!(
+        (1.05..=2.2).contains(&tp_over_hybrid),
+        "TP/hybrid {tp_over_hybrid}"
+    );
+    assert!(tp_over_pp > tp_over_hybrid);
+}
+
+/// Fig. 11: with DS-MII (GQA unexploited), LLaMA-2-7B is ~1.18x faster
+/// than LLaMA-3-8B at batch 64 / length 128.
+#[test]
+fn fig11_dsmii_inverts_gqa_ordering() {
+    let l2 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        128,
+        64,
+        1,
+    );
+    let l3 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        128,
+        64,
+        1,
+    );
+    let ratio = l2 / l3;
+    println!("fig11 DS-MII L2-7B/L3-8B = {ratio:.2} (paper 1.18)");
+    assert!(ratio > 1.0, "got {ratio}");
+    assert!(ratio < 1.8, "got {ratio}");
+}
+
+/// Fig. 12: DS-MII overtakes vLLM on Mixtral only at large batch+length
+/// (~1.04x at batch 64 / length 2048).
+#[test]
+fn fig12_dsmii_vllm_crossover() {
+    let ds_big = tput(
+        ModelId::Mixtral8x7b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        2048,
+        64,
+        4,
+    );
+    let vl_big = tput(
+        ModelId::Mixtral8x7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        2048,
+        64,
+        4,
+    );
+    let ds_small = tput(
+        ModelId::Mixtral8x7b,
+        HardwareId::A100,
+        FrameworkId::DsMii,
+        128,
+        1,
+        4,
+    );
+    let vl_small = tput(
+        ModelId::Mixtral8x7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        128,
+        1,
+        4,
+    );
+    let big = ds_big / vl_big;
+    let small = ds_small / vl_small;
+    println!("fig12 DS-MII/vLLM big = {big:.2} (paper 1.04), small = {small:.2} (<1)");
+    assert!(big > 1.0, "DS-MII should win at 64/2048: {big}");
+    assert!(big < 1.35, "win should be modest: {big}");
+    assert!(small < 1.0, "vLLM should win small: {small}");
+}
+
+/// Fig. 15 ordering on A100: TRT-LLM > vLLM > DS-MII > llama.cpp.
+#[test]
+fn fig15_framework_ordering_on_a100() {
+    let t = |fw| tput(ModelId::Mistral7b, HardwareId::A100, fw, 1024, 32, 1);
+    let trt = t(FrameworkId::TrtLlm);
+    let vllm = t(FrameworkId::Vllm);
+    let ds = t(FrameworkId::DsMii);
+    let lcpp = t(FrameworkId::LlamaCpp);
+    println!("fig15: trt {trt:.0}, vllm {vllm:.0}, dsmii {ds:.0}, llama.cpp {lcpp:.0}");
+    assert!(trt > vllm && vllm > ds && ds > lcpp);
+}
+
+/// Fig. 13/14: llama.cpp gains little from more GPUs.
+#[test]
+fn fig13_llamacpp_weak_device_scaling() {
+    let t1 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::LlamaCpp,
+        512,
+        16,
+        1,
+    );
+    let t4 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::LlamaCpp,
+        512,
+        16,
+        4,
+    );
+    let scaling = t4 / t1;
+    println!("fig13 llama.cpp 4-GPU scaling = {scaling:.2} (marginal)");
+    assert!(scaling < 1.5, "llama.cpp must not scale well: {scaling}");
+    // Contrast: vLLM scales decently.
+    let v1 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    let v4 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        4,
+    );
+    assert!(v4 / v1 > scaling);
+}
+
+/// Figs. 17/35: MI250 declines past batch 32 for GQA models; Fig. 8:
+/// A100 marginally ahead of MI250.
+#[test]
+fn mi250_saturation_and_a100_ordering() {
+    let t32 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Mi250,
+        FrameworkId::Vllm,
+        1024,
+        32,
+        1,
+    );
+    let t64 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Mi250,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    println!("fig35 MI250 bs32 {t32:.0} vs bs64 {t64:.0}");
+    assert!(t64 < t32, "MI250 must decline past batch 32");
+    let a = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    let mi = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Mi250,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    println!("fig8 A100 {a:.0} vs MI250 {mi:.0}");
+    assert!(
+        a > 0.75 * mi && a < 2.5 * mi,
+        "A100 and MI250 comparable, A100 ahead-ish"
+    );
+}
+
+/// Fig. 8: GH200 consistently tops vLLM throughput; H100 second.
+#[test]
+fn fig8_gh200_leads_vllm() {
+    for model in [ModelId::Llama3_8b, ModelId::Qwen2_7b] {
+        let gh = tput(model, HardwareId::Gh200, FrameworkId::Vllm, 1024, 32, 1);
+        let h = tput(model, HardwareId::H100, FrameworkId::Vllm, 1024, 32, 1);
+        let a = tput(model, HardwareId::A100, FrameworkId::Vllm, 1024, 32, 1);
+        println!("fig8 {model}: GH200 {gh:.0} >= H100 {h:.0} > A100 {a:.0}");
+        assert!(gh >= h, "{model}: GH200 {gh} vs H100 {h}");
+        assert!(h > a);
+    }
+}
+
+/// Figs. 9/34: Mixtral beats the 70B dense models; LLaMA-2-70B beats
+/// LLaMA-3-70B (vocab), which beats Qwen-2-72B.
+#[test]
+fn fig9_70b_model_ordering() {
+    let t = |m| tput(m, HardwareId::H100, FrameworkId::Vllm, 1024, 32, 4);
+    let mix = t(ModelId::Mixtral8x7b);
+    let l2 = t(ModelId::Llama2_70b);
+    let l3 = t(ModelId::Llama3_70b);
+    let qw = t(ModelId::Qwen2_72b);
+    println!("fig9: mixtral {mix:.0}, l2-70b {l2:.0}, l3-70b {l3:.0}, qwen2-72b {qw:.0}");
+    assert!(mix > l2);
+    assert!(l2 > l3);
+    assert!(l3 > qw);
+}
+
+/// Fig. 20: Gaudi2 sits between H100 and A100 for 7B models.
+#[test]
+fn fig20_gaudi2_between_h100_and_a100() {
+    let g = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Gaudi2,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    let h = tput(
+        ModelId::Llama3_8b,
+        HardwareId::H100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    let a = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    println!("fig20: H100 {h:.0} > Gaudi2 {g:.0} > A100 {a:.0}");
+    assert!(g > a, "Gaudi2 {g} must beat A100 {a}");
+    assert!(g < h, "Gaudi2 {g} must trail H100 {h}");
+}
+
+/// Figs. 21/22: SN40L has the highest TTFT but the lowest ITL.
+#[test]
+fn fig21_22_sn40l_ttft_itl() {
+    let m = PerfModel::default_calibration();
+    let mk = |hw, fw, tp| {
+        let mut s = Scenario::simple(ModelId::Llama3_8b, hw, fw, TokenShape::square(1024, 16));
+        s.parallelism = Parallelism::tensor_parallel(tp);
+        m.predict(&s).unwrap()
+    };
+    let sn = mk(HardwareId::Sn40l, FrameworkId::SambaFlow, 8);
+    let h = mk(HardwareId::H100, FrameworkId::Vllm, 4);
+    let a = mk(HardwareId::A100, FrameworkId::Vllm, 4);
+    println!(
+        "fig21 TTFT ms: SN40L {:.1}, H100 {:.1}, A100 {:.1}",
+        sn.ttft_ms(),
+        h.ttft_ms(),
+        a.ttft_ms()
+    );
+    println!(
+        "fig22 ITL ms: SN40L {:.3}, H100 {:.3}, A100 {:.3}",
+        sn.itl_ms(),
+        h.itl_ms(),
+        a.itl_ms()
+    );
+    assert!(sn.ttft_ms() > h.ttft_ms() && sn.ttft_ms() > a.ttft_ms());
+    assert!(sn.itl_ms() < h.itl_ms() && sn.itl_ms() < a.itl_ms());
+}
+
+/// Fig. 24: GPU throughput falls with longer equal in/out lengths while
+/// SN40L rises until 512.
+#[test]
+fn fig24_sn40l_length_ramp() {
+    let sn128 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Sn40l,
+        FrameworkId::SambaFlow,
+        128,
+        16,
+        8,
+    );
+    let sn512 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::Sn40l,
+        FrameworkId::SambaFlow,
+        512,
+        16,
+        8,
+    );
+    println!("fig24 SN40L len128 {sn128:.0} -> len512 {sn512:.0} (rising)");
+    assert!(sn512 > sn128, "SN40L must rise with length to 512");
+    let a128 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        128,
+        16,
+        1,
+    );
+    let a512 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        512,
+        16,
+        1,
+    );
+    println!("fig24 A100 len128 {a128:.0} -> len512 {a512:.0} (falling)");
+    assert!(a512 < a128, "GPU throughput must fall with length");
+}
+
+/// Fig. 2a: KV caching gives ~2x at length 128 and ~7x at length 1024
+/// (70B on 8 Gaudi2 HPUs).
+#[test]
+fn fig2a_kv_cache_speedup_bands() {
+    let m = PerfModel::default_calibration();
+    let mk = |len: u32, kv: bool| {
+        let mut s = Scenario::simple(
+            ModelId::Llama2_70b,
+            HardwareId::Gaudi2,
+            FrameworkId::Vllm,
+            TokenShape::square(len, 4),
+        );
+        s.parallelism = Parallelism::tensor_parallel(8);
+        s.kv_cache = kv;
+        m.throughput(&s).unwrap()
+    };
+    let r128 = mk(128, true) / mk(128, false);
+    let r1024 = mk(1024, true) / mk(1024, false);
+    println!("fig2a KV speedup: len128 {r128:.2}x (paper ~2), len1024 {r1024:.2}x (paper ~7)");
+    assert!((1.3..=3.8).contains(&r128), "len128 {r128}");
+    assert!((3.5..=12.0).contains(&r1024), "len1024 {r1024}");
+    assert!(r1024 > r128);
+}
+
+/// Fig. 3: FP8 helps on H100; INT8 helps on A100; FP8 unsupported on A100.
+#[test]
+fn fig3_quantization_bands() {
+    let m = PerfModel::default_calibration();
+    let mk = |hw, prec| {
+        let mut s = Scenario::simple(
+            ModelId::Llama3_8b,
+            hw,
+            FrameworkId::TrtLlm,
+            TokenShape::square(1024, 32),
+        );
+        s.precision = prec;
+        m.throughput(&s)
+    };
+    use llmib_types::Precision::*;
+    let h_fp16 = mk(HardwareId::H100, Fp16).unwrap();
+    let h_fp8 = mk(HardwareId::H100, Fp8).unwrap();
+    let a_fp16 = mk(HardwareId::A100, Fp16).unwrap();
+    let a_int8 = mk(HardwareId::A100, Int8).unwrap();
+    println!(
+        "fig3: H100 fp8/fp16 = {:.2}, A100 int8/fp16 = {:.2}",
+        h_fp8 / h_fp16,
+        a_int8 / a_fp16
+    );
+    assert!(h_fp8 > h_fp16 * 1.15, "FP8 must clearly help on H100");
+    assert!(a_int8 > a_fp16 * 1.05, "INT8 must help on A100");
+    assert!(mk(HardwareId::A100, Fp8).unwrap_err().is_unsupported());
+}
+
+/// Fig. 4a: DeciLM-7B (NAS-thinned KV) outruns LLaMA-3-8B and Mistral-7B.
+#[test]
+fn fig4a_nas_ordering() {
+    for hw in [HardwareId::A100, HardwareId::H100] {
+        let deci = tput(ModelId::DeciLm7b, hw, FrameworkId::Vllm, 1024, 32, 1);
+        let l3 = tput(ModelId::Llama3_8b, hw, FrameworkId::Vllm, 1024, 32, 1);
+        let mi = tput(ModelId::Mistral7b, hw, FrameworkId::Vllm, 1024, 32, 1);
+        println!("fig4a {hw}: deci {deci:.0} > mistral {mi:.0} > llama3 {l3:.0}");
+        assert!(deci > mi && deci > l3, "{hw}");
+    }
+}
+
+/// §V-2 (Fig. 8): Qwen2-7B on GH200 has the highest 7B throughput; and
+/// LLaMA-3-8B beats LLaMA-2-7B at large batch despite +1B params.
+#[test]
+fn fig8_qwen_and_gqa_orderings() {
+    let qw = tput(
+        ModelId::Qwen2_7b,
+        HardwareId::Gh200,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    for m in [ModelId::Llama2_7b, ModelId::Llama3_8b, ModelId::Mistral7b] {
+        let t = tput(m, HardwareId::Gh200, FrameworkId::Vllm, 1024, 64, 1);
+        assert!(qw >= t, "Qwen2-7B {qw} must top {m} {t} on GH200");
+    }
+    let l2 = tput(
+        ModelId::Llama2_7b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    let l3 = tput(
+        ModelId::Llama3_8b,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        1024,
+        64,
+        1,
+    );
+    println!("fig8 large-batch: L3-8B {l3:.0} vs L2-7B {l2:.0}");
+    assert!(l3 > l2, "GQA must beat MHSA at batch 64");
+}

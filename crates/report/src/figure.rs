@@ -1,0 +1,224 @@
+//! Figure and table data structures.
+
+use serde::Serialize;
+
+/// One plotted series.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"LLaMA-3-8B on H100"`.
+    pub label: String,
+    /// X coordinates (batch sizes, token lengths, …).
+    pub x: Vec<f64>,
+    /// Y values (throughput, latency, watts, …). `NaN` marks missing
+    /// points (OOM/unsupported), which renderers show as gaps.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Build a series; panics if x/y lengths differ.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series x/y length mismatch");
+        Self {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// The maximum finite y value, if any.
+    pub fn max_y(&self) -> Option<f64> {
+        self.y
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Points that are present (finite y).
+    pub fn finite_points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.x
+            .iter()
+            .zip(&self.y)
+            .filter(|(_, y)| y.is_finite())
+            .map(|(x, y)| (*x, *y))
+    }
+}
+
+/// A reproduced figure.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Figure {
+    /// Experiment id, e.g. `"fig08"`.
+    pub id: String,
+    /// Human title (the paper's caption).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plotted series.
+    pub series: Vec<Series>,
+    /// Free-form notes (substitutions, OOM annotations, …).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a series (builder style).
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Append a note (builder style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Find a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// A table cell.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell (rendered with 2 decimals).
+    Float(f64),
+}
+
+impl Cell {
+    /// Render to a plain string.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v:.2}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Self {
+        Cell::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Table {
+    /// Experiment id, e.g. `"tab1"`.
+    pub id: String,
+    /// Title (the paper's caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics on width mismatch.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_max_and_gaps() {
+        let s = Series::new("a", vec![1.0, 2.0, 3.0], vec![5.0, f64::NAN, 9.0]);
+        assert_eq!(s.max_y(), Some(9.0));
+        assert_eq!(s.finite_points().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        Series::new("a", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn figure_builder() {
+        let f = Figure::new("fig01", "t", "x", "y")
+            .with_series(Series::new("s1", vec![1.0], vec![2.0]))
+            .with_note("note");
+        assert_eq!(f.series.len(), 1);
+        assert!(f.series_by_label("s1").is_some());
+        assert!(f.series_by_label("nope").is_none());
+        assert_eq!(f.notes, vec!["note"]);
+    }
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(Cell::from("x").render(), "x");
+        assert_eq!(Cell::from(3i64).render(), "3");
+        assert_eq!(Cell::from(2.5f64).render(), "2.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_row_width_checked() {
+        let mut t = Table::new("tab", "t", vec!["a", "b"]);
+        t.push_row(vec![Cell::from("only one")]);
+    }
+}

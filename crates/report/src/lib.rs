@@ -1,0 +1,17 @@
+//! Figure/table data model and renderers.
+//!
+//! Every experiment produces a [`Figure`] (series of x/y points) or a
+//! [`Table`] (headers + rows). Renderers turn them into CSV, Markdown,
+//! JSON, ASCII charts for the terminal, and the self-contained SVG/HTML
+//! dashboard that mirrors the paper's interactive dashboard artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dashboard;
+mod figure;
+mod render;
+
+pub use dashboard::render_dashboard;
+pub use figure::{Cell, Figure, Series, Table};
+pub use render::{ascii_chart, figure_to_csv, figure_to_json, table_to_csv, table_to_markdown};

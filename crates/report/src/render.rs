@@ -1,0 +1,188 @@
+//! Text renderers: CSV, Markdown, JSON, and ASCII charts.
+
+use crate::figure::{Figure, Table};
+use std::fmt::Write as _;
+
+/// Figure as long-form CSV: `series,x,y`.
+pub fn figure_to_csv(fig: &Figure) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in &fig.series {
+        for (x, y) in s.x.iter().zip(&s.y) {
+            let yv = if y.is_finite() {
+                format!("{y}")
+            } else {
+                String::new() // empty cell = missing (OOM/unsupported)
+            };
+            let _ = writeln!(out, "{},{x},{yv}", csv_escape(&s.label));
+        }
+    }
+    out
+}
+
+/// Figure as pretty JSON.
+pub fn figure_to_json(fig: &Figure) -> String {
+    serde_json::to_string_pretty(fig).expect("figure serializes")
+}
+
+/// Table as CSV.
+pub fn table_to_csv(tab: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        tab.headers
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for row in &tab.rows {
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter()
+                .map(|c| csv_escape(&c.render()))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    out
+}
+
+/// Table as GitHub Markdown.
+pub fn table_to_markdown(tab: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", tab.headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        tab.headers
+            .iter()
+            .map(|_| "---")
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in &tab.rows {
+        let _ = writeln!(
+            out,
+            "| {} |",
+            row.iter()
+                .map(|c| c.render())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+    }
+    out
+}
+
+/// Horizontal-bar ASCII chart of a figure, one block per series point —
+/// the terminal analogue of the paper's bar figures.
+pub fn ascii_chart(fig: &Figure, width: usize) -> String {
+    let width = width.max(20);
+    let global_max = fig
+        .series
+        .iter()
+        .filter_map(|s| s.max_y())
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    let _ = writeln!(out, "  ({} vs {})", fig.y_label, fig.x_label);
+    for s in &fig.series {
+        let _ = writeln!(out, "  {}", s.label);
+        for (x, y) in s.x.iter().zip(&s.y) {
+            if y.is_finite() {
+                let bar_len = if global_max > 0.0 {
+                    ((y / global_max) * width as f64).round() as usize
+                } else {
+                    0
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:>8} | {}{} {:.1}",
+                    trim_float(*x),
+                    "█".repeat(bar_len),
+                    if bar_len == 0 { "▏" } else { "" },
+                    y
+                );
+            } else {
+                let _ = writeln!(out, "    {:>8} | (OOM / unsupported)", trim_float(*x));
+            }
+        }
+    }
+    for note in &fig.notes {
+        let _ = writeln!(out, "  note: {note}");
+    }
+    out
+}
+
+fn trim_float(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::{Cell, Series};
+
+    fn fig() -> Figure {
+        Figure::new("figX", "Demo", "batch", "tok/s")
+            .with_series(Series::new("A", vec![1.0, 2.0], vec![10.0, f64::NAN]))
+            .with_series(Series::new("B, with comma", vec![1.0], vec![5.0]))
+            .with_note("hello")
+    }
+
+    #[test]
+    fn csv_has_gaps_for_nan() {
+        let csv = figure_to_csv(&fig());
+        assert!(csv.contains("A,1,10\n"));
+        assert!(csv.contains("A,2,\n"), "{csv}");
+        assert!(csv.contains("\"B, with comma\",1,5\n"));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let j = figure_to_json(&fig());
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "figX");
+        assert_eq!(v["series"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut t = Table::new("tab1", "Models", vec!["Model", "Params"]);
+        t.push_row(vec![Cell::from("LLaMA-2-7B"), Cell::from(7i64)]);
+        let md = table_to_markdown(&t);
+        assert!(md.starts_with("| Model | Params |"));
+        assert!(md.contains("| LLaMA-2-7B | 7 |"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_table_escapes() {
+        let mut t = Table::new("t", "x", vec!["a"]);
+        t.push_row(vec![Cell::from("va\"l,ue")]);
+        let csv = table_to_csv(&t);
+        assert!(csv.contains("\"va\"\"l,ue\""));
+    }
+
+    #[test]
+    fn ascii_chart_renders_bars_and_gaps() {
+        let s = ascii_chart(&fig(), 40);
+        assert!(s.contains("figX"));
+        assert!(s.contains('█'));
+        assert!(s.contains("(OOM / unsupported)"));
+        assert!(s.contains("note: hello"));
+    }
+}

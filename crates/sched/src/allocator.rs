@@ -1,0 +1,455 @@
+//! KV-cache allocators: paged (PagedAttention-style) vs monolithic.
+//!
+//! Capacity is accounted in *tokens* (each token of each sequence costs
+//! one KV slot; byte sizing is the perf model's concern). The paged
+//! allocator hands out fixed-size blocks from a pool — no external
+//! fragmentation, bounded internal waste (≤ block−1 tokens per
+//! sequence). The monolithic allocator carves variable-sized extents
+//! from a contiguous arena with first-fit, exhibiting exactly the
+//! external fragmentation §IV-B2 describes.
+
+use llmib_types::{Error, Result};
+use std::collections::HashMap;
+
+/// Aggregate allocator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AllocStats {
+    /// Total capacity in tokens.
+    pub capacity_tokens: u64,
+    /// Tokens actually stored by live sequences.
+    pub live_tokens: u64,
+    /// Tokens reserved but not holding data (internal waste: paged
+    /// round-up, monolithic over-reservation).
+    pub internal_waste_tokens: u64,
+    /// Largest allocation that could currently succeed, in tokens —
+    /// shrinks under external fragmentation.
+    pub largest_free_extent: u64,
+    /// Free tokens in total (may be unusable if fragmented).
+    pub free_tokens: u64,
+}
+
+impl AllocStats {
+    /// Fraction of capacity holding live data.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_tokens == 0 {
+            return 0.0;
+        }
+        self.live_tokens as f64 / self.capacity_tokens as f64
+    }
+
+    /// External fragmentation in [0, 1]: how much of the free space is
+    /// unreachable by the largest single allocation.
+    pub fn external_fragmentation(&self) -> f64 {
+        if self.free_tokens == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_extent as f64 / self.free_tokens as f64
+    }
+}
+
+/// Common interface of both allocators.
+pub trait KvAllocator {
+    /// Reserve space for a new sequence whose context may grow to
+    /// `max_tokens`. Paged allocators reserve lazily; monolithic ones
+    /// reserve the whole extent up front.
+    fn admit(&mut self, seq_id: u64, max_tokens: u32) -> Result<()>;
+
+    /// Record `n` new tokens appended to a sequence (prefill or decode).
+    fn append(&mut self, seq_id: u64, n: u32) -> Result<()>;
+
+    /// Release a finished sequence.
+    fn release(&mut self, seq_id: u64);
+
+    /// Current statistics.
+    fn stats(&self) -> AllocStats;
+
+    /// Whether a new sequence of `max_tokens` could currently be admitted.
+    fn can_admit(&self, max_tokens: u32) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// Paged allocator
+// ---------------------------------------------------------------------
+
+/// vLLM-style paged allocator: fixed-size blocks, free-list allocation.
+#[derive(Debug, Clone)]
+pub struct PagedAllocator {
+    block_tokens: u32,
+    total_blocks: u64,
+    free_blocks: u64,
+    /// seq -> (blocks held, live tokens).
+    seqs: HashMap<u64, (u64, u64)>,
+}
+
+impl PagedAllocator {
+    /// Pool with `capacity_tokens` of KV space in `block_tokens` pages.
+    pub fn new(capacity_tokens: u64, block_tokens: u32) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        let total_blocks = capacity_tokens / u64::from(block_tokens);
+        Self {
+            block_tokens,
+            total_blocks,
+            free_blocks: total_blocks,
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// Block size in tokens.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> u64 {
+        self.total_blocks - self.free_blocks
+    }
+
+    fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(u64::from(self.block_tokens))
+    }
+}
+
+impl KvAllocator for PagedAllocator {
+    fn admit(&mut self, seq_id: u64, _max_tokens: u32) -> Result<()> {
+        if self.seqs.contains_key(&seq_id) {
+            return Err(Error::InvalidConfig(format!(
+                "sequence {seq_id} already admitted"
+            )));
+        }
+        // Lazy: no blocks until tokens arrive.
+        self.seqs.insert(seq_id, (0, 0));
+        Ok(())
+    }
+
+    fn append(&mut self, seq_id: u64, n: u32) -> Result<()> {
+        let (blocks, tokens) = *self
+            .seqs
+            .get(&seq_id)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown sequence {seq_id}")))?;
+        let new_tokens = tokens + u64::from(n);
+        let need_blocks = self.blocks_for(new_tokens);
+        let extra = need_blocks.saturating_sub(blocks);
+        if extra > self.free_blocks {
+            return Err(Error::OutOfMemory {
+                required_bytes: (extra * u64::from(self.block_tokens)) as f64,
+                available_bytes: (self.free_blocks * u64::from(self.block_tokens)) as f64,
+                detail: format!("paged KV pool exhausted for sequence {seq_id}"),
+            });
+        }
+        self.free_blocks -= extra;
+        self.seqs.insert(seq_id, (need_blocks, new_tokens));
+        Ok(())
+    }
+
+    fn release(&mut self, seq_id: u64) {
+        if let Some((blocks, _)) = self.seqs.remove(&seq_id) {
+            self.free_blocks += blocks;
+        }
+    }
+
+    fn stats(&self) -> AllocStats {
+        let live: u64 = self.seqs.values().map(|(_, t)| *t).sum();
+        let reserved: u64 = self
+            .seqs
+            .values()
+            .map(|(b, _)| b * u64::from(self.block_tokens))
+            .sum();
+        let free = self.free_blocks * u64::from(self.block_tokens);
+        AllocStats {
+            capacity_tokens: self.total_blocks * u64::from(self.block_tokens),
+            live_tokens: live,
+            internal_waste_tokens: reserved - live,
+            // Blocks are interchangeable: all free space is one extent.
+            largest_free_extent: free,
+            free_tokens: free,
+        }
+    }
+
+    fn can_admit(&self, _max_tokens: u32) -> bool {
+        // Admission is lazy; one free block suffices to make progress.
+        self.free_blocks > 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Monolithic allocator
+// ---------------------------------------------------------------------
+
+/// Traditional contiguous allocator: each sequence reserves its full
+/// maximum context as one extent, first-fit from a sorted free list.
+#[derive(Debug, Clone)]
+pub struct MonolithicAllocator {
+    capacity: u64,
+    /// Sorted, coalesced free extents (offset, len).
+    free: Vec<(u64, u64)>,
+    /// seq -> (offset, reserved_len, live_tokens).
+    seqs: HashMap<u64, (u64, u64, u64)>,
+}
+
+impl MonolithicAllocator {
+    /// Arena of `capacity_tokens` tokens.
+    pub fn new(capacity_tokens: u64) -> Self {
+        Self {
+            capacity: capacity_tokens,
+            free: vec![(0, capacity_tokens)],
+            seqs: HashMap::new(),
+        }
+    }
+
+    fn coalesce(&mut self) {
+        self.free.sort_unstable_by_key(|&(off, _)| off);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.free.len());
+        for &(off, len) in &self.free {
+            match merged.last_mut() {
+                Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        self.free = merged;
+    }
+}
+
+impl KvAllocator for MonolithicAllocator {
+    fn admit(&mut self, seq_id: u64, max_tokens: u32) -> Result<()> {
+        if self.seqs.contains_key(&seq_id) {
+            return Err(Error::InvalidConfig(format!(
+                "sequence {seq_id} already admitted"
+            )));
+        }
+        let need = u64::from(max_tokens);
+        let slot = self
+            .free
+            .iter()
+            .position(|&(_, len)| len >= need)
+            .ok_or_else(|| {
+                let largest = self.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+                Error::OutOfMemory {
+                    required_bytes: need as f64,
+                    available_bytes: largest as f64,
+                    detail: format!(
+                        "no contiguous extent of {need} tokens (external fragmentation)"
+                    ),
+                }
+            })?;
+        let (off, len) = self.free[slot];
+        if len == need {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = (off + need, len - need);
+        }
+        self.seqs.insert(seq_id, (off, need, 0));
+        Ok(())
+    }
+
+    fn append(&mut self, seq_id: u64, n: u32) -> Result<()> {
+        let entry = self
+            .seqs
+            .get_mut(&seq_id)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown sequence {seq_id}")))?;
+        let new_live = entry.2 + u64::from(n);
+        if new_live > entry.1 {
+            return Err(Error::OutOfMemory {
+                required_bytes: new_live as f64,
+                available_bytes: entry.1 as f64,
+                detail: format!("sequence {seq_id} outgrew its monolithic reservation"),
+            });
+        }
+        entry.2 = new_live;
+        Ok(())
+    }
+
+    fn release(&mut self, seq_id: u64) {
+        if let Some((off, len, _)) = self.seqs.remove(&seq_id) {
+            self.free.push((off, len));
+            self.coalesce();
+        }
+    }
+
+    fn stats(&self) -> AllocStats {
+        let live: u64 = self.seqs.values().map(|(_, _, t)| *t).sum();
+        let reserved: u64 = self.seqs.values().map(|(_, r, _)| *r).sum();
+        let free: u64 = self.free.iter().map(|&(_, l)| l).sum();
+        let largest = self.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        AllocStats {
+            capacity_tokens: self.capacity,
+            live_tokens: live,
+            internal_waste_tokens: reserved - live,
+            largest_free_extent: largest,
+            free_tokens: free,
+        }
+    }
+
+    fn can_admit(&self, max_tokens: u32) -> bool {
+        self.free
+            .iter()
+            .any(|&(_, len)| len >= u64::from(max_tokens))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paged_rounds_up_to_blocks() {
+        let mut a = PagedAllocator::new(1024, 16);
+        a.admit(1, 100).unwrap();
+        a.append(1, 17).unwrap(); // 2 blocks
+        assert_eq!(a.used_blocks(), 2);
+        let st = a.stats();
+        assert_eq!(st.live_tokens, 17);
+        assert_eq!(st.internal_waste_tokens, 32 - 17);
+    }
+
+    #[test]
+    fn paged_pool_exhaustion_is_oom() {
+        let mut a = PagedAllocator::new(64, 16);
+        a.admit(1, 64).unwrap();
+        a.append(1, 64).unwrap();
+        a.admit(2, 64).unwrap();
+        let err = a.append(2, 1).unwrap_err();
+        assert!(err.is_oom());
+        a.release(1);
+        a.append(2, 1).unwrap();
+    }
+
+    #[test]
+    fn paged_release_returns_all_blocks() {
+        let mut a = PagedAllocator::new(1024, 16);
+        for id in 0..4 {
+            a.admit(id, 256).unwrap();
+            a.append(id, 100).unwrap();
+        }
+        for id in 0..4 {
+            a.release(id);
+        }
+        assert_eq!(a.used_blocks(), 0);
+        assert_eq!(a.stats().live_tokens, 0);
+    }
+
+    #[test]
+    fn monolithic_external_fragmentation() {
+        // Fill with alternating sequences, free every other one: total
+        // free space is large but no big extent survives.
+        let mut a = MonolithicAllocator::new(1000);
+        for id in 0..10 {
+            a.admit(id, 100).unwrap();
+        }
+        for id in (0..10).step_by(2) {
+            a.release(id);
+        }
+        let st = a.stats();
+        assert_eq!(st.free_tokens, 500);
+        assert_eq!(st.largest_free_extent, 100);
+        assert!(st.external_fragmentation() > 0.7);
+        // A 200-token request cannot be admitted despite 500 free tokens.
+        assert!(!a.can_admit(200));
+        let err = a.admit(99, 200).unwrap_err();
+        assert!(err.is_oom());
+        // The paged allocator in the same situation has no such problem.
+        let mut p = PagedAllocator::new(1000, 10);
+        for id in 0..10 {
+            p.admit(id, 100).unwrap();
+            p.append(id, 100).unwrap();
+        }
+        for id in (0..10).step_by(2) {
+            p.release(id);
+        }
+        assert_eq!(p.stats().external_fragmentation(), 0.0);
+        p.admit(99, 200).unwrap();
+        p.append(99, 200).unwrap();
+    }
+
+    #[test]
+    fn monolithic_coalesces_adjacent_frees() {
+        let mut a = MonolithicAllocator::new(300);
+        a.admit(1, 100).unwrap();
+        a.admit(2, 100).unwrap();
+        a.admit(3, 100).unwrap();
+        a.release(1);
+        a.release(2);
+        assert_eq!(a.stats().largest_free_extent, 200);
+        a.release(3);
+        assert_eq!(a.stats().largest_free_extent, 300);
+    }
+
+    #[test]
+    fn monolithic_overgrowth_rejected() {
+        let mut a = MonolithicAllocator::new(100);
+        a.admit(1, 50).unwrap();
+        a.append(1, 50).unwrap();
+        assert!(a.append(1, 1).unwrap_err().is_oom());
+    }
+
+    #[test]
+    fn double_admit_rejected() {
+        let mut p = PagedAllocator::new(100, 10);
+        p.admit(1, 10).unwrap();
+        assert!(p.admit(1, 10).is_err());
+        let mut m = MonolithicAllocator::new(100);
+        m.admit(1, 10).unwrap();
+        assert!(m.admit(1, 10).is_err());
+    }
+
+    proptest! {
+        /// Paged allocator conservation: used + free == total, always.
+        #[test]
+        fn paged_block_conservation(ops in proptest::collection::vec((0u64..8, 1u32..200, prop::bool::ANY), 1..200)) {
+            let mut a = PagedAllocator::new(4096, 16);
+            let mut live: std::collections::HashSet<u64> = Default::default();
+            for (id, n, release) in ops {
+                if release {
+                    a.release(id);
+                    live.remove(&id);
+                } else {
+                    if !live.contains(&id) {
+                        a.admit(id, 4096).unwrap();
+                        live.insert(id);
+                    }
+                    let _ = a.append(id, n); // may OOM: fine
+                }
+                let st = a.stats();
+                prop_assert_eq!(
+                    a.used_blocks() * 16 + st.free_tokens,
+                    st.capacity_tokens
+                );
+                prop_assert!(st.live_tokens + st.internal_waste_tokens + st.free_tokens == st.capacity_tokens);
+            }
+        }
+
+        /// Monolithic allocator conservation: reserved + free == capacity.
+        #[test]
+        fn monolithic_space_conservation(ops in proptest::collection::vec((0u64..8, 10u32..300, prop::bool::ANY), 1..200)) {
+            let mut a = MonolithicAllocator::new(2048);
+            let mut live: std::collections::HashSet<u64> = Default::default();
+            for (id, max, release) in ops {
+                if release {
+                    a.release(id);
+                    live.remove(&id);
+                } else if !live.contains(&id) && a.admit(id, max).is_ok() {
+                    live.insert(id);
+                }
+                let st = a.stats();
+                let reserved: u64 = st.live_tokens + st.internal_waste_tokens;
+                prop_assert_eq!(reserved + st.free_tokens, st.capacity_tokens);
+                prop_assert!(st.largest_free_extent <= st.free_tokens);
+            }
+        }
+
+        /// Paged allocator never exhibits external fragmentation.
+        #[test]
+        fn paged_no_external_fragmentation(ids in proptest::collection::vec(0u64..16, 1..64)) {
+            let mut a = PagedAllocator::new(8192, 32);
+            for (i, id) in ids.iter().enumerate() {
+                let uid = *id + (i as u64) * 100;
+                a.admit(uid, 512).unwrap();
+                let _ = a.append(uid, 37);
+                if i % 3 == 0 {
+                    a.release(uid);
+                }
+            }
+            prop_assert_eq!(a.stats().external_fragmentation(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Request lifecycle for the serving simulator.
+
+use llmib_types::Seconds;
+use serde::Serialize;
+
+/// Where a request is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RequestState {
+    /// Arrived, waiting for admission.
+    Queued,
+    /// Admitted; prompt not yet processed.
+    Prefilling,
+    /// Generating tokens.
+    Decoding,
+    /// All output tokens produced.
+    Finished,
+}
+
+/// One inference request flowing through the simulator.
+#[derive(Debug, Clone, Serialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: Seconds,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Output tokens to generate.
+    pub output_tokens: u32,
+    /// Lifecycle state.
+    pub state: RequestState,
+    /// Tokens generated so far.
+    pub generated: u32,
+    /// When the first output token appeared.
+    pub first_token_at: Option<Seconds>,
+    /// When the request finished.
+    pub finished_at: Option<Seconds>,
+}
+
+impl Request {
+    /// New queued request.
+    pub fn new(id: u64, arrival: Seconds, prompt_tokens: u32, output_tokens: u32) -> Self {
+        assert!(prompt_tokens > 0 && output_tokens > 0);
+        Self {
+            id,
+            arrival,
+            prompt_tokens,
+            output_tokens,
+            state: RequestState::Queued,
+            generated: 0,
+            first_token_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Context length right now (prompt + generated).
+    pub fn context(&self) -> u32 {
+        self.prompt_tokens + self.generated
+    }
+
+    /// Maximum context this request will ever hold.
+    pub fn max_context(&self) -> u32 {
+        self.prompt_tokens + self.output_tokens
+    }
+
+    /// Time to first token, if produced.
+    pub fn ttft(&self) -> Option<Seconds> {
+        self.first_token_at
+            .map(|t| Seconds(t.value() - self.arrival.value()))
+    }
+
+    /// End-to-end latency, if finished.
+    pub fn latency(&self) -> Option<Seconds> {
+        self.finished_at
+            .map(|t| Seconds(t.value() - self.arrival.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_metrics() {
+        let mut r = Request::new(1, Seconds(10.0), 128, 4);
+        assert_eq!(r.context(), 128);
+        assert_eq!(r.max_context(), 132);
+        assert!(r.ttft().is_none());
+        r.first_token_at = Some(Seconds(10.5));
+        r.generated = 4;
+        r.finished_at = Some(Seconds(11.0));
+        assert!((r.ttft().unwrap().value() - 0.5).abs() < 1e-12);
+        assert!((r.latency().unwrap().value() - 1.0).abs() < 1e-12);
+        assert_eq!(r.context(), 132);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_prompt_rejected() {
+        Request::new(1, Seconds::ZERO, 0, 1);
+    }
+}

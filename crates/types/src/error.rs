@@ -1,0 +1,130 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `llmib-*` crates.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the benchmarking suite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A model/hardware/framework combination is not supported
+    /// (paper Table III support matrix).
+    Unsupported {
+        /// Human-readable description of what was attempted.
+        what: String,
+        /// Why the combination is rejected.
+        reason: String,
+    },
+    /// The scenario does not fit in device memory (e.g. Gaudi2 OOM at
+    /// batch 32/64, or 70B models on a single 40 GB A100).
+    OutOfMemory {
+        /// Bytes required by weights + KV cache + activations.
+        required_bytes: f64,
+        /// Bytes available across the allocated devices.
+        available_bytes: f64,
+        /// Which component overflowed.
+        detail: String,
+    },
+    /// A named entity (model, hardware, framework, experiment) is unknown.
+    UnknownId {
+        /// Entity kind, e.g. "model".
+        kind: &'static str,
+        /// The identifier that failed to resolve.
+        id: String,
+    },
+    /// Invalid configuration detected while building a scenario.
+    InvalidConfig(String),
+    /// Failure while parsing a textual representation.
+    Parse {
+        /// What was being parsed.
+        what: &'static str,
+        /// The offending input.
+        input: String,
+    },
+    /// I/O error (report writing, dashboard generation).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Unsupported { what, reason } => {
+                write!(f, "unsupported configuration: {what} ({reason})")
+            }
+            Error::OutOfMemory {
+                required_bytes,
+                available_bytes,
+                detail,
+            } => write!(
+                f,
+                "out of device memory: need {:.2} GiB, have {:.2} GiB ({detail})",
+                required_bytes / (1u64 << 30) as f64,
+                available_bytes / (1u64 << 30) as f64,
+            ),
+            Error::UnknownId { kind, id } => write!(f, "unknown {kind}: {id:?}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Parse { what, input } => write!(f, "failed to parse {what} from {input:?}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+impl Error {
+    /// True when this error represents an out-of-memory condition. The
+    /// experiment harness treats OOM as data (the paper reports Gaudi2 OOMs
+    /// as findings), not as a failure.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Error::OutOfMemory { .. })
+    }
+
+    /// True when this error represents an unsupported combination (paper
+    /// Table III), treated as a skipped data point.
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, Error::Unsupported { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_display_mentions_gib() {
+        let e = Error::OutOfMemory {
+            required_bytes: 2.0 * (1u64 << 30) as f64,
+            available_bytes: 1.0 * (1u64 << 30) as f64,
+            detail: "kv cache".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("2.00 GiB"), "{s}");
+        assert!(s.contains("kv cache"), "{s}");
+        assert!(e.is_oom());
+        assert!(!e.is_unsupported());
+    }
+
+    #[test]
+    fn unsupported_classification() {
+        let e = Error::Unsupported {
+            what: "TensorRT-LLM on MI250".into(),
+            reason: "CUDA-only".into(),
+        };
+        assert!(e.is_unsupported());
+        assert!(!e.is_oom());
+    }
+
+    #[test]
+    fn io_conversion() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = ioe.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

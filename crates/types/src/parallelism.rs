@@ -1,0 +1,134 @@
+//! Multi-device parallelism layouts (paper §IV-C).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a model is partitioned across devices: tensor, pipeline, and expert
+/// parallel degrees. The total device count is the product of the degrees
+/// (expert parallelism reuses the tensor/pipeline mesh in the paper's
+/// within-node experiments, so it is tracked separately and bounded by the
+/// mesh size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Tensor-parallel degree (weights of each layer split across devices).
+    pub tensor: u32,
+    /// Pipeline-parallel degree (contiguous layer groups per device).
+    pub pipeline: u32,
+    /// Expert-parallel degree (MoE experts sharded across devices; 1 = none).
+    pub expert: u32,
+}
+
+impl Parallelism {
+    /// Single-device execution.
+    pub const SINGLE: Self = Self {
+        tensor: 1,
+        pipeline: 1,
+        expert: 1,
+    };
+
+    /// Pure tensor parallelism of degree `n`.
+    pub fn tensor_parallel(n: u32) -> Self {
+        assert!(n >= 1);
+        Self {
+            tensor: n,
+            pipeline: 1,
+            expert: 1,
+        }
+    }
+
+    /// Pure pipeline parallelism of degree `n`.
+    pub fn pipeline_parallel(n: u32) -> Self {
+        assert!(n >= 1);
+        Self {
+            tensor: 1,
+            pipeline: n,
+            expert: 1,
+        }
+    }
+
+    /// Expert parallelism over `n` devices (MoE models only).
+    pub fn expert_parallel(n: u32) -> Self {
+        assert!(n >= 1);
+        Self {
+            tensor: 1,
+            pipeline: 1,
+            expert: n,
+        }
+    }
+
+    /// Hybrid TP×PP layout.
+    pub fn hybrid(tensor: u32, pipeline: u32) -> Self {
+        assert!(tensor >= 1 && pipeline >= 1);
+        Self {
+            tensor,
+            pipeline,
+            expert: 1,
+        }
+    }
+
+    /// Total number of devices occupied by this layout.
+    pub fn device_count(&self) -> u32 {
+        // Expert parallelism shards experts over the same mesh in the
+        // paper's single-node runs, so devices = tp * pp * (ep beyond mesh).
+        let mesh = self.tensor * self.pipeline;
+        mesh.max(self.expert)
+    }
+
+    /// True when more than one device participates.
+    pub fn is_distributed(&self) -> bool {
+        self.device_count() > 1
+    }
+
+    /// True when any degree is greater than one in more than one dimension.
+    pub fn is_hybrid(&self) -> bool {
+        let dims = [self.tensor, self.pipeline, self.expert];
+        dims.iter().filter(|&&d| d > 1).count() > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::SINGLE
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={},PP={},EP={}",
+            self.tensor, self.pipeline, self.expert
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_counts() {
+        assert_eq!(Parallelism::SINGLE.device_count(), 1);
+        assert_eq!(Parallelism::tensor_parallel(4).device_count(), 4);
+        assert_eq!(Parallelism::hybrid(2, 2).device_count(), 4);
+        assert_eq!(Parallelism::expert_parallel(4).device_count(), 4);
+    }
+
+    #[test]
+    fn hybrid_detection() {
+        assert!(!Parallelism::tensor_parallel(4).is_hybrid());
+        assert!(Parallelism::hybrid(2, 2).is_hybrid());
+        assert!(!Parallelism::SINGLE.is_hybrid());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Parallelism::hybrid(2, 2).to_string(), "TP=2,PP=2,EP=1");
+    }
+
+    #[test]
+    fn distributed_flag() {
+        assert!(!Parallelism::SINGLE.is_distributed());
+        assert!(Parallelism::pipeline_parallel(2).is_distributed());
+    }
+}

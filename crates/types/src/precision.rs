@@ -1,0 +1,126 @@
+//! Numeric precisions evaluated in the paper (§IV-B3, Table II).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision of weights/activations/KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE float.
+    Fp32,
+    /// 16-bit IEEE half float (the paper's default: "we used 16 bits").
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// 8-bit float (E4M3/E5M2); only supported on Hopper-class and newer.
+    Fp8,
+    /// 8-bit integer (weight-only or W8A8).
+    Int8,
+    /// 4-bit integer (GPTQ/AWQ-style weight-only).
+    Int4,
+}
+
+impl Precision {
+    /// Bytes occupied by one scalar at this precision.
+    pub fn bytes_per_element(self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Fp16 | Precision::Bf16 => 2.0,
+            Precision::Fp8 | Precision::Int8 => 1.0,
+            Precision::Int4 => 0.5,
+        }
+    }
+
+    /// Bits per element.
+    pub fn bits(self) -> u8 {
+        match self {
+            Precision::Fp32 => 32,
+            Precision::Fp16 | Precision::Bf16 => 16,
+            Precision::Fp8 | Precision::Int8 => 8,
+            Precision::Int4 => 4,
+        }
+    }
+
+    /// Whether this is a sub-16-bit ("quantized") format.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, Precision::Fp8 | Precision::Int8 | Precision::Int4)
+    }
+
+    /// All precisions the suite knows about.
+    pub const ALL: [Precision; 6] = [
+        Precision::Fp32,
+        Precision::Fp16,
+        Precision::Bf16,
+        Precision::Fp8,
+        Precision::Int8,
+        Precision::Int4,
+    ];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+            Precision::Bf16 => "BF16",
+            Precision::Fp8 => "FP8",
+            Precision::Int8 => "INT8",
+            Precision::Int4 => "INT4",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = crate::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FP32" | "F32" => Ok(Precision::Fp32),
+            "FP16" | "F16" => Ok(Precision::Fp16),
+            "BF16" => Ok(Precision::Bf16),
+            "FP8" | "F8" => Ok(Precision::Fp8),
+            "INT8" | "I8" => Ok(Precision::Int8),
+            "INT4" | "I4" => Ok(Precision::Int4),
+            other => Err(crate::Error::Parse {
+                what: "precision",
+                input: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Precision::Fp16.bytes_per_element(), 2.0);
+        assert_eq!(Precision::Int4.bytes_per_element(), 0.5);
+        assert_eq!(Precision::Fp32.bits(), 32);
+    }
+
+    #[test]
+    fn quantized_flags() {
+        assert!(!Precision::Fp16.is_quantized());
+        assert!(Precision::Fp8.is_quantized());
+        assert!(Precision::Int8.is_quantized());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in Precision::ALL {
+            let parsed: Precision = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("fp99".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn bits_match_bytes() {
+        for p in Precision::ALL {
+            assert!((f64::from(p.bits()) / 8.0 - p.bytes_per_element()).abs() < 1e-12);
+        }
+    }
+}

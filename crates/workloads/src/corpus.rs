@@ -1,0 +1,202 @@
+//! Synthetic corpora: Markov token text and a LongBench-like multi-subset
+//! mixture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Order-1 Markov chain over a token vocabulary with a skewed transition
+/// structure — produces text with exploitable statistics (unlike uniform
+/// noise), which is what perplexity evaluation needs to be meaningful.
+#[derive(Debug, Clone)]
+pub struct MarkovTextGenerator {
+    vocab: usize,
+    /// Per-state preferred successor (each state strongly prefers a few
+    /// successors, chosen pseudo-randomly at construction).
+    hot_successors: Vec<[usize; 4]>,
+    /// Probability mass on the preferred successors.
+    locality: f64,
+    rng: StdRng,
+}
+
+impl MarkovTextGenerator {
+    /// Build a generator over `vocab` tokens; `locality` in [0,1) is the
+    /// probability of following a preferred transition.
+    pub fn new(vocab: usize, locality: f64, seed: u64) -> Self {
+        assert!(vocab >= 8, "vocabulary too small");
+        assert!((0.0..1.0).contains(&locality));
+        let mut setup = StdRng::seed_from_u64(seed);
+        let hot_successors = (0..vocab)
+            .map(|_| {
+                [
+                    setup.gen_range(0..vocab),
+                    setup.gen_range(0..vocab),
+                    setup.gen_range(0..vocab),
+                    setup.gen_range(0..vocab),
+                ]
+            })
+            .collect();
+        Self {
+            vocab,
+            hot_successors,
+            locality,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(1)),
+        }
+    }
+
+    /// Generate `len` tokens.
+    pub fn generate(&mut self, len: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len);
+        let mut state = self.rng.gen_range(0..self.vocab);
+        for _ in 0..len {
+            out.push(state);
+            state = if self.rng.gen_bool(self.locality) {
+                let hot = &self.hot_successors[state];
+                hot[self.rng.gen_range(0..hot.len())]
+            } else {
+                self.rng.gen_range(0..self.vocab)
+            };
+        }
+        out
+    }
+}
+
+/// One subset of the LongBench-like mixture.
+#[derive(Debug, Clone)]
+pub struct SubsetSpec {
+    /// Subset name (mirrors a LongBench dataset family).
+    pub name: &'static str,
+    /// Documents to generate.
+    pub documents: usize,
+    /// Mean document length in tokens.
+    pub mean_len: usize,
+    /// Markov locality (QA-style subsets are less repetitive than
+    /// code/summarization subsets).
+    pub locality: f64,
+}
+
+/// A LongBench-like evaluation corpus: a mixture of subsets with the
+/// length/structure diversity of the paper's 15-dataset unification
+/// (App. D: "We combine all these datasets and evaluate models on the
+/// large unified dataset").
+#[derive(Debug, Clone)]
+pub struct LongBenchLike {
+    /// Documents, each a token sequence, with their subset names.
+    pub documents: Vec<(&'static str, Vec<usize>)>,
+}
+
+impl LongBenchLike {
+    /// Default subset mix, loosely mirroring LongBench's families.
+    pub fn default_subsets() -> Vec<SubsetSpec> {
+        vec![
+            SubsetSpec {
+                name: "multihop-qa",
+                documents: 6,
+                mean_len: 384,
+                locality: 0.55,
+            },
+            SubsetSpec {
+                name: "single-doc-qa",
+                documents: 6,
+                mean_len: 256,
+                locality: 0.55,
+            },
+            SubsetSpec {
+                name: "summarization",
+                documents: 4,
+                mean_len: 448,
+                locality: 0.7,
+            },
+            SubsetSpec {
+                name: "few-shot",
+                documents: 4,
+                mean_len: 192,
+                locality: 0.6,
+            },
+            SubsetSpec {
+                name: "code",
+                documents: 4,
+                mean_len: 320,
+                locality: 0.85,
+            },
+        ]
+    }
+
+    /// Generate the corpus for a vocabulary size.
+    pub fn generate(vocab: usize, seed: u64) -> Self {
+        Self::generate_with(vocab, seed, &Self::default_subsets())
+    }
+
+    /// Generate with a custom subset mix.
+    pub fn generate_with(vocab: usize, seed: u64, subsets: &[SubsetSpec]) -> Self {
+        let mut documents = Vec::new();
+        for (si, spec) in subsets.iter().enumerate() {
+            let mut texter =
+                MarkovTextGenerator::new(vocab, spec.locality, seed.wrapping_add(si as u64 * 97));
+            let mut lens = StdRng::seed_from_u64(seed.wrapping_add(1000 + si as u64));
+            for _ in 0..spec.documents {
+                let len = lens.gen_range(spec.mean_len / 2..=spec.mean_len * 3 / 2);
+                documents.push((spec.name, texter.generate(len.max(8))));
+            }
+        }
+        Self { documents }
+    }
+
+    /// Total tokens across all documents.
+    pub fn total_tokens(&self) -> usize {
+        self.documents.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// All tokens concatenated (for sliding-window evaluation).
+    pub fn concatenated(&self) -> Vec<usize> {
+        self.documents
+            .iter()
+            .flat_map(|(_, d)| d.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_is_seeded_and_in_range() {
+        let mut a = MarkovTextGenerator::new(64, 0.8, 5);
+        let mut b = MarkovTextGenerator::new(64, 0.8, 5);
+        let ta = a.generate(200);
+        let tb = b.generate(200);
+        assert_eq!(ta, tb);
+        assert!(ta.iter().all(|&t| t < 64));
+    }
+
+    #[test]
+    fn high_locality_text_has_repeating_bigrams() {
+        let mut g = MarkovTextGenerator::new(64, 0.95, 9);
+        let t = g.generate(4000);
+        let mut bigrams = std::collections::HashMap::new();
+        for w in t.windows(2) {
+            *bigrams.entry((w[0], w[1])).or_insert(0u32) += 1;
+        }
+        // With strong locality, some bigrams repeat many times; uniform
+        // text over 64^2 bigrams would average ~1 each.
+        let max = bigrams.values().copied().max().unwrap();
+        assert!(max > 10, "max bigram count {max}");
+    }
+
+    #[test]
+    fn longbench_like_has_all_subsets() {
+        let c = LongBenchLike::generate(128, 3);
+        let names: std::collections::HashSet<_> = c.documents.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(c.documents.len(), 24);
+        assert!(c.total_tokens() > 3000);
+        assert_eq!(c.concatenated().len(), c.total_tokens());
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = LongBenchLike::generate(128, 11);
+        let b = LongBenchLike::generate(128, 11);
+        assert_eq!(a.concatenated(), b.concatenated());
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload generation and model-quality evaluation.
+//!
+//! Provides the synthetic stand-ins for the paper's datasets: a
+//! LongBench-like multi-subset corpus generator (App. D evaluates
+//! perplexity on a 15-dataset LongBench mix), a Markov-chain token-text
+//! generator with controllable structure, and a real perplexity
+//! evaluator (sliding-window negative log-likelihood → `exp`) that runs
+//! against `llmib-engine` models. The paper's published LongBench
+//! perplexity values for the ~7B models are embedded as labeled
+//! reference data for regenerating Figs. 10 and 29.
+//!
+//! ```
+//! use llmib_workloads::{perplexity, LongBenchLike};
+//! use llmib_engine::{EngineConfig, TransformerModel};
+//!
+//! let model = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+//! let corpus = LongBenchLike::generate(model.config().vocab, 7).concatenated();
+//! let report = perplexity(&model, &corpus[..200]);
+//! assert!(report.perplexity.is_finite() && report.perplexity > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod perplexity;
+mod reference;
+mod traffic;
+
+pub use corpus::{LongBenchLike, MarkovTextGenerator, SubsetSpec};
+pub use perplexity::{nll_from_logits, perplexity, PerplexityReport};
+pub use reference::{paper_perplexity, PaperPerplexity, PAPER_PERPLEXITY_TABLE};
+pub use traffic::{RequestShape, TrafficProfile};

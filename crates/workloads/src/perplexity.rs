@@ -1,0 +1,154 @@
+//! Perplexity evaluation (§III-5a): "an exponent of the model's loss".
+
+use llmib_engine::TransformerModel;
+use serde::Serialize;
+
+/// Outcome of a perplexity evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerplexityReport {
+    /// Mean negative log-likelihood per predicted token (nats).
+    pub mean_nll: f64,
+    /// `exp(mean_nll)`.
+    pub perplexity: f64,
+    /// Tokens scored.
+    pub tokens_scored: usize,
+}
+
+/// Negative log-likelihood of `target` under `logits` (stable
+/// log-softmax).
+pub fn nll_from_logits(logits: &[f32], target: usize) -> f64 {
+    assert!(target < logits.len());
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let log_sum: f64 = logits
+        .iter()
+        .map(|&v| (f64::from(v) - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
+    log_sum - f64::from(logits[target])
+}
+
+/// Teacher-forced perplexity of `model` on `tokens`: every position after
+/// the first is predicted from the true prefix (KV-cached single pass).
+pub fn perplexity(model: &TransformerModel, tokens: &[usize]) -> PerplexityReport {
+    assert!(tokens.len() >= 2, "need at least two tokens");
+    let window = model.config().max_seq;
+    let mut total_nll = 0.0f64;
+    let mut scored = 0usize;
+    // Evaluate in non-overlapping windows (the standard sliding-window
+    // compromise for contexts longer than the model supports).
+    for chunk in tokens.chunks(window) {
+        if chunk.len() < 2 {
+            continue;
+        }
+        let mut cache = model.new_cache();
+        let mut logits = model.forward(chunk[0], 0, &mut cache);
+        for (pos, &tok) in chunk.iter().enumerate().skip(1) {
+            total_nll += nll_from_logits(&logits, tok);
+            scored += 1;
+            if pos + 1 < chunk.len() {
+                logits = model.forward(tok, pos, &mut cache);
+            }
+        }
+    }
+    let mean = total_nll / scored.max(1) as f64;
+    PerplexityReport {
+        mean_nll: mean,
+        perplexity: mean.exp(),
+        tokens_scored: scored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_engine::{generate, EngineConfig, GenerateOptions, Sampler};
+
+    #[test]
+    fn uniform_logits_give_log_vocab_nll() {
+        let logits = vec![0.0f32; 64];
+        let nll = nll_from_logits(&logits, 17);
+        assert!((nll - (64.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confident_logits_give_small_nll() {
+        let mut logits = vec![0.0f32; 16];
+        logits[3] = 20.0;
+        assert!(nll_from_logits(&logits, 3) < 1e-6);
+        assert!(nll_from_logits(&logits, 4) > 15.0);
+    }
+
+    #[test]
+    fn nll_stable_for_large_logits() {
+        let logits = vec![1e4f32, 1e4, 1e4 + 1.0];
+        let nll = nll_from_logits(&logits, 2);
+        assert!(nll.is_finite());
+        assert!(nll > 0.0 && nll < 2.0);
+    }
+
+    #[test]
+    fn perplexity_bounds() {
+        let m = llmib_engine::TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+        let vocab = m.config().vocab as f64;
+
+        // Greedy self-continuations: per-token probability is the argmax
+        // probability, which is at least 1/vocab, so ppl <= vocab.
+        let greedy = generate(
+            &m,
+            &[1, 2],
+            GenerateOptions {
+                max_new_tokens: 60,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        let mut seq = vec![1, 2];
+        seq.extend(&greedy.tokens);
+        let ppl_self = perplexity(&m, &seq);
+        assert!(ppl_self.perplexity > 1.0);
+        assert!(ppl_self.perplexity <= vocab + 1e-6);
+
+        // Random text: expected NLL is at least ln(vocab) (Jensen), so
+        // ppl on random tokens should be >= ppl on self-generated text.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let random: Vec<usize> = (0..seq.len())
+            .map(|_| rng.gen_range(0..m.config().vocab))
+            .collect();
+        let ppl_rand = perplexity(&m, &random);
+        assert!(
+            ppl_rand.perplexity > ppl_self.perplexity,
+            "random {} vs self {}",
+            ppl_rand.perplexity,
+            ppl_self.perplexity
+        );
+    }
+
+    #[test]
+    fn perplexity_windows_long_inputs() {
+        let mut cfg = EngineConfig::tiny();
+        cfg.max_seq = 16;
+        let m = llmib_engine::TransformerModel::new(cfg, false).unwrap();
+        let tokens: Vec<usize> = (0..100).map(|i| i % 64).collect();
+        let rep = perplexity(&m, &tokens);
+        assert!(rep.perplexity.is_finite());
+        // Each 16-token window scores 15 predictions; 6 full windows + a
+        // 4-token remainder scoring 3.
+        assert_eq!(rep.tokens_scored, 6 * 15 + 3);
+    }
+
+    #[test]
+    fn quantized_model_perplexity_close_to_f32() {
+        // Fig. 3's premise: quantization preserves output quality.
+        let cfg = EngineConfig::tiny();
+        let f = llmib_engine::TransformerModel::new(cfg.clone(), false).unwrap();
+        let q = llmib_engine::TransformerModel::new(cfg, true).unwrap();
+        let mut gen = crate::corpus::MarkovTextGenerator::new(128, 0.8, 3);
+        let text = gen.generate(200);
+        let pf = perplexity(&f, &text).perplexity;
+        let pq = perplexity(&q, &text).perplexity;
+        let rel = (pf - pq).abs() / pf;
+        assert!(rel < 0.05, "f32 {pf} vs int8 {pq}");
+    }
+}

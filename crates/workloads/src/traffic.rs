@@ -1,0 +1,135 @@
+//! Blended-token traffic profiles (paper §IV-A2).
+//!
+//! "Blended tokens are defined as a situation where the input size
+//! differs from the output tokens, such as summarization and text
+//! classification, which require outputs significantly smaller than the
+//! input token length and text completion and code generation, which
+//! require outputs longer than the input prompt." These profiles give
+//! the serving simulator realistic request mixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// A named traffic profile: distributions of prompt and output lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TrafficProfile {
+    /// Long inputs, short outputs (summarization / classification).
+    Summarization,
+    /// Short inputs, long outputs (completion / code generation).
+    Generation,
+    /// Mid-length both ways with high variance (chat).
+    Chat,
+    /// Equal input/output at a fixed length (the paper's benchmark grid).
+    Square {
+        /// Token length for both sides.
+        len: u32,
+    },
+}
+
+/// One sampled request shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RequestShape {
+    /// Prompt tokens.
+    pub prompt_tokens: u32,
+    /// Output tokens.
+    pub output_tokens: u32,
+}
+
+impl TrafficProfile {
+    /// Sample `n` request shapes, deterministically from `seed`.
+    pub fn sample(self, n: usize, seed: u64) -> Vec<RequestShape> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.sample_one(&mut rng)).collect()
+    }
+
+    fn sample_one(self, rng: &mut StdRng) -> RequestShape {
+        let tri = |rng: &mut StdRng, lo: u32, peak: u32, hi: u32| -> u32 {
+            // Triangular distribution: realistic unimodal lengths.
+            let (lo, peak, hi) = (f64::from(lo), f64::from(peak), f64::from(hi));
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let c = (peak - lo) / (hi - lo);
+            let v = if u < c {
+                lo + (u * (hi - lo) * (peak - lo)).sqrt()
+            } else {
+                hi - ((1.0 - u) * (hi - lo) * (hi - peak)).sqrt()
+            };
+            v.round().max(1.0) as u32
+        };
+        match self {
+            TrafficProfile::Summarization => RequestShape {
+                prompt_tokens: tri(rng, 512, 1024, 2048),
+                output_tokens: tri(rng, 32, 96, 256),
+            },
+            TrafficProfile::Generation => RequestShape {
+                prompt_tokens: tri(rng, 32, 128, 256),
+                output_tokens: tri(rng, 256, 640, 1536),
+            },
+            TrafficProfile::Chat => RequestShape {
+                prompt_tokens: tri(rng, 64, 256, 1024),
+                output_tokens: tri(rng, 64, 192, 768),
+            },
+            TrafficProfile::Square { len } => RequestShape {
+                prompt_tokens: len,
+                output_tokens: len,
+            },
+        }
+    }
+
+    /// Mean input:output ratio of the profile (sampled).
+    pub fn io_ratio(self, seed: u64) -> f64 {
+        let shapes = self.sample(512, seed);
+        let tin: u64 = shapes.iter().map(|s| u64::from(s.prompt_tokens)).sum();
+        let tout: u64 = shapes.iter().map(|s| u64::from(s.output_tokens)).sum();
+        tin as f64 / tout as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_the_expected_io_skew() {
+        // §IV-A2: summarization in >> out; generation out >> in.
+        assert!(TrafficProfile::Summarization.io_ratio(1) > 3.0);
+        assert!(TrafficProfile::Generation.io_ratio(1) < 0.4);
+        let chat = TrafficProfile::Chat.io_ratio(1);
+        assert!((0.4..3.0).contains(&chat), "chat ratio {chat}");
+        assert!((TrafficProfile::Square { len: 256 }.io_ratio(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_bounded() {
+        let a = TrafficProfile::Chat.sample(64, 7);
+        let b = TrafficProfile::Chat.sample(64, 7);
+        let c = TrafficProfile::Chat.sample(64, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for s in &a {
+            assert!((64..=1024).contains(&s.prompt_tokens));
+            assert!((64..=768).contains(&s.output_tokens));
+        }
+    }
+
+    #[test]
+    fn square_profile_is_constant() {
+        let shapes = TrafficProfile::Square { len: 128 }.sample(10, 0);
+        assert!(shapes
+            .iter()
+            .all(|s| s.prompt_tokens == 128 && s.output_tokens == 128));
+    }
+
+    #[test]
+    fn triangular_mass_concentrates_near_peak() {
+        let shapes = TrafficProfile::Summarization.sample(2000, 3);
+        let near_peak = shapes
+            .iter()
+            .filter(|s| (700..=1400).contains(&s.prompt_tokens))
+            .count();
+        assert!(
+            near_peak > shapes.len() / 2,
+            "only {near_peak}/2000 near the mode"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Capacity planner: for a model, find which platform / device-count /
+//! batch combinations fit in memory and which OOM — the deployment
+//! question the paper's Table II + footnote 1 speak to.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner [model-name]
+//! ```
+
+use llm_inference_bench::prelude::*;
+use llmib_frameworks::support_matrix;
+
+fn main() {
+    let model_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LLaMA-3-70B".into());
+    let model = ModelId::parse(&model_name).unwrap_or_else(|e| {
+        eprintln!("{e}; using LLaMA-3-70B");
+        ModelId::Llama3_70b
+    });
+    let perf = PerfModel::default_calibration();
+
+    println!(
+        "capacity plan for {} ({:.1}B params, {:.1} GiB at FP16)\n",
+        model.name(),
+        model.config().total_params() as f64 / 1e9,
+        model.config().weight_bytes(Precision::Fp16).as_gib(),
+    );
+    println!(
+        "{:<18} {:<14} {:>4} {:>6} {:>12} {:>9} {:>7}",
+        "hardware", "framework", "TP", "batch", "fits?", "conc.", "waves"
+    );
+
+    for hw in HardwareId::ALL {
+        // Pick the preferred framework for the platform.
+        let fw = [
+            FrameworkId::TrtLlm,
+            FrameworkId::Vllm,
+            FrameworkId::SambaFlow,
+        ]
+        .into_iter()
+        .find(|f| support_matrix(*f, hw).is_runnable())
+        .unwrap_or(FrameworkId::Vllm);
+        let spec = hw.spec();
+        let tps: Vec<u32> = match spec.quirks.fixed_tp {
+            Some(t) => vec![t],
+            None => [1u32, 2, 4, 8]
+                .into_iter()
+                .filter(|t| *t <= spec.devices_per_node)
+                .collect(),
+        };
+        for tp in tps {
+            for batch in [1u32, 16, 64] {
+                let scenario = match Scenario::builder()
+                    .model(model)
+                    .hardware(hw)
+                    .framework(fw)
+                    .parallelism(Parallelism::tensor_parallel(tp))
+                    .batch_size(batch)
+                    .input_tokens(1024)
+                    .output_tokens(1024)
+                    .build()
+                {
+                    Ok(s) => s,
+                    Err(_) => continue, // e.g. sequence beyond model window
+                };
+                match perf.plan(&scenario) {
+                    Ok(plan) => println!(
+                        "{:<18} {:<14} {:>4} {:>6} {:>12} {:>9} {:>7}",
+                        hw.name(),
+                        fw.name(),
+                        tp,
+                        batch,
+                        if plan.spilled { "spills" } else { "yes" },
+                        plan.max_concurrency.min(9999),
+                        plan.waves,
+                    ),
+                    Err(e) if e.is_oom() => println!(
+                        "{:<18} {:<14} {:>4} {:>6} {:>12} {:>9} {:>7}",
+                        hw.name(),
+                        fw.name(),
+                        tp,
+                        batch,
+                        "OOM",
+                        "-",
+                        "-",
+                    ),
+                    Err(_) => {} // unsupported combination: skip quietly
+                }
+            }
+        }
+    }
+    println!("\n\"spills\" = working set extends past the primary HBM tier (GH200/SN40L).");
+}

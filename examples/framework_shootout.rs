@@ -1,0 +1,74 @@
+//! Framework shootout: recreate the paper's framework-wise comparison
+//! (§V / Fig. 15) for any model, as an ASCII chart.
+//!
+//! ```sh
+//! cargo run --release --example framework_shootout [model-name]
+//! ```
+
+use llm_inference_bench::prelude::*;
+use llmib_report::{ascii_chart, Figure, Series};
+use llmib_types::PAPER_BATCH_SIZES;
+
+fn main() {
+    let model_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Mistral-7B".into());
+    let model = ModelId::parse(&model_name).unwrap_or_else(|e| {
+        eprintln!("{e}; using Mistral-7B");
+        ModelId::Mistral7b
+    });
+
+    let perf = PerfModel::default_calibration();
+    let mut fig = Figure::new(
+        "shootout",
+        format!("{} across frameworks on A100 (length 512)", model.name()),
+        "batch size",
+        "throughput (tokens/s)",
+    );
+    for fw in [
+        FrameworkId::TrtLlm,
+        FrameworkId::Vllm,
+        FrameworkId::DsMii,
+        FrameworkId::LlamaCpp,
+    ] {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for b in PAPER_BATCH_SIZES {
+            let s = Scenario::builder()
+                .model(model)
+                .hardware(HardwareId::A100)
+                .framework(fw)
+                .batch_size(b)
+                .input_tokens(512)
+                .output_tokens(512)
+                .build()
+                .expect("valid scenario");
+            x.push(f64::from(b));
+            match perf.predict(&s) {
+                Ok(p) => y.push(p.throughput_tokens_per_s()),
+                Err(e) => {
+                    y.push(f64::NAN);
+                    fig.notes.push(format!("{fw} @bs{b}: {e}"));
+                }
+            }
+        }
+        fig.series.push(Series::new(fw.name(), x, y));
+    }
+    print!("{}", ascii_chart(&fig, 48));
+
+    // The paper's §VII-1 takeaway, computed live:
+    let best = fig
+        .series
+        .iter()
+        .max_by(|a, b| {
+            a.max_y()
+                .unwrap_or(0.0)
+                .total_cmp(&b.max_y().unwrap_or(0.0))
+        })
+        .unwrap();
+    println!(
+        "\nwinner at saturation: {} ({:.0} tokens/s)",
+        best.label,
+        best.max_y().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: predict every §III-5 metric for one serving scenario.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llm_inference_bench::prelude::*;
+
+fn main() {
+    // LLaMA-3-8B served by vLLM on a single (modeled) A100, batch 16,
+    // 1024 input + 1024 output tokens — one cell of the paper's Fig. 8.
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(16)
+        .input_tokens(1024)
+        .output_tokens(1024)
+        .build()
+        .expect("valid scenario");
+
+    let model = PerfModel::default_calibration();
+    let p = model.predict(&scenario).expect("supported combination");
+
+    println!(
+        "scenario: {} / {} / {}",
+        scenario.model, scenario.hardware, scenario.framework
+    );
+    println!(
+        "  shape:            batch {} x ({} in + {} out) tokens",
+        scenario.shape.batch_size, scenario.shape.input_tokens, scenario.shape.output_tokens
+    );
+    println!("  TTFT:             {:>10.1} ms", p.ttft_ms());
+    println!("  ITL (Eq. 1):      {:>10.3} ms", p.itl_ms());
+    println!("  end-to-end:       {:>10.2} s", p.e2e.value());
+    println!(
+        "  throughput (Eq.2):{:>10.0} tokens/s",
+        p.throughput_tokens_per_s()
+    );
+    println!(
+        "  avg power/device: {:>10.0} W",
+        p.avg_power_per_device.value()
+    );
+    println!("  perf per watt:    {:>10.2} tokens/s/W", p.perf_per_watt);
+    println!("  energy:           {:>10.0} J", p.energy.value());
+    println!("  effective batch:  {:>10}", p.effective_batch);
+
+    // Errors are data: unsupported combinations mirror the paper's
+    // Table III gaps.
+    let mut impossible = scenario.clone();
+    impossible.hardware = HardwareId::Mi250;
+    impossible.framework = FrameworkId::TrtLlm;
+    match model.predict(&impossible) {
+        Ok(_) => unreachable!("TensorRT-LLM cannot run on MI250"),
+        Err(e) => println!("\nas expected: {e}"),
+    }
+}

@@ -1,0 +1,94 @@
+//! Serving simulation: drive the discrete-event scheduler with Poisson
+//! arrivals and compare continuous vs static batching and paged vs
+//! monolithic KV allocation (§IV-A1 / §IV-B2 mechanisms, live).
+//!
+//! ```sh
+//! cargo run --release --example serving_simulation
+//! ```
+
+use llm_inference_bench::prelude::*;
+use llmib_sched::{ArrivalPattern, BatchingPolicy, ServingSimulator, SimConfig};
+
+fn main() {
+    let perf = PerfModel::default_calibration();
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(16)
+        .input_tokens(256)
+        .output_tokens(128)
+        .build()
+        .expect("valid scenario");
+    let resolved = perf.resolve_scenario(&scenario).expect("resolvable");
+
+    let requests = ArrivalPattern::Poisson {
+        rate_per_s: 40.0,
+        seed: 2024,
+    }
+    .generate(64, 256, 128);
+
+    println!(
+        "{} requests, Poisson 40 req/s, prompt 256 / output 128, {} on {}\n",
+        requests.len(),
+        scenario.model,
+        scenario.hardware
+    );
+    println!(
+        "{:<34} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "configuration", "tok/s", "TTFT ms", "p95 lat s", "occup.", "preempt"
+    );
+
+    // Sized so the allocator actually matters: 64 requests x 384-token
+    // max context = 24576 tokens wanted, 8192 available.
+    let kv_tokens = 8192;
+    let configs = [
+        (
+            "continuous + paged(16)",
+            BatchingPolicy::Continuous,
+            Some(16),
+        ),
+        ("continuous + paged(1)", BatchingPolicy::Continuous, Some(1)),
+        ("continuous + monolithic", BatchingPolicy::Continuous, None),
+        ("static + monolithic", BatchingPolicy::Static, None),
+    ];
+    for (name, policy, block) in configs {
+        let sim = ServingSimulator::new(SimConfig {
+            policy,
+            max_concurrency: 32,
+            kv_capacity_tokens: kv_tokens,
+            kv_block_tokens: block,
+        });
+        let rep = sim.run(requests.clone(), &resolved);
+        println!(
+            "{:<34} {:>10.0} {:>10.1} {:>10.2} {:>8.1} {:>9}",
+            name,
+            rep.throughput_tokens_per_s,
+            rep.mean_ttft.value() * 1e3,
+            rep.p95_latency.value(),
+            rep.mean_batch_occupancy,
+            rep.preemptions,
+        );
+    }
+
+    // A deliberately tight pool shows preemption (vLLM recompute).
+    let tight = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 32,
+        kv_capacity_tokens: 4096,
+        kv_block_tokens: Some(16),
+    });
+    let rep = tight.run(requests, &resolved);
+    println!(
+        "{:<34} {:>10.0} {:>10.1} {:>10.2} {:>8.1} {:>9}",
+        "continuous + tiny pool (4Ki)",
+        rep.throughput_tokens_per_s,
+        rep.mean_ttft.value() * 1e3,
+        rep.p95_latency.value(),
+        rep.mean_batch_occupancy,
+        rep.preemptions,
+    );
+    println!(
+        "\nnotes:\n  - continuous batching beats static on TTFT/latency at equal allocators;\n           - paged allocation sustains a higher live batch (occupancy) but its lazy\n             admission over-commits when the pool is scarce, paying preemptions —\n             exactly the recompute-vs-reserve tradeoff vLLM's scheduler manages;\n           - the tiny pool shows preemption thrash at its worst."
+    );
+}

@@ -1,0 +1,144 @@
+//! Property tests over the prediction API: invariants that must hold for
+//! every supported scenario, not just the paper's grid points.
+
+use llm_inference_bench::prelude::*;
+use llmib_types::TokenShape;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelId> {
+    prop_oneof![
+        Just(ModelId::Llama2_7b),
+        Just(ModelId::Llama3_8b),
+        Just(ModelId::Mistral7b),
+        Just(ModelId::Qwen2_7b),
+        Just(ModelId::DeciLm7b),
+    ]
+}
+
+fn arb_hw_fw() -> impl Strategy<Value = (HardwareId, FrameworkId)> {
+    prop_oneof![
+        Just((HardwareId::A100, FrameworkId::Vllm)),
+        Just((HardwareId::A100, FrameworkId::TrtLlm)),
+        Just((HardwareId::A100, FrameworkId::DsMii)),
+        Just((HardwareId::A100, FrameworkId::LlamaCpp)),
+        Just((HardwareId::H100, FrameworkId::Vllm)),
+        Just((HardwareId::H100, FrameworkId::TrtLlm)),
+        Just((HardwareId::Gh200, FrameworkId::Vllm)),
+        Just((HardwareId::Mi250, FrameworkId::Vllm)),
+    ]
+}
+
+fn build(
+    model: ModelId,
+    hw: HardwareId,
+    fw: FrameworkId,
+    batch: u32,
+    input: u32,
+    output: u32,
+) -> llmib_perf::Scenario {
+    let mut s = llmib_perf::Scenario::simple(model, hw, fw, TokenShape::new(input, output, batch));
+    s.parallelism = llmib_types::Parallelism::SINGLE;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core invariants of any prediction: positive, ordered, on-envelope.
+    #[test]
+    fn prediction_invariants(
+        model in arb_model(),
+        (hw, fw) in arb_hw_fw(),
+        batch in 1u32..64,
+        input in 16u32..1024,
+        output in 2u32..1024,
+    ) {
+        let s = build(model, hw, fw, batch, input, output);
+        let perf = PerfModel::default_calibration();
+        match perf.predict(&s) {
+            Ok(p) => {
+                prop_assert!(p.throughput_tokens_per_s() > 0.0);
+                prop_assert!(p.ttft.value() > 0.0);
+                prop_assert!(p.ttft.value() <= p.e2e.value());
+                let itl = p.itl.expect("output > 1").value();
+                prop_assert!(itl > 0.0);
+                // Eq. 2 exact round trip.
+                let eq2 = s.shape.total_tokens() as f64 / p.e2e.value();
+                prop_assert!((p.throughput_tokens_per_s() - eq2).abs() < 1e-6 * eq2);
+                // Power within the device envelope.
+                let spec = hw.spec();
+                prop_assert!(p.avg_power_per_device.value() >= spec.power.idle.value() - 1e-9);
+                prop_assert!(p.avg_power_per_device.value() <= spec.power.tdp.value() + 1e-9);
+                prop_assert!(p.effective_batch >= 1 && p.effective_batch <= batch);
+                prop_assert!(p.waves >= 1);
+            }
+            Err(e) => {
+                // Only structured, expected failures are allowed.
+                prop_assert!(e.is_oom() || e.is_unsupported(), "unexpected error: {e}");
+            }
+        }
+    }
+
+    /// More bandwidth never hurts: H100 >= A100 for identical workloads
+    /// under the same framework.
+    #[test]
+    fn h100_never_slower_than_a100(
+        model in arb_model(),
+        batch in 1u32..64,
+        len in 64u32..1024,
+    ) {
+        let perf = PerfModel::default_calibration();
+        let a = perf.throughput(&build(model, HardwareId::A100, FrameworkId::Vllm, batch, len, len));
+        let h = perf.throughput(&build(model, HardwareId::H100, FrameworkId::Vllm, batch, len, len));
+        if let (Ok(a), Ok(h)) = (a, h) {
+            prop_assert!(h >= a * 0.999, "H100 {h} < A100 {a}");
+        }
+    }
+
+    /// Longer outputs never increase throughput (serial decode), fixed
+    /// everything else.
+    #[test]
+    fn throughput_monotone_down_in_output(
+        model in arb_model(),
+        batch in 1u32..32,
+        input in 64u32..512,
+    ) {
+        let perf = PerfModel::default_calibration();
+        let short = perf.throughput(&build(model, HardwareId::A100, FrameworkId::Vllm, batch, input, 128));
+        let long = perf.throughput(&build(model, HardwareId::A100, FrameworkId::Vllm, batch, input, 512));
+        if let (Ok(s), Ok(l)) = (short, long) {
+            prop_assert!(l <= s * 1.001, "longer output got faster: {l} vs {s}");
+        }
+    }
+
+    /// TTFT grows with prompt length.
+    #[test]
+    fn ttft_monotone_in_input(
+        model in arb_model(),
+        batch in 1u32..32,
+    ) {
+        let perf = PerfModel::default_calibration();
+        let a = perf.predict(&build(model, HardwareId::A100, FrameworkId::Vllm, batch, 128, 64));
+        let b = perf.predict(&build(model, HardwareId::A100, FrameworkId::Vllm, batch, 1024, 64));
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!(b.ttft.value() > a.ttft.value());
+        }
+    }
+
+    /// Quantizing weights to INT8 never slows decode-dominated workloads
+    /// on hardware with native INT8 (memory traffic halves).
+    #[test]
+    fn int8_not_slower_on_a100(
+        model in prop_oneof![Just(ModelId::Llama2_7b), Just(ModelId::Llama3_8b)],
+        batch in 1u32..32,
+    ) {
+        let perf = PerfModel::default_calibration();
+        let mut fp16 = build(model, HardwareId::A100, FrameworkId::TrtLlm, batch, 128, 512);
+        let mut int8 = fp16.clone();
+        fp16.precision = Precision::Fp16;
+        int8.precision = Precision::Int8;
+        if let (Ok(a), Ok(b)) = (perf.throughput(&fp16), perf.throughput(&int8)) {
+            prop_assert!(b >= a * 0.999, "INT8 {b} slower than FP16 {a}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the perf model, the real engine, the
+//! serving simulator and the report pipeline agree with each other.
+
+use llm_inference_bench::prelude::*;
+use llmib_core::experiments::{find_experiment, ExperimentContext};
+use llmib_engine::{generate, EngineConfig, GenerateOptions, Sampler, TransformerModel};
+use llmib_report::render_dashboard;
+use llmib_sched::{ArrivalPattern, BatchingPolicy, ServingSimulator, SimConfig};
+use llmib_types::TokenShape;
+
+fn scenario(model: ModelId, batch: u32, len: u32) -> llmib_perf::Scenario {
+    llmib_perf::Scenario::simple(
+        model,
+        HardwareId::A100,
+        FrameworkId::Vllm,
+        TokenShape::square(len, batch),
+    )
+}
+
+/// The analytical model and the executable engine must agree on the
+/// *direction* of every mechanism the paper studies.
+#[test]
+fn engine_trends_agree_with_perf_model_trends() {
+    let perf = PerfModel::default_calibration();
+
+    // 1) KV caching helps, in both worlds.
+    let mut no_kv = scenario(ModelId::Llama2_7b, 1, 1024);
+    no_kv.kv_cache = false;
+    let with_kv = scenario(ModelId::Llama2_7b, 1, 1024);
+    let model_gain = perf.throughput(&with_kv).unwrap() / perf.throughput(&no_kv).unwrap();
+    assert!(model_gain > 1.5, "perf model KV gain {model_gain}");
+
+    let engine = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+    let opts = |kv| GenerateOptions {
+        max_new_tokens: 48,
+        use_kv_cache: kv,
+        sampler: Sampler::Greedy,
+    };
+    let cached = generate(&engine, &[1, 2, 3], opts(true));
+    let uncached = generate(&engine, &[1, 2, 3], opts(false));
+    assert_eq!(cached.tokens, uncached.tokens);
+    let engine_gain = uncached.forward_passes as f64 / cached.forward_passes as f64;
+    assert!(engine_gain > 3.0, "engine KV work ratio {engine_gain}");
+
+    // 2) GQA shrinks the KV footprint, in both worlds.
+    let plan_mhsa = perf.plan(&scenario(ModelId::Llama2_7b, 1, 512)).unwrap();
+    let plan_gqa = perf.plan(&scenario(ModelId::Llama3_8b, 1, 512)).unwrap();
+    assert!(
+        plan_gqa.kv_bytes_per_token_per_device.value()
+            < plan_mhsa.kv_bytes_per_token_per_device.value() / 3.0
+    );
+    let mhsa = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+    let gqa = TransformerModel::new(EngineConfig::tiny_gqa(), false).unwrap();
+    let mut cm = mhsa.new_cache();
+    let mut cg = gqa.new_cache();
+    mhsa.prefill(&[1, 2, 3, 4], &mut cm);
+    gqa.prefill(&[1, 2, 3, 4], &mut cg);
+    assert!(cg.bytes() * 3 < cm.bytes());
+}
+
+/// The DES simulator's burst throughput should land in the same ballpark
+/// as the closed-form prediction for the equivalent static scenario.
+#[test]
+fn simulator_consistent_with_analytic_prediction() {
+    let perf = PerfModel::default_calibration();
+    let s = scenario(ModelId::Llama3_8b, 16, 256);
+    let analytic = perf.predict(&s).unwrap();
+    let resolved = perf.resolve_scenario(&s).unwrap();
+    let sim = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 16,
+        kv_capacity_tokens: 1 << 22,
+        kv_block_tokens: Some(16),
+    });
+    let rep = sim.run(ArrivalPattern::Burst.generate(16, 256, 256), &resolved);
+    assert_eq!(rep.completed, 16);
+    let ratio = rep.throughput_tokens_per_s / analytic.throughput_tokens_per_s();
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "simulator {:.0} vs analytic {:.0} tok/s (ratio {ratio:.2})",
+        rep.throughput_tokens_per_s,
+        analytic.throughput_tokens_per_s()
+    );
+}
+
+/// The full dashboard renders from real experiment output and is
+/// structurally sound.
+#[test]
+fn dashboard_renders_from_experiments() {
+    let ctx = ExperimentContext::new();
+    let fig = find_experiment("fig08").unwrap().run(&ctx);
+    let tab = find_experiment("tab1").unwrap().run(&ctx);
+    let html = render_dashboard(
+        "test dashboard",
+        &[fig.figure().unwrap().clone()],
+        &[tab.table().unwrap().clone()],
+    );
+    assert!(html.contains("<svg"));
+    assert!(html.contains("fig08"));
+    assert!(html.contains("LLaMA Model Family"));
+    assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+    let dir = std::env::temp_dir().join("llmib-dashboard-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dashboard.html");
+    std::fs::write(&path, &html).unwrap();
+    assert!(std::fs::read_to_string(&path).unwrap().ends_with("</html>"));
+}
+
+/// The facade prelude exposes everything the quickstart needs.
+#[test]
+fn facade_prelude_roundtrip() {
+    let s = Scenario::builder()
+        .model(ModelId::Mistral7b)
+        .hardware(HardwareId::H100)
+        .framework(FrameworkId::TrtLlm)
+        .batch_size(8)
+        .input_tokens(256)
+        .output_tokens(256)
+        .build()
+        .unwrap();
+    let p = PerfModel::default_calibration().predict(&s).unwrap();
+    assert!(p.throughput_tokens_per_s() > 0.0);
+    assert!(p.ttft.value() < p.e2e.value());
+    // Eq. 1/2 are re-derivable through the metrics module.
+    let m = InferenceMetrics::from_latencies(MetricInputs {
+        shape: s.shape,
+        e2e: p.e2e,
+        ttft: p.ttft,
+    });
+    assert!((m.throughput.value() - p.throughput_tokens_per_s()).abs() < 1e-6);
+    let itl_pred = p.itl.unwrap().value();
+    let itl_re = m.itl.unwrap().value();
+    assert!((itl_pred - itl_re).abs() < 1e-12);
+}
+
+/// Every experiment the registry lists can be found individually.
+#[test]
+fn registry_lookup_is_total() {
+    for e in llmib_core::experiments::all_experiments() {
+        assert!(find_experiment(e.id()).is_some(), "{}", e.id());
+    }
+}
