@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmib_engine::{
-    generate, matmul_vec, BatchSession, EngineConfig, GenerateOptions, Matrix, QuantizedLinear,
-    Sampler, TransformerModel,
+    generate, matmul_mat, matmul_vec, BatchSession, EngineConfig, GenerateOptions, Matrix,
+    QuantizedLinear, Sampler, TransformerModel,
 };
 use llmib_frameworks::FrameworkId;
 use llmib_hardware::HardwareId;
@@ -22,7 +22,9 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_matmul");
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
-    for n in [64usize, 256, 512] {
+    // n=32 and n=64 sit below the serial-execution threshold (rows·cols
+    // < 64k skips rayon dispatch); n=256 and n=512 sit above it.
+    for n in [32usize, 64, 256, 512] {
         let w = Matrix::random(n, n, 1, 0.1);
         let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
         group.bench_with_input(BenchmarkId::new("f32", n), &n, |b, _| {
@@ -32,7 +34,49 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("int8", n), &n, |b, _| {
             b.iter(|| black_box(q.matmul_vec(black_box(&x))))
         });
+        // Blocked 2×2-tiled GEMM over a 16-row batch vs 16 GEMV calls.
+        let xs = Matrix::random(16, n, 2, 0.1);
+        group.bench_with_input(BenchmarkId::new("gemm_16rows", n), &n, |b, _| {
+            b.iter(|| black_box(matmul_mat(black_box(&w), black_box(&xs))))
+        });
+        group.bench_with_input(BenchmarkId::new("gemv_loop_16rows", n), &n, |b, _| {
+            b.iter(|| {
+                for r in 0..xs.rows() {
+                    black_box(matmul_vec(black_box(&w), black_box(xs.row(r))));
+                }
+            })
+        });
     }
+    group.finish();
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    // Whole-prompt prefill: one batched GEMM pass per weight matrix vs
+    // the token-at-a-time GEMV loop (the paper's Fig. 1a prefill/decode
+    // asymmetry, executed for real at tiny scale).
+    let cfg = EngineConfig {
+        max_seq: 160,
+        ..EngineConfig::tiny()
+    };
+    let model = TransformerModel::new(cfg.clone(), false).unwrap();
+    let prompt: Vec<usize> = (0..128).map(|i| (i * 7 + 3) % cfg.vocab).collect();
+    let mut group = c.benchmark_group("engine_prefill");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("gemm_128tok", |b| {
+        b.iter(|| {
+            let mut cache = model.new_cache();
+            black_box(model.prefill(black_box(&prompt), &mut cache))
+        })
+    });
+    group.bench_function("gemv_loop_128tok", |b| {
+        b.iter(|| {
+            let mut cache = model.new_cache();
+            black_box(model.prefill_unbatched(black_box(&prompt), &mut cache))
+        })
+    });
     group.finish();
 }
 
@@ -123,6 +167,26 @@ fn bench_batched_session(c: &mut Criterion) {
             black_box(out.iter().map(|(_, t)| t.len()).sum::<usize>())
         })
     });
+    // Batch-size sweep: one batched forward per step means the aggregate
+    // cost per step grows sublinearly in batch size (Fig. 1b).
+    for batch in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("decode_sweep_x16", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut session = BatchSession::new(&model);
+                    for i in 0..batch as u64 {
+                        session
+                            .admit(i, &[1usize, 2 + i as usize % 8], 16, Sampler::Greedy)
+                            .unwrap();
+                    }
+                    let out = session.run_to_completion();
+                    black_box(out.iter().map(|(_, t)| t.len()).sum::<usize>())
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -207,6 +271,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_prefill,
     bench_generation,
     bench_batched_session,
     bench_allocators,

@@ -1,31 +1,60 @@
 //! Self-attention with KV caching, supporting both MHSA and GQA.
+//!
+//! Three execution paths share one attention core ([`Attention`] keeps
+//! them numerically identical by funneling every dot product through
+//! [`dot_unrolled`]):
+//!
+//! * token-at-a-time decode ([`Attention::forward`] and the
+//!   workspace-backed [`Attention::forward_ws`]),
+//! * multi-token causal prefill ([`Attention::prefill`]) — one GEMM per
+//!   projection for the whole prompt,
+//! * cross-sequence batched decode ([`Attention::forward_batch`]) — one
+//!   GEMM per projection for a batch of independent sequences.
 
 use crate::config::EngineConfig;
-use crate::model::Linear;
-use crate::tensor::{rope_in_place, softmax_in_place};
+use crate::model::{Linear, Workspace};
+use crate::tensor::{dot_unrolled, softmax_in_place, Matrix, RopeTable};
 
-/// Per-layer key/value cache. Keys/values are stored position-major
-/// (`pos * kv_dim + i`).
+/// Per-layer key/value cache backed by flat preallocated storage.
+///
+/// Keys/values for layer `l`, position `p` live at
+/// `(l * max_seq + p) * kv_dim`. The buffers are sized for `max_seq`
+/// positions up front, so appends during decode never reallocate (the
+/// `Vec<Vec<_>>` layout this replaces regrew each layer's vector as the
+/// sequence extended).
 #[derive(Debug, Clone)]
 pub struct KvCache {
     kv_dim: usize,
-    keys: Vec<Vec<f32>>,
-    vals: Vec<Vec<f32>>,
+    max_seq: usize,
+    keys: Vec<f32>,
+    vals: Vec<f32>,
+    /// Cached positions per layer.
+    lens: Vec<usize>,
 }
 
 impl KvCache {
-    /// Empty cache for `layers` layers with the given KV width.
-    pub fn new(layers: usize, kv_dim: usize) -> Self {
+    /// Empty cache for `layers` layers with the given KV width and
+    /// capacity for `max_seq` positions per layer.
+    pub fn new(layers: usize, kv_dim: usize, max_seq: usize) -> Self {
         Self {
             kv_dim,
-            keys: vec![Vec::new(); layers],
-            vals: vec![Vec::new(); layers],
+            max_seq,
+            keys: vec![0.0; layers * max_seq * kv_dim],
+            vals: vec![0.0; layers * max_seq * kv_dim],
+            lens: vec![0; layers],
         }
     }
 
-    /// Cached positions (same across layers).
+    /// Cached positions (same across layers once a forward pass
+    /// completes). Zero for a cache with no layers.
     pub fn len(&self) -> usize {
-        self.keys[0].len() / self.kv_dim
+        self.lens.first().copied().unwrap_or(0)
+    }
+
+    /// Cached positions for one layer (mid-forward, deeper layers lag
+    /// the first by one position).
+    pub fn layer_len(&self, layer: usize) -> usize {
+        self.lens[layer]
     }
 
     /// Whether the cache is empty.
@@ -37,34 +66,36 @@ impl KvCache {
     pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.kv_dim);
         assert_eq!(v.len(), self.kv_dim);
-        self.keys[layer].extend_from_slice(k);
-        self.vals[layer].extend_from_slice(v);
+        let pos = self.lens[layer];
+        assert!(pos < self.max_seq, "KV cache capacity exceeded");
+        let at = (layer * self.max_seq + pos) * self.kv_dim;
+        self.keys[at..at + self.kv_dim].copy_from_slice(k);
+        self.vals[at..at + self.kv_dim].copy_from_slice(v);
+        self.lens[layer] = pos + 1;
     }
 
     /// Discard cached positions beyond `len` (speculative-decoding
     /// rollback after a rejected draft token).
     pub fn truncate(&mut self, len: usize) {
-        for l in 0..self.keys.len() {
-            self.keys[l].truncate(len * self.kv_dim);
-            self.vals[l].truncate(len * self.kv_dim);
+        for l in self.lens.iter_mut() {
+            *l = (*l).min(len);
         }
     }
 
-    /// Bytes held by the cache.
+    /// Bytes of live cached data (keys and values for every cached
+    /// position; the preallocated backing store is not counted).
     pub fn bytes(&self) -> usize {
-        self.keys
-            .iter()
-            .chain(self.vals.iter())
-            .map(|v| v.len() * 4)
-            .sum()
+        2 * self.lens.iter().sum::<usize>() * self.kv_dim * 4
     }
 
     fn key_at(&self, layer: usize, pos: usize) -> &[f32] {
-        &self.keys[layer][pos * self.kv_dim..(pos + 1) * self.kv_dim]
+        let at = (layer * self.max_seq + pos) * self.kv_dim;
+        &self.keys[at..at + self.kv_dim]
     }
 
     fn val_at(&self, layer: usize, pos: usize) -> &[f32] {
-        &self.vals[layer][pos * self.kv_dim..(pos + 1) * self.kv_dim]
+        let at = (layer * self.max_seq + pos) * self.kv_dim;
+        &self.vals[at..at + self.kv_dim]
     }
 }
 
@@ -78,7 +109,7 @@ pub struct Attention {
     heads: usize,
     kv_heads: usize,
     head_dim: usize,
-    rope_theta: f32,
+    rope: RopeTable,
     sliding_window: Option<usize>,
 }
 
@@ -96,47 +127,57 @@ impl Attention {
             heads: cfg.heads,
             kv_heads: cfg.kv_heads,
             head_dim: cfg.head_dim(),
-            rope_theta: cfg.rope_theta,
+            rope: RopeTable::new(cfg.head_dim(), cfg.rope_theta),
             sliding_window: cfg.sliding_window,
         }
     }
 
-    /// Forward one token at absolute position `pos`, reading and
-    /// extending the cache for `layer`.
-    pub fn forward(&self, x: &[f32], pos: usize, layer: usize, cache: &mut KvCache) -> Vec<f32> {
+    /// RoPE-rotate the `heads` heads of `q` and the `kv_heads` heads of
+    /// `k` for position `pos`.
+    fn rope_qk(&self, q: &mut [f32], k: &mut [f32], pos: usize) {
         let d = self.head_dim;
-        let mut q = self.wq.matmul_vec(x);
-        let mut k = self.wk.matmul_vec(x);
-        let v = self.wv.matmul_vec(x);
-
         for h in 0..self.heads {
-            rope_in_place(&mut q[h * d..(h + 1) * d], pos, self.rope_theta);
+            self.rope.apply(&mut q[h * d..(h + 1) * d], pos);
         }
         for h in 0..self.kv_heads {
-            rope_in_place(&mut k[h * d..(h + 1) * d], pos, self.rope_theta);
+            self.rope.apply(&mut k[h * d..(h + 1) * d], pos);
         }
-        cache.append(layer, &k, &v);
+    }
 
-        let positions = cache.len();
+    /// Causal attention core for one query (all heads) against cached
+    /// positions `[window_start(visible), visible)` of `layer`. Writes
+    /// concatenated head outputs into `out`; `scores` is scratch, grown
+    /// without reallocating once its capacity covers the window.
+    fn attend_one(
+        &self,
+        q: &[f32],
+        layer: usize,
+        cache: &KvCache,
+        visible: usize,
+        scores: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        let d = self.head_dim;
         // Sliding-window attention (Mistral-style): attend only to the
         // most recent `window` positions.
         let start = match self.sliding_window {
-            Some(w) => positions.saturating_sub(w),
+            Some(w) => visible.saturating_sub(w),
             None => 0,
         };
-        let span = positions - start;
+        let span = visible - start;
         let group = self.heads / self.kv_heads;
         let inv_sqrt_d = 1.0 / (d as f32).sqrt();
-        let mut out = vec![0.0f32; self.heads * d];
-        let mut scores = vec![0.0f32; span];
+        out.fill(0.0);
+        scores.clear();
+        scores.resize(span, 0.0);
         for h in 0..self.heads {
             let kvh = h / group;
             let qh = &q[h * d..(h + 1) * d];
             for (i, score) in scores.iter_mut().enumerate() {
                 let kt = &cache.key_at(layer, start + i)[kvh * d..(kvh + 1) * d];
-                *score = qh.iter().zip(kt).map(|(a, b)| a * b).sum::<f32>() * inv_sqrt_d;
+                *score = dot_unrolled(qh, kt) * inv_sqrt_d;
             }
-            softmax_in_place(&mut scores);
+            softmax_in_place(scores);
             let oh = &mut out[h * d..(h + 1) * d];
             for (i, &w) in scores.iter().enumerate() {
                 let vt = &cache.val_at(layer, start + i)[kvh * d..(kvh + 1) * d];
@@ -145,7 +186,123 @@ impl Attention {
                 }
             }
         }
+    }
+
+    /// Forward one token at absolute position `pos`, reading and
+    /// extending the cache for `layer`.
+    pub fn forward(&self, x: &[f32], pos: usize, layer: usize, cache: &mut KvCache) -> Vec<f32> {
+        let mut q = self.wq.matmul_vec(x);
+        let mut k = self.wk.matmul_vec(x);
+        let v = self.wv.matmul_vec(x);
+        self.rope_qk(&mut q, &mut k, pos);
+        cache.append(layer, &k, &v);
+        let mut out = vec![0.0f32; self.heads * self.head_dim];
+        let mut scores = Vec::new();
+        self.attend_one(
+            &q,
+            layer,
+            cache,
+            cache.layer_len(layer),
+            &mut scores,
+            &mut out,
+        );
         self.wo.matmul_vec(&out)
+    }
+
+    /// [`Attention::forward`] against workspace buffers: reads the
+    /// normalized activation from `ws.normed`, leaves the projected
+    /// output in `ws.proj`, and allocates nothing.
+    pub(crate) fn forward_ws(
+        &self,
+        ws: &mut Workspace,
+        pos: usize,
+        layer: usize,
+        cache: &mut KvCache,
+    ) {
+        self.wq.matmul_vec_into(&ws.normed, &mut ws.q, &mut ws.xq);
+        self.wk.matmul_vec_into(&ws.normed, &mut ws.k, &mut ws.xq);
+        self.wv.matmul_vec_into(&ws.normed, &mut ws.v, &mut ws.xq);
+        self.rope_qk(&mut ws.q, &mut ws.k, pos);
+        cache.append(layer, &ws.k, &ws.v);
+        self.attend_one(
+            &ws.q,
+            layer,
+            cache,
+            cache.layer_len(layer),
+            &mut ws.scores,
+            &mut ws.attn,
+        );
+        self.wo.matmul_vec_into(&ws.attn, &mut ws.proj, &mut ws.xq);
+    }
+
+    /// Causal multi-token prefill: project a whole block of normalized
+    /// activations (`xs`, one row per token) with one GEMM per weight
+    /// matrix, extend the cache, and attend each token to its causal
+    /// prefix. Row `t` of the result attends to cached positions
+    /// `..start + t + 1`, so the output matches feeding the rows through
+    /// [`Attention::forward`] one at a time exactly.
+    pub fn prefill(&self, xs: &Matrix, layer: usize, cache: &mut KvCache) -> Matrix {
+        let t = xs.rows();
+        let start = cache.layer_len(layer);
+        let mut q = self.wq.matmul_mat(xs);
+        let mut k = self.wk.matmul_mat(xs);
+        let v = self.wv.matmul_mat(xs);
+        for i in 0..t {
+            self.rope_qk(q.row_mut(i), k.row_mut(i), start + i);
+        }
+        for i in 0..t {
+            cache.append(layer, k.row(i), v.row(i));
+        }
+        let mut out = Matrix::zeros(t, self.heads * self.head_dim);
+        let mut scores = Vec::new();
+        for i in 0..t {
+            self.attend_one(
+                q.row(i),
+                layer,
+                cache,
+                start + i + 1,
+                &mut scores,
+                out.row_mut(i),
+            );
+        }
+        self.wo.matmul_mat(&out)
+    }
+
+    /// Batched decode step: one GEMM per projection for a batch of
+    /// *independent* sequences (row `b` of `xs` belongs to `caches[b]`
+    /// at position `positions[b]`). Weights stream from memory once per
+    /// step instead of once per sequence; each row's attention still
+    /// runs against its own cache, so results are bitwise identical to
+    /// per-sequence [`Attention::forward`] calls.
+    pub fn forward_batch(
+        &self,
+        xs: &Matrix,
+        positions: &[usize],
+        layer: usize,
+        caches: &mut [&mut KvCache],
+    ) -> Matrix {
+        let b = xs.rows();
+        assert_eq!(b, positions.len());
+        assert_eq!(b, caches.len());
+        let mut q = self.wq.matmul_mat(xs);
+        let mut k = self.wk.matmul_mat(xs);
+        let v = self.wv.matmul_mat(xs);
+        let mut out = Matrix::zeros(b, self.heads * self.head_dim);
+        let mut scores = Vec::new();
+        for i in 0..b {
+            self.rope_qk(q.row_mut(i), k.row_mut(i), positions[i]);
+            caches[i].append(layer, k.row(i), v.row(i));
+            let visible = caches[i].layer_len(layer);
+            self.attend_one(
+                q.row(i),
+                layer,
+                caches[i],
+                visible,
+                &mut scores,
+                out.row_mut(i),
+            );
+        }
+        self.wo.matmul_mat(&out)
     }
 }
 
@@ -155,7 +312,7 @@ mod tests {
 
     #[test]
     fn cache_roundtrip_and_truncate() {
-        let mut c = KvCache::new(2, 4);
+        let mut c = KvCache::new(2, 4, 8);
         assert!(c.is_empty());
         c.append(0, &[1.0; 4], &[2.0; 4]);
         c.append(1, &[1.0; 4], &[2.0; 4]);
@@ -170,12 +327,57 @@ mod tests {
     }
 
     #[test]
+    fn zero_layer_cache_reports_empty() {
+        // Regression: `len()` indexed `keys[0]` and panicked on a cache
+        // built with zero layers.
+        let c = KvCache::new(0, 8, 16);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn appends_never_move_the_backing_store() {
+        // The whole point of the flat layout: decode-time appends write
+        // into preallocated storage instead of regrowing vectors.
+        let mut c = KvCache::new(2, 4, 16);
+        let before = c.keys.as_ptr();
+        for _ in 0..16 {
+            c.append(0, &[1.0; 4], &[1.0; 4]);
+            c.append(1, &[1.0; 4], &[1.0; 4]);
+        }
+        assert_eq!(c.len(), 16);
+        assert_eq!(before, c.keys.as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn append_past_capacity_panics() {
+        let mut c = KvCache::new(1, 4, 2);
+        for _ in 0..3 {
+            c.append(0, &[0.0; 4], &[0.0; 4]);
+        }
+    }
+
+    #[test]
+    fn truncate_then_append_overwrites() {
+        let mut c = KvCache::new(1, 2, 4);
+        c.append(0, &[1.0, 1.0], &[1.0, 1.0]);
+        c.append(0, &[2.0, 2.0], &[2.0, 2.0]);
+        c.truncate(1);
+        c.append(0, &[9.0, 9.0], &[8.0, 8.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.key_at(0, 1), &[9.0, 9.0]);
+        assert_eq!(c.val_at(0, 1), &[8.0, 8.0]);
+    }
+
+    #[test]
     fn attention_output_is_deterministic() {
         let cfg = EngineConfig::tiny();
         let attn = Attention::new(&cfg, 7, false);
         let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.1).sin()).collect();
-        let mut c1 = KvCache::new(1, cfg.kv_dim());
-        let mut c2 = KvCache::new(1, cfg.kv_dim());
+        let mut c1 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
+        let mut c2 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         let y1 = attn.forward(&x, 0, 0, &mut c1);
         let y2 = attn.forward(&x, 0, 0, &mut c2);
         assert_eq!(y1, y2);
@@ -187,7 +389,7 @@ mod tests {
         // same cache growth per position and same output length.
         let cfg = EngineConfig::tiny();
         let attn = Attention::new(&cfg, 3, false);
-        let mut cache = KvCache::new(1, cfg.kv_dim());
+        let mut cache = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         let x = vec![0.3f32; cfg.hidden];
         let y = attn.forward(&x, 0, 0, &mut cache);
         assert_eq!(y.len(), cfg.hidden);
@@ -201,8 +403,8 @@ mod tests {
         let gqa = EngineConfig::tiny_gqa();
         let am = Attention::new(&mhsa, 3, false);
         let ag = Attention::new(&gqa, 3, false);
-        let mut cm = KvCache::new(1, mhsa.kv_dim());
-        let mut cg = KvCache::new(1, gqa.kv_dim());
+        let mut cm = KvCache::new(1, mhsa.kv_dim(), mhsa.max_seq);
+        let mut cg = KvCache::new(1, gqa.kv_dim(), gqa.max_seq);
         let x = vec![0.5f32; mhsa.hidden];
         for pos in 0..8 {
             am.forward(&x, pos, 0, &mut cm);
@@ -223,7 +425,7 @@ mod tests {
         let old_b = vec![-0.9f32; cfg.hidden];
         let x = vec![0.1f32; cfg.hidden];
         let run = |old: &Vec<f32>| {
-            let mut c = KvCache::new(1, cfg.kv_dim());
+            let mut c = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
             attn.forward(old, 0, 0, &mut c);
             attn.forward(&recent[0], 1, 0, &mut c);
             attn.forward(&recent[1], 2, 0, &mut c);
@@ -237,7 +439,11 @@ mod tests {
         // ...while full attention distinguishes them.
         let full = Attention::new(&EngineConfig::tiny(), 21, false);
         let run_full = |old: &Vec<f32>| {
-            let mut c = KvCache::new(1, EngineConfig::tiny().kv_dim());
+            let mut c = KvCache::new(
+                1,
+                EngineConfig::tiny().kv_dim(),
+                EngineConfig::tiny().max_seq,
+            );
             full.forward(old, 0, 0, &mut c);
             full.forward(&recent[0], 1, 0, &mut c);
             full.forward(&recent[1], 2, 0, &mut c);
@@ -253,8 +459,8 @@ mod tests {
         let a_full = Attention::new(&full_cfg, 5, false);
         let a_swa = Attention::new(&swa_cfg, 5, false);
         let x = vec![0.3f32; full_cfg.hidden];
-        let mut c1 = KvCache::new(1, full_cfg.kv_dim());
-        let mut c2 = KvCache::new(1, swa_cfg.kv_dim());
+        let mut c1 = KvCache::new(1, full_cfg.kv_dim(), full_cfg.max_seq);
+        let mut c2 = KvCache::new(1, swa_cfg.kv_dim(), swa_cfg.max_seq);
         for pos in 0..6 {
             let y1 = a_full.forward(&x, pos, 0, &mut c1);
             let y2 = a_swa.forward(&x, pos, 0, &mut c2);
@@ -271,12 +477,79 @@ mod tests {
         let a = vec![0.9f32; cfg.hidden];
         let b = vec![-0.9f32; cfg.hidden];
         let x = vec![0.1f32; cfg.hidden];
-        let mut c1 = KvCache::new(1, cfg.kv_dim());
+        let mut c1 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         attn.forward(&a, 0, 0, &mut c1);
         let y1 = attn.forward(&x, 1, 0, &mut c1);
-        let mut c2 = KvCache::new(1, cfg.kv_dim());
+        let mut c2 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         attn.forward(&b, 0, 0, &mut c2);
         let y2 = attn.forward(&x, 1, 0, &mut c2);
         assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn prefill_matches_token_at_a_time_bitwise() {
+        for cfg in [
+            EngineConfig::tiny(),
+            EngineConfig::tiny_gqa(),
+            EngineConfig::tiny_swa(3),
+        ] {
+            let attn = Attention::new(&cfg, 13, false);
+            let t = 6;
+            let mut xs = Matrix::zeros(t, cfg.hidden);
+            for i in 0..t {
+                for (j, v) in xs.row_mut(i).iter_mut().enumerate() {
+                    *v = ((i * 31 + j) as f32 * 0.17).sin();
+                }
+            }
+            let mut c_loop = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
+            let loop_out: Vec<Vec<f32>> = (0..t)
+                .map(|i| attn.forward(xs.row(i), i, 0, &mut c_loop))
+                .collect();
+            let mut c_batch = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
+            let batch_out = attn.prefill(&xs, 0, &mut c_batch);
+            for (i, row) in loop_out.iter().enumerate() {
+                assert_eq!(batch_out.row(i), row.as_slice(), "row {i}");
+            }
+            assert_eq!(c_loop.len(), c_batch.len());
+            assert_eq!(c_loop.key_at(0, t - 1), c_batch.key_at(0, t - 1));
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sequence_forward_bitwise() {
+        let cfg = EngineConfig::tiny_gqa();
+        let attn = Attention::new(&cfg, 17, false);
+        // Three sequences at different depths.
+        let histories = [1usize, 3, 5];
+        let mut solo_caches: Vec<KvCache> = Vec::new();
+        let mut batch_caches: Vec<KvCache> = Vec::new();
+        for (s, &depth) in histories.iter().enumerate() {
+            let mut ca = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
+            let mut cb = ca.clone();
+            for p in 0..depth {
+                let x: Vec<f32> = (0..cfg.hidden)
+                    .map(|j| ((s * 100 + p * 10 + j) as f32 * 0.07).sin())
+                    .collect();
+                attn.forward(&x, p, 0, &mut ca);
+                attn.forward(&x, p, 0, &mut cb);
+            }
+            solo_caches.push(ca);
+            batch_caches.push(cb);
+        }
+        let mut xs = Matrix::zeros(3, cfg.hidden);
+        for b in 0..3 {
+            for (j, v) in xs.row_mut(b).iter_mut().enumerate() {
+                *v = ((b * 7 + j) as f32 * 0.11).cos();
+            }
+        }
+        let positions: Vec<usize> = histories.to_vec();
+        let solo: Vec<Vec<f32>> = (0..3)
+            .map(|b| attn.forward(xs.row(b), positions[b], 0, &mut solo_caches[b]))
+            .collect();
+        let mut cache_refs: Vec<&mut KvCache> = batch_caches.iter_mut().collect();
+        let batched = attn.forward_batch(&xs, &positions, 0, &mut cache_refs);
+        for (b, row) in solo.iter().enumerate() {
+            assert_eq!(batched.row(b), row.as_slice(), "sequence {b}");
+        }
     }
 }

@@ -1,13 +1,15 @@
 //! Batched decoding: many sequences stepped together, with mid-stream
 //! admission — the engine-level realization of continuous batching
-//! (§IV-A1). Each sequence owns its KV cache, so a decode step is
-//! embarrassingly parallel across sequences (rayon).
+//! (§IV-A1). Each sequence owns its KV cache; a decode step stacks every
+//! live sequence's activation into one matrix and runs a single batched
+//! forward pass, so each weight matrix streams from memory once per step
+//! instead of once per sequence (the paper's Fig. 1b batch-throughput
+//! mechanism for the memory-bound decode phase).
 
 use crate::attention::KvCache;
 use crate::model::TransformerModel;
 use crate::sampler::Sampler;
 use llmib_types::{Error, Result};
-use rayon::prelude::*;
 
 /// One live sequence in a batch session.
 #[derive(Debug)]
@@ -98,28 +100,42 @@ impl<'m> BatchSession<'m> {
         Ok(())
     }
 
-    /// Run one decode step for every live sequence (rayon-parallel),
-    /// returning the emitted tokens. Finished sequences are retired.
+    /// Run one decode step for every live sequence, returning the
+    /// emitted tokens. All continuing sequences advance through a single
+    /// batched forward pass (one weight stream per step); finished
+    /// sequences are retired. Per-sequence results are bitwise identical
+    /// to stepping each sequence alone.
     pub fn step(&mut self) -> Vec<TokenEvent> {
-        let model = self.model;
+        // Sample every sequence's next token (samplers are stateful, so
+        // this stays serial and in admission order).
         let events: Vec<TokenEvent> = self
             .seqs
-            .par_iter_mut()
+            .iter_mut()
             .map(|s| {
                 let token = s.sampler.sample(&s.logits);
                 s.tokens.push(token);
                 s.remaining -= 1;
-                let finished = s.remaining == 0;
-                if !finished {
-                    s.logits = model.forward(token, s.tokens.len() - 1, &mut s.cache);
-                }
                 TokenEvent {
                     seq: s.id,
                     token,
-                    finished,
+                    finished: s.remaining == 0,
                 }
             })
             .collect();
+        // One batched forward for every sequence that continues.
+        let mut cont: Vec<&mut SeqState> =
+            self.seqs.iter_mut().filter(|s| s.remaining > 0).collect();
+        if !cont.is_empty() {
+            let tokens: Vec<usize> = cont.iter().map(|s| *s.tokens.last().unwrap()).collect();
+            let positions: Vec<usize> = cont.iter().map(|s| s.tokens.len() - 1).collect();
+            let mut caches: Vec<&mut KvCache> = cont.iter_mut().map(|s| &mut s.cache).collect();
+            let logits = self.model.forward_batch(&tokens, &positions, &mut caches);
+            drop(caches);
+            for (b, s) in cont.iter_mut().enumerate() {
+                s.logits.clear();
+                s.logits.extend_from_slice(logits.row(b));
+            }
+        }
         self.seqs.retain(|s| s.remaining > 0);
         events
     }

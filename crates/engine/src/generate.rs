@@ -67,6 +67,7 @@ pub fn generate(
 
     let t0 = Instant::now();
     let mut cache = model.new_cache();
+    let mut ws = model.new_workspace();
     let mut logits = model.prefill(prompt, &mut cache);
     forward_passes += prompt.len();
     let prefill_time = t0.elapsed();
@@ -80,7 +81,11 @@ pub fn generate(
             break;
         }
         if opts.use_kv_cache {
-            logits = model.forward(next, tokens.len() - 1, &mut cache);
+            // Steady state: workspace + preallocated cache + retained
+            // logits capacity — the loop body allocates nothing.
+            let l = model.forward_ws(next, tokens.len() - 1, &mut cache, &mut ws);
+            logits.clear();
+            logits.extend_from_slice(l);
             forward_passes += 1;
         } else {
             // §IV-B1: "the model must recompute attention heads for all
@@ -128,6 +133,8 @@ pub fn generate_speculative(
     let t0 = Instant::now();
     let mut tcache = target.new_cache();
     let mut dcache = draft.new_cache();
+    let mut tws = target.new_workspace();
+    let mut dws = draft.new_workspace();
     let mut tlogits = target.prefill(&tokens, &mut tcache);
     let mut dlogits = draft.prefill(&tokens, &mut dcache);
     forward_passes += 2 * tokens.len();
@@ -136,11 +143,14 @@ pub fn generate_speculative(
     let limit = target.config().max_seq.min(draft.config().max_seq);
 
     let t1 = Instant::now();
+    let mut proposal = Vec::with_capacity(lookahead);
+    let mut dl = Vec::new();
     'outer: while out.len() < max_new_tokens && tokens.len() < limit {
         cycles += 1;
         // --- Draft proposes up to `lookahead` tokens ---
-        let mut proposal = Vec::with_capacity(lookahead);
-        let mut dl = dlogits.clone();
+        proposal.clear();
+        dl.clear();
+        dl.extend_from_slice(&dlogits);
         for i in 0..lookahead {
             if tokens.len() + proposal.len() + 1 >= limit
                 || out.len() + proposal.len() >= max_new_tokens
@@ -150,7 +160,14 @@ pub fn generate_speculative(
             let tok = greedy.sample(&dl);
             proposal.push(tok);
             if i + 1 < lookahead {
-                dl = draft.forward(tok, tokens.len() + proposal.len() - 1, &mut dcache);
+                let l = draft.forward_ws(
+                    tok,
+                    tokens.len() + proposal.len() - 1,
+                    &mut dcache,
+                    &mut dws,
+                );
+                dl.clear();
+                dl.extend_from_slice(l);
                 forward_passes += 1;
             }
         }
@@ -166,7 +183,9 @@ pub fn generate_speculative(
                 out.push(tok);
                 accepted_now += 1;
                 accepted_draft += 1;
-                tlogits = target.forward(tok, tokens.len() - 1, &mut tcache);
+                let l = target.forward_ws(tok, tokens.len() - 1, &mut tcache, &mut tws);
+                tlogits.clear();
+                tlogits.extend_from_slice(l);
                 forward_passes += 1;
                 if out.len() >= max_new_tokens || tokens.len() >= limit {
                     // Roll the draft cache back to committed history.
@@ -177,7 +196,9 @@ pub fn generate_speculative(
                 // Reject: take the target's token instead.
                 tokens.push(target_tok);
                 out.push(target_tok);
-                tlogits = target.forward(target_tok, tokens.len() - 1, &mut tcache);
+                let l = target.forward_ws(target_tok, tokens.len() - 1, &mut tcache, &mut tws);
+                tlogits.clear();
+                tlogits.extend_from_slice(l);
                 forward_passes += 1;
                 break;
             }
@@ -188,19 +209,23 @@ pub fn generate_speculative(
             let bonus = greedy.sample(&tlogits);
             tokens.push(bonus);
             out.push(bonus);
-            tlogits = target.forward(bonus, tokens.len() - 1, &mut tcache);
+            let l = target.forward_ws(bonus, tokens.len() - 1, &mut tcache, &mut tws);
+            tlogits.clear();
+            tlogits.extend_from_slice(l);
             forward_passes += 1;
         }
         // --- Resynchronize the draft cache with committed history ---
         dcache.truncate(tokens.len() - 1);
-        let last = *tokens.last().expect("non-empty");
         // Replay any missing positions for the draft.
         while dcache.len() < tokens.len() - 1 {
             let pos = dcache.len();
-            draft.forward(tokens[pos], pos, &mut dcache);
+            draft.forward_ws(tokens[pos], pos, &mut dcache, &mut dws);
             forward_passes += 1;
         }
-        dlogits = draft.forward(last, tokens.len() - 1, &mut dcache);
+        let last = *tokens.last().expect("non-empty");
+        let l = draft.forward_ws(last, tokens.len() - 1, &mut dcache, &mut dws);
+        dlogits.clear();
+        dlogits.extend_from_slice(l);
         forward_passes += 1;
     }
     out.truncate(max_new_tokens);

@@ -12,11 +12,16 @@
 //! * INT8 weight quantization (§IV-B3, Fig. 3);
 //! * speculative decoding with a draft model (§IV-B5, Fig. 4b).
 //!
-//! Matrix kernels are `rayon`-parallel over output rows. Weights are
-//! seeded-random (we reproduce systems behavior, not trained quality);
-//! everything is deterministic given a seed, which the correctness tests
-//! rely on (e.g. cached and uncached decoding must emit identical
-//! tokens).
+//! Matrix kernels are `rayon`-parallel above a work threshold and serial
+//! below it. Prefill runs whole prompts through blocked, cache-tiled
+//! GEMMs ([`matmul_mat`]) and batched decode stacks concurrent sequences
+//! so weights stream once per step; a reusable [`Workspace`] makes the
+//! steady-state decode loop allocation free. Every path funnels through
+//! one dot-product kernel, so batched and token-at-a-time execution
+//! produce bitwise-identical logits. Weights are seeded-random (we
+//! reproduce systems behavior, not trained quality); everything is
+//! deterministic given a seed, which the correctness tests rely on
+//! (e.g. cached and uncached decoding must emit identical tokens).
 //!
 //! ```
 //! use llmib_engine::{generate, EngineConfig, GenerateOptions, Sampler, TransformerModel};
@@ -48,9 +53,12 @@ pub use attention::{Attention, KvCache};
 pub use batch::{BatchSession, TokenEvent};
 pub use config::EngineConfig;
 pub use generate::{generate, generate_speculative, GenerateOptions, GenerationResult};
-pub use model::{DecoderBlock, TransformerModel};
+pub use model::{DecoderBlock, Linear, TransformerModel, Workspace};
 pub use moe::MoeFfn;
 pub use quant::QuantizedLinear;
 pub use sampler::Sampler;
-pub use tensor::{matmul_vec, rmsnorm, silu, softmax_in_place, Matrix};
+pub use tensor::{
+    dot_unrolled, matmul_mat, matmul_vec, matmul_vec_into, rmsnorm, rmsnorm_into, rope_in_place,
+    silu, softmax_in_place, Matrix, RopeTable,
+};
 pub use tokenizer::{ByteTokenizer, BOS};

@@ -1,10 +1,23 @@
 //! The decoder-only transformer model.
+//!
+//! Two execution regimes share identical numerics:
+//!
+//! * **Prefill** runs whole prompts through batched GEMMs
+//!   ([`TransformerModel::prefill`]) — compute-bound, weights stream once
+//!   per prompt. [`TransformerModel::prefill_unbatched`] keeps the
+//!   token-at-a-time loop as a reference and baseline.
+//! * **Decode** runs one token per step — memory-bound GEMV. The
+//!   workspace variants ([`TransformerModel::forward_ws`]) reuse one
+//!   [`Workspace`] of scratch buffers so the steady-state loop performs
+//!   zero heap allocations, and [`TransformerModel::forward_batch`]
+//!   stacks concurrent sequences so weights stream once per step instead
+//!   of once per sequence.
 
 use crate::attention::{Attention, KvCache};
 use crate::config::EngineConfig;
 use crate::moe::MoeFfn;
 use crate::quant::QuantizedLinear;
-use crate::tensor::{matmul_vec, rmsnorm, Matrix};
+use crate::tensor::{matmul_mat, matmul_vec, matmul_vec_into, rmsnorm_into, Matrix};
 
 /// A linear layer in either full or INT8 precision.
 #[derive(Debug, Clone)]
@@ -26,6 +39,14 @@ impl Linear {
         }
     }
 
+    /// Output features (rows of the weight matrix).
+    pub fn out_features(&self) -> usize {
+        match self {
+            Linear::F32(w) => w.rows(),
+            Linear::Int8(q) => q.rows(),
+        }
+    }
+
     /// `y = W · x`.
     pub fn matmul_vec(&self, x: &[f32]) -> Vec<f32> {
         match self {
@@ -33,6 +54,73 @@ impl Linear {
             Linear::Int8(q) => q.matmul_vec(x),
         }
     }
+
+    /// [`Linear::matmul_vec`] into a caller-provided buffer. `xq` is
+    /// scratch for the INT8 path's quantized activations (unused for
+    /// f32); reusing it across calls keeps the decode loop allocation
+    /// free.
+    pub fn matmul_vec_into(&self, x: &[f32], y: &mut [f32], xq: &mut Vec<i8>) {
+        match self {
+            Linear::F32(w) => matmul_vec_into(w, x, y),
+            Linear::Int8(q) => q.matmul_vec_into(x, y, xq),
+        }
+    }
+
+    /// Batched `Y = X · Wᵀ` over the rows of `xs` — one weight stream
+    /// for the whole batch. Row `b` of the result is bitwise equal to
+    /// `self.matmul_vec(xs.row(b))`.
+    pub fn matmul_mat(&self, xs: &Matrix) -> Matrix {
+        match self {
+            Linear::F32(w) => matmul_mat(w, xs),
+            Linear::Int8(q) => q.matmul_mat(xs),
+        }
+    }
+}
+
+/// Preallocated scratch buffers for one forward pass.
+///
+/// Sized once from the model config ([`TransformerModel::new_workspace`])
+/// and reused across decode steps: in steady state the token-at-a-time
+/// forward pass touches no allocator at all. All buffers keep a fixed
+/// length except `scores` (grown within its `max_seq` capacity),
+/// `route_idx`/`routes` (within `num_experts`), and `xq` (within the
+/// widest quantized input).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Residual-stream activation (`hidden`).
+    pub(crate) x: Vec<f32>,
+    /// RMS-normalized input to attention or FFN (`hidden`).
+    pub(crate) normed: Vec<f32>,
+    /// Query projection (`hidden`).
+    pub(crate) q: Vec<f32>,
+    /// Key projection (`kv_dim`).
+    pub(crate) k: Vec<f32>,
+    /// Value projection (`kv_dim`).
+    pub(crate) v: Vec<f32>,
+    /// Concatenated attention head outputs (`hidden`).
+    pub(crate) attn: Vec<f32>,
+    /// Attention output projection (`hidden`).
+    pub(crate) proj: Vec<f32>,
+    /// Attention score scratch (capacity `max_seq`).
+    pub(crate) scores: Vec<f32>,
+    /// FFN gate projection (`intermediate`).
+    pub(crate) gate: Vec<f32>,
+    /// FFN up projection (`intermediate`).
+    pub(crate) up: Vec<f32>,
+    /// One expert's output (`hidden`).
+    pub(crate) expert: Vec<f32>,
+    /// Accumulated FFN output (`hidden`).
+    pub(crate) ffn: Vec<f32>,
+    /// Router logits (`num_experts`).
+    pub(crate) router: Vec<f32>,
+    /// Expert index ordering scratch (capacity `num_experts`).
+    pub(crate) route_idx: Vec<usize>,
+    /// Selected `(expert, weight)` routes (capacity `num_experts`).
+    pub(crate) routes: Vec<(usize, f32)>,
+    /// Vocabulary logits (`vocab`).
+    pub(crate) logits: Vec<f32>,
+    /// Quantized-activation scratch for INT8 layers.
+    pub(crate) xq: Vec<i8>,
 }
 
 /// One decoder layer: pre-norm attention + pre-norm FFN, residual both.
@@ -54,16 +142,72 @@ impl DecoderBlock {
         }
     }
 
-    fn forward(&self, x: &mut [f32], pos: usize, layer: usize, cache: &mut KvCache) {
-        let normed = rmsnorm(x, &self.attn_norm, 1e-6);
-        let attn_out = self.attn.forward(&normed, pos, layer, cache);
-        for (a, b) in x.iter_mut().zip(&attn_out) {
+    /// One token through the block against workspace buffers: reads and
+    /// updates the residual stream in `ws.x`, allocation free.
+    fn forward_ws(&self, ws: &mut Workspace, pos: usize, layer: usize, cache: &mut KvCache) {
+        rmsnorm_into(&ws.x, &self.attn_norm, 1e-6, &mut ws.normed);
+        self.attn.forward_ws(ws, pos, layer, cache);
+        for (a, b) in ws.x.iter_mut().zip(&ws.proj) {
             *a += b;
         }
-        let normed = rmsnorm(x, &self.ffn_norm, 1e-6);
-        let ffn_out = self.ffn.forward(&normed);
-        for (a, b) in x.iter_mut().zip(&ffn_out) {
+        rmsnorm_into(&ws.x, &self.ffn_norm, 1e-6, &mut ws.normed);
+        self.ffn.forward_ws(ws);
+        for (a, b) in ws.x.iter_mut().zip(&ws.ffn) {
             *a += b;
+        }
+    }
+
+    /// A whole prompt block through the layer: `xs` holds one token's
+    /// residual-stream activation per row and is updated in place.
+    fn prefill(&self, xs: &mut Matrix, layer: usize, cache: &mut KvCache) {
+        let mut normed = Matrix::zeros(xs.rows(), xs.cols());
+        for t in 0..xs.rows() {
+            rmsnorm_into(xs.row(t), &self.attn_norm, 1e-6, normed.row_mut(t));
+        }
+        let attn_out = self.attn.prefill(&normed, layer, cache);
+        for t in 0..xs.rows() {
+            for (a, b) in xs.row_mut(t).iter_mut().zip(attn_out.row(t)) {
+                *a += b;
+            }
+        }
+        for t in 0..xs.rows() {
+            rmsnorm_into(xs.row(t), &self.ffn_norm, 1e-6, normed.row_mut(t));
+        }
+        let ffn_out = self.ffn.forward_batch(&normed);
+        for t in 0..xs.rows() {
+            for (a, b) in xs.row_mut(t).iter_mut().zip(ffn_out.row(t)) {
+                *a += b;
+            }
+        }
+    }
+
+    /// One decode step for a batch of independent sequences: row `b` of
+    /// `xs` belongs to `caches[b]` at `positions[b]`.
+    fn forward_batch(
+        &self,
+        xs: &mut Matrix,
+        positions: &[usize],
+        layer: usize,
+        caches: &mut [&mut KvCache],
+    ) {
+        let mut normed = Matrix::zeros(xs.rows(), xs.cols());
+        for t in 0..xs.rows() {
+            rmsnorm_into(xs.row(t), &self.attn_norm, 1e-6, normed.row_mut(t));
+        }
+        let attn_out = self.attn.forward_batch(&normed, positions, layer, caches);
+        for t in 0..xs.rows() {
+            for (a, b) in xs.row_mut(t).iter_mut().zip(attn_out.row(t)) {
+                *a += b;
+            }
+        }
+        for t in 0..xs.rows() {
+            rmsnorm_into(xs.row(t), &self.ffn_norm, 1e-6, normed.row_mut(t));
+        }
+        let ffn_out = self.ffn.forward_batch(&normed);
+        for t in 0..xs.rows() {
+            for (a, b) in xs.row_mut(t).iter_mut().zip(ffn_out.row(t)) {
+                *a += b;
+            }
         }
     }
 
@@ -120,31 +264,143 @@ impl TransformerModel {
         &self.config
     }
 
-    /// A fresh, empty KV cache sized for this model.
+    /// A fresh, empty KV cache sized for this model (flat storage
+    /// preallocated for `max_seq` positions — decode never reallocates).
     pub fn new_cache(&self) -> KvCache {
-        KvCache::new(self.config.layers, self.config.kv_dim())
+        KvCache::new(
+            self.config.layers,
+            self.config.kv_dim(),
+            self.config.max_seq,
+        )
+    }
+
+    /// A scratch workspace sized for this model. One workspace plus one
+    /// cache make the decode loop allocation free.
+    pub fn new_workspace(&self) -> Workspace {
+        let c = &self.config;
+        Workspace {
+            x: vec![0.0; c.hidden],
+            normed: vec![0.0; c.hidden],
+            q: vec![0.0; c.hidden],
+            k: vec![0.0; c.kv_dim()],
+            v: vec![0.0; c.kv_dim()],
+            attn: vec![0.0; c.hidden],
+            proj: vec![0.0; c.hidden],
+            scores: Vec::with_capacity(c.max_seq),
+            gate: vec![0.0; c.intermediate],
+            up: vec![0.0; c.intermediate],
+            expert: vec![0.0; c.hidden],
+            ffn: vec![0.0; c.hidden],
+            router: vec![0.0; c.num_experts],
+            route_idx: Vec::with_capacity(c.num_experts),
+            routes: Vec::with_capacity(c.num_experts),
+            logits: vec![0.0; c.vocab],
+            xq: Vec::with_capacity(c.hidden.max(c.intermediate)),
+        }
     }
 
     /// Forward one token at position `pos`, returning vocabulary logits.
     pub fn forward(&self, token: usize, pos: usize, cache: &mut KvCache) -> Vec<f32> {
+        let mut ws = self.new_workspace();
+        self.forward_ws(token, pos, cache, &mut ws).to_vec()
+    }
+
+    /// [`TransformerModel::forward`] against a caller-held [`Workspace`]:
+    /// the returned logits borrow `ws` and no heap allocation happens.
+    pub fn forward_ws<'w>(
+        &self,
+        token: usize,
+        pos: usize,
+        cache: &mut KvCache,
+        ws: &'w mut Workspace,
+    ) -> &'w [f32] {
         assert!(token < self.config.vocab, "token id out of range");
         assert!(pos < self.config.max_seq, "position beyond max_seq");
-        let mut x = self.embedding.row(token).to_vec();
+        ws.x.clear();
+        ws.x.extend_from_slice(self.embedding.row(token));
         for (l, block) in self.blocks.iter().enumerate() {
-            block.forward(&mut x, pos, l, cache);
+            block.forward_ws(ws, pos, l, cache);
         }
-        let normed = rmsnorm(&x, &self.final_norm, 1e-6);
+        rmsnorm_into(&ws.x, &self.final_norm, 1e-6, &mut ws.normed);
+        self.lm_head
+            .matmul_vec_into(&ws.normed, &mut ws.logits, &mut ws.xq);
+        &ws.logits
+    }
+
+    /// Process a whole prompt with batched GEMMs, returning the logits
+    /// after its last token. Every projection streams its weights once
+    /// for the whole prompt, and `lm_head` runs only on the final
+    /// position. Logits are bitwise equal to
+    /// [`TransformerModel::prefill_unbatched`].
+    pub fn prefill(&self, prompt: &[usize], cache: &mut KvCache) -> Vec<f32> {
+        assert!(!prompt.is_empty());
+        let start = cache.len();
+        assert!(
+            start + prompt.len() <= self.config.max_seq,
+            "prompt beyond max_seq"
+        );
+        let mut xs = Matrix::zeros(prompt.len(), self.config.hidden);
+        for (i, &tok) in prompt.iter().enumerate() {
+            assert!(tok < self.config.vocab, "token id out of range");
+            xs.row_mut(i).copy_from_slice(self.embedding.row(tok));
+        }
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.prefill(&mut xs, l, cache);
+        }
+        let mut normed = vec![0.0; self.config.hidden];
+        rmsnorm_into(
+            xs.row(prompt.len() - 1),
+            &self.final_norm,
+            1e-6,
+            &mut normed,
+        );
         self.lm_head.matmul_vec(&normed)
     }
 
-    /// Process a whole prompt, returning the logits after its last token.
-    pub fn prefill(&self, prompt: &[usize], cache: &mut KvCache) -> Vec<f32> {
+    /// Token-at-a-time prefill (a GEMV per token per weight matrix).
+    /// Kept as the reference implementation and the baseline the batched
+    /// path is measured against.
+    pub fn prefill_unbatched(&self, prompt: &[usize], cache: &mut KvCache) -> Vec<f32> {
         assert!(!prompt.is_empty());
+        let start = cache.len();
         let mut logits = Vec::new();
-        for (pos, &tok) in prompt.iter().enumerate() {
-            logits = self.forward(tok, pos, cache);
+        for (i, &tok) in prompt.iter().enumerate() {
+            logits = self.forward(tok, start + i, cache);
         }
         logits
+    }
+
+    /// One decode step for a batch of independent sequences: token `b`
+    /// extends `caches[b]` at `positions[b]`. Returns one row of logits
+    /// per sequence, each bitwise equal to the corresponding
+    /// [`TransformerModel::forward`] call, with every weight matrix
+    /// streamed once per step instead of once per sequence.
+    pub fn forward_batch(
+        &self,
+        tokens: &[usize],
+        positions: &[usize],
+        caches: &mut [&mut KvCache],
+    ) -> Matrix {
+        assert!(!tokens.is_empty());
+        assert_eq!(tokens.len(), positions.len());
+        assert_eq!(tokens.len(), caches.len());
+        let mut xs = Matrix::zeros(tokens.len(), self.config.hidden);
+        for (i, &tok) in tokens.iter().enumerate() {
+            assert!(tok < self.config.vocab, "token id out of range");
+            assert!(
+                positions[i] < self.config.max_seq,
+                "position beyond max_seq"
+            );
+            xs.row_mut(i).copy_from_slice(self.embedding.row(tok));
+        }
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward_batch(&mut xs, positions, l, caches);
+        }
+        let mut normed = Matrix::zeros(tokens.len(), self.config.hidden);
+        for i in 0..tokens.len() {
+            rmsnorm_into(xs.row(i), &self.final_norm, 1e-6, normed.row_mut(i));
+        }
+        self.lm_head.matmul_mat(&normed)
     }
 
     /// Decoder blocks (read-only).
@@ -221,5 +477,61 @@ mod tests {
             m.forward(usize::MAX, 0, &mut c)
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn batched_prefill_matches_unbatched_bitwise() {
+        for cfg in [
+            EngineConfig::tiny(),
+            EngineConfig::tiny_gqa(),
+            EngineConfig::tiny_moe(),
+            EngineConfig::tiny_swa(3),
+        ] {
+            let m = TransformerModel::new(cfg, false).unwrap();
+            let prompt = [1usize, 5, 9, 2, 7, 3];
+            let mut cb = m.new_cache();
+            let mut cu = m.new_cache();
+            let lb = m.prefill(&prompt, &mut cb);
+            let lu = m.prefill_unbatched(&prompt, &mut cu);
+            assert_eq!(lb, lu);
+            assert_eq!(cb.len(), cu.len());
+        }
+    }
+
+    #[test]
+    fn forward_ws_matches_forward_and_reuses_buffers() {
+        let m = TransformerModel::new(EngineConfig::tiny_moe(), false).unwrap();
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        let mut ws = m.new_workspace();
+        for (pos, tok) in [2usize, 8, 5, 11].into_iter().enumerate() {
+            let plain = m.forward(tok, pos, &mut c1);
+            let reused = m.forward_ws(tok, pos, &mut c2, &mut ws);
+            assert_eq!(plain.as_slice(), reused, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sequence_forward() {
+        let m = TransformerModel::new(EngineConfig::tiny_gqa(), false).unwrap();
+        let prompts: [&[usize]; 3] = [&[1, 2], &[3, 4, 5, 6], &[7]];
+        let mut solo: Vec<KvCache> = Vec::new();
+        let mut batch: Vec<KvCache> = Vec::new();
+        for p in prompts {
+            let mut ca = m.new_cache();
+            m.prefill(p, &mut ca);
+            solo.push(ca.clone());
+            batch.push(ca);
+        }
+        let tokens = [9usize, 11, 13];
+        let positions: Vec<usize> = prompts.iter().map(|p| p.len()).collect();
+        let expected: Vec<Vec<f32>> = (0..3)
+            .map(|b| m.forward(tokens[b], positions[b], &mut solo[b]))
+            .collect();
+        let mut refs: Vec<&mut KvCache> = batch.iter_mut().collect();
+        let got = m.forward_batch(&tokens, &positions, &mut refs);
+        for (b, row) in expected.iter().enumerate() {
+            assert_eq!(got.row(b), row.as_slice(), "sequence {b}");
+        }
     }
 }

@@ -1,8 +1,15 @@
 //! Feed-forward block: dense SwiGLU or a Mixture-of-Experts of them.
+//!
+//! Three execution paths produce bitwise-identical outputs: the
+//! allocating per-token [`MoeFfn::forward`], the workspace-backed
+//! [`MoeFfn::forward_ws`] (zero allocations in steady state), and the
+//! batched [`MoeFfn::forward_batch`] (rows grouped by expert so each
+//! selected expert's weights stream once per batch). All three
+//! accumulate expert contributions in ascending expert-index order.
 
 use crate::config::EngineConfig;
-use crate::model::Linear;
-use crate::tensor::{silu, softmax_in_place};
+use crate::model::{Linear, Workspace};
+use crate::tensor::{silu, softmax_in_place, Matrix};
 
 /// One SwiGLU expert: `w2 · (silu(w1·x) ⊙ (w3·x))`.
 #[derive(Debug, Clone)]
@@ -27,6 +34,36 @@ impl Expert {
         let up = self.w3.matmul_vec(x);
         let act: Vec<f32> = gate.iter().zip(&up).map(|(g, u)| silu(*g) * u).collect();
         self.w2.matmul_vec(&act)
+    }
+
+    /// [`Expert::forward`] against caller-provided scratch buffers.
+    fn forward_into(
+        &self,
+        x: &[f32],
+        gate: &mut [f32],
+        up: &mut [f32],
+        out: &mut [f32],
+        xq: &mut Vec<i8>,
+    ) {
+        self.w1.matmul_vec_into(x, gate, xq);
+        self.w3.matmul_vec_into(x, up, xq);
+        for (g, u) in gate.iter_mut().zip(up.iter()) {
+            *g = silu(*g) * u;
+        }
+        self.w2.matmul_vec_into(gate, out, xq);
+    }
+
+    /// [`Expert::forward`] over a batch of rows with one GEMM per weight
+    /// matrix.
+    fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let mut gate = self.w1.matmul_mat(xs);
+        let up = self.w3.matmul_mat(xs);
+        for t in 0..gate.rows() {
+            for (g, u) in gate.row_mut(t).iter_mut().zip(up.row(t)) {
+                *g = silu(*g) * u;
+            }
+        }
+        self.w2.matmul_mat(&gate)
     }
 }
 
@@ -68,7 +105,8 @@ impl MoeFfn {
         }
     }
 
-    /// Top-k expert indices and renormalized routing weights for `x`.
+    /// Top-k expert indices and renormalized routing weights for `x`,
+    /// sorted by descending weight.
     pub fn route(&self, x: &[f32]) -> Vec<(usize, f32)> {
         match &self.router {
             None => vec![(0, 1.0)],
@@ -84,14 +122,98 @@ impl MoeFfn {
         }
     }
 
-    /// Forward through the routed experts.
+    /// Forward through the routed experts. Contributions accumulate in
+    /// ascending expert-index order (matching the batched path exactly).
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let routes = self.route(x);
+        let mut routes = self.route(x);
+        routes.sort_unstable_by_key(|r| r.0);
         let mut out = vec![0.0f32; x.len()];
         for (e, w) in routes {
             let y = self.experts[e].forward(x);
             for (o, v) in out.iter_mut().zip(&y) {
                 *o += w * v;
+            }
+        }
+        out
+    }
+
+    /// [`MoeFfn::forward`] against workspace buffers: reads `ws.normed`,
+    /// leaves the result in `ws.ffn`, allocation free (routing reuses
+    /// `ws.router`/`ws.route_idx`/`ws.routes`, expert evaluation reuses
+    /// `ws.gate`/`ws.up`/`ws.expert`).
+    pub(crate) fn forward_ws(&self, ws: &mut Workspace) {
+        ws.routes.clear();
+        match &self.router {
+            None => ws.routes.push((0, 1.0)),
+            Some(router) => {
+                router.matmul_vec_into(&ws.normed, &mut ws.router, &mut ws.xq);
+                softmax_in_place(&mut ws.router);
+                // Stable insertion sort by descending probability: same
+                // ordering as `route()`'s stable `sort_by`, no merge-sort
+                // scratch allocation.
+                ws.route_idx.clear();
+                ws.route_idx.extend(0..ws.router.len());
+                for i in 1..ws.route_idx.len() {
+                    let mut j = i;
+                    while j > 0
+                        && ws.router[ws.route_idx[j - 1]].total_cmp(&ws.router[ws.route_idx[j]])
+                            == std::cmp::Ordering::Less
+                    {
+                        ws.route_idx.swap(j - 1, j);
+                        j -= 1;
+                    }
+                }
+                let top = &ws.route_idx[..self.active];
+                let denom: f32 = top.iter().map(|&i| ws.router[i]).sum();
+                ws.routes
+                    .extend(top.iter().map(|&i| (i, ws.router[i] / denom)));
+            }
+        }
+        ws.routes.sort_unstable_by_key(|r| r.0);
+        ws.ffn.fill(0.0);
+        for ri in 0..ws.routes.len() {
+            let (e, w) = ws.routes[ri];
+            self.experts[e].forward_into(
+                &ws.normed,
+                &mut ws.gate,
+                &mut ws.up,
+                &mut ws.expert,
+                &mut ws.xq,
+            );
+            for (o, v) in ws.ffn.iter_mut().zip(&ws.expert) {
+                *o += w * v;
+            }
+        }
+    }
+
+    /// Forward a batch of rows, grouping them by routed expert so each
+    /// selected expert's weights are streamed once for all rows that
+    /// chose it. Row `t` of the result is bitwise equal to
+    /// `self.forward(xs.row(t))`.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(xs.rows(), xs.cols());
+        let row_routes: Vec<Vec<(usize, f32)>> =
+            (0..xs.rows()).map(|t| self.route(xs.row(t))).collect();
+        // Ascending expert order: each output row accumulates its
+        // contributions in the same order as the per-token path.
+        for e in 0..self.experts.len() {
+            let members: Vec<(usize, f32)> = row_routes
+                .iter()
+                .enumerate()
+                .filter_map(|(t, routes)| routes.iter().find(|r| r.0 == e).map(|r| (t, r.1)))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut sub = Matrix::zeros(members.len(), xs.cols());
+            for (j, &(t, _)) in members.iter().enumerate() {
+                sub.row_mut(j).copy_from_slice(xs.row(t));
+            }
+            let y = self.experts[e].forward_batch(&sub);
+            for (j, &(t, w)) in members.iter().enumerate() {
+                for (o, v) in out.row_mut(t).iter_mut().zip(y.row(j)) {
+                    *o += w * v;
+                }
             }
         }
         out
@@ -171,5 +293,28 @@ mod tests {
         let b = MoeFfn::new(&cfg, 42, false);
         let x = vec![0.4f32; cfg.hidden];
         assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn forward_batch_matches_per_token_bitwise() {
+        for cfg in [EngineConfig::tiny(), EngineConfig::tiny_moe()] {
+            let ffn = MoeFfn::new(&cfg, 31, false);
+            let rows = 7;
+            let mut xs = Matrix::zeros(rows, cfg.hidden);
+            for t in 0..rows {
+                for (j, v) in xs.row_mut(t).iter_mut().enumerate() {
+                    *v = ((t * 29 + j) as f32 * 0.13).sin();
+                }
+            }
+            let batched = ffn.forward_batch(&xs);
+            for t in 0..rows {
+                assert_eq!(
+                    batched.row(t),
+                    ffn.forward(xs.row(t)).as_slice(),
+                    "row {t} of {} experts",
+                    ffn.num_experts()
+                );
+            }
+        }
     }
 }

@@ -37,28 +37,93 @@ impl QuantizedLinear {
         }
     }
 
+    /// Output rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantize activations with a per-tensor scale into `xq`, returning
+    /// the scale. `xq` is reused across calls (clear + extend keeps its
+    /// capacity), so the decode loop stays allocation free.
+    fn quantize_activations(x: &[f32], xq: &mut Vec<i8>) -> f32 {
+        let xmax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let xscale = if xmax > 0.0 { xmax / 127.0 } else { 1.0 };
+        xq.clear();
+        xq.extend(
+            x.iter()
+                .map(|v| (v / xscale).round().clamp(-127.0, 127.0) as i8),
+        );
+        xscale
+    }
+
+    /// Integer dot of one weight row against quantized activations.
+    /// Accumulation is exact in `i32`, so every execution path —
+    /// serial, parallel, batched — yields identical results.
+    #[inline]
+    fn dot_row(&self, r: usize, xq: &[i8]) -> i32 {
+        let row = &self.weights[r * self.cols..(r + 1) * self.cols];
+        row.iter()
+            .zip(xq)
+            .map(|(w, a)| i32::from(*w) * i32::from(*a))
+            .sum()
+    }
+
     /// `y = W_q · x`, accumulating in `i32` against a quantized input and
     /// dequantizing per row — the classic W8A8 inner loop.
     pub fn matmul_vec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(self.cols, x.len());
-        // Quantize activations once (per-tensor scale).
-        let xmax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let xscale = if xmax > 0.0 { xmax / 127.0 } else { 1.0 };
-        let xq: Vec<i8> = x
-            .iter()
-            .map(|v| (v / xscale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
         let mut y = vec![0.0f32; self.rows];
-        y.par_iter_mut().enumerate().for_each(|(r, out)| {
-            let row = &self.weights[r * self.cols..(r + 1) * self.cols];
-            let acc: i32 = row
-                .iter()
-                .zip(&xq)
-                .map(|(w, a)| i32::from(*w) * i32::from(*a))
-                .sum();
-            *out = acc as f32 * self.scales[r] * xscale;
-        });
+        let mut xq = Vec::new();
+        self.matmul_vec_into(x, &mut y, &mut xq);
         y
+    }
+
+    /// [`QuantizedLinear::matmul_vec`] into caller-provided output and
+    /// activation-scratch buffers. Runs serially below the matmul work
+    /// threshold, parallel above it.
+    pub fn matmul_vec_into(&self, x: &[f32], y: &mut [f32], xq: &mut Vec<i8>) {
+        assert_eq!(self.cols, x.len());
+        assert_eq!(self.rows, y.len());
+        let xscale = Self::quantize_activations(x, xq);
+        if self.rows * self.cols < crate::tensor::PARALLEL_FLOP_THRESHOLD {
+            for (r, out) in y.iter_mut().enumerate() {
+                *out = self.dot_row(r, xq) as f32 * self.scales[r] * xscale;
+            }
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(r, out)| {
+                *out = self.dot_row(r, xq) as f32 * self.scales[r] * xscale;
+            });
+        }
+    }
+
+    /// Batched `Y = X · W_qᵀ`: activations are quantized per row (same
+    /// per-tensor scale each row would get on its own, so results are
+    /// bitwise equal to per-row [`QuantizedLinear::matmul_vec`]), then
+    /// every weight row is streamed once across the whole batch.
+    pub fn matmul_mat(&self, xs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, xs.cols());
+        let m = xs.rows();
+        let mut xqs = vec![0i8; m * self.cols];
+        let mut xscales = vec![0.0f32; m];
+        let mut xq_row = Vec::with_capacity(self.cols);
+        for t in 0..m {
+            xscales[t] = Self::quantize_activations(xs.row(t), &mut xq_row);
+            xqs[t * self.cols..(t + 1) * self.cols].copy_from_slice(&xq_row);
+        }
+        let mut out = Matrix::zeros(m, self.rows);
+        for r in 0..self.rows {
+            // One pass of weight row `r` over all batch rows: the weight
+            // stream is amortized across the batch.
+            for t in 0..m {
+                let xq = &xqs[t * self.cols..(t + 1) * self.cols];
+                out.row_mut(t)[r] = self.dot_row(r, xq) as f32 * self.scales[r] * xscales[t];
+            }
+        }
+        out
     }
 
     /// Bytes of quantized storage (weights + scales).
@@ -91,6 +156,17 @@ mod tests {
         let q = QuantizedLinear::quantize(&w);
         let f32_bytes = 64 * 64 * 4;
         assert!(q.storage_bytes() < f32_bytes / 3);
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_row_bitwise() {
+        let w = Matrix::random(24, 48, 3, 0.8);
+        let q = QuantizedLinear::quantize(&w);
+        let xs = Matrix::random(5, 48, 8, 0.9);
+        let batched = q.matmul_mat(&xs);
+        for t in 0..xs.rows() {
+            assert_eq!(batched.row(t), q.matmul_vec(xs.row(t)).as_slice());
+        }
     }
 
     #[test]

@@ -65,41 +65,200 @@ impl Matrix {
     }
 }
 
+/// Dot product with a fixed 4-accumulator unroll (helps LLVM vectorize
+/// reliably). Every matmul variant in the engine — GEMV, batched GEMM,
+/// attention scores — funnels through this one function, so the batched
+/// and token-at-a-time code paths accumulate in the *same* order and
+/// produce bitwise-identical floats.
+#[inline]
+pub fn dot_unrolled(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = row.len() / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        acc0 += row[i] * x[i];
+        acc1 += row[i + 1] * x[i + 1];
+        acc2 += row[i + 2] * x[i + 2];
+        acc3 += row[i + 3] * x[i + 3];
+        i += 4;
+    }
+    for j in chunks..row.len() {
+        acc0 += row[j] * x[j];
+    }
+    acc0 + acc1 + acc2 + acc3
+}
+
+/// Below this many multiply-adds a matmul runs serially: rayon dispatch
+/// costs more than it recovers on matrices this small (every `tiny()`
+/// config lands under it).
+pub(crate) const PARALLEL_FLOP_THRESHOLD: usize = 64 * 1024;
+
 /// `y = W · x` where `W` is `rows × cols` and `x` has `cols` entries.
-/// Rows are computed in parallel with rayon.
+/// Rows are computed in parallel with rayon above a work threshold and
+/// serially below it.
 pub fn matmul_vec(w: &Matrix, x: &[f32]) -> Vec<f32> {
-    assert_eq!(w.cols(), x.len(), "matmul_vec dimension mismatch");
     let mut y = vec![0.0f32; w.rows()];
-    y.par_iter_mut().enumerate().for_each(|(r, out)| {
-        let row = w.row(r);
-        // Manual 4-way unroll helps LLVM vectorize reliably.
-        let mut acc0 = 0.0f32;
-        let mut acc1 = 0.0f32;
-        let mut acc2 = 0.0f32;
-        let mut acc3 = 0.0f32;
-        let chunks = row.len() / 4 * 4;
-        let mut i = 0;
-        while i < chunks {
-            acc0 += row[i] * x[i];
-            acc1 += row[i + 1] * x[i + 1];
-            acc2 += row[i + 2] * x[i + 2];
-            acc3 += row[i + 3] * x[i + 3];
-            i += 4;
-        }
-        for j in chunks..row.len() {
-            acc0 += row[j] * x[j];
-        }
-        *out = acc0 + acc1 + acc2 + acc3;
-    });
+    matmul_vec_into(w, x, &mut y);
     y
+}
+
+/// [`matmul_vec`] writing into a caller-provided buffer (the hot decode
+/// loop reuses one buffer per projection and never allocates).
+pub fn matmul_vec_into(w: &Matrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(w.cols(), x.len(), "matmul_vec dimension mismatch");
+    assert_eq!(w.rows(), y.len(), "matmul_vec output length mismatch");
+    if w.rows() * w.cols() < PARALLEL_FLOP_THRESHOLD {
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = dot_unrolled(w.row(r), x);
+        }
+    } else {
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            *out = dot_unrolled(w.row(r), x);
+        });
+    }
+}
+
+/// Output rows per GEMM block: `W` rows are streamed once per block of
+/// input rows instead of once per input row.
+const GEMM_MB: usize = 8;
+/// `W` rows per GEMM tile, sized so a tile of weights stays cache-hot
+/// while it is applied to a block of inputs.
+const GEMM_NB: usize = 64;
+
+/// Batched matmul `Y = X · Wᵀ`: each row of `xs` (`M × K`) is multiplied
+/// by weight matrix `w` (`N × K`), yielding `M × N`. This is the prefill
+/// GEMM — one call processes a whole prompt (or a whole decode batch)
+/// against each weight matrix, so weights are streamed from memory once
+/// per call instead of once per token (the paper's Fig. 1a/1b batching
+/// mechanism).
+///
+/// Blocked over input rows (`GEMM_MB`) and weight rows (`GEMM_NB`) for
+/// cache reuse; the K dimension is never split, so every output element
+/// is one [`dot_unrolled`] — bitwise identical to the GEMV path.
+/// Parallelized over input-row blocks above a work threshold, serial
+/// below it.
+pub fn matmul_mat(w: &Matrix, xs: &Matrix) -> Matrix {
+    assert_eq!(w.cols(), xs.cols(), "matmul_mat dimension mismatch");
+    let (m, n) = (xs.rows(), w.rows());
+    let mut out = Matrix::zeros(m, n);
+    if m * n * w.cols() < PARALLEL_FLOP_THRESHOLD {
+        out.data
+            .chunks_mut(GEMM_MB * n)
+            .enumerate()
+            .for_each(|(chunk, rows)| gemm_block(w, xs, chunk * GEMM_MB, rows, n));
+    } else {
+        out.data
+            .par_chunks_mut(GEMM_MB * n)
+            .enumerate()
+            .for_each(|(chunk, rows)| gemm_block(w, xs, chunk * GEMM_MB, rows, n));
+    }
+    out
+}
+
+/// One `GEMM_MB × N` block of the output: tiles over weight rows so each
+/// weight tile is reused across the whole input block while hot. Within a
+/// tile, outputs are computed 2×2 at a time by [`dot2x2`] — the register
+/// tiling that makes the GEMM path faster than a GEMV loop on one core.
+fn gemm_block(w: &Matrix, xs: &Matrix, m0: usize, out_rows: &mut [f32], n: usize) {
+    let block_rows = out_rows.len() / n;
+    let mut n0 = 0;
+    while n0 < n {
+        let n1 = (n0 + GEMM_NB).min(n);
+        let mut mi = 0;
+        // 2×2 register-tiled interior: two input rows against two weight
+        // rows per micro-kernel call. (A 4×2 variant was measured and is
+        // slower here: its 32 scalar accumulators spill out of registers.)
+        while mi + 2 <= block_rows {
+            let x0 = xs.row(m0 + mi);
+            let x1 = xs.row(m0 + mi + 1);
+            let mut ni = n0;
+            while ni + 2 <= n1 {
+                let t = dot2x2(w.row(ni), w.row(ni + 1), x0, x1);
+                out_rows[mi * n + ni] = t[0];
+                out_rows[mi * n + ni + 1] = t[1];
+                out_rows[(mi + 1) * n + ni] = t[2];
+                out_rows[(mi + 1) * n + ni + 1] = t[3];
+                ni += 2;
+            }
+            // Odd trailing weight row.
+            if ni < n1 {
+                out_rows[mi * n + ni] = dot_unrolled(w.row(ni), x0);
+                out_rows[(mi + 1) * n + ni] = dot_unrolled(w.row(ni), x1);
+            }
+            mi += 2;
+        }
+        // Odd trailing input row.
+        if mi < block_rows {
+            let x = xs.row(m0 + mi);
+            for ni in n0..n1 {
+                out_rows[mi * n + ni] = dot_unrolled(w.row(ni), x);
+            }
+        }
+        n0 = n1;
+    }
+}
+
+/// 2×2 GEMM micro-kernel: four dot products (`w0·x0`, `w1·x0`, `w0·x1`,
+/// `w1·x1`) computed in one pass so every loaded value is used twice and
+/// sixteen accumulator chains run in parallel — a GEMV has four. Each
+/// output reduces in *exactly* the [`dot_unrolled`] order (four strided
+/// partial sums, remainder into lane 0, left-to-right final add), so the
+/// tiled GEMM stays bitwise identical to per-row GEMVs.
+#[inline]
+fn dot2x2(w0: &[f32], w1: &[f32], x0: &[f32], x1: &[f32]) -> [f32; 4] {
+    let k = w0.len();
+    assert!(w1.len() == k && x0.len() == k && x1.len() == k);
+    let mut a00 = [0.0f32; 4];
+    let mut a01 = [0.0f32; 4];
+    let mut a10 = [0.0f32; 4];
+    let mut a11 = [0.0f32; 4];
+    let chunks = k / 4 * 4;
+    let mut i = 0;
+    while i < chunks {
+        for j in 0..4 {
+            let (w0j, w1j) = (w0[i + j], w1[i + j]);
+            let (x0j, x1j) = (x0[i + j], x1[i + j]);
+            a00[j] += w0j * x0j;
+            a01[j] += w1j * x0j;
+            a10[j] += w0j * x1j;
+            a11[j] += w1j * x1j;
+        }
+        i += 4;
+    }
+    for j in chunks..k {
+        a00[0] += w0[j] * x0[j];
+        a01[0] += w1[j] * x0[j];
+        a10[0] += w0[j] * x1[j];
+        a11[0] += w1[j] * x1[j];
+    }
+    [
+        a00[0] + a00[1] + a00[2] + a00[3],
+        a01[0] + a01[1] + a01[2] + a01[3],
+        a10[0] + a10[1] + a10[2] + a10[3],
+        a11[0] + a11[1] + a11[2] + a11[3],
+    ]
 }
 
 /// RMSNorm: `x_i * g_i / sqrt(mean(x^2) + eps)`.
 pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    let mut y = vec![0.0f32; x.len()];
+    rmsnorm_into(x, gain, eps, &mut y);
+    y
+}
+
+/// [`rmsnorm`] writing into a caller-provided buffer.
+pub fn rmsnorm_into(x: &[f32], gain: &[f32], eps: f32, y: &mut [f32]) {
     assert_eq!(x.len(), gain.len());
+    assert_eq!(x.len(), y.len());
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+    for ((out, v), g) in y.iter_mut().zip(x).zip(gain) {
+        *out = v * inv * g;
+    }
 }
 
 /// SiLU activation `x * sigmoid(x)`.
@@ -130,12 +289,47 @@ pub fn rope_in_place(head: &mut [f32], pos: usize, theta: f32) {
     let mut i = 0;
     while i + 1 < d {
         let freq = 1.0 / theta.powf(i as f32 / d as f32);
-        let angle = pos as f32 * freq;
-        let (sin, cos) = angle.sin_cos();
-        let (a, b) = (head[i], head[i + 1]);
-        head[i] = a * cos - b * sin;
-        head[i + 1] = a * sin + b * cos;
+        rotate_pair(head, i, pos, freq);
         i += 2;
+    }
+}
+
+#[inline]
+fn rotate_pair(head: &mut [f32], i: usize, pos: usize, freq: f32) {
+    let angle = pos as f32 * freq;
+    let (sin, cos) = angle.sin_cos();
+    let (a, b) = (head[i], head[i + 1]);
+    head[i] = a * cos - b * sin;
+    head[i + 1] = a * sin + b * cos;
+}
+
+/// Precomputed RoPE inverse-frequency table for one head dimension.
+///
+/// [`rope_in_place`] evaluates `theta.powf(i / d)` for every pair on every
+/// call — in the decode loop that is `heads × d/2` `powf` calls per token
+/// per layer. The table computes each inverse frequency once (with the
+/// identical expression, so rotations stay bitwise equal to the on-the-fly
+/// path) and the hot loops reduce to a multiply and a `sin_cos`.
+#[derive(Debug, Clone)]
+pub struct RopeTable {
+    inv_freq: Vec<f32>,
+}
+
+impl RopeTable {
+    /// Build the table for heads of dimension `head_dim` with base `theta`.
+    pub fn new(head_dim: usize, theta: f32) -> Self {
+        let inv_freq = (0..head_dim / 2)
+            .map(|j| 1.0 / theta.powf((2 * j) as f32 / head_dim as f32))
+            .collect();
+        Self { inv_freq }
+    }
+
+    /// Rotate one head vector in place for position `pos`.
+    pub fn apply(&self, head: &mut [f32], pos: usize) {
+        debug_assert_eq!(head.len() / 2, self.inv_freq.len());
+        for (j, &freq) in self.inv_freq.iter().enumerate() {
+            rotate_pair(head, 2 * j, pos, freq);
+        }
     }
 }
 
@@ -214,6 +408,63 @@ mod tests {
         let orig = head.clone();
         rope_in_place(&mut head, 0, 10000.0);
         assert_eq!(head, orig);
+    }
+
+    #[test]
+    fn matmul_mat_rows_match_matmul_vec_bitwise() {
+        // One GEMM over a batch must equal per-row GEMVs exactly — the
+        // batched prefill path relies on this for golden equivalence.
+        let w = Matrix::random(19, 33, 3, 0.5);
+        let xs = Matrix::random(21, 33, 4, 1.0);
+        let y = matmul_mat(&w, &xs);
+        assert_eq!(y.rows(), 21);
+        assert_eq!(y.cols(), 19);
+        for r in 0..xs.rows() {
+            assert_eq!(y.row(r), matmul_vec(&w, xs.row(r)).as_slice());
+        }
+    }
+
+    #[test]
+    fn matmul_mat_crosses_block_boundaries() {
+        // Shapes straddling the MB/NB tile sizes exercise partial blocks.
+        for (m, n, k) in [(1, 1, 5), (8, 64, 16), (9, 65, 16), (17, 130, 7)] {
+            let w = Matrix::random(n, k, 11, 0.3);
+            let xs = Matrix::random(m, k, 12, 0.7);
+            let y = matmul_mat(&w, &xs);
+            for r in 0..m {
+                assert_eq!(y.row(r), matmul_vec(&w, xs.row(r)).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_vec_into_matches_allocating_form() {
+        let w = Matrix::random(31, 17, 5, 0.5);
+        let x: Vec<f32> = (0..17).map(|i| (i as f32 * 0.61).cos()).collect();
+        let mut y = vec![0.0; 31];
+        matmul_vec_into(&w, &x, &mut y);
+        assert_eq!(y, matmul_vec(&w, &x));
+    }
+
+    #[test]
+    fn rope_table_matches_on_the_fly_rope_bitwise() {
+        let table = RopeTable::new(8, 10000.0);
+        for pos in [0usize, 1, 17, 101] {
+            let mut a: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).sin()).collect();
+            let mut b = a.clone();
+            rope_in_place(&mut a, pos, 10000.0);
+            table.apply(&mut b, pos);
+            assert_eq!(a, b, "RoPE table diverged at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn rmsnorm_into_matches_allocating_form() {
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        let gain: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 * 0.01).collect();
+        let mut y = vec![0.0; 16];
+        rmsnorm_into(&x, &gain, 1e-6, &mut y);
+        assert_eq!(y, rmsnorm(&x, &gain, 1e-6));
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! property-testing subset the workspace uses: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), [`strategy::Strategy`] over
+//! numeric ranges / tuples / [`strategy::Just`] / boxed unions,
+//! [`collection::vec`], `prop::bool::ANY`, the two string patterns the
+//! tests draw from, and the `prop_assert*` macros. Inputs are generated
+//! from a deterministic per-test seed (FNV of the test name), so failures
+//! reproduce across runs; there is no shrinking — a failing case panics
+//! with the assertion message directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `elem` with a length drawn from `sizes`.
+    pub fn vec<S: Strategy>(elem: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, sizes }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.sizes.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for booleans (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniformly random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-bool strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Test-run configuration and RNG plumbing.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-block configuration, set via `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite fast on
+            // small CI machines while still exploring the input space.
+            Self { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Deterministic RNG for one case of one property.
+    pub fn rng_for_case(seed: u64, case: u32) -> TestRng {
+        TestRng::seed_from_u64(seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// FNV-1a of the property name: the per-test base seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` (the attribute is written by the user inside the block) that
+/// runs the body over deterministically generated random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::seed_from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for_case(__seed, __case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a property holds for the current generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert two expressions are equal for the current generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!(
+                "prop_assert_eq failed: {} != {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Strategy choosing uniformly between the given arm strategies (all arms
+/// must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            a in 1u32..10,
+            (x, b) in (0.0f64..1.0, prop::bool::ANY),
+        ) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(u32::from(b) <= 1);
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..8),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn ascii_pattern(text in "[ -~]{0,20}") {
+            prop_assert!(text.len() <= 20);
+            prop_assert!(text.bytes().all(|b| (0x20..0x7f).contains(&b)));
+        }
+
+        #[test]
+        fn non_control_pattern(text in "\\PC{0,20}") {
+            prop_assert!(text.chars().count() <= 20);
+            prop_assert!(text.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        use crate::test_runner::seed_from_name;
+        assert_eq!(seed_from_name("abc"), seed_from_name("abc"));
+        assert_ne!(seed_from_name("abc"), seed_from_name("abd"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+);)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Box a strategy for use in a heterogeneous [`Union`] (see `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Build a [`Union`] over boxed arms.
+pub fn union<T>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+/// Uniform choice among several strategies producing the same type.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// String patterns: `&str` is interpreted as a (tiny subset of a) regex, as
+/// in real proptest. Supported shapes are the ones the workspace uses:
+/// a character class `[a-b...]` or `\PC` (any non-control character),
+/// followed by a `{lo,hi}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_pattern(self);
+        let len = rng.gen_range(lo..=hi);
+        let mut out = String::new();
+        for _ in 0..len {
+            out.push(class.sample(rng));
+        }
+        out
+    }
+}
+
+enum CharClass {
+    /// Explicit alternatives, flattened from `[..]` ranges.
+    OneOf(Vec<char>),
+    /// `\PC`: any non-control character.
+    NonControl,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::OneOf(chars) => chars[rng.gen_range(0..chars.len())],
+            CharClass::NonControl => {
+                // Mostly printable ASCII, sometimes multi-byte scalars so
+                // byte-length vs char-count distinctions get exercised.
+                if rng.gen_bool(0.85) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+                } else {
+                    const POOL: [char; 8] = ['é', 'ß', 'λ', '中', 'Ж', '😀', '✓', 'ñ'];
+                    POOL[rng.gen_range(0..POOL.len())]
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> (CharClass, usize, usize) {
+    let (class, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        (CharClass::NonControl, rest)
+    } else if let Some(body_and_rest) = pat.strip_prefix('[') {
+        let close = body_and_rest
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated char class in pattern {pat:?}"));
+        let body: Vec<char> = body_and_rest[..close].chars().collect();
+        let rest = &body_and_rest[close + 1..];
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (a, b) = (body[i] as u32, body[i + 2] as u32);
+                assert!(a <= b, "inverted range in pattern {pat:?}");
+                chars.extend((a..=b).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty char class in pattern {pat:?}");
+        (CharClass::OneOf(chars), rest)
+    } else {
+        panic!("unsupported proptest string pattern {pat:?} (stand-in supports `[..]{{m,n}}` and `\\PC{{m,n}}`)");
+    };
+    let reps = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("pattern {pat:?} must end with a {{lo,hi}} repetition"));
+    let (lo, hi) = reps
+        .split_once(',')
+        .unwrap_or_else(|| panic!("repetition in {pat:?} must be `lo,hi`"));
+    let lo: usize = lo.trim().parse().expect("repetition lower bound");
+    let hi: usize = hi.trim().parse().expect("repetition upper bound");
+    assert!(lo <= hi, "inverted repetition in pattern {pat:?}");
+    (class, lo, hi)
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no crates.io access and a single CPU, so this
+//! crate exposes the parallel-iterator surface the workspace uses —
+//! `par_iter`, `par_iter_mut`, `par_chunks_mut`, with `enumerate`, `map`,
+//! `for_each`, `collect`, `zip` — executing everything sequentially. Call
+//! sites stay "rayon-ready": swapping the real dependency back in requires
+//! no source changes, only the `Cargo.toml` edit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// A "parallel" iterator: a thin adapter over a sequential [`Iterator`].
+#[derive(Debug)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Transform each item.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Iterate in lockstep with another parallelizable collection.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::SeqIter>> {
+        ParIter {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    /// Consume each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f);
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+}
+
+/// Marker trait so generic bounds written against rayon keep compiling.
+pub trait ParallelIterator {}
+impl<I: Iterator> ParallelIterator for ParIter<I> {}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type SeqIter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type SeqIter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type SeqIter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type SeqIter = std::ops::Range<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self }
+    }
+}
+
+/// `par_iter()` on shared references (slices, `Vec` via deref).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: 'a;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter_mut()` on unique references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (a unique reference).
+    type Item: 'a;
+    /// Underlying sequential iterator type.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// Chunked views of shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Non-overlapping chunks of `size` elements (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(size),
+        }
+    }
+}
+
+/// Chunked views of mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `size` elements (last may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(size),
+        }
+    }
+}
+
+/// Number of "threads" in the pool. Sequential stand-in: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 5];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = [1.0f32; 10];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i as f32;
+            }
+        });
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[4], 2.0);
+        assert_eq!(v[8], 3.0);
+        assert_eq!(v[9], 3.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The dynamic value tree shared by the serde/serde_json stand-ins.
+
+use std::ops::Index;
+
+/// A JSON-shaped dynamic value.
+///
+/// Objects preserve insertion order (fields serialize in declaration
+/// order), so printed JSON is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also used for `None` and non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (printed without a decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered key → value map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: floats as-is, ints widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Missing keys and non-objects index to `Null`, like `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Out-of-range and non-arrays index to `Null`, like `serde_json`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Int(i) if i == other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Float(f) if f == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_follows_serde_json_conventions() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("figX".into())),
+            ("series".into(), Value::Array(vec![Value::Int(1)])),
+        ]);
+        assert_eq!(v["id"], "figX");
+        assert_eq!(v["series"].as_array().unwrap().len(), 1);
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v["series"][0], 1i64);
+        assert_eq!(v["series"][9], Value::Null);
+    }
+}

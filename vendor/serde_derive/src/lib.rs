@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the `Serialize`/`Deserialize` traits of the vendored `serde`
+//! stand-in (value-tree contract) without `syn`/`quote`, neither of which
+//! is available offline: the item's `TokenStream` is walked by hand and the
+//! impl is emitted as source text. Supported shapes are exactly what the
+//! workspace uses — non-generic structs (named, tuple, unit) and enums
+//! (unit, newtype, tuple, struct variants). The encoding mirrors
+//! serde_json: named struct → object, newtype → transparent, tuple →
+//! array, unit variant → string, payload variant → externally tagged
+//! single-key object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the value-tree `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let name = &item.name;
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derive the value-tree `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: {}", field_lookup_expr(name, f)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Object(fields) => Ok(Self {{\n{inits}\n}}),\n\
+                    other => Err(::serde::Error::msg(format!(\n\
+                        \"expected object for {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Shape::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match v {{\n\
+                    ::serde::Value::Array(items) if items.len() == {n} => \
+                        Ok(Self({inits})),\n\
+                    other => Err(::serde::Error::msg(format!(\n\
+                        \"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => "Ok(Self)".to_string(),
+        Shape::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                {body}\n\
+            }}\n\
+         }}"
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+/// `fields` is the `Vec<(String, Value)>` of the surrounding object match.
+/// Missing fields fall back to deserializing `Null`, which succeeds for
+/// `Option` (→ `None`) and errors with a field-specific message otherwise —
+/// the same observable behavior as serde's missing-field handling.
+fn field_lookup_expr(type_name: &str, field: &str) -> String {
+    format!(
+        "match fields.iter().find(|(k, _)| k == \"{field}\") {{\n\
+            Some((_, fv)) => ::serde::Deserialize::from_value(fv)?,\n\
+            None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                .map_err(|_| ::serde::Error::msg(\n\
+                    \"missing field `{field}` in {type_name}\"))?,\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.payload {
+        Payload::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),")
+        }
+        Payload::Tuple(1) => format!(
+            "{enum_name}::{vname}(x0) => ::serde::Value::Object(vec![\
+                (String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))]),"
+        ),
+        Payload::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|i| format!("x{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Object(vec![\
+                    (String::from(\"{vname}\"), \
+                     ::serde::Value::Array(vec![{items}]))]),"
+            )
+        }
+        Payload::Struct(fields) => {
+            let binds = fields.join(", ");
+            let pairs = fields
+                .iter()
+                .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                    (String::from(\"{vname}\"), \
+                     ::serde::Value::Object(vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.payload, Payload::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let payload_arms = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.payload {
+                Payload::Unit => None,
+                Payload::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(\
+                        ::serde::Deserialize::from_value(payload)?)),"
+                )),
+                Payload::Tuple(n) => {
+                    let inits = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "\"{vname}\" => match payload {{\n\
+                            ::serde::Value::Array(items) if items.len() == {n} => \
+                                Ok({name}::{vname}({inits})),\n\
+                            other => Err(::serde::Error::msg(format!(\n\
+                                \"bad payload for {name}::{vname}: {{other:?}}\"))),\n\
+                         }},"
+                    ))
+                }
+                Payload::Struct(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: {}", field_lookup_expr(name, f)))
+                        .collect::<Vec<_>>()
+                        .join(",\n");
+                    Some(format!(
+                        "\"{vname}\" => match payload {{\n\
+                            ::serde::Value::Object(fields) => \
+                                Ok({name}::{vname} {{\n{inits}\n}}),\n\
+                            other => Err(::serde::Error::msg(format!(\n\
+                                \"bad payload for {name}::{vname}: {{other:?}}\"))),\n\
+                         }},"
+                    ))
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match v {{\n\
+            ::serde::Value::Str(s) => match s.as_str() {{\n\
+                {unit_arms}\n\
+                other => Err(::serde::Error::msg(format!(\n\
+                    \"unknown {name} variant: {{other}}\"))),\n\
+            }},\n\
+            ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\n\
+                let (tag, payload) = &tagged[0];\n\
+                match tag.as_str() {{\n\
+                    {payload_arms}\n\
+                    other => Err(::serde::Error::msg(format!(\n\
+                        \"unknown {name} variant: {{other}}\"))),\n\
+                }}\n\
+            }}\n\
+            other => Err(::serde::Error::msg(format!(\n\
+                \"expected {name} variant encoding, got {{other:?}}\"))),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled item parsing (no syn).
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip leading attributes (`#[...]`, incl. doc comments) and visibility
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match toks.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                other => panic!("malformed attribute: {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let fname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        fields.push(fname);
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        i = skip_type(&toks, i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` tuple-struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        fields += 1;
+        i = skip_type(&toks, i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, tracking `<`/`>` nesting so commas inside
+/// generics don't terminate the field early. Grouped tokens (tuples,
+/// array types, paren'd types) are single trees, so their commas are
+/// invisible at this level.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let payload = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Payload::Unit,
+        };
+        variants.push(Variant {
+            name: vname,
+            payload,
+        });
+        // Skip an explicit discriminant (`= expr`) if present, then the comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+    }
+    variants
+}
