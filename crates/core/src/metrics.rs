@@ -1,7 +1,11 @@
-//! The paper's performance-metric definitions (§III-5).
+//! The paper's performance-metric definitions (§III-5), plus the
+//! latency order statistics (nearest-rank percentiles) every serving
+//! report in the suite is aggregated with.
 
 use llmib_types::{Seconds, TokenShape, TokensPerSecond, Watts};
 use serde::Serialize;
+
+pub use llmib_types::stats::{mean, p50, p90, p95, p99, percentile};
 
 /// Raw timing inputs of one benchmark run.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -77,6 +81,19 @@ mod tests {
             ttft: Seconds(0.9),
         });
         assert!(m.itl.is_none());
+    }
+
+    #[test]
+    fn percentile_helpers_are_nearest_rank() {
+        let v: Vec<f64> = (1..=200).map(f64::from).collect();
+        assert_eq!(p50(&v), 100.0);
+        assert_eq!(p90(&v), 180.0);
+        assert_eq!(p99(&v), 198.0);
+        assert_eq!(percentile(&v, 100.0), 200.0);
+        // Tail percentiles of a skewed latency set sit in the tail.
+        let skew = [0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 9.0];
+        assert_eq!(p50(&skew), 0.01);
+        assert_eq!(p99(&skew), 9.0);
     }
 
     #[test]

@@ -43,11 +43,10 @@
 #![warn(missing_docs)]
 
 mod allocator;
-mod request;
 mod simulator;
 mod sweep;
 
 pub use allocator::{AllocStats, KvAllocator, MonolithicAllocator, PagedAllocator};
-pub use request::{Request, RequestState};
+pub use llmib_types::{Request, RequestState};
 pub use simulator::{ArrivalPattern, BatchingPolicy, ServingReport, ServingSimulator, SimConfig};
 pub use sweep::{LoadPoint, LoadSweep};

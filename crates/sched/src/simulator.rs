@@ -1,9 +1,8 @@
 //! The discrete-event serving loop.
 
 use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
-use crate::request::{Request, RequestState};
 use llmib_perf::ResolvedScenario;
-use llmib_types::Seconds;
+use llmib_types::{stats, Request, RequestState, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -92,6 +91,8 @@ pub struct ServingReport {
     pub peak_kv_utilization: f64,
     /// Requests preempted (evicted and recomputed) due to KV exhaustion.
     pub preemptions: u32,
+    /// Requests rejected because they can never fit the KV pool.
+    pub rejected: u32,
     /// Decode steps executed.
     pub decode_steps: u64,
 }
@@ -121,13 +122,14 @@ impl ServingSimulator {
         let mut running: Vec<usize> = Vec::new();
         let mut now = Seconds::ZERO;
         let mut preemptions = 0u32;
+        let mut rejected = 0u32;
         let mut decode_steps = 0u64;
         let mut occupancy_acc = 0.0f64;
         let mut peak_util = 0.0f64;
         let mut completed = 0u32;
         let total = requests.len() as u32;
 
-        while completed < total {
+        while completed + rejected < total {
             // --- Admission ---
             let may_admit = match self.config.policy {
                 BatchingPolicy::Continuous => true,
@@ -178,15 +180,14 @@ impl ServingSimulator {
                         if arr.value() > now.value() {
                             now = arr;
                         } else {
-                            // Nothing fits even though requests wait: the
-                            // pool cannot hold a single request.
-                            let req = &requests[idx];
-                            panic!(
-                                "KV pool ({} tokens) cannot hold request {} (max context {})",
-                                self.config.kv_capacity_tokens,
-                                req.id,
-                                req.max_context()
-                            );
+                            // Nothing fits even though requests wait and
+                            // the pool is idle: this request can never be
+                            // held. A serving system must shed it and keep
+                            // going, not crash (the live runtime in
+                            // llmib-serve does the same).
+                            queue.pop_front();
+                            requests[idx].state = RequestState::Rejected;
+                            rejected += 1;
                         }
                         continue;
                     }
@@ -227,6 +228,14 @@ impl ServingSimulator {
                         let victim_idx = running.swap_remove(victim_pos);
                         let v = &mut requests[victim_idx];
                         alloc.release(v.id);
+                        if running.is_empty() && victim_idx == idx {
+                            // It had the whole pool to itself and still
+                            // ran out: it can never finish. Requeueing
+                            // would preempt-loop forever; shed it.
+                            v.state = RequestState::Rejected;
+                            rejected += 1;
+                            continue;
+                        }
                         v.state = RequestState::Queued;
                         v.generated = 0;
                         v.first_token_at = None;
@@ -264,9 +273,11 @@ impl ServingSimulator {
             occupancy_acc,
             peak_util,
             preemptions,
+            rejected,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         requests: &[Request],
@@ -275,6 +286,7 @@ impl ServingSimulator {
         occupancy_acc: f64,
         peak_kv_utilization: f64,
         preemptions: u32,
+        rejected: u32,
     ) -> ServingReport {
         let finished: Vec<&Request> = requests
             .iter()
@@ -285,22 +297,12 @@ impl ServingSimulator {
             .iter()
             .map(|r| u64::from(r.prompt_tokens) + u64::from(r.output_tokens))
             .sum();
-        let mut latencies: Vec<f64> = finished
+        let latencies: Vec<f64> = finished
             .iter()
             .filter_map(|r| r.latency().map(|s| s.value()))
             .collect();
-        latencies.sort_by(f64::total_cmp);
-        let p95 = latencies
-            .get(((latencies.len() as f64 * 0.95).ceil() as usize).saturating_sub(1))
-            .copied()
-            .unwrap_or(0.0);
-        let mean = |v: &[f64]| {
-            if v.is_empty() {
-                0.0
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+        let p95 = stats::p95(&latencies);
+        let mean = stats::mean;
         let ttfts: Vec<f64> = finished
             .iter()
             .filter_map(|r| r.ttft().map(|s| s.value()))
@@ -331,6 +333,7 @@ impl ServingSimulator {
             },
             peak_kv_utilization,
             preemptions,
+            rejected,
             decode_steps,
         }
     }
@@ -452,6 +455,30 @@ mod tests {
             a.iter().map(|r| r.arrival.value()).collect::<Vec<_>>(),
             b.iter().map(|r| r.arrival.value()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_fatal() {
+        // Request max context 192 into a 64-token monolithic pool: it can
+        // never fit. The simulator must shed it and serve the rest.
+        let mut reqs = ArrivalPattern::Burst.generate(4, 128, 64);
+        reqs.push(Request::new(99, Seconds::ZERO, 16, 16));
+        let rep =
+            ServingSimulator::new(config(BatchingPolicy::Continuous, 64, None)).run(reqs, &perf(4));
+        assert_eq!(rep.rejected, 4, "the four oversized requests are shed");
+        assert_eq!(rep.completed, 1, "the small request is served");
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_under_paged_lazy_admission() {
+        // Paged admission is lazy: the 128-token prompt fits a 160-token
+        // pool, but the 64-token growth does not, so the sole sequence is
+        // preempted with the whole pool to itself — shed, don't livelock.
+        let reqs = ArrivalPattern::Burst.generate(1, 128, 64);
+        let rep = ServingSimulator::new(config(BatchingPolicy::Continuous, 160, Some(16)))
+            .run(reqs, &perf(1));
+        assert_eq!(rep.rejected, 1);
+        assert_eq!(rep.completed, 0);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! operator would ("how many requests per second can this box take
 //! before latency explodes?").
 
-use crate::request::Request;
 use crate::simulator::{ArrivalPattern, ServingReport, ServingSimulator, SimConfig};
 use llmib_perf::ResolvedScenario;
+use llmib_types::Request;
 use serde::Serialize;
 
 /// One point of a load sweep.

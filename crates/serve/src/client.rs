@@ -1,0 +1,141 @@
+//! Client-side handles: submit requests, stream tokens back.
+
+use crate::event::{RejectReason, RequestOutcome, ServeEvent};
+use crate::server::Submission;
+use llmib_engine::Sampler;
+use llmib_types::Seconds;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-request submission options.
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Token generation budget.
+    pub max_new_tokens: usize,
+    /// Sampling strategy (use [`Sampler::Greedy`] for bitwise-replayable
+    /// runs).
+    pub sampler: Sampler,
+    /// Admission deadline, relative to submission: if the request is
+    /// still queued when it expires, the scheduler sheds it with
+    /// [`RejectReason::DeadlineExpired`]. Admitted requests always run
+    /// to completion.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Greedy decoding of `max_new_tokens` tokens, no deadline.
+    pub fn greedy(max_new_tokens: usize) -> Self {
+        Self {
+            max_new_tokens,
+            sampler: Sampler::Greedy,
+            deadline: None,
+        }
+    }
+}
+
+/// Why a submission was refused at the ingress, before reaching the
+/// scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded ingress queue is full — the server is overloaded and
+    /// sheds at the door instead of buffering unboundedly.
+    QueueFull,
+    /// The server is draining for shutdown (or gone).
+    ShuttingDown,
+    /// The prompt was empty or the token budget zero.
+    InvalidRequest,
+}
+
+/// A cloneable submission endpoint for one [`crate::Server`]. Any number
+/// of client threads may hold one and submit concurrently; each
+/// submission streams its events back through its own
+/// [`PendingRequest`] handle.
+#[derive(Clone)]
+pub struct Client {
+    pub(crate) ingress: SyncSender<Submission>,
+    pub(crate) accepting: Arc<AtomicBool>,
+    pub(crate) next_id: Arc<AtomicU64>,
+    pub(crate) epoch: Instant,
+}
+
+impl Client {
+    /// Submit a prompt for generation. Returns immediately with a
+    /// streaming handle, or an error if the queue is full / the server
+    /// is draining.
+    pub fn submit(
+        &self,
+        prompt: Vec<usize>,
+        opts: SubmitOptions,
+    ) -> Result<PendingRequest, SubmitError> {
+        if prompt.is_empty() || opts.max_new_tokens == 0 {
+            return Err(SubmitError::InvalidRequest);
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let submitted_at = Seconds(self.epoch.elapsed().as_secs_f64());
+        let deadline = opts
+            .deadline
+            .map(|d| Seconds(submitted_at.value() + d.as_secs_f64()));
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (events_tx, events_rx) = std::sync::mpsc::channel();
+        let sub = Submission {
+            id,
+            prompt,
+            max_new_tokens: opts.max_new_tokens,
+            sampler: opts.sampler,
+            submitted_at,
+            deadline,
+            events: events_tx,
+        };
+        match self.ingress.try_send(sub) {
+            Ok(()) => Ok(PendingRequest {
+                id,
+                events: events_rx,
+            }),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+}
+
+/// The client end of one in-flight request: a stream of
+/// [`ServeEvent`]s.
+pub struct PendingRequest {
+    /// Request id assigned at submission.
+    pub id: u64,
+    events: Receiver<ServeEvent>,
+}
+
+impl PendingRequest {
+    /// Block for the next event; `None` once the stream is exhausted.
+    pub fn next_event(&self) -> Option<ServeEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Drain the stream to its terminal event and collect the outcome.
+    pub fn wait(self) -> RequestOutcome {
+        let mut tokens = Vec::new();
+        loop {
+            match self.events.recv() {
+                Ok(ServeEvent::Admitted { .. }) => {}
+                Ok(ServeEvent::Token { token, .. }) => tokens.push(token),
+                Ok(ServeEvent::Finished { metrics }) => {
+                    return RequestOutcome::Completed { tokens, metrics }
+                }
+                Ok(ServeEvent::Rejected { reason, .. }) => {
+                    return RequestOutcome::Rejected { reason }
+                }
+                // Scheduler gone without a terminal event: surface an
+                // explicit rejection rather than hanging or panicking.
+                Err(_) => {
+                    return RequestOutcome::Rejected {
+                        reason: RejectReason::Internal,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Serving-runtime configuration.
+
+use llmib_sched::BatchingPolicy;
+use llmib_types::{Error, Result};
+
+/// Configuration of a live [`crate::Server`].
+///
+/// The knobs mirror [`llmib_sched::SimConfig`] on purpose: the
+/// cross-validation harness runs the same configuration through the
+/// discrete-event simulator and the live runtime and compares shapes.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How queued requests join the running batch. `Continuous` admits
+    /// at every decode-step boundary (§IV-A1); `Static` only when the
+    /// running batch has fully drained.
+    pub policy: BatchingPolicy,
+    /// Cap on concurrently decoding sequences (vLLM `max_num_seqs`).
+    pub max_concurrency: usize,
+    /// KV pool capacity in tokens, enforced through a
+    /// [`llmib_sched::KvAllocator`].
+    pub kv_capacity_tokens: u64,
+    /// `Some(block)` = paged allocator with that block size; `None` =
+    /// monolithic first-fit arena.
+    pub kv_block_tokens: Option<u32>,
+    /// Bound of the ingress queue, applied twice: to the MPSC channel
+    /// and to the scheduler's waiting queue (the scheduler stops
+    /// draining the channel once that many requests wait, so the bound
+    /// actually propagates back to submitters). A full queue rejects at
+    /// submit time ([`crate::SubmitError::QueueFull`]) — overload sheds
+    /// instead of buffering without limit.
+    pub queue_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrency == 0 {
+            return Err(Error::InvalidConfig("max_concurrency must be > 0".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::InvalidConfig("queue_capacity must be > 0".into()));
+        }
+        if self.kv_capacity_tokens == 0 {
+            return Err(Error::InvalidConfig(
+                "kv_capacity_tokens must be > 0".into(),
+            ));
+        }
+        if self.kv_block_tokens == Some(0) {
+            return Err(Error::InvalidConfig("kv block size must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            policy: BatchingPolicy::Continuous,
+            max_concurrency: 8,
+            kv_capacity_tokens: 1 << 16,
+            kv_block_tokens: Some(16),
+            queue_capacity: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for breakit in [
+            &mut |c: &mut ServeConfig| c.max_concurrency = 0,
+            &mut |c: &mut ServeConfig| c.queue_capacity = 0,
+            &mut |c: &mut ServeConfig| c.kv_capacity_tokens = 0,
+            &mut |c: &mut ServeConfig| c.kv_block_tokens = Some(0),
+        ] as [&mut dyn FnMut(&mut ServeConfig); 4]
+        {
+            let mut c = ServeConfig::default();
+            breakit(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Events streamed from the scheduler back to per-request client
+//! handles, and the reasons a request can be refused service.
+
+use crate::report::RequestMetrics;
+use llmib_types::Seconds;
+use serde::Serialize;
+
+/// Why a request was refused service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum RejectReason {
+    /// Refused at the door: the bounded ingress queue was full. (Raised
+    /// synchronously as [`crate::SubmitError::QueueFull`]; appears as an
+    /// outcome when a trace replay records the refusal.)
+    QueueFull,
+    /// Shed while queued because its deadline expired before admission.
+    DeadlineExpired,
+    /// It can never be served: its KV footprint exceeds the pool or its
+    /// context exceeds the model's maximum sequence length.
+    Oversized,
+    /// Scheduler-internal failure (should not happen; kept so the
+    /// runtime degrades to an explicit rejection instead of a panic).
+    Internal,
+}
+
+/// One event in a request's server-side life, streamed to its
+/// [`crate::PendingRequest`] handle as it happens. Timestamps are
+/// seconds since the server started.
+#[derive(Debug, Clone)]
+pub enum ServeEvent {
+    /// The request left the queue and its prefill completed.
+    Admitted {
+        /// When admission (incl. prefill) finished.
+        at: Seconds,
+    },
+    /// One generated token.
+    Token {
+        /// The sampled token id.
+        token: usize,
+        /// When the decode step that produced it completed.
+        at: Seconds,
+    },
+    /// All requested tokens were produced.
+    Finished {
+        /// Final per-request wall-clock metrics (Eq. 1 / Eq. 2).
+        metrics: RequestMetrics,
+    },
+    /// The request was refused service.
+    Rejected {
+        /// Why it was refused.
+        reason: RejectReason,
+        /// When the decision was made.
+        at: Seconds,
+    },
+}
+
+/// Terminal result of one request, as collected by
+/// [`crate::PendingRequest::wait`].
+#[derive(Debug, Clone)]
+pub enum RequestOutcome {
+    /// Served to completion.
+    Completed {
+        /// Every generated token, in order.
+        tokens: Vec<usize>,
+        /// Final wall-clock metrics.
+        metrics: RequestMetrics,
+    },
+    /// Refused service.
+    Rejected {
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+}
+
+impl RequestOutcome {
+    /// The generated tokens, if the request completed.
+    pub fn tokens(&self) -> Option<&[usize]> {
+        match self {
+            RequestOutcome::Completed { tokens, .. } => Some(tokens),
+            RequestOutcome::Rejected { .. } => None,
+        }
+    }
+
+    /// The final metrics, if the request completed.
+    pub fn metrics(&self) -> Option<&RequestMetrics> {
+        match self {
+            RequestOutcome::Completed { metrics, .. } => Some(metrics),
+            RequestOutcome::Rejected { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `llmib-serve`: a live continuous-batching serving runtime over the
+//! real `llmib-engine`.
+//!
+//! The repo has two serving halves: `llmib-sched` *predicts* serving
+//! behavior with a discrete-event simulator, and `llmib-engine`
+//! *executes* real batched forward passes. This crate is the bridge the
+//! paper's §IV-A1 serving story needs: an actual runtime that accepts
+//! requests over time, schedules them onto the engine with continuous
+//! batching, streams tokens back as they are produced, and measures
+//! itself with wall-clock TTFT/ITL/E2E (the paper's Eq. 1 / Eq. 2 via
+//! `llmib_core::metrics`).
+//!
+//! Architecture (one scheduler thread, any number of client threads):
+//!
+//! ```text
+//! client threads ── bounded MPSC ingress ──► scheduler thread
+//!   Client::submit     (queue_capacity,        │ intake / deadline shed
+//!   ▲ PendingRequest     full ⇒ QueueFull)     │ admit at step boundary
+//!   │                                          │  (max_concurrency +
+//!   └── per-request event channel ◄────────────┤   KV-token reservation)
+//!        Admitted / Token / Finished /         │ BatchSession::step
+//!        Rejected (wall-clock stamped)         ▼ one batched forward
+//! ```
+//!
+//! Overload is handled by shedding, never by panicking: a full ingress
+//! rejects at submit time, queued requests past their deadline are shed
+//! with explicit events, oversized requests (KV pool or model context)
+//! are refused on arrival, and shutdown drains queue and batch before
+//! the scheduler exits with an aggregate [`ServeReport`].
+//!
+//! Because every engine path funnels through one dot kernel, the
+//! runtime changes *when* tokens are produced but never *which*:
+//! replaying a run's admission order through a plain
+//! [`llmib_engine::BatchSession`] reproduces every token bitwise
+//! ([`replay_admission_order`]), and replaying the same
+//! [`llmib_workloads::TrafficProfile::trace`] through
+//! [`llmib_sched::ServingSimulator`] must agree on metric shapes — the
+//! cross-validation loop exercised by this crate's integration tests.
+//!
+//! ```
+//! use llmib_engine::{EngineConfig, TransformerModel};
+//! use llmib_serve::{ServeConfig, Server, SubmitOptions};
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(TransformerModel::new(EngineConfig::tiny(), false).unwrap());
+//! let server = Server::start(model, ServeConfig::default()).unwrap();
+//! let handle = server
+//!     .client()
+//!     .submit(vec![1, 2, 3], SubmitOptions::greedy(8))
+//!     .unwrap();
+//! let outcome = handle.wait();
+//! assert_eq!(outcome.tokens().unwrap().len(), 8);
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
+//! assert!(report.mean_ttft.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod client;
+mod config;
+mod event;
+mod replay;
+mod report;
+mod server;
+
+pub use client::{Client, PendingRequest, SubmitError, SubmitOptions};
+pub use config::ServeConfig;
+pub use event::{RejectReason, RequestOutcome, ServeEvent};
+pub use replay::{
+    deterministic_prompt, replay_admission_order, replay_trace, ReplayOptions, ReplayedRequest,
+};
+pub use report::{RequestMetrics, ServeReport};
+pub use server::Server;

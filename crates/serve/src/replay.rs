@@ -1,0 +1,171 @@
+//! Trace replay: drive an arrival-timestamped [`Request`] trace against
+//! a live [`Server`] from multiple client threads, and re-execute a
+//! recorded admission order through a plain [`BatchSession`] to prove
+//! the runtime changed *when* tokens were produced, never *which*.
+//!
+//! The same trace (from [`llmib_workloads::TrafficProfile::trace`]) also
+//! feeds [`llmib_sched::ServingSimulator`] — that is the repo's
+//! sim-vs-real cross-validation loop.
+
+use crate::client::{SubmitError, SubmitOptions};
+use crate::event::{RejectReason, RequestOutcome};
+use crate::server::Server;
+use llmib_engine::{BatchSession, Sampler, TransformerModel};
+use llmib_types::Request;
+use std::time::{Duration, Instant};
+
+/// Options for [`replay_trace`].
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Wall-clock seconds per trace second (1.0 replays in real time,
+    /// 0.1 replays 10x faster).
+    pub time_scale: f64,
+    /// Number of submitting client threads the trace is spread over.
+    pub client_threads: usize,
+    /// Prompt token universe; prompts are generated deterministically
+    /// per request id via [`deterministic_prompt`].
+    pub vocab: usize,
+    /// Optional admission deadline applied to every request.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            time_scale: 1.0,
+            client_threads: 4,
+            vocab: 128,
+            deadline: None,
+        }
+    }
+}
+
+/// The deterministic prompt every replay consumer uses for request
+/// `id`: both the live run and any offline re-execution must feed the
+/// engine identical token ids for bitwise comparison to be meaningful.
+pub fn deterministic_prompt(id: u64, prompt_tokens: u32, vocab: usize) -> Vec<usize> {
+    (0..prompt_tokens as usize)
+        .map(|i| (id as usize).wrapping_mul(31).wrapping_add(i * 7 + 3) % vocab)
+        .collect()
+}
+
+/// Outcome of one trace entry after a live replay.
+#[derive(Debug)]
+pub struct ReplayedRequest {
+    /// The id the entry had in the trace.
+    pub trace_id: u64,
+    /// The id the server assigned at submission (`None` if the request
+    /// was refused at the door, e.g. a full ingress queue). This is the
+    /// id that appears in [`crate::ServeReport::admission_order`].
+    pub server_id: Option<u64>,
+    /// Terminal outcome.
+    pub outcome: RequestOutcome,
+}
+
+/// Replay `trace` against `server` in (scaled) real time.
+///
+/// The trace is spread round-robin over `client_threads` submitting
+/// threads; each sleeps until a request's scaled arrival time, submits
+/// it with greedy sampling, then drains all its outcome streams.
+/// Returns one [`ReplayedRequest`] per trace entry, sorted by trace
+/// id — synchronous [`SubmitError::QueueFull`] refusals appear as
+/// [`RejectReason::QueueFull`] outcomes with no server id.
+pub fn replay_trace(
+    server: &Server,
+    trace: &[Request],
+    opts: &ReplayOptions,
+) -> Vec<ReplayedRequest> {
+    assert!(opts.time_scale >= 0.0, "time scale must be non-negative");
+    let threads = opts.client_threads.max(1);
+    let start = Instant::now();
+    let mut outcomes: Vec<ReplayedRequest> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let client = server.client();
+                s.spawn(move || {
+                    let mut pending = Vec::new();
+                    for req in trace.iter().skip(t).step_by(threads) {
+                        let target = Duration::from_secs_f64(req.arrival.value() * opts.time_scale);
+                        if let Some(wait) = target.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let prompt = deterministic_prompt(req.id, req.prompt_tokens, opts.vocab);
+                        let submitted = client.submit(
+                            prompt,
+                            SubmitOptions {
+                                max_new_tokens: req.output_tokens as usize,
+                                sampler: Sampler::Greedy,
+                                deadline: opts.deadline,
+                            },
+                        );
+                        pending.push((req.id, submitted));
+                    }
+                    pending
+                        .into_iter()
+                        .map(|(trace_id, submitted)| match submitted {
+                            Ok(handle) => ReplayedRequest {
+                                trace_id,
+                                server_id: Some(handle.id),
+                                outcome: handle.wait(),
+                            },
+                            Err(err) => ReplayedRequest {
+                                trace_id,
+                                server_id: None,
+                                outcome: RequestOutcome::Rejected {
+                                    reason: match err {
+                                        SubmitError::QueueFull => RejectReason::QueueFull,
+                                        _ => RejectReason::Internal,
+                                    },
+                                },
+                            },
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("replay client thread panicked"))
+            .collect()
+    });
+    outcomes.sort_by_key(|r| r.trace_id);
+    outcomes
+}
+
+/// Re-execute a recorded admission order through a fresh, single-owner
+/// [`BatchSession`] with greedy sampling, returning per-sequence tokens
+/// in admission order.
+///
+/// Because every engine path funnels through one dot-product kernel,
+/// per-sequence results are independent of batch composition — so a
+/// live run's tokens must equal this offline replay *bitwise*. `spec`
+/// maps a request id to its `(prompt, max_new_tokens)`.
+pub fn replay_admission_order(
+    model: &TransformerModel,
+    admission_order: &[u64],
+    mut spec: impl FnMut(u64) -> (Vec<usize>, usize),
+) -> Vec<(u64, Vec<usize>)> {
+    let mut session = BatchSession::new(model);
+    for &id in admission_order {
+        let (prompt, max_new_tokens) = spec(id);
+        session
+            .admit(id, &prompt, max_new_tokens, Sampler::Greedy)
+            .expect("replay admission must succeed for a served request");
+    }
+    session.run_to_completion()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_prompts_are_stable_and_bounded() {
+        let a = deterministic_prompt(3, 16, 64);
+        let b = deterministic_prompt(3, 16, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.iter().all(|&t| t < 64));
+        assert_ne!(a, deterministic_prompt(4, 16, 64));
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-request and aggregate wall-clock serving metrics.
+//!
+//! Per-request numbers come straight from the paper's definitions in
+//! `llmib_core::metrics` (Eq. 1 ITL, Eq. 2 throughput); aggregates use
+//! the shared nearest-rank percentile helpers so live reports are
+//! directly comparable with [`llmib_sched::ServingReport`].
+
+use llmib_core::metrics::{mean, p50, p90, p99, InferenceMetrics, MetricInputs};
+use llmib_types::{Seconds, TokenShape};
+use serde::Serialize;
+
+/// Wall-clock metrics of one completed request. All timestamps are
+/// seconds since the server started.
+#[derive(Debug, Clone, Serialize)]
+pub struct RequestMetrics {
+    /// Request id.
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Generated tokens.
+    pub output_tokens: u32,
+    /// When the request entered the ingress queue.
+    pub submitted_at: Seconds,
+    /// When it was admitted (prefill complete).
+    pub admitted_at: Seconds,
+    /// Time to first token, measured from submission (queueing included,
+    /// as the paper's serving-side TTFT demands).
+    pub ttft: Seconds,
+    /// End-to-end latency from submission to last token.
+    pub e2e: Seconds,
+    /// Eq. 1 inter-token latency; `None` for single-token outputs.
+    pub itl: Option<Seconds>,
+    /// Eq. 2 per-request throughput, `(prompt + output) / e2e`.
+    pub throughput_tokens_per_s: f64,
+}
+
+impl RequestMetrics {
+    /// Derive final metrics from raw timestamps via the paper's
+    /// equations (`llmib_core::metrics`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_timestamps(
+        id: u64,
+        prompt_tokens: u32,
+        output_tokens: u32,
+        submitted_at: Seconds,
+        admitted_at: Seconds,
+        first_token_at: Seconds,
+        finished_at: Seconds,
+    ) -> Self {
+        let e2e = Seconds(finished_at.value() - submitted_at.value());
+        let ttft = Seconds(first_token_at.value() - submitted_at.value());
+        let derived = InferenceMetrics::from_latencies(MetricInputs {
+            shape: TokenShape::new(prompt_tokens, output_tokens, 1),
+            e2e,
+            ttft,
+        });
+        Self {
+            id,
+            prompt_tokens,
+            output_tokens,
+            submitted_at,
+            admitted_at,
+            ttft,
+            e2e,
+            itl: derived.itl,
+            throughput_tokens_per_s: derived.throughput.value(),
+        }
+    }
+}
+
+/// Aggregate outcome of a serving run, returned by
+/// [`crate::Server::shutdown`]. Field-compatible in spirit with
+/// [`llmib_sched::ServingReport`] so the cross-validation harness can
+/// compare shapes directly.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Requests served to completion.
+    pub completed: u32,
+    /// Requests shed because their deadline expired while queued.
+    pub shed_deadline: u32,
+    /// Requests rejected because they can never fit (KV pool or model
+    /// context limit).
+    pub rejected_oversized: u32,
+    /// First submission to last completion.
+    pub makespan: Seconds,
+    /// Eq. 2 aggregate throughput over the completed set.
+    pub throughput_tokens_per_s: f64,
+    /// Mean time to first token (queueing included).
+    pub mean_ttft: Seconds,
+    /// Mean Eq. 1 inter-token latency across completed requests.
+    pub mean_itl: Seconds,
+    /// Median end-to-end latency.
+    pub p50_latency: Seconds,
+    /// 90th-percentile end-to-end latency.
+    pub p90_latency: Seconds,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Seconds,
+    /// Mean live batch size over decode steps.
+    pub mean_batch_occupancy: f64,
+    /// Peak KV-pool utilization observed.
+    pub peak_kv_utilization: f64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+    /// Sequence ids in the order the scheduler admitted them — replaying
+    /// this order through a plain [`llmib_engine::BatchSession`] must
+    /// reproduce every token bitwise (see [`crate::replay_admission_order`]).
+    pub admission_order: Vec<u64>,
+    /// Per-request metrics of every completed request, in completion
+    /// order.
+    pub per_request: Vec<RequestMetrics>,
+}
+
+impl ServeReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        per_request: Vec<RequestMetrics>,
+        shed_deadline: u32,
+        rejected_oversized: u32,
+        makespan: Seconds,
+        decode_steps: u64,
+        occupancy_acc: f64,
+        peak_kv_utilization: f64,
+        admission_order: Vec<u64>,
+    ) -> Self {
+        let completed = per_request.len() as u32;
+        let total_tokens: u64 = per_request
+            .iter()
+            .map(|m| u64::from(m.prompt_tokens) + u64::from(m.output_tokens))
+            .sum();
+        let latencies: Vec<f64> = per_request.iter().map(|m| m.e2e.value()).collect();
+        let ttfts: Vec<f64> = per_request.iter().map(|m| m.ttft.value()).collect();
+        let itls: Vec<f64> = per_request
+            .iter()
+            .filter_map(|m| m.itl.map(|s| s.value()))
+            .collect();
+        Self {
+            completed,
+            shed_deadline,
+            rejected_oversized,
+            makespan,
+            throughput_tokens_per_s: if makespan.value() > 0.0 {
+                total_tokens as f64 / makespan.value()
+            } else {
+                0.0
+            },
+            mean_ttft: Seconds(mean(&ttfts)),
+            mean_itl: Seconds(mean(&itls)),
+            p50_latency: Seconds(p50(&latencies)),
+            p90_latency: Seconds(p90(&latencies)),
+            p99_latency: Seconds(p99(&latencies)),
+            mean_batch_occupancy: if decode_steps > 0 {
+                occupancy_acc / decode_steps as f64
+            } else {
+                0.0
+            },
+            peak_kv_utilization,
+            decode_steps,
+            admission_order,
+            per_request,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_metrics_match_paper_equations() {
+        let m = RequestMetrics::from_timestamps(
+            7,
+            128,
+            33,
+            Seconds(1.0),
+            Seconds(1.2),
+            Seconds(1.5),
+            Seconds(3.5),
+        );
+        assert!((m.ttft.value() - 0.5).abs() < 1e-12);
+        assert!((m.e2e.value() - 2.5).abs() < 1e-12);
+        // Eq. 1: (e2e - ttft) / (output - 1).
+        assert!((m.itl.unwrap().value() - 2.0 / 32.0).abs() < 1e-12);
+        // Eq. 2: (prompt + output) / e2e.
+        assert!((m.throughput_tokens_per_s - 161.0 / 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_aggregates_percentiles_and_throughput() {
+        let reqs: Vec<RequestMetrics> = (0..10)
+            .map(|i| {
+                RequestMetrics::from_timestamps(
+                    i,
+                    10,
+                    11,
+                    Seconds(0.0),
+                    Seconds(0.1),
+                    Seconds(0.2),
+                    Seconds(1.0 + i as f64),
+                )
+            })
+            .collect();
+        let rep = ServeReport::from_parts(
+            reqs,
+            2,
+            1,
+            Seconds(10.0),
+            100,
+            250.0,
+            0.5,
+            (0..10).collect(),
+        );
+        assert_eq!(rep.completed, 10);
+        assert_eq!(rep.shed_deadline, 2);
+        assert_eq!(rep.rejected_oversized, 1);
+        assert!((rep.throughput_tokens_per_s - 21.0).abs() < 1e-9);
+        assert!((rep.p50_latency.value() - 5.0).abs() < 1e-12);
+        assert!((rep.p99_latency.value() - 10.0).abs() < 1e-12);
+        assert!((rep.mean_batch_occupancy - 2.5).abs() < 1e-12);
+        assert_eq!(rep.admission_order.len(), 10);
+    }
+}

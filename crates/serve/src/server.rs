@@ -1,0 +1,397 @@
+//! The serving runtime: a scheduler thread running the real engine.
+//!
+//! Client threads submit through a bounded MPSC ingress; the scheduler
+//! thread owns a [`BatchSession`] over the model and loops
+//!
+//! 1. **intake** — drain the ingress (rejecting requests that can never
+//!    fit the KV pool or the model context),
+//! 2. **shed** — drop queued requests whose deadlines expired,
+//! 3. **admit** — at this decode-step boundary, move queued requests
+//!    into the running batch while the concurrency cap and the KV-token
+//!    reservation ([`crate::budget`]) allow — continuous batching, or
+//!    only into an empty batch under [`BatchingPolicy::Static`],
+//! 4. **step** — one batched decode step; stream each token back to its
+//!    client with a wall-clock timestamp, retire finished sequences.
+//!
+//! On shutdown the loop stops accepting, drains queue and batch, and
+//! returns the aggregate [`ServeReport`].
+
+use crate::budget::KvBudget;
+use crate::client::Client;
+use crate::config::ServeConfig;
+use crate::event::{RejectReason, ServeEvent};
+use crate::report::{RequestMetrics, ServeReport};
+use llmib_engine::{BatchSession, Sampler, TransformerModel};
+use llmib_sched::BatchingPolicy;
+use llmib_types::{Result, Seconds};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One submitted request in flight from a client to the scheduler.
+pub(crate) struct Submission {
+    pub id: u64,
+    pub prompt: Vec<usize>,
+    pub max_new_tokens: usize,
+    pub sampler: Sampler,
+    pub submitted_at: Seconds,
+    /// Absolute admission deadline on the server clock.
+    pub deadline: Option<Seconds>,
+    pub events: std::sync::mpsc::Sender<ServeEvent>,
+}
+
+/// Scheduler-side state of an admitted sequence.
+struct LiveSeq {
+    prompt_tokens: u32,
+    submitted_at: Seconds,
+    admitted_at: Seconds,
+    first_token_at: Option<Seconds>,
+    generated: u32,
+    events: std::sync::mpsc::Sender<ServeEvent>,
+}
+
+/// A live serving runtime over one [`TransformerModel`].
+///
+/// [`Server::start`] spawns the scheduler thread; [`Server::client`]
+/// hands out cloneable submission endpoints; [`Server::shutdown`]
+/// drains gracefully and returns the aggregate report.
+pub struct Server {
+    ingress: Option<SyncSender<Submission>>,
+    accepting: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    next_id: Arc<AtomicU64>,
+    epoch: Instant,
+    worker: Option<JoinHandle<ServeReport>>,
+}
+
+impl Server {
+    /// Validate `config` and start the scheduler thread.
+    pub fn start(model: Arc<TransformerModel>, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let (ingress, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+        let accepting = Arc::new(AtomicBool::new(true));
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let worker = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || scheduler_loop(&model, &config, &rx, &stop, epoch))
+        };
+        Ok(Self {
+            ingress: Some(ingress),
+            accepting,
+            stop,
+            next_id: Arc::new(AtomicU64::new(0)),
+            epoch,
+            worker: Some(worker),
+        })
+    }
+
+    /// A cloneable submission endpoint. Clients on any thread submit
+    /// through it and receive their token streams independently.
+    pub fn client(&self) -> Client {
+        Client {
+            ingress: self
+                .ingress
+                .as_ref()
+                .expect("server already shut down")
+                .clone(),
+            accepting: Arc::clone(&self.accepting),
+            next_id: Arc::clone(&self.next_id),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Graceful drain: stop accepting, let every queued and running
+    /// request finish (deadline shedding still applies to queued ones),
+    /// join the scheduler, and return the aggregate report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown_inner()
+            .expect("scheduler thread exited before shutdown")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<ServeReport> {
+        self.accepting.store(false, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        drop(self.ingress.take());
+        self.worker
+            .take()
+            .map(|w| w.join().expect("scheduler thread panicked"))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+fn now(epoch: Instant) -> Seconds {
+    Seconds(epoch.elapsed().as_secs_f64())
+}
+
+struct Scheduler<'m> {
+    session: BatchSession<'m>,
+    budget: KvBudget,
+    config: ServeConfig,
+    epoch: Instant,
+    model_max_seq: usize,
+    waiting: VecDeque<Submission>,
+    live: HashMap<u64, LiveSeq>,
+    per_request: Vec<RequestMetrics>,
+    admission_order: Vec<u64>,
+    shed_deadline: u32,
+    rejected_oversized: u32,
+    decode_steps: u64,
+    occupancy_acc: f64,
+    peak_kv: f64,
+    first_submitted_at: Option<f64>,
+    last_finished_at: f64,
+}
+
+impl<'m> Scheduler<'m> {
+    /// Accept one submission from the ingress, rejecting immediately
+    /// anything that can never be served.
+    fn intake(&mut self, sub: Submission) {
+        let t = self
+            .first_submitted_at
+            .get_or_insert(sub.submitted_at.value());
+        *t = t.min(sub.submitted_at.value());
+        let max_context = sub.prompt.len() + sub.max_new_tokens;
+        let fits_model = max_context <= self.model_max_seq;
+        let fits_pool =
+            max_context <= u32::MAX as usize && self.budget.fits_ever(max_context as u32);
+        if !fits_model || !fits_pool {
+            self.rejected_oversized += 1;
+            let _ = sub.events.send(ServeEvent::Rejected {
+                reason: RejectReason::Oversized,
+                at: now(self.epoch),
+            });
+            return;
+        }
+        self.waiting.push_back(sub);
+    }
+
+    /// Shed queued requests whose admission deadline has passed.
+    fn shed_expired(&mut self) {
+        let t = now(self.epoch);
+        let epoch = self.epoch;
+        let mut shed = 0u32;
+        self.waiting.retain(|sub| {
+            let expired = sub.deadline.is_some_and(|d| t.value() > d.value());
+            if expired {
+                shed += 1;
+                let _ = sub.events.send(ServeEvent::Rejected {
+                    reason: RejectReason::DeadlineExpired,
+                    at: now(epoch),
+                });
+            }
+            !expired
+        });
+        self.shed_deadline += shed;
+    }
+
+    /// Admit queued requests at this step boundary while policy,
+    /// concurrency cap and KV reservation allow.
+    fn admit(&mut self) {
+        let may_admit = match self.config.policy {
+            BatchingPolicy::Continuous => true,
+            BatchingPolicy::Static => self.session.is_empty(),
+        };
+        if !may_admit {
+            return;
+        }
+        while self.session.len() < self.config.max_concurrency {
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
+            let max_context = (front.prompt.len() + front.max_new_tokens) as u32;
+            if !self
+                .budget
+                .try_admit(front.id, max_context, front.prompt.len() as u32)
+            {
+                // Does not fit *right now* (reservations or monolithic
+                // fragmentation): head-of-line wait for releases. If the
+                // pool is fully idle this can never improve — shed so an
+                // impossible request cannot wedge the queue. (Intake
+                // screens for this, so the branch is defensive.)
+                if self.session.is_empty() && self.budget.is_idle() {
+                    let sub = self.waiting.pop_front().expect("front exists");
+                    self.rejected_oversized += 1;
+                    let _ = sub.events.send(ServeEvent::Rejected {
+                        reason: RejectReason::Oversized,
+                        at: now(self.epoch),
+                    });
+                    continue;
+                }
+                break;
+            }
+            let sub = self.waiting.pop_front().expect("front exists");
+            // Prefill runs synchronously inside `admit` — the admission
+            // timestamp below includes it, as TTFT must.
+            match self
+                .session
+                .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler)
+            {
+                Ok(()) => {
+                    let at = now(self.epoch);
+                    let _ = sub.events.send(ServeEvent::Admitted { at });
+                    self.admission_order.push(sub.id);
+                    self.live.insert(
+                        sub.id,
+                        LiveSeq {
+                            prompt_tokens: sub.prompt.len() as u32,
+                            submitted_at: sub.submitted_at,
+                            admitted_at: at,
+                            first_token_at: None,
+                            generated: 0,
+                            events: sub.events,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // Unreachable by construction (intake validates
+                    // context length and ids are unique) — degrade to an
+                    // explicit rejection, never a panic.
+                    self.budget.release(sub.id);
+                    self.rejected_oversized += 1;
+                    let _ = sub.events.send(ServeEvent::Rejected {
+                        reason: RejectReason::Internal,
+                        at: now(self.epoch),
+                    });
+                }
+            }
+        }
+    }
+
+    /// One batched decode step: stream tokens out, retire completions.
+    fn step(&mut self) {
+        let events = self.session.step();
+        let at = now(self.epoch);
+        self.decode_steps += 1;
+        self.occupancy_acc += events.len() as f64;
+        for ev in events {
+            let meta = self.live.get_mut(&ev.seq).expect("event for live seq");
+            meta.generated += 1;
+            if meta.first_token_at.is_none() {
+                meta.first_token_at = Some(at);
+            }
+            let _ = meta.events.send(ServeEvent::Token {
+                token: ev.token,
+                at,
+            });
+            if ev.finished {
+                self.budget.release(ev.seq);
+                let meta = self.live.remove(&ev.seq).expect("live seq");
+                let metrics = RequestMetrics::from_timestamps(
+                    ev.seq,
+                    meta.prompt_tokens,
+                    meta.generated,
+                    meta.submitted_at,
+                    meta.admitted_at,
+                    meta.first_token_at.expect("finished implies first token"),
+                    at,
+                );
+                let _ = meta.events.send(ServeEvent::Finished {
+                    metrics: metrics.clone(),
+                });
+                self.per_request.push(metrics);
+                self.last_finished_at = at.value();
+            } else {
+                self.budget.append_one(ev.seq);
+            }
+        }
+        self.peak_kv = self.peak_kv.max(self.budget.utilization());
+    }
+
+    fn into_report(self) -> ServeReport {
+        let makespan =
+            Seconds((self.last_finished_at - self.first_submitted_at.unwrap_or(0.0)).max(0.0));
+        ServeReport::from_parts(
+            self.per_request,
+            self.shed_deadline,
+            self.rejected_oversized,
+            makespan,
+            self.decode_steps,
+            self.occupancy_acc,
+            self.peak_kv,
+            self.admission_order,
+        )
+    }
+}
+
+fn scheduler_loop(
+    model: &TransformerModel,
+    config: &ServeConfig,
+    rx: &Receiver<Submission>,
+    stop: &AtomicBool,
+    epoch: Instant,
+) -> ServeReport {
+    let mut sched = Scheduler {
+        session: BatchSession::new(model),
+        budget: KvBudget::new(config.kv_capacity_tokens, config.kv_block_tokens),
+        config: config.clone(),
+        epoch,
+        model_max_seq: model.config().max_seq,
+        waiting: VecDeque::new(),
+        live: HashMap::new(),
+        per_request: Vec::new(),
+        admission_order: Vec::new(),
+        shed_deadline: 0,
+        rejected_oversized: 0,
+        decode_steps: 0,
+        occupancy_acc: 0.0,
+        peak_kv: 0.0,
+        first_submitted_at: None,
+        last_finished_at: 0.0,
+    };
+    let mut disconnected = false;
+    loop {
+        // 1. Intake: drain the ingress, but never hold more than
+        //    `queue_capacity` requests in the waiting queue — leaving
+        //    the channel full is what propagates backpressure to
+        //    `Client::submit` as `QueueFull`.
+        while sched.waiting.len() < config.queue_capacity {
+            match rx.try_recv() {
+                Ok(sub) => sched.intake(sub),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // 2. Shed queued requests past their deadline.
+        sched.shed_expired();
+        // 3. Admission at this decode-step boundary.
+        sched.admit();
+        // 4. Run one step, or wait for work.
+        if !sched.session.is_empty() {
+            sched.step();
+        } else if sched.waiting.is_empty() {
+            if stop.load(Ordering::Acquire) || disconnected {
+                break;
+            }
+            // Idle: block briefly so we neither busy-spin nor miss a
+            // shutdown signal.
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(sub) => sched.intake(sub),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+        // else: waiting non-empty with an empty session — the admit pass
+        // above either admits on the next iteration or sheds; loop on.
+    }
+    // A submission racing in between the final drain and the break gets
+    // an explicit rejection instead of a silently dropped channel.
+    while let Ok(sub) = rx.try_recv() {
+        let _ = sub.events.send(ServeEvent::Rejected {
+            reason: RejectReason::Internal,
+            at: now(epoch),
+        });
+    }
+    sched.into_report()
+}

@@ -1,0 +1,266 @@
+//! Sim-vs-real cross-validation: replay identical
+//! [`TrafficProfile::trace`] traces through the discrete-event
+//! [`ServingSimulator`] and the live [`Server`], and require that both
+//! exhibit the same serving-theory shapes:
+//!
+//! * throughput rises with offered load, then saturates,
+//! * mean TTFT is monotone in offered load past saturation,
+//! * continuous batching beats static batching on mean TTFT,
+//!
+//! plus the determinism anchor: tokens produced by the live runtime are
+//! bitwise-identical to an offline [`BatchSession`] replay of the
+//! recorded admission order.
+//!
+//! Absolute times differ by orders of magnitude (the simulator costs an
+//! A100, the live engine runs a laptop-scale model), so every assertion
+//! is about *relative* shape at rates chosen relative to each backend's
+//! own measured capacity — with generous margins so the live half stays
+//! robust on noisy CI machines.
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::{PerfModel, ResolvedScenario, Scenario};
+use llmib_sched::{BatchingPolicy, ServingSimulator, SimConfig};
+use llmib_serve::{
+    deterministic_prompt, replay_admission_order, replay_trace, ReplayOptions, ServeConfig,
+    ServeReport, Server,
+};
+use llmib_types::Request;
+use llmib_workloads::TrafficProfile;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared request shape: 24-in / 24-out keeps the live half fast while
+/// still multi-step enough for continuous batching to matter.
+const SHAPE: TrafficProfile = TrafficProfile::Square { len: 24 };
+const N: usize = 24;
+
+fn live_model() -> Arc<TransformerModel> {
+    // A scaled Table I analog (not `tiny`) so decode steps take long
+    // enough that wall-clock arrival times are meaningful.
+    let cfg = EngineConfig::scaled_from(ModelId::Llama2_7b, 128, 7);
+    Arc::new(TransformerModel::new(cfg, false).expect("valid config"))
+}
+
+fn serve_config(policy: BatchingPolicy) -> ServeConfig {
+    ServeConfig {
+        policy,
+        max_concurrency: 8,
+        kv_capacity_tokens: 4096,
+        kv_block_tokens: Some(16),
+        queue_capacity: N + 8,
+    }
+}
+
+fn sim_config(policy: BatchingPolicy) -> SimConfig {
+    SimConfig {
+        policy,
+        max_concurrency: 8,
+        kv_capacity_tokens: 4096,
+        kv_block_tokens: Some(16),
+    }
+}
+
+fn sim_perf() -> ResolvedScenario {
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(8)
+        .input_tokens(24)
+        .output_tokens(24)
+        .build()
+        .expect("valid scenario");
+    PerfModel::default_calibration()
+        .resolve_scenario(&scenario)
+        .expect("resolvable scenario")
+}
+
+/// Run one trace against a fresh live server and return the report.
+fn run_live(
+    model: &Arc<TransformerModel>,
+    policy: BatchingPolicy,
+    trace: &[Request],
+    time_scale: f64,
+) -> ServeReport {
+    let server = Server::start(Arc::clone(model), serve_config(policy)).expect("server starts");
+    let opts = ReplayOptions {
+        time_scale,
+        ..ReplayOptions::default()
+    };
+    let replayed = replay_trace(&server, trace, &opts);
+    let report = server.shutdown();
+    assert_eq!(
+        report.completed as usize,
+        trace.len(),
+        "capacity/queue were sized so every request completes"
+    );
+    for r in &replayed {
+        assert!(
+            r.outcome.tokens().is_some(),
+            "request {} rejected",
+            r.trace_id
+        );
+    }
+    report
+}
+
+/// Requests served per second at saturation, measured with a burst.
+fn live_capacity(model: &Arc<TransformerModel>) -> f64 {
+    let trace = SHAPE.trace(N, 1e6, 11);
+    let report = run_live(model, BatchingPolicy::Continuous, &trace, 0.0);
+    report.completed as f64 / report.makespan.value()
+}
+
+fn sim_capacity(perf: &ResolvedScenario) -> f64 {
+    let trace = SHAPE.trace(N, 1e6, 11);
+    let sim = ServingSimulator::new(sim_config(BatchingPolicy::Continuous));
+    let report = sim.run(trace, perf);
+    f64::from(report.completed) / report.makespan.value()
+}
+
+/// The shared shape assertions, applied to (throughput, mean TTFT)
+/// triples measured at ~0.25x / 2x / 8x of a backend's capacity.
+fn assert_serving_shapes(label: &str, thr: [f64; 3], ttft: [f64; 3]) {
+    // Throughput rises with offered load...
+    assert!(
+        thr[1] > 1.3 * thr[0],
+        "{label}: throughput should rise with load: {thr:?}"
+    );
+    // ...then saturates: 4x more offered load past saturation must not
+    // buy another 1.6x, and the plateau must not collapse either.
+    assert!(
+        thr[2] < 1.6 * thr[1],
+        "{label}: throughput should saturate: {thr:?}"
+    );
+    assert!(
+        thr[2] > 0.5 * thr[1],
+        "{label}: saturated throughput should plateau, not collapse: {thr:?}"
+    );
+    // Mean TTFT grows monotonically with offered load *past saturation*.
+    // (Below saturation it need not be monotone: a lightly loaded batch
+    // engine loses batching amortization, so per-request service is
+    // slower even though queues are empty.)
+    assert!(
+        ttft[2] > ttft[1],
+        "{label}: TTFT should be monotone past saturation: {ttft:?}"
+    );
+    assert!(
+        ttft[2] > 2.0 * ttft[0],
+        "{label}: overload TTFT should clearly dominate light-load TTFT: {ttft:?}"
+    );
+}
+
+#[test]
+fn live_tokens_match_offline_batchsession_replay() {
+    let model = live_model();
+    let trace = SHAPE.trace(N, 1e6, 3);
+    let server = Server::start(Arc::clone(&model), serve_config(BatchingPolicy::Continuous))
+        .expect("server starts");
+    let opts = ReplayOptions {
+        time_scale: 0.0, // burst: maximal batching overlap
+        ..ReplayOptions::default()
+    };
+    let replayed = replay_trace(&server, &trace, &opts);
+    let report = server.shutdown();
+
+    assert_eq!(report.completed as usize, N);
+    assert_eq!(report.admission_order.len(), N);
+    assert!(report.mean_batch_occupancy > 1.5, "burst should batch");
+
+    // server id -> (trace entry, live tokens)
+    let by_server_id: HashMap<u64, (&Request, &[usize])> = replayed
+        .iter()
+        .map(|r| {
+            let sid = r.server_id.expect("all submissions accepted");
+            let tokens = r.outcome.tokens().expect("all requests completed");
+            (sid, (&trace[r.trace_id as usize], tokens))
+        })
+        .collect();
+
+    // Offline: one fresh single-owner BatchSession, same admission order,
+    // same prompts. The runtime may change *when* tokens appear, never
+    // *which* — every sequence must agree bitwise.
+    let offline = replay_admission_order(&model, &report.admission_order, |sid| {
+        let (req, _) = by_server_id[&sid];
+        (
+            deterministic_prompt(req.id, req.prompt_tokens, model.config().vocab),
+            req.output_tokens as usize,
+        )
+    });
+    assert_eq!(offline.len(), N);
+    for (sid, offline_tokens) in &offline {
+        let (_, live_tokens) = by_server_id[sid];
+        assert_eq!(
+            live_tokens,
+            &offline_tokens[..],
+            "sequence {sid}: live tokens must be bitwise-identical to the offline replay"
+        );
+    }
+}
+
+#[test]
+fn live_runtime_reproduces_simulator_load_response_shapes() {
+    // Simulator half.
+    let perf = sim_perf();
+    let sim_cap = sim_capacity(&perf);
+    assert!(sim_cap > 0.0);
+    let mut sim_thr = [0.0; 3];
+    let mut sim_ttft = [0.0; 3];
+    for (i, mult) in [0.25, 2.0, 8.0].into_iter().enumerate() {
+        let trace = SHAPE.trace(N, mult * sim_cap, 21 + i as u64);
+        let report =
+            ServingSimulator::new(sim_config(BatchingPolicy::Continuous)).run(trace, &perf);
+        assert_eq!(report.completed as usize, N);
+        sim_thr[i] = report.throughput_tokens_per_s;
+        sim_ttft[i] = report.mean_ttft.value();
+    }
+    assert_serving_shapes("simulator", sim_thr, sim_ttft);
+
+    // Live half: same trace generator, same relative rates, same shape
+    // assertions — wall clock instead of simulated clock.
+    let model = live_model();
+    let live_cap = live_capacity(&model);
+    assert!(live_cap > 0.0);
+    let mut live_thr = [0.0; 3];
+    let mut live_ttft = [0.0; 3];
+    for (i, mult) in [0.25, 2.0, 8.0].into_iter().enumerate() {
+        let trace = SHAPE.trace(N, mult * live_cap, 21 + i as u64);
+        let report = run_live(&model, BatchingPolicy::Continuous, &trace, 1.0);
+        live_thr[i] = report.throughput_tokens_per_s;
+        live_ttft[i] = report.mean_ttft.value();
+    }
+    assert_serving_shapes("live runtime", live_thr, live_ttft);
+}
+
+#[test]
+fn continuous_batching_beats_static_on_mean_ttft_in_sim_and_live() {
+    // Simulator half.
+    let perf = sim_perf();
+    let rate = 1.5 * sim_capacity(&perf);
+    let trace = SHAPE.trace(N, rate, 5);
+    let cont =
+        ServingSimulator::new(sim_config(BatchingPolicy::Continuous)).run(trace.clone(), &perf);
+    let stat = ServingSimulator::new(sim_config(BatchingPolicy::Static)).run(trace, &perf);
+    assert!(
+        cont.mean_ttft.value() <= 1.05 * stat.mean_ttft.value(),
+        "sim: continuous TTFT {} should not exceed static TTFT {}",
+        cont.mean_ttft.value(),
+        stat.mean_ttft.value()
+    );
+
+    // Live half.
+    let model = live_model();
+    let rate = 1.5 * live_capacity(&model);
+    let trace = SHAPE.trace(N, rate, 5);
+    let cont = run_live(&model, BatchingPolicy::Continuous, &trace, 1.0);
+    let stat = run_live(&model, BatchingPolicy::Static, &trace, 1.0);
+    assert!(
+        cont.mean_ttft.value() <= 1.05 * stat.mean_ttft.value(),
+        "live: continuous TTFT {} should not exceed static TTFT {}",
+        cont.mean_ttft.value(),
+        stat.mean_ttft.value()
+    );
+}

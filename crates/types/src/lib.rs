@@ -2,7 +2,10 @@
 //!
 //! Every other crate speaks in terms of the types defined here: physical
 //! units ([`Flops`], [`ByteCount`], [`Seconds`], [`Watts`]), numeric
-//! [`Precision`]s, [`Parallelism`] layouts, and the common [`Error`] type.
+//! [`Precision`]s, [`Parallelism`] layouts, the common [`Error`] type,
+//! the serving [`Request`] lifecycle shared by the simulator and the
+//! live runtime, and the [`stats`] order statistics every latency table
+//! is computed with.
 //!
 //! The unit newtypes are deliberately thin (`f64` inside) — they exist to
 //! keep dimensional mistakes out of the roofline arithmetic, not to be a
@@ -15,11 +18,14 @@
 mod error;
 mod parallelism;
 mod precision;
+mod request;
+pub mod stats;
 mod units;
 
 pub use error::{Error, Result};
 pub use parallelism::Parallelism;
 pub use precision::Precision;
+pub use request::{Request, RequestState};
 pub use units::{
     ByteCount, BytesPerSecond, Flops, FlopsRate, Joules, Seconds, TokensPerSecond, Watts,
 };

@@ -1,6 +1,13 @@
-//! Request lifecycle for the serving simulator.
+//! The shared inference-request lifecycle.
+//!
+//! One request definition serves both halves of the serving story: the
+//! discrete-event simulator in `llmib-sched` *predicts* how a request
+//! stream behaves, and the live runtime in `llmib-serve` *executes* the
+//! same stream against the real engine. Keeping the lifecycle here means
+//! the two consume byte-identical traces and report metrics over the
+//! same state machine.
 
-use llmib_types::Seconds;
+use crate::Seconds;
 use serde::Serialize;
 
 /// Where a request is in its lifecycle.
@@ -14,9 +21,13 @@ pub enum RequestState {
     Decoding,
     /// All output tokens produced.
     Finished,
+    /// Refused service: it can never fit (oversized for the KV pool),
+    /// its deadline expired while queued, or the ingress queue was full.
+    Rejected,
 }
 
-/// One inference request flowing through the simulator.
+/// One inference request flowing through a serving system (simulated or
+/// live).
 #[derive(Debug, Clone, Serialize)]
 pub struct Request {
     /// Unique id.

@@ -1,0 +1,99 @@
+//! Small order statistics shared by the simulator, the live serving
+//! runtime, and the reporting layer.
+//!
+//! One nearest-rank percentile definition keeps every latency table in
+//! the repo comparable: `percentile(v, 95.0)` here, in
+//! `llmib_sched::ServingReport`, and in a serve-side report all mean the
+//! same thing.
+
+/// Nearest-rank percentile of `values` (need not be sorted).
+///
+/// `p` is in percent (`0.0..=100.0`). Returns `0.0` for an empty slice.
+/// For `p = 0` the minimum is returned, for `p = 100` the maximum;
+/// non-finite inputs are ordered by `f64::total_cmp`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 * p / 100.0).ceil() as usize).saturating_sub(1);
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Median (50th percentile, nearest rank).
+pub fn p50(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// 90th percentile (nearest rank).
+pub fn p90(values: &[f64]) -> f64 {
+    percentile(values, 90.0)
+}
+
+/// 95th percentile (nearest rank).
+pub fn p95(values: &[f64]) -> f64 {
+    percentile(values, 95.0)
+}
+
+/// 99th percentile (nearest rank).
+pub fn p99(values: &[f64]) -> f64 {
+    percentile(values, 99.0)
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_known_data() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_and_small_slices() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(p50(&[7.5]), 7.5);
+        assert_eq!(p99(&[7.5]), 7.5);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+    }
+
+    #[test]
+    fn p95_matches_the_simulators_historic_formula() {
+        // The simulator used `ceil(n * 0.95) - 1` on the sorted slice;
+        // the shared helper must agree on every length.
+        for n in 1..40usize {
+            let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let historic = v[((n as f64 * 0.95).ceil() as usize).saturating_sub(1)];
+            assert_eq!(p95(&v), historic, "length {n}");
+        }
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn out_of_range_percentile_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

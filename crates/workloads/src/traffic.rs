@@ -7,6 +7,7 @@
 //! require outputs longer than the input prompt." These profiles give
 //! the serving simulator realistic request mixes.
 
+use llmib_types::{Request, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -76,6 +77,34 @@ impl TrafficProfile {
         }
     }
 
+    /// Generate an arrival-timestamped request trace: `n` shapes sampled
+    /// from this profile with Poisson arrivals at `rate_per_s`, fully
+    /// determined by `seed`.
+    ///
+    /// Both serving halves of the repo consume this one artifact — the
+    /// discrete-event `llmib-sched` simulator predicts it and the live
+    /// `llmib-serve` runtime executes it — so agreement checks between
+    /// them start from byte-identical traces. Request ids are the trace
+    /// positions `0..n`.
+    pub fn trace(self, n: usize, rate_per_s: f64, seed: u64) -> Vec<Request> {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n)
+            .map(|id| {
+                let shape = self.sample_one(&mut rng);
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate_per_s;
+                Request::new(
+                    id as u64,
+                    Seconds(t),
+                    shape.prompt_tokens,
+                    shape.output_tokens,
+                )
+            })
+            .collect()
+    }
+
     /// Mean input:output ratio of the profile (sampled).
     pub fn io_ratio(self, seed: u64) -> f64 {
         let shapes = self.sample(512, seed);
@@ -118,6 +147,48 @@ mod tests {
         assert!(shapes
             .iter()
             .all(|s| s.prompt_tokens == 128 && s.output_tokens == 128));
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_time_ordered() {
+        let a = TrafficProfile::Chat.trace(32, 20.0, 11);
+        let b = TrafficProfile::Chat.trace(32, 20.0, 11);
+        let c = TrafficProfile::Chat.trace(32, 20.0, 12);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival.value(), y.arrival.value());
+            assert_eq!(x.prompt_tokens, y.prompt_tokens);
+            assert_eq!(x.output_tokens, y.output_tokens);
+        }
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.arrival.value() != y.arrival.value()
+                    || x.prompt_tokens != y.prompt_tokens),
+            "different seeds must differ"
+        );
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].arrival.value() <= w[1].arrival.value()));
+        assert!(a[0].arrival.value() > 0.0);
+        assert_eq!(
+            a.iter().map(|r| r.id).collect::<Vec<_>>(),
+            (0..32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trace_rate_controls_arrival_density() {
+        let slow = TrafficProfile::Square { len: 64 }.trace(200, 5.0, 3);
+        let fast = TrafficProfile::Square { len: 64 }.trace(200, 50.0, 3);
+        let span = |t: &[llmib_types::Request]| t.last().unwrap().arrival.value();
+        assert!(
+            span(&slow) > 5.0 * span(&fast),
+            "10x the rate must compress the trace ~10x: {} vs {}",
+            span(&slow),
+            span(&fast)
+        );
     }
 
     #[test]
