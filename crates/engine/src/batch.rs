@@ -65,6 +65,22 @@ impl<'m> BatchSession<'m> {
         self.seqs.iter().map(|s| s.cache.bytes()).sum()
     }
 
+    /// Ids of the live sequences, in admission order.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.seqs.iter().map(|s| s.id).collect()
+    }
+
+    /// Evict a live sequence mid-flight, dropping its KV cache and
+    /// remaining budget. Returns `false` if `id` is not live. Because
+    /// every sequence's forward pass is independent of batch
+    /// composition, eviction never changes the tokens any surviving
+    /// sequence goes on to produce.
+    pub fn evict(&mut self, id: u64) -> bool {
+        let before = self.seqs.len();
+        self.seqs.retain(|s| s.id != id);
+        self.seqs.len() < before
+    }
+
     /// Admit a sequence: runs its prefill immediately (in-flight batching
     /// admits "even if the requests arrive at different times").
     pub fn admit(
@@ -264,6 +280,42 @@ mod tests {
         assert!(session.admit(0, &[1], 4, Sampler::Greedy).is_err());
         let too_long = vec![1usize; 200];
         assert!(session.admit(1, &too_long, 100, Sampler::Greedy).is_err());
+    }
+
+    #[test]
+    fn eviction_is_isolated_from_survivors() {
+        let m = model();
+        // Run A+B together but evict B mid-flight; A's tokens must match
+        // a run where B never existed.
+        let mut session = BatchSession::new(&m);
+        session.admit(0, &[1, 2, 3], 10, Sampler::Greedy).unwrap();
+        session.admit(1, &[4, 4], 10, Sampler::Greedy).unwrap();
+        let mut seq0 = Vec::new();
+        for _ in 0..4 {
+            for ev in session.step() {
+                if ev.seq == 0 {
+                    seq0.push(ev.token);
+                }
+            }
+        }
+        assert!(session.evict(1));
+        assert_eq!(session.live_ids(), vec![0]);
+        while !session.is_empty() {
+            for ev in session.step() {
+                assert_eq!(ev.seq, 0);
+                seq0.push(ev.token);
+            }
+        }
+        let solo = generate(
+            &m,
+            &[1, 2, 3],
+            GenerateOptions {
+                max_new_tokens: 10,
+                use_kv_cache: true,
+                sampler: Sampler::Greedy,
+            },
+        );
+        assert_eq!(seq0, solo.tokens);
     }
 
     #[test]

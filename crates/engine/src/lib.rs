@@ -46,6 +46,7 @@ mod model;
 mod moe;
 mod quant;
 mod sampler;
+mod step;
 mod tensor;
 mod tokenizer;
 
@@ -57,6 +58,7 @@ pub use model::{DecoderBlock, Linear, TransformerModel, Workspace};
 pub use moe::MoeFfn;
 pub use quant::QuantizedLinear;
 pub use sampler::Sampler;
+pub use step::EngineStep;
 pub use tensor::{
     dot_unrolled, matmul_mat, matmul_vec, matmul_vec_into, rmsnorm, rmsnorm_into, rope_in_place,
     silu, softmax_in_place, Matrix, RopeTable,

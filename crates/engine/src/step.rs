@@ -1,0 +1,103 @@
+//! The engine-step trait boundary between a scheduler and the batched
+//! engine.
+//!
+//! A serving scheduler does not need a concrete [`BatchSession`] — it
+//! needs four capabilities: admit a sequence, run one fallible decode
+//! step, evict a sequence mid-flight, and inspect what is live. Putting
+//! those behind [`EngineStep`] lets the fault-injection layer
+//! (`llmib-serve`'s `FaultInjector`) wrap the real session and surface
+//! deterministic [`StepError`]s at exactly this boundary, while the
+//! healthy path pays nothing: [`BatchSession`]'s `try_step` never
+//! fails.
+
+use crate::batch::{BatchSession, TokenEvent};
+use crate::sampler::Sampler;
+use llmib_types::{Result, StepError};
+
+/// The scheduler-facing surface of a batched decode engine.
+pub trait EngineStep {
+    /// Admit a sequence (runs its prefill synchronously).
+    fn admit(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<()>;
+
+    /// Run one batched decode step. `Err` means *no* sequence advanced:
+    /// a [`StepError::Transient`] step may simply be retried, and a
+    /// [`StepError::Poisoned`] step succeeds once the poisoned request
+    /// is evicted — in both cases the surviving sequences' token streams
+    /// are unaffected by the failure.
+    fn try_step(&mut self) -> std::result::Result<Vec<TokenEvent>, StepError>;
+
+    /// Remove a live sequence mid-flight, dropping its KV cache.
+    /// Returns `false` if `id` is not live. Per-sequence independence
+    /// (everything funnels through one dot kernel) guarantees eviction
+    /// never changes any other sequence's tokens.
+    fn evict(&mut self, id: u64) -> bool;
+
+    /// Number of live sequences.
+    fn len(&self) -> usize;
+
+    /// Whether no sequence is live.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of the live sequences, in admission order.
+    fn live_ids(&self) -> Vec<u64>;
+}
+
+impl EngineStep for BatchSession<'_> {
+    fn admit(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<()> {
+        BatchSession::admit(self, id, prompt, max_new_tokens, sampler)
+    }
+
+    fn try_step(&mut self) -> std::result::Result<Vec<TokenEvent>, StepError> {
+        Ok(self.step())
+    }
+
+    fn evict(&mut self, id: u64) -> bool {
+        BatchSession::evict(self, id)
+    }
+
+    fn len(&self) -> usize {
+        BatchSession::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<u64> {
+        BatchSession::live_ids(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::model::TransformerModel;
+
+    #[test]
+    fn batch_session_satisfies_the_trait_healthily() {
+        let m = TransformerModel::new(EngineConfig::tiny(), false).unwrap();
+        let mut s: Box<dyn EngineStep + '_> = Box::new(BatchSession::new(&m));
+        s.admit(0, &[1, 2], 3, Sampler::Greedy).unwrap();
+        s.admit(1, &[3], 2, Sampler::Greedy).unwrap();
+        assert_eq!(s.live_ids(), vec![0, 1]);
+        let ev = s.try_step().expect("healthy step never fails");
+        assert_eq!(ev.len(), 2);
+        assert!(s.evict(1));
+        assert!(!s.evict(1), "already evicted");
+        assert_eq!(s.live_ids(), vec![0]);
+        while !s.is_empty() {
+            s.try_step().unwrap();
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
 use llmib_perf::ResolvedScenario;
-use llmib_types::{stats, Request, RequestState, Seconds};
+use llmib_types::{stats, FaultKind, FaultPlan, Request, RequestState, RetryPolicy, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -95,6 +95,14 @@ pub struct ServingReport {
     pub rejected: u32,
     /// Decode steps executed.
     pub decode_steps: u64,
+    /// Requests killed by an injected fault (poison, retry exhaustion,
+    /// simulated scheduler death). Zero on fault-free runs.
+    pub failed: u32,
+    /// Transient-step retries performed (each advanced the clock by one
+    /// backoff).
+    pub retries: u32,
+    /// Fault-plan events activated during the run.
+    pub faults_injected: u32,
 }
 
 /// The serving simulator.
@@ -111,7 +119,31 @@ impl ServingSimulator {
     }
 
     /// Run `requests` to completion against the step costs of `perf`.
-    pub fn run(&self, mut requests: Vec<Request>, perf: &ResolvedScenario) -> ServingReport {
+    pub fn run(&self, requests: Vec<Request>, perf: &ResolvedScenario) -> ServingReport {
+        self.run_with_faults(requests, perf, &FaultPlan::empty())
+    }
+
+    /// Run `requests` against `perf` while replaying `plan` on the
+    /// simulated clock. Faults are anchored to decode-step indices —
+    /// the same clock the live `llmib-serve` runtime counts — so one
+    /// plan describes one chaos scenario in both backends:
+    ///
+    /// * [`FaultKind::StepStall`] advances the clock by the extra
+    ///   latency,
+    /// * [`FaultKind::TransientStepError`] advances it by the same
+    ///   capped-backoff schedule the live supervisor sleeps (and fails
+    ///   the whole live batch if the retry budget is exceeded),
+    /// * [`FaultKind::RequestPoison`] evicts the victim once admitted,
+    /// * [`FaultKind::MemoryPressure`] throttles admission while pool
+    ///   utilization exceeds the shrunken capacity factor,
+    /// * [`FaultKind::SchedulerPanic`] kills every outstanding request
+    ///   (the live analog of a contained scheduler death).
+    pub fn run_with_faults(
+        &self,
+        mut requests: Vec<Request>,
+        perf: &ResolvedScenario,
+        plan: &FaultPlan,
+    ) -> ServingReport {
         requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
         let mut alloc: Box<dyn KvAllocator> = match self.config.kv_block_tokens {
             Some(b) => Box::new(PagedAllocator::new(self.config.kv_capacity_tokens, b)),
@@ -129,7 +161,85 @@ impl ServingSimulator {
         let mut completed = 0u32;
         let total = requests.len() as u32;
 
-        while completed + rejected < total {
+        // Fault-replay state, mirroring `llmib-serve`'s FaultInjector:
+        // events activate once their anchor step is reached.
+        let retry = RetryPolicy::default();
+        let mut next_event = 0usize;
+        let mut poisoned: Vec<u64> = Vec::new();
+        let mut pressure: Option<(f64, u64)> = None;
+        let mut failed = 0u32;
+        let mut retries = 0u32;
+        let mut faults_injected = 0u32;
+
+        'serve: while completed + rejected + failed < total {
+            // --- Fault activation (anchored to the decode-step clock) ---
+            while let Some(ev) = plan.events().get(next_event) {
+                if ev.at_step > decode_steps {
+                    break;
+                }
+                faults_injected += 1;
+                next_event += 1;
+                match ev.kind {
+                    FaultKind::StepStall { extra } => {
+                        now += Seconds(extra.value().max(0.0));
+                    }
+                    FaultKind::TransientStepError { failures } => {
+                        if failures > retry.max_retries {
+                            // The live supervisor exhausts its retry
+                            // budget and fails the whole stuck batch.
+                            for idx in running.drain(..) {
+                                let r = &mut requests[idx];
+                                alloc.release(r.id);
+                                r.state = RequestState::Failed;
+                                failed += 1;
+                            }
+                        } else {
+                            for attempt in 1..=failures {
+                                now += retry.backoff(attempt, plan.seed ^ decode_steps);
+                                retries += 1;
+                            }
+                        }
+                    }
+                    FaultKind::RequestPoison { request } => poisoned.push(request),
+                    FaultKind::MemoryPressure {
+                        capacity_factor,
+                        steps,
+                    } => pressure = Some((capacity_factor.clamp(0.01, 1.0), steps.max(1))),
+                    FaultKind::SchedulerPanic => {
+                        // The live analog: a contained scheduler death
+                        // resolves every outstanding request as failed.
+                        for idx in queue.drain(..) {
+                            requests[idx].state = RequestState::Failed;
+                            failed += 1;
+                        }
+                        for idx in running.drain(..) {
+                            let r = &mut requests[idx];
+                            alloc.release(r.id);
+                            r.state = RequestState::Failed;
+                            failed += 1;
+                        }
+                        break 'serve;
+                    }
+                }
+            }
+            // --- Poison eviction: victims die once (and only once they
+            //     are actually decoding) ---
+            if !poisoned.is_empty() {
+                let mut i = 0;
+                while i < running.len() {
+                    let id = requests[running[i]].id;
+                    if let Some(pos) = poisoned.iter().position(|&p| p == id) {
+                        poisoned.swap_remove(pos);
+                        let idx = running.swap_remove(i);
+                        let r = &mut requests[idx];
+                        alloc.release(r.id);
+                        r.state = RequestState::Failed;
+                        failed += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             // --- Admission ---
             let may_admit = match self.config.policy {
                 BatchingPolicy::Continuous => true,
@@ -141,6 +251,15 @@ impl ServingSimulator {
                     let Some(&idx) = queue.front() else { break };
                     if requests[idx].arrival.value() > now.value() {
                         break;
+                    }
+                    // Under a memory-pressure window the pool is
+                    // temporarily shrunk: hold admissions that would push
+                    // utilization past the factor (existing sequences are
+                    // unaffected, exactly like the live KvBudget).
+                    if let Some((factor, _)) = pressure {
+                        if alloc.stats().utilization() >= factor {
+                            break;
+                        }
                     }
                     let req = &requests[idx];
                     if !alloc.can_admit(req.max_context()) {
@@ -274,6 +393,11 @@ impl ServingSimulator {
             peak_util,
             preemptions,
             rejected,
+            FaultTally {
+                failed,
+                retries,
+                faults_injected,
+            },
         )
     }
 
@@ -287,6 +411,7 @@ impl ServingSimulator {
         peak_kv_utilization: f64,
         preemptions: u32,
         rejected: u32,
+        faults: FaultTally,
     ) -> ServingReport {
         let finished: Vec<&Request> = requests
             .iter()
@@ -335,8 +460,18 @@ impl ServingSimulator {
             preemptions,
             rejected,
             decode_steps,
+            failed: faults.failed,
+            retries: faults.retries,
+            faults_injected: faults.faults_injected,
         }
     }
+}
+
+/// Fault counters threaded from the serving loop into the report.
+struct FaultTally {
+    failed: u32,
+    retries: u32,
+    faults_injected: u32,
 }
 
 #[cfg(test)]
@@ -479,6 +614,79 @@ mod tests {
             .run(reqs, &perf(1));
         assert_eq!(rep.rejected, 1);
         assert_eq!(rep.completed, 0);
+    }
+
+    #[test]
+    fn fault_plan_replays_on_the_simulated_clock() {
+        use llmib_types::{FaultEvent, FaultPlan};
+        let reqs = ArrivalPattern::Burst.generate(8, 128, 16);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let healthy = sim.run(reqs.clone(), &perf(8));
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at_step: 2,
+                kind: FaultKind::StepStall {
+                    extra: Seconds(0.5),
+                },
+            },
+            FaultEvent {
+                at_step: 4,
+                kind: FaultKind::TransientStepError { failures: 2 },
+            },
+            FaultEvent {
+                at_step: 6,
+                kind: FaultKind::RequestPoison { request: 3 },
+            },
+        ]);
+        let faulted = sim.run_with_faults(reqs, &perf(8), &plan);
+        assert_eq!(faulted.faults_injected, 3);
+        assert_eq!(faulted.failed, 1, "the poisoned request dies");
+        assert_eq!(faulted.completed, 7, "everyone else completes");
+        assert_eq!(faulted.retries, 2);
+        assert!(
+            faulted.makespan.value() > healthy.makespan.value() + 0.5,
+            "the stall and the backoffs lengthen the run ({} vs {})",
+            faulted.makespan.value(),
+            healthy.makespan.value()
+        );
+    }
+
+    #[test]
+    fn simulated_scheduler_panic_fails_all_outstanding() {
+        use llmib_types::{FaultEvent, FaultPlan};
+        let reqs = ArrivalPattern::Burst.generate(6, 128, 64);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 3,
+            kind: FaultKind::SchedulerPanic,
+        }]);
+        let rep = sim.run_with_faults(reqs, &perf(8), &plan);
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.failed, 6, "every outstanding request resolves failed");
+        assert_eq!(rep.decode_steps, 3, "death is anchored to the step clock");
+    }
+
+    #[test]
+    fn memory_pressure_throttles_admission_but_run_recovers() {
+        use llmib_types::{FaultEvent, FaultPlan};
+        let reqs = ArrivalPattern::Burst.generate(8, 128, 32);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 4096, Some(16)));
+        let healthy = sim.run(reqs.clone(), &perf(8));
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::MemoryPressure {
+                capacity_factor: 0.1,
+                steps: 8,
+            },
+        }]);
+        let faulted = sim.run_with_faults(reqs, &perf(8), &plan);
+        assert_eq!(faulted.completed, 8, "pressure delays, never kills");
+        assert!(
+            faulted.mean_batch_occupancy <= healthy.mean_batch_occupancy,
+            "throttled admission cannot raise occupancy ({} vs {})",
+            faulted.mean_batch_occupancy,
+            healthy.mean_batch_occupancy
+        );
     }
 
     #[test]

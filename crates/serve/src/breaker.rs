@@ -1,0 +1,317 @@
+//! Circuit-breaker admission control.
+//!
+//! A rolling window over recent decode steps classifies each as healthy
+//! or breaching (step latency over the SLO, a transient device error, a
+//! watchdog stall). When the breach fraction trips the threshold the
+//! breaker *opens*: admissions drop to a degraded concurrency floor so
+//! the already-stressed engine stops taking on new work — load-response
+//! curves stay meaningful because the system sheds instead of
+//! collapsing. After a cooldown the breaker goes *half-open* and probes
+//! with partial concurrency; a run of healthy steps closes it again,
+//! another breach re-opens it.
+//!
+//! Already-admitted sequences are never evicted by the breaker — it
+//! only lowers the *effective* concurrency cap used at admission.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker configuration.
+///
+/// Disabled by default: a meaningful [`BreakerConfig::step_latency_slo`]
+/// is workload- and hardware-specific, and a breaker armed with an
+/// arbitrary default would throttle healthy benchmark runs on noisy
+/// machines. Enable it explicitly with an SLO chosen for the workload.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Master switch; disabled means the configured concurrency is
+    /// always used.
+    pub enabled: bool,
+    /// Rolling window length, in recorded step samples.
+    pub window: usize,
+    /// A step slower than this is a breach sample.
+    pub step_latency_slo: Duration,
+    /// Breach fraction of the window at which the breaker opens.
+    pub trip_fraction: f64,
+    /// Minimum samples in the window before it may trip (prevents one
+    /// slow warm-up step from opening the breaker).
+    pub min_samples: usize,
+    /// How long the breaker stays open before probing half-open.
+    pub open_cooldown: Duration,
+    /// Consecutive healthy steps in half-open required to close.
+    pub half_open_recovery_steps: u32,
+    /// Effective concurrency while open (the degraded floor; >= 1 so
+    /// the queue keeps draining and the breaker can observe recovery).
+    pub degraded_concurrency: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window: 16,
+            step_latency_slo: Duration::from_millis(50),
+            trip_fraction: 0.5,
+            min_samples: 4,
+            open_cooldown: Duration::from_millis(100),
+            half_open_recovery_steps: 8,
+            degraded_concurrency: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("breaker window must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.trip_fraction) || self.trip_fraction == 0.0 {
+            return Err("breaker trip_fraction must be in (0, 1]".into());
+        }
+        if self.degraded_concurrency == 0 {
+            return Err("breaker degraded_concurrency must be > 0 (or the queue deadlocks)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Breaker state, exposed for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BreakerState {
+    /// Healthy: full concurrency.
+    Closed,
+    /// Tripped: degraded floor until the cooldown elapses.
+    Open,
+    /// Probing recovery with partial concurrency.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// `true` entries are breach samples.
+    window: VecDeque<bool>,
+    open_until: Option<Instant>,
+    half_open_healthy: u32,
+    /// Times the breaker tripped open (re-opens from half-open count).
+    pub opened: u32,
+    /// Steps recorded while not closed.
+    pub degraded_steps: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            open_until: None,
+            half_open_healthy: 0,
+            opened: 0,
+            degraded_steps: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Advance time-based transitions (open → half-open). Called every
+    /// scheduler iteration so an empty batch cannot freeze the breaker.
+    pub fn tick(&mut self, now: Instant) {
+        if self.state == BreakerState::Open && self.open_until.is_some_and(|until| now >= until) {
+            self.state = BreakerState::HalfOpen;
+            self.half_open_healthy = 0;
+        }
+    }
+
+    /// Record a completed decode step. `breach` additionally marks the
+    /// sample unhealthy regardless of latency (e.g. a watchdog stall).
+    pub fn record_step(&mut self, latency: Duration, breach: bool, now: Instant) {
+        let breach = breach || latency > self.cfg.step_latency_slo;
+        self.record_sample(breach, now);
+    }
+
+    /// Record a failed step attempt (transient device error).
+    pub fn record_failure(&mut self, now: Instant) {
+        self.record_sample(true, now);
+    }
+
+    fn record_sample(&mut self, breach: bool, now: Instant) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if self.state != BreakerState::Closed {
+            self.degraded_steps += 1;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                self.window.push_back(breach);
+                while self.window.len() > self.cfg.window {
+                    self.window.pop_front();
+                }
+                let breaches = self.window.iter().filter(|&&b| b).count();
+                if self.window.len() >= self.cfg.min_samples
+                    && breaches as f64 >= self.cfg.trip_fraction * self.window.len() as f64
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::Open => {
+                // Steps of already-admitted sequences keep running; they
+                // neither extend nor shorten the cooldown.
+            }
+            BreakerState::HalfOpen => {
+                if breach {
+                    self.trip(now);
+                } else {
+                    self.half_open_healthy += 1;
+                    if self.half_open_healthy >= self.cfg.half_open_recovery_steps {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                        self.open_until = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened += 1;
+        self.open_until = Some(now + self.cfg.open_cooldown);
+        self.window.clear();
+        self.half_open_healthy = 0;
+    }
+
+    /// The concurrency cap admissions should honor right now.
+    pub fn effective_concurrency(&self, configured: usize) -> usize {
+        if !self.cfg.enabled {
+            return configured;
+        }
+        match self.state {
+            BreakerState::Closed => configured,
+            BreakerState::Open => self.cfg.degraded_concurrency.min(configured),
+            // Probe with half the configured cap (at least the floor) so
+            // recovery is observable without slamming the engine.
+            BreakerState::HalfOpen => (configured / 2)
+                .max(self.cfg.degraded_concurrency)
+                .min(configured),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            window: 8,
+            min_samples: 4,
+            trip_fraction: 0.5,
+            step_latency_slo: Duration::from_millis(10),
+            open_cooldown: Duration::from_millis(5),
+            half_open_recovery_steps: 3,
+            ..BreakerConfig::default()
+        }
+    }
+
+    #[test]
+    fn trips_on_sustained_breach_and_recovers_via_half_open() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        let slow = Duration::from_millis(20);
+        let fast = Duration::from_micros(100);
+        assert_eq!(b.effective_concurrency(8), 8);
+        for _ in 0..4 {
+            b.record_step(slow, false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened, 1);
+        assert_eq!(b.effective_concurrency(8), 1, "degraded floor");
+        // Cooldown elapses → half-open probing at partial concurrency.
+        b.tick(t0 + Duration::from_millis(6));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.effective_concurrency(8), 4);
+        for _ in 0..3 {
+            b.record_step(fast, false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.effective_concurrency(8), 8);
+        assert!(b.degraded_steps > 0);
+    }
+
+    #[test]
+    fn half_open_breach_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record_failure(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        b.tick(t0 + Duration::from_millis(6));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_step(
+            Duration::from_millis(20),
+            false,
+            t0 + Duration::from_millis(6),
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened, 2);
+    }
+
+    #[test]
+    fn below_min_samples_never_trips() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_step(Duration::from_millis(20), false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn watchdog_breach_flag_counts_even_when_fast() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.record_step(Duration::from_micros(1), true, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn disabled_breaker_is_transparent() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            enabled: false,
+            ..cfg()
+        });
+        let t0 = Instant::now();
+        for _ in 0..32 {
+            b.record_failure(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.effective_concurrency(8), 8);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        for breakit in [
+            &mut |c: &mut BreakerConfig| c.window = 0,
+            &mut |c: &mut BreakerConfig| c.trip_fraction = 0.0,
+            &mut |c: &mut BreakerConfig| c.trip_fraction = 1.5,
+            &mut |c: &mut BreakerConfig| c.degraded_concurrency = 0,
+        ] as [&mut dyn FnMut(&mut BreakerConfig); 4]
+        {
+            let mut c = BreakerConfig::default();
+            breakit(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -13,12 +13,39 @@
 
 use llmib_sched::{KvAllocator, MonolithicAllocator, PagedAllocator};
 use std::collections::HashMap;
+use std::fmt;
+
+/// The KV reservation invariant was violated: an append failed for a
+/// sequence whose maximum context was reserved at admission. This is an
+/// accounting bug, but it must fail only the offending request (typed,
+/// counted in the report) — never abort the process mid-serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    /// The sequence whose append failed.
+    pub id: u64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KV reservation invariant violated: append failed for admitted sequence {}",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 pub(crate) struct KvBudget {
     alloc: Box<dyn KvAllocator + Send>,
     capacity_tokens: u64,
     block_tokens: u64,
     reserved_tokens: u64,
+    /// Fraction of the pool usable for *new* admissions (1.0 = healthy).
+    /// Lowered under injected or real memory pressure; existing
+    /// reservations are never revoked.
+    pressure_factor: f64,
     costs: HashMap<u64, u64>,
 }
 
@@ -36,8 +63,26 @@ impl KvBudget {
             capacity_tokens,
             block_tokens,
             reserved_tokens: 0,
+            pressure_factor: 1.0,
             costs: HashMap::new(),
         }
+    }
+
+    /// Set the fraction of the pool available to new admissions
+    /// (clamped to (0, 1]). Under pressure, admission throttles;
+    /// sequences already holding reservations are unaffected.
+    pub fn set_pressure_factor(&mut self, factor: f64) {
+        self.pressure_factor = factor.clamp(f64::MIN_POSITIVE, 1.0);
+    }
+
+    /// Whether admissions are currently throttled by memory pressure.
+    pub fn under_pressure(&self) -> bool {
+        self.pressure_factor < 1.0
+    }
+
+    /// Capacity usable for new admissions right now.
+    fn effective_capacity(&self) -> u64 {
+        (self.capacity_tokens as f64 * self.pressure_factor).floor() as u64
     }
 
     /// Reservation cost of a sequence: max context rounded up to blocks.
@@ -55,7 +100,7 @@ impl KvBudget {
     /// (pool unchanged) if the reservation does not fit right now.
     pub fn try_admit(&mut self, id: u64, max_context: u32, prompt_tokens: u32) -> bool {
         let cost = self.cost(max_context);
-        if self.reserved_tokens + cost > self.capacity_tokens {
+        if self.reserved_tokens + cost > self.effective_capacity() {
             return false;
         }
         if !self.alloc.can_admit(max_context) || self.alloc.admit(id, max_context).is_err() {
@@ -74,11 +119,11 @@ impl KvBudget {
     }
 
     /// Account one decoded token. Infallible under the reservation
-    /// discipline; a failure indicates an accounting bug.
-    pub fn append_one(&mut self, id: u64) {
-        self.alloc
-            .append(id, 1)
-            .expect("KV reservation invariant violated: append failed for admitted sequence");
+    /// discipline; a failure indicates an accounting bug and is returned
+    /// as a typed [`BudgetError`] so the scheduler can fail the one
+    /// offending request instead of aborting the whole process.
+    pub fn append_one(&mut self, id: u64) -> Result<(), BudgetError> {
+        self.alloc.append(id, 1).map_err(|_| BudgetError { id })
     }
 
     /// Release a finished sequence's reservation.
@@ -121,10 +166,36 @@ mod tests {
         let mut b = KvBudget::new(64, Some(16));
         assert!(b.try_admit(1, 64, 32));
         for _ in 0..32 {
-            b.append_one(1);
+            b.append_one(1).expect("within reservation");
         }
         b.release(1);
         assert!(b.is_idle());
+    }
+
+    #[test]
+    fn accounting_violation_is_a_typed_error_not_an_abort() {
+        let mut b = KvBudget::new(32, Some(16));
+        // Appending for a sequence that was never admitted is exactly the
+        // accounting bug the typed error exists for.
+        let err = b.append_one(99).expect_err("unknown sequence");
+        assert_eq!(err.id, 99);
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn memory_pressure_throttles_new_admissions_only() {
+        let mut b = KvBudget::new(100, Some(10));
+        assert!(b.try_admit(1, 40, 10));
+        // Pool shrinks to half: 40 reserved + 40 new > 50 effective.
+        b.set_pressure_factor(0.5);
+        assert!(b.under_pressure());
+        assert!(!b.try_admit(2, 40, 10));
+        // The existing reservation keeps appending fine.
+        b.append_one(1).expect("existing reservation unaffected");
+        // Pressure lifts: the admission fits again.
+        b.set_pressure_factor(1.0);
+        assert!(!b.under_pressure());
+        assert!(b.try_admit(2, 40, 10));
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Client-side handles: submit requests, stream tokens back.
+//! Client-side handles: submit requests, stream tokens back, cancel.
 
-use crate::event::{RejectReason, RequestOutcome, ServeEvent};
+use crate::event::{FailReason, RequestOutcome, ServeEvent};
 use crate::server::Submission;
 use llmib_engine::Sampler;
 use llmib_types::Seconds;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,8 +19,8 @@ pub struct SubmitOptions {
     pub sampler: Sampler,
     /// Admission deadline, relative to submission: if the request is
     /// still queued when it expires, the scheduler sheds it with
-    /// [`RejectReason::DeadlineExpired`]. Admitted requests always run
-    /// to completion.
+    /// [`crate::RejectReason::DeadlineExpired`]. Admitted requests always run
+    /// to completion (unless a fault or a cancellation kills them).
     pub deadline: Option<Duration>,
 }
 
@@ -51,10 +51,11 @@ pub enum SubmitError {
 /// A cloneable submission endpoint for one [`crate::Server`]. Any number
 /// of client threads may hold one and submit concurrently; each
 /// submission streams its events back through its own
-/// [`PendingRequest`] handle.
+/// [`RequestHandle`].
 #[derive(Clone)]
 pub struct Client {
     pub(crate) ingress: SyncSender<Submission>,
+    pub(crate) control: Sender<u64>,
     pub(crate) accepting: Arc<AtomicBool>,
     pub(crate) next_id: Arc<AtomicU64>,
     pub(crate) epoch: Instant,
@@ -68,7 +69,7 @@ impl Client {
         &self,
         prompt: Vec<usize>,
         opts: SubmitOptions,
-    ) -> Result<PendingRequest, SubmitError> {
+    ) -> Result<RequestHandle, SubmitError> {
         if prompt.is_empty() || opts.max_new_tokens == 0 {
             return Err(SubmitError::InvalidRequest);
         }
@@ -91,9 +92,10 @@ impl Client {
             events: events_tx,
         };
         match self.ingress.try_send(sub) {
-            Ok(()) => Ok(PendingRequest {
+            Ok(()) => Ok(RequestHandle {
                 id,
                 events: events_rx,
+                control: self.control.clone(),
             }),
             Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
@@ -102,39 +104,87 @@ impl Client {
 }
 
 /// The client end of one in-flight request: a stream of
-/// [`ServeEvent`]s.
-pub struct PendingRequest {
+/// [`ServeEvent`]s plus a cancellation switch.
+pub struct RequestHandle {
     /// Request id assigned at submission.
     pub id: u64,
     events: Receiver<ServeEvent>,
+    control: Sender<u64>,
 }
 
-impl PendingRequest {
+/// Former name of [`RequestHandle`].
+pub type PendingRequest = RequestHandle;
+
+impl RequestHandle {
+    /// Ask the scheduler to cancel this request. Takes effect at the
+    /// next loop boundary: a queued request is removed from the queue, a
+    /// mid-decode request is evicted from the batch and its KV
+    /// reservation freed; either way the stream terminates with a
+    /// [`ServeEvent::Cancelled`] event. Cancelling a request that
+    /// already finished (or a dead server) is a harmless no-op.
+    pub fn cancel(&self) {
+        let _ = self.control.send(self.id);
+    }
+
     /// Block for the next event; `None` once the stream is exhausted.
     pub fn next_event(&self) -> Option<ServeEvent> {
         self.events.recv().ok()
     }
 
     /// Drain the stream to its terminal event and collect the outcome.
+    /// Never hangs on a dead scheduler: a dropped event channel resolves
+    /// as [`RequestOutcome::Failed`] with [`FailReason::ServerFailed`].
     pub fn wait(self) -> RequestOutcome {
+        let deadline = None;
+        self.wait_inner(deadline)
+            .expect("no deadline, only terminal outcomes")
+    }
+
+    /// Like [`RequestHandle::wait`], but gives up after `timeout` and
+    /// returns `None` (the request stays in flight). Chaos tests use
+    /// this to assert that every submission resolves within a bound.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<RequestOutcome> {
+        self.wait_inner(Some(Instant::now() + timeout))
+    }
+
+    fn wait_inner(self, deadline: Option<Instant>) -> Option<RequestOutcome> {
         let mut tokens = Vec::new();
         loop {
-            match self.events.recv() {
+            let next = match deadline {
+                None => self
+                    .events
+                    .recv()
+                    .map_err(|_| RecvTimeoutError::Disconnected),
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    self.events.recv_timeout(left)
+                }
+            };
+            match next {
                 Ok(ServeEvent::Admitted { .. }) => {}
                 Ok(ServeEvent::Token { token, .. }) => tokens.push(token),
                 Ok(ServeEvent::Finished { metrics }) => {
-                    return RequestOutcome::Completed { tokens, metrics }
+                    return Some(RequestOutcome::Completed { tokens, metrics })
                 }
                 Ok(ServeEvent::Rejected { reason, .. }) => {
-                    return RequestOutcome::Rejected { reason }
+                    return Some(RequestOutcome::Rejected { reason })
                 }
-                // Scheduler gone without a terminal event: surface an
-                // explicit rejection rather than hanging or panicking.
-                Err(_) => {
-                    return RequestOutcome::Rejected {
-                        reason: RejectReason::Internal,
-                    }
+                Ok(ServeEvent::Failed { reason, .. }) => {
+                    return Some(RequestOutcome::Failed { reason, tokens })
                 }
+                Ok(ServeEvent::Cancelled { .. }) => {
+                    return Some(RequestOutcome::Cancelled { tokens })
+                }
+                // Scheduler gone without a terminal event (panic or early
+                // exit dropped the sender): surface an explicit server
+                // failure rather than hanging or panicking.
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Some(RequestOutcome::Failed {
+                        reason: FailReason::ServerFailed,
+                        tokens,
+                    })
+                }
+                Err(RecvTimeoutError::Timeout) => return None,
             }
         }
     }

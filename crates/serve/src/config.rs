@@ -1,13 +1,17 @@
 //! Serving-runtime configuration.
 
+use crate::breaker::BreakerConfig;
 use llmib_sched::BatchingPolicy;
-use llmib_types::{Error, Result};
+use llmib_types::{Error, FaultPlan, Result, RetryPolicy};
+use std::time::Duration;
 
 /// Configuration of a live [`crate::Server`].
 ///
-/// The knobs mirror [`llmib_sched::SimConfig`] on purpose: the
-/// cross-validation harness runs the same configuration through the
+/// The scheduling knobs mirror [`llmib_sched::SimConfig`] on purpose:
+/// the cross-validation harness runs the same configuration through the
 /// discrete-event simulator and the live runtime and compares shapes.
+/// The resilience knobs (retry, breaker, watchdog, fault plan) drive the
+/// supervision layer added around the engine-step boundary.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// How queued requests join the running batch. `Continuous` admits
@@ -29,6 +33,25 @@ pub struct ServeConfig {
     /// submit time ([`crate::SubmitError::QueueFull`]) — overload sheds
     /// instead of buffering without limit.
     pub queue_capacity: usize,
+    /// Retry policy for transient step errors: capped exponential
+    /// backoff with deterministic jitter. When the budget is exhausted
+    /// the stuck batch is failed (every live request gets a
+    /// [`crate::FailReason::RetriesExhausted`] event) and the server
+    /// keeps serving.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker admission control over a rolling step-health
+    /// window.
+    pub breaker: BreakerConfig,
+    /// A decode step slower than this counts as a watchdog stall: it is
+    /// tallied in the report and fed to the breaker as a breach sample.
+    /// `None` disables the watchdog. (Single-threaded detection: a
+    /// stalled step is observed when it returns, not interrupted.)
+    pub watchdog_step_timeout: Option<Duration>,
+    /// Deterministic fault schedule injected at the engine-step
+    /// boundary. Empty (the default) serves healthily; chaos tests and
+    /// drills replay seeded plans. The plan's seed also drives the
+    /// retry jitter.
+    pub fault_plan: FaultPlan,
 }
 
 impl ServeConfig {
@@ -48,6 +71,10 @@ impl ServeConfig {
         if self.kv_block_tokens == Some(0) {
             return Err(Error::InvalidConfig("kv block size must be > 0".into()));
         }
+        if self.retry.base_backoff.value() < 0.0 || self.retry.max_backoff.value() < 0.0 {
+            return Err(Error::InvalidConfig("backoff must be non-negative".into()));
+        }
+        self.breaker.validate().map_err(Error::InvalidConfig)?;
         Ok(())
     }
 }
@@ -60,6 +87,10 @@ impl Default for ServeConfig {
             kv_capacity_tokens: 1 << 16,
             kv_block_tokens: Some(16),
             queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            watchdog_step_timeout: Some(Duration::from_millis(250)),
+            fault_plan: FaultPlan::empty(),
         }
     }
 }
@@ -67,6 +98,7 @@ impl Default for ServeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use llmib_types::Seconds;
 
     #[test]
     fn default_config_is_valid() {
@@ -80,7 +112,9 @@ mod tests {
             &mut |c: &mut ServeConfig| c.queue_capacity = 0,
             &mut |c: &mut ServeConfig| c.kv_capacity_tokens = 0,
             &mut |c: &mut ServeConfig| c.kv_block_tokens = Some(0),
-        ] as [&mut dyn FnMut(&mut ServeConfig); 4]
+            &mut |c: &mut ServeConfig| c.retry.base_backoff = Seconds(-1.0),
+            &mut |c: &mut ServeConfig| c.breaker.degraded_concurrency = 0,
+        ] as [&mut dyn FnMut(&mut ServeConfig); 6]
         {
             let mut c = ServeConfig::default();
             breakit(&mut c);

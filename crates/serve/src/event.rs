@@ -22,6 +22,29 @@ pub enum RejectReason {
     Internal,
 }
 
+/// Why an *admitted* request died before completing. Unlike
+/// [`RejectReason`] (refusals before service), a failure terminates a
+/// request that was already consuming engine and KV resources — its
+/// partial token stream remains valid, the tail is simply missing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FailReason {
+    /// The request was deterministically failing (fault-injected poison
+    /// or a device fault pinned to this sequence); the supervisor
+    /// evicted it so the rest of the batch could continue.
+    Poisoned,
+    /// Transient step errors persisted past the retry budget
+    /// ([`llmib_types::RetryPolicy::max_retries`]); every live request
+    /// in the stuck batch was failed so the server could keep serving.
+    RetriesExhausted,
+    /// The KV reservation invariant was violated for this request
+    /// (accounting bug surfaced as a typed error instead of a process
+    /// abort); only this request was failed.
+    KvAccounting,
+    /// The scheduler thread died (contained panic or early exit); every
+    /// outstanding request resolves with this instead of hanging.
+    ServerFailed,
+}
+
 /// One event in a request's server-side life, streamed to its
 /// [`crate::PendingRequest`] handle as it happens. Timestamps are
 /// seconds since the server started.
@@ -51,6 +74,19 @@ pub enum ServeEvent {
         /// When the decision was made.
         at: Seconds,
     },
+    /// The request was admitted but died before completing; any tokens
+    /// streamed before this event are valid, the tail is missing.
+    Failed {
+        /// Why it died.
+        reason: FailReason,
+        /// When the supervisor failed it.
+        at: Seconds,
+    },
+    /// The request was cancelled by its client (queued or mid-decode).
+    Cancelled {
+        /// When the cancellation took effect.
+        at: Seconds,
+    },
 }
 
 /// Terminal result of one request, as collected by
@@ -69,6 +105,19 @@ pub enum RequestOutcome {
         /// Why it was refused.
         reason: RejectReason,
     },
+    /// Admitted, then killed by a fault before completing.
+    Failed {
+        /// Why it died.
+        reason: FailReason,
+        /// Tokens streamed before the failure (a valid prefix of the
+        /// fault-free stream).
+        tokens: Vec<usize>,
+    },
+    /// Cancelled by the client.
+    Cancelled {
+        /// Tokens streamed before the cancellation took effect.
+        tokens: Vec<usize>,
+    },
 }
 
 impl RequestOutcome {
@@ -76,7 +125,7 @@ impl RequestOutcome {
     pub fn tokens(&self) -> Option<&[usize]> {
         match self {
             RequestOutcome::Completed { tokens, .. } => Some(tokens),
-            RequestOutcome::Rejected { .. } => None,
+            _ => None,
         }
     }
 
@@ -84,7 +133,7 @@ impl RequestOutcome {
     pub fn metrics(&self) -> Option<&RequestMetrics> {
         match self {
             RequestOutcome::Completed { metrics, .. } => Some(metrics),
-            RequestOutcome::Rejected { .. } => None,
+            _ => None,
         }
     }
 }

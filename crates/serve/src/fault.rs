@@ -1,0 +1,340 @@
+//! Deterministic fault injection at the engine-step boundary.
+//!
+//! [`FaultInjector`] wraps any [`EngineStep`] (in production the real
+//! [`llmib_engine::BatchSession`]) and replays a [`FaultPlan`] against
+//! it: stalls sleep before the step, transient errors fail the step
+//! attempt *without* running it (so a retry reproduces the exact same
+//! tokens), poisons surface as [`StepError::Poisoned`] until the
+//! supervisor evicts the victim, memory pressure shrinks the effective
+//! KV pool seen by admission, and a planned scheduler panic fires a real
+//! `panic!` for the supervision layer to contain.
+//!
+//! Faults are anchored to successful-step indices, which both the live
+//! runtime and the `llmib-sched` simulator count identically — the same
+//! plan therefore describes the same chaos scenario in both.
+
+use llmib_engine::{EngineStep, Sampler, TokenEvent};
+use llmib_types::{FaultKind, FaultPlan, Result, StepError};
+use serde::Serialize;
+use std::time::Duration;
+
+/// What the injector actually fired, for the robustness report.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FaultCounters {
+    /// Total faults activated.
+    pub injected: u32,
+    /// Latency-spike stalls slept.
+    pub stalls: u32,
+    /// Transient step failures returned.
+    pub transients: u32,
+    /// Requests poisoned.
+    pub poisons: u32,
+    /// Memory-pressure windows applied.
+    pub pressures: u32,
+}
+
+/// A fault-injecting decorator over an [`EngineStep`].
+#[derive(Debug)]
+pub(crate) struct FaultInjector<S> {
+    inner: S,
+    plan: FaultPlan,
+    /// Index into the plan's (step-ordered) events of the next
+    /// not-yet-activated event.
+    next_event: usize,
+    /// Successful steps completed so far — the fault clock.
+    steps_done: u64,
+    /// Stall seconds to sleep before the next successful step.
+    pending_stall: f64,
+    /// Remaining consecutive transient failures to return.
+    pending_transients: u32,
+    /// Poisoned request ids that have not yet been surfaced.
+    poisoned: Vec<u64>,
+    /// Active pressure window: (capacity factor, steps remaining).
+    pressure: Option<(f64, u64)>,
+    /// A planned scheduler panic is due.
+    panic_armed: bool,
+    pub counters: FaultCounters,
+}
+
+impl<S: EngineStep> FaultInjector<S> {
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            next_event: 0,
+            steps_done: 0,
+            pending_stall: 0.0,
+            pending_transients: 0,
+            poisoned: Vec::new(),
+            pressure: None,
+            panic_armed: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Activate every planned event whose anchor step has been reached.
+    fn activate_due(&mut self) {
+        while let Some(ev) = self.plan.events().get(self.next_event) {
+            if ev.at_step > self.steps_done {
+                break;
+            }
+            self.counters.injected += 1;
+            match ev.kind {
+                FaultKind::StepStall { extra } => {
+                    self.pending_stall += extra.value().max(0.0);
+                    self.counters.stalls += 1;
+                }
+                FaultKind::TransientStepError { failures } => {
+                    self.pending_transients += failures;
+                    self.counters.transients += 1;
+                }
+                FaultKind::RequestPoison { request } => {
+                    self.poisoned.push(request);
+                    self.counters.poisons += 1;
+                }
+                FaultKind::MemoryPressure {
+                    capacity_factor,
+                    steps,
+                } => {
+                    self.pressure = Some((capacity_factor.clamp(0.01, 1.0), steps.max(1)));
+                    self.counters.pressures += 1;
+                }
+                FaultKind::SchedulerPanic => {
+                    self.panic_armed = true;
+                }
+            }
+            self.next_event += 1;
+        }
+    }
+
+    /// Effective KV-capacity factor admission should honor right now
+    /// (1.0 when no pressure window is active).
+    pub fn kv_pressure(&mut self) -> f64 {
+        // Pressure windows anchored to the current step must be visible
+        // to the admission pass that *precedes* the step.
+        self.activate_due();
+        self.pressure.map_or(1.0, |(factor, _)| factor)
+    }
+}
+
+impl<S: EngineStep> EngineStep for FaultInjector<S> {
+    fn admit(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<()> {
+        self.inner.admit(id, prompt, max_new_tokens, sampler)
+    }
+
+    fn try_step(&mut self) -> std::result::Result<Vec<TokenEvent>, StepError> {
+        self.activate_due();
+        if self.panic_armed {
+            panic!(
+                "injected fault: scheduler panic at step {}",
+                self.steps_done
+            );
+        }
+        // Poison outranks transient errors: the victim must be evicted
+        // before the batch can make progress, and each poisoned id is
+        // surfaced exactly once.
+        let live = self.inner.live_ids();
+        if let Some(pos) = self.poisoned.iter().position(|id| live.contains(id)) {
+            let request = self.poisoned.swap_remove(pos);
+            return Err(StepError::Poisoned { request });
+        }
+        if self.pending_transients > 0 {
+            self.pending_transients -= 1;
+            return Err(StepError::Transient);
+        }
+        if self.pending_stall > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(self.pending_stall));
+            self.pending_stall = 0.0;
+        }
+        let events = self.inner.try_step()?;
+        self.steps_done += 1;
+        if let Some((factor, steps)) = self.pressure {
+            self.pressure = (steps > 1).then_some((factor, steps - 1));
+        }
+        Ok(events)
+    }
+
+    fn evict(&mut self, id: u64) -> bool {
+        // A request evicted for any reason can no longer be poisoned.
+        self.poisoned.retain(|&p| p != id);
+        self.inner.evict(id)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn live_ids(&self) -> Vec<u64> {
+        self.inner.live_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_types::{FaultEvent, Seconds};
+
+    /// A scripted stand-in engine: every admitted sequence emits its id
+    /// as the token each step until its budget runs out.
+    #[derive(Default)]
+    struct FakeEngine {
+        seqs: Vec<(u64, usize)>,
+    }
+
+    impl EngineStep for FakeEngine {
+        fn admit(
+            &mut self,
+            id: u64,
+            _prompt: &[usize],
+            max_new_tokens: usize,
+            _sampler: Sampler,
+        ) -> Result<()> {
+            self.seqs.push((id, max_new_tokens));
+            Ok(())
+        }
+
+        fn try_step(&mut self) -> std::result::Result<Vec<TokenEvent>, StepError> {
+            let events = self
+                .seqs
+                .iter_mut()
+                .map(|(id, remaining)| {
+                    *remaining -= 1;
+                    TokenEvent {
+                        seq: *id,
+                        token: *id as usize,
+                        finished: *remaining == 0,
+                    }
+                })
+                .collect();
+            self.seqs.retain(|&(_, remaining)| remaining > 0);
+            Ok(events)
+        }
+
+        fn evict(&mut self, id: u64) -> bool {
+            let before = self.seqs.len();
+            self.seqs.retain(|&(sid, _)| sid != id);
+            self.seqs.len() < before
+        }
+
+        fn len(&self) -> usize {
+            self.seqs.len()
+        }
+
+        fn live_ids(&self) -> Vec<u64> {
+            self.seqs.iter().map(|&(id, _)| id).collect()
+        }
+    }
+
+    #[test]
+    fn transient_fails_exactly_n_attempts_then_succeeds() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 1,
+            kind: FaultKind::TransientStepError { failures: 2 },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(7, &[1], 4, Sampler::Greedy).unwrap();
+        assert!(inj.try_step().is_ok()); // step 0 healthy
+        assert_eq!(inj.try_step(), Err(StepError::Transient));
+        assert_eq!(inj.try_step(), Err(StepError::Transient));
+        let ev = inj.try_step().expect("third attempt succeeds");
+        assert_eq!(ev[0].seq, 7);
+        assert_eq!(inj.counters.transients, 1);
+    }
+
+    #[test]
+    fn poison_surfaces_once_and_clears_on_evict() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::RequestPoison { request: 3 },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(3, &[1], 8, Sampler::Greedy).unwrap();
+        inj.admit(4, &[1], 8, Sampler::Greedy).unwrap();
+        assert_eq!(inj.try_step(), Err(StepError::Poisoned { request: 3 }));
+        assert!(inj.evict(3));
+        let ev = inj.try_step().expect("batch continues after eviction");
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].seq, 4);
+        assert_eq!(inj.counters.poisons, 1);
+    }
+
+    #[test]
+    fn poison_waits_until_victim_is_live() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::RequestPoison { request: 9 },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(1, &[1], 2, Sampler::Greedy).unwrap();
+        assert!(inj.try_step().is_ok(), "victim not live yet");
+        inj.admit(9, &[1], 2, Sampler::Greedy).unwrap();
+        assert_eq!(inj.try_step(), Err(StepError::Poisoned { request: 9 }));
+    }
+
+    #[test]
+    fn pressure_window_applies_then_expires() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::MemoryPressure {
+                capacity_factor: 0.5,
+                steps: 2,
+            },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(1, &[1], 8, Sampler::Greedy).unwrap();
+        assert_eq!(inj.kv_pressure(), 0.5);
+        inj.try_step().unwrap();
+        assert_eq!(inj.kv_pressure(), 0.5);
+        inj.try_step().unwrap();
+        assert_eq!(inj.kv_pressure(), 1.0, "window expired");
+        assert_eq!(inj.counters.pressures, 1);
+    }
+
+    #[test]
+    fn stall_sleeps_before_the_step() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::StepStall {
+                extra: Seconds(0.02),
+            },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(1, &[1], 2, Sampler::Greedy).unwrap();
+        let t0 = std::time::Instant::now();
+        inj.try_step().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(18), "stall slept");
+        let t1 = std::time::Instant::now();
+        inj.try_step().unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(18), "one-shot");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: scheduler panic")]
+    fn planned_panic_fires() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::SchedulerPanic,
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(1, &[1], 2, Sampler::Greedy).unwrap();
+        let _ = inj.try_step();
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let mut inj = FaultInjector::new(FakeEngine::default(), FaultPlan::empty());
+        inj.admit(5, &[1], 3, Sampler::Greedy).unwrap();
+        for _ in 0..3 {
+            assert!(inj.try_step().is_ok());
+        }
+        assert!(inj.is_empty());
+        assert_eq!(inj.counters.injected, 0);
+        assert_eq!(inj.kv_pressure(), 1.0);
+    }
+}

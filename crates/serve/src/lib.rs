@@ -28,6 +28,19 @@
 //! are refused on arrival, and shutdown drains queue and batch before
 //! the scheduler exits with an aggregate [`ServeReport`].
 //!
+//! Faults are handled by supervision, never by hanging: a seeded
+//! [`llmib_types::FaultPlan`] can be replayed at the engine-step
+//! boundary (stalls, transient errors, poisoned requests, memory
+//! pressure, scheduler panics), and the scheduler loop answers with
+//! capped-backoff retries, per-request eviction, a circuit breaker that
+//! sheds admissions while step health breaches the SLO
+//! ([`BreakerConfig`]), and panic containment that resolves every
+//! outstanding client with [`FailReason::ServerFailed`]. The
+//! [`RobustnessStats`] block of the report counts what happened, and
+//! [`ServeReport::reconciles`] checks that every submitted request got
+//! exactly one terminal answer. Clients can also walk away:
+//! [`RequestHandle::cancel`] kills a queued or mid-decode request.
+//!
 //! Because every engine path funnels through one dot kernel, the
 //! runtime changes *when* tokens are produced but never *which*:
 //! replaying a run's admission order through a plain
@@ -58,19 +71,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod budget;
 mod client;
 mod config;
 mod event;
+mod fault;
 mod replay;
 mod report;
 mod server;
 
-pub use client::{Client, PendingRequest, SubmitError, SubmitOptions};
+pub use breaker::{BreakerConfig, BreakerState};
+pub use budget::BudgetError;
+pub use client::{Client, PendingRequest, RequestHandle, SubmitError, SubmitOptions};
 pub use config::ServeConfig;
-pub use event::{RejectReason, RequestOutcome, ServeEvent};
+pub use event::{FailReason, RejectReason, RequestOutcome, ServeEvent};
+pub use fault::FaultCounters;
 pub use replay::{
     deterministic_prompt, replay_admission_order, replay_trace, ReplayOptions, ReplayedRequest,
 };
-pub use report::{RequestMetrics, ServeReport};
+pub use report::{RequestMetrics, RobustnessStats, ServeReport};
 pub use server::Server;

@@ -68,6 +68,41 @@ impl RequestMetrics {
     }
 }
 
+/// Robustness counters of one serving run: what went wrong, what the
+/// supervision layer did about it, and whether the run degraded
+/// gracefully. All zero on a healthy run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RobustnessStats {
+    /// Requests that reached scheduler intake. At shutdown this
+    /// reconciles: `submitted = completed + failed + cancelled +
+    /// shed_deadline + rejected_oversized` (see
+    /// [`ServeReport::reconciles`]).
+    pub submitted: u32,
+    /// Admitted requests killed by a fault (poison, retry exhaustion,
+    /// KV accounting failure).
+    pub failed: u32,
+    /// Requests cancelled by their client (queued or mid-decode).
+    pub cancelled: u32,
+    /// Transient-step retries performed (each slept one backoff).
+    pub retries: u32,
+    /// Mid-flight evictions (failed requests pulled out of the batch).
+    pub evictions: u32,
+    /// Steps that exceeded the watchdog timeout.
+    pub watchdog_stalls: u32,
+    /// Faults the injector activated from the plan.
+    pub faults_injected: u32,
+    /// KV reservation invariant violations (typed, per-request).
+    pub kv_accounting_failures: u32,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opened: u32,
+    /// Steps recorded while the breaker was not closed.
+    pub breaker_degraded_steps: u64,
+    /// The scheduler thread died (contained panic). Outstanding clients
+    /// were resolved with [`crate::FailReason::ServerFailed`]; the rest
+    /// of this report reflects only what the fallback could observe.
+    pub server_failed: bool,
+}
+
 /// Aggregate outcome of a serving run, returned by
 /// [`crate::Server::shutdown`]. Field-compatible in spirit with
 /// [`llmib_sched::ServingReport`] so the cross-validation harness can
@@ -108,9 +143,42 @@ pub struct ServeReport {
     /// Per-request metrics of every completed request, in completion
     /// order.
     pub per_request: Vec<RequestMetrics>,
+    /// Fault/retry/degradation counters of the run.
+    pub robustness: RobustnessStats,
 }
 
 impl ServeReport {
+    /// Whether the lifecycle counters account for every request that
+    /// reached the scheduler. Holds after a graceful shutdown; not
+    /// meaningful when [`RobustnessStats::server_failed`] is set (a dead
+    /// scheduler strands bookkeeping mid-flight by design).
+    pub fn reconciles(&self) -> bool {
+        self.robustness.submitted
+            == self.completed
+                + self.robustness.failed
+                + self.robustness.cancelled
+                + self.shed_deadline
+                + self.rejected_oversized
+    }
+
+    /// The report a contained scheduler death produces: no per-request
+    /// data survives the unwind, only the fact of the failure.
+    pub(crate) fn from_server_failure() -> Self {
+        let mut report = Self::from_parts(
+            Vec::new(),
+            0,
+            0,
+            Seconds(0.0),
+            0,
+            0.0,
+            0.0,
+            Vec::new(),
+            RobustnessStats::default(),
+        );
+        report.robustness.server_failed = true;
+        report
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         per_request: Vec<RequestMetrics>,
@@ -121,6 +189,7 @@ impl ServeReport {
         occupancy_acc: f64,
         peak_kv_utilization: f64,
         admission_order: Vec<u64>,
+        robustness: RobustnessStats,
     ) -> Self {
         let completed = per_request.len() as u32;
         let total_tokens: u64 = per_request
@@ -157,6 +226,7 @@ impl ServeReport {
             decode_steps,
             admission_order,
             per_request,
+            robustness,
         }
     }
 }
@@ -208,6 +278,10 @@ mod tests {
             250.0,
             0.5,
             (0..10).collect(),
+            RobustnessStats {
+                submitted: 13,
+                ..RobustnessStats::default()
+            },
         );
         assert_eq!(rep.completed, 10);
         assert_eq!(rep.shed_deadline, 2);
@@ -217,5 +291,34 @@ mod tests {
         assert!((rep.p99_latency.value() - 10.0).abs() < 1e-12);
         assert!((rep.mean_batch_occupancy - 2.5).abs() < 1e-12);
         assert_eq!(rep.admission_order.len(), 10);
+        assert!(rep.reconciles(), "10 + 2 + 1 = 13 submitted");
+    }
+
+    #[test]
+    fn reconciliation_counts_failures_and_cancellations() {
+        let rep = ServeReport::from_parts(
+            Vec::new(),
+            1,
+            0,
+            Seconds(1.0),
+            10,
+            10.0,
+            0.1,
+            Vec::new(),
+            RobustnessStats {
+                submitted: 4,
+                failed: 2,
+                cancelled: 1,
+                ..RobustnessStats::default()
+            },
+        );
+        assert!(rep.reconciles());
+    }
+
+    #[test]
+    fn server_failure_report_is_marked() {
+        let rep = ServeReport::from_server_failure();
+        assert!(rep.robustness.server_failed);
+        assert_eq!(rep.completed, 0);
     }
 }

@@ -1,32 +1,45 @@
-//! The serving runtime: a scheduler thread running the real engine.
+//! The serving runtime: a supervised scheduler thread running the real
+//! engine.
 //!
 //! Client threads submit through a bounded MPSC ingress; the scheduler
-//! thread owns a [`BatchSession`] over the model and loops
+//! thread owns a [`BatchSession`] (wrapped in a
+//! [`crate::fault::FaultInjector`] so chaos drills exercise the same
+//! code path as healthy serving) and loops
 //!
-//! 1. **intake** — drain the ingress (rejecting requests that can never
+//! 1. **tick** — advance the circuit breaker's wall-clock transitions,
+//! 2. **intake** — drain the ingress (rejecting requests that can never
 //!    fit the KV pool or the model context),
-//! 2. **shed** — drop queued requests whose deadlines expired,
-//! 3. **admit** — at this decode-step boundary, move queued requests
-//!    into the running batch while the concurrency cap and the KV-token
-//!    reservation ([`crate::budget`]) allow — continuous batching, or
-//!    only into an empty batch under [`BatchingPolicy::Static`],
-//! 4. **step** — one batched decode step; stream each token back to its
-//!    client with a wall-clock timestamp, retire finished sequences.
+//! 3. **cancel** — apply client cancellations (queued or mid-decode),
+//! 4. **shed** — drop queued requests whose deadlines expired,
+//! 5. **admit** — at this decode-step boundary, move queued requests
+//!    into the running batch while the *effective* concurrency cap
+//!    (lowered by the breaker under SLO breach) and the KV reservation
+//!    ([`crate::budget`], shrunk under memory pressure) allow,
+//! 6. **step** — one supervised decode step: transient errors retry
+//!    with capped exponential backoff, poisoned requests are evicted so
+//!    the rest of the batch survives, watchdog stalls and step latency
+//!    feed the breaker, tokens stream back wall-clock stamped.
 //!
-//! On shutdown the loop stops accepting, drains queue and batch, and
-//! returns the aggregate [`ServeReport`].
+//! The scheduler thread is panic-contained: if anything unwinds (for
+//! example an injected [`llmib_types::FaultKind::SchedulerPanic`]),
+//! every outstanding client resolves with
+//! [`crate::FailReason::ServerFailed`] instead of hanging, and
+//! [`Server::shutdown`] returns a report marked
+//! [`crate::RobustnessStats::server_failed`].
 
+use crate::breaker::CircuitBreaker;
 use crate::budget::KvBudget;
 use crate::client::Client;
 use crate::config::ServeConfig;
-use crate::event::{RejectReason, ServeEvent};
-use crate::report::{RequestMetrics, ServeReport};
-use llmib_engine::{BatchSession, Sampler, TransformerModel};
+use crate::event::{FailReason, RejectReason, ServeEvent};
+use crate::fault::FaultInjector;
+use crate::report::{RequestMetrics, RobustnessStats, ServeReport};
+use llmib_engine::{BatchSession, EngineStep, Sampler, TokenEvent, TransformerModel};
 use llmib_sched::BatchingPolicy;
-use llmib_types::{Result, Seconds};
-use std::collections::{HashMap, VecDeque};
+use llmib_types::{Result, Seconds, StepError};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -60,6 +73,7 @@ struct LiveSeq {
 /// drains gracefully and returns the aggregate report.
 pub struct Server {
     ingress: Option<SyncSender<Submission>>,
+    control: Sender<u64>,
     accepting: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
     next_id: Arc<AtomicU64>,
@@ -72,15 +86,31 @@ impl Server {
     pub fn start(model: Arc<TransformerModel>, config: ServeConfig) -> Result<Self> {
         config.validate()?;
         let (ingress, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+        let (control, control_rx) = std::sync::mpsc::channel();
         let accepting = Arc::new(AtomicBool::new(true));
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
         let worker = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || scheduler_loop(&model, &config, &rx, &stop, epoch))
+            std::thread::spawn(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    scheduler_loop(&model, &config, &rx, &control_rx, &stop, epoch)
+                }));
+                outcome.unwrap_or_else(|_| {
+                    // The scheduler died mid-run. Its local state (live
+                    // map, waiting queue) unwound, dropping every event
+                    // sender it held; drain the ingress so queued
+                    // submissions drop theirs too. Every outstanding
+                    // client then observes a closed channel and resolves
+                    // with `FailReason::ServerFailed` — no one hangs.
+                    while rx.try_recv().is_ok() {}
+                    ServeReport::from_server_failure()
+                })
+            })
         };
         Ok(Self {
             ingress: Some(ingress),
+            control,
             accepting,
             stop,
             next_id: Arc::new(AtomicU64::new(0)),
@@ -98,6 +128,7 @@ impl Server {
                 .as_ref()
                 .expect("server already shut down")
                 .clone(),
+            control: self.control.clone(),
             accepting: Arc::clone(&self.accepting),
             next_id: Arc::clone(&self.next_id),
             epoch: self.epoch,
@@ -106,7 +137,9 @@ impl Server {
 
     /// Graceful drain: stop accepting, let every queued and running
     /// request finish (deadline shedding still applies to queued ones),
-    /// join the scheduler, and return the aggregate report.
+    /// join the scheduler, and return the aggregate report. If the
+    /// scheduler died mid-run the report has
+    /// [`crate::RobustnessStats::server_failed`] set instead.
     pub fn shutdown(mut self) -> ServeReport {
         self.shutdown_inner()
             .expect("scheduler thread exited before shutdown")
@@ -133,15 +166,21 @@ fn now(epoch: Instant) -> Seconds {
 }
 
 struct Scheduler<'m> {
-    session: BatchSession<'m>,
+    session: FaultInjector<BatchSession<'m>>,
     budget: KvBudget,
+    breaker: CircuitBreaker,
     config: ServeConfig,
     epoch: Instant,
     model_max_seq: usize,
     waiting: VecDeque<Submission>,
     live: HashMap<u64, LiveSeq>,
+    /// Cancellations for ids not currently queued or live: either the
+    /// cancel raced ahead of its submission (resolved at intake) or the
+    /// request already finished (no-op).
+    pending_cancels: HashSet<u64>,
     per_request: Vec<RequestMetrics>,
     admission_order: Vec<u64>,
+    robust: RobustnessStats,
     shed_deadline: u32,
     rejected_oversized: u32,
     decode_steps: u64,
@@ -155,6 +194,15 @@ impl<'m> Scheduler<'m> {
     /// Accept one submission from the ingress, rejecting immediately
     /// anything that can never be served.
     fn intake(&mut self, sub: Submission) {
+        self.robust.submitted += 1;
+        if self.pending_cancels.remove(&sub.id) {
+            // The cancel arrived before the submission did.
+            self.robust.cancelled += 1;
+            let _ = sub.events.send(ServeEvent::Cancelled {
+                at: now(self.epoch),
+            });
+            return;
+        }
         let t = self
             .first_submitted_at
             .get_or_insert(sub.submitted_at.value());
@@ -172,6 +220,34 @@ impl<'m> Scheduler<'m> {
             return;
         }
         self.waiting.push_back(sub);
+    }
+
+    /// Apply every cancellation currently queued on the control channel.
+    fn process_cancels(&mut self, control: &Receiver<u64>) {
+        while let Ok(id) = control.try_recv() {
+            self.cancel(id);
+        }
+    }
+
+    fn cancel(&mut self, id: u64) {
+        if let Some(pos) = self.waiting.iter().position(|sub| sub.id == id) {
+            let sub = self.waiting.remove(pos).expect("position just found");
+            self.robust.cancelled += 1;
+            let _ = sub.events.send(ServeEvent::Cancelled {
+                at: now(self.epoch),
+            });
+        } else if let Some(meta) = self.live.remove(&id) {
+            if self.session.evict(id) {
+                self.robust.evictions += 1;
+            }
+            self.budget.release(id);
+            self.robust.cancelled += 1;
+            let _ = meta.events.send(ServeEvent::Cancelled {
+                at: now(self.epoch),
+            });
+        } else {
+            self.pending_cancels.insert(id);
+        }
     }
 
     /// Shed queued requests whose admission deadline has passed.
@@ -193,8 +269,9 @@ impl<'m> Scheduler<'m> {
         self.shed_deadline += shed;
     }
 
-    /// Admit queued requests at this step boundary while policy,
-    /// concurrency cap and KV reservation allow.
+    /// Admit queued requests at this step boundary while policy, the
+    /// breaker-adjusted concurrency cap and the (pressure-adjusted) KV
+    /// reservation allow.
     fn admit(&mut self) {
         let may_admit = match self.config.policy {
             BatchingPolicy::Continuous => true,
@@ -203,7 +280,10 @@ impl<'m> Scheduler<'m> {
         if !may_admit {
             return;
         }
-        while self.session.len() < self.config.max_concurrency {
+        let cap = self
+            .breaker
+            .effective_concurrency(self.config.max_concurrency);
+        while self.session.len() < cap {
             let Some(front) = self.waiting.front() else {
                 break;
             };
@@ -215,9 +295,13 @@ impl<'m> Scheduler<'m> {
                 // Does not fit *right now* (reservations or monolithic
                 // fragmentation): head-of-line wait for releases. If the
                 // pool is fully idle this can never improve — shed so an
-                // impossible request cannot wedge the queue. (Intake
-                // screens for this, so the branch is defensive.)
-                if self.session.is_empty() && self.budget.is_idle() {
+                // impossible request cannot wedge the queue. Under
+                // memory pressure the pool will grow back when the
+                // window expires, so the shed must not fire. (Intake
+                // screens for truly oversized requests, so the branch is
+                // defensive.)
+                if self.session.is_empty() && self.budget.is_idle() && !self.budget.under_pressure()
+                {
                     let sub = self.waiting.pop_front().expect("front exists");
                     self.rejected_oversized += 1;
                     let _ = sub.events.send(ServeEvent::Rejected {
@@ -266,14 +350,72 @@ impl<'m> Scheduler<'m> {
         }
     }
 
-    /// One batched decode step: stream tokens out, retire completions.
-    fn step(&mut self) {
-        let events = self.session.step();
+    /// One supervised decode step: retry transient errors with capped
+    /// exponential backoff, evict poisoned requests so the rest of the
+    /// batch survives, feed latency and failures to the breaker.
+    fn step_supervised(&mut self) {
+        let mut attempt: u32 = 0;
+        loop {
+            let started = Instant::now();
+            match self.session.try_step() {
+                Ok(events) => {
+                    let latency = started.elapsed();
+                    let stalled = self
+                        .config
+                        .watchdog_step_timeout
+                        .is_some_and(|limit| latency > limit);
+                    if stalled {
+                        self.robust.watchdog_stalls += 1;
+                    }
+                    self.breaker.record_step(latency, stalled, Instant::now());
+                    self.process_tokens(events);
+                    return;
+                }
+                Err(StepError::Poisoned { request }) => {
+                    self.breaker.record_failure(Instant::now());
+                    self.fail_request(request, FailReason::Poisoned);
+                    if self.session.is_empty() {
+                        return;
+                    }
+                    // Retry immediately: the victim is gone and, by
+                    // per-sequence independence, the survivors' tokens
+                    // are unaffected. Poison does not consume the
+                    // transient retry budget.
+                }
+                Err(StepError::Transient) => {
+                    self.breaker.record_failure(Instant::now());
+                    attempt += 1;
+                    if attempt > self.config.retry.max_retries {
+                        // The device is stuck past the retry budget:
+                        // fail the whole live batch explicitly and keep
+                        // the server up for future requests.
+                        for id in self.session.live_ids() {
+                            self.fail_request(id, FailReason::RetriesExhausted);
+                        }
+                        return;
+                    }
+                    self.robust.retries += 1;
+                    let backoff = self
+                        .config
+                        .retry
+                        .backoff(attempt, self.config.fault_plan.seed ^ self.decode_steps);
+                    std::thread::sleep(Duration::from_secs_f64(backoff.value()));
+                }
+            }
+        }
+    }
+
+    /// Stream one successful step's tokens out, retire completions.
+    fn process_tokens(&mut self, events: Vec<TokenEvent>) {
         let at = now(self.epoch);
         self.decode_steps += 1;
         self.occupancy_acc += events.len() as f64;
+        let mut kv_failures = Vec::new();
         for ev in events {
-            let meta = self.live.get_mut(&ev.seq).expect("event for live seq");
+            let Some(meta) = self.live.get_mut(&ev.seq) else {
+                // Defensive: a token for a sequence we no longer track.
+                continue;
+            };
             meta.generated += 1;
             if meta.first_token_at.is_none() {
                 meta.first_token_at = Some(at);
@@ -284,6 +426,7 @@ impl<'m> Scheduler<'m> {
             });
             if ev.finished {
                 self.budget.release(ev.seq);
+                self.pending_cancels.remove(&ev.seq);
                 let meta = self.live.remove(&ev.seq).expect("live seq");
                 let metrics = RequestMetrics::from_timestamps(
                     ev.seq,
@@ -299,16 +442,43 @@ impl<'m> Scheduler<'m> {
                 });
                 self.per_request.push(metrics);
                 self.last_finished_at = at.value();
-            } else {
-                self.budget.append_one(ev.seq);
+            } else if self.budget.append_one(ev.seq).is_err() {
+                kv_failures.push(ev.seq);
             }
+        }
+        for id in kv_failures {
+            self.robust.kv_accounting_failures += 1;
+            self.fail_request(id, FailReason::KvAccounting);
         }
         self.peak_kv = self.peak_kv.max(self.budget.utilization());
     }
 
-    fn into_report(self) -> ServeReport {
+    /// Kill one admitted request: evict it from the batch, free its KV
+    /// reservation, and resolve its client with a terminal failure. By
+    /// per-sequence independence the survivors' token streams are
+    /// bitwise unaffected.
+    fn fail_request(&mut self, id: u64, reason: FailReason) {
+        if self.session.evict(id) {
+            self.robust.evictions += 1;
+        }
+        self.budget.release(id);
+        self.pending_cancels.remove(&id);
+        if let Some(meta) = self.live.remove(&id) {
+            self.robust.failed += 1;
+            let _ = meta.events.send(ServeEvent::Failed {
+                reason,
+                at: now(self.epoch),
+            });
+        }
+    }
+
+    fn into_report(mut self) -> ServeReport {
         let makespan =
             Seconds((self.last_finished_at - self.first_submitted_at.unwrap_or(0.0)).max(0.0));
+        let counters = self.session.counters;
+        self.robust.faults_injected = counters.injected;
+        self.robust.breaker_opened = self.breaker.opened;
+        self.robust.breaker_degraded_steps = self.breaker.degraded_steps;
         ServeReport::from_parts(
             self.per_request,
             self.shed_deadline,
@@ -318,6 +488,7 @@ impl<'m> Scheduler<'m> {
             self.occupancy_acc,
             self.peak_kv,
             self.admission_order,
+            self.robust,
         )
     }
 }
@@ -326,19 +497,23 @@ fn scheduler_loop(
     model: &TransformerModel,
     config: &ServeConfig,
     rx: &Receiver<Submission>,
+    control: &Receiver<u64>,
     stop: &AtomicBool,
     epoch: Instant,
 ) -> ServeReport {
     let mut sched = Scheduler {
-        session: BatchSession::new(model),
+        session: FaultInjector::new(BatchSession::new(model), config.fault_plan.clone()),
         budget: KvBudget::new(config.kv_capacity_tokens, config.kv_block_tokens),
+        breaker: CircuitBreaker::new(config.breaker.clone()),
         config: config.clone(),
         epoch,
         model_max_seq: model.config().max_seq,
         waiting: VecDeque::new(),
         live: HashMap::new(),
+        pending_cancels: HashSet::new(),
         per_request: Vec::new(),
         admission_order: Vec::new(),
+        robust: RobustnessStats::default(),
         shed_deadline: 0,
         rejected_oversized: 0,
         decode_steps: 0,
@@ -349,7 +524,10 @@ fn scheduler_loop(
     };
     let mut disconnected = false;
     loop {
-        // 1. Intake: drain the ingress, but never hold more than
+        // 1. Wall-clock breaker transitions (open → half-open) — driven
+        //    here so an empty batch cannot freeze the breaker.
+        sched.breaker.tick(Instant::now());
+        // 2. Intake: drain the ingress, but never hold more than
         //    `queue_capacity` requests in the waiting queue — leaving
         //    the channel full is what propagates backpressure to
         //    `Client::submit` as `QueueFull`.
@@ -363,13 +541,18 @@ fn scheduler_loop(
                 }
             }
         }
-        // 2. Shed queued requests past their deadline.
+        // 3. Client cancellations (queued or mid-decode).
+        sched.process_cancels(control);
+        // 4. Shed queued requests past their deadline.
         sched.shed_expired();
-        // 3. Admission at this decode-step boundary.
+        // 5. Admission at this decode-step boundary, under the current
+        //    memory-pressure factor and breaker-adjusted concurrency.
+        let pressure = sched.session.kv_pressure();
+        sched.budget.set_pressure_factor(pressure);
         sched.admit();
-        // 4. Run one step, or wait for work.
+        // 6. Run one supervised step, or wait for work.
         if !sched.session.is_empty() {
-            sched.step();
+            sched.step_supervised();
         } else if sched.waiting.is_empty() {
             if stop.load(Ordering::Acquire) || disconnected {
                 break;
@@ -388,6 +571,8 @@ fn scheduler_loop(
     // A submission racing in between the final drain and the break gets
     // an explicit rejection instead of a silently dropped channel.
     while let Ok(sub) = rx.try_recv() {
+        sched.robust.submitted += 1;
+        sched.rejected_oversized += 1;
         let _ = sub.events.send(ServeEvent::Rejected {
             reason: RejectReason::Internal,
             at: now(epoch),

@@ -1,0 +1,434 @@
+//! Chaos suite: replay seeded and hand-built fault plans against the
+//! live server and assert the supervision contract —
+//!
+//! * no client ever hangs: every submission resolves within a bound,
+//! * fault isolation: only the targeted request dies, survivors'
+//!   token streams are **bitwise identical** to a fault-free replay of
+//!   the recorded admission order,
+//! * graceful degradation: transient errors retry and recover, memory
+//!   pressure throttles without killing, the breaker sheds admissions
+//!   and recovers, a scheduler panic resolves everyone with
+//!   `ServerFailed` instead of a hung channel,
+//! * accounting: the report's lifecycle counters reconcile.
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_serve::{
+    deterministic_prompt, replay_admission_order, BreakerConfig, FailReason, RequestOutcome,
+    ServeConfig, Server, SubmitOptions,
+};
+use llmib_types::{FaultEvent, FaultKind, FaultPlan, Seconds};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const VOCAB: usize = 128;
+/// Generous bound for "no client hangs": chaos runs finish in well under
+/// a second of decode; a request still unresolved after this long is a
+/// wedged channel, which is exactly the bug this suite exists to catch.
+const NO_HANG: Duration = Duration::from_secs(30);
+
+fn tiny_model() -> Arc<TransformerModel> {
+    Arc::new(TransformerModel::new(EngineConfig::tiny(), false).expect("valid config"))
+}
+
+/// Submit `n` requests with deterministic prompts, returning
+/// `(server_id, prompt, max_new_tokens, handle)` per request.
+fn submit_wave(
+    client: &llmib_serve::Client,
+    n: u64,
+    max_new_tokens: usize,
+) -> Vec<(u64, Vec<usize>, usize, llmib_serve::RequestHandle)> {
+    (0..n)
+        .map(|i| {
+            let prompt = deterministic_prompt(i, 6, VOCAB);
+            let handle = client
+                .submit(prompt.clone(), SubmitOptions::greedy(max_new_tokens))
+                .expect("accepted");
+            (handle.id, prompt, max_new_tokens, handle)
+        })
+        .collect()
+}
+
+/// Assert the chaos bitwise contract: every completed request's tokens
+/// equal the fault-free replay exactly, and every failed/cancelled
+/// request's partial stream is a valid prefix of it.
+fn assert_bitwise_vs_replay(
+    model: &TransformerModel,
+    report: &llmib_serve::ServeReport,
+    spec: &HashMap<u64, (Vec<usize>, usize)>,
+    outcomes: &[(u64, RequestOutcome)],
+) {
+    let replayed: HashMap<u64, Vec<usize>> =
+        replay_admission_order(model, &report.admission_order, |id| {
+            spec.get(&id).expect("admitted id has a spec").clone()
+        })
+        .into_iter()
+        .collect();
+    for (id, outcome) in outcomes {
+        match outcome {
+            RequestOutcome::Completed { tokens, .. } => {
+                assert_eq!(
+                    Some(tokens),
+                    replayed.get(id),
+                    "request {id}: completed stream must be bitwise identical to fault-free replay"
+                );
+            }
+            RequestOutcome::Failed { tokens, .. } | RequestOutcome::Cancelled { tokens } => {
+                if let Some(full) = replayed.get(id) {
+                    assert_eq!(
+                        tokens.as_slice(),
+                        &full[..tokens.len()],
+                        "request {id}: partial stream must be a prefix of the fault-free replay"
+                    );
+                }
+            }
+            RequestOutcome::Rejected { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn transient_errors_retry_and_recover_bitwise() {
+    let model = tiny_model();
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at_step: 2,
+            kind: FaultKind::TransientStepError { failures: 3 },
+        },
+        FaultEvent {
+            at_step: 7,
+            kind: FaultKind::TransientStepError { failures: 1 },
+        },
+    ]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let wave = submit_wave(&client, 4, 16);
+
+    let mut spec = HashMap::new();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in wave {
+        spec.insert(id, (prompt, max_new));
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        assert!(
+            matches!(outcome, RequestOutcome::Completed { .. }),
+            "transient errors are retried, not fatal: {outcome:?}"
+        );
+        outcomes.push((id, outcome));
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 4);
+    assert!(
+        report.robustness.retries >= 4,
+        "each failure slept a backoff"
+    );
+    assert!(report.robustness.faults_injected >= 2);
+    assert_eq!(report.robustness.failed, 0);
+    assert!(report.reconciles());
+    assert_bitwise_vs_replay(&model, &report, &spec, &outcomes);
+}
+
+#[test]
+fn poisoned_request_is_evicted_and_survivors_are_bitwise_clean() {
+    let model = tiny_model();
+    // Server ids are assigned in submission order starting at 0; poison
+    // the second request once decode is underway.
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at_step: 3,
+        kind: FaultKind::RequestPoison { request: 1 },
+    }]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let wave = submit_wave(&client, 4, 24);
+
+    let mut spec = HashMap::new();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in wave {
+        spec.insert(id, (prompt, max_new));
+        outcomes.push((id, handle.wait_timeout(NO_HANG).expect("no client hangs")));
+    }
+    for (id, outcome) in &outcomes {
+        if *id == 1 {
+            match outcome {
+                RequestOutcome::Failed { reason, tokens } => {
+                    assert_eq!(*reason, FailReason::Poisoned);
+                    assert!(tokens.len() < 24, "cut short mid-decode");
+                }
+                other => panic!("victim must fail poisoned, got {other:?}"),
+            }
+        } else {
+            assert!(
+                matches!(outcome, RequestOutcome::Completed { .. }),
+                "survivor {id} must complete: {outcome:?}"
+            );
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.robustness.failed, 1);
+    assert!(report.robustness.evictions >= 1);
+    assert!(report.reconciles());
+    assert_bitwise_vs_replay(&model, &report, &spec, &outcomes);
+}
+
+#[test]
+fn retry_exhaustion_fails_the_batch_but_the_server_keeps_serving() {
+    let model = tiny_model();
+    let config = ServeConfig::default();
+    let exhausting = config.retry.max_retries + 1;
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at_step: 1,
+        kind: FaultKind::TransientStepError {
+            // More consecutive failures than the whole retry budget.
+            failures: exhausting + config.retry.max_retries,
+        },
+    }]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            ..config
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+
+    let doomed = submit_wave(&client, 2, 32);
+    let mut doomed_failed = 0;
+    for (_, _, _, handle) in doomed {
+        match handle.wait_timeout(NO_HANG).expect("no client hangs") {
+            RequestOutcome::Failed {
+                reason: FailReason::RetriesExhausted,
+                ..
+            } => doomed_failed += 1,
+            RequestOutcome::Completed { .. } => {}
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert!(doomed_failed > 0, "the stuck batch is failed explicitly");
+
+    // The server survives the dead batch: a fresh wave completes (the
+    // leftover transient failures are absorbed by fresh retry budgets).
+    let second = submit_wave(&client, 2, 8);
+    for (id, _, _, handle) in second {
+        match handle.wait_timeout(NO_HANG).expect("no client hangs") {
+            RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 8),
+            other => panic!("post-recovery request {id} must complete: {other:?}"),
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.robustness.failed, doomed_failed);
+    assert!(report.robustness.retries >= config.retry.max_retries);
+    assert!(report.reconciles());
+}
+
+#[test]
+fn injected_stalls_are_counted_by_the_watchdog() {
+    let model = tiny_model();
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at_step: 1,
+            kind: FaultKind::StepStall {
+                extra: Seconds(0.06),
+            },
+        },
+        FaultEvent {
+            at_step: 3,
+            kind: FaultKind::StepStall {
+                extra: Seconds(0.06),
+            },
+        },
+    ]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            watchdog_step_timeout: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    for (_, _, _, handle) in submit_wave(&client, 2, 12) {
+        assert!(matches!(
+            handle.wait_timeout(NO_HANG).expect("no client hangs"),
+            RequestOutcome::Completed { .. }
+        ));
+    }
+    let report = server.shutdown();
+    assert!(
+        report.robustness.watchdog_stalls >= 2,
+        "both stalls breach the 20ms watchdog (saw {})",
+        report.robustness.watchdog_stalls
+    );
+    assert_eq!(report.robustness.failed, 0, "stalls degrade, never kill");
+    assert!(report.reconciles());
+}
+
+#[test]
+fn memory_pressure_throttles_admission_without_killing_anyone() {
+    let model = tiny_model();
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at_step: 0,
+        kind: FaultKind::MemoryPressure {
+            capacity_factor: 0.2,
+            steps: 6,
+        },
+    }]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            kv_capacity_tokens: 512,
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    for (id, _, _, handle) in submit_wave(&client, 6, 16) {
+        match handle.wait_timeout(NO_HANG).expect("no client hangs") {
+            RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 16),
+            other => panic!("pressure must delay, not kill, request {id}: {other:?}"),
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 6);
+    assert!(report.robustness.faults_injected >= 1);
+    assert!(report.reconciles());
+}
+
+#[test]
+fn breaker_opens_under_sustained_stalls_and_the_run_still_completes() {
+    let model = tiny_model();
+    // Four consecutive stalled steps breach a 5ms SLO and trip a
+    // 4-sample window at trip fraction 0.5.
+    let plan = FaultPlan::new(
+        (1..=4)
+            .map(|s| FaultEvent {
+                at_step: s,
+                kind: FaultKind::StepStall {
+                    extra: Seconds(0.02),
+                },
+            })
+            .collect(),
+    );
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            breaker: BreakerConfig {
+                enabled: true,
+                window: 4,
+                min_samples: 2,
+                trip_fraction: 0.5,
+                step_latency_slo: Duration::from_millis(5),
+                open_cooldown: Duration::from_millis(20),
+                half_open_recovery_steps: 2,
+                degraded_concurrency: 1,
+            },
+            watchdog_step_timeout: Some(Duration::from_millis(5)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    for (_, _, _, handle) in submit_wave(&client, 6, 24) {
+        assert!(
+            matches!(
+                handle.wait_timeout(NO_HANG).expect("no client hangs"),
+                RequestOutcome::Completed { .. }
+            ),
+            "the breaker sheds admissions, it never kills admitted work"
+        );
+    }
+    let report = server.shutdown();
+    assert!(
+        report.robustness.breaker_opened >= 1,
+        "sustained stalls must trip the breaker"
+    );
+    assert!(report.robustness.breaker_degraded_steps >= 1);
+    assert_eq!(report.completed, 6);
+    assert!(report.reconciles());
+}
+
+#[test]
+fn scheduler_panic_resolves_every_client_with_server_failed() {
+    let model = tiny_model();
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at_step: 2,
+        kind: FaultKind::SchedulerPanic,
+    }]);
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let wave = submit_wave(&client, 5, 64);
+
+    // Regression for the client-hang bug: every handle must resolve —
+    // with an explicit ServerFailed once the scheduler dies — instead of
+    // blocking forever on a silently dropped channel.
+    for (id, _, _, handle) in wave {
+        match handle.wait_timeout(NO_HANG) {
+            Some(RequestOutcome::Failed {
+                reason: FailReason::ServerFailed,
+                tokens,
+            }) => {
+                assert!(tokens.len() < 64, "request {id} died mid-stream");
+            }
+            Some(other) => panic!("request {id}: expected ServerFailed, got {other:?}"),
+            None => panic!("request {id} hung on a dead scheduler"),
+        }
+    }
+    let report = server.shutdown();
+    assert!(report.robustness.server_failed);
+    assert_eq!(report.completed, 0);
+}
+
+#[test]
+fn seeded_chaos_run_keeps_survivors_bitwise_and_books_balanced() {
+    let model = tiny_model();
+    let request_ids: Vec<u64> = (0..8).collect();
+    // 8 requests × 20 tokens ≈ 20+ decode steps: a 12-step horizon
+    // keeps every event inside the run.
+    let plan = FaultPlan::seeded(0xC0FFEE, 12, &request_ids);
+    assert!(!plan.is_empty(), "the seeded plan must actually do damage");
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            fault_plan: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+    let wave = submit_wave(&client, 8, 20);
+
+    let mut spec = HashMap::new();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in wave {
+        spec.insert(id, (prompt, max_new));
+        outcomes.push((id, handle.wait_timeout(NO_HANG).expect("no client hangs")));
+    }
+    let report = server.shutdown();
+    assert!(report.reconciles(), "lifecycle counters must balance");
+    assert!(report.robustness.faults_injected >= 1);
+    assert_bitwise_vs_replay(&model, &report, &spec, &outcomes);
+}

@@ -51,6 +51,7 @@ fn serve_config(policy: BatchingPolicy) -> ServeConfig {
         kv_capacity_tokens: 4096,
         kv_block_tokens: Some(16),
         queue_capacity: N + 8,
+        ..ServeConfig::default()
     }
 }
 

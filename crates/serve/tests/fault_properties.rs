@@ -1,0 +1,120 @@
+//! Property tests over arbitrary seeded fault plans.
+//!
+//! For *any* [`FaultPlan::seeded`] schedule (stalls, transient errors,
+//! poisons, memory pressure — the generator never plans scheduler
+//! panics, those are drilled separately in the chaos suite):
+//!
+//! * every submission resolves — no client hangs,
+//! * the report reconciles: submitted = completed + failed + cancelled
+//!   + shed + rejected,
+//! * completed requests' token streams are bitwise identical to a
+//!   fault-free replay of the admission order, and failed requests'
+//!   partial streams are prefixes of it.
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_serve::{
+    deterministic_prompt, replay_admission_order, RequestOutcome, ServeConfig, Server,
+    SubmitOptions,
+};
+use llmib_types::FaultPlan;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const VOCAB: usize = 128;
+const NO_HANG: Duration = Duration::from_secs(30);
+
+fn model() -> Arc<TransformerModel> {
+    static MODEL: OnceLock<Arc<TransformerModel>> = OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        Arc::new(TransformerModel::new(EngineConfig::tiny(), false).expect("valid config"))
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_seeded_fault_plan_preserves_determinism_and_accounting(
+        seed in 0u64..u64::MAX,
+        horizon in 4u64..24,
+        n in 3u64..8,
+        max_new in 8usize..24,
+    ) {
+        let model = model();
+        let request_ids: Vec<u64> = (0..n).collect();
+        let plan = FaultPlan::seeded(seed, horizon, &request_ids);
+        let server = Server::start(
+            Arc::clone(&model),
+            ServeConfig {
+                fault_plan: plan,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let client = server.client();
+
+        let mut spec = HashMap::new();
+        let mut handles = Vec::new();
+        for id in 0..n {
+            let prompt = deterministic_prompt(id, 5, VOCAB);
+            let handle = client
+                .submit(prompt.clone(), SubmitOptions::greedy(max_new))
+                .expect("accepted");
+            spec.insert(handle.id, (prompt, max_new));
+            handles.push((handle.id, handle));
+        }
+        let mut outcomes: Vec<(u64, RequestOutcome)> = Vec::new();
+        for (id, handle) in handles {
+            let outcome = handle.wait_timeout(NO_HANG);
+            prop_assert!(outcome.is_some(), "request {} hung", id);
+            outcomes.push((id, outcome.expect("just checked")));
+        }
+        let report = server.shutdown();
+
+        // Accounting: one terminal answer per submission.
+        prop_assert!(
+            report.reconciles(),
+            "submitted {} != completed {} + failed {} + cancelled {} + shed {} + rejected {}",
+            report.robustness.submitted,
+            report.completed,
+            report.robustness.failed,
+            report.robustness.cancelled,
+            report.shed_deadline,
+            report.rejected_oversized
+        );
+
+        // Determinism: completed streams bitwise equal the fault-free
+        // replay; failed streams are prefixes of it.
+        let replayed: HashMap<u64, Vec<usize>> =
+            replay_admission_order(&model, &report.admission_order, |id| {
+                spec.get(&id).expect("admitted id has a spec").clone()
+            })
+            .into_iter()
+            .collect();
+        for (id, outcome) in &outcomes {
+            match outcome {
+                RequestOutcome::Completed { tokens, .. } => {
+                    prop_assert_eq!(
+                        Some(tokens),
+                        replayed.get(id),
+                        "request {} diverged from fault-free replay",
+                        id
+                    );
+                }
+                RequestOutcome::Failed { tokens, .. } | RequestOutcome::Cancelled { tokens } => {
+                    if let Some(full) = replayed.get(id) {
+                        prop_assert!(
+                            tokens.len() <= full.len()
+                                && tokens.as_slice() == &full[..tokens.len()],
+                            "request {} partial stream is not a replay prefix",
+                            id
+                        );
+                    }
+                }
+                RequestOutcome::Rejected { .. } => {}
+            }
+        }
+    }
+}

@@ -46,9 +46,7 @@ fn full_ingress_rejects_at_the_door_and_never_panics() {
     for handle in accepted {
         match handle.wait() {
             RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 64),
-            RequestOutcome::Rejected { reason } => {
-                panic!("accepted request was rejected: {reason:?}")
-            }
+            other => panic!("accepted request did not complete: {other:?}"),
         }
     }
     let report = server.shutdown();
@@ -176,7 +174,7 @@ fn shutdown_drains_queued_and_running_requests() {
     for handle in handles {
         match handle.wait() {
             RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 16),
-            RequestOutcome::Rejected { reason } => panic!("dropped on drain: {reason:?}"),
+            other => panic!("dropped on drain: {other:?}"),
         }
     }
 
@@ -186,4 +184,144 @@ fn shutdown_drains_queued_and_running_requests() {
         Err(other) => panic!("unexpected error: {other:?}"),
         Ok(_) => panic!("submission accepted after shutdown"),
     }
+}
+
+#[test]
+fn queued_request_cancels_before_admission() {
+    let model = tiny_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            max_concurrency: 1,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+
+    // Occupy the only slot so the victim is stuck in the queue.
+    let blocker = client
+        .submit(vec![1, 2, 3, 4], SubmitOptions::greedy(120))
+        .expect("blocker accepted");
+    loop {
+        match blocker.next_event().expect("blocker stream open") {
+            llmib_serve::ServeEvent::Admitted { .. } => break,
+            llmib_serve::ServeEvent::Rejected { reason, .. } => {
+                panic!("blocker rejected: {reason:?}")
+            }
+            _ => {}
+        }
+    }
+
+    let victim = client
+        .submit(vec![5, 6, 7], SubmitOptions::greedy(8))
+        .expect("queued behind the blocker");
+    victim.cancel();
+    match victim.wait() {
+        RequestOutcome::Cancelled { tokens } => {
+            assert!(tokens.is_empty(), "never admitted, never decoded")
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.robustness.cancelled, 1);
+    assert_eq!(report.completed, 1, "the blocker itself completes");
+    assert!(
+        report.reconciles(),
+        "every submission got one terminal answer"
+    );
+}
+
+#[test]
+fn mid_decode_cancellation_evicts_and_keeps_the_prefix() {
+    let model = tiny_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            max_concurrency: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let client = server.client();
+
+    // A neighbor that must be completely unaffected by the cancellation.
+    let neighbor = client
+        .submit(vec![11, 12, 13], SubmitOptions::greedy(48))
+        .expect("accepted");
+    let victim = client
+        .submit(vec![21, 22, 23], SubmitOptions::greedy(100))
+        .expect("accepted");
+
+    // Let the victim actually decode a few tokens before cancelling.
+    let mut victim_prefix = Vec::new();
+    loop {
+        match victim.next_event().expect("victim stream open") {
+            llmib_serve::ServeEvent::Token { token, .. } => {
+                victim_prefix.push(token);
+                if victim_prefix.len() >= 5 {
+                    break;
+                }
+            }
+            llmib_serve::ServeEvent::Rejected { reason, .. } => {
+                panic!("victim rejected: {reason:?}")
+            }
+            _ => {}
+        }
+    }
+    victim.cancel();
+    match victim.wait() {
+        RequestOutcome::Cancelled { tokens } => {
+            assert!(
+                tokens.len() < 100,
+                "cancellation cut the stream short (got {})",
+                tokens.len()
+            );
+        }
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+
+    // The neighbor's stream is untouched by its batch-mate's eviction.
+    match neighbor.wait() {
+        RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 48),
+        other => panic!("neighbor should complete: {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.robustness.cancelled, 1);
+    assert!(report.robustness.evictions >= 1, "mid-decode cancel evicts");
+    assert_eq!(report.completed, 1);
+    assert!(report.reconciles());
+}
+
+#[test]
+fn cancelling_a_finished_request_is_a_noop() {
+    let model = tiny_model();
+    let server = Server::start(Arc::clone(&model), ServeConfig::default()).expect("server starts");
+    let client = server.client();
+
+    let handle = client
+        .submit(vec![1, 2, 3], SubmitOptions::greedy(4))
+        .expect("accepted");
+    // Drain to Finished first, then cancel through a second handle's
+    // control path (the handle itself was consumed by wait()).
+    let id = handle.id;
+    match handle.wait() {
+        RequestOutcome::Completed { tokens, .. } => assert_eq!(tokens.len(), 4),
+        other => panic!("expected completion, got {other:?}"),
+    }
+    // A late cancel for an already-finished id must not corrupt counters
+    // or wedge the scheduler.
+    let late = client
+        .submit(vec![4, 5, 6], SubmitOptions::greedy(4))
+        .expect("accepted");
+    assert!(late.id > id);
+    late.cancel();
+    // Whatever the race outcome (cancelled or already finished), the
+    // stream resolves and the books balance.
+    let _ = late.wait();
+    let report = server.shutdown();
+    assert!(report.reconciles());
 }

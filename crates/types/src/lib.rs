@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 mod parallelism;
 mod precision;
 mod request;
@@ -23,6 +24,7 @@ pub mod stats;
 mod units;
 
 pub use error::{Error, Result};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy, StepError};
 pub use parallelism::Parallelism;
 pub use precision::Precision;
 pub use request::{Request, RequestState};

@@ -24,6 +24,12 @@ pub enum RequestState {
     /// Refused service: it can never fit (oversized for the KV pool),
     /// its deadline expired while queued, or the ingress queue was full.
     Rejected,
+    /// Admitted but killed by a fault (poisoned request, retry budget
+    /// exhausted, KV accounting failure) — terminal, unlike `Rejected`
+    /// it had already consumed service.
+    Failed,
+    /// Cancelled by the client while queued or mid-decode.
+    Cancelled,
 }
 
 /// One inference request flowing through a serving system (simulated or

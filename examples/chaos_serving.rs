@@ -1,0 +1,221 @@
+//! Chaos drill: the same request wave served healthy and under a
+//! deterministic fault plan, side by side.
+//!
+//! The faulted run injects a latency stall, a poisoned request, a burst
+//! of transient step errors, and a window of KV memory pressure at fixed
+//! decode-step anchors. The supervision layer rides all of it out:
+//! transients are retried with capped backoff, the poisoned request is
+//! evicted alone, pressure throttles admission without touching live
+//! sequences, and every client resolves. Survivors are then verified
+//! bitwise against a fault-free replay of the recorded admission order,
+//! and the faulted-vs-healthy throughput is appended to
+//! `BENCH_serve.json` as a `fault_drill` section.
+//!
+//! ```sh
+//! cargo run --release --example chaos_serving
+//! ```
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_serve::{
+    deterministic_prompt, replay_admission_order, RequestOutcome, ServeConfig, ServeReport, Server,
+    SubmitOptions,
+};
+use llmib_types::{FaultEvent, FaultKind, FaultPlan, Seconds};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: u64 = 8;
+const PROMPT_TOKENS: u32 = 6;
+const MAX_NEW: usize = 48;
+const POISONED_ID: u64 = 2;
+
+fn serve_config(plan: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        max_concurrency: 4,
+        // Small pool so the drill's memory-pressure window actually
+        // throttles admission instead of vanishing into headroom.
+        kv_capacity_tokens: 256,
+        kv_block_tokens: Some(16),
+        // Healthy tiny-model steps are well under a millisecond, so a
+        // 10 ms watchdog flags the injected stall without false alarms.
+        watchdog_step_timeout: Some(Duration::from_millis(10)),
+        fault_plan: plan,
+        ..ServeConfig::default()
+    }
+}
+
+/// The drill schedule, anchored to successful-decode-step indices.
+fn drill_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at_step: 4,
+            kind: FaultKind::StepStall {
+                extra: Seconds(0.02),
+            },
+        },
+        FaultEvent {
+            at_step: 6,
+            kind: FaultKind::RequestPoison {
+                request: POISONED_ID,
+            },
+        },
+        FaultEvent {
+            at_step: 10,
+            kind: FaultKind::TransientStepError { failures: 2 },
+        },
+        FaultEvent {
+            at_step: 14,
+            kind: FaultKind::MemoryPressure {
+                capacity_factor: 0.4,
+                steps: 12,
+            },
+        },
+    ])
+}
+
+/// Serve one wave of `N` deterministic requests under `plan`.
+fn serve_wave(
+    model: &Arc<TransformerModel>,
+    plan: FaultPlan,
+) -> (ServeReport, Vec<(u64, RequestOutcome)>) {
+    let vocab = model.config().vocab;
+    let server = Server::start(Arc::clone(model), serve_config(plan)).expect("server starts");
+    let client = server.client();
+    let handles: Vec<_> = (0..N)
+        .map(|i| {
+            client
+                .submit(
+                    deterministic_prompt(i, PROMPT_TOKENS, vocab),
+                    SubmitOptions::greedy(MAX_NEW),
+                )
+                .expect("accepted")
+        })
+        .collect();
+    let outcomes = handles.into_iter().map(|h| (h.id, h.wait())).collect();
+    (server.shutdown(), outcomes)
+}
+
+/// Splice a `fault_drill` section into `BENCH_serve.json`, preserving
+/// whatever `serving_live` wrote and replacing any previous drill.
+fn splice_fault_drill(drill: &str) {
+    let path = "BENCH_serve.json";
+    let json = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let head = match text.find(",\n  \"fault_drill\"") {
+                Some(idx) => text[..idx].to_string(),
+                None => text.trim_end().trim_end_matches('}').trim_end().to_string(),
+            };
+            format!("{head},\n  \"fault_drill\": {drill}\n}}\n")
+        }
+        Err(_) => format!("{{\n  \"fault_drill\": {drill}\n}}\n"),
+    };
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+}
+
+fn main() {
+    let model = Arc::new(TransformerModel::new(EngineConfig::tiny(), false).expect("valid config"));
+    let vocab = model.config().vocab;
+
+    println!(
+        "chaos drill: {N} requests ({PROMPT_TOKENS}-token prompts, {MAX_NEW} new tokens), \
+         max_concurrency=4\n"
+    );
+
+    let (healthy, _) = serve_wave(&model, FaultPlan::empty());
+    assert_eq!(healthy.completed as u64, N, "healthy run serves everyone");
+    println!(
+        "healthy:  {} completed | {:.0} tok/s | mean TTFT {:.1} ms | {} decode steps",
+        healthy.completed,
+        healthy.throughput_tokens_per_s,
+        healthy.mean_ttft.value() * 1e3,
+        healthy.decode_steps,
+    );
+
+    println!(
+        "\ninjecting: stall +20ms @ step 4 | poison request {POISONED_ID} @ step 6 \
+         | 2 transient errors @ step 10 | KV pressure 0.4x for 12 steps @ step 14"
+    );
+    let (faulted, outcomes) = serve_wave(&model, drill_plan());
+    let r = &faulted.robustness;
+    println!(
+        "faulted:  {} completed, {} failed | {:.0} tok/s | mean TTFT {:.1} ms | {} decode steps",
+        faulted.completed,
+        r.failed,
+        faulted.throughput_tokens_per_s,
+        faulted.mean_ttft.value() * 1e3,
+        faulted.decode_steps,
+    );
+    println!(
+        "          supervision: {} faults injected, {} retries, {} evictions, \
+         {} watchdog stalls, {} kv-accounting failures",
+        r.faults_injected, r.retries, r.evictions, r.watchdog_stalls, r.kv_accounting_failures,
+    );
+    assert!(
+        faulted.reconciles(),
+        "every submission resolved exactly once"
+    );
+    assert_eq!(r.failed, 1, "only the poisoned request dies");
+
+    // Survivors must be bitwise identical to a fault-free replay of the
+    // recorded admission order; the poisoned victim's partial stream is
+    // a valid prefix of what it would have produced.
+    let replayed: HashMap<u64, Vec<usize>> =
+        replay_admission_order(&model, &faulted.admission_order, |id| {
+            (deterministic_prompt(id, PROMPT_TOKENS, vocab), MAX_NEW)
+        })
+        .into_iter()
+        .collect();
+    for (id, outcome) in &outcomes {
+        match outcome {
+            RequestOutcome::Completed { tokens, .. } => {
+                assert_eq!(
+                    Some(tokens),
+                    replayed.get(id),
+                    "request {id} diverged from the fault-free replay"
+                );
+            }
+            RequestOutcome::Failed { tokens, .. } => {
+                let full = &replayed[id];
+                assert!(
+                    tokens.len() <= full.len() && tokens.as_slice() == &full[..tokens.len()],
+                    "request {id} partial stream is not a replay prefix"
+                );
+            }
+            other => panic!("unexpected outcome for request {id}: {other:?}"),
+        }
+    }
+    let retention = faulted.throughput_tokens_per_s / healthy.throughput_tokens_per_s;
+    println!(
+        "\nverified: {} survivors bitwise-identical to the fault-free replay, \
+         victim's prefix intact\nthroughput retention under faults: {:.0}%",
+        faulted.completed,
+        retention * 100.0,
+    );
+
+    let drill = format!(
+        "{{\n    \"created_by\": \"examples/chaos_serving.rs\",\n    \
+         \"plan\": \"stall(+20ms)@4, poison(req {POISONED_ID})@6, transient(x2)@10, \
+         pressure(0.4x,12 steps)@14\",\n    \
+         \"healthy\": {{ \"completed\": {}, \"aggregate_tokens_per_s\": {:.1}, \
+         \"mean_ttft_ms\": {:.2} }},\n    \
+         \"faulted\": {{ \"completed\": {}, \"failed\": {}, \"retries\": {}, \
+         \"evictions\": {}, \"watchdog_stalls\": {}, \"faults_injected\": {}, \
+         \"aggregate_tokens_per_s\": {:.1}, \"mean_ttft_ms\": {:.2} }},\n    \
+         \"throughput_retention\": {:.3}\n  }}",
+        healthy.completed,
+        healthy.throughput_tokens_per_s,
+        healthy.mean_ttft.value() * 1e3,
+        faulted.completed,
+        r.failed,
+        r.retries,
+        r.evictions,
+        r.watchdog_stalls,
+        r.faults_injected,
+        faulted.throughput_tokens_per_s,
+        faulted.mean_ttft.value() * 1e3,
+        retention,
+    );
+    splice_fault_drill(&drill);
+    println!("appended fault_drill to BENCH_serve.json");
+}
