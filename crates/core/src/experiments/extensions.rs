@@ -398,7 +398,7 @@ impl Experiment for ExtSaturation {
             }
         };
         let rates = [2.0, 8.0, 32.0, 128.0, 512.0];
-        let sweep = LoadSweep::run(
+        let sweep = match LoadSweep::run(
             &SimConfig {
                 policy: BatchingPolicy::Continuous,
                 max_concurrency: 16,
@@ -411,7 +411,12 @@ impl Experiment for ExtSaturation {
             256,
             128,
             17,
-        );
+        ) {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                return ExperimentOutput::Figure(fig.with_note(e.to_string()));
+            }
+        };
         let x: Vec<f64> = sweep.points.iter().map(|p| p.arrival_rate).collect();
         fig.series.push(Series::new(
             "p95 latency (s)",

@@ -48,5 +48,7 @@ mod sweep;
 
 pub use allocator::{AllocStats, KvAllocator, MonolithicAllocator, PagedAllocator};
 pub use llmib_types::{Request, RequestState};
-pub use simulator::{ArrivalPattern, BatchingPolicy, ServingReport, ServingSimulator, SimConfig};
+pub use simulator::{
+    ArrivalPattern, BatchingPolicy, ReplicatedReport, ServingReport, ServingSimulator, SimConfig,
+};
 pub use sweep::{LoadPoint, LoadSweep};

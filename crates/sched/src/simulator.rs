@@ -2,7 +2,9 @@
 
 use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
 use llmib_perf::ResolvedScenario;
-use llmib_types::{stats, FaultKind, FaultPlan, Request, RequestState, RetryPolicy, Seconds};
+use llmib_types::{
+    stats, FaultKind, FaultPlan, ReplicaFaultPlan, Request, RequestState, RetryPolicy, Seconds,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -105,6 +107,79 @@ pub struct ServingReport {
     pub faults_injected: u32,
 }
 
+/// Outcome of a replicated ([`ServingSimulator::run_replicated`]) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicatedReport {
+    /// Pool-level aggregate over all replicas (makespan is the max
+    /// replica clock; steps, occupancy and tallies are summed).
+    pub aggregate: ServingReport,
+    /// Replicas lost to a scheduler panic.
+    pub failovers: u32,
+    /// Requests re-admitted on a surviving replica after a failover.
+    pub migrations: u32,
+    /// Generated tokens carried over as prefill prefix by those
+    /// migrations (the live pool replays exactly these).
+    pub migrated_tokens: u64,
+    /// Requests completed per replica, indexed by `ReplicaId`.
+    pub per_replica_completed: Vec<u32>,
+}
+
+/// One simulated replica: its own clock, KV pool, queues and fault
+/// plan — the mirror of a live `llmib-serve` scheduler thread.
+struct Rep {
+    plan: FaultPlan,
+    alloc: Box<dyn KvAllocator>,
+    queue: VecDeque<usize>,
+    running: Vec<usize>,
+    now: Seconds,
+    decode_steps: u64,
+    next_event: usize,
+    poisoned: Vec<u64>,
+    pressure: Option<(f64, u64)>,
+    dead: bool,
+    completed: u32,
+}
+
+impl Rep {
+    fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+}
+
+/// What one replica advance produced.
+enum ReplicaEvent {
+    /// The replica's clock or state moved.
+    Progressed,
+    /// Nothing to do (queue and batch empty).
+    Idle,
+    /// The replica died to a planned scheduler panic; the payload is
+    /// every outstanding request index it was holding.
+    Died(Vec<usize>),
+}
+
+/// Pool-wide counters shared by every replica advance.
+#[derive(Default)]
+struct PoolTally {
+    rejected: u32,
+    failed: u32,
+    preemptions: u32,
+    retries: u32,
+    faults_injected: u32,
+    occupancy_acc: f64,
+    peak_util: f64,
+}
+
+/// Keep a replica queue sorted by arrival so front-gated admission
+/// stays correct after migrations splice in mid-run.
+fn insert_by_arrival(queue: &mut VecDeque<usize>, idx: usize, requests: &[Request]) {
+    let arr = requests[idx].arrival.value();
+    let pos = queue
+        .iter()
+        .position(|&q| requests[q].arrival.value() > arr)
+        .unwrap_or(queue.len());
+    queue.insert(pos, idx);
+}
+
 /// The serving simulator.
 #[derive(Debug)]
 pub struct ServingSimulator {
@@ -145,10 +220,7 @@ impl ServingSimulator {
         plan: &FaultPlan,
     ) -> ServingReport {
         requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
-        let mut alloc: Box<dyn KvAllocator> = match self.config.kv_block_tokens {
-            Some(b) => Box::new(PagedAllocator::new(self.config.kv_capacity_tokens, b)),
-            None => Box::new(MonolithicAllocator::new(self.config.kv_capacity_tokens)),
-        };
+        let mut alloc = self.new_alloc();
 
         let mut queue: VecDeque<usize> = (0..requests.len()).collect();
         let mut running: Vec<usize> = Vec::new();
@@ -399,6 +471,341 @@ impl ServingSimulator {
                 faults_injected,
             },
         )
+    }
+
+    fn new_alloc(&self) -> Box<dyn KvAllocator> {
+        match self.config.kv_block_tokens {
+            Some(b) => Box::new(PagedAllocator::new(self.config.kv_capacity_tokens, b)),
+            None => Box::new(MonolithicAllocator::new(self.config.kv_capacity_tokens)),
+        }
+    }
+
+    /// Run `requests` across `replicas` independent copies of this
+    /// scheduler, mirroring the live `llmib-serve` `ReplicaPool`:
+    /// requests are dealt round-robin in arrival order (the share the
+    /// live router's cursor hands each replica), each replica replays
+    /// its own [`ReplicaFaultPlan::plan_for`] slice on its own step
+    /// clock, and a replica lost to [`FaultKind::SchedulerPanic`] fails
+    /// over — its outstanding requests migrate to surviving replicas
+    /// with their generated tokens folded into the prompt as a replayed
+    /// prefill prefix, exactly the accounting the live pool reports.
+    ///
+    /// Requests assigned to the dead replica that had not yet arrived
+    /// are re-dealt without counting as migrations (the live router
+    /// never dispatched them). With no survivor left they fail. A
+    /// migrated request keeps its original arrival and the TTFT of its
+    /// already streamed prefix, so latency stays measured from first
+    /// submission — the same convention as the live pool's router.
+    pub fn run_replicated(
+        &self,
+        mut requests: Vec<Request>,
+        perf: &ResolvedScenario,
+        replicas: u32,
+        plan: &ReplicaFaultPlan,
+    ) -> ReplicatedReport {
+        assert!(replicas > 0, "need at least one replica");
+        requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
+        let mut reps: Vec<Rep> = (0..replicas)
+            .map(|r| Rep {
+                plan: plan.plan_for(llmib_types::ReplicaId(r)),
+                alloc: self.new_alloc(),
+                queue: VecDeque::new(),
+                running: Vec::new(),
+                now: Seconds::ZERO,
+                decode_steps: 0,
+                next_event: 0,
+                poisoned: Vec::new(),
+                pressure: None,
+                dead: false,
+                completed: 0,
+            })
+            .collect();
+        for i in 0..requests.len() {
+            reps[i % replicas as usize].queue.push_back(i);
+        }
+
+        let retry = RetryPolicy::default();
+        let mut tally = PoolTally::default();
+        let mut failovers = 0u32;
+        let mut migrations = 0u32;
+        let mut migrated_tokens = 0u64;
+        let mut rr = 0usize;
+
+        // Advance the live replica with work whose clock is furthest
+        // behind — a deterministic merge of the per-replica event
+        // streams.
+        while let Some(r) = (0..reps.len())
+            .filter(|&i| !reps[i].dead && reps[i].has_work())
+            .min_by(|&a, &b| reps[a].now.value().total_cmp(&reps[b].now.value()))
+        {
+            let ReplicaEvent::Died(outstanding) =
+                self.advance_replica(&mut reps[r], &mut requests, perf, &retry, &mut tally)
+            else {
+                continue;
+            };
+            failovers += 1;
+            let dead_now = reps[r].now;
+            for idx in outstanding {
+                let req = &mut requests[idx];
+                if req.arrival.value() <= dead_now.value() {
+                    // Dispatched before the death: fail over with a
+                    // prefix replay of the tokens already produced.
+                    migrations += 1;
+                    migrated_tokens += u64::from(req.generated);
+                    req.prompt_tokens += req.generated;
+                    req.output_tokens -= req.generated;
+                    req.generated = 0;
+                }
+                req.state = RequestState::Queued;
+                let survivor = (0..reps.len())
+                    .map(|_| {
+                        let t = rr % reps.len();
+                        rr += 1;
+                        t
+                    })
+                    .find(|&t| !reps[t].dead);
+                match survivor {
+                    Some(t) => insert_by_arrival(&mut reps[t].queue, idx, &requests),
+                    None => {
+                        requests[idx].state = RequestState::Failed;
+                        tally.failed += 1;
+                    }
+                }
+            }
+        }
+
+        let makespan = reps
+            .iter()
+            .map(|rep| rep.now)
+            .fold(Seconds::ZERO, |a, b| Seconds(a.value().max(b.value())));
+        let decode_steps: u64 = reps.iter().map(|rep| rep.decode_steps).sum();
+        let aggregate = self.report(
+            &requests,
+            makespan,
+            decode_steps,
+            tally.occupancy_acc,
+            tally.peak_util,
+            tally.preemptions,
+            tally.rejected,
+            FaultTally {
+                failed: tally.failed,
+                retries: tally.retries,
+                faults_injected: tally.faults_injected,
+            },
+        );
+        ReplicatedReport {
+            aggregate,
+            failovers,
+            migrations,
+            migrated_tokens,
+            per_replica_completed: reps.iter().map(|rep| rep.completed).collect(),
+        }
+    }
+
+    /// One iteration of the serving loop for a single replica: activate
+    /// due faults, evict poison victims, admit, then run one decode
+    /// step. The body mirrors [`ServingSimulator::run_with_faults`]
+    /// with replica-local state, except that `first_token_at` is only
+    /// set when absent so a migrated request keeps the TTFT of its
+    /// replayed prefix.
+    fn advance_replica(
+        &self,
+        rep: &mut Rep,
+        requests: &mut [Request],
+        perf: &ResolvedScenario,
+        retry: &RetryPolicy,
+        tally: &mut PoolTally,
+    ) -> ReplicaEvent {
+        // --- Fault activation (this replica's plan, its own clock) ---
+        while let Some(ev) = rep.plan.events().get(rep.next_event) {
+            if ev.at_step > rep.decode_steps {
+                break;
+            }
+            tally.faults_injected += 1;
+            rep.next_event += 1;
+            match ev.kind {
+                FaultKind::StepStall { extra } => {
+                    rep.now += Seconds(extra.value().max(0.0));
+                }
+                FaultKind::TransientStepError { failures } => {
+                    if failures > retry.max_retries {
+                        for idx in rep.running.drain(..) {
+                            let r = &mut requests[idx];
+                            rep.alloc.release(r.id);
+                            r.state = RequestState::Failed;
+                            tally.failed += 1;
+                        }
+                    } else {
+                        for attempt in 1..=failures {
+                            rep.now += retry.backoff(attempt, rep.plan.seed ^ rep.decode_steps);
+                            tally.retries += 1;
+                        }
+                    }
+                }
+                FaultKind::RequestPoison { request } => rep.poisoned.push(request),
+                FaultKind::MemoryPressure {
+                    capacity_factor,
+                    steps,
+                } => rep.pressure = Some((capacity_factor.clamp(0.01, 1.0), steps.max(1))),
+                FaultKind::SchedulerPanic => {
+                    rep.dead = true;
+                    for &idx in &rep.running {
+                        rep.alloc.release(requests[idx].id);
+                    }
+                    let outstanding: Vec<usize> =
+                        rep.queue.drain(..).chain(rep.running.drain(..)).collect();
+                    return ReplicaEvent::Died(outstanding);
+                }
+            }
+        }
+        // --- Poison eviction ---
+        if !rep.poisoned.is_empty() {
+            let mut i = 0;
+            while i < rep.running.len() {
+                let id = requests[rep.running[i]].id;
+                if let Some(pos) = rep.poisoned.iter().position(|&p| p == id) {
+                    rep.poisoned.swap_remove(pos);
+                    let idx = rep.running.swap_remove(i);
+                    let r = &mut requests[idx];
+                    rep.alloc.release(r.id);
+                    r.state = RequestState::Failed;
+                    tally.failed += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // --- Admission ---
+        let may_admit = match self.config.policy {
+            BatchingPolicy::Continuous => true,
+            BatchingPolicy::Static => rep.running.is_empty(),
+        };
+        let mut newly_admitted: Vec<usize> = Vec::new();
+        if may_admit {
+            while rep.running.len() + newly_admitted.len() < self.config.max_concurrency as usize {
+                let Some(&idx) = rep.queue.front() else { break };
+                if requests[idx].arrival.value() > rep.now.value() {
+                    break;
+                }
+                if let Some((factor, _)) = rep.pressure {
+                    if rep.alloc.stats().utilization() >= factor {
+                        break;
+                    }
+                }
+                let req = &requests[idx];
+                if !rep.alloc.can_admit(req.max_context()) {
+                    break;
+                }
+                if rep.alloc.admit(req.id, req.max_context()).is_err() {
+                    break;
+                }
+                if rep.alloc.append(req.id, req.prompt_tokens).is_err() {
+                    rep.alloc.release(req.id);
+                    break;
+                }
+                rep.queue.pop_front();
+                newly_admitted.push(idx);
+            }
+        }
+        if !newly_admitted.is_empty() {
+            let k = newly_admitted.len() as u32;
+            let mean_prompt = (newly_admitted
+                .iter()
+                .map(|&i| u64::from(requests[i].prompt_tokens))
+                .sum::<u64>()
+                / u64::from(k)) as u32;
+            rep.now += perf.prefill_time(k, mean_prompt.max(1));
+            for idx in newly_admitted {
+                requests[idx].state = RequestState::Decoding;
+                rep.running.push(idx);
+            }
+        }
+
+        if rep.running.is_empty() {
+            return match rep.queue.front() {
+                Some(&idx) => {
+                    let arr = requests[idx].arrival;
+                    if arr.value() > rep.now.value() {
+                        rep.now = arr;
+                    } else {
+                        // Waiting work an idle pool still cannot hold:
+                        // shed it, like the single-replica loop.
+                        rep.queue.pop_front();
+                        requests[idx].state = RequestState::Rejected;
+                        tally.rejected += 1;
+                    }
+                    ReplicaEvent::Progressed
+                }
+                None => ReplicaEvent::Idle,
+            };
+        }
+
+        // --- One decode step ---
+        let batch = rep.running.len() as u32;
+        let ctx_avg = (rep
+            .running
+            .iter()
+            .map(|&i| u64::from(requests[i].context()))
+            .sum::<u64>()
+            / u64::from(batch)) as u32;
+        rep.now += perf.decode_step_time(batch, ctx_avg);
+        rep.decode_steps += 1;
+        tally.occupancy_acc += f64::from(batch);
+
+        let mut i = 0;
+        while i < rep.running.len() {
+            let idx = rep.running[i];
+            let id = requests[idx].id;
+            match rep.alloc.append(id, 1) {
+                Ok(()) => {
+                    let r = &mut requests[idx];
+                    r.generated += 1;
+                    if r.first_token_at.is_none() {
+                        r.first_token_at = Some(rep.now);
+                    }
+                    i += 1;
+                }
+                Err(_) => {
+                    let victim_pos = rep.running.len() - 1;
+                    let victim_idx = rep.running.swap_remove(victim_pos);
+                    let v = &mut requests[victim_idx];
+                    rep.alloc.release(v.id);
+                    if rep.running.is_empty() && victim_idx == idx {
+                        v.state = RequestState::Rejected;
+                        tally.rejected += 1;
+                        continue;
+                    }
+                    v.state = RequestState::Queued;
+                    v.generated = 0;
+                    v.first_token_at = None;
+                    rep.queue.push_front(victim_idx);
+                    tally.preemptions += 1;
+                    if victim_idx == idx {
+                        continue;
+                    }
+                }
+            }
+        }
+
+        tally.peak_util = tally.peak_util.max(rep.alloc.stats().utilization());
+
+        // --- Completions ---
+        let alloc = &mut rep.alloc;
+        let completed = &mut rep.completed;
+        let now = rep.now;
+        rep.running.retain(|&idx| {
+            let r = &mut requests[idx];
+            if r.generated >= r.output_tokens {
+                r.state = RequestState::Finished;
+                r.finished_at = Some(now);
+                alloc.release(r.id);
+                *completed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        ReplicaEvent::Progressed
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -686,6 +1093,86 @@ mod tests {
             "throttled admission cannot raise occupancy ({} vs {})",
             faulted.mean_batch_occupancy,
             healthy.mean_batch_occupancy
+        );
+    }
+
+    #[test]
+    fn replicated_healthy_run_completes_all_with_zero_failovers() {
+        use llmib_types::ReplicaFaultPlan;
+        let reqs = ArrivalPattern::Burst.generate(12, 128, 16);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let rep = sim.run_replicated(reqs, &perf(4), 3, &ReplicaFaultPlan::empty());
+        assert_eq!(rep.aggregate.completed, 12);
+        assert_eq!(rep.failovers, 0);
+        assert_eq!(rep.migrations, 0);
+        assert_eq!(rep.migrated_tokens, 0);
+        // Round-robin deals 4 requests to each of the 3 replicas.
+        assert_eq!(rep.per_replica_completed, vec![4, 4, 4]);
+        assert!(rep.aggregate.throughput_tokens_per_s > 0.0);
+    }
+
+    #[test]
+    fn replicated_failover_migrates_the_dead_replicas_share() {
+        use llmib_types::{ReplicaFaultPlan, ReplicaId};
+        let reqs = ArrivalPattern::Burst.generate(12, 128, 24);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let plan = ReplicaFaultPlan::kill_replica(ReplicaId(1), 6);
+        let rep = sim.run_replicated(reqs, &perf(4), 3, &plan);
+        assert_eq!(rep.failovers, 1, "one replica dies");
+        assert_eq!(
+            rep.migrations, 4,
+            "replica 1's round-robin share fails over"
+        );
+        assert!(
+            rep.migrated_tokens > 0 && rep.migrated_tokens <= 4 * 23,
+            "migrations replay a strict prefix ({} tokens)",
+            rep.migrated_tokens
+        );
+        assert_eq!(rep.aggregate.completed, 12, "every request still finishes");
+        assert_eq!(rep.aggregate.failed, 0);
+        assert_eq!(rep.aggregate.rejected, 0);
+        assert_eq!(
+            rep.per_replica_completed[1], 0,
+            "the dead replica finished none"
+        );
+        assert_eq!(
+            rep.per_replica_completed[0] + rep.per_replica_completed[2],
+            12
+        );
+    }
+
+    #[test]
+    fn replicated_run_with_no_survivor_fails_outstanding() {
+        use llmib_types::{FaultEvent, ReplicaFaultPlan, ReplicaId};
+        let reqs = ArrivalPattern::Burst.generate(6, 128, 64);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let kill = |at_step| FaultEvent {
+            at_step,
+            kind: FaultKind::SchedulerPanic,
+        };
+        let plan = ReplicaFaultPlan::empty()
+            .with(ReplicaId(0), kill(3))
+            .with(ReplicaId(1), kill(3));
+        let rep = sim.run_replicated(reqs, &perf(4), 2, &plan);
+        assert_eq!(rep.failovers, 2);
+        assert_eq!(rep.aggregate.completed, 0);
+        assert_eq!(rep.aggregate.failed, 6, "no survivor: everything fails");
+    }
+
+    #[test]
+    fn replicated_migration_preserves_first_token_time() {
+        use llmib_types::{ReplicaFaultPlan, ReplicaId};
+        // Single request on the doomed replica: after migration it must
+        // keep the TTFT stamped before the death.
+        let reqs = ArrivalPattern::Burst.generate(2, 128, 32);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let plan = ReplicaFaultPlan::kill_replica(ReplicaId(1), 4);
+        let rep = sim.run_replicated(reqs, &perf(1), 2, &plan);
+        assert_eq!(rep.aggregate.completed, 2);
+        assert_eq!(rep.migrations, 1);
+        assert!(
+            rep.aggregate.mean_ttft.value() > 0.0,
+            "migrated request keeps its streamed-prefix TTFT"
         );
     }
 

@@ -6,7 +6,7 @@
 
 use crate::simulator::{ArrivalPattern, ServingReport, ServingSimulator, SimConfig};
 use llmib_perf::ResolvedScenario;
-use llmib_types::Request;
+use llmib_types::{Error, Request, Result};
 use serde::Serialize;
 
 /// One point of a load sweep.
@@ -34,6 +34,12 @@ pub struct LoadSweep {
 impl LoadSweep {
     /// Run the simulator at each arrival rate with `n` requests of
     /// `prompt`/`output` tokens each.
+    ///
+    /// A sweep is an operator-facing entry point fed from experiment
+    /// configs, so degenerate inputs (a non-positive or non-finite
+    /// arrival rate, a zero-concurrency scheduler) come back as
+    /// [`Error::InvalidConfig`] instead of tripping the simulator's
+    /// internal assertions.
     pub fn run(
         config: &SimConfig,
         perf: &ResolvedScenario,
@@ -42,7 +48,17 @@ impl LoadSweep {
         prompt: u32,
         output: u32,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self> {
+        if config.max_concurrency == 0 {
+            return Err(Error::InvalidConfig(
+                "load sweep: max_concurrency must be at least 1".into(),
+            ));
+        }
+        if let Some(&bad) = rates.iter().find(|r| !r.is_finite() || **r <= 0.0) {
+            return Err(Error::InvalidConfig(format!(
+                "load sweep: arrival rate must be positive and finite, got {bad}"
+            )));
+        }
         let points = rates
             .iter()
             .map(|&rate| {
@@ -61,7 +77,7 @@ impl LoadSweep {
                 }
             })
             .collect();
-        Self { points }
+        Ok(Self { points })
     }
 
     /// The knee: the highest arrival rate whose p95 latency stays within
@@ -117,7 +133,8 @@ mod tests {
             128,
             32,
             5,
-        );
+        )
+        .expect("valid sweep");
         assert_eq!(sweep.points.len(), 4);
         let first = &sweep.points[0];
         let last = &sweep.points[3];
@@ -140,7 +157,8 @@ mod tests {
             128,
             32,
             5,
-        );
+        )
+        .expect("valid sweep");
         let knee = sweep.saturation_rate(3.0).expect("non-empty sweep");
         assert!(knee >= 1.0);
         assert!(knee < 256.0, "overload must blow the p95 budget");
@@ -149,9 +167,26 @@ mod tests {
     #[test]
     fn throughput_saturates_not_collapses() {
         // Under heavy overload the system keeps serving at its capacity.
-        let sweep = LoadSweep::run(&config(), &resolved(), &[64.0, 512.0], 24, 128, 32, 5);
+        let sweep = LoadSweep::run(&config(), &resolved(), &[64.0, 512.0], 24, 128, 32, 5)
+            .expect("valid sweep");
         let a = sweep.points[0].throughput_tokens_per_s;
         let b = sweep.points[1].throughput_tokens_per_s;
         assert!(b > 0.5 * a, "throughput collapsed: {a} -> {b}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors_not_panics() {
+        let err = LoadSweep::run(&config(), &resolved(), &[4.0, 0.0], 8, 128, 16, 5)
+            .expect_err("zero rate must be rejected");
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("arrival rate"), "{err}");
+        let err = LoadSweep::run(&config(), &resolved(), &[f64::NAN], 8, 128, 16, 5)
+            .expect_err("NaN rate must be rejected");
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        let mut cfg = config();
+        cfg.max_concurrency = 0;
+        let err = LoadSweep::run(&cfg, &resolved(), &[4.0], 8, 128, 16, 5)
+            .expect_err("zero concurrency must be rejected");
+        assert!(err.to_string().contains("max_concurrency"), "{err}");
     }
 }

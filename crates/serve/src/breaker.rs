@@ -87,6 +87,28 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Encode for lock-free telemetry publication (atomics between the
+    /// replica scheduler thread and the pool router).
+    pub(crate) fn encode(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Inverse of [`BreakerState::encode`]; unknown values read as
+    /// `Closed` (the harmless default for routing decisions).
+    pub(crate) fn decode(v: u8) -> Self {
+        match v {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct CircuitBreaker {
     cfg: BreakerConfig,
@@ -97,6 +119,8 @@ pub(crate) struct CircuitBreaker {
     half_open_healthy: u32,
     /// Times the breaker tripped open (re-opens from half-open count).
     pub opened: u32,
+    /// Times the breaker recovered (`HalfOpen → Closed`).
+    pub recoveries: u32,
     /// Steps recorded while not closed.
     pub degraded_steps: u64,
 }
@@ -110,11 +134,13 @@ impl CircuitBreaker {
             open_until: None,
             half_open_healthy: 0,
             opened: 0,
+            recoveries: 0,
             degraded_steps: 0,
         }
     }
 
-    #[cfg(test)]
+    /// Current state, published to the pool router's health-weighted
+    /// routing (and asserted by tests).
     pub fn state(&self) -> BreakerState {
         self.state
     }
@@ -171,6 +197,7 @@ impl CircuitBreaker {
                     self.half_open_healthy += 1;
                     if self.half_open_healthy >= self.cfg.half_open_recovery_steps {
                         self.state = BreakerState::Closed;
+                        self.recoveries += 1;
                         self.window.clear();
                         self.open_until = None;
                     }
@@ -243,6 +270,7 @@ mod tests {
         }
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.effective_concurrency(8), 8);
+        assert_eq!(b.recoveries, 1, "half-open → closed is a recovery");
         assert!(b.degraded_steps > 0);
     }
 

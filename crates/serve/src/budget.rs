@@ -134,6 +134,12 @@ impl KvBudget {
         }
     }
 
+    /// Tokens currently reserved by live sequences — the load signal
+    /// the pool router's least-loaded policy balances on.
+    pub fn reserved_tokens(&self) -> u64 {
+        self.reserved_tokens
+    }
+
     /// Fraction of the pool holding live tokens right now.
     pub fn utilization(&self) -> f64 {
         self.alloc.stats().utilization()

@@ -17,10 +17,12 @@ pub struct SubmitOptions {
     /// Sampling strategy (use [`Sampler::Greedy`] for bitwise-replayable
     /// runs).
     pub sampler: Sampler,
-    /// Admission deadline, relative to submission: if the request is
-    /// still queued when it expires, the scheduler sheds it with
-    /// [`crate::RejectReason::DeadlineExpired`]. Admitted requests always run
-    /// to completion (unless a fault or a cancellation kills them).
+    /// Request deadline, relative to submission, enforced through the
+    /// whole lifecycle: a request still queued when it expires is shed
+    /// with [`crate::RejectReason::DeadlineExpired`]; one that expires
+    /// mid-decode is evicted and resolved
+    /// [`crate::FailReason::DeadlineExceeded`] (its streamed prefix
+    /// stays valid).
     pub deadline: Option<Duration>,
 }
 
@@ -161,7 +163,8 @@ impl RequestHandle {
                 }
             };
             match next {
-                Ok(ServeEvent::Admitted { .. }) => {}
+                // Informational, non-terminal events.
+                Ok(ServeEvent::Admitted { .. }) | Ok(ServeEvent::Migrated { .. }) => {}
                 Ok(ServeEvent::Token { token, .. }) => tokens.push(token),
                 Ok(ServeEvent::Finished { metrics }) => {
                     return Some(RequestOutcome::Completed { tokens, metrics })

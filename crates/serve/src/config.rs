@@ -1,8 +1,9 @@
 //! Serving-runtime configuration.
 
 use crate::breaker::BreakerConfig;
+use crate::router::RoutingPolicy;
 use llmib_sched::BatchingPolicy;
-use llmib_types::{Error, FaultPlan, Result, RetryPolicy};
+use llmib_types::{Error, FaultPlan, ReplicaFaultPlan, Result, RetryPolicy};
 use std::time::Duration;
 
 /// Configuration of a live [`crate::Server`].
@@ -95,6 +96,74 @@ impl Default for ServeConfig {
     }
 }
 
+/// Configuration of a [`crate::ReplicaPool`]: N independent replicas
+/// (each a full [`ServeConfig`] instance — own `BatchSession`, KV
+/// budget, breaker) fronted by a health-aware router.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of scheduler/engine replicas to spawn (>= 1).
+    pub replicas: u32,
+    /// How the router picks a replica for each dispatch.
+    pub routing: RoutingPolicy,
+    /// Per-replica configuration, applied identically to every replica.
+    /// Its `fault_plan` must stay empty — replica-scoped faults go in
+    /// [`PoolConfig::fault_plan`] instead.
+    pub replica: ServeConfig,
+    /// Replica-scoped deterministic fault schedule; each replica's
+    /// slice is anchored to *its own* successful-decode-step clock.
+    pub fault_plan: ReplicaFaultPlan,
+    /// Hedged dispatch: when a request makes no progress for this long,
+    /// re-issue it on a second replica (prefix-replayed); first to
+    /// finish wins, the loser is cancelled. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Migrate a replica's in-flight requests away while its breaker is
+    /// open (the replica itself stays up and may be routed to again
+    /// once the breaker recovers).
+    pub migrate_on_breaker_open: bool,
+    /// Condemn a replica permanently once its watchdog-stall tally
+    /// reaches this count, migrating its in-flight requests. `None`
+    /// disables stall-based condemnation.
+    pub condemn_stall_tally: Option<u32>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            routing: RoutingPolicy::RoundRobin,
+            replica: ServeConfig::default(),
+            fault_plan: ReplicaFaultPlan::empty(),
+            hedge_after: None,
+            migrate_on_breaker_open: true,
+            condemn_stall_tally: None,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(Error::InvalidConfig("pool needs at least 1 replica".into()));
+        }
+        self.replica.validate()?;
+        if !self.replica.fault_plan.events().is_empty() {
+            return Err(Error::InvalidConfig(
+                "replica.fault_plan must be empty in a pool; scope faults per replica \
+                 via PoolConfig::fault_plan"
+                    .into(),
+            ));
+        }
+        if self.condemn_stall_tally == Some(0) {
+            return Err(Error::InvalidConfig(
+                "condemn_stall_tally of 0 would condemn healthy replicas; use None to disable"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +189,39 @@ mod tests {
             breakit(&mut c);
             assert!(c.validate().is_err());
         }
+    }
+
+    #[test]
+    fn default_pool_config_is_valid() {
+        PoolConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn pool_rejects_misplaced_or_degenerate_knobs() {
+        use llmib_types::{FaultKind, ReplicaId};
+        let c = PoolConfig {
+            replicas: 0,
+            ..PoolConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = PoolConfig::default();
+        c.replica.fault_plan = FaultPlan::new(vec![llmib_types::FaultEvent {
+            at_step: 1,
+            kind: FaultKind::SchedulerPanic,
+        }]);
+        assert!(c.validate().is_err(), "faults must be replica-scoped");
+
+        let c = PoolConfig {
+            condemn_stall_tally: Some(0),
+            ..PoolConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = PoolConfig {
+            fault_plan: ReplicaFaultPlan::kill_replica(ReplicaId(1), 4),
+            ..PoolConfig::default()
+        };
+        assert!(c.validate().is_ok(), "scoped faults are fine");
     }
 }

@@ -2,7 +2,7 @@
 //! handles, and the reasons a request can be refused service.
 
 use crate::report::RequestMetrics;
-use llmib_types::Seconds;
+use llmib_types::{ReplicaId, Seconds};
 use serde::Serialize;
 
 /// Why a request was refused service.
@@ -40,6 +40,12 @@ pub enum FailReason {
     /// (accounting bug surfaced as a typed error instead of a process
     /// abort); only this request was failed.
     KvAccounting,
+    /// The request's deadline expired after admission (queued deadline
+    /// expiry is a [`RejectReason::DeadlineExpired`] shed instead): the
+    /// scheduler evicted it mid-decode so its batch slot and KV
+    /// reservation go to requests that can still meet theirs. Tokens
+    /// streamed before the eviction remain valid.
+    DeadlineExceeded,
     /// The scheduler thread died (contained panic or early exit); every
     /// outstanding request resolves with this instead of hanging.
     ServerFailed,
@@ -85,6 +91,19 @@ pub enum ServeEvent {
     /// The request was cancelled by its client (queued or mid-decode).
     Cancelled {
         /// When the cancellation took effect.
+        at: Seconds,
+    },
+    /// Pool-only, informational: the request was moved off a failed or
+    /// condemned replica and re-admitted on a healthy one with a prefill
+    /// of `prompt + tokens already streamed`. Because decode is
+    /// greedy-deterministic, the stream continues bitwise-exactly where
+    /// it left off; clients may ignore this event entirely.
+    Migrated {
+        /// The replica the request landed on.
+        to: ReplicaId,
+        /// Tokens already streamed, replayed as prefill prefix.
+        replayed_tokens: u32,
+        /// When the migration was dispatched.
         at: Seconds,
     },
 }

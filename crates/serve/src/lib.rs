@@ -50,6 +50,17 @@
 //! [`llmib_sched::ServingSimulator`] must agree on metric shapes — the
 //! cross-validation loop exercised by this crate's integration tests.
 //!
+//! For availability beyond one scheduler, [`ReplicaPool`] runs N
+//! independent replicas behind a health-aware router ([`PoolConfig`],
+//! [`RoutingPolicy`]): replica death or condemnation triggers failover
+//! by *prefix-replay migration* — the victim's in-flight requests are
+//! re-admitted elsewhere with a prefill of `prompt + tokens already
+//! streamed`, and greedy determinism makes the continued stream bitwise
+//! identical to an unfaulted run. Stragglers can be hedged on a second
+//! replica ([`PoolConfig::hedge_after`]); the mirrored
+//! `llmib_sched::ServingSimulator::run_replicated` cross-validates
+//! failover counts and migrated-token accounting.
+//!
 //! ```
 //! use llmib_engine::{EngineConfig, TransformerModel};
 //! use llmib_serve::{ServeConfig, Server, SubmitOptions};
@@ -77,18 +88,23 @@ mod client;
 mod config;
 mod event;
 mod fault;
+mod pool;
 mod replay;
 mod report;
+mod router;
 mod server;
 
 pub use breaker::{BreakerConfig, BreakerState};
 pub use budget::BudgetError;
 pub use client::{Client, PendingRequest, RequestHandle, SubmitError, SubmitOptions};
-pub use config::ServeConfig;
+pub use config::{PoolConfig, ServeConfig};
 pub use event::{FailReason, RejectReason, RequestOutcome, ServeEvent};
 pub use fault::FaultCounters;
+pub use pool::{PoolReport, ReplicaPool};
 pub use replay::{
-    deterministic_prompt, replay_admission_order, replay_trace, ReplayOptions, ReplayedRequest,
+    deterministic_prompt, replay_admission_order, replay_trace, replay_trace_on, ReplayOptions,
+    ReplayedRequest,
 };
 pub use report::{RequestMetrics, RobustnessStats, ServeReport};
+pub use router::RoutingPolicy;
 pub use server::Server;

@@ -7,7 +7,7 @@
 //! feeds [`llmib_sched::ServingSimulator`] — that is the repo's
 //! sim-vs-real cross-validation loop.
 
-use crate::client::{SubmitError, SubmitOptions};
+use crate::client::{Client, SubmitError, SubmitOptions};
 use crate::event::{RejectReason, RequestOutcome};
 use crate::server::Server;
 use llmib_engine::{BatchSession, Sampler, TransformerModel};
@@ -75,13 +75,27 @@ pub fn replay_trace(
     trace: &[Request],
     opts: &ReplayOptions,
 ) -> Vec<ReplayedRequest> {
+    replay_trace_on(&server.client(), trace, opts)
+}
+
+/// [`replay_trace`] against any submission endpoint — a standalone
+/// [`Server`]'s client or a [`crate::ReplicaPool`]'s. The pool hands
+/// out the same [`Client`] type, so the identical trace drives both a
+/// single replica and a replicated pool (and, with the same
+/// [`llmib_workloads::TrafficProfile`] trace, the simulator) for
+/// cross-validation.
+pub fn replay_trace_on(
+    endpoint: &Client,
+    trace: &[Request],
+    opts: &ReplayOptions,
+) -> Vec<ReplayedRequest> {
     assert!(opts.time_scale >= 0.0, "time scale must be non-negative");
     let threads = opts.client_threads.max(1);
     let start = Instant::now();
     let mut outcomes: Vec<ReplayedRequest> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let client = server.client();
+                let client = endpoint.clone();
                 s.spawn(move || {
                     let mut pending = Vec::new();
                     for req in trace.iter().skip(t).step_by(threads) {

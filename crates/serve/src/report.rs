@@ -97,6 +97,25 @@ pub struct RobustnessStats {
     pub breaker_opened: u32,
     /// Steps recorded while the breaker was not closed.
     pub breaker_degraded_steps: u64,
+    /// Times the breaker recovered (`HalfOpen → Closed`).
+    pub breaker_recoveries: u32,
+    /// Admitted requests evicted because their deadline expired
+    /// mid-decode (resolved [`crate::FailReason::DeadlineExceeded`];
+    /// also counted in [`RobustnessStats::failed`]).
+    pub deadline_exceeded: u32,
+    /// Pool-only: requests re-admitted on a healthy replica after their
+    /// original replica died or was condemned.
+    pub migrations: u32,
+    /// Pool-only: tokens already streamed at migration time, replayed as
+    /// prefill prefix on the new replica (the failover-cost currency the
+    /// simulator cross-validates).
+    pub migrated_tokens: u64,
+    /// Pool-only: replicas that died (scheduler panic or relay loss) and
+    /// were permanently removed from routing.
+    pub replicas_lost: u32,
+    /// Pool-only: hedged dispatches issued for stragglers (a duplicate
+    /// of a stalled request raced on a second replica).
+    pub hedges: u32,
     /// The scheduler thread died (contained panic). Outstanding clients
     /// were resolved with [`crate::FailReason::ServerFailed`]; the rest
     /// of this report reflects only what the fallback could observe.

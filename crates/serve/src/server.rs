@@ -38,11 +38,81 @@ use llmib_engine::{BatchSession, EngineStep, Sampler, TokenEvent, TransformerMod
 use llmib_sched::BatchingPolicy;
 use llmib_types::{Result, Seconds, StepError};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Lock-free health signals one scheduler thread publishes for the pool
+/// router: routing policies read them every loop without touching the
+/// scheduler. Plain `Relaxed` ordering everywhere — each field is an
+/// independent monotone-ish gauge, not a synchronization point.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaTelemetry {
+    /// KV tokens currently reserved by live sequences (least-loaded
+    /// routing signal).
+    pub reserved_kv_tokens: AtomicU64,
+    /// [`crate::BreakerState`] encoded via `BreakerState::encode`.
+    pub breaker_state: AtomicU8,
+    /// Watchdog stalls observed so far (condemnation tally).
+    pub watchdog_stalls: AtomicU32,
+    /// Set once the scheduler thread died (contained panic); the router
+    /// must stop dispatching and migrate the replica's in-flight work.
+    pub dead: AtomicBool,
+}
+
+/// One spawned scheduler/engine replica: the channel endpoints and
+/// health telemetry the pool router needs to drive it.
+pub(crate) struct ReplicaWorker {
+    pub ingress: SyncSender<Submission>,
+    pub control: Sender<u64>,
+    pub stop: Arc<AtomicBool>,
+    pub telemetry: Arc<ReplicaTelemetry>,
+    pub worker: JoinHandle<ServeReport>,
+}
+
+/// Spawn one panic-contained scheduler thread over its own
+/// [`BatchSession`], KV budget, and breaker. `Server::start` runs
+/// exactly one; [`crate::ReplicaPool`] runs N against a shared `epoch`
+/// so timestamps and deadlines are comparable across replicas.
+pub(crate) fn spawn_scheduler(
+    model: Arc<TransformerModel>,
+    config: ServeConfig,
+    epoch: Instant,
+) -> ReplicaWorker {
+    let (ingress, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+    let (control, control_rx) = std::sync::mpsc::channel();
+    let stop = Arc::new(AtomicBool::new(false));
+    let telemetry = Arc::new(ReplicaTelemetry::default());
+    let worker = {
+        let stop = Arc::clone(&stop);
+        let telemetry = Arc::clone(&telemetry);
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                scheduler_loop(&model, &config, &rx, &control_rx, &stop, epoch, &telemetry)
+            }));
+            outcome.unwrap_or_else(|_| {
+                // The scheduler died mid-run. Its local state (live
+                // map, waiting queue) unwound, dropping every event
+                // sender it held; drain the ingress so queued
+                // submissions drop theirs too. Every outstanding
+                // client then observes a closed channel and resolves
+                // with `FailReason::ServerFailed` — no one hangs.
+                telemetry.dead.store(true, Ordering::Release);
+                while rx.try_recv().is_ok() {}
+                ServeReport::from_server_failure()
+            })
+        })
+    };
+    ReplicaWorker {
+        ingress,
+        control,
+        stop,
+        telemetry,
+        worker,
+    }
+}
 
 /// One submitted request in flight from a client to the scheduler.
 pub(crate) struct Submission {
@@ -63,6 +133,8 @@ struct LiveSeq {
     admitted_at: Seconds,
     first_token_at: Option<Seconds>,
     generated: u32,
+    /// Absolute deadline on the server clock, enforced mid-decode too.
+    deadline: Option<Seconds>,
     events: std::sync::mpsc::Sender<ServeEvent>,
 }
 
@@ -85,37 +157,16 @@ impl Server {
     /// Validate `config` and start the scheduler thread.
     pub fn start(model: Arc<TransformerModel>, config: ServeConfig) -> Result<Self> {
         config.validate()?;
-        let (ingress, rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
-        let (control, control_rx) = std::sync::mpsc::channel();
-        let accepting = Arc::new(AtomicBool::new(true));
-        let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
-        let worker = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    scheduler_loop(&model, &config, &rx, &control_rx, &stop, epoch)
-                }));
-                outcome.unwrap_or_else(|_| {
-                    // The scheduler died mid-run. Its local state (live
-                    // map, waiting queue) unwound, dropping every event
-                    // sender it held; drain the ingress so queued
-                    // submissions drop theirs too. Every outstanding
-                    // client then observes a closed channel and resolves
-                    // with `FailReason::ServerFailed` — no one hangs.
-                    while rx.try_recv().is_ok() {}
-                    ServeReport::from_server_failure()
-                })
-            })
-        };
+        let replica = spawn_scheduler(model, config, epoch);
         Ok(Self {
-            ingress: Some(ingress),
-            control,
-            accepting,
-            stop,
+            ingress: Some(replica.ingress),
+            control: replica.control,
+            accepting: Arc::new(AtomicBool::new(true)),
+            stop: replica.stop,
             next_id: Arc::new(AtomicU64::new(0)),
             epoch,
-            worker: Some(worker),
+            worker: Some(replica.worker),
         })
     }
 
@@ -161,7 +212,7 @@ impl Drop for Server {
     }
 }
 
-fn now(epoch: Instant) -> Seconds {
+pub(crate) fn now(epoch: Instant) -> Seconds {
     Seconds(epoch.elapsed().as_secs_f64())
 }
 
@@ -250,7 +301,12 @@ impl<'m> Scheduler<'m> {
         }
     }
 
-    /// Shed queued requests whose admission deadline has passed.
+    /// Enforce deadlines across the whole lifecycle: shed queued
+    /// requests whose deadline passed before admission
+    /// ([`RejectReason::DeadlineExpired`]) and evict admitted requests
+    /// whose deadline expired mid-decode
+    /// ([`FailReason::DeadlineExceeded`]) so their batch slots and KV
+    /// reservations go to requests that can still meet theirs.
     fn shed_expired(&mut self) {
         let t = now(self.epoch);
         let epoch = self.epoch;
@@ -267,6 +323,16 @@ impl<'m> Scheduler<'m> {
             !expired
         });
         self.shed_deadline += shed;
+        let expired_live: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, meta)| meta.deadline.is_some_and(|d| t.value() > d.value()))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired_live {
+            self.robust.deadline_exceeded += 1;
+            self.fail_request(id, FailReason::DeadlineExceeded);
+        }
     }
 
     /// Admit queued requests at this step boundary while policy, the
@@ -331,6 +397,7 @@ impl<'m> Scheduler<'m> {
                             admitted_at: at,
                             first_token_at: None,
                             generated: 0,
+                            deadline: sub.deadline,
                             events: sub.events,
                         },
                     );
@@ -479,6 +546,7 @@ impl<'m> Scheduler<'m> {
         self.robust.faults_injected = counters.injected;
         self.robust.breaker_opened = self.breaker.opened;
         self.robust.breaker_degraded_steps = self.breaker.degraded_steps;
+        self.robust.breaker_recoveries = self.breaker.recoveries;
         ServeReport::from_parts(
             self.per_request,
             self.shed_deadline,
@@ -493,6 +561,7 @@ impl<'m> Scheduler<'m> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scheduler_loop(
     model: &TransformerModel,
     config: &ServeConfig,
@@ -500,6 +569,7 @@ fn scheduler_loop(
     control: &Receiver<u64>,
     stop: &AtomicBool,
     epoch: Instant,
+    telemetry: &ReplicaTelemetry,
 ) -> ServeReport {
     let mut sched = Scheduler {
         session: FaultInjector::new(BatchSession::new(model), config.fault_plan.clone()),
@@ -524,6 +594,17 @@ fn scheduler_loop(
     };
     let mut disconnected = false;
     loop {
+        // 0. Publish health telemetry for the pool router (lock-free;
+        //    no-op overhead when serving standalone).
+        telemetry
+            .reserved_kv_tokens
+            .store(sched.budget.reserved_tokens(), Ordering::Relaxed);
+        telemetry
+            .breaker_state
+            .store(sched.breaker.state().encode(), Ordering::Relaxed);
+        telemetry
+            .watchdog_stalls
+            .store(sched.robust.watchdog_stalls, Ordering::Relaxed);
         // 1. Wall-clock breaker transitions (open → half-open) — driven
         //    here so an empty batch cannot freeze the breaker.
         sched.breaker.tick(Instant::now());

@@ -1,0 +1,493 @@
+//! Failover suite for the replica pool: health-aware routing, replica
+//! death with prefix-replay migration, hedged dispatch, and the
+//! condemnation paths (stall tally, breaker open).
+//!
+//! The central contract under test is the tentpole's determinism claim:
+//! because decode is greedy and per-sequence independent, a request
+//! migrated mid-stream — re-prefilled on a healthy replica with
+//! `prompt + tokens already streamed` — produces a token stream that is
+//! **bitwise identical** to a fault-free run. Every test here closes
+//! with that comparison against a fresh single-sequence replay, plus
+//! the usual supervision contract: no client hangs, the pool books
+//! reconcile.
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_models::ModelId;
+use llmib_serve::{
+    deterministic_prompt, replay_admission_order, BreakerConfig, FailReason, PoolConfig,
+    ReplicaPool, RequestOutcome, RoutingPolicy, ServeConfig, Server, SubmitOptions,
+};
+use llmib_types::{FaultEvent, FaultKind, FaultPlan, ReplicaFaultPlan, ReplicaId, Seconds};
+use std::sync::Arc;
+use std::time::Duration;
+
+const VOCAB: usize = 128;
+/// Generous bound for "no client hangs" — see the chaos suite.
+const NO_HANG: Duration = Duration::from_secs(30);
+
+fn tiny_model() -> Arc<TransformerModel> {
+    Arc::new(TransformerModel::new(EngineConfig::tiny(), false).expect("valid config"))
+}
+
+/// A scaled Table I analog whose decode steps take milliseconds. The
+/// kill/deadline tests need that gap: router placement happens in
+/// microseconds, so every burst dispatch deterministically lands
+/// *before* a step-count fault fires.
+fn slow_model() -> Arc<TransformerModel> {
+    let cfg = EngineConfig::scaled_from(ModelId::Llama2_7b, 128, 7);
+    Arc::new(TransformerModel::new(cfg, false).expect("valid config"))
+}
+
+/// Seed hook shared with the chaos suite so CI can sweep scenarios via
+/// `LLMIB_CHAOS_SEED` without code changes.
+fn chaos_seed() -> u64 {
+    std::env::var("LLMIB_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// Submit `n` requests with deterministic prompts, returning
+/// `(pool_id, prompt, max_new_tokens, handle)` per request.
+fn submit_wave(
+    client: &llmib_serve::Client,
+    n: u64,
+    max_new_tokens: usize,
+    vocab: usize,
+) -> Vec<(u64, Vec<usize>, usize, llmib_serve::RequestHandle)> {
+    (0..n)
+        .map(|i| {
+            let prompt = deterministic_prompt(i, 6, vocab);
+            let handle = client
+                .submit(prompt.clone(), SubmitOptions::greedy(max_new_tokens))
+                .expect("accepted");
+            (handle.id, prompt, max_new_tokens, handle)
+        })
+        .collect()
+}
+
+/// The fault-free reference stream for one request: a fresh
+/// single-sequence greedy replay. Greedy decode is per-sequence
+/// independent, so this is the stream an unfaulted pool would produce
+/// regardless of batching or replica placement.
+fn reference_stream(model: &TransformerModel, prompt: &[usize], max_new: usize) -> Vec<usize> {
+    let prompt = prompt.to_vec();
+    replay_admission_order(model, &[0], move |_| (prompt.clone(), max_new))
+        .pop()
+        .expect("one replayed sequence")
+        .1
+}
+
+fn assert_bitwise(model: &TransformerModel, outcomes: &[(u64, Vec<usize>, usize, RequestOutcome)]) {
+    for (id, prompt, max_new, outcome) in outcomes {
+        let full = reference_stream(model, prompt, *max_new);
+        match outcome {
+            RequestOutcome::Completed { tokens, .. } => {
+                assert_eq!(
+                    tokens, &full,
+                    "request {id}: completed stream must be bitwise identical to a fault-free run"
+                );
+            }
+            RequestOutcome::Failed { tokens, .. } | RequestOutcome::Cancelled { tokens } => {
+                assert_eq!(
+                    tokens.as_slice(),
+                    &full[..tokens.len()],
+                    "request {id}: partial stream must be a prefix of the fault-free run"
+                );
+            }
+            RequestOutcome::Rejected { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn healthy_pool_completes_everything_under_every_routing_policy() {
+    let model = tiny_model();
+    for policy in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLoadedKv,
+        RoutingPolicy::HealthWeighted,
+    ] {
+        let pool = ReplicaPool::start(
+            Arc::clone(&model),
+            PoolConfig {
+                replicas: 3,
+                routing: policy,
+                ..PoolConfig::default()
+            },
+        )
+        .expect("pool starts");
+        let client = pool.client();
+        let mut outcomes = Vec::new();
+        for (id, prompt, max_new, handle) in submit_wave(&client, 9, 12, VOCAB) {
+            let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+            assert!(
+                matches!(outcome, RequestOutcome::Completed { .. }),
+                "healthy pool must complete request {id} under {policy:?}: {outcome:?}"
+            );
+            outcomes.push((id, prompt, max_new, outcome));
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.aggregate.completed, 9, "{policy:?}");
+        assert_eq!(report.aggregate.robustness.migrations, 0, "{policy:?}");
+        assert_eq!(report.replicas_lost(), 0, "{policy:?}");
+        assert!(report.aggregate.reconciles(), "{policy:?}");
+        assert_eq!(
+            report.per_replica.iter().map(|r| r.completed).sum::<u32>(),
+            9,
+            "{policy:?}: per-replica completions must account for the whole wave"
+        );
+        if policy == RoutingPolicy::RoundRobin {
+            assert!(
+                report.per_replica.iter().all(|r| r.completed == 3),
+                "round-robin deals a 9-burst evenly over 3 replicas: {:?}",
+                report
+                    .per_replica
+                    .iter()
+                    .map(|r| r.completed)
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert_bitwise(&model, &outcomes);
+    }
+}
+
+#[test]
+fn replica_death_migrates_in_flight_streams_bitwise() {
+    let model = slow_model();
+    let vocab = model.config().vocab;
+    // 12-burst over 3 replicas: round-robin parks ids {1,4,7,10} on
+    // replica 1. Placement is microsecond-scale while the scaled model
+    // decodes in milliseconds, so all four are dispatched — and none of
+    // them finished (16 steps < 24 tokens) — when replica 1 panics at
+    // step 16. All four must migrate and finish elsewhere. (The late
+    // kill step is deliberate slack for loaded CI machines: even a
+    // briefly starved router still places the whole burst first.)
+    let pool = ReplicaPool::start(
+        Arc::clone(&model),
+        PoolConfig {
+            replicas: 3,
+            replica: ServeConfig {
+                kv_capacity_tokens: 4096,
+                kv_block_tokens: Some(16),
+                queue_capacity: 32,
+                ..ServeConfig::default()
+            },
+            fault_plan: ReplicaFaultPlan::kill_replica(ReplicaId(1), 16),
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts");
+    let client = pool.client();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in submit_wave(&client, 12, 24, vocab) {
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        assert!(
+            matches!(outcome, RequestOutcome::Completed { .. }),
+            "request {id} must survive the replica loss: {outcome:?}"
+        );
+        outcomes.push((id, prompt, max_new, outcome));
+    }
+    let report = pool.shutdown();
+    assert_eq!(report.aggregate.completed, 12);
+    assert_eq!(report.replicas_lost(), 1);
+    assert_eq!(report.aggregate.robustness.replicas_lost, 1);
+    assert_eq!(
+        report.aggregate.robustness.migrations, 4,
+        "the dead replica held exactly its round-robin share of the burst"
+    );
+    assert!(
+        report.aggregate.robustness.migrated_tokens > 0,
+        "replica 1 ran 16 decode steps, so migrated requests replay a non-empty prefix"
+    );
+    assert!(report.aggregate.reconciles());
+    assert_eq!(
+        report.per_replica[1].completed, 0,
+        "the dead replica finished nothing"
+    );
+    assert!(report.per_replica[1].robustness.server_failed);
+    assert_bitwise(&model, &outcomes);
+}
+
+#[test]
+fn hedged_dispatch_rescues_requests_stuck_on_a_stalled_replica() {
+    let model = tiny_model();
+    // Replica 0 wedges: every early step sleeps 250ms. With a 40ms
+    // hedge deadline the router races a twin on replica 1, which decodes
+    // in microseconds and wins; the stalled primary is cancelled.
+    let stalls = FaultPlan::new(
+        (1..=8)
+            .map(|s| FaultEvent {
+                at_step: s,
+                kind: FaultKind::StepStall {
+                    extra: Seconds(0.25),
+                },
+            })
+            .collect(),
+    );
+    let pool = ReplicaPool::start(
+        Arc::clone(&model),
+        PoolConfig {
+            replicas: 2,
+            fault_plan: ReplicaFaultPlan::single(ReplicaId(0), stalls),
+            hedge_after: Some(Duration::from_millis(40)),
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts");
+    let client = pool.client();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in submit_wave(&client, 2, 8, VOCAB) {
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        assert!(
+            matches!(outcome, RequestOutcome::Completed { .. }),
+            "hedging must complete request {id} despite the stalled primary: {outcome:?}"
+        );
+        outcomes.push((id, prompt, max_new, outcome));
+    }
+    let report = pool.shutdown();
+    assert!(
+        report.aggregate.robustness.hedges >= 1,
+        "the wedged primary must be hedged (saw {})",
+        report.aggregate.robustness.hedges
+    );
+    assert_eq!(report.aggregate.completed, 2);
+    assert_eq!(report.replicas_lost(), 0, "a stalled replica is not dead");
+    assert!(report.aggregate.reconciles());
+    assert_bitwise(&model, &outcomes);
+}
+
+#[test]
+fn condemned_replica_hands_off_in_flight_work_via_cancel_intercept() {
+    let model = tiny_model();
+    // Six 60ms stalls against a 20ms watchdog: replica 0's stall tally
+    // reaches the condemnation threshold of 2 while its request is still
+    // mid-decode, so the router condemns it (no panic involved), cancels
+    // the flight, and re-places it on replica 1 with its streamed prefix.
+    let stalls = FaultPlan::new(
+        (1..=6)
+            .map(|s| FaultEvent {
+                at_step: s,
+                kind: FaultKind::StepStall {
+                    extra: Seconds(0.06),
+                },
+            })
+            .collect(),
+    );
+    let pool = ReplicaPool::start(
+        Arc::clone(&model),
+        PoolConfig {
+            replicas: 2,
+            replica: ServeConfig {
+                watchdog_step_timeout: Some(Duration::from_millis(20)),
+                ..ServeConfig::default()
+            },
+            fault_plan: ReplicaFaultPlan::single(ReplicaId(0), stalls),
+            condemn_stall_tally: Some(2),
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts");
+    let client = pool.client();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in submit_wave(&client, 2, 32, VOCAB) {
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        assert!(
+            matches!(outcome, RequestOutcome::Completed { .. }),
+            "condemnation migrates, it never kills request {id}: {outcome:?}"
+        );
+        outcomes.push((id, prompt, max_new, outcome));
+    }
+    let report = pool.shutdown();
+    assert!(
+        report.aggregate.robustness.migrations >= 1,
+        "the condemned replica's flight must migrate"
+    );
+    assert_eq!(report.replicas_lost(), 0, "condemnation is not death");
+    assert_eq!(report.aggregate.completed, 2);
+    assert!(report.aggregate.reconciles());
+    assert_bitwise(&model, &outcomes);
+}
+
+#[test]
+fn breaker_open_replica_sheds_its_flights_to_the_pool() {
+    let model = tiny_model();
+    // Replica 0's breaker trips after two 30ms steps breach the 5ms SLO;
+    // the 5s cooldown keeps it open for the whole run, so the router
+    // treats replica 0 as unroutable and migrates its in-flight request.
+    let stalls = FaultPlan::new(
+        (1..=8)
+            .map(|s| FaultEvent {
+                at_step: s,
+                kind: FaultKind::StepStall {
+                    extra: Seconds(0.03),
+                },
+            })
+            .collect(),
+    );
+    let pool = ReplicaPool::start(
+        Arc::clone(&model),
+        PoolConfig {
+            replicas: 2,
+            replica: ServeConfig {
+                breaker: BreakerConfig {
+                    enabled: true,
+                    window: 4,
+                    min_samples: 2,
+                    trip_fraction: 0.5,
+                    step_latency_slo: Duration::from_millis(5),
+                    open_cooldown: Duration::from_secs(5),
+                    half_open_recovery_steps: 2,
+                    degraded_concurrency: 1,
+                },
+                ..ServeConfig::default()
+            },
+            fault_plan: ReplicaFaultPlan::single(ReplicaId(0), stalls),
+            migrate_on_breaker_open: true,
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts");
+    let client = pool.client();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in submit_wave(&client, 2, 32, VOCAB) {
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        assert!(
+            matches!(outcome, RequestOutcome::Completed { .. }),
+            "a breaker-open replica degrades, request {id} must still finish: {outcome:?}"
+        );
+        outcomes.push((id, prompt, max_new, outcome));
+    }
+    let report = pool.shutdown();
+    assert!(
+        report.aggregate.robustness.breaker_opened >= 1,
+        "sustained stalls must trip replica 0's breaker"
+    );
+    assert!(
+        report.aggregate.robustness.migrations >= 1,
+        "an open breaker must shed in-flight work to the pool"
+    );
+    assert_eq!(report.replicas_lost(), 0);
+    assert_eq!(report.aggregate.completed, 2);
+    assert!(report.aggregate.reconciles());
+    assert_bitwise(&model, &outcomes);
+}
+
+#[test]
+fn deadline_expires_mid_decode_with_a_partial_prefix_stream() {
+    let model = slow_model();
+    let vocab = model.config().vocab;
+    let server = Server::start(Arc::clone(&model), ServeConfig::default()).expect("server starts");
+    let client = server.client();
+    let prompt = deterministic_prompt(0, 6, vocab);
+    // 256 millisecond-scale steps take far longer than 100ms: the
+    // deadline expires mid-decode, well past admission.
+    let handle = client
+        .submit(
+            prompt.clone(),
+            SubmitOptions {
+                deadline: Some(Duration::from_millis(100)),
+                ..SubmitOptions::greedy(256)
+            },
+        )
+        .expect("accepted");
+    match handle.wait_timeout(NO_HANG).expect("no client hangs") {
+        RequestOutcome::Failed { reason, tokens } => {
+            assert_eq!(reason, FailReason::DeadlineExceeded);
+            assert!(
+                !tokens.is_empty() && tokens.len() < 256,
+                "the deadline must cut the stream mid-decode, got {} tokens",
+                tokens.len()
+            );
+            let full = reference_stream(&model, &prompt, 256);
+            assert_eq!(
+                tokens.as_slice(),
+                &full[..tokens.len()],
+                "the partial stream is a prefix of the unbounded run"
+            );
+        }
+        other => panic!("expected a mid-decode deadline failure, got {other:?}"),
+    }
+    let report = server.shutdown();
+    assert_eq!(report.robustness.deadline_exceeded, 1);
+    assert_eq!(report.robustness.failed, 1);
+    assert!(report.reconciles());
+}
+
+#[test]
+fn client_cancel_on_the_pool_resolves_promptly() {
+    let model = slow_model();
+    let vocab = model.config().vocab;
+    let pool = ReplicaPool::start(Arc::clone(&model), PoolConfig::default()).expect("pool starts");
+    let client = pool.client();
+    let prompt = deterministic_prompt(0, 6, vocab);
+    let handle = client
+        .submit(prompt.clone(), SubmitOptions::greedy(256))
+        .expect("accepted");
+    std::thread::sleep(Duration::from_millis(60));
+    handle.cancel();
+    match handle.wait_timeout(NO_HANG).expect("no client hangs") {
+        RequestOutcome::Cancelled { tokens } => {
+            assert!(tokens.len() < 256, "cancelled mid-stream");
+            let full = reference_stream(&model, &prompt, 256);
+            assert_eq!(tokens.as_slice(), &full[..tokens.len()]);
+        }
+        other => panic!("expected a cancel, got {other:?}"),
+    }
+    let report = pool.shutdown();
+    assert_eq!(report.aggregate.robustness.cancelled, 1);
+    assert_eq!(report.aggregate.completed, 0);
+    assert_eq!(
+        report.aggregate.robustness.migrations, 0,
+        "a client cancel must not be mistaken for a migration signal"
+    );
+    assert!(report.aggregate.reconciles());
+}
+
+#[test]
+fn seeded_replica_chaos_keeps_books_balanced_and_streams_prefix_clean() {
+    let model = tiny_model();
+    let request_ids: Vec<u64> = (0..12).collect();
+    // Broadcast a seeded chaos plan to both replicas (seeded plans never
+    // roll a panic), then kill replica 1 on top of it: failover has to
+    // hold up under ambient faults, not just in a sterile run. Some
+    // seeds roll an empty plan; walk forward until one does damage.
+    let base = (chaos_seed()..)
+        .map(|seed| FaultPlan::seeded(seed, 12, &request_ids))
+        .find(|p| !p.is_empty())
+        .expect("a nearby seed does damage");
+    let plan = ReplicaFaultPlan::broadcast(&base, 2).with(
+        ReplicaId(1),
+        FaultEvent {
+            at_step: 9,
+            kind: FaultKind::SchedulerPanic,
+        },
+    );
+    let pool = ReplicaPool::start(
+        Arc::clone(&model),
+        PoolConfig {
+            replicas: 2,
+            fault_plan: plan,
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts");
+    let client = pool.client();
+    let mut outcomes = Vec::new();
+    for (id, prompt, max_new, handle) in submit_wave(&client, 12, 20, VOCAB) {
+        let outcome = handle.wait_timeout(NO_HANG).expect("no client hangs");
+        outcomes.push((id, prompt, max_new, outcome));
+    }
+    let report = pool.shutdown();
+    assert_eq!(
+        report.replicas_lost(),
+        1,
+        "the injected panic kills replica 1"
+    );
+    assert!(report.aggregate.robustness.faults_injected >= 1);
+    assert!(
+        report.aggregate.reconciles(),
+        "lifecycle counters must balance under chaos + failover"
+    );
+    assert_bitwise(&model, &outcomes);
+}

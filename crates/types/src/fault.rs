@@ -17,6 +17,21 @@
 use crate::Seconds;
 use serde::Serialize;
 
+/// Identifier of one engine replica in a multi-replica serving pool.
+///
+/// Replica indices are dense and assigned in spawn order (`0..n`), in
+/// both the live `llmib-serve` pool and the `llmib-sched` replicated
+/// simulator — which is what lets a [`ReplicaFaultPlan`] name the same
+/// replica in both backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct ReplicaId(pub u32);
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica {}", self.0)
+    }
+}
+
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum FaultKind {
@@ -167,6 +182,114 @@ impl FaultPlan {
     #[must_use]
     pub fn with(mut self, event: FaultEvent) -> Self {
         self.push(event);
+        self
+    }
+}
+
+/// A replica-scoped fault schedule for a pool of engine replicas.
+///
+/// Each event is anchored both to a [`ReplicaId`] and to that replica's
+/// *own* successful-decode-step clock: replica 2 panicking "at step 6"
+/// means after six successful steps of replica 2, regardless of what the
+/// rest of the pool is doing. Both the live `ReplicaPool` in
+/// `llmib-serve` and `ServingSimulator::run_replicated` in `llmib-sched`
+/// split a pool plan into per-replica [`FaultPlan`]s via
+/// [`ReplicaFaultPlan::plan_for`], so one pool plan describes one chaos
+/// scenario in both backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct ReplicaFaultPlan {
+    /// Seed the plan was generated from (0 for hand-built plans); also
+    /// seeds each replica's deterministic retry jitter.
+    pub seed: u64,
+    events: Vec<(ReplicaId, FaultEvent)>,
+}
+
+impl ReplicaFaultPlan {
+    /// A pool plan with no faults (the healthy baseline).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a pool plan from explicit `(replica, event)` pairs, kept
+    /// ordered by `(replica, activation step)`.
+    pub fn new(mut events: Vec<(ReplicaId, FaultEvent)>) -> Self {
+        events.sort_by_key(|(replica, ev)| (*replica, ev.at_step));
+        Self { seed: 0, events }
+    }
+
+    /// Scope an entire single-instance plan to one replica of the pool
+    /// (the other replicas stay healthy).
+    pub fn single(replica: ReplicaId, plan: FaultPlan) -> Self {
+        let seed = plan.seed;
+        let events = plan.events().iter().map(|&ev| (replica, ev)).collect();
+        let mut pool = Self::new(events);
+        pool.seed = seed;
+        pool
+    }
+
+    /// Replay the same single-instance plan on every replica of an
+    /// `n`-replica pool (each on its own step clock).
+    pub fn broadcast(plan: &FaultPlan, replicas: u32) -> Self {
+        let events = (0..replicas)
+            .flat_map(|r| plan.events().iter().map(move |&ev| (ReplicaId(r), ev)))
+            .collect();
+        let mut pool = Self::new(events);
+        pool.seed = plan.seed;
+        pool
+    }
+
+    /// The drill staple: kill exactly one replica at one of its decode
+    /// steps, leaving the rest of the pool healthy.
+    pub fn kill_replica(replica: ReplicaId, at_step: u64) -> Self {
+        Self::single(
+            replica,
+            FaultPlan::new(vec![FaultEvent {
+                at_step,
+                kind: FaultKind::SchedulerPanic,
+            }]),
+        )
+    }
+
+    /// Extract one replica's schedule as a plain [`FaultPlan`] (same
+    /// seed, so retry jitter is identical whichever backend replays it).
+    pub fn plan_for(&self, replica: ReplicaId) -> FaultPlan {
+        let mut plan = FaultPlan::new(
+            self.events
+                .iter()
+                .filter(|(r, _)| *r == replica)
+                .map(|&(_, ev)| ev)
+                .collect(),
+        );
+        plan.seed = self.seed;
+        plan
+    }
+
+    /// The planned `(replica, event)` pairs, ordered by `(replica,
+    /// activation step)`.
+    pub fn events(&self) -> &[(ReplicaId, FaultEvent)] {
+        &self.events
+    }
+
+    /// Whether the pool plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of planned faults across all replicas.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Append one replica-scoped event, keeping order.
+    pub fn push(&mut self, replica: ReplicaId, event: FaultEvent) {
+        self.events.push((replica, event));
+        self.events.sort_by_key(|(r, ev)| (*r, ev.at_step));
+    }
+
+    /// Builder-style [`ReplicaFaultPlan::push`].
+    #[must_use]
+    pub fn with(mut self, replica: ReplicaId, event: FaultEvent) -> Self {
+        self.push(replica, event);
         self
     }
 }
@@ -338,6 +461,54 @@ mod tests {
         // Pure function of (seed, attempt).
         assert_eq!(p.backoff(3, 7).value(), p.backoff(3, 7).value());
         assert_ne!(p.backoff(3, 7).value(), p.backoff(3, 8).value());
+    }
+
+    #[test]
+    fn replica_plan_scopes_events_per_replica() {
+        let pool = ReplicaFaultPlan::new(vec![
+            (
+                ReplicaId(1),
+                FaultEvent {
+                    at_step: 4,
+                    kind: FaultKind::SchedulerPanic,
+                },
+            ),
+            (
+                ReplicaId(0),
+                FaultEvent {
+                    at_step: 2,
+                    kind: FaultKind::TransientStepError { failures: 1 },
+                },
+            ),
+        ]);
+        assert_eq!(pool.len(), 2);
+        let p0 = pool.plan_for(ReplicaId(0));
+        assert_eq!(p0.len(), 1);
+        assert_eq!(p0.events()[0].at_step, 2);
+        let p1 = pool.plan_for(ReplicaId(1));
+        assert_eq!(p1.events()[0].kind, FaultKind::SchedulerPanic);
+        assert!(pool.plan_for(ReplicaId(2)).is_empty());
+    }
+
+    #[test]
+    fn broadcast_replays_the_plan_on_every_replica() {
+        let base = FaultPlan::seeded(9, 20, &[1]);
+        let pool = ReplicaFaultPlan::broadcast(&base, 3);
+        assert_eq!(pool.len(), 3 * base.len());
+        assert_eq!(pool.seed, base.seed);
+        for r in 0..3 {
+            assert_eq!(pool.plan_for(ReplicaId(r)), base);
+        }
+    }
+
+    #[test]
+    fn kill_replica_is_a_single_scoped_panic() {
+        let pool = ReplicaFaultPlan::kill_replica(ReplicaId(2), 7);
+        assert_eq!(pool.len(), 1);
+        let plan = pool.plan_for(ReplicaId(2));
+        assert_eq!(plan.events()[0].at_step, 7);
+        assert_eq!(plan.events()[0].kind, FaultKind::SchedulerPanic);
+        assert!(pool.plan_for(ReplicaId(0)).is_empty());
     }
 
     #[test]
