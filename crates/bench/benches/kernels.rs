@@ -46,6 +46,12 @@ fn bench_matmul(c: &mut Criterion) {
                 }
             })
         });
+        // Int8 GEMM over the same 16-row batch: quantizes activations
+        // once per row, then integer dot products (rayon-parallel above
+        // the same rows·cols threshold as the f32 path).
+        group.bench_with_input(BenchmarkId::new("int8_gemm_16rows", n), &n, |b, _| {
+            b.iter(|| black_box(q.matmul_mat(black_box(&xs))))
+        });
     }
     group.finish();
 }

@@ -11,37 +11,86 @@
 //! * cross-sequence batched decode ([`Attention::forward_batch`]) — one
 //!   GEMM per projection for a batch of independent sequences.
 
+use crate::blockpool::BlockPool;
 use crate::config::EngineConfig;
 use crate::model::{Linear, Workspace};
 use crate::tensor::{dot_unrolled, softmax_in_place, Matrix, RopeTable};
+use std::collections::HashSet;
+use std::sync::Arc;
 
-/// Per-layer key/value cache backed by flat preallocated storage.
+/// Default KV-block size in token positions, matching the serving
+/// layer's default paged-allocator block (`kv_block_tokens`).
+pub const DEFAULT_BLOCK_TOKENS: usize = 16;
+
+/// One fixed-size block of KV storage: `block_tokens` consecutive
+/// positions across every layer. Keys/values for layer `l`, in-block
+/// slot `s` live at `(l * block_tokens + s) * kv_dim`. Blocks are shared
+/// between caches (and the [`crate::PrefixCache`] trie) behind `Arc`;
+/// the strong count *is* the reference count that keeps a block alive.
+#[derive(Debug, Clone)]
+pub struct KvBlock {
+    keys: Vec<f32>,
+    vals: Vec<f32>,
+}
+
+impl KvBlock {
+    /// Zero-filled block storage for `layers × block_tokens` positions.
+    pub(crate) fn zeroed(layers: usize, block_tokens: usize, kv_dim: usize) -> Self {
+        Self {
+            keys: vec![0.0; layers * block_tokens * kv_dim],
+            vals: vec![0.0; layers * block_tokens * kv_dim],
+        }
+    }
+}
+
+/// Per-layer key/value cache backed by fixed-size shared blocks.
 ///
-/// Keys/values for layer `l`, position `p` live at
-/// `(l * max_seq + p) * kv_dim`. The buffers are sized for `max_seq`
-/// positions up front, so appends during decode never reallocate (the
-/// `Vec<Vec<_>>` layout this replaces regrew each layer's vector as the
-/// sequence extended).
+/// Position `p` lives in block `p / block_tokens`, slot `p %
+/// block_tokens`. Each block spans *all* layers, so a whole block can be
+/// shared between sequences with one `Arc`. Appends write through
+/// [`Arc::make_mut`]: a block referenced only by this cache is written
+/// in place (no copy, storage never moves), while a block shared with
+/// another cache or the prefix trie is copied first — the copy-on-write
+/// rule that lets divergent continuations never corrupt a shared prefix.
 #[derive(Debug, Clone)]
 pub struct KvCache {
     kv_dim: usize,
     max_seq: usize,
-    keys: Vec<f32>,
-    vals: Vec<f32>,
+    block_tokens: usize,
+    blocks: Vec<Arc<KvBlock>>,
     /// Cached positions per layer.
     lens: Vec<usize>,
+    /// Storage recycler: blocks dropped by `truncate` return here when
+    /// this cache holds the last reference.
+    pool: Option<Arc<BlockPool>>,
 }
 
 impl KvCache {
     /// Empty cache for `layers` layers with the given KV width and
-    /// capacity for `max_seq` positions per layer.
+    /// capacity for `max_seq` positions per layer, using the default
+    /// block size and no shared pool.
     pub fn new(layers: usize, kv_dim: usize, max_seq: usize) -> Self {
         Self {
             kv_dim,
             max_seq,
-            keys: vec![0.0; layers * max_seq * kv_dim],
-            vals: vec![0.0; layers * max_seq * kv_dim],
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            blocks: Vec::new(),
             lens: vec![0; layers],
+            pool: None,
+        }
+    }
+
+    /// Empty cache drawing and recycling its block storage through a
+    /// shared [`BlockPool`] (which fixes `layers`, `kv_dim`, and the
+    /// block size).
+    pub fn in_pool(pool: Arc<BlockPool>, max_seq: usize) -> Self {
+        Self {
+            kv_dim: pool.kv_dim(),
+            max_seq,
+            block_tokens: pool.block_tokens(),
+            blocks: Vec::new(),
+            lens: vec![0; pool.layers()],
+            pool: Some(pool),
         }
     }
 
@@ -62,40 +111,123 @@ impl KvCache {
         self.len() == 0
     }
 
+    /// Token positions per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// The blocks currently backing this cache.
+    pub(crate) fn blocks(&self) -> &[Arc<KvBlock>] {
+        &self.blocks
+    }
+
+    /// Seed an *empty* cache with already-computed prefix blocks (every
+    /// block full). Subsequent appends continue at position
+    /// `blocks.len() * block_tokens`, exactly as if this cache had
+    /// prefilled the prefix itself — the blocks hold identical floats,
+    /// so everything downstream is bitwise identical too.
+    pub(crate) fn adopt_prefix(&mut self, blocks: &[Arc<KvBlock>]) {
+        assert!(self.is_empty(), "prefix adoption requires an empty cache");
+        let tokens = blocks.len() * self.block_tokens;
+        assert!(tokens <= self.max_seq, "prefix exceeds cache capacity");
+        self.blocks.extend(blocks.iter().cloned());
+        for l in self.lens.iter_mut() {
+            *l = tokens;
+        }
+    }
+
     /// Append one position's K and V for a layer.
     pub fn append(&mut self, layer: usize, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.kv_dim);
         assert_eq!(v.len(), self.kv_dim);
         let pos = self.lens[layer];
         assert!(pos < self.max_seq, "KV cache capacity exceeded");
-        let at = (layer * self.max_seq + pos) * self.kv_dim;
-        self.keys[at..at + self.kv_dim].copy_from_slice(k);
-        self.vals[at..at + self.kv_dim].copy_from_slice(v);
+        let (b, slot) = (pos / self.block_tokens, pos % self.block_tokens);
+        if b == self.blocks.len() {
+            // Layer 0 leads deeper layers, so only it ever opens a block.
+            self.blocks.push(match &self.pool {
+                Some(pool) => pool.allocate(),
+                None => Arc::new(KvBlock::zeroed(
+                    self.lens.len(),
+                    self.block_tokens,
+                    self.kv_dim,
+                )),
+            });
+        }
+        // Copy-on-write: cloned caches and trie-resident prefix blocks
+        // share storage until someone writes.
+        let block = Arc::make_mut(&mut self.blocks[b]);
+        let at = (layer * self.block_tokens + slot) * self.kv_dim;
+        block.keys[at..at + self.kv_dim].copy_from_slice(k);
+        block.vals[at..at + self.kv_dim].copy_from_slice(v);
         self.lens[layer] = pos + 1;
     }
 
     /// Discard cached positions beyond `len` (speculative-decoding
-    /// rollback after a rejected draft token).
+    /// rollback after a rejected draft token). Whole blocks past the new
+    /// end are released (recycled through the pool when unshared).
     pub fn truncate(&mut self, len: usize) {
         for l in self.lens.iter_mut() {
             *l = (*l).min(len);
         }
+        let keep = self
+            .lens
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .div_ceil(self.block_tokens);
+        while self.blocks.len() > keep {
+            let block = self.blocks.pop().expect("len checked");
+            if let Some(pool) = &self.pool {
+                pool.release(block);
+            }
+        }
     }
 
     /// Bytes of live cached data (keys and values for every cached
-    /// position; the preallocated backing store is not counted).
+    /// position). Shared blocks are counted in full here; use
+    /// [`KvCache::unique_live_positions`] to deduplicate across caches.
     pub fn bytes(&self) -> usize {
         2 * self.lens.iter().sum::<usize>() * self.kv_dim * 4
     }
 
+    /// Live `(layer, position)` pairs held by blocks not yet in `seen`,
+    /// inserting this cache's blocks into `seen`. Summing over a set of
+    /// caches counts each shared block once.
+    pub(crate) fn unique_live_positions(&self, seen: &mut HashSet<usize>) -> usize {
+        let len = self.len();
+        let mut positions = 0;
+        for (b, block) in self.blocks.iter().enumerate() {
+            if seen.insert(Arc::as_ptr(block) as usize) {
+                positions += len
+                    .saturating_sub(b * self.block_tokens)
+                    .min(self.block_tokens);
+            }
+        }
+        positions * self.lens.len()
+    }
+
     fn key_at(&self, layer: usize, pos: usize) -> &[f32] {
-        let at = (layer * self.max_seq + pos) * self.kv_dim;
-        &self.keys[at..at + self.kv_dim]
+        let (b, slot) = (pos / self.block_tokens, pos % self.block_tokens);
+        let at = (layer * self.block_tokens + slot) * self.kv_dim;
+        &self.blocks[b].keys[at..at + self.kv_dim]
     }
 
     fn val_at(&self, layer: usize, pos: usize) -> &[f32] {
-        let at = (layer * self.max_seq + pos) * self.kv_dim;
-        &self.vals[at..at + self.kv_dim]
+        let (b, slot) = (pos / self.block_tokens, pos % self.block_tokens);
+        let at = (layer * self.block_tokens + slot) * self.kv_dim;
+        &self.blocks[b].vals[at..at + self.kv_dim]
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            for block in self.blocks.drain(..) {
+                pool.release(block);
+            }
+        }
     }
 }
 
@@ -338,16 +470,61 @@ mod tests {
 
     #[test]
     fn appends_never_move_the_backing_store() {
-        // The whole point of the flat layout: decode-time appends write
-        // into preallocated storage instead of regrowing vectors.
-        let mut c = KvCache::new(2, 4, 16);
-        let before = c.keys.as_ptr();
-        for _ in 0..16 {
+        // Decode-time appends write in place: filling a block never
+        // moves it, and opening the next block leaves every earlier
+        // block's storage untouched (only *shared* blocks are copied,
+        // and an unshared cache shares nothing).
+        let mut c = KvCache::new(2, 4, 64);
+        c.append(0, &[1.0; 4], &[1.0; 4]);
+        c.append(1, &[1.0; 4], &[1.0; 4]);
+        let first_block = Arc::as_ptr(&c.blocks[0]);
+        let first_keys = c.blocks[0].keys.as_ptr();
+        for _ in 1..40 {
             c.append(0, &[1.0; 4], &[1.0; 4]);
             c.append(1, &[1.0; 4], &[1.0; 4]);
         }
-        assert_eq!(c.len(), 16);
-        assert_eq!(before, c.keys.as_ptr());
+        assert_eq!(c.len(), 40);
+        assert_eq!(c.blocks.len(), 3, "40 positions / 16-token blocks");
+        assert_eq!(first_block, Arc::as_ptr(&c.blocks[0]));
+        assert_eq!(first_keys, c.blocks[0].keys.as_ptr());
+    }
+
+    #[test]
+    fn cloned_caches_share_blocks_until_someone_writes() {
+        let mut a = KvCache::new(1, 2, 64);
+        for i in 0..20 {
+            a.append(0, &[i as f32; 2], &[i as f32; 2]);
+        }
+        let mut b = a.clone();
+        assert_eq!(Arc::as_ptr(&a.blocks[0]), Arc::as_ptr(&b.blocks[0]));
+        assert_eq!(Arc::as_ptr(&a.blocks[1]), Arc::as_ptr(&b.blocks[1]));
+        // Divergent continuation: b writes into the shared tail block.
+        b.append(0, &[99.0; 2], &[99.0; 2]);
+        a.append(0, &[-7.0; 2], &[-7.0; 2]);
+        // The full block stays shared; the tail block was copied on
+        // write, so neither clone sees the other's continuation.
+        assert_eq!(Arc::as_ptr(&a.blocks[0]), Arc::as_ptr(&b.blocks[0]));
+        assert_ne!(Arc::as_ptr(&a.blocks[1]), Arc::as_ptr(&b.blocks[1]));
+        assert_eq!(a.key_at(0, 20), &[-7.0; 2]);
+        assert_eq!(b.key_at(0, 20), &[99.0; 2]);
+        assert_eq!(a.key_at(0, 19), b.key_at(0, 19), "shared prefix intact");
+    }
+
+    #[test]
+    fn unique_live_positions_counts_shared_blocks_once() {
+        let mut a = KvCache::new(2, 4, 64);
+        for i in 0..16 {
+            for layer in 0..2 {
+                a.append(layer, &[i as f32; 4], &[i as f32; 4]);
+            }
+        }
+        let b = a.clone();
+        let mut seen = HashSet::new();
+        let total = a.unique_live_positions(&mut seen) + b.unique_live_positions(&mut seen);
+        // One full 16-position block, two layers, counted once — not
+        // twice — even though two caches reference it.
+        assert_eq!(total, 16 * 2);
+        assert_eq!(a.bytes() + b.bytes(), 2 * total * 4 * 4 * 2);
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! mechanism for the memory-bound decode phase).
 
 use crate::attention::KvCache;
+use crate::blockpool::{BlockPool, PrefixCache, PrefixConfig, PrefixStats};
 use crate::model::TransformerModel;
 use crate::sampler::Sampler;
 use llmib_types::{Error, Result};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One live sequence in a batch session.
 #[derive(Debug)]
@@ -20,6 +23,25 @@ struct SeqState {
     cache: KvCache,
     sampler: Sampler,
     logits: Vec<f32>,
+}
+
+/// What [`BatchSession::admit`] did for a request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmitOutcome {
+    /// Prompt tokens whose prefill was skipped because their KV blocks
+    /// were already resident in the session's prefix cache (always a
+    /// multiple of the block size, and always leaves at least one
+    /// prompt token to prefill so the request's first logits exist).
+    pub cached_prefix_tokens: usize,
+}
+
+/// Prefix-reuse machinery of a session: the trie of resident prefix
+/// blocks, the pool that owns block storage, and the running counters.
+#[derive(Debug)]
+struct PrefixState {
+    pool: Arc<BlockPool>,
+    trie: PrefixCache,
+    stats: PrefixStats,
 }
 
 /// An emitted token event.
@@ -39,15 +61,44 @@ pub struct TokenEvent {
 pub struct BatchSession<'m> {
     model: &'m TransformerModel,
     seqs: Vec<SeqState>,
+    prefix: Option<PrefixState>,
 }
 
 impl<'m> BatchSession<'m> {
-    /// Empty session over `model`.
+    /// Empty session over `model`, with prefix caching disabled (every
+    /// admission prefills cold).
     pub fn new(model: &'m TransformerModel) -> Self {
         Self {
             model,
             seqs: Vec::new(),
+            prefix: None,
         }
+    }
+
+    /// Empty session with shared-prefix caching: every admission first
+    /// walks the prefix trie, adopts the cached blocks of its longest
+    /// resident prompt prefix, and prefills only the cold suffix; after
+    /// prefill the prompt's full blocks are registered for later
+    /// admissions to reuse. All block storage routes through one
+    /// [`BlockPool`].
+    pub fn with_prefix_cache(model: &'m TransformerModel, cfg: PrefixConfig) -> Self {
+        Self {
+            model,
+            seqs: Vec::new(),
+            prefix: Some(PrefixState {
+                pool: Arc::new(model.new_block_pool(cfg.block_tokens)),
+                trie: PrefixCache::new(cfg.block_tokens, cfg.max_cached_blocks),
+                stats: PrefixStats::default(),
+            }),
+        }
+    }
+
+    /// Prefix-cache counters, when prefix caching is enabled.
+    pub fn prefix_stats(&self) -> Option<PrefixStats> {
+        self.prefix.as_ref().map(|p| PrefixStats {
+            resident_blocks: p.trie.resident_blocks(),
+            ..p.stats
+        })
     }
 
     /// Live sequences.
@@ -60,9 +111,18 @@ impl<'m> BatchSession<'m> {
         self.seqs.is_empty()
     }
 
-    /// Total KV bytes held across live sequences.
+    /// Total KV bytes held across live sequences. Blocks shared between
+    /// sequences (or with the prefix trie) are counted once — N
+    /// sequences over one resident prefix pay for its blocks once, not
+    /// N times.
     pub fn kv_bytes(&self) -> usize {
-        self.seqs.iter().map(|s| s.cache.bytes()).sum()
+        let mut seen = HashSet::new();
+        let positions: usize = self
+            .seqs
+            .iter()
+            .map(|s| s.cache.unique_live_positions(&mut seen))
+            .sum();
+        2 * positions * self.model.config().kv_dim() * 4
     }
 
     /// Ids of the live sequences, in admission order.
@@ -82,14 +142,19 @@ impl<'m> BatchSession<'m> {
     }
 
     /// Admit a sequence: runs its prefill immediately (in-flight batching
-    /// admits "even if the requests arrive at different times").
+    /// admits "even if the requests arrive at different times"). With a
+    /// prefix cache, cached prefix blocks are adopted instead of
+    /// recomputed and only the cold suffix is prefilled; because a
+    /// resident block holds exactly the floats a cold prefill would
+    /// recompute, the resulting logits and every subsequent decode
+    /// token are bitwise identical to a fully cold admission.
     pub fn admit(
         &mut self,
         id: u64,
         prompt: &[usize],
         max_new_tokens: usize,
         sampler: Sampler,
-    ) -> Result<()> {
+    ) -> Result<AdmitOutcome> {
         if prompt.is_empty() {
             return Err(Error::InvalidConfig("empty prompt".into()));
         }
@@ -103,8 +168,32 @@ impl<'m> BatchSession<'m> {
                 self.model.config().max_seq
             )));
         }
-        let mut cache = self.model.new_cache();
-        let logits = self.model.prefill(prompt, &mut cache);
+        let (mut cache, cached) = match &mut self.prefix {
+            Some(prefix) => {
+                let mut cache = KvCache::in_pool(prefix.pool.clone(), self.model.config().max_seq);
+                let hit = prefix.trie.lookup(prompt);
+                // At least one prompt token must prefill so the final
+                // row's logits exist for sampling: a fully cached prompt
+                // drops its last block back to the cold path.
+                let bt = prefix.pool.block_tokens();
+                let usable = hit.len().min((prompt.len() - 1) / bt);
+                cache.adopt_prefix(&hit[..usable]);
+                (cache, usable * bt)
+            }
+            None => (self.model.new_cache(), 0),
+        };
+        let logits = self.model.prefill(&prompt[cached..], &mut cache);
+        if let Some(prefix) = &mut self.prefix {
+            let bt = prefix.pool.block_tokens();
+            let full_blocks = prompt.len() / bt;
+            for evicted in prefix.trie.insert(prompt, &cache.blocks()[..full_blocks]) {
+                prefix.stats.evicted_blocks += 1;
+                prefix.pool.release(evicted);
+            }
+            prefix.stats.admissions += 1;
+            prefix.stats.hits += u64::from(cached > 0);
+            prefix.stats.saved_prefill_tokens += cached as u64;
+        }
         self.seqs.push(SeqState {
             id,
             tokens: prompt.to_vec(),
@@ -113,7 +202,9 @@ impl<'m> BatchSession<'m> {
             sampler,
             logits,
         });
-        Ok(())
+        Ok(AdmitOutcome {
+            cached_prefix_tokens: cached,
+        })
     }
 
     /// Run one decode step for every live sequence, returning the
@@ -327,5 +418,126 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(events[0].finished);
         assert!(session.is_empty());
+    }
+
+    fn prefix_session(m: &TransformerModel) -> BatchSession<'_> {
+        BatchSession::with_prefix_cache(
+            m,
+            PrefixConfig {
+                block_tokens: 8,
+                max_cached_blocks: 64,
+            },
+        )
+    }
+
+    /// A prompt sharing `shared` leading tokens with every other prompt
+    /// built from the same call, then diverging immediately.
+    fn shared_prompt(id: usize, shared: usize, total: usize) -> Vec<usize> {
+        (0..total)
+            .map(|j| {
+                if j < shared {
+                    (j * 13 + 7) % 128
+                } else {
+                    (id * 31 + j * 7 + 3) % 128
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_hit_streams_are_bitwise_identical_to_cold() {
+        let m = model();
+        // Cold reference: same prompts through a no-prefix session.
+        let prompts: Vec<Vec<usize>> = (0..4).map(|id| shared_prompt(id, 24, 30)).collect();
+        let mut cold = BatchSession::new(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            let out = cold.admit(i as u64, p, 10, Sampler::Greedy).unwrap();
+            assert_eq!(out.cached_prefix_tokens, 0);
+        }
+        let cold_tokens = cold.run_to_completion();
+
+        let mut warm = prefix_session(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            let out = warm.admit(i as u64, p, 10, Sampler::Greedy).unwrap();
+            if i == 0 {
+                assert_eq!(out.cached_prefix_tokens, 0, "first admission is cold");
+            } else {
+                // 24 shared tokens = 3 full 8-token blocks.
+                assert_eq!(out.cached_prefix_tokens, 24, "request {i}");
+            }
+        }
+        let warm_tokens = warm.run_to_completion();
+        assert_eq!(cold_tokens, warm_tokens);
+        let stats = warm.prefix_stats().unwrap();
+        assert_eq!(stats.admissions, 4);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.saved_prefill_tokens, 3 * 24);
+    }
+
+    #[test]
+    fn fully_cached_prompt_still_prefills_its_tail() {
+        let m = model();
+        let mut s = prefix_session(&m);
+        let p = shared_prompt(0, 16, 16); // exactly 2 full blocks
+        s.admit(0, &p, 4, Sampler::Greedy).unwrap();
+        // Identical prompt: both blocks are resident, but the last one
+        // must be recomputed so the final row's logits exist.
+        let out = s.admit(1, &p, 4, Sampler::Greedy).unwrap();
+        assert_eq!(out.cached_prefix_tokens, 8);
+        let tokens = s.run_to_completion();
+        assert_eq!(tokens[0].1, tokens[1].1, "identical prompts, same stream");
+    }
+
+    #[test]
+    fn cow_divergence_matches_two_cold_sequences() {
+        let m = model();
+        // Two sequences share a 16-token prefix then diverge; their
+        // streams must match two sequences in a cold session (shared
+        // blocks are adopted, tails are copy-on-write — divergence
+        // never corrupts the shared prefix).
+        let a = shared_prompt(0, 16, 20);
+        let b = shared_prompt(1, 16, 20);
+        let mut warm = prefix_session(&m);
+        warm.admit(0, &a, 12, Sampler::Greedy).unwrap();
+        let out = warm.admit(1, &b, 12, Sampler::Greedy).unwrap();
+        assert_eq!(out.cached_prefix_tokens, 16);
+        let warm_tokens = warm.run_to_completion();
+
+        let mut cold = BatchSession::new(&m);
+        cold.admit(0, &a, 12, Sampler::Greedy).unwrap();
+        cold.admit(1, &b, 12, Sampler::Greedy).unwrap();
+        assert_eq!(warm_tokens, cold.run_to_completion());
+    }
+
+    #[test]
+    fn kv_bytes_counts_shared_prefix_blocks_once() {
+        let m = model();
+        let kv_dim = m.config().kv_dim();
+        let layers = m.config().layers;
+        let mut s = prefix_session(&m);
+        let shared = 16;
+        s.admit(0, &shared_prompt(0, shared, 20), 40, Sampler::Greedy)
+            .unwrap();
+        let solo = s.kv_bytes();
+        assert_eq!(solo, 2 * 20 * layers * kv_dim * 4);
+        s.admit(1, &shared_prompt(1, shared, 20), 40, Sampler::Greedy)
+            .unwrap();
+        // The second sequence adds only its cold tail: 20 positions
+        // minus the 16 shared ones (its partial tail block is its own).
+        assert_eq!(s.kv_bytes(), solo + 2 * (20 - shared) * layers * kv_dim * 4);
+    }
+
+    #[test]
+    fn prefix_session_without_sharing_matches_plain_session() {
+        let m = model();
+        let prompts: [&[usize]; 3] = [&[1, 2, 3], &[9, 8], &[5, 5, 5, 5]];
+        let mut plain = BatchSession::new(&m);
+        let mut prefixed = prefix_session(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            plain.admit(i as u64, p, 12, Sampler::Greedy).unwrap();
+            let out = prefixed.admit(i as u64, p, 12, Sampler::Greedy).unwrap();
+            assert_eq!(out.cached_prefix_tokens, 0, "nothing to share");
+        }
+        assert_eq!(plain.run_to_completion(), prefixed.run_to_completion());
     }
 }

@@ -1,0 +1,410 @@
+//! Fixed-size KV block ownership and shared-prefix reuse.
+//!
+//! [`BlockPool`] owns block storage: caches draw fresh blocks from it
+//! and return them when dropped or truncated, and it only ever reclaims
+//! a block once the last `Arc` reference is gone — a block with live
+//! references can never be freed out from under a reader.
+//!
+//! [`PrefixCache`] is a token trie keyed by prompt-token runs at block
+//! granularity: each edge consumes exactly `block_tokens` token ids and
+//! the node it reaches holds the `Arc<KvBlock>` computed for that run
+//! *in that prefix context* (keys are RoPE-rotated at absolute
+//! positions, so a block is only reusable for prompts that match every
+//! token before it — which is exactly what trie addressing enforces).
+//! Admission walks the trie to skip prefill for every cached prefix
+//! block and only computes the cold suffix; because the engine's f32
+//! kernels are deterministic, the reused blocks hold bit-identical
+//! floats to the ones a cold prefill would recompute.
+
+use crate::attention::{KvBlock, DEFAULT_BLOCK_TOKENS};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`crate::BatchSession`] prefix cache.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixConfig {
+    /// Token positions per KV block (the sharing granularity). Must
+    /// be > 0.
+    pub block_tokens: usize,
+    /// Cap on blocks resident in the prefix trie; least-recently-used
+    /// entries are evicted past it.
+    pub max_cached_blocks: usize,
+}
+
+impl Default for PrefixConfig {
+    fn default() -> Self {
+        Self {
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            max_cached_blocks: 4096,
+        }
+    }
+}
+
+/// Counters accumulated by a prefix-caching [`crate::BatchSession`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PrefixStats {
+    /// Admissions that went through the prefix path.
+    pub admissions: u64,
+    /// Admissions that reused at least one cached block.
+    pub hits: u64,
+    /// Prompt tokens whose prefill was skipped, total.
+    pub saved_prefill_tokens: u64,
+    /// Blocks currently resident in the trie.
+    pub resident_blocks: u64,
+    /// Blocks evicted from the trie under the residency cap.
+    pub evicted_blocks: u64,
+}
+
+impl PrefixStats {
+    /// Fraction of admissions that reused at least one cached block.
+    pub fn hit_rate(&self) -> f64 {
+        if self.admissions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.admissions as f64
+        }
+    }
+}
+
+/// Owner and recycler of [`KvBlock`] storage for one
+/// [`crate::BatchSession`]. Reference counting is the blocks' `Arc`
+/// strong count: the pool reclaims storage only when
+/// [`Arc::try_unwrap`] proves it holds the last reference, so eviction
+/// or truncation can never free a block another cache (or the trie)
+/// still reads.
+#[derive(Debug)]
+pub struct BlockPool {
+    layers: usize,
+    kv_dim: usize,
+    block_tokens: usize,
+    free: Mutex<Vec<KvBlock>>,
+    allocated: AtomicU64,
+    reused: AtomicU64,
+    recycled: AtomicU64,
+}
+
+/// Snapshot of a [`BlockPool`]'s allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PoolStats {
+    /// Blocks created from fresh allocations.
+    pub allocated: u64,
+    /// Allocations served from recycled storage instead.
+    pub reused: u64,
+    /// Blocks whose storage returned to the free list (last reference
+    /// dropped).
+    pub recycled: u64,
+    /// Blocks currently on the free list.
+    pub free: u64,
+}
+
+impl BlockPool {
+    /// A pool producing blocks shaped `layers × block_tokens × kv_dim`.
+    pub fn new(layers: usize, kv_dim: usize, block_tokens: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be > 0");
+        Self {
+            layers,
+            kv_dim,
+            block_tokens,
+            free: Mutex::new(Vec::new()),
+            allocated: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// Layers per block.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// KV width per position.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Token positions per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Hand out a block: recycled storage when available, a fresh
+    /// allocation otherwise. (Recycled blocks may hold stale floats;
+    /// every slot is written before it is read, so contents never leak
+    /// into results.)
+    pub fn allocate(&self) -> Arc<KvBlock> {
+        let reusable = self.free.lock().expect("pool lock").pop();
+        match reusable {
+            Some(block) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                Arc::new(block)
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                Arc::new(KvBlock::zeroed(self.layers, self.block_tokens, self.kv_dim))
+            }
+        }
+    }
+
+    /// Return a block reference to the pool. Storage is reclaimed onto
+    /// the free list only if this was the last reference; otherwise the
+    /// block stays alive for its remaining holders and nothing is freed.
+    pub fn release(&self, block: Arc<KvBlock>) {
+        if let Ok(storage) = Arc::try_unwrap(block) {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            self.free.lock().expect("pool lock").push(storage);
+        }
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            free: self.free.lock().expect("pool lock").len() as u64,
+        }
+    }
+}
+
+/// One trie node: reached by consuming a run of exactly `block_tokens`
+/// token ids from its parent.
+#[derive(Debug, Default)]
+struct TrieNode {
+    /// The KV block computed for this node's token run in this prefix
+    /// context. `None` after eviction (children then become
+    /// unreachable-in-practice: a lookup needs a contiguous prefix).
+    block: Option<Arc<KvBlock>>,
+    /// LRU clock value of the last lookup or insert touching this node.
+    last_use: u64,
+    children: HashMap<Box<[usize]>, TrieNode>,
+}
+
+/// Token trie mapping prompt prefixes (at block granularity) to resident
+/// KV blocks.
+#[derive(Debug)]
+pub struct PrefixCache {
+    block_tokens: usize,
+    max_blocks: usize,
+    root: TrieNode,
+    clock: u64,
+    resident: u64,
+}
+
+impl PrefixCache {
+    /// Empty trie for the given block size and residency cap.
+    pub fn new(block_tokens: usize, max_blocks: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be > 0");
+        Self {
+            block_tokens,
+            max_blocks,
+            root: TrieNode::default(),
+            clock: 0,
+            resident: 0,
+        }
+    }
+
+    /// Blocks currently resident.
+    pub fn resident_blocks(&self) -> u64 {
+        self.resident
+    }
+
+    /// Walk the trie along `prompt`'s full-block runs, returning the
+    /// resident blocks of the longest cached prefix. Stops at the first
+    /// missing run; a trailing partial run is never matched.
+    pub fn lookup(&mut self, prompt: &[usize]) -> Vec<Arc<KvBlock>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut node = &mut self.root;
+        let mut blocks = Vec::new();
+        for run in prompt.chunks_exact(self.block_tokens) {
+            match node.children.get_mut(run) {
+                Some(child) if child.block.is_some() => {
+                    child.last_use = clock;
+                    blocks.push(child.block.clone().expect("checked"));
+                    node = child;
+                }
+                _ => break,
+            }
+        }
+        blocks
+    }
+
+    /// Register the blocks backing `prompt`'s full runs (block `i`
+    /// covers run `i`). Runs already resident keep their existing block
+    /// — first write wins, so every later lookup of the same prefix
+    /// returns one canonical block. Evicts least-recently-used entries
+    /// past the residency cap; returns the evicted blocks so the caller
+    /// can hand them back to its [`BlockPool`].
+    pub fn insert(&mut self, prompt: &[usize], blocks: &[Arc<KvBlock>]) -> Vec<Arc<KvBlock>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut node = &mut self.root;
+        for (run, block) in prompt.chunks_exact(self.block_tokens).zip(blocks) {
+            let child = node.children.entry(run.into()).or_default();
+            child.last_use = clock;
+            if child.block.is_none() {
+                child.block = Some(block.clone());
+                self.resident += 1;
+            }
+            node = child;
+        }
+        let mut evicted = Vec::new();
+        while self.resident > self.max_blocks as u64 {
+            match Self::evict_lru(&mut self.root) {
+                Some(block) => {
+                    self.resident -= 1;
+                    evicted.push(block);
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Drop the least-recently-used *leaf-most* resident block: only
+    /// nodes with no resident descendants are candidates, so evicting
+    /// never breaks the contiguity of a longer cached prefix. Prunes
+    /// nodes left empty. Returns the evicted block (the caller decides
+    /// whether its storage can actually be reclaimed — holders keep it
+    /// alive regardless).
+    fn evict_lru(root: &mut TrieNode) -> Option<Arc<KvBlock>> {
+        fn oldest_leaf(node: &TrieNode) -> Option<(u64, Vec<Box<[usize]>>)> {
+            let mut best: Option<(u64, Vec<Box<[usize]>>)> = None;
+            for (run, child) in &node.children {
+                let candidate = match oldest_leaf(child) {
+                    Some((age, mut path)) => {
+                        path.push(run.clone());
+                        Some((age, path))
+                    }
+                    None => child
+                        .block
+                        .is_some()
+                        .then(|| (child.last_use, vec![run.clone()])),
+                };
+                if let Some((age, path)) = candidate {
+                    if best.as_ref().is_none_or(|(b, _)| age < *b) {
+                        best = Some((age, path));
+                    }
+                }
+            }
+            best
+        }
+        let (_, mut path) = oldest_leaf(root)?;
+        path.reverse();
+        let mut node = root;
+        for run in &path[..path.len() - 1] {
+            node = node.children.get_mut(run).expect("path just found");
+        }
+        let last = &path[path.len() - 1];
+        let child = node.children.get_mut(last).expect("path just found");
+        let block = child.block.take();
+        if child.children.is_empty() {
+            node.children.remove(last);
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(pool: &BlockPool) -> Arc<KvBlock> {
+        pool.allocate()
+    }
+
+    #[test]
+    fn pool_recycles_only_sole_references() {
+        let pool = BlockPool::new(1, 2, 4);
+        let a = block(&pool);
+        let extra = a.clone();
+        pool.release(a);
+        assert_eq!(pool.stats().recycled, 0, "live reference blocks reclaim");
+        pool.release(extra);
+        assert_eq!(pool.stats().recycled, 1, "last reference reclaims");
+        let _b = block(&pool);
+        let s = pool.stats();
+        assert_eq!((s.allocated, s.reused, s.free), (1, 1, 0));
+    }
+
+    #[test]
+    fn trie_returns_longest_cached_prefix_only() {
+        let pool = BlockPool::new(1, 2, 4);
+        let mut trie = PrefixCache::new(4, 64);
+        let prompt: Vec<usize> = (0..10).collect(); // 2 full runs + partial
+        let blocks = [block(&pool), block(&pool)];
+        assert!(trie.insert(&prompt, &blocks).is_empty());
+        assert_eq!(trie.resident_blocks(), 2);
+
+        // Same prefix, different suffix: both full runs hit.
+        let probe: Vec<usize> = (0..8).chain([99, 98, 97]).collect();
+        let hit = trie.lookup(&probe);
+        assert_eq!(hit.len(), 2);
+        assert!(Arc::ptr_eq(&hit[0], &blocks[0]));
+        assert!(Arc::ptr_eq(&hit[1], &blocks[1]));
+
+        // Diverging in the second run: only the first block hits.
+        let probe: Vec<usize> = (0..4).chain([50, 51, 52, 53]).collect();
+        assert_eq!(trie.lookup(&probe).len(), 1);
+
+        // Diverging immediately: no hit.
+        let probe: Vec<usize> = (40..48).collect();
+        assert!(trie.lookup(&probe).is_empty());
+    }
+
+    #[test]
+    fn first_insert_wins_for_a_shared_run() {
+        let pool = BlockPool::new(1, 2, 4);
+        let mut trie = PrefixCache::new(4, 64);
+        let first = block(&pool);
+        let second = block(&pool);
+        trie.insert(&[1, 2, 3, 4], std::slice::from_ref(&first));
+        trie.insert(&[1, 2, 3, 4], std::slice::from_ref(&second));
+        assert_eq!(trie.resident_blocks(), 1);
+        assert!(Arc::ptr_eq(&trie.lookup(&[1, 2, 3, 4])[0], &first));
+    }
+
+    #[test]
+    fn lru_eviction_drops_leaves_first_and_respects_cap() {
+        let pool = BlockPool::new(1, 2, 2);
+        let mut trie = PrefixCache::new(2, 2);
+        trie.insert(&[1, 2, 3, 4], &[block(&pool), block(&pool)]);
+        // Touch the full prefix so both its blocks are newer than...
+        assert_eq!(trie.lookup(&[1, 2, 3, 4]).len(), 2);
+        // ...this insert, which pushes residency to 3 > cap 2.
+        let evicted = trie.insert(&[9, 9], &[block(&pool)]);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(trie.resident_blocks(), 2);
+        // The newly inserted leaf was oldest-eligible? No: [9,9] was just
+        // touched; the [1,2]→[3,4] chain was touched by the lookup. The
+        // evicted block must be the *leaf* [3,4] (older chain), never the
+        // interior [1,2] while its child is resident... after eviction
+        // the surviving lookup proves contiguity is intact.
+        let hit = trie.lookup(&[1, 2, 3, 4]);
+        assert_eq!(hit.len(), 1, "interior block survives, leaf evicted");
+        assert_eq!(trie.lookup(&[9, 9]).len(), 1);
+    }
+
+    #[test]
+    fn eviction_never_reclaims_storage_with_live_references() {
+        let pool = BlockPool::new(1, 2, 2);
+        let mut trie = PrefixCache::new(2, 1);
+        let shared = block(&pool);
+        let holder = shared.clone(); // a "sequence" still reading it
+        trie.insert(&[1, 2], std::slice::from_ref(&shared));
+        drop(shared);
+        let evicted = trie.insert(&[3, 4], &[block(&pool)]);
+        assert_eq!(evicted.len(), 1);
+        for b in evicted {
+            pool.release(b);
+        }
+        assert_eq!(
+            pool.stats().recycled,
+            0,
+            "holder keeps the block alive; the pool must not reclaim it"
+        );
+        drop(holder);
+    }
+}

@@ -7,7 +7,9 @@
 //! * decoder-only transformer forward pass (RMSNorm, RoPE, SwiGLU);
 //! * Multi-Head vs Grouped-Query attention (§II-A, Fig. 27) and
 //!   Mistral-style sliding-window attention (App. A);
-//! * KV caching vs full-prefix recomputation (§IV-B1, Fig. 2a);
+//! * KV caching vs full-prefix recomputation (§IV-B1, Fig. 2a), with
+//!   block-paged storage, copy-on-write sharing, and a vLLM-style
+//!   prefix cache that skips prefill for cached prompt prefixes;
 //! * Mixture-of-Experts top-k routing (§II-A, Fig. 26);
 //! * INT8 weight quantization (§IV-B3, Fig. 3);
 //! * speculative decoding with a draft model (§IV-B5, Fig. 4b).
@@ -40,6 +42,7 @@
 
 mod attention;
 mod batch;
+mod blockpool;
 mod config;
 mod generate;
 mod model;
@@ -50,8 +53,9 @@ mod step;
 mod tensor;
 mod tokenizer;
 
-pub use attention::{Attention, KvCache};
-pub use batch::{BatchSession, TokenEvent};
+pub use attention::{Attention, KvBlock, KvCache, DEFAULT_BLOCK_TOKENS};
+pub use batch::{AdmitOutcome, BatchSession, TokenEvent};
+pub use blockpool::{BlockPool, PoolStats, PrefixCache, PrefixConfig, PrefixStats};
 pub use config::EngineConfig;
 pub use generate::{generate, generate_speculative, GenerateOptions, GenerationResult};
 pub use model::{DecoderBlock, Linear, TransformerModel, Workspace};

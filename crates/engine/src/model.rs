@@ -14,6 +14,7 @@
 //!   of once per sequence.
 
 use crate::attention::{Attention, KvCache};
+use crate::blockpool::BlockPool;
 use crate::config::EngineConfig;
 use crate::moe::MoeFfn;
 use crate::quant::QuantizedLinear;
@@ -264,14 +265,21 @@ impl TransformerModel {
         &self.config
     }
 
-    /// A fresh, empty KV cache sized for this model (flat storage
-    /// preallocated for `max_seq` positions — decode never reallocates).
+    /// A fresh, empty KV cache sized for this model (block-paged
+    /// storage; blocks are appended on demand and shared copy-on-write
+    /// when caches are cloned).
     pub fn new_cache(&self) -> KvCache {
         KvCache::new(
             self.config.layers,
             self.config.kv_dim(),
             self.config.max_seq,
         )
+    }
+
+    /// A block pool producing KV blocks shaped for this model, for
+    /// sessions that share and recycle block storage across sequences.
+    pub fn new_block_pool(&self, block_tokens: usize) -> BlockPool {
+        BlockPool::new(self.config.layers, self.config.kv_dim(), block_tokens)
     }
 
     /// A scratch workspace sized for this model. One workspace plus one

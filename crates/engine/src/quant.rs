@@ -101,9 +101,11 @@ impl QuantizedLinear {
     }
 
     /// Batched `Y = X · W_qᵀ`: activations are quantized per row (same
-    /// per-tensor scale each row would get on its own, so results are
-    /// bitwise equal to per-row [`QuantizedLinear::matmul_vec`]), then
-    /// every weight row is streamed once across the whole batch.
+    /// per-tensor scale each row would get on its own) and each batch
+    /// row accumulates exactly in `i32`, so results are bitwise equal to
+    /// per-row [`QuantizedLinear::matmul_vec`] on every dispatch path.
+    /// Batch rows run in parallel above the same work threshold the f32
+    /// kernels use, serially below it.
     pub fn matmul_mat(&self, xs: &Matrix) -> Matrix {
         assert_eq!(self.cols, xs.cols());
         let m = xs.rows();
@@ -114,16 +116,23 @@ impl QuantizedLinear {
             xscales[t] = Self::quantize_activations(xs.row(t), &mut xq_row);
             xqs[t * self.cols..(t + 1) * self.cols].copy_from_slice(&xq_row);
         }
-        let mut out = Matrix::zeros(m, self.rows);
-        for r in 0..self.rows {
-            // One pass of weight row `r` over all batch rows: the weight
-            // stream is amortized across the batch.
-            for t in 0..m {
-                let xq = &xqs[t * self.cols..(t + 1) * self.cols];
-                out.row_mut(t)[r] = self.dot_row(r, xq) as f32 * self.scales[r] * xscales[t];
+        let mut data = vec![0.0f32; m * self.rows];
+        let fill_row = |t: usize, out_row: &mut [f32]| {
+            let xq = &xqs[t * self.cols..(t + 1) * self.cols];
+            for (r, out) in out_row.iter_mut().enumerate() {
+                *out = self.dot_row(r, xq) as f32 * self.scales[r] * xscales[t];
             }
+        };
+        if m * self.rows * self.cols < crate::tensor::PARALLEL_FLOP_THRESHOLD {
+            for (t, out_row) in data.chunks_mut(self.rows).enumerate() {
+                fill_row(t, out_row);
+            }
+        } else {
+            data.par_chunks_mut(self.rows)
+                .enumerate()
+                .for_each(|(t, out_row)| fill_row(t, out_row));
         }
-        out
+        Matrix::from_vec(m, self.rows, data)
     }
 
     /// Bytes of quantized storage (weights + scales).
@@ -163,6 +172,21 @@ mod tests {
         let w = Matrix::random(24, 48, 3, 0.8);
         let q = QuantizedLinear::quantize(&w);
         let xs = Matrix::random(5, 48, 8, 0.9);
+        let batched = q.matmul_mat(&xs);
+        for t in 0..xs.rows() {
+            assert_eq!(batched.row(t), q.matmul_vec(xs.row(t)).as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_batched_matmul_matches_per_row_bitwise() {
+        // 64 × 64 weights against 32 batch rows crosses the work
+        // threshold, so this exercises the rayon path; i32 accumulation
+        // keeps it bitwise equal to serial GEMV regardless.
+        let w = Matrix::random(64, 64, 5, 0.7);
+        let q = QuantizedLinear::quantize(&w);
+        let xs = Matrix::random(32, 64, 9, 0.9);
+        assert!(xs.rows() * q.rows() * q.cols() >= 64 * 1024);
         let batched = q.matmul_mat(&xs);
         for t in 0..xs.rows() {
             assert_eq!(batched.row(t), q.matmul_vec(xs.row(t)).as_slice());

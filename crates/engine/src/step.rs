@@ -10,20 +10,23 @@
 //! healthy path pays nothing: [`BatchSession`]'s `try_step` never
 //! fails.
 
-use crate::batch::{BatchSession, TokenEvent};
+use crate::batch::{AdmitOutcome, BatchSession, TokenEvent};
 use crate::sampler::Sampler;
 use llmib_types::{Result, StepError};
 
 /// The scheduler-facing surface of a batched decode engine.
 pub trait EngineStep {
-    /// Admit a sequence (runs its prefill synchronously).
+    /// Admit a sequence (runs its prefill synchronously). The outcome
+    /// reports how many prompt tokens were served from a resident
+    /// prefix instead of prefilled (zero for engines without a prefix
+    /// cache).
     fn admit(
         &mut self,
         id: u64,
         prompt: &[usize],
         max_new_tokens: usize,
         sampler: Sampler,
-    ) -> Result<()>;
+    ) -> Result<AdmitOutcome>;
 
     /// Run one batched decode step. `Err` means *no* sequence advanced:
     /// a [`StepError::Transient`] step may simply be retried, and a
@@ -57,7 +60,7 @@ impl EngineStep for BatchSession<'_> {
         prompt: &[usize],
         max_new_tokens: usize,
         sampler: Sampler,
-    ) -> Result<()> {
+    ) -> Result<AdmitOutcome> {
         BatchSession::admit(self, id, prompt, max_new_tokens, sampler)
     }
 

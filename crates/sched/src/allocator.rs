@@ -65,6 +65,25 @@ pub trait KvAllocator {
 
     /// Whether a new sequence of `max_tokens` could currently be admitted.
     fn can_admit(&self, max_tokens: u32) -> bool;
+
+    /// Take a reference on a shared prefix (`key` identifies the
+    /// prefix, `tokens` its block-aligned length). Allocators without
+    /// block-level sharing (monolithic) report it as unsupported by
+    /// returning `Ok(false)` and charging nothing; callers must then
+    /// account the prefix privately per sequence.
+    fn acquire_shared(&mut self, _key: u64, _tokens: u64) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// Drop a reference on a shared prefix. No-op when sharing is
+    /// unsupported.
+    fn release_shared(&mut self, _key: u64) {}
+
+    /// Whether the shared prefix `key` is resident (always false when
+    /// sharing is unsupported).
+    fn shared_resident(&self, _key: u64) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -79,6 +98,11 @@ pub struct PagedAllocator {
     free_blocks: u64,
     /// seq -> (blocks held, live tokens).
     seqs: HashMap<u64, (u64, u64)>,
+    /// Shared-prefix ledger: key -> (blocks, tokens, reference count).
+    /// Blocks held here are charged against the pool exactly once no
+    /// matter how many sequences reference the prefix — mirroring the
+    /// engine's copy-on-write block sharing.
+    shared: HashMap<u64, (u64, u64, u64)>,
 }
 
 impl PagedAllocator {
@@ -91,6 +115,7 @@ impl PagedAllocator {
             total_blocks,
             free_blocks: total_blocks,
             seqs: HashMap::new(),
+            shared: HashMap::new(),
         }
     }
 
@@ -106,6 +131,47 @@ impl PagedAllocator {
 
     fn blocks_for(&self, tokens: u64) -> u64 {
         tokens.div_ceil(u64::from(self.block_tokens))
+    }
+
+    /// Whether the shared prefix `key` currently holds resident blocks.
+    pub fn shared_resident(&self, key: u64) -> bool {
+        self.shared.contains_key(&key)
+    }
+
+    /// Take a reference on the shared prefix `key` of `tokens` tokens.
+    /// The first acquisition charges its blocks against the pool (OOM
+    /// if they don't fit); later acquisitions only bump the reference
+    /// count — shared blocks are accounted once. Returns `true` when
+    /// this call made the prefix resident.
+    pub fn acquire_shared(&mut self, key: u64, tokens: u64) -> Result<bool> {
+        if let Some(entry) = self.shared.get_mut(&key) {
+            entry.2 += 1;
+            return Ok(false);
+        }
+        let blocks = self.blocks_for(tokens);
+        if blocks > self.free_blocks {
+            return Err(Error::OutOfMemory {
+                required_bytes: (blocks * u64::from(self.block_tokens)) as f64,
+                available_bytes: (self.free_blocks * u64::from(self.block_tokens)) as f64,
+                detail: format!("paged KV pool exhausted for shared prefix {key}"),
+            });
+        }
+        self.free_blocks -= blocks;
+        self.shared.insert(key, (blocks, tokens, 1));
+        Ok(true)
+    }
+
+    /// Drop a reference on the shared prefix `key`; its blocks return
+    /// to the pool only when the last reference goes (never while any
+    /// sequence still counts on the resident prefix).
+    pub fn release_shared(&mut self, key: u64) {
+        if let Some(entry) = self.shared.get_mut(&key) {
+            entry.2 -= 1;
+            if entry.2 == 0 {
+                let (blocks, _, _) = self.shared.remove(&key).expect("checked");
+                self.free_blocks += blocks;
+            }
+        }
     }
 }
 
@@ -148,12 +214,15 @@ impl KvAllocator for PagedAllocator {
     }
 
     fn stats(&self) -> AllocStats {
-        let live: u64 = self.seqs.values().map(|(_, t)| *t).sum();
+        let shared_live: u64 = self.shared.values().map(|(_, t, _)| *t).sum();
+        let shared_blocks: u64 = self.shared.values().map(|(b, _, _)| *b).sum();
+        let live: u64 = self.seqs.values().map(|(_, t)| *t).sum::<u64>() + shared_live;
         let reserved: u64 = self
             .seqs
             .values()
             .map(|(b, _)| b * u64::from(self.block_tokens))
-            .sum();
+            .sum::<u64>()
+            + shared_blocks * u64::from(self.block_tokens);
         let free = self.free_blocks * u64::from(self.block_tokens);
         AllocStats {
             capacity_tokens: self.total_blocks * u64::from(self.block_tokens),
@@ -168,6 +237,18 @@ impl KvAllocator for PagedAllocator {
     fn can_admit(&self, _max_tokens: u32) -> bool {
         // Admission is lazy; one free block suffices to make progress.
         self.free_blocks > 0
+    }
+
+    fn acquire_shared(&mut self, key: u64, tokens: u64) -> Result<bool> {
+        PagedAllocator::acquire_shared(self, key, tokens)
+    }
+
+    fn release_shared(&mut self, key: u64) {
+        PagedAllocator::release_shared(self, key);
+    }
+
+    fn shared_resident(&self, key: u64) -> bool {
+        PagedAllocator::shared_resident(self, key)
     }
 }
 
@@ -329,6 +410,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_prefix_is_charged_exactly_once() {
+        let mut a = PagedAllocator::new(1024, 16);
+        assert!(a.acquire_shared(7, 48).unwrap());
+        assert_eq!(a.used_blocks(), 3);
+        // Nine more references: no new blocks.
+        for _ in 0..9 {
+            assert!(!a.acquire_shared(7, 48).unwrap());
+        }
+        assert_eq!(a.used_blocks(), 3);
+        let st = a.stats();
+        assert_eq!(st.live_tokens, 48);
+        assert_eq!(st.internal_waste_tokens, 0);
+        // Blocks survive until the *last* reference goes.
+        for _ in 0..9 {
+            a.release_shared(7);
+            assert!(a.shared_resident(7));
+        }
+        a.release_shared(7);
+        assert!(!a.shared_resident(7));
+        assert_eq!(a.used_blocks(), 0);
+    }
+
+    #[test]
+    fn shared_prefix_acquisition_can_oom() {
+        let mut a = PagedAllocator::new(64, 16);
+        a.admit(1, 64).unwrap();
+        a.append(1, 64).unwrap();
+        assert!(a.acquire_shared(3, 16).unwrap_err().is_oom());
+        a.release(1);
+        assert!(a.acquire_shared(3, 16).unwrap());
+    }
+
+    #[test]
     fn monolithic_external_fragmentation() {
         // Fill with alternating sequences, free every other one: total
         // free space is large but no big extent survives.
@@ -415,6 +529,38 @@ mod tests {
                     st.capacity_tokens
                 );
                 prop_assert!(st.live_tokens + st.internal_waste_tokens + st.free_tokens == st.capacity_tokens);
+            }
+        }
+
+        /// Conservation still holds with a shared-prefix ledger in play:
+        /// shared blocks count once no matter how many refs they carry.
+        #[test]
+        fn paged_conservation_with_shared_prefixes(
+            ops in proptest::collection::vec((0u64..4, 1u64..100, prop::bool::ANY), 1..200)
+        ) {
+            let mut a = PagedAllocator::new(4096, 16);
+            let mut refs: std::collections::HashMap<u64, u32> = Default::default();
+            for (key, tokens, release) in ops {
+                if release {
+                    if let Some(n) = refs.get_mut(&key) {
+                        a.release_shared(key);
+                        *n -= 1;
+                        if *n == 0 { refs.remove(&key); }
+                    }
+                } else {
+                    // Re-acquisitions must reuse the original token count;
+                    // only the first acquire picks the size.
+                    let t = if a.shared_resident(key) { 1 } else { tokens };
+                    if a.acquire_shared(key, t).is_ok() {
+                        *refs.entry(key).or_insert(0) += 1;
+                    }
+                }
+                let st = a.stats();
+                prop_assert_eq!(a.used_blocks() * 16 + st.free_tokens, st.capacity_tokens);
+                prop_assert_eq!(
+                    st.live_tokens + st.internal_waste_tokens + st.free_tokens,
+                    st.capacity_tokens
+                );
             }
         }
 

@@ -105,6 +105,13 @@ pub struct ServingReport {
     pub retries: u32,
     /// Fault-plan events activated during the run.
     pub faults_injected: u32,
+    /// Admissions that reused a resident shared prefix (prefix-cache
+    /// hits). The model mirrors the live engine's block trie: the first
+    /// sharer is cold and makes the prefix resident, every later sharer
+    /// skips its block-aligned part.
+    pub prefix_hits: u32,
+    /// Prompt tokens whose prefill was skipped via prefix-cache hits.
+    pub saved_prefill_tokens: u64,
 }
 
 /// Outcome of a replicated ([`ServingSimulator::run_replicated`]) run.
@@ -167,6 +174,19 @@ struct PoolTally {
     faults_injected: u32,
     occupancy_acc: f64,
     peak_util: f64,
+    prefix_hits: u32,
+    saved_prefill_tokens: u64,
+}
+
+/// Block-aligned shared-prefix tokens a prefix-cache hit can skip for
+/// `req`: full shared blocks, capped so at least one suffix token is
+/// always prefilled — the engine's usable-hit rule
+/// (`min(hit_blocks, (prompt - 1) / bt) * bt`) verbatim.
+fn aligned_prefix(req: &Request, block_tokens: u32) -> u32 {
+    let bt = block_tokens;
+    let full = req.shared_prefix_tokens / bt;
+    let cap = (req.prompt_tokens - 1) / bt;
+    full.min(cap) * bt
 }
 
 /// Keep a replica queue sorted by arrival so front-gated admission
@@ -242,6 +262,8 @@ impl ServingSimulator {
         let mut failed = 0u32;
         let mut retries = 0u32;
         let mut faults_injected = 0u32;
+        let mut prefix_hits = 0u32;
+        let mut saved_prefill_tokens = 0u64;
 
         'serve: while completed + rejected + failed < total {
             // --- Fault activation (anchored to the decode-step clock) ---
@@ -317,7 +339,7 @@ impl ServingSimulator {
                 BatchingPolicy::Continuous => true,
                 BatchingPolicy::Static => running.is_empty(),
             };
-            let mut newly_admitted: Vec<usize> = Vec::new();
+            let mut newly_admitted: Vec<(usize, u32)> = Vec::new();
             if may_admit {
                 while running.len() + newly_admitted.len() < self.config.max_concurrency as usize {
                     let Some(&idx) = queue.front() else { break };
@@ -337,27 +359,54 @@ impl ServingSimulator {
                     if !alloc.can_admit(req.max_context()) {
                         break;
                     }
+                    // Prefix-cache model (paged pools only, mirroring the
+                    // live engine's block trie): the block-aligned shared
+                    // prefix lives in the shared ledger, charged once. The
+                    // first sharer is cold — it prefills everything and
+                    // makes the prefix resident; later sharers skip it.
+                    let aligned = match self.config.kv_block_tokens {
+                        Some(bt) if req.shared_prefix_tokens > 0 => aligned_prefix(req, bt),
+                        _ => 0,
+                    };
+                    let key = u64::from(req.shared_prefix_tokens);
+                    let cached = if aligned > 0 && alloc.shared_resident(key) {
+                        aligned
+                    } else {
+                        0
+                    };
                     if alloc.admit(req.id, req.max_context()).is_err() {
                         break;
                     }
-                    // Prefill KV lands immediately on admission.
-                    if alloc.append(req.id, req.prompt_tokens).is_err() {
+                    if aligned > 0
+                        && cached == 0
+                        && alloc.acquire_shared(key, u64::from(aligned)).is_err()
+                    {
                         alloc.release(req.id);
                         break;
                     }
+                    // Prefill KV lands immediately on admission; the
+                    // shared part is already accounted in the ledger.
+                    if alloc.append(req.id, req.prompt_tokens - aligned).is_err() {
+                        alloc.release(req.id);
+                        break;
+                    }
+                    if cached > 0 {
+                        prefix_hits += 1;
+                        saved_prefill_tokens += u64::from(cached);
+                    }
                     queue.pop_front();
-                    newly_admitted.push(idx);
+                    newly_admitted.push((idx, req.prompt_tokens - cached));
                 }
             }
             if !newly_admitted.is_empty() {
                 let k = newly_admitted.len() as u32;
                 let mean_prompt = (newly_admitted
                     .iter()
-                    .map(|&i| u64::from(requests[i].prompt_tokens))
+                    .map(|&(_, prefill)| u64::from(prefill))
                     .sum::<u64>()
                     / u64::from(k)) as u32;
                 now += perf.prefill_time(k, mean_prompt.max(1));
-                for idx in newly_admitted {
+                for (idx, _) in newly_admitted {
                     requests[idx].state = RequestState::Decoding;
                     running.push(idx);
                 }
@@ -469,6 +518,10 @@ impl ServingSimulator {
                 failed,
                 retries,
                 faults_injected,
+            },
+            PrefixTally {
+                hits: prefix_hits,
+                saved_tokens: saved_prefill_tokens,
             },
         )
     }
@@ -592,6 +645,10 @@ impl ServingSimulator {
                 retries: tally.retries,
                 faults_injected: tally.faults_injected,
             },
+            PrefixTally {
+                hits: tally.prefix_hits,
+                saved_tokens: tally.saved_prefill_tokens,
+            },
         );
         ReplicatedReport {
             aggregate,
@@ -680,7 +737,7 @@ impl ServingSimulator {
             BatchingPolicy::Continuous => true,
             BatchingPolicy::Static => rep.running.is_empty(),
         };
-        let mut newly_admitted: Vec<usize> = Vec::new();
+        let mut newly_admitted: Vec<(usize, u32)> = Vec::new();
         if may_admit {
             while rep.running.len() + newly_admitted.len() < self.config.max_concurrency as usize {
                 let Some(&idx) = rep.queue.front() else { break };
@@ -696,26 +753,54 @@ impl ServingSimulator {
                 if !rep.alloc.can_admit(req.max_context()) {
                     break;
                 }
+                // Prefix-cache model, replica-local: each replica has its
+                // own pool and trie, so residency never crosses replicas —
+                // exactly like the live `ReplicaPool`.
+                let aligned = match self.config.kv_block_tokens {
+                    Some(bt) if req.shared_prefix_tokens > 0 => aligned_prefix(req, bt),
+                    _ => 0,
+                };
+                let key = u64::from(req.shared_prefix_tokens);
+                let cached = if aligned > 0 && rep.alloc.shared_resident(key) {
+                    aligned
+                } else {
+                    0
+                };
                 if rep.alloc.admit(req.id, req.max_context()).is_err() {
                     break;
                 }
-                if rep.alloc.append(req.id, req.prompt_tokens).is_err() {
+                if aligned > 0
+                    && cached == 0
+                    && rep.alloc.acquire_shared(key, u64::from(aligned)).is_err()
+                {
                     rep.alloc.release(req.id);
                     break;
                 }
+                if rep
+                    .alloc
+                    .append(req.id, req.prompt_tokens - aligned)
+                    .is_err()
+                {
+                    rep.alloc.release(req.id);
+                    break;
+                }
+                if cached > 0 {
+                    tally.prefix_hits += 1;
+                    tally.saved_prefill_tokens += u64::from(cached);
+                }
                 rep.queue.pop_front();
-                newly_admitted.push(idx);
+                newly_admitted.push((idx, req.prompt_tokens - cached));
             }
         }
         if !newly_admitted.is_empty() {
             let k = newly_admitted.len() as u32;
             let mean_prompt = (newly_admitted
                 .iter()
-                .map(|&i| u64::from(requests[i].prompt_tokens))
+                .map(|&(_, prefill)| u64::from(prefill))
                 .sum::<u64>()
                 / u64::from(k)) as u32;
             rep.now += perf.prefill_time(k, mean_prompt.max(1));
-            for idx in newly_admitted {
+            for (idx, _) in newly_admitted {
                 requests[idx].state = RequestState::Decoding;
                 rep.running.push(idx);
             }
@@ -819,6 +904,7 @@ impl ServingSimulator {
         preemptions: u32,
         rejected: u32,
         faults: FaultTally,
+        prefix: PrefixTally,
     ) -> ServingReport {
         let finished: Vec<&Request> = requests
             .iter()
@@ -870,6 +956,8 @@ impl ServingSimulator {
             failed: faults.failed,
             retries: faults.retries,
             faults_injected: faults.faults_injected,
+            prefix_hits: prefix.hits,
+            saved_prefill_tokens: prefix.saved_tokens,
         }
     }
 }
@@ -879,6 +967,12 @@ struct FaultTally {
     failed: u32,
     retries: u32,
     faults_injected: u32,
+}
+
+/// Prefix-cache counters threaded from the serving loop into the report.
+struct PrefixTally {
+    hits: u32,
+    saved_tokens: u64,
 }
 
 #[cfg(test)]
@@ -909,6 +1003,52 @@ mod tests {
             kv_capacity_tokens: kv_tokens,
             kv_block_tokens: block,
         }
+    }
+
+    #[test]
+    fn shared_prefix_trace_hits_after_the_first_cold_admission() {
+        // Eight sharers of a 48-token prefix (3 full 16-token blocks):
+        // the first is cold and makes the prefix resident, the other
+        // seven each skip exactly 48 prefill tokens.
+        let reqs: Vec<Request> = (0..8)
+            .map(|id| Request::new(id, Seconds::ZERO, 64, 8).with_shared_prefix(48))
+            .collect();
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let rep = sim.run(reqs.clone(), &perf(8));
+        assert_eq!(rep.completed, 8);
+        assert_eq!(rep.prefix_hits, 7);
+        assert_eq!(rep.saved_prefill_tokens, 7 * 48);
+
+        // The same trace without the prefix dimension prefills more and
+        // takes longer.
+        let cold: Vec<Request> = (0..8)
+            .map(|id| Request::new(id, Seconds::ZERO, 64, 8))
+            .collect();
+        let cold_rep = sim.run(cold, &perf(8));
+        assert_eq!(cold_rep.prefix_hits, 0);
+        assert_eq!(cold_rep.saved_prefill_tokens, 0);
+        assert!(rep.makespan.value() < cold_rep.makespan.value());
+
+        // Monolithic pools have no block sharing: the prefix dimension
+        // is ignored, mirroring the live runtime.
+        let mono = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, None));
+        let mono_rep = mono.run(reqs, &perf(8));
+        assert_eq!(mono_rep.prefix_hits, 0);
+        assert_eq!(mono_rep.saved_prefill_tokens, 0);
+    }
+
+    #[test]
+    fn sub_block_shared_prefix_never_hits() {
+        // A 10-token shared prefix fills no complete 16-token block, so
+        // no admission can reuse it — exactly the engine's trie rule.
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request::new(id, Seconds::ZERO, 32, 4).with_shared_prefix(10))
+            .collect();
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let rep = sim.run(reqs, &perf(4));
+        assert_eq!(rep.completed, 4);
+        assert_eq!(rep.prefix_hits, 0);
+        assert_eq!(rep.saved_prefill_tokens, 0);
     }
 
     #[test]

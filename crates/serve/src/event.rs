@@ -60,6 +60,9 @@ pub enum ServeEvent {
     Admitted {
         /// When admission (incl. prefill) finished.
         at: Seconds,
+        /// Prompt tokens served from resident shared-prefix KV blocks
+        /// instead of being prefilled (0 on a cold admission).
+        cached_prefix_tokens: u32,
     },
     /// One generated token.
     Token {

@@ -13,7 +13,7 @@
 //! runtime and the `llmib-sched` simulator count identically — the same
 //! plan therefore describes the same chaos scenario in both.
 
-use llmib_engine::{EngineStep, Sampler, TokenEvent};
+use llmib_engine::{AdmitOutcome, EngineStep, Sampler, TokenEvent};
 use llmib_types::{FaultKind, FaultPlan, Result, StepError};
 use serde::Serialize;
 use std::time::Duration;
@@ -124,7 +124,7 @@ impl<S: EngineStep> EngineStep for FaultInjector<S> {
         prompt: &[usize],
         max_new_tokens: usize,
         sampler: Sampler,
-    ) -> Result<()> {
+    ) -> Result<AdmitOutcome> {
         self.inner.admit(id, prompt, max_new_tokens, sampler)
     }
 
@@ -194,9 +194,9 @@ mod tests {
             _prompt: &[usize],
             max_new_tokens: usize,
             _sampler: Sampler,
-        ) -> Result<()> {
+        ) -> Result<AdmitOutcome> {
             self.seqs.push((id, max_new_tokens));
-            Ok(())
+            Ok(AdmitOutcome::default())
         }
 
         fn try_step(&mut self) -> std::result::Result<Vec<TokenEvent>, StepError> {

@@ -102,9 +102,9 @@ pub use event::{FailReason, RejectReason, RequestOutcome, ServeEvent};
 pub use fault::FaultCounters;
 pub use pool::{PoolReport, ReplicaPool};
 pub use replay::{
-    deterministic_prompt, replay_admission_order, replay_trace, replay_trace_on, ReplayOptions,
-    ReplayedRequest,
+    deterministic_prompt, deterministic_prompt_for, replay_admission_order, replay_trace,
+    replay_trace_on, ReplayOptions, ReplayedRequest,
 };
-pub use report::{RequestMetrics, RobustnessStats, ServeReport};
+pub use report::{PrefixCounters, RequestMetrics, RobustnessStats, ServeReport};
 pub use router::RoutingPolicy;
 pub use server::Server;

@@ -17,7 +17,7 @@
 use crate::client::Client;
 use crate::config::PoolConfig;
 use crate::event::{RejectReason, ServeEvent};
-use crate::report::{RobustnessStats, ServeReport};
+use crate::report::{PrefixCounters, RobustnessStats, ServeReport};
 use crate::router::{router_loop, ReplicaSlot, RouterBooks};
 use crate::server::{now, spawn_scheduler};
 use llmib_engine::TransformerModel;
@@ -140,6 +140,7 @@ impl ReplicaPool {
                         0.0,
                         Vec::new(),
                         robust,
+                        PrefixCounters::default(),
                     );
                     PoolReport {
                         aggregate,
@@ -204,7 +205,12 @@ impl Drop for ReplicaPool {
 /// counters into one aggregate report.
 fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolReport {
     let mut robust = books.robust;
+    let mut prefix = PrefixCounters::default();
     for r in &per_replica {
+        // Prefix-cache hits are replica-local facts (each replica owns
+        // its own block trie) and sum cleanly.
+        prefix.hits += r.prefix.hits;
+        prefix.saved_prefill_tokens += r.prefix.saved_prefill_tokens;
         // Mechanism counters are replica-local facts and sum cleanly.
         // Lifecycle counters (submitted/failed/cancelled/...) are NOT
         // summed from replicas: a migrated request would be counted on
@@ -239,6 +245,7 @@ fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolRe
         peak_kv,
         books.admission_order,
         robust,
+        prefix,
     );
     PoolReport {
         aggregate,

@@ -49,6 +49,28 @@ pub fn deterministic_prompt(id: u64, prompt_tokens: u32, vocab: usize) -> Vec<us
         .collect()
 }
 
+/// The deterministic prompt for a trace [`Request`], honoring its
+/// [`Request::shared_prefix_tokens`] dimension: the first
+/// `shared_prefix_tokens` positions use an id-*independent* formula (so
+/// every sharer emits byte-identical prefix tokens and the engine's
+/// block trie can reuse their KV blocks), and the remainder uses the
+/// [`deterministic_prompt`] formula (id-dependent, so distinct requests
+/// diverge at the first suffix position and never alias in the trie).
+/// With `shared_prefix_tokens == 0` this is exactly
+/// [`deterministic_prompt`].
+pub fn deterministic_prompt_for(req: &Request, vocab: usize) -> Vec<usize> {
+    let shared = req.shared_prefix_tokens as usize;
+    (0..req.prompt_tokens as usize)
+        .map(|j| {
+            if j < shared {
+                (j * 13 + 7) % vocab
+            } else {
+                (req.id as usize).wrapping_mul(31).wrapping_add(j * 7 + 3) % vocab
+            }
+        })
+        .collect()
+}
+
 /// Outcome of one trace entry after a live replay.
 #[derive(Debug)]
 pub struct ReplayedRequest {
@@ -103,7 +125,7 @@ pub fn replay_trace_on(
                         if let Some(wait) = target.checked_sub(start.elapsed()) {
                             std::thread::sleep(wait);
                         }
-                        let prompt = deterministic_prompt(req.id, req.prompt_tokens, opts.vocab);
+                        let prompt = deterministic_prompt_for(req, opts.vocab);
                         let submitted = client.submit(
                             prompt,
                             SubmitOptions {

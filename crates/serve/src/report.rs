@@ -32,6 +32,10 @@ pub struct RequestMetrics {
     pub itl: Option<Seconds>,
     /// Eq. 2 per-request throughput, `(prompt + output) / e2e`.
     pub throughput_tokens_per_s: f64,
+    /// Prompt tokens whose prefill was skipped because their KV blocks
+    /// were already resident in the engine's shared-prefix cache. Zero
+    /// for a cold admission (or when the prefix cache is disabled).
+    pub cached_prefix_tokens: u32,
 }
 
 impl RequestMetrics {
@@ -46,6 +50,7 @@ impl RequestMetrics {
         admitted_at: Seconds,
         first_token_at: Seconds,
         finished_at: Seconds,
+        cached_prefix_tokens: u32,
     ) -> Self {
         let e2e = Seconds(finished_at.value() - submitted_at.value());
         let ttft = Seconds(first_token_at.value() - submitted_at.value());
@@ -64,8 +69,21 @@ impl RequestMetrics {
             e2e,
             itl: derived.itl,
             throughput_tokens_per_s: derived.throughput.value(),
+            cached_prefix_tokens,
         }
     }
+}
+
+/// Prefix-cache counters of one serving run, field-compatible with the
+/// `prefix_hits` / `saved_prefill_tokens` pair on
+/// [`llmib_sched::ServingReport`] so the cross-validation harness can
+/// compare them for exact equality on the same trace.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PrefixCounters {
+    /// Admissions that reused at least one resident shared-prefix block.
+    pub hits: u32,
+    /// Prompt tokens whose prefill was skipped via those hits.
+    pub saved_prefill_tokens: u64,
 }
 
 /// Robustness counters of one serving run: what went wrong, what the
@@ -164,6 +182,10 @@ pub struct ServeReport {
     pub per_request: Vec<RequestMetrics>,
     /// Fault/retry/degradation counters of the run.
     pub robustness: RobustnessStats,
+    /// Shared-prefix KV-cache counters (hits and saved prefill tokens),
+    /// counted at admission time — so they cover failed and cancelled
+    /// requests too, exactly like the simulator's model.
+    pub prefix: PrefixCounters,
 }
 
 impl ServeReport {
@@ -193,6 +215,7 @@ impl ServeReport {
             0.0,
             Vec::new(),
             RobustnessStats::default(),
+            PrefixCounters::default(),
         );
         report.robustness.server_failed = true;
         report
@@ -209,6 +232,7 @@ impl ServeReport {
         peak_kv_utilization: f64,
         admission_order: Vec<u64>,
         robustness: RobustnessStats,
+        prefix: PrefixCounters,
     ) -> Self {
         let completed = per_request.len() as u32;
         let total_tokens: u64 = per_request
@@ -246,6 +270,7 @@ impl ServeReport {
             admission_order,
             per_request,
             robustness,
+            prefix,
         }
     }
 }
@@ -264,6 +289,7 @@ mod tests {
             Seconds(1.2),
             Seconds(1.5),
             Seconds(3.5),
+            0,
         );
         assert!((m.ttft.value() - 0.5).abs() < 1e-12);
         assert!((m.e2e.value() - 2.5).abs() < 1e-12);
@@ -285,6 +311,7 @@ mod tests {
                     Seconds(0.1),
                     Seconds(0.2),
                     Seconds(1.0 + i as f64),
+                    0,
                 )
             })
             .collect();
@@ -301,6 +328,7 @@ mod tests {
                 submitted: 13,
                 ..RobustnessStats::default()
             },
+            PrefixCounters::default(),
         );
         assert_eq!(rep.completed, 10);
         assert_eq!(rep.shed_deadline, 2);
@@ -330,6 +358,7 @@ mod tests {
                 cancelled: 1,
                 ..RobustnessStats::default()
             },
+            PrefixCounters::default(),
         );
         assert!(rep.reconciles());
     }

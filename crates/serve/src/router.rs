@@ -132,6 +132,9 @@ struct Flight {
     /// and hedging.
     tokens: Vec<usize>,
     admitted_at: Option<Seconds>,
+    /// Shared-prefix tokens the *first* admission reused (later
+    /// re-dispatches replay a generated prefix instead).
+    cached_prefix_tokens: u32,
     first_token_at: Option<Seconds>,
     last_progress: Instant,
     primary: Option<Dispatch>,
@@ -281,6 +284,7 @@ pub(crate) fn router_loop(
                             client: sub.events,
                             tokens: Vec::new(),
                             admitted_at: None,
+                            cached_prefix_tokens: 0,
                             first_token_at: None,
                             last_progress: Instant::now(),
                             primary: None,
@@ -573,14 +577,21 @@ fn drain_relay(
 ) -> DispatchFate {
     loop {
         match d.events.try_recv() {
-            Ok(ServeEvent::Admitted { at }) => {
+            Ok(ServeEvent::Admitted {
+                at,
+                cached_prefix_tokens,
+            }) => {
                 *progressed = true;
                 f.last_progress = Instant::now();
                 if !f.admitted_sent {
                     f.admitted_sent = true;
                     f.admitted_at = Some(at);
+                    f.cached_prefix_tokens = cached_prefix_tokens;
                     books.admission_order.push(id);
-                    let _ = f.client.send(ServeEvent::Admitted { at });
+                    let _ = f.client.send(ServeEvent::Admitted {
+                        at,
+                        cached_prefix_tokens,
+                    });
                 }
             }
             Ok(ServeEvent::Token { token, at }) => {
@@ -669,6 +680,7 @@ fn finish_flight(id: u64, f: &Flight, finished_at: Seconds, books: &mut RouterBo
         f.admitted_at.unwrap_or(finished_at),
         f.first_token_at.unwrap_or(finished_at),
         finished_at,
+        f.cached_prefix_tokens,
     );
     let _ = f.client.send(ServeEvent::Finished {
         metrics: metrics.clone(),

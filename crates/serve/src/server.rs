@@ -33,8 +33,8 @@ use crate::client::Client;
 use crate::config::ServeConfig;
 use crate::event::{FailReason, RejectReason, ServeEvent};
 use crate::fault::FaultInjector;
-use crate::report::{RequestMetrics, RobustnessStats, ServeReport};
-use llmib_engine::{BatchSession, EngineStep, Sampler, TokenEvent, TransformerModel};
+use crate::report::{PrefixCounters, RequestMetrics, RobustnessStats, ServeReport};
+use llmib_engine::{BatchSession, EngineStep, PrefixConfig, Sampler, TokenEvent, TransformerModel};
 use llmib_sched::BatchingPolicy;
 use llmib_types::{Result, Seconds, StepError};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -129,6 +129,9 @@ pub(crate) struct Submission {
 /// Scheduler-side state of an admitted sequence.
 struct LiveSeq {
     prompt_tokens: u32,
+    /// Prompt tokens served from resident shared-prefix KV blocks at
+    /// admission (prefill skipped); 0 for a cold admission.
+    cached_prefix_tokens: u32,
     submitted_at: Seconds,
     admitted_at: Seconds,
     first_token_at: Option<Seconds>,
@@ -232,6 +235,7 @@ struct Scheduler<'m> {
     per_request: Vec<RequestMetrics>,
     admission_order: Vec<u64>,
     robust: RobustnessStats,
+    prefix: PrefixCounters,
     shed_deadline: u32,
     rejected_oversized: u32,
     decode_steps: u64,
@@ -385,14 +389,23 @@ impl<'m> Scheduler<'m> {
                 .session
                 .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler)
             {
-                Ok(()) => {
+                Ok(outcome) => {
                     let at = now(self.epoch);
-                    let _ = sub.events.send(ServeEvent::Admitted { at });
+                    let cached = outcome.cached_prefix_tokens as u32;
+                    if cached > 0 {
+                        self.prefix.hits += 1;
+                        self.prefix.saved_prefill_tokens += u64::from(cached);
+                    }
+                    let _ = sub.events.send(ServeEvent::Admitted {
+                        at,
+                        cached_prefix_tokens: cached,
+                    });
                     self.admission_order.push(sub.id);
                     self.live.insert(
                         sub.id,
                         LiveSeq {
                             prompt_tokens: sub.prompt.len() as u32,
+                            cached_prefix_tokens: cached,
                             submitted_at: sub.submitted_at,
                             admitted_at: at,
                             first_token_at: None,
@@ -503,6 +516,7 @@ impl<'m> Scheduler<'m> {
                     meta.admitted_at,
                     meta.first_token_at.expect("finished implies first token"),
                     at,
+                    meta.cached_prefix_tokens,
                 );
                 let _ = meta.events.send(ServeEvent::Finished {
                     metrics: metrics.clone(),
@@ -557,6 +571,7 @@ impl<'m> Scheduler<'m> {
             self.peak_kv,
             self.admission_order,
             self.robust,
+            self.prefix,
         )
     }
 }
@@ -571,8 +586,22 @@ fn scheduler_loop(
     epoch: Instant,
     telemetry: &ReplicaTelemetry,
 ) -> ServeReport {
+    // A paged KV budget (`kv_block_tokens: Some(b)`) enables the
+    // engine's block-based shared-prefix cache at the same granularity,
+    // so repeated system prompts skip their prefill. Monolithic pools
+    // have no block sharing — the session runs cold, like the simulator.
+    let session = match config.kv_block_tokens {
+        Some(block) => BatchSession::with_prefix_cache(
+            model,
+            PrefixConfig {
+                block_tokens: block as usize,
+                ..PrefixConfig::default()
+            },
+        ),
+        None => BatchSession::new(model),
+    };
     let mut sched = Scheduler {
-        session: FaultInjector::new(BatchSession::new(model), config.fault_plan.clone()),
+        session: FaultInjector::new(session, config.fault_plan.clone()),
         budget: KvBudget::new(config.kv_capacity_tokens, config.kv_block_tokens),
         breaker: CircuitBreaker::new(config.breaker.clone()),
         config: config.clone(),
@@ -584,6 +613,7 @@ fn scheduler_loop(
         per_request: Vec::new(),
         admission_order: Vec::new(),
         robust: RobustnessStats::default(),
+        prefix: PrefixCounters::default(),
         shed_deadline: 0,
         rejected_oversized: 0,
         decode_steps: 0,

@@ -1,0 +1,195 @@
+//! Exact sim-vs-live reconciliation of the shared-prefix KV cache.
+//!
+//! The same [`TrafficProfile::trace_with_prefix`] trace (a 90%-shared
+//! system prompt) is replayed through the live [`Server`] (whose
+//! [`llmib_engine::BatchSession`] runs the real block-trie prefix
+//! cache) and through the [`ServingSimulator`] (whose paged allocator
+//! models residency with a shared-block ledger). Both backends must
+//! agree *exactly* — not approximately — on the two prefix counters:
+//!
+//! * `prefix_hits`: admissions that reused a resident prefix,
+//! * `saved_prefill_tokens`: prompt tokens whose prefill was skipped.
+//!
+//! Exactness holds because the count is admission-order-independent:
+//! whichever sharer is admitted first is cold and makes the prefix
+//! resident; every one of the remaining `k - 1` sharers then skips
+//! exactly `floor(S / block) * block` tokens.
+//!
+//! The test also re-asserts the determinism anchor under caching: warm
+//! token streams must be bitwise-identical to an offline replay through
+//! a *cold* `BatchSession` (no prefix cache at all).
+
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_frameworks::FrameworkId;
+use llmib_hardware::HardwareId;
+use llmib_models::ModelId;
+use llmib_perf::{PerfModel, ResolvedScenario, Scenario};
+use llmib_sched::{BatchingPolicy, ServingSimulator, SimConfig};
+use llmib_serve::{
+    deterministic_prompt_for, replay_admission_order, replay_trace, ReplayOptions, ServeConfig,
+    Server,
+};
+use llmib_types::Request;
+use llmib_workloads::{SharedPrefix, TrafficProfile};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const N: usize = 20;
+/// 32 shared tokens = exactly two 16-token blocks, so the block-aligned
+/// reusable part is the whole prefix.
+const PREFIX: SharedPrefix = SharedPrefix {
+    tokens: 32,
+    share: 0.9,
+};
+const BLOCK: u32 = 16;
+const SHAPE: TrafficProfile = TrafficProfile::Square { len: 24 };
+
+fn trace() -> Vec<Request> {
+    // Burst arrivals: maximal batching overlap, so same-step admissions
+    // exercise the "resident within one admission pass" path too.
+    SHAPE.trace_with_prefix(N, 1e6, 17, PREFIX)
+}
+
+fn sim_perf() -> ResolvedScenario {
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(8)
+        .input_tokens(24)
+        .output_tokens(24)
+        .build()
+        .expect("valid scenario");
+    PerfModel::default_calibration()
+        .resolve_scenario(&scenario)
+        .expect("resolvable scenario")
+}
+
+#[test]
+fn live_and_sim_prefix_counters_reconcile_exactly() {
+    let trace = trace();
+    let sharers = trace.iter().filter(|r| r.shared_prefix_tokens > 0).count() as u32;
+    assert!(sharers >= 2, "trace must contain at least two sharers");
+    let aligned = (PREFIX.tokens / BLOCK) * BLOCK;
+    let expected_hits = sharers - 1;
+    let expected_saved = u64::from(expected_hits) * u64::from(aligned);
+
+    // --- Simulator half ---
+    let sim = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 8,
+        kv_capacity_tokens: 1 << 14,
+        kv_block_tokens: Some(BLOCK),
+    });
+    let sim_report = sim.run(trace.clone(), &sim_perf());
+    assert_eq!(sim_report.completed as usize, N, "sim completes everything");
+    assert_eq!(sim_report.prefix_hits, expected_hits);
+    assert_eq!(sim_report.saved_prefill_tokens, expected_saved);
+
+    // --- Live half ---
+    let cfg = EngineConfig::scaled_from(ModelId::Llama2_7b, 128, 7);
+    let model = Arc::new(TransformerModel::new(cfg, false).expect("valid config"));
+    let server = Server::start(
+        Arc::clone(&model),
+        ServeConfig {
+            policy: BatchingPolicy::Continuous,
+            max_concurrency: 8,
+            kv_capacity_tokens: 1 << 14,
+            kv_block_tokens: Some(BLOCK),
+            queue_capacity: N + 8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let replayed = replay_trace(
+        &server,
+        &trace,
+        &ReplayOptions {
+            time_scale: 0.0,
+            vocab: model.config().vocab,
+            ..ReplayOptions::default()
+        },
+    );
+    let live = server.shutdown();
+    assert_eq!(live.completed as usize, N, "live completes everything");
+
+    // The tentpole acceptance: live and simulated prefix accounting
+    // agree exactly on the identical trace.
+    assert_eq!(live.prefix.hits, sim_report.prefix_hits);
+    assert_eq!(
+        live.prefix.saved_prefill_tokens,
+        sim_report.saved_prefill_tokens
+    );
+    assert_eq!(live.prefix.hits, expected_hits);
+    assert_eq!(live.prefix.saved_prefill_tokens, expected_saved);
+
+    // Per-request accounting is internally consistent: each completed
+    // request reused either nothing or the whole aligned prefix, and
+    // the per-request values sum to the run counter.
+    let per_request_saved: u64 = live
+        .per_request
+        .iter()
+        .map(|m| u64::from(m.cached_prefix_tokens))
+        .sum();
+    assert_eq!(per_request_saved, live.prefix.saved_prefill_tokens);
+    assert!(live
+        .per_request
+        .iter()
+        .all(|m| m.cached_prefix_tokens == 0 || m.cached_prefix_tokens == aligned));
+
+    // Determinism anchor under caching: every live (possibly warm)
+    // stream is bitwise-identical to an offline replay through a COLD
+    // BatchSession with no prefix cache at all.
+    let by_server_id: HashMap<u64, (&Request, &[usize])> = replayed
+        .iter()
+        .map(|r| {
+            let sid = r.server_id.expect("all submissions accepted");
+            let tokens = r.outcome.tokens().expect("all requests completed");
+            (sid, (&trace[r.trace_id as usize], tokens))
+        })
+        .collect();
+    let offline = replay_admission_order(&model, &live.admission_order, |sid| {
+        let (req, _) = by_server_id[&sid];
+        (
+            deterministic_prompt_for(req, model.config().vocab),
+            req.output_tokens as usize,
+        )
+    });
+    assert_eq!(offline.len(), N);
+    for (sid, offline_tokens) in &offline {
+        let (_, live_tokens) = by_server_id[sid];
+        assert_eq!(
+            live_tokens,
+            &offline_tokens[..],
+            "sequence {sid}: warm live tokens must equal the cold offline replay bitwise"
+        );
+    }
+}
+
+#[test]
+fn prefix_share_sweep_monotonically_increases_savings() {
+    // 0% / 50% / 90% shared-prefix share on otherwise identical traffic:
+    // saved prefill tokens must be monotone in the share, in both
+    // backends' accounting (the simulator is cheap enough to sweep; the
+    // live half is covered by the exact reconciliation above).
+    let perf = sim_perf();
+    let sim = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 8,
+        kv_capacity_tokens: 1 << 14,
+        kv_block_tokens: Some(BLOCK),
+    });
+    let mut saved = Vec::new();
+    for share in [0.0, 0.5, 0.9] {
+        let prefix = SharedPrefix { tokens: 32, share };
+        let trace = SHAPE.trace_with_prefix(64, 1e6, 23, prefix);
+        let report = sim.run(trace, &perf);
+        assert_eq!(report.completed, 64);
+        saved.push(report.saved_prefill_tokens);
+    }
+    assert_eq!(saved[0], 0, "no sharing, no savings");
+    assert!(
+        saved[0] < saved[1] && saved[1] < saved[2],
+        "savings must grow with the shared share: {saved:?}"
+    );
+}

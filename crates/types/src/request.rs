@@ -52,6 +52,13 @@ pub struct Request {
     pub first_token_at: Option<Seconds>,
     /// When the request finished.
     pub finished_at: Option<Seconds>,
+    /// Leading prompt tokens drawn from a trace-wide shared prefix (a
+    /// common system prompt). Zero for a fully cold prompt. Strictly
+    /// less than `prompt_tokens`: every request owns at least one
+    /// unshared prompt token, so a prefix-cache hit always leaves a
+    /// suffix to prefill. Prefix-caching runtimes/simulators can skip
+    /// (the block-aligned part of) this prefix when it is resident.
+    pub shared_prefix_tokens: u32,
 }
 
 impl Request {
@@ -67,7 +74,20 @@ impl Request {
             generated: 0,
             first_token_at: None,
             finished_at: None,
+            shared_prefix_tokens: 0,
         }
+    }
+
+    /// Mark the first `tokens` prompt tokens as drawn from the
+    /// trace-wide shared prefix. Must leave at least one unshared
+    /// prompt token.
+    pub fn with_shared_prefix(mut self, tokens: u32) -> Self {
+        assert!(
+            tokens < self.prompt_tokens,
+            "shared prefix must be shorter than the prompt"
+        );
+        self.shared_prefix_tokens = tokens;
+        self
     }
 
     /// Context length right now (prompt + generated).
@@ -115,5 +135,17 @@ mod tests {
     #[should_panic]
     fn zero_prompt_rejected() {
         Request::new(1, Seconds::ZERO, 0, 1);
+    }
+
+    #[test]
+    fn shared_prefix_is_bounded_by_the_prompt() {
+        let r = Request::new(1, Seconds::ZERO, 32, 4).with_shared_prefix(24);
+        assert_eq!(r.shared_prefix_tokens, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the prompt")]
+    fn fully_shared_prompt_rejected() {
+        let _ = Request::new(1, Seconds::ZERO, 32, 4).with_shared_prefix(32);
     }
 }

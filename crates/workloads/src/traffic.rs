@@ -31,17 +31,77 @@ pub enum TrafficProfile {
 /// One sampled request shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct RequestShape {
-    /// Prompt tokens.
+    /// Prompt tokens (including any shared prefix).
     pub prompt_tokens: u32,
     /// Output tokens.
     pub output_tokens: u32,
+    /// Leading prompt tokens drawn from the trace-wide shared system
+    /// prompt (zero when the request doesn't share it).
+    pub shared_prefix_tokens: u32,
+}
+
+/// The shared system-prompt dimension of a workload: real chat traffic
+/// front-loads many prompts with one common prefix (a system prompt),
+/// which prefix-caching runtimes serve from resident KV blocks instead
+/// of re-prefilling. `share` controls what fraction of requests carry
+/// the prefix, so benchmarks can sweep it (0%, 50%, 90%, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SharedPrefix {
+    /// Length of the common prefix in tokens (> 0 for any sharing).
+    pub tokens: u32,
+    /// Fraction of requests whose prompt starts with the prefix, in
+    /// `[0, 1]`.
+    pub share: f64,
+}
+
+impl SharedPrefix {
+    /// No sharing: every prompt is cold.
+    pub const NONE: SharedPrefix = SharedPrefix {
+        tokens: 0,
+        share: 0.0,
+    };
+
+    fn assert_valid(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.share),
+            "share must be within [0, 1]"
+        );
+        assert!(
+            self.tokens > 0 || self.share == 0.0,
+            "a shared prefix needs tokens > 0"
+        );
+    }
 }
 
 impl TrafficProfile {
     /// Sample `n` request shapes, deterministically from `seed`.
     pub fn sample(self, n: usize, seed: u64) -> Vec<RequestShape> {
+        self.sample_with_prefix(n, seed, SharedPrefix::NONE)
+    }
+
+    /// [`TrafficProfile::sample`] with a shared system-prompt dimension:
+    /// each shape independently carries the prefix with probability
+    /// `prefix.share`, its prompt extended by `prefix.tokens` (the
+    /// profile's sampled prompt length becomes the unshared suffix, so
+    /// a sharing request always has at least one cold prompt token).
+    pub fn sample_with_prefix(
+        self,
+        n: usize,
+        seed: u64,
+        prefix: SharedPrefix,
+    ) -> Vec<RequestShape> {
+        prefix.assert_valid();
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| self.sample_one(&mut rng)).collect()
+        (0..n)
+            .map(|_| {
+                let mut shape = self.sample_one(&mut rng);
+                if prefix.share > 0.0 && rng.gen_range(0.0..1.0) < prefix.share {
+                    shape.prompt_tokens += prefix.tokens;
+                    shape.shared_prefix_tokens = prefix.tokens;
+                }
+                shape
+            })
+            .collect()
     }
 
     fn sample_one(self, rng: &mut StdRng) -> RequestShape {
@@ -57,23 +117,16 @@ impl TrafficProfile {
             };
             v.round().max(1.0) as u32
         };
-        match self {
-            TrafficProfile::Summarization => RequestShape {
-                prompt_tokens: tri(rng, 512, 1024, 2048),
-                output_tokens: tri(rng, 32, 96, 256),
-            },
-            TrafficProfile::Generation => RequestShape {
-                prompt_tokens: tri(rng, 32, 128, 256),
-                output_tokens: tri(rng, 256, 640, 1536),
-            },
-            TrafficProfile::Chat => RequestShape {
-                prompt_tokens: tri(rng, 64, 256, 1024),
-                output_tokens: tri(rng, 64, 192, 768),
-            },
-            TrafficProfile::Square { len } => RequestShape {
-                prompt_tokens: len,
-                output_tokens: len,
-            },
+        let (prompt_tokens, output_tokens) = match self {
+            TrafficProfile::Summarization => (tri(rng, 512, 1024, 2048), tri(rng, 32, 96, 256)),
+            TrafficProfile::Generation => (tri(rng, 32, 128, 256), tri(rng, 256, 640, 1536)),
+            TrafficProfile::Chat => (tri(rng, 64, 256, 1024), tri(rng, 64, 192, 768)),
+            TrafficProfile::Square { len } => (len, len),
+        };
+        RequestShape {
+            prompt_tokens,
+            output_tokens,
+            shared_prefix_tokens: 0,
         }
     }
 
@@ -87,20 +140,42 @@ impl TrafficProfile {
     /// them start from byte-identical traces. Request ids are the trace
     /// positions `0..n`.
     pub fn trace(self, n: usize, rate_per_s: f64, seed: u64) -> Vec<Request> {
+        self.trace_with_prefix(n, rate_per_s, seed, SharedPrefix::NONE)
+    }
+
+    /// [`TrafficProfile::trace`] with a shared system-prompt dimension:
+    /// each request independently carries the trace-wide prefix with
+    /// probability `prefix.share` (marked via
+    /// [`Request::with_shared_prefix`], its prompt extended by
+    /// `prefix.tokens`). With `SharedPrefix::NONE` this is exactly
+    /// [`TrafficProfile::trace`], same seed, same draws.
+    pub fn trace_with_prefix(
+        self,
+        n: usize,
+        rate_per_s: f64,
+        seed: u64,
+        prefix: SharedPrefix,
+    ) -> Vec<Request> {
         assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        prefix.assert_valid();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut t = 0.0;
         (0..n)
             .map(|id| {
                 let shape = self.sample_one(&mut rng);
+                let shared = prefix.share > 0.0 && rng.gen_range(0.0..1.0) < prefix.share;
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 t += -u.ln() / rate_per_s;
-                Request::new(
+                let mut req = Request::new(
                     id as u64,
                     Seconds(t),
-                    shape.prompt_tokens,
+                    shape.prompt_tokens + if shared { prefix.tokens } else { 0 },
                     shape.output_tokens,
-                )
+                );
+                if shared {
+                    req = req.with_shared_prefix(prefix.tokens);
+                }
+                req
             })
             .collect()
     }
@@ -188,6 +263,77 @@ mod tests {
             "10x the rate must compress the trace ~10x: {} vs {}",
             span(&slow),
             span(&fast)
+        );
+    }
+
+    #[test]
+    fn no_prefix_trace_is_byte_identical_to_plain_trace() {
+        let plain = TrafficProfile::Chat.trace(64, 25.0, 9);
+        let none = TrafficProfile::Chat.trace_with_prefix(64, 25.0, 9, SharedPrefix::NONE);
+        for (a, b) in plain.iter().zip(&none) {
+            assert_eq!(a.arrival.value(), b.arrival.value());
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.shared_prefix_tokens, 0);
+            assert_eq!(b.shared_prefix_tokens, 0);
+        }
+    }
+
+    #[test]
+    fn prefix_share_controls_how_many_requests_carry_it() {
+        let prefix = SharedPrefix {
+            tokens: 48,
+            share: 0.9,
+        };
+        let trace = TrafficProfile::Chat.trace_with_prefix(400, 25.0, 5, prefix);
+        let shared = trace
+            .iter()
+            .filter(|r| r.shared_prefix_tokens == 48)
+            .count();
+        assert!(
+            (300..=400).contains(&shared),
+            "~90% of 400 should share, got {shared}"
+        );
+        for r in &trace {
+            assert!(r.shared_prefix_tokens == 0 || r.shared_prefix_tokens == 48);
+            // The profile's sampled prompt became the unshared suffix.
+            assert!(r.prompt_tokens > r.shared_prefix_tokens);
+        }
+        let all = TrafficProfile::Chat.trace_with_prefix(
+            100,
+            25.0,
+            5,
+            SharedPrefix {
+                tokens: 48,
+                share: 1.0,
+            },
+        );
+        assert!(all.iter().all(|r| r.shared_prefix_tokens == 48));
+    }
+
+    #[test]
+    fn sampled_shapes_carry_the_prefix_dimension() {
+        let prefix = SharedPrefix {
+            tokens: 32,
+            share: 0.5,
+        };
+        let shapes = TrafficProfile::Generation.sample_with_prefix(400, 11, prefix);
+        let shared = shapes.iter().filter(|s| s.shared_prefix_tokens > 0).count();
+        assert!((120..=280).contains(&shared), "~50%, got {shared}");
+        assert!(shapes
+            .iter()
+            .all(|s| s.prompt_tokens > s.shared_prefix_tokens));
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be within")]
+    fn out_of_range_share_is_rejected() {
+        let _ = TrafficProfile::Chat.sample_with_prefix(
+            4,
+            0,
+            SharedPrefix {
+                tokens: 8,
+                share: 1.5,
+            },
         );
     }
 

@@ -1,0 +1,216 @@
+//! Shared-prefix KV-cache sweep: measures cold vs warm TTFT under a
+//! long shared system prompt and sweeps the share ratio, recording the
+//! results as the `prefix_cache` section of `BENCH_engine.json`
+//! (merged into whatever `engine_bench_baseline` already wrote there).
+//!
+//! Two measurements:
+//!
+//! * **TTFT microbenchmark** — admit + first decode step for a
+//!   224-token prompt whose first 192 tokens are a shared prefix,
+//!   against a cold session vs a session where the prefix is already
+//!   resident. Warm admissions prefill only the 32-token suffix, so
+//!   the warm TTFT must be at least 2x faster (asserted: this example
+//!   runs in CI as the acceptance gate).
+//! * **Share sweep** — a `TrafficProfile` trace at share 0 / 0.5 / 0.9
+//!   through one prefix-cached `BatchSession`, reporting hit rate and
+//!   saved prefill tokens per share.
+//!
+//! Run with `cargo run --release --example prefix_cache_sweep`.
+
+use llmib_engine::{BatchSession, EngineConfig, PrefixConfig, Sampler, TransformerModel};
+use llmib_serve::deterministic_prompt_for;
+use llmib_workloads::{SharedPrefix, TrafficProfile};
+use serde_json::Value;
+use std::time::Instant;
+
+const BLOCK: usize = 16;
+const SHARED: usize = 192;
+const SUFFIX: usize = 32;
+
+fn prefix_session(model: &TransformerModel) -> BatchSession<'_> {
+    BatchSession::with_prefix_cache(
+        model,
+        PrefixConfig {
+            block_tokens: BLOCK,
+            max_cached_blocks: 4096,
+        },
+    )
+}
+
+/// A 224-token prompt: 192 id-independent shared-prefix tokens, then an
+/// id-dependent suffix (the same formulas `llmib_serve`'s trace replay
+/// uses, so every sharer's prefix blocks are byte-identical).
+fn sharer_prompt(id: usize, vocab: usize) -> Vec<usize> {
+    (0..SHARED + SUFFIX)
+        .map(|j| {
+            if j < SHARED {
+                (j * 13 + 7) % vocab
+            } else {
+                (id * 31 + j * 7 + 3) % vocab
+            }
+        })
+        .collect()
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let cfg = EngineConfig {
+        max_seq: 320,
+        ..EngineConfig::tiny()
+    };
+    let model = TransformerModel::new(cfg.clone(), false).expect("valid config");
+
+    // --- TTFT microbenchmark: cold vs warm admission of the same shape ---
+    let runs = 5;
+    let cold_s = median(
+        (0..runs)
+            .map(|r| {
+                // Fresh session per run: nothing resident, full prefill.
+                let mut s = prefix_session(&model);
+                let t = Instant::now();
+                let out = s
+                    .admit(r as u64, &sharer_prompt(r, cfg.vocab), 1, Sampler::Greedy)
+                    .expect("admit");
+                s.step();
+                assert_eq!(out.cached_prefix_tokens, 0, "cold run must not hit");
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let mut warm_session = prefix_session(&model);
+    warm_session
+        .admit(1000, &sharer_prompt(1000, cfg.vocab), 1, Sampler::Greedy)
+        .expect("admit");
+    warm_session.step();
+    let warm_s = median(
+        (1..=runs)
+            .map(|r| {
+                // Same resident prefix, fresh suffix per run.
+                let t = Instant::now();
+                let out = warm_session
+                    .admit(
+                        1000 + r as u64,
+                        &sharer_prompt(1000 + r, cfg.vocab),
+                        1,
+                        Sampler::Greedy,
+                    )
+                    .expect("admit");
+                warm_session.step();
+                assert_eq!(out.cached_prefix_tokens, SHARED, "warm run must hit");
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let speedup = cold_s / warm_s;
+    assert!(
+        speedup >= 2.0,
+        "warm TTFT must be at least 2x faster than cold \
+         (cold {cold_s:.6}s, warm {warm_s:.6}s, speedup {speedup:.2}x)"
+    );
+
+    // --- Share sweep: hit rate and saved prefill tokens vs share ratio ---
+    let n = 24usize;
+    let mut sweep_rows = Vec::new();
+    for share in [0.0f64, 0.5, 0.9] {
+        let trace = TrafficProfile::Square { len: SUFFIX as u32 }.trace_with_prefix(
+            n,
+            1e6,
+            11,
+            SharedPrefix {
+                tokens: SHARED as u32,
+                share,
+            },
+        );
+        let mut session = prefix_session(&model);
+        let mut cold_sharer = Vec::new();
+        let mut warm_sharer = Vec::new();
+        for req in &trace {
+            let prompt = deterministic_prompt_for(req, cfg.vocab);
+            let t = Instant::now();
+            let out = session
+                .admit(req.id, &prompt, 1, Sampler::Greedy)
+                .expect("admit");
+            session.step();
+            let dt = t.elapsed().as_secs_f64();
+            if req.shared_prefix_tokens > 0 {
+                if out.cached_prefix_tokens > 0 {
+                    warm_sharer.push(dt);
+                } else {
+                    cold_sharer.push(dt);
+                }
+            }
+        }
+        let stats = session.prefix_stats().expect("prefix cache enabled");
+        let hit_rate = stats.hits as f64 / stats.admissions as f64;
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        sweep_rows.push(Value::Object(vec![
+            ("share".into(), Value::Float(share)),
+            ("requests".into(), Value::Int(n as i64)),
+            ("hits".into(), Value::Int(stats.hits as i64)),
+            ("hit_rate".into(), Value::Float(hit_rate)),
+            (
+                "saved_prefill_tokens".into(),
+                Value::Int(stats.saved_prefill_tokens as i64),
+            ),
+            ("mean_cold_sharer_ttft_s".into(), mean(&cold_sharer)),
+            ("mean_warm_sharer_ttft_s".into(), mean(&warm_sharer)),
+        ]));
+    }
+
+    // --- Merge the prefix_cache section into BENCH_engine.json ---
+    let section = Value::Object(vec![
+        (
+            "config".into(),
+            Value::Str(format!(
+                "tiny (max_seq=320), block_tokens={BLOCK}, shared_prefix={SHARED}, suffix={SUFFIX}"
+            )),
+        ),
+        (
+            "ttft".into(),
+            Value::Object(vec![
+                ("cold_s".into(), Value::Float(cold_s)),
+                ("warm_s".into(), Value::Float(warm_s)),
+                ("speedup".into(), Value::Float(speedup)),
+            ]),
+        ),
+        ("sweep".into(), Value::Array(sweep_rows)),
+    ]);
+    let mut root = std::fs::read_to_string("BENCH_engine.json")
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .unwrap_or_else(|| {
+            Value::Object(vec![(
+                "created_by".into(),
+                Value::Str("examples/prefix_cache_sweep.rs".into()),
+            )])
+        });
+    match &mut root {
+        Value::Object(fields) => {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "prefix_cache") {
+                slot.1 = section;
+            } else {
+                fields.push(("prefix_cache".into(), section));
+            }
+        }
+        _ => root = Value::Object(vec![("prefix_cache".into(), section)]),
+    }
+    let json = serde_json::to_string_pretty(&root).expect("serialize");
+    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
+
+    println!(
+        "prefix cache TTFT: cold {:.2}ms, warm {:.2}ms ({speedup:.2}x)",
+        cold_s * 1e3,
+        warm_s * 1e3
+    );
+    println!("share sweep written to BENCH_engine.json (prefix_cache section)");
+}

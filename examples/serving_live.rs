@@ -19,7 +19,7 @@ use llmib_serve::{
     ServeConfig, ServeReport, Server,
 };
 use llmib_types::Request;
-use llmib_workloads::TrafficProfile;
+use llmib_workloads::{SharedPrefix, TrafficProfile};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -139,6 +139,24 @@ fn main() {
     println!(
         "verified: {} sequences bitwise-identical to an offline BatchSession replay",
         offline.len()
+    );
+
+    // Shared system prompt: with paged KV the engine's block-trie prefix
+    // cache skips the prefill of every repeated prefix after the first.
+    let prefixed = TrafficProfile::Square { len: 32 }.trace_with_prefix(
+        N,
+        1e6,
+        99,
+        SharedPrefix {
+            tokens: 256,
+            share: 0.9,
+        },
+    );
+    let (prefix_report, _) = serve_trace(&model, &prefixed, 0.0);
+    println!(
+        "\nshared system prompt (256 tokens on 90% of a {N}-request burst): \
+         {} prefix-cache hits, {} prefill tokens skipped",
+        prefix_report.prefix.hits, prefix_report.prefix.saved_prefill_tokens,
     );
 
     // Load sweep for BENCH_serve.json: light load, saturation, overload.

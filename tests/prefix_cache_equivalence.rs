@@ -1,0 +1,233 @@
+//! Golden-equivalence suite for the shared-prefix KV cache.
+//!
+//! Prefix reuse is an *optimization*, not an approximation: adopting a
+//! resident block hands the new sequence exactly the floats a cold
+//! prefill would recompute, tail blocks are copy-on-write, and trie
+//! eviction only drops the trie's own reference — a block stays alive
+//! while any sequence still holds it. So for every architecture variant
+//! and every interleaving of admissions, evictions, and decode steps,
+//! token streams must match the cold reference *bitwise*.
+
+use llmib_engine::{
+    generate, BatchSession, EngineConfig, GenerateOptions, PrefixConfig, Sampler, TransformerModel,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Every architecture variant the engine models: MHA, grouped-query
+/// attention, mixture-of-experts routing, sliding-window attention.
+fn all_variants() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("tiny", EngineConfig::tiny()),
+        ("tiny_gqa", EngineConfig::tiny_gqa()),
+        ("tiny_moe", EngineConfig::tiny_moe()),
+        ("tiny_swa", EngineConfig::tiny_swa(3)),
+    ]
+}
+
+/// A prompt whose first `shared` tokens depend only on `family` (every
+/// sequence in a family emits byte-identical prefix tokens) and whose
+/// suffix depends on `id` (distinct sequences diverge at the first
+/// suffix position, so they never alias in the trie).
+fn shared_prompt(
+    family: usize,
+    id: usize,
+    shared: usize,
+    total: usize,
+    vocab: usize,
+) -> Vec<usize> {
+    (0..total)
+        .map(|j| {
+            if j < shared {
+                (family * 17 + j * 13 + 7) % vocab
+            } else {
+                (id * 31 + j * 7 + 3) % vocab
+            }
+        })
+        .collect()
+}
+
+/// The cold single-sequence reference stream.
+fn solo(model: &TransformerModel, prompt: &[usize], max_new_tokens: usize) -> Vec<usize> {
+    generate(
+        model,
+        prompt,
+        GenerateOptions {
+            max_new_tokens,
+            use_kv_cache: true,
+            sampler: Sampler::Greedy,
+        },
+    )
+    .tokens
+}
+
+/// Drain a session to completion, folding every emitted token into
+/// `collected` (unlike `run_to_completion`, this keeps tokens emitted
+/// before the drain began).
+fn drain(session: &mut BatchSession<'_>, collected: &mut HashMap<u64, Vec<usize>>) {
+    while !session.is_empty() {
+        for ev in session.step() {
+            collected.entry(ev.seq).or_default().push(ev.token);
+        }
+    }
+}
+
+#[test]
+fn cache_hit_streams_bitwise_match_cold_across_variants() {
+    for (name, cfg) in all_variants() {
+        let model = TransformerModel::new(cfg.clone(), false).unwrap();
+        // 16 shared tokens = two full 8-token blocks per family.
+        let prompts: Vec<Vec<usize>> = (0..5)
+            .map(|id| shared_prompt(0, id, 16, 22, cfg.vocab))
+            .collect();
+
+        let mut cold = BatchSession::new(&model);
+        let mut warm = BatchSession::with_prefix_cache(
+            &model,
+            PrefixConfig {
+                block_tokens: 8,
+                max_cached_blocks: 256,
+            },
+        );
+        for (i, p) in prompts.iter().enumerate() {
+            cold.admit(i as u64, p, 10, Sampler::Greedy).unwrap();
+            let out = warm.admit(i as u64, p, 10, Sampler::Greedy).unwrap();
+            let expected = if i == 0 { 0 } else { 16 };
+            assert_eq!(out.cached_prefix_tokens, expected, "{name}: admission {i}");
+        }
+        let cold_tokens = cold.run_to_completion();
+        let warm_tokens = warm.run_to_completion();
+        assert_eq!(cold_tokens, warm_tokens, "{name}: streams diverge");
+
+        let stats = warm.prefix_stats().unwrap();
+        assert_eq!(stats.hits, 4, "{name}");
+        assert_eq!(stats.saved_prefill_tokens, 4 * 16, "{name}");
+
+        // And both match the single-sequence reference.
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(warm_tokens[i].1, solo(&model, p, 10), "{name}: seq {i}");
+        }
+    }
+}
+
+#[test]
+fn trie_eviction_under_pressure_never_corrupts_live_sequences() {
+    // A 5-block trie under admissions from 6 distinct prefix families
+    // evicts constantly — including blocks that live sequences still
+    // reference. Reference counting must keep those blocks alive: every
+    // sequence's stream stays bitwise equal to its solo run.
+    let cfg = EngineConfig::tiny();
+    let model = TransformerModel::new(cfg.clone(), false).unwrap();
+    let mut session = BatchSession::with_prefix_cache(
+        &model,
+        PrefixConfig {
+            block_tokens: 4,
+            max_cached_blocks: 5,
+        },
+    );
+    let prompts: Vec<Vec<usize>> = (0..6)
+        .map(|f| shared_prompt(f, f, 8, 10, cfg.vocab))
+        .collect();
+    let mut collected: HashMap<u64, Vec<usize>> = HashMap::new();
+    let step = |session: &mut BatchSession<'_>, collected: &mut HashMap<u64, Vec<usize>>| {
+        for ev in session.step() {
+            collected.entry(ev.seq).or_default().push(ev.token);
+        }
+    };
+
+    session.admit(0, &prompts[0], 12, Sampler::Greedy).unwrap();
+    session.admit(1, &prompts[1], 12, Sampler::Greedy).unwrap();
+    step(&mut session, &mut collected);
+    step(&mut session, &mut collected);
+    // New families force trie evictions while 0 and 1 are mid-decode.
+    session.admit(2, &prompts[2], 12, Sampler::Greedy).unwrap();
+    session.admit(3, &prompts[3], 12, Sampler::Greedy).unwrap();
+    step(&mut session, &mut collected);
+    assert!(session.evict(1), "sequence 1 was live");
+    session.admit(4, &prompts[4], 12, Sampler::Greedy).unwrap();
+    session.admit(5, &prompts[5], 12, Sampler::Greedy).unwrap();
+    drain(&mut session, &mut collected);
+
+    let stats = session.prefix_stats().unwrap();
+    assert!(stats.evicted_blocks > 0, "pressure must force evictions");
+    for (id, prompt) in prompts.iter().enumerate() {
+        let reference = solo(&model, prompt, 12);
+        let got = collected.get(&(id as u64)).map_or(&[][..], |t| t);
+        if id == 1 {
+            // Evicted mid-flight: whatever it produced must prefix the
+            // reference stream.
+            assert!(got.len() < reference.len());
+            assert_eq!(got, &reference[..got.len()], "seq 1 prefix");
+        } else {
+            assert_eq!(got, &reference[..], "seq {id}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of admissions (mixed prefix families and
+    /// lengths), mid-flight evictions, and decode steps against a tiny
+    /// trie: every sequence's stream must equal its solo run bitwise —
+    /// complete for sequences that ran out their budget, a strict
+    /// prefix for evicted ones.
+    #[test]
+    fn random_admit_evict_step_orders_stay_bitwise_equivalent(
+        ops in proptest::collection::vec((0u8..4, 0usize..64), 4..28),
+        block in 2usize..6,
+        cap in 3usize..10,
+    ) {
+        let cfg = EngineConfig::tiny();
+        let model = TransformerModel::new(cfg.clone(), false).unwrap();
+        let mut session = BatchSession::with_prefix_cache(
+            &model,
+            PrefixConfig { block_tokens: block, max_cached_blocks: cap },
+        );
+        let mut next_id = 0u64;
+        let mut admitted: HashMap<u64, (Vec<usize>, usize)> = HashMap::new();
+        let mut collected: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (op, arg) in ops {
+            match op {
+                // Admission gets double weight so runs stay populated.
+                0 | 3 => {
+                    let family = arg % 3;
+                    let prompt = shared_prompt(
+                        family,
+                        next_id as usize,
+                        8,
+                        10 + arg % 4,
+                        cfg.vocab,
+                    );
+                    let budget = 4 + arg % 5;
+                    session.admit(next_id, &prompt, budget, Sampler::Greedy).unwrap();
+                    admitted.insert(next_id, (prompt, budget));
+                    next_id += 1;
+                }
+                1 => {
+                    let live = session.live_ids();
+                    if !live.is_empty() {
+                        session.evict(live[arg % live.len()]);
+                    }
+                }
+                2 => {
+                    for ev in session.step() {
+                        collected.entry(ev.seq).or_default().push(ev.token);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        drain(&mut session, &mut collected);
+        for (id, (prompt, budget)) in &admitted {
+            let reference = solo(&model, prompt, *budget);
+            let got = collected.get(id).map_or(&[][..], |t| t);
+            prop_assert!(got.len() <= reference.len(), "seq {} produced too much", id);
+            prop_assert_eq!(
+                got,
+                &reference[..got.len()],
+                "seq {} diverges from its solo run", id
+            );
+        }
+    }
+}
