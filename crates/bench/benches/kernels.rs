@@ -3,13 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmib_engine::{
-    generate, matmul_mat, matmul_vec, BatchSession, EngineConfig, GenerateOptions, Matrix,
-    QuantizedLinear, Sampler, TransformerModel,
+    dot_kernel, generate, kernel_backend, matmul_mat, matmul_vec, softmax_in_place, BatchSession,
+    EngineConfig, GenerateOptions, Matrix, OnlineSoftmax, QuantizedLinear, Sampler,
+    TransformerModel,
 };
 use llmib_frameworks::FrameworkId;
 use llmib_hardware::HardwareId;
 use llmib_models::ModelId;
-use llmib_perf::{PerfModel, Scenario};
+use llmib_perf::{HostRoofline, KernelShape, PerfModel, Scenario};
 use llmib_sched::{
     ArrivalPattern, BatchingPolicy, KvAllocator, MonolithicAllocator, PagedAllocator,
     ServingSimulator, SimConfig,
@@ -52,7 +53,153 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("int8_gemm_16rows", n), &n, |b, _| {
             b.iter(|| black_box(q.matmul_mat(black_box(&xs))))
         });
+        // Int4 halves weight traffic again at the cost of nibble unpack.
+        let q4 = QuantizedLinear::quantize_int4(&w);
+        group.bench_with_input(BenchmarkId::new("int4", n), &n, |b, _| {
+            b.iter(|| black_box(q4.matmul_vec(black_box(&x))))
+        });
+        group.bench_with_input(BenchmarkId::new("int4_gemm_16rows", n), &n, |b, _| {
+            b.iter(|| black_box(q4.matmul_mat(black_box(&xs))))
+        });
     }
+    group.finish();
+}
+
+fn bench_flash_attention(c: &mut Criterion) {
+    // The fused flash-style attention core vs the two-pass reference:
+    // one query, 8 heads × 64, over a growing KV span. The fused path
+    // folds 16-position chunks through the online softmax and never
+    // materializes the full score row.
+    let (heads, d) = (8usize, 64usize);
+    let mut group = c.benchmark_group("engine_flash_attention");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for kv in [256usize, 1024] {
+        let keys = Matrix::random(kv, heads * d, 31, 0.4);
+        let vals = Matrix::random(kv, heads * d, 32, 0.4);
+        let q: Vec<f32> = (0..heads * d).map(|i| (i as f32 * 0.05).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("fused_online", kv), &kv, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; heads * d];
+                let mut scores = Vec::with_capacity(16);
+                for h in 0..heads {
+                    let qh = &q[h * d..(h + 1) * d];
+                    let oh = &mut out[h * d..(h + 1) * d];
+                    let mut os = OnlineSoftmax::new();
+                    let mut pos = 0;
+                    while pos < kv {
+                        let end = (pos + 16).min(kv);
+                        scores.clear();
+                        scores.extend(
+                            (pos..end).map(|p| dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d])),
+                        );
+                        os.fold(&scores, oh, |i| &vals.row(pos + i)[h * d..(h + 1) * d]);
+                        pos = end;
+                    }
+                    os.finish(oh);
+                }
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_pass", kv), &kv, |b, _| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; heads * d];
+                let mut scores = vec![0.0f32; kv];
+                for h in 0..heads {
+                    let qh = &q[h * d..(h + 1) * d];
+                    for (p, s) in scores.iter_mut().enumerate() {
+                        *s = dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d]);
+                    }
+                    softmax_in_place(&mut scores);
+                    let oh = &mut out[h * d..(h + 1) * d];
+                    for (p, &wt) in scores.iter().enumerate() {
+                        for (o, v) in oh.iter_mut().zip(&vals.row(p)[h * d..(h + 1) * d]) {
+                            *o += wt * v;
+                        }
+                    }
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    // Roofline section: calibrate the host peaks through the engine's
+    // own kernels, then report each hot kernel's attained fraction of
+    // its roofline floor alongside the timing. The standalone smoke
+    // check (with a pass/fail floor) lives in examples/kernel_sweep.rs;
+    // this group exists so `cargo bench` output carries the same
+    // context without leaving criterion.
+    let n = 512usize;
+    let batch = 16usize;
+    let w = Matrix::random(n, n, 11, 0.5);
+    let xs = Matrix::random(batch, n, 12, 0.8);
+    let q8 = QuantizedLinear::quantize(&w);
+
+    // Quick inline calibration (medians of 5 short runs).
+    let time_of = |f: &mut dyn FnMut()| {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[2]
+    };
+    let cw = Matrix::random(64, 64, 3, 0.5);
+    let cx = Matrix::random(8, 64, 4, 0.5);
+    let flop_s = time_of(&mut || {
+        for _ in 0..200 {
+            black_box(matmul_mat(black_box(&cw), black_box(&cx)));
+        }
+    });
+    let peak_gflops = (2.0 * 8.0 * 64.0 * 64.0 * 200.0) / flop_s / 1e9;
+    let len = 4 << 20;
+    let sa: Vec<f32> = (0..len).map(|i| (i % 17) as f32).collect();
+    let sb: Vec<f32> = (0..len).map(|i| (i % 13) as f32).collect();
+    let bw_s = time_of(&mut || {
+        let mut acc = 0.0f32;
+        for (ca, cb) in sa.chunks(4096).zip(sb.chunks(4096)) {
+            acc += dot_kernel(black_box(ca), black_box(cb));
+        }
+        black_box(acc);
+    });
+    let peak_gbps = (2.0 * len as f64 * 4.0) / bw_s / 1e9;
+    let host = HostRoofline::new(peak_gflops, peak_gbps);
+    println!(
+        "roofline [{}]: calibrated {:.2} GFLOP/s, {:.2} GB/s (ridge {:.2} ops/byte)",
+        kernel_backend(),
+        host.peak_gflops,
+        host.peak_gbps,
+        host.ridge_intensity()
+    );
+
+    let mut group = c.benchmark_group("engine_roofline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let shapes = [
+        ("gemm_f32", KernelShape::gemm(batch, n, n, 4.0)),
+        ("gemm_int8", KernelShape::gemm(batch, n, n, 1.125)),
+    ];
+    for (name, shape) in shapes {
+        println!(
+            "roofline [{}]: {name} floor {:.3e}s ({:?}-bound, intensity {:.2} ops/byte)",
+            kernel_backend(),
+            host.predict_seconds(&shape),
+            host.bound(&shape),
+            shape.intensity()
+        );
+    }
+    group.bench_function(BenchmarkId::new("gemm_f32_vs_floor", n), |b| {
+        b.iter(|| black_box(matmul_mat(black_box(&w), black_box(&xs))))
+    });
+    group.bench_function(BenchmarkId::new("gemm_int8_vs_floor", n), |b| {
+        b.iter(|| black_box(q8.matmul_mat(black_box(&xs))))
+    });
     group.finish();
 }
 
@@ -277,6 +424,8 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_flash_attention,
+    bench_roofline,
     bench_prefill,
     bench_generation,
     bench_batched_session,

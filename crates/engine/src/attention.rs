@@ -1,20 +1,32 @@
 //! Self-attention with KV caching, supporting both MHSA and GQA.
 //!
-//! Three execution paths share one attention core ([`Attention`] keeps
-//! them numerically identical by funneling every dot product through
-//! [`dot_unrolled`]):
+//! Three execution paths share one fused, flash-style attention core
+//! ([`Attention`] keeps them numerically identical by funneling every
+//! score dot product through [`dot_kernel`] and folding values through
+//! one [`OnlineSoftmax`]):
 //!
 //! * token-at-a-time decode ([`Attention::forward`] and the
 //!   workspace-backed [`Attention::forward_ws`]),
 //! * multi-token causal prefill ([`Attention::prefill`]) — one GEMM per
-//!   projection for the whole prompt,
+//!   projection for the whole prompt, queries attended in parallel,
 //! * cross-sequence batched decode ([`Attention::forward_batch`]) — one
 //!   GEMM per projection for a batch of independent sequences.
+//!
+//! The core streams directly over the paged KV block chain: per head it
+//! scores one KV block at a time into a block-sized scratch row and
+//! folds it into a running online softmax, so the full `O(context)`
+//! score row is never materialized and keys/values are read straight
+//! from block storage with no per-position slicing overhead. Chunk
+//! boundaries are a pure function of (window start, visible positions,
+//! block size), so every path folds in the same order and all three
+//! stay bitwise identical to each other.
 
 use crate::blockpool::BlockPool;
 use crate::config::EngineConfig;
+use crate::flash::OnlineSoftmax;
 use crate::model::{Linear, Workspace};
-use crate::tensor::{dot_unrolled, softmax_in_place, Matrix, RopeTable};
+use crate::quant::QuantMode;
+use crate::tensor::{dot_kernel, Matrix, RopeTable, PARALLEL_FLOP_THRESHOLD};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -208,12 +220,28 @@ impl KvCache {
         positions * self.lens.len()
     }
 
+    /// The contiguous key slab for one layer of one block:
+    /// `block_tokens × kv_dim` floats, slot-major. The attention core
+    /// streams these directly instead of slicing per position.
+    pub(crate) fn layer_keys(&self, layer: usize, block: usize) -> &[f32] {
+        let span = self.block_tokens * self.kv_dim;
+        &self.blocks[block].keys[layer * span..(layer + 1) * span]
+    }
+
+    /// The contiguous value slab for one layer of one block.
+    pub(crate) fn layer_vals(&self, layer: usize, block: usize) -> &[f32] {
+        let span = self.block_tokens * self.kv_dim;
+        &self.blocks[block].vals[layer * span..(layer + 1) * span]
+    }
+
+    #[cfg(test)]
     fn key_at(&self, layer: usize, pos: usize) -> &[f32] {
         let (b, slot) = (pos / self.block_tokens, pos % self.block_tokens);
         let at = (layer * self.block_tokens + slot) * self.kv_dim;
         &self.blocks[b].keys[at..at + self.kv_dim]
     }
 
+    #[cfg(test)]
     fn val_at(&self, layer: usize, pos: usize) -> &[f32] {
         let (b, slot) = (pos / self.block_tokens, pos % self.block_tokens);
         let at = (layer * self.block_tokens + slot) * self.kv_dim;
@@ -246,16 +274,16 @@ pub struct Attention {
 }
 
 impl Attention {
-    /// Build with seeded random weights.
-    pub fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+    /// Build with seeded random weights in the given precision.
+    pub fn new(cfg: &EngineConfig, seed: u64, mode: QuantMode) -> Self {
         let h = cfg.hidden;
         let kv = cfg.kv_dim();
         let scale = (6.0 / (2.0 * h as f32)).sqrt();
         Self {
-            wq: Linear::random(h, h, seed, scale, quantized),
-            wk: Linear::random(kv, h, seed.wrapping_add(1), scale, quantized),
-            wv: Linear::random(kv, h, seed.wrapping_add(2), scale, quantized),
-            wo: Linear::random(h, h, seed.wrapping_add(3), scale, quantized),
+            wq: Linear::random(h, h, seed, scale, mode),
+            wk: Linear::random(kv, h, seed.wrapping_add(1), scale, mode),
+            wv: Linear::random(kv, h, seed.wrapping_add(2), scale, mode),
+            wo: Linear::random(h, h, seed.wrapping_add(3), scale, mode),
             heads: cfg.heads,
             kv_heads: cfg.kv_heads,
             head_dim: cfg.head_dim(),
@@ -276,10 +304,14 @@ impl Attention {
         }
     }
 
-    /// Causal attention core for one query (all heads) against cached
-    /// positions `[window_start(visible), visible)` of `layer`. Writes
-    /// concatenated head outputs into `out`; `scores` is scratch, grown
-    /// without reallocating once its capacity covers the window.
+    /// Fused flash-style attention core for one query (all heads)
+    /// against cached positions `[window_start(visible), visible)` of
+    /// `layer`. Per head it streams the KV block chain: each block's
+    /// scores land in the block-sized `scores` scratch row and are
+    /// immediately folded into an [`OnlineSoftmax`] accumulating into
+    /// `out` — the full score row for the window is never materialized.
+    /// Chunk boundaries depend only on (window start, visible, block
+    /// size), so decode, prefill, and batched paths fold identically.
     fn attend_one(
         &self,
         q: &[f32],
@@ -290,33 +322,38 @@ impl Attention {
         out: &mut [f32],
     ) {
         let d = self.head_dim;
+        let kv_dim = cache.kv_dim;
+        let bt = cache.block_tokens;
         // Sliding-window attention (Mistral-style): attend only to the
         // most recent `window` positions.
         let start = match self.sliding_window {
             Some(w) => visible.saturating_sub(w),
             None => 0,
         };
-        let span = visible - start;
         let group = self.heads / self.kv_heads;
         let inv_sqrt_d = 1.0 / (d as f32).sqrt();
         out.fill(0.0);
-        scores.clear();
-        scores.resize(span, 0.0);
         for h in 0..self.heads {
             let kvh = h / group;
             let qh = &q[h * d..(h + 1) * d];
-            for (i, score) in scores.iter_mut().enumerate() {
-                let kt = &cache.key_at(layer, start + i)[kvh * d..(kvh + 1) * d];
-                *score = dot_unrolled(qh, kt) * inv_sqrt_d;
-            }
-            softmax_in_place(scores);
             let oh = &mut out[h * d..(h + 1) * d];
-            for (i, &w) in scores.iter().enumerate() {
-                let vt = &cache.val_at(layer, start + i)[kvh * d..(kvh + 1) * d];
-                for (o, vv) in oh.iter_mut().zip(vt) {
-                    *o += w * vv;
-                }
+            let mut os = OnlineSoftmax::new();
+            let mut pos = start;
+            while pos < visible {
+                let block = pos / bt;
+                let end = visible.min((block + 1) * bt);
+                let slot0 = pos % bt;
+                let keys = cache.layer_keys(layer, block);
+                scores.clear();
+                scores.extend((0..end - pos).map(|i| {
+                    let kt = &keys[(slot0 + i) * kv_dim + kvh * d..][..d];
+                    dot_kernel(qh, kt) * inv_sqrt_d
+                }));
+                let vals = cache.layer_vals(layer, block);
+                os.fold(scores, oh, |i| &vals[(slot0 + i) * kv_dim + kvh * d..][..d]);
+                pos = end;
             }
+            os.finish(oh);
         }
     }
 
@@ -386,17 +423,16 @@ impl Attention {
             cache.append(layer, k.row(i), v.row(i));
         }
         let mut out = Matrix::zeros(t, self.heads * self.head_dim);
-        let mut scores = Vec::new();
-        for i in 0..t {
-            self.attend_one(
-                q.row(i),
-                layer,
-                cache,
-                start + i + 1,
-                &mut scores,
-                out.row_mut(i),
-            );
-        }
+        // Per-query attention rows are independent, so prefill attends
+        // them in parallel above the work threshold. Each row runs the
+        // identical fused core with its own scratch, so the result stays
+        // bitwise equal to the serial (and token-at-a-time) path.
+        let flops = t * (start + t) * self.heads * self.head_dim;
+        let cache = &*cache;
+        out.for_each_row_mut(flops >= PARALLEL_FLOP_THRESHOLD, |i, row| {
+            let mut scores = Vec::with_capacity(cache.block_tokens());
+            self.attend_one(q.row(i), layer, cache, start + i + 1, &mut scores, row);
+        });
         self.wo.matmul_mat(&out)
     }
 
@@ -551,7 +587,7 @@ mod tests {
     #[test]
     fn attention_output_is_deterministic() {
         let cfg = EngineConfig::tiny();
-        let attn = Attention::new(&cfg, 7, false);
+        let attn = Attention::new(&cfg, 7, QuantMode::F32);
         let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.1).sin()).collect();
         let mut c1 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         let mut c2 = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
@@ -565,7 +601,7 @@ mod tests {
         // With kv_heads == heads the GQA code path degenerates to MHSA:
         // same cache growth per position and same output length.
         let cfg = EngineConfig::tiny();
-        let attn = Attention::new(&cfg, 3, false);
+        let attn = Attention::new(&cfg, 3, QuantMode::F32);
         let mut cache = KvCache::new(1, cfg.kv_dim(), cfg.max_seq);
         let x = vec![0.3f32; cfg.hidden];
         let y = attn.forward(&x, 0, 0, &mut cache);
@@ -578,8 +614,8 @@ mod tests {
     fn gqa_cache_is_smaller_than_mhsa() {
         let mhsa = EngineConfig::tiny();
         let gqa = EngineConfig::tiny_gqa();
-        let am = Attention::new(&mhsa, 3, false);
-        let ag = Attention::new(&gqa, 3, false);
+        let am = Attention::new(&mhsa, 3, QuantMode::F32);
+        let ag = Attention::new(&gqa, 3, QuantMode::F32);
         let mut cm = KvCache::new(1, mhsa.kv_dim(), mhsa.max_seq);
         let mut cg = KvCache::new(1, gqa.kv_dim(), gqa.max_seq);
         let x = vec![0.5f32; mhsa.hidden];
@@ -596,7 +632,7 @@ mod tests {
         // Two different histories that agree on the last `window` tokens
         // must produce identical outputs under windowed attention...
         let cfg = EngineConfig::tiny_swa(2);
-        let attn = Attention::new(&cfg, 21, false);
+        let attn = Attention::new(&cfg, 21, QuantMode::F32);
         let recent = [vec![0.5f32; cfg.hidden], vec![-0.2f32; cfg.hidden]];
         let old_a = vec![0.9f32; cfg.hidden];
         let old_b = vec![-0.9f32; cfg.hidden];
@@ -614,7 +650,7 @@ mod tests {
         assert_eq!(run(&old_a), run(&old_b));
 
         // ...while full attention distinguishes them.
-        let full = Attention::new(&EngineConfig::tiny(), 21, false);
+        let full = Attention::new(&EngineConfig::tiny(), 21, QuantMode::F32);
         let run_full = |old: &Vec<f32>| {
             let mut c = KvCache::new(
                 1,
@@ -633,8 +669,8 @@ mod tests {
     fn window_larger_than_context_matches_full_attention() {
         let full_cfg = EngineConfig::tiny();
         let swa_cfg = EngineConfig::tiny_swa(64);
-        let a_full = Attention::new(&full_cfg, 5, false);
-        let a_swa = Attention::new(&swa_cfg, 5, false);
+        let a_full = Attention::new(&full_cfg, 5, QuantMode::F32);
+        let a_swa = Attention::new(&swa_cfg, 5, QuantMode::F32);
         let x = vec![0.3f32; full_cfg.hidden];
         let mut c1 = KvCache::new(1, full_cfg.kv_dim(), full_cfg.max_seq);
         let mut c2 = KvCache::new(1, swa_cfg.kv_dim(), swa_cfg.max_seq);
@@ -650,7 +686,7 @@ mod tests {
         // Feeding different histories must change the output for the
         // same current token.
         let cfg = EngineConfig::tiny();
-        let attn = Attention::new(&cfg, 11, false);
+        let attn = Attention::new(&cfg, 11, QuantMode::F32);
         let a = vec![0.9f32; cfg.hidden];
         let b = vec![-0.9f32; cfg.hidden];
         let x = vec![0.1f32; cfg.hidden];
@@ -670,7 +706,7 @@ mod tests {
             EngineConfig::tiny_gqa(),
             EngineConfig::tiny_swa(3),
         ] {
-            let attn = Attention::new(&cfg, 13, false);
+            let attn = Attention::new(&cfg, 13, QuantMode::F32);
             let t = 6;
             let mut xs = Matrix::zeros(t, cfg.hidden);
             for i in 0..t {
@@ -695,7 +731,7 @@ mod tests {
     #[test]
     fn forward_batch_matches_per_sequence_forward_bitwise() {
         let cfg = EngineConfig::tiny_gqa();
-        let attn = Attention::new(&cfg, 17, false);
+        let attn = Attention::new(&cfg, 17, QuantMode::F32);
         // Three sequences at different depths.
         let histories = [1usize, 3, 5];
         let mut solo_caches: Vec<KvCache> = Vec::new();

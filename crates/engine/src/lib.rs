@@ -11,19 +11,26 @@
 //!   block-paged storage, copy-on-write sharing, and a vLLM-style
 //!   prefix cache that skips prefill for cached prompt prefixes;
 //! * Mixture-of-Experts top-k routing (§II-A, Fig. 26);
-//! * INT8 weight quantization (§IV-B3, Fig. 3);
+//! * blockwise INT8 and INT4 weight quantization with per-group scales
+//!   and fused dequantization (§IV-B3, Fig. 3);
+//! * fused flash-style attention: blocked online softmax streaming over
+//!   the paged KV block chain, never materializing a full score row;
 //! * speculative decoding with a draft model (§IV-B5, Fig. 4b).
 //!
 //! Matrix kernels are `rayon`-parallel above a work threshold and serial
 //! below it. Prefill runs whole prompts through blocked, cache-tiled
 //! GEMMs ([`matmul_mat`]) and batched decode stacks concurrent sequences
 //! so weights stream once per step; a reusable [`Workspace`] makes the
-//! steady-state decode loop allocation free. Every path funnels through
-//! one dot-product kernel, so batched and token-at-a-time execution
-//! produce bitwise-identical logits. Weights are seeded-random (we
-//! reproduce systems behavior, not trained quality); everything is
-//! deterministic given a seed, which the correctness tests rely on
-//! (e.g. cached and uncached decoding must emit identical tokens).
+//! steady-state decode loop allocation free. Every f32 path funnels
+//! through one dot-product kernel ([`dot_kernel`]) — with the `simd`
+//! feature that kernel is an explicit SSE2 implementation constructed to
+//! be *bitwise identical* to the scalar reference (same accumulator
+//! striping, no FMA), so batched, token-at-a-time, SIMD, and scalar
+//! execution all produce bitwise-identical logits. Weights are
+//! seeded-random (we reproduce systems behavior, not trained quality);
+//! everything is deterministic given a seed, which the correctness tests
+//! rely on (e.g. cached and uncached decoding must emit identical
+//! tokens).
 //!
 //! ```
 //! use llmib_engine::{generate, EngineConfig, GenerateOptions, Sampler, TransformerModel};
@@ -37,13 +44,21 @@
 //! assert_eq!(result.tokens.len(), 8);
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the SSE2 intrinsics module,
+// which is only compiled under the `simd` feature and keeps its
+// `unsafe` behind a module-local allow with per-call safety proofs.
+#![cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    forbid(unsafe_code)
+)]
+#![cfg_attr(all(feature = "simd", target_arch = "x86_64"), deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod attention;
 mod batch;
 mod blockpool;
 mod config;
+mod flash;
 mod generate;
 mod model;
 mod moe;
@@ -53,18 +68,22 @@ mod step;
 mod tensor;
 mod tokenizer;
 
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
+
 pub use attention::{Attention, KvBlock, KvCache, DEFAULT_BLOCK_TOKENS};
 pub use batch::{AdmitOutcome, BatchSession, TokenEvent};
 pub use blockpool::{BlockPool, PoolStats, PrefixCache, PrefixConfig, PrefixStats};
 pub use config::EngineConfig;
+pub use flash::OnlineSoftmax;
 pub use generate::{generate, generate_speculative, GenerateOptions, GenerationResult};
 pub use model::{DecoderBlock, Linear, TransformerModel, Workspace};
 pub use moe::MoeFfn;
-pub use quant::QuantizedLinear;
+pub use quant::{QuantMode, QuantScratch, QuantizedLinear, QUANT_GROUP};
 pub use sampler::Sampler;
 pub use step::EngineStep;
 pub use tensor::{
-    dot_unrolled, matmul_mat, matmul_vec, matmul_vec_into, rmsnorm, rmsnorm_into, rope_in_place,
-    silu, softmax_in_place, Matrix, RopeTable,
+    dot_kernel, dot_unrolled, kernel_backend, matmul_mat, matmul_vec, matmul_vec_into, rmsnorm,
+    rmsnorm_into, rope_in_place, silu, softmax_in_place, Matrix, RopeTable,
 };
 pub use tokenizer::{ByteTokenizer, BOS};

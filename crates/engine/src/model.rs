@@ -17,26 +17,27 @@ use crate::attention::{Attention, KvCache};
 use crate::blockpool::BlockPool;
 use crate::config::EngineConfig;
 use crate::moe::MoeFfn;
-use crate::quant::QuantizedLinear;
+use crate::quant::{QuantMode, QuantScratch, QuantizedLinear};
 use crate::tensor::{matmul_mat, matmul_vec, matmul_vec_into, rmsnorm_into, Matrix};
 
-/// A linear layer in either full or INT8 precision.
+/// A linear layer in full precision or block-quantized (INT8/INT4)
+/// storage.
 #[derive(Debug, Clone)]
 pub enum Linear {
     /// f32 weights.
     F32(Matrix),
-    /// INT8 weights with per-row scales.
-    Int8(QuantizedLinear),
+    /// Block-quantized integer weights with per-group scales.
+    Quant(QuantizedLinear),
 }
 
 impl Linear {
-    /// Seeded random layer, optionally quantized.
-    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32, quantized: bool) -> Self {
+    /// Seeded random layer in the given precision.
+    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32, mode: QuantMode) -> Self {
         let w = Matrix::random(rows, cols, seed, scale);
-        if quantized {
-            Linear::Int8(QuantizedLinear::quantize(&w))
-        } else {
-            Linear::F32(w)
+        match mode {
+            QuantMode::F32 => Linear::F32(w),
+            QuantMode::Int8 => Linear::Quant(QuantizedLinear::quantize(&w)),
+            QuantMode::Int4 => Linear::Quant(QuantizedLinear::quantize_int4(&w)),
         }
     }
 
@@ -44,7 +45,7 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         match self {
             Linear::F32(w) => w.rows(),
-            Linear::Int8(q) => q.rows(),
+            Linear::Quant(q) => q.rows(),
         }
     }
 
@@ -52,18 +53,18 @@ impl Linear {
     pub fn matmul_vec(&self, x: &[f32]) -> Vec<f32> {
         match self {
             Linear::F32(w) => matmul_vec(w, x),
-            Linear::Int8(q) => q.matmul_vec(x),
+            Linear::Quant(q) => q.matmul_vec(x),
         }
     }
 
     /// [`Linear::matmul_vec`] into a caller-provided buffer. `xq` is
-    /// scratch for the INT8 path's quantized activations (unused for
-    /// f32); reusing it across calls keeps the decode loop allocation
-    /// free.
-    pub fn matmul_vec_into(&self, x: &[f32], y: &mut [f32], xq: &mut Vec<i8>) {
+    /// scratch for the quantized path's per-group activation codes and
+    /// scales (unused for f32); reusing it across calls keeps the
+    /// decode loop allocation free.
+    pub fn matmul_vec_into(&self, x: &[f32], y: &mut [f32], xq: &mut QuantScratch) {
         match self {
             Linear::F32(w) => matmul_vec_into(w, x, y),
-            Linear::Int8(q) => q.matmul_vec_into(x, y, xq),
+            Linear::Quant(q) => q.matmul_vec_into(x, y, xq),
         }
     }
 
@@ -73,7 +74,7 @@ impl Linear {
     pub fn matmul_mat(&self, xs: &Matrix) -> Matrix {
         match self {
             Linear::F32(w) => matmul_mat(w, xs),
-            Linear::Int8(q) => q.matmul_mat(xs),
+            Linear::Quant(q) => q.matmul_mat(xs),
         }
     }
 }
@@ -120,8 +121,8 @@ pub struct Workspace {
     pub(crate) routes: Vec<(usize, f32)>,
     /// Vocabulary logits (`vocab`).
     pub(crate) logits: Vec<f32>,
-    /// Quantized-activation scratch for INT8 layers.
-    pub(crate) xq: Vec<i8>,
+    /// Per-group quantized-activation scratch for INT8/INT4 layers.
+    pub(crate) xq: QuantScratch,
 }
 
 /// One decoder layer: pre-norm attention + pre-norm FFN, residual both.
@@ -134,10 +135,10 @@ pub struct DecoderBlock {
 }
 
 impl DecoderBlock {
-    fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+    fn new(cfg: &EngineConfig, seed: u64, mode: QuantMode) -> Self {
         Self {
-            attn: Attention::new(cfg, seed, quantized),
-            ffn: MoeFfn::new(cfg, seed.wrapping_add(50), quantized),
+            attn: Attention::new(cfg, seed, mode),
+            ffn: MoeFfn::new(cfg, seed.wrapping_add(50), mode),
             attn_norm: vec![1.0; cfg.hidden],
             ffn_norm: vec![1.0; cfg.hidden],
         }
@@ -229,9 +230,22 @@ pub struct TransformerModel {
 }
 
 impl TransformerModel {
-    /// Build a model from a config; `quantized` uses INT8 weights for all
-    /// projection matrices (embeddings and norms stay f32).
+    /// Build a model from a config; `quantized` uses blockwise INT8
+    /// weights for all projection matrices (embeddings and norms stay
+    /// f32). Shorthand for [`TransformerModel::with_quant`] with
+    /// [`QuantMode::Int8`] or [`QuantMode::F32`].
     pub fn new(config: EngineConfig, quantized: bool) -> llmib_types::Result<Self> {
+        let mode = if quantized {
+            QuantMode::Int8
+        } else {
+            QuantMode::F32
+        };
+        Self::with_quant(config, mode)
+    }
+
+    /// Build a model with an explicit weight precision for every
+    /// projection matrix (embeddings and norms stay f32).
+    pub fn with_quant(config: EngineConfig, mode: QuantMode) -> llmib_types::Result<Self> {
         config.validate()?;
         let embed_scale = (1.0 / config.hidden as f32).sqrt();
         let embedding = Matrix::random(config.vocab, config.hidden, config.seed, embed_scale);
@@ -240,7 +254,7 @@ impl TransformerModel {
                 DecoderBlock::new(
                     &config,
                     config.seed.wrapping_add(1000 * (l as u64 + 1)),
-                    quantized,
+                    mode,
                 )
             })
             .collect();
@@ -249,7 +263,7 @@ impl TransformerModel {
             config.hidden,
             config.seed.wrapping_add(999_999),
             embed_scale,
-            quantized,
+            mode,
         );
         Ok(Self {
             final_norm: vec![1.0; config.hidden],
@@ -303,7 +317,7 @@ impl TransformerModel {
             route_idx: Vec::with_capacity(c.num_experts),
             routes: Vec::with_capacity(c.num_experts),
             logits: vec![0.0; c.vocab],
-            xq: Vec::with_capacity(c.hidden.max(c.intermediate)),
+            xq: QuantScratch::new(),
         }
     }
 
@@ -460,6 +474,28 @@ mod tests {
         let nq: f32 = lq.iter().map(|v| v * v).sum::<f32>().sqrt();
         let cos = dot / (nf * nq);
         assert!(cos > 0.98, "cosine similarity {cos}");
+    }
+
+    #[test]
+    fn int4_model_tracks_f32_and_is_deterministic() {
+        let cfg = EngineConfig::tiny();
+        let f = TransformerModel::new(cfg.clone(), false).unwrap();
+        let q = TransformerModel::with_quant(cfg.clone(), QuantMode::Int4).unwrap();
+        let q2 = TransformerModel::with_quant(cfg, QuantMode::Int4).unwrap();
+        let mut cf = f.new_cache();
+        let mut cq = q.new_cache();
+        let mut cq2 = q2.new_cache();
+        let lf = f.prefill(&[3, 9, 27], &mut cf);
+        let lq = q.prefill(&[3, 9, 27], &mut cq);
+        // Same seed, same precision → bitwise-identical logits.
+        assert_eq!(lq, q2.prefill(&[3, 9, 27], &mut cq2));
+        // 4-bit weights are coarse; require directional agreement with
+        // f32, not the INT8-grade 0.98 cosine.
+        let dot: f32 = lf.iter().zip(&lq).map(|(a, b)| a * b).sum();
+        let nf: f32 = lf.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nq: f32 = lq.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let cos = dot / (nf * nq);
+        assert!(cos > 0.75, "cosine similarity {cos}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::config::EngineConfig;
 use crate::model::{Linear, Workspace};
+use crate::quant::{QuantMode, QuantScratch};
 use crate::tensor::{silu, softmax_in_place, Matrix};
 
 /// One SwiGLU expert: `w2 · (silu(w1·x) ⊙ (w3·x))`.
@@ -20,12 +21,12 @@ struct Expert {
 }
 
 impl Expert {
-    fn new(hidden: usize, inter: usize, seed: u64, quantized: bool) -> Self {
+    fn new(hidden: usize, inter: usize, seed: u64, mode: QuantMode) -> Self {
         let scale = (6.0 / (hidden + inter) as f32).sqrt();
         Self {
-            w1: Linear::random(inter, hidden, seed, scale, quantized),
-            w2: Linear::random(hidden, inter, seed.wrapping_add(1), scale, quantized),
-            w3: Linear::random(inter, hidden, seed.wrapping_add(2), scale, quantized),
+            w1: Linear::random(inter, hidden, seed, scale, mode),
+            w2: Linear::random(hidden, inter, seed.wrapping_add(1), scale, mode),
+            w3: Linear::random(inter, hidden, seed.wrapping_add(2), scale, mode),
         }
     }
 
@@ -43,7 +44,7 @@ impl Expert {
         gate: &mut [f32],
         up: &mut [f32],
         out: &mut [f32],
-        xq: &mut Vec<i8>,
+        xq: &mut QuantScratch,
     ) {
         self.w1.matmul_vec_into(x, gate, xq);
         self.w3.matmul_vec_into(x, up, xq);
@@ -77,15 +78,15 @@ pub struct MoeFfn {
 }
 
 impl MoeFfn {
-    /// Build with seeded random weights.
-    pub fn new(cfg: &EngineConfig, seed: u64, quantized: bool) -> Self {
+    /// Build with seeded random weights in the given precision.
+    pub fn new(cfg: &EngineConfig, seed: u64, mode: QuantMode) -> Self {
         let experts = (0..cfg.num_experts)
             .map(|e| {
                 Expert::new(
                     cfg.hidden,
                     cfg.intermediate,
                     seed.wrapping_add(100 * e as u64),
-                    quantized,
+                    mode,
                 )
             })
             .collect();
@@ -95,7 +96,7 @@ impl MoeFfn {
                 cfg.hidden,
                 seed.wrapping_add(7777),
                 0.5,
-                false, // routers stay full precision even in INT8 models
+                QuantMode::F32, // routers stay full precision even in quantized models
             )
         });
         Self {
@@ -231,7 +232,7 @@ mod tests {
 
     #[test]
     fn dense_ffn_routes_to_single_expert() {
-        let ffn = MoeFfn::new(&EngineConfig::tiny(), 1, false);
+        let ffn = MoeFfn::new(&EngineConfig::tiny(), 1, QuantMode::F32);
         let x = vec![0.2f32; 32];
         assert_eq!(ffn.route(&x), vec![(0, 1.0)]);
         assert_eq!(ffn.num_experts(), 1);
@@ -240,7 +241,7 @@ mod tests {
     #[test]
     fn moe_routes_exactly_topk_with_normalized_weights() {
         let cfg = EngineConfig::tiny_moe();
-        let ffn = MoeFfn::new(&cfg, 1, false);
+        let ffn = MoeFfn::new(&cfg, 1, QuantMode::F32);
         let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.3).cos()).collect();
         let routes = ffn.route(&x);
         assert_eq!(routes.len(), 2);
@@ -255,7 +256,7 @@ mod tests {
     #[test]
     fn different_inputs_can_route_differently() {
         let cfg = EngineConfig::tiny_moe();
-        let ffn = MoeFfn::new(&cfg, 5, false);
+        let ffn = MoeFfn::new(&cfg, 5, QuantMode::F32);
         let mut seen = std::collections::HashSet::new();
         for s in 0..20 {
             let x: Vec<f32> = (0..cfg.hidden)
@@ -270,7 +271,7 @@ mod tests {
     #[test]
     fn moe_output_is_convex_mix_of_expert_outputs() {
         let cfg = EngineConfig::tiny_moe();
-        let ffn = MoeFfn::new(&cfg, 9, false);
+        let ffn = MoeFfn::new(&cfg, 9, QuantMode::F32);
         let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.17).sin()).collect();
         let routes = ffn.route(&x);
         let mut manual = vec![0.0f32; cfg.hidden];
@@ -289,8 +290,8 @@ mod tests {
     #[test]
     fn ffn_deterministic_given_seed() {
         let cfg = EngineConfig::tiny();
-        let a = MoeFfn::new(&cfg, 42, false);
-        let b = MoeFfn::new(&cfg, 42, false);
+        let a = MoeFfn::new(&cfg, 42, QuantMode::F32);
+        let b = MoeFfn::new(&cfg, 42, QuantMode::F32);
         let x = vec![0.4f32; cfg.hidden];
         assert_eq!(a.forward(&x), b.forward(&x));
     }
@@ -298,7 +299,7 @@ mod tests {
     #[test]
     fn forward_batch_matches_per_token_bitwise() {
         for cfg in [EngineConfig::tiny(), EngineConfig::tiny_moe()] {
-            let ffn = MoeFfn::new(&cfg, 31, false);
+            let ffn = MoeFfn::new(&cfg, 31, QuantMode::F32);
             let rows = 7;
             let mut xs = Matrix::zeros(rows, cfg.hidden);
             for t in 0..rows {

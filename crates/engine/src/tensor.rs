@@ -63,6 +63,27 @@ impl Matrix {
     pub fn data(&self) -> &[f32] {
         &self.data
     }
+
+    /// Apply `f` to every `(row_index, row)`, across rayon threads when
+    /// `parallel` (rows are disjoint, so parallel and serial execution
+    /// write identical bytes). Used by the prefill attention sweep,
+    /// where each output row is one token's independent attention.
+    pub(crate) fn for_each_row_mut<F>(&mut self, parallel: bool, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Send + Sync,
+    {
+        if parallel {
+            self.data
+                .par_chunks_mut(self.cols)
+                .enumerate()
+                .for_each(|(i, row)| f(i, row));
+        } else {
+            self.data
+                .chunks_mut(self.cols)
+                .enumerate()
+                .for_each(|(i, row)| f(i, row));
+        }
+    }
 }
 
 /// Dot product with a fixed 4-accumulator unroll (helps LLVM vectorize
@@ -92,6 +113,36 @@ pub fn dot_unrolled(row: &[f32], x: &[f32]) -> f32 {
     acc0 + acc1 + acc2 + acc3
 }
 
+/// The engine's innermost f32 dot product: dispatches to the explicit
+/// SSE2 backend when the `simd` feature is enabled on x86_64, and to
+/// [`dot_unrolled`] otherwise. The two are bitwise identical — the SIMD
+/// kernel keeps the same four accumulator lanes, tail handling, and
+/// final reduction order, and uses no FMA — which `simd::tests` asserts
+/// directly, so builds with and without the feature produce identical
+/// model output.
+#[inline]
+pub fn dot_kernel(row: &[f32], x: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        crate::simd::dot_f32(row, x)
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        dot_unrolled(row, x)
+    }
+}
+
+/// Name of the active innermost-kernel backend, for benchmark reports:
+/// `"x86_64-sse2"` with the `simd` feature on x86_64, `"scalar"`
+/// otherwise.
+pub fn kernel_backend() -> &'static str {
+    if cfg!(all(feature = "simd", target_arch = "x86_64")) {
+        "x86_64-sse2"
+    } else {
+        "scalar"
+    }
+}
+
 /// Below this many multiply-adds a matmul runs serially: rayon dispatch
 /// costs more than it recovers on matrices this small (every `tiny()`
 /// config lands under it).
@@ -113,11 +164,11 @@ pub fn matmul_vec_into(w: &Matrix, x: &[f32], y: &mut [f32]) {
     assert_eq!(w.rows(), y.len(), "matmul_vec output length mismatch");
     if w.rows() * w.cols() < PARALLEL_FLOP_THRESHOLD {
         for (r, out) in y.iter_mut().enumerate() {
-            *out = dot_unrolled(w.row(r), x);
+            *out = dot_kernel(w.row(r), x);
         }
     } else {
         y.par_iter_mut().enumerate().for_each(|(r, out)| {
-            *out = dot_unrolled(w.row(r), x);
+            *out = dot_kernel(w.row(r), x);
         });
     }
 }
@@ -186,8 +237,8 @@ fn gemm_block(w: &Matrix, xs: &Matrix, m0: usize, out_rows: &mut [f32], n: usize
             }
             // Odd trailing weight row.
             if ni < n1 {
-                out_rows[mi * n + ni] = dot_unrolled(w.row(ni), x0);
-                out_rows[(mi + 1) * n + ni] = dot_unrolled(w.row(ni), x1);
+                out_rows[mi * n + ni] = dot_kernel(w.row(ni), x0);
+                out_rows[(mi + 1) * n + ni] = dot_kernel(w.row(ni), x1);
             }
             mi += 2;
         }
@@ -195,10 +246,25 @@ fn gemm_block(w: &Matrix, xs: &Matrix, m0: usize, out_rows: &mut [f32], n: usize
         if mi < block_rows {
             let x = xs.row(m0 + mi);
             for ni in n0..n1 {
-                out_rows[mi * n + ni] = dot_unrolled(w.row(ni), x);
+                out_rows[mi * n + ni] = dot_kernel(w.row(ni), x);
             }
         }
         n0 = n1;
+    }
+}
+
+/// 2×2 micro-kernel dispatch: the SSE2 variant when the `simd` feature
+/// is enabled on x86_64 (bitwise identical — see [`dot_kernel`]),
+/// [`dot2x2_scalar`] otherwise.
+#[inline]
+fn dot2x2(w0: &[f32], w1: &[f32], x0: &[f32], x1: &[f32]) -> [f32; 4] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        crate::simd::dot2x2_f32(w0, w1, x0, x1)
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        dot2x2_scalar(w0, w1, x0, x1)
     }
 }
 
@@ -209,7 +275,8 @@ fn gemm_block(w: &Matrix, xs: &Matrix, m0: usize, out_rows: &mut [f32], n: usize
 /// partial sums, remainder into lane 0, left-to-right final add), so the
 /// tiled GEMM stays bitwise identical to per-row GEMVs.
 #[inline]
-fn dot2x2(w0: &[f32], w1: &[f32], x0: &[f32], x1: &[f32]) -> [f32; 4] {
+#[cfg_attr(all(feature = "simd", target_arch = "x86_64"), allow(dead_code))]
+pub(crate) fn dot2x2_scalar(w0: &[f32], w1: &[f32], x0: &[f32], x1: &[f32]) -> [f32; 4] {
     let k = w0.len();
     assert!(w1.len() == k && x0.len() == k && x1.len() == k);
     let mut a00 = [0.0f32; 4];
@@ -251,11 +318,22 @@ pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
 }
 
 /// [`rmsnorm`] writing into a caller-provided buffer.
+///
+/// The mean square accumulates in f64: a row of ±1e20 activations
+/// squares to 1e40, which overflows an f32 accumulator to `inf` and
+/// would silently zero the whole output; in f64 it stays finite and
+/// the normalized output is exact to f32 precision. An empty slice is
+/// a no-op (the f32 `0/0 → NaN` would otherwise leak out of a
+/// zero-width layer). NaN and `inf` *inputs* still propagate — those
+/// mean an upstream bug, and hiding them would mask it.
 pub fn rmsnorm_into(x: &[f32], gain: &[f32], eps: f32, y: &mut [f32]) {
     assert_eq!(x.len(), gain.len());
     assert_eq!(x.len(), y.len());
-    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
-    let inv = 1.0 / (ms + eps).sqrt();
+    if x.is_empty() {
+        return;
+    }
+    let ms = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>() / x.len() as f64;
+    let inv = (1.0 / (ms + f64::from(eps)).sqrt()) as f32;
     for ((out, v), g) in y.iter_mut().zip(x).zip(gain) {
         *out = v * inv * g;
     }
@@ -267,11 +345,22 @@ pub fn silu(x: f32) -> f32 {
 }
 
 /// In-place numerically-stable softmax.
+///
+/// Guards (shared by the fused online softmax in [`crate::flash`]): an
+/// empty slice is a no-op; a row of only `-inf` scores — a fully masked
+/// attention row — becomes all zeros instead of the NaN that
+/// `exp(-inf - -inf)` would produce; finite inputs of any magnitude
+/// cannot overflow because max-subtraction keeps every exponent `≤ 0`;
+/// NaN inputs propagate.
 pub fn softmax_in_place(x: &mut [f32]) {
     if x.is_empty() {
         return;
     }
     let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        x.fill(0.0);
+        return;
+    }
     let mut sum = 0.0;
     for v in x.iter_mut() {
         *v = (*v - max).exp();
@@ -380,6 +469,90 @@ mod tests {
         let mut x = vec![1000.0, 1000.0];
         softmax_in_place(&mut x);
         assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: Vec<f32> = Vec::new();
+        softmax_in_place(&mut x);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zeros_not_nan() {
+        // Regression: exp(-inf - -inf) manufactured NaN for a row that
+        // should simply contribute nothing.
+        let mut x = vec![f32::NEG_INFINITY; 5];
+        softmax_in_place(&mut x);
+        assert_eq!(x, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn softmax_partial_mask_renormalizes_over_visible() {
+        let mut x = vec![0.7, f32::NEG_INFINITY, 0.7];
+        softmax_in_place(&mut x);
+        assert_eq!(x[1], 0.0);
+        assert!((x[0] - 0.5).abs() < 1e-6 && (x[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_extreme_magnitudes_do_not_overflow() {
+        let mut x = vec![f32::MAX, -f32::MAX, f32::MAX];
+        softmax_in_place(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] - 0.5).abs() < 1e-6 && x[1] == 0.0);
+    }
+
+    #[test]
+    fn softmax_nan_propagates() {
+        let mut x = vec![0.2, f32::NAN];
+        softmax_in_place(&mut x);
+        assert!(x.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn rmsnorm_empty_is_noop() {
+        let mut y: Vec<f32> = Vec::new();
+        rmsnorm_into(&[], &[], 1e-6, &mut y);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn rmsnorm_extreme_magnitudes_stay_finite() {
+        // Regression: 1e20² = 1e40 overflowed the f32 mean-square
+        // accumulator to inf, zeroing the output. The f64 accumulator
+        // keeps it finite and ≈ ±1 after normalization.
+        let x = vec![1.0e20f32, -1.0e20, 1.0e20, 1.0e20];
+        let gain = vec![1.0f32; 4];
+        let y = rmsnorm(&x, &gain, 1e-6);
+        for (v, orig) in y.iter().zip(&x) {
+            assert!(v.is_finite(), "{v}");
+            assert!((v.abs() - 1.0).abs() < 1e-4);
+            assert_eq!(v.signum(), orig.signum());
+        }
+    }
+
+    #[test]
+    fn rmsnorm_tiny_magnitudes_governed_by_eps() {
+        // Subnormal inputs: mean square underflows to ~0, eps keeps the
+        // division finite instead of exploding to inf.
+        let x = vec![1.0e-40f32; 8];
+        let gain = vec![1.0f32; 8];
+        let y = rmsnorm(&x, &gain, 1e-6);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dot_kernel_matches_dot_unrolled_bitwise() {
+        // Trivial when the simd feature is off (same function); with it
+        // on, this pins the scalar/SIMD bitwise contract at the exact
+        // kernel the engine dispatches to.
+        for len in [0usize, 1, 3, 4, 7, 31, 64, 65] {
+            let m = Matrix::random(2, len.max(1), 77, 1.5);
+            let a = &m.row(0)[..len];
+            let b = &m.row(1)[..len];
+            assert_eq!(dot_kernel(a, b).to_bits(), dot_unrolled(a, b).to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Host-CPU roofline for the *executable* engine kernels.
+//!
+//! The accelerator roofline in [`crate::PerfModel`] predicts datacenter
+//! hardware; this module applies the same `max(compute, memory)` law to
+//! the machine the `llmib-engine` kernels actually run on, so measured
+//! GFLOP/s and bytes/s can be validated against a prediction instead of
+//! only against each other. The peaks are *calibrated, not assumed*: the
+//! benchmark harness times a register-resident FLOP microloop and a
+//! streaming-read microloop on the host and feeds the observed rates in,
+//! which keeps the prediction honest across wildly different CI boxes.
+//!
+//! A kernel is described by its [`KernelShape`] — total floating-point
+//! work and total memory traffic — and [`HostRoofline::predict_seconds`]
+//! returns the roofline floor `max(flops / peak_flops, bytes / peak_bw)`.
+//! The benchmark asserts every kernel attains at least a fixed fraction
+//! of the floor ([`HostRoofline::attained_fraction`]), which catches
+//! regressions where a kernel falls off its roof (e.g. a blocked GEMM
+//! losing its cache tiling, or a quantized dot spilling its
+//! accumulators). Fractions *above* 1 are legitimate for memory-bound
+//! shapes whose working set fits in cache: the floor charges DRAM
+//! streaming for every byte, so an L2-resident weight matrix beats it.
+
+use serde::Serialize;
+
+/// Which roof limits a kernel on a given host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KernelBound {
+    /// The FLOP roof: arithmetic throughput limits the kernel.
+    Compute,
+    /// The bandwidth roof: memory traffic limits the kernel.
+    Memory,
+}
+
+/// Total work and traffic of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KernelShape {
+    /// Floating-point operations performed (integer dot ops count too:
+    /// the FLOP roof is really an "ALU op" roof on a CPU).
+    pub flops: f64,
+    /// Bytes moved to/from memory, assuming weights stream once and
+    /// activations are cache-resident across the reuse dimension.
+    pub bytes: f64,
+}
+
+impl KernelShape {
+    /// A `rows × cols` matrix-vector product: `2·rows·cols` ops; the
+    /// weight matrix streams once at `bytes_per_weight` (4.0 for f32,
+    /// 1.125 for block-INT8 with one f32 scale per 32 weights, 0.625
+    /// for block-INT4), plus the input and output vectors in f32.
+    pub fn gemv(rows: usize, cols: usize, bytes_per_weight: f64) -> Self {
+        let (r, c) = (rows as f64, cols as f64);
+        Self {
+            flops: 2.0 * r * c,
+            bytes: r * c * bytes_per_weight + (r + c) * 4.0,
+        }
+    }
+
+    /// A batched `m × (rows × cols)` product: the weight matrix still
+    /// streams once (that is the point of batching), activations and
+    /// outputs stream per batch row.
+    pub fn gemm(m: usize, rows: usize, cols: usize, bytes_per_weight: f64) -> Self {
+        let (mm, r, c) = (m as f64, rows as f64, cols as f64);
+        Self {
+            flops: 2.0 * mm * r * c,
+            bytes: r * c * bytes_per_weight + mm * (r + c) * 4.0,
+        }
+    }
+
+    /// One query of fused flash-style attention over `kv` cached
+    /// positions: per head, a `head_dim` score dot plus a `head_dim`
+    /// value axpy per position (4 ops each pair of elements); keys and
+    /// values stream once per KV head, scores never hit memory.
+    pub fn flash_attention(heads: usize, kv_heads: usize, head_dim: usize, kv: usize) -> Self {
+        let (h, d, n) = (heads as f64, head_dim as f64, kv as f64);
+        Self {
+            flops: 4.0 * h * d * n,
+            bytes: 2.0 * kv_heads as f64 * d * n * 4.0,
+        }
+    }
+
+    /// Operational intensity in ops per byte — which side of the ridge
+    /// the kernel sits on.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Calibrated peaks of the host the kernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HostRoofline {
+    /// Attainable arithmetic rate in GFLOP/s (measured, not datasheet).
+    pub peak_gflops: f64,
+    /// Attainable streaming bandwidth in GB/s (measured).
+    pub peak_gbps: f64,
+}
+
+impl HostRoofline {
+    /// Build from measured peaks; both must be positive and finite.
+    pub fn new(peak_gflops: f64, peak_gbps: f64) -> Self {
+        assert!(
+            peak_gflops > 0.0 && peak_gflops.is_finite(),
+            "compute peak must be positive"
+        );
+        assert!(
+            peak_gbps > 0.0 && peak_gbps.is_finite(),
+            "bandwidth peak must be positive"
+        );
+        Self {
+            peak_gflops,
+            peak_gbps,
+        }
+    }
+
+    /// The roofline floor for a kernel: `max(compute time, memory time)`.
+    /// No implementation of the kernel can run faster on this host.
+    pub fn predict_seconds(&self, shape: &KernelShape) -> f64 {
+        let compute = shape.flops / (self.peak_gflops * 1e9);
+        let memory = shape.bytes / (self.peak_gbps * 1e9);
+        compute.max(memory)
+    }
+
+    /// Which roof binds the kernel.
+    pub fn bound(&self, shape: &KernelShape) -> KernelBound {
+        let compute = shape.flops / (self.peak_gflops * 1e9);
+        let memory = shape.bytes / (self.peak_gbps * 1e9);
+        if compute >= memory {
+            KernelBound::Compute
+        } else {
+            KernelBound::Memory
+        }
+    }
+
+    /// The ridge point in ops/byte: kernels with lower intensity are
+    /// memory-bound, higher compute-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / self.peak_gbps
+    }
+
+    /// Fraction of the roofline floor a measured time attains. Values
+    /// near 1 mean the kernel sits on its roof; values above 1 mean the
+    /// working set was cache-resident (the floor assumes DRAM
+    /// streaming); small values mean the kernel fell off its roof.
+    pub fn attained_fraction(&self, shape: &KernelShape, measured_seconds: f64) -> f64 {
+        assert!(measured_seconds > 0.0, "measured time must be positive");
+        self.predict_seconds(shape) / measured_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostRoofline {
+        // A plausible single-core host: 8 GFLOP/s, 12 GB/s.
+        HostRoofline::new(8.0, 12.0)
+    }
+
+    #[test]
+    fn f32_gemv_is_memory_bound_int8_less_so() {
+        let h = host();
+        let f32_shape = KernelShape::gemv(512, 512, 4.0);
+        assert_eq!(h.bound(&f32_shape), KernelBound::Memory);
+        // Quantized weights move 3.5x less data for the same ops:
+        // intensity rises accordingly.
+        let int8_shape = KernelShape::gemv(512, 512, 1.125);
+        assert!(int8_shape.intensity() > 3.0 * f32_shape.intensity());
+        assert!(h.predict_seconds(&int8_shape) < h.predict_seconds(&f32_shape));
+    }
+
+    #[test]
+    fn gemm_amortizes_weight_traffic_over_batch() {
+        let h = host();
+        let gemv16 = {
+            let one = KernelShape::gemv(256, 256, 4.0);
+            KernelShape {
+                flops: 16.0 * one.flops,
+                bytes: 16.0 * one.bytes,
+            }
+        };
+        let gemm16 = KernelShape::gemm(16, 256, 256, 4.0);
+        assert_eq!(gemv16.flops, gemm16.flops);
+        assert!(gemm16.bytes < gemv16.bytes / 4.0);
+        assert!(h.predict_seconds(&gemm16) < h.predict_seconds(&gemv16));
+    }
+
+    #[test]
+    fn ridge_separates_bounds() {
+        let h = host();
+        let ridge = h.ridge_intensity();
+        let below = KernelShape {
+            flops: ridge * 0.5 * 1e6,
+            bytes: 1e6,
+        };
+        let above = KernelShape {
+            flops: ridge * 2.0 * 1e6,
+            bytes: 1e6,
+        };
+        assert_eq!(h.bound(&below), KernelBound::Memory);
+        assert_eq!(h.bound(&above), KernelBound::Compute);
+    }
+
+    #[test]
+    fn flash_attention_shape_scales_with_context() {
+        let short = KernelShape::flash_attention(4, 4, 16, 64);
+        let long = KernelShape::flash_attention(4, 4, 16, 512);
+        assert!((long.flops / short.flops - 8.0).abs() < 1e-9);
+        assert!((long.bytes / short.bytes - 8.0).abs() < 1e-9);
+        // GQA streams fewer KV bytes for the same ops.
+        let gqa = KernelShape::flash_attention(4, 1, 16, 512);
+        assert_eq!(gqa.flops, long.flops);
+        assert!(gqa.bytes < long.bytes / 3.9);
+    }
+
+    #[test]
+    fn attained_fraction_is_bounded_by_one_for_real_kernels() {
+        let h = host();
+        let shape = KernelShape::gemv(512, 512, 4.0);
+        let floor = h.predict_seconds(&shape);
+        // A real kernel is slower than the floor.
+        let frac = h.attained_fraction(&shape, floor * 2.5);
+        assert!(frac > 0.0 && frac < 1.0);
+        assert!((h.attained_fraction(&shape, floor) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_peak_rejected() {
+        HostRoofline::new(0.0, 10.0);
+    }
+}

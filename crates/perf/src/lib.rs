@@ -39,6 +39,7 @@
 
 mod calibrate;
 mod fit;
+mod kernel;
 mod model;
 mod plan;
 mod resolved;
@@ -48,6 +49,7 @@ mod specdec;
 
 pub use calibrate::Calibration;
 pub use fit::{evaluate, fit, loss, paper_targets, CalibParam, RatioReport, RatioTarget};
+pub use kernel::{HostRoofline, KernelBound, KernelShape};
 pub use model::{PerfModel, PhaseBreakdown, Prediction};
 pub use plan::MemoryPlan;
 pub use resolved::ResolvedScenario;

@@ -11,6 +11,7 @@
 //! Run with `cargo run --release --example engine_bench_baseline`.
 
 use llmib_engine::{BatchSession, EngineConfig, Sampler, TransformerModel};
+use serde_json::Value;
 use std::time::Instant;
 
 /// Median-of-runs wall-clock seconds for `f`.
@@ -100,49 +101,84 @@ fn main() {
         batched.push((batch, aggregate_tps));
     }
 
-    let points = batched
-        .iter()
-        .map(|&(batch, tps)| {
-            format!("      {{ \"batch\": {batch}, \"aggregate_tokens_per_s\": {tps:.1} }}")
+    // --- Merge our sections into BENCH_engine.json, preserving the
+    // sections other examples own (prefix_cache, kernels, roofline).
+    let round1 = |v: f64| (v * 10.0).round() / 10.0;
+    let prefill = Value::Array(
+        [
+            ("tiny (max_seq=320)", gemv_tps, gemm_tps),
+            (
+                "scaled_from(Llama2_7b, hidden=128)",
+                gemv128_tps,
+                gemm128_tps,
+            ),
+        ]
+        .into_iter()
+        .map(|(config, gemv, gemm)| {
+            Value::Object(vec![
+                ("config".into(), Value::Str(config.into())),
+                ("prompt_tokens".into(), Value::Int(prompt.len() as i64)),
+                ("gemv_loop_tokens_per_s".into(), Value::Float(round1(gemv))),
+                ("gemm_tokens_per_s".into(), Value::Float(round1(gemm))),
+                (
+                    "speedup".into(),
+                    Value::Float((gemm / gemv * 100.0).round() / 100.0),
+                ),
+            ])
         })
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"created_by\": \"examples/engine_bench_baseline.rs\",\n");
-    json.push_str("  \"prefill\": [\n");
-    for (config, gemv, gemm) in [
-        ("tiny (max_seq=320)", gemv_tps, gemm_tps),
+        .collect(),
+    );
+    let decode = Value::Object(vec![
+        ("config".into(), Value::Str("tiny (max_seq=320)".into())),
+        ("tokens_per_s".into(), Value::Float(round1(decode_tps))),
+    ]);
+    let batched_decode = Value::Object(vec![
         (
-            "scaled_from(Llama2_7b, hidden=128)",
-            gemv128_tps,
-            gemm128_tps,
+            "config".into(),
+            Value::Str("scaled_from(Llama2_7b, hidden=128)".into()),
         ),
-    ] {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"config\": \"{config}\",\n"));
-        json.push_str(&format!("      \"prompt_tokens\": {},\n", prompt.len()));
-        json.push_str(&format!("      \"gemv_loop_tokens_per_s\": {gemv:.1},\n"));
-        json.push_str(&format!("      \"gemm_tokens_per_s\": {gemm:.1},\n"));
-        json.push_str(&format!("      \"speedup\": {:.2}\n", gemm / gemv));
-        json.push_str("    }");
-        json.push_str(if config.starts_with("tiny") {
-            ",\n"
-        } else {
-            "\n"
-        });
+        ("new_tokens_per_seq".into(), Value::Int(new_tokens as i64)),
+        (
+            "points".into(),
+            Value::Array(
+                batched
+                    .iter()
+                    .map(|&(batch, tps)| {
+                        Value::Object(vec![
+                            ("batch".into(), Value::Int(batch as i64)),
+                            ("aggregate_tokens_per_s".into(), Value::Float(round1(tps))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    let mut root = std::fs::read_to_string("BENCH_engine.json")
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .unwrap_or(Value::Object(Vec::new()));
+    if !matches!(root, Value::Object(_)) {
+        root = Value::Object(Vec::new());
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"decode\": {\n");
-    json.push_str("    \"config\": \"tiny (max_seq=320)\",\n");
-    json.push_str(&format!("    \"tokens_per_s\": {decode_tps:.1}\n"));
-    json.push_str("  },\n");
-    json.push_str("  \"batched_decode\": {\n");
-    json.push_str("    \"config\": \"scaled_from(Llama2_7b, hidden=128)\",\n");
-    json.push_str(&format!("    \"new_tokens_per_seq\": {new_tokens},\n"));
-    json.push_str(&format!("    \"points\": [\n{points}\n    ]\n"));
-    json.push_str("  }\n");
-    json.push_str("}\n");
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    if let Value::Object(fields) = &mut root {
+        for (key, section) in [
+            (
+                "created_by",
+                Value::Str("examples/engine_bench_baseline.rs".into()),
+            ),
+            ("prefill", prefill),
+            ("decode", decode),
+            ("batched_decode", batched_decode),
+        ] {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = section;
+            } else {
+                fields.push((key.into(), section));
+            }
+        }
+    }
+    let json = serde_json::to_string_pretty(&root).expect("serialize");
+    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
     println!("{json}");
 }

@@ -9,9 +9,10 @@
 //! kernel, so they match bitwise).
 
 use llmib_engine::{
-    generate, generate_speculative, BatchSession, EngineConfig, GenerateOptions, Sampler,
-    TransformerModel,
+    generate, generate_speculative, BatchSession, EngineConfig, GenerateOptions, QuantMode,
+    Sampler, TransformerModel,
 };
+use proptest::prelude::*;
 
 /// Every architecture variant the engine models: MHA, grouped-query
 /// attention, mixture-of-experts routing, sliding-window attention.
@@ -165,4 +166,73 @@ fn argmax(logits: &[f32]) -> usize {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("non-empty logits")
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    dot / (na * nb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The kernel-configuration contract, per precision, on a random
+    /// model/prompt: the same forward pass must be (a) bitwise
+    /// deterministic when rebuilt from scratch, (b) bitwise identical
+    /// between batched prefill and the token-at-a-time reference, and
+    /// (c) for quantized paths, directionally consistent with the f32
+    /// model within the documented error budget. Run under both the
+    /// scalar and `--features simd` builds, this pins the full
+    /// {scalar, SIMD} × {f32, int8-block, int4-block} matrix: the f32
+    /// SIMD kernel is checked bitwise against scalar in the engine's
+    /// unit suite, so f32 logits here are identical across builds, and
+    /// quantized integer dots are exact, so their logits are identical
+    /// across builds too.
+    #[test]
+    fn kernel_configurations_honor_their_equivalence_contract(
+        seed in 0u64..500,
+        variant in 0usize..4,
+        prompt_len in 2usize..12,
+    ) {
+        let mut cfg = all_variants()[variant].1.clone();
+        cfg.seed = seed;
+        let prompt: Vec<usize> =
+            (0..prompt_len).map(|i| (i * 7 + seed as usize) % cfg.vocab).collect();
+
+        let mut f32_logits = Vec::new();
+        for mode in [QuantMode::F32, QuantMode::Int8, QuantMode::Int4] {
+            let model = TransformerModel::with_quant(cfg.clone(), mode).unwrap();
+            let rebuilt = TransformerModel::with_quant(cfg.clone(), mode).unwrap();
+
+            let mut c1 = model.new_cache();
+            let batched = model.prefill(&prompt, &mut c1);
+            let mut c2 = model.new_cache();
+            let unbatched = model.prefill_unbatched(&prompt, &mut c2);
+            prop_assert_eq!(
+                &batched, &unbatched,
+                "{:?}: batched vs token-at-a-time not bitwise equal", mode
+            );
+
+            let mut c3 = rebuilt.new_cache();
+            let again = rebuilt.prefill(&prompt, &mut c3);
+            prop_assert_eq!(
+                &batched, &again,
+                "{:?}: rebuild from seed not deterministic", mode
+            );
+
+            match mode {
+                QuantMode::F32 => f32_logits = batched,
+                QuantMode::Int8 => {
+                    let cos = cosine(&batched, &f32_logits);
+                    prop_assert!(cos > 0.95, "int8 cosine vs f32: {}", cos);
+                }
+                QuantMode::Int4 => {
+                    let cos = cosine(&batched, &f32_logits);
+                    prop_assert!(cos > 0.5, "int4 cosine vs f32: {}", cos);
+                }
+            }
+        }
+    }
 }
