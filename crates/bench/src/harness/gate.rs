@@ -1,0 +1,347 @@
+//! CI regression gate: fresh run vs checked-in baseline.
+//!
+//! The gate walks every section of the fresh document, finds each
+//! metric that opted in via `gated: true`, looks up the same path in
+//! the baseline, and fails only on a *statistically significant*
+//! slowdown: the two confidence intervals must be disjoint AND the
+//! fresh interval must sit beyond a relative margin on the bad side.
+//! Overlapping intervals — the common case for noisy re-runs — always
+//! pass, which is what keeps the gate green on clean re-runs while an
+//! injected 2× slowdown still trips it.
+//!
+//! The margin exists because baselines are checked in from one
+//! machine and CI runs on another; gated metrics are restricted to
+//! hardware-portable ratios by convention, but even ratios wobble a
+//! little across CPUs.
+
+use super::schema::BenchDocument;
+use super::stats::{ConfidenceInterval, Direction, Metric};
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// Gate tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Extra relative slack beyond CI disjointness. A higher-is-better
+    /// metric regresses only when `fresh.hi < baseline.lo * (1 − margin)`.
+    pub margin: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { margin: 0.35 }
+    }
+}
+
+/// Judgement for one gated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within noise of the baseline.
+    Pass,
+    /// Significantly better than the baseline (informational).
+    Improved,
+    /// Significantly worse than the baseline: fails the gate.
+    Regressed,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Dotted path from the section name down to the metric.
+    pub path: String,
+    /// The metric's unit (from the fresh document).
+    pub unit: String,
+    /// Which way the metric improves.
+    pub direction: Direction,
+    /// Baseline interval.
+    pub baseline: ConfidenceInterval,
+    /// Fresh interval.
+    pub fresh: ConfidenceInterval,
+    /// The judgement.
+    pub verdict: Verdict,
+}
+
+/// Everything the gate observed.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every gated metric that existed in both documents.
+    pub findings: Vec<Finding>,
+    /// Sections present in both documents.
+    pub sections_compared: usize,
+    /// Gated fresh metrics with no baseline counterpart (new metrics:
+    /// informational, never a failure).
+    pub missing_in_baseline: usize,
+    /// Fresh metrics skipped because they are not gated.
+    pub ungated_skipped: usize,
+}
+
+impl GateReport {
+    /// The findings that fail the gate.
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// True when no gated metric regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable summary; regressions come first with full CI
+    /// bounds so a failing CI log is self-explanatory.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gate: {} sections compared, {} gated metrics judged, {} ungated skipped, {} new",
+            self.sections_compared,
+            self.findings.len(),
+            self.ungated_skipped,
+            self.missing_in_baseline,
+        );
+        for f in self.regressions() {
+            let _ = writeln!(
+                out,
+                "  REGRESSED {} ({}, {}):\n    baseline {:.4} [{:.4}, {:.4}] (n={})\n    fresh    {:.4} [{:.4}, {:.4}] (n={})",
+                f.path,
+                f.unit,
+                f.direction.as_str(),
+                f.baseline.point,
+                f.baseline.lo,
+                f.baseline.hi,
+                f.baseline.n,
+                f.fresh.point,
+                f.fresh.lo,
+                f.fresh.hi,
+                f.fresh.n,
+            );
+        }
+        for f in &self.findings {
+            if f.verdict == Verdict::Regressed {
+                continue;
+            }
+            let tag = match f.verdict {
+                Verdict::Improved => "improved",
+                _ => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "  {tag:>8} {} ({}): baseline {:.4} [{:.4}, {:.4}] vs fresh {:.4} [{:.4}, {:.4}]",
+                f.path,
+                f.unit,
+                f.baseline.point,
+                f.baseline.lo,
+                f.baseline.hi,
+                f.fresh.point,
+                f.fresh.lo,
+                f.fresh.hi,
+            );
+        }
+        let _ = writeln!(out, "gate: {}", if self.passed() { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+/// Judge one gated metric pair.
+fn judge(
+    direction: Direction,
+    baseline: &ConfidenceInterval,
+    fresh: &ConfidenceInterval,
+    margin: f64,
+) -> Verdict {
+    if baseline.overlaps(fresh) {
+        return Verdict::Pass;
+    }
+    match direction {
+        Direction::HigherIsBetter => {
+            if fresh.hi < baseline.lo * (1.0 - margin) {
+                Verdict::Regressed
+            } else if fresh.lo > baseline.hi {
+                Verdict::Improved
+            } else {
+                Verdict::Pass
+            }
+        }
+        Direction::LowerIsBetter => {
+            if fresh.lo > baseline.hi * (1.0 + margin) {
+                Verdict::Regressed
+            } else if fresh.hi < baseline.lo {
+                Verdict::Improved
+            } else {
+                Verdict::Pass
+            }
+        }
+    }
+}
+
+/// Walk matching nodes of the fresh and baseline trees.
+fn walk(
+    fresh: &Value,
+    baseline: Option<&Value>,
+    path: &mut String,
+    report: &mut GateReport,
+    cfg: &GateConfig,
+) {
+    if Metric::is_metric_shaped(fresh) {
+        let Some(fresh_metric) = Metric::from_value(fresh) else {
+            return; // validation reports malformed metrics; not the gate's job
+        };
+        if !fresh_metric.gated {
+            report.ungated_skipped += 1;
+            return;
+        }
+        let Some(base_metric) = baseline.and_then(Metric::from_value) else {
+            report.missing_in_baseline += 1;
+            return;
+        };
+        let verdict = judge(
+            fresh_metric.direction,
+            &base_metric.ci,
+            &fresh_metric.ci,
+            cfg.margin,
+        );
+        report.findings.push(Finding {
+            path: path.clone(),
+            unit: fresh_metric.unit,
+            direction: fresh_metric.direction,
+            baseline: base_metric.ci,
+            fresh: fresh_metric.ci,
+            verdict,
+        });
+        return;
+    }
+    match fresh {
+        Value::Object(fields) => {
+            for (k, child) in fields {
+                let len = path.len();
+                path.push('.');
+                path.push_str(k);
+                walk(child, baseline.and_then(|b| b.get(k)), path, report, cfg);
+                path.truncate(len);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let len = path.len();
+                path.push_str(&format!("[{i}]"));
+                let base_child = baseline.and_then(|b| b.as_array()).and_then(|a| a.get(i));
+                walk(child, base_child, path, report, cfg);
+                path.truncate(len);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare `fresh` against `baseline`, judging every gated metric.
+pub fn compare_documents(
+    baseline: &BenchDocument,
+    fresh: &BenchDocument,
+    cfg: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (name, fresh_body) in fresh.sections() {
+        let base_body = baseline.section(name);
+        if base_body.is_some() {
+            report.sections_compared += 1;
+        }
+        let mut path = name.clone();
+        walk(fresh_body, base_body, &mut path, &mut report, cfg);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::schema::Section;
+    use crate::harness::stats::Metric;
+
+    fn doc(speedup_values: &[f64], gated: bool) -> BenchDocument {
+        let ci = ConfidenceInterval::from_samples(speedup_values, 95.0);
+        let m = if gated {
+            Metric::higher("ratio", ci).gated()
+        } else {
+            Metric::higher("ratio", ci)
+        };
+        let mut d = BenchDocument::new();
+        d.merge_section(Section::new("kernels", "cmd", "cfg").metric("speedup", &m));
+        d
+    }
+
+    #[test]
+    fn overlapping_intervals_pass() {
+        let report = compare_documents(
+            &doc(&[2.0, 2.2, 2.4], true),
+            &doc(&[2.3, 2.5, 2.7], true),
+            &GateConfig::default(),
+        );
+        assert!(report.passed());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn large_disjoint_drop_regresses() {
+        let report = compare_documents(
+            &doc(&[4.0, 4.1, 4.2], true),
+            &doc(&[1.0, 1.05, 1.1], true),
+            &GateConfig::default(),
+        );
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "kernels.speedup");
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED kernels.speedup"));
+        assert!(rendered.contains("FAIL"));
+    }
+
+    #[test]
+    fn small_disjoint_drop_within_margin_passes() {
+        // Disjoint but fresh.hi (3.75) is above baseline.lo * 0.65 (2.6).
+        let report = compare_documents(
+            &doc(&[4.0, 4.1, 4.2], true),
+            &doc(&[3.5, 3.6, 3.75], true),
+            &GateConfig::default(),
+        );
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn ungated_metrics_never_fail_the_gate() {
+        let report = compare_documents(
+            &doc(&[4.0, 4.1, 4.2], false),
+            &doc(&[1.0, 1.0, 1.0], false),
+            &GateConfig::default(),
+        );
+        assert!(report.passed());
+        assert_eq!(report.findings.len(), 0);
+        assert_eq!(report.ungated_skipped, 1);
+    }
+
+    #[test]
+    fn new_metric_without_baseline_is_informational() {
+        let baseline = BenchDocument::new();
+        let report = compare_documents(
+            &baseline,
+            &doc(&[1.0, 1.0, 1.0], true),
+            &GateConfig::default(),
+        );
+        assert!(report.passed());
+        assert_eq!(report.missing_in_baseline, 1);
+        assert_eq!(report.sections_compared, 0);
+    }
+
+    #[test]
+    fn lower_is_better_direction_flips_the_test() {
+        let ci_base = ConfidenceInterval::from_samples(&[0.10, 0.11, 0.12], 95.0);
+        let ci_slow = ConfidenceInterval::from_samples(&[0.30, 0.31, 0.32], 95.0);
+        let v = judge(Direction::LowerIsBetter, &ci_base, &ci_slow, 0.35);
+        assert_eq!(v, Verdict::Regressed);
+        let v = judge(Direction::LowerIsBetter, &ci_slow, &ci_base, 0.35);
+        assert_eq!(v, Verdict::Improved);
+    }
+}

@@ -1,0 +1,46 @@
+//! Goodput-under-SLO benchmarking harness.
+//!
+//! This module tree is the single way the repo produces and validates
+//! `BENCH_*.json` evidence documents. The pipeline, in the order a
+//! writer uses it:
+//!
+//! 1. [`trial`] — run a closure-driven workload as repeated seeded
+//!    trials, discarding warmup runs ([`run_trials`]) or trimming each
+//!    trial's per-step series to its steady region
+//!    ([`run_series_trials`]).
+//! 2. [`steady_state`] — the sliding-window coefficient-of-variation
+//!    detector those series trials use ([`detect`]).
+//! 3. [`stats`] — collapse trial values into a nearest-rank percentile
+//!    [`ConfidenceInterval`] and tag it as a [`Metric`] with a unit,
+//!    an improvement [`Direction`], and a `gated` flag.
+//! 4. [`slo`] — evaluate per-request latency samples against an
+//!    [`SloSpec`] and bisect for the maximum sustainable arrival rate
+//!    ([`max_sustainable_rate`]), reporting goodput: the token
+//!    throughput of requests that attain the SLO.
+//! 5. [`schema`] — merge the results into a versioned, validated
+//!    [`BenchDocument`] section by section, preserving sections other
+//!    writers own.
+//! 6. [`gate`] — compare a fresh document against a checked-in
+//!    baseline ([`compare_documents`]); only metrics whose confidence
+//!    intervals are disjoint by more than a relative margin — and that
+//!    opted in via `gated` — fail the build.
+//!
+//! Raw throughput numbers are hardware-dependent, so the gate
+//! convention in this repo is: absolute metrics (tokens/s, seconds)
+//! are recorded ungated for trend inspection, while hardware-portable
+//! ratios (speedups, attainment fractions) are gated and must not
+//! regress across commits.
+
+pub mod gate;
+pub mod schema;
+pub mod slo;
+pub mod stats;
+pub mod steady_state;
+pub mod trial;
+
+pub use gate::{compare_documents, Finding, GateConfig, GateReport, Verdict};
+pub use schema::{obj_set, BenchDocument, Section, SCHEMA_VERSION};
+pub use slo::{max_sustainable_rate, RateProbe, RateSearch, RateSearchResult, SloEval, SloSpec};
+pub use stats::{ConfidenceInterval, Direction, Metric};
+pub use steady_state::{detect, steady_tail, SteadyState, SteadyStateConfig};
+pub use trial::{run_series_trials, run_trials, time_seconds, TrialConfig, TrialRun, TrialSet};

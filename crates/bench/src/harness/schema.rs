@@ -1,0 +1,380 @@
+//! Versioned `BENCH_*.json` documents with a section-merge writer.
+//!
+//! Document shape (schema version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "sections": {
+//!     "decode": {
+//!       "created_by": "cargo run --release --example engine_bench_baseline",
+//!       "config": "d_model=256 layers=4 ...",
+//!       "trials": {"count": 5, "warmup": 1, "base_seed": 24269, "never_settled": 0},
+//!       "tokens_per_s": {"point": ..., "lo": ..., "hi": ..., "n": 5,
+//!                         "level": 95.0, "unit": "tokens/s",
+//!                         "direction": "higher_is_better", "gated": false}
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Each example owns a set of section names and merges them into the
+//! shared file without touching sections other examples own, so
+//! `BENCH_engine.json` survives partial regeneration. [`BenchDocument::write`]
+//! validates before writing; a malformed document is a bug in the
+//! writer, not something to ship.
+
+use super::stats::Metric;
+use super::trial::{TrialConfig, TrialSet};
+use serde_json::Value;
+use std::io;
+use std::path::Path;
+
+/// Current document schema version.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Replace-or-append a field on an object `Value`.
+///
+/// Panics when `obj` is not an object — the harness only builds
+/// objects top-down, so a non-object here is a programming error.
+pub fn obj_set(obj: &mut Value, key: &str, value: Value) {
+    let Value::Object(fields) = obj else {
+        panic!("obj_set on non-object for key `{key}`");
+    };
+    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    } else {
+        fields.push((key.to_string(), value));
+    }
+}
+
+/// Builder for one named section of a [`BenchDocument`].
+#[derive(Debug, Clone)]
+pub struct Section {
+    name: String,
+    body: Value,
+}
+
+impl Section {
+    /// A section with the two required provenance fields.
+    ///
+    /// `created_by` is the command that regenerates the section;
+    /// `config` is a one-line description of the workload parameters.
+    pub fn new(name: &str, created_by: &str, config: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            body: Value::Object(vec![
+                ("created_by".into(), Value::Str(created_by.into())),
+                ("config".into(), Value::Str(config.into())),
+            ]),
+        }
+    }
+
+    /// Record the trial protocol that produced this section's metrics.
+    pub fn with_trials(mut self, cfg: &TrialConfig, set: &TrialSet) -> Self {
+        obj_set(
+            &mut self.body,
+            "trials",
+            Value::Object(vec![
+                ("count".into(), Value::Int(cfg.trials as i64)),
+                ("warmup".into(), Value::Int(cfg.warmup as i64)),
+                ("base_seed".into(), Value::Int(cfg.base_seed as i64)),
+                ("never_settled".into(), Value::Int(set.never_settled as i64)),
+            ]),
+        );
+        self
+    }
+
+    /// Attach an arbitrary field (builder form).
+    pub fn field(mut self, key: &str, value: Value) -> Self {
+        obj_set(&mut self.body, key, value);
+        self
+    }
+
+    /// Attach a metric (builder form).
+    pub fn metric(mut self, key: &str, m: &Metric) -> Self {
+        obj_set(&mut self.body, key, m.to_value());
+        self
+    }
+
+    /// Attach an arbitrary field (loop-friendly form).
+    pub fn set(&mut self, key: &str, value: Value) {
+        obj_set(&mut self.body, key, value);
+    }
+
+    /// Attach a metric (loop-friendly form).
+    pub fn set_metric(&mut self, key: &str, m: &Metric) {
+        obj_set(&mut self.body, key, m.to_value());
+    }
+
+    /// The section's name in the document's `sections` map.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consume into `(name, body)`.
+    pub fn into_parts(self) -> (String, Value) {
+        (self.name, self.body)
+    }
+}
+
+/// A whole `BENCH_*.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchDocument {
+    root: Value,
+}
+
+impl Default for BenchDocument {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BenchDocument {
+    /// An empty versioned document.
+    pub fn new() -> Self {
+        Self {
+            root: Value::Object(vec![
+                ("schema_version".into(), Value::Int(SCHEMA_VERSION)),
+                ("sections".into(), Value::Object(Vec::new())),
+            ]),
+        }
+    }
+
+    /// Wrap an already-parsed root value, rejecting wrong versions.
+    pub fn from_value(root: Value) -> Result<Self, String> {
+        match root.get("schema_version").and_then(Value::as_i64) {
+            Some(SCHEMA_VERSION) => {}
+            Some(v) => return Err(format!("unsupported schema_version {v}")),
+            None => return Err("missing schema_version (legacy document)".into()),
+        }
+        if !matches!(root.get("sections"), Some(Value::Object(_))) {
+            return Err("missing `sections` object".into());
+        }
+        Ok(Self { root })
+    }
+
+    /// Parse a document from disk.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let root: Value = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        Self::from_value(root).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load for merging: a missing, unparsable, or pre-versioning
+    /// legacy file yields a fresh document (sections will be
+    /// re-added by their owning writers on their next run).
+    pub fn load_or_new(path: impl AsRef<Path>) -> Self {
+        Self::load(path).unwrap_or_default()
+    }
+
+    /// The ordered `(name, body)` section list.
+    pub fn sections(&self) -> &[(String, Value)] {
+        match self.root.get("sections") {
+            Some(Value::Object(fields)) => fields,
+            _ => unreachable!("constructors guarantee a sections object"),
+        }
+    }
+
+    /// One section's body by name.
+    pub fn section(&self, name: &str) -> Option<&Value> {
+        self.root.get("sections").and_then(|s| s.get(name))
+    }
+
+    /// Insert or replace a section, preserving every other section.
+    pub fn merge_section(&mut self, section: Section) {
+        let (name, body) = section.into_parts();
+        let Value::Object(fields) = &mut self.root else {
+            unreachable!("document root is an object");
+        };
+        let sections = &mut fields
+            .iter_mut()
+            .find(|(k, _)| k == "sections")
+            .expect("constructors guarantee a sections object")
+            .1;
+        obj_set(sections, &name, body);
+    }
+
+    /// The raw root value (read-only).
+    pub fn root(&self) -> &Value {
+        &self.root
+    }
+
+    /// Structural validation; returns every problem found.
+    ///
+    /// Checks the version, the `sections` map, the per-section
+    /// provenance fields (`created_by`, `config`), trial metadata
+    /// shape, and — recursively — that every metric-shaped object is a
+    /// well-formed [`Metric`] with ordered bounds `lo ≤ point ≤ hi`.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        for (name, body) in self.sections() {
+            if !matches!(body, Value::Object(_)) {
+                errors.push(format!("section `{name}`: body is not an object"));
+                continue;
+            }
+            for key in ["created_by", "config"] {
+                if body.get(key).and_then(Value::as_str).is_none() {
+                    errors.push(format!("section `{name}`: missing string field `{key}`"));
+                }
+            }
+            if let Some(trials) = body.get("trials") {
+                for key in ["count", "warmup", "base_seed"] {
+                    if trials.get(key).and_then(Value::as_i64).is_none() {
+                        errors.push(format!("section `{name}`: trials missing int `{key}`"));
+                    }
+                }
+                if trials
+                    .get("count")
+                    .and_then(Value::as_i64)
+                    .is_some_and(|c| c < 1)
+                {
+                    errors.push(format!("section `{name}`: trials count below 1"));
+                }
+            }
+            validate_metrics(body, &mut format!("sections.{name}"), &mut errors);
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Pretty-printed JSON plus trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        let mut text = serde_json::to_string_pretty(&self.root).expect("value serializes");
+        text.push('\n');
+        text
+    }
+
+    /// Validate, then write the document to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Err(errors) = self.validate() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("refusing to write invalid document: {}", errors.join("; ")),
+            ));
+        }
+        std::fs::write(path, self.to_pretty_string())
+    }
+}
+
+/// Recursively check every metric-shaped object under `v`.
+fn validate_metrics(v: &Value, path: &mut String, errors: &mut Vec<String>) {
+    match v {
+        Value::Object(fields) => {
+            if Metric::is_metric_shaped(v) {
+                match Metric::from_value(v) {
+                    None => errors.push(format!("{path}: malformed metric object")),
+                    Some(m) => {
+                        if !(m.ci.lo <= m.ci.point && m.ci.point <= m.ci.hi) {
+                            errors.push(format!(
+                                "{path}: interval bounds out of order ({} / {} / {})",
+                                m.ci.lo, m.ci.point, m.ci.hi
+                            ));
+                        }
+                        if !(m.ci.level > 0.0 && m.ci.level <= 100.0) {
+                            errors.push(format!("{path}: bad confidence level {}", m.ci.level));
+                        }
+                    }
+                }
+                return;
+            }
+            for (k, child) in fields {
+                let len = path.len();
+                path.push('.');
+                path.push_str(k);
+                validate_metrics(child, path, errors);
+                path.truncate(len);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let len = path.len();
+                path.push_str(&format!("[{i}]"));
+                validate_metrics(child, path, errors);
+                path.truncate(len);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::stats::{ConfidenceInterval, Metric};
+
+    fn metric(values: &[f64]) -> Metric {
+        Metric::higher("tokens/s", ConfidenceInterval::from_samples(values, 95.0))
+    }
+
+    #[test]
+    fn merge_preserves_sections_other_writers_own() {
+        let mut doc = BenchDocument::new();
+        doc.merge_section(Section::new("decode", "cmd-a", "cfg").metric("t", &metric(&[1.0])));
+        doc.merge_section(Section::new("prefill", "cmd-b", "cfg").metric("t", &metric(&[2.0])));
+        // Re-running writer A must replace `decode` and keep `prefill`.
+        doc.merge_section(Section::new("decode", "cmd-a", "cfg2").metric("t", &metric(&[9.0])));
+        assert_eq!(doc.sections().len(), 2);
+        assert_eq!(doc.section("decode").unwrap()["config"], "cfg2");
+        assert_eq!(doc.section("decode").unwrap()["t"]["point"], 9.0);
+        assert_eq!(doc.section("prefill").unwrap()["t"]["point"], 2.0);
+        doc.validate().unwrap();
+    }
+
+    #[test]
+    fn document_roundtrips_through_text() {
+        let mut doc = BenchDocument::new();
+        doc.merge_section(Section::new("s", "cmd", "cfg").metric("m", &metric(&[1.0, 2.0, 3.0])));
+        let text = doc.to_pretty_string();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let reloaded = BenchDocument::from_value(back).unwrap();
+        assert_eq!(reloaded.section("s").unwrap()["m"]["lo"], 1.0);
+    }
+
+    #[test]
+    fn legacy_documents_are_rejected_by_from_value() {
+        let legacy = Value::Object(vec![("decode_tokens_per_s".into(), Value::Float(7.0))]);
+        assert!(BenchDocument::from_value(legacy).is_err());
+    }
+
+    #[test]
+    fn validation_catches_malformed_metrics_and_sections() {
+        let mut doc = BenchDocument::new();
+        let mut sec = Section::new("bad", "cmd", "cfg");
+        // Metric-shaped but with inverted bounds.
+        sec.set(
+            "broken",
+            Value::Object(vec![
+                ("point".into(), Value::Float(5.0)),
+                ("lo".into(), Value::Float(9.0)),
+                ("hi".into(), Value::Float(1.0)),
+                ("n".into(), Value::Int(3)),
+                ("level".into(), Value::Float(95.0)),
+                ("unit".into(), Value::Str("x".into())),
+                ("direction".into(), Value::Str("higher_is_better".into())),
+                ("gated".into(), Value::Bool(false)),
+            ]),
+        );
+        doc.merge_section(sec);
+        let errors = doc.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("out of order")),
+            "{errors:?}"
+        );
+
+        let mut doc2 = BenchDocument::new();
+        let Value::Object(fields) = &mut doc2.root else {
+            unreachable!()
+        };
+        fields[1].1 = Value::Object(vec![("nameless".into(), Value::Object(vec![]))]);
+        let errors = doc2.validate().unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("created_by")),
+            "{errors:?}"
+        );
+    }
+}

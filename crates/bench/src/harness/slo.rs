@@ -1,0 +1,325 @@
+//! SLO evaluation and goodput-under-SLO rate search.
+//!
+//! Raw throughput rewards a server for accepting load it cannot serve
+//! within latency targets. Goodput — the token throughput of only the
+//! requests that attain the SLO — does not. [`SloSpec::evaluate`]
+//! scores a set of per-request [`LatencySample`]s, and
+//! [`max_sustainable_rate`] bisects over the arrival rate for the
+//! largest load whose attainment still meets the target, which is the
+//! serving capacity number the paper's §V tables report.
+//!
+//! Both the discrete-event `ServingSimulator` and the live
+//! `llmib-serve` runtime produce the same [`LatencySample`] type, so
+//! one spec evaluates either backend on the same trace and the two
+//! results can be reconciled.
+
+use llmib_types::stats::percentile;
+use llmib_types::{LatencySample, Seconds};
+use serde_json::Value;
+
+/// Per-request latency targets plus the fleet-level attainment target.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSpec {
+    /// Maximum time to first token; `None` means unconstrained.
+    pub max_ttft: Option<Seconds>,
+    /// Maximum inter-token latency; `None` means unconstrained.
+    /// Single-token responses have no ITL and attain trivially.
+    pub max_itl: Option<Seconds>,
+    /// Fraction of requests (in `(0, 1]`) that must attain for a load
+    /// to count as sustainable.
+    pub target_attainment: f64,
+}
+
+impl SloSpec {
+    /// A spec with both per-request limits and an attainment target.
+    pub fn new(
+        max_ttft: Option<Seconds>,
+        max_itl: Option<Seconds>,
+        target_attainment: f64,
+    ) -> Self {
+        assert!(
+            target_attainment > 0.0 && target_attainment <= 1.0,
+            "attainment target out of range: {target_attainment}"
+        );
+        Self {
+            max_ttft,
+            max_itl,
+            target_attainment,
+        }
+    }
+
+    /// Does one request meet every per-request limit?
+    pub fn attains(&self, s: &LatencySample) -> bool {
+        if let Some(limit) = self.max_ttft {
+            if s.ttft > limit {
+                return false;
+            }
+        }
+        if let (Some(limit), Some(itl)) = (self.max_itl, s.itl) {
+            if itl > limit {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Score `samples` measured over `makespan` wall-clock seconds.
+    pub fn evaluate(&self, samples: &[LatencySample], makespan: Seconds) -> SloEval {
+        let offered = samples.len();
+        let attaining: Vec<&LatencySample> = samples.iter().filter(|s| self.attains(s)).collect();
+        let attainment = if offered == 0 {
+            0.0
+        } else {
+            attaining.len() as f64 / offered as f64
+        };
+        let span = makespan.value();
+        let tokens_per_s = |tokens: u64| {
+            if span > 0.0 {
+                tokens as f64 / span
+            } else {
+                0.0
+            }
+        };
+        let all_tokens: u64 = samples.iter().map(|s| u64::from(s.output_tokens)).sum();
+        let good_tokens: u64 = attaining.iter().map(|s| u64::from(s.output_tokens)).sum();
+        let ttfts: Vec<f64> = samples.iter().map(|s| s.ttft.value()).collect();
+        let itls: Vec<f64> = samples
+            .iter()
+            .filter_map(|s| s.itl.map(|i| i.value()))
+            .collect();
+        SloEval {
+            offered,
+            attaining: attaining.len(),
+            attainment,
+            throughput_tokens_per_s: tokens_per_s(all_tokens),
+            goodput_tokens_per_s: tokens_per_s(good_tokens),
+            ttft_p95: Seconds(percentile(&ttfts, 95.0)),
+            itl_p95: Seconds(percentile(&itls, 95.0)),
+            meets_target: offered > 0 && attainment >= self.target_attainment,
+        }
+    }
+
+    /// JSON form recorded next to search results.
+    pub fn to_value(&self) -> Value {
+        let opt = |s: Option<Seconds>| match s {
+            Some(v) => Value::Float(v.value()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("max_ttft_s".into(), opt(self.max_ttft)),
+            ("max_itl_s".into(), opt(self.max_itl)),
+            (
+                "target_attainment".into(),
+                Value::Float(self.target_attainment),
+            ),
+        ])
+    }
+}
+
+/// The outcome of scoring one load level.
+#[derive(Debug, Clone, Copy)]
+pub struct SloEval {
+    /// Requests offered (finished samples observed).
+    pub offered: usize,
+    /// Requests attaining every per-request limit.
+    pub attaining: usize,
+    /// `attaining / offered` (`0.0` when nothing was offered).
+    pub attainment: f64,
+    /// Output tokens per second over all requests.
+    pub throughput_tokens_per_s: f64,
+    /// Output tokens per second over attaining requests only.
+    pub goodput_tokens_per_s: f64,
+    /// 95th percentile time to first token.
+    pub ttft_p95: Seconds,
+    /// 95th percentile inter-token latency (over multi-token
+    /// requests).
+    pub itl_p95: Seconds,
+    /// Did attainment reach the spec's target?
+    pub meets_target: bool,
+}
+
+impl SloEval {
+    /// JSON form recorded for each probe.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("offered".into(), Value::Int(self.offered as i64)),
+            ("attaining".into(), Value::Int(self.attaining as i64)),
+            ("attainment".into(), Value::Float(self.attainment)),
+            (
+                "throughput_tokens_per_s".into(),
+                Value::Float(self.throughput_tokens_per_s),
+            ),
+            (
+                "goodput_tokens_per_s".into(),
+                Value::Float(self.goodput_tokens_per_s),
+            ),
+            ("ttft_p95_s".into(), Value::Float(self.ttft_p95.value())),
+            ("itl_p95_s".into(), Value::Float(self.itl_p95.value())),
+            ("meets_target".into(), Value::Bool(self.meets_target)),
+        ])
+    }
+}
+
+/// Bisection bracket and stopping rule for the rate search.
+#[derive(Debug, Clone, Copy)]
+pub struct RateSearch {
+    /// Lower bracket in requests/s; must itself sustain the SLO.
+    pub lo: f64,
+    /// Upper bracket in requests/s; expected to violate the SLO.
+    pub hi: f64,
+    /// Stop when the bracket narrows to `rel_tol * lo`.
+    pub rel_tol: f64,
+    /// Hard cap on workload evaluations (bracket probes included).
+    pub max_probes: usize,
+}
+
+impl Default for RateSearch {
+    fn default() -> Self {
+        Self {
+            lo: 0.5,
+            hi: 64.0,
+            rel_tol: 0.05,
+            max_probes: 12,
+        }
+    }
+}
+
+/// One evaluated load level.
+#[derive(Debug, Clone)]
+pub struct RateProbe {
+    /// Arrival rate in requests/s.
+    pub rate: f64,
+    /// Its score.
+    pub eval: SloEval,
+}
+
+/// Result of [`max_sustainable_rate`].
+#[derive(Debug, Clone)]
+pub struct RateSearchResult {
+    /// Largest probed rate that met the attainment target (`0.0` when
+    /// even the lower bracket failed).
+    pub max_rate: f64,
+    /// The score at `max_rate` (at the lower bracket when nothing
+    /// sustained — its goodput is still informative).
+    pub eval: SloEval,
+    /// Every probe, in evaluation order.
+    pub probes: Vec<RateProbe>,
+    /// True when the bracket narrowed below tolerance; false when the
+    /// bracket itself was wrong (both ends pass or both fail) or the
+    /// probe budget ran out first.
+    pub converged: bool,
+}
+
+impl RateSearchResult {
+    /// Goodput at the sustained rate.
+    pub fn goodput(&self) -> f64 {
+        self.eval.goodput_tokens_per_s
+    }
+}
+
+/// Bisect over arrival rate for the maximum load `measure` sustains.
+///
+/// `measure` runs the workload at a rate and scores it (typically via
+/// [`SloSpec::evaluate`]). The search keeps the invariant that `lo`
+/// passes and `hi` fails, halving the bracket until `rel_tol` or the
+/// probe budget is hit.
+pub fn max_sustainable_rate(
+    search: &RateSearch,
+    mut measure: impl FnMut(f64) -> SloEval,
+) -> RateSearchResult {
+    assert!(search.lo > 0.0 && search.hi > search.lo, "bad rate bracket");
+    assert!(search.max_probes >= 2, "need at least bracket probes");
+    let mut probes = Vec::new();
+
+    let lo_eval = measure(search.lo);
+    probes.push(RateProbe {
+        rate: search.lo,
+        eval: lo_eval,
+    });
+    if !lo_eval.meets_target {
+        // Even light load violates the SLO: report rate 0 with the
+        // light-load eval as evidence.
+        return RateSearchResult {
+            max_rate: 0.0,
+            eval: lo_eval,
+            probes,
+            converged: false,
+        };
+    }
+
+    let hi_eval = measure(search.hi);
+    probes.push(RateProbe {
+        rate: search.hi,
+        eval: hi_eval,
+    });
+    if hi_eval.meets_target {
+        // The whole bracket sustains; the true limit is above `hi`.
+        return RateSearchResult {
+            max_rate: search.hi,
+            eval: hi_eval,
+            probes,
+            converged: false,
+        };
+    }
+
+    let (mut lo, mut lo_eval, mut hi) = (search.lo, lo_eval, search.hi);
+    while probes.len() < search.max_probes && (hi - lo) > search.rel_tol * lo {
+        let mid = 0.5 * (lo + hi);
+        let eval = measure(mid);
+        probes.push(RateProbe { rate: mid, eval });
+        if eval.meets_target {
+            lo = mid;
+            lo_eval = eval;
+        } else {
+            hi = mid;
+        }
+    }
+    RateSearchResult {
+        max_rate: lo,
+        eval: lo_eval,
+        converged: (hi - lo) <= search.rel_tol * lo,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, ttft: f64, itl: Option<f64>, out: u32) -> LatencySample {
+        LatencySample {
+            id,
+            prompt_tokens: 16,
+            output_tokens: out,
+            ttft: Seconds(ttft),
+            itl: itl.map(Seconds),
+            e2e: Seconds(ttft + itl.unwrap_or(0.0) * out as f64),
+        }
+    }
+
+    #[test]
+    fn goodput_counts_only_attaining_requests() {
+        let spec = SloSpec::new(Some(Seconds(0.1)), Some(Seconds(0.05)), 0.5);
+        let samples = vec![
+            sample(0, 0.05, Some(0.02), 10), // attains
+            sample(1, 0.20, Some(0.02), 10), // ttft violation
+            sample(2, 0.05, Some(0.09), 10), // itl violation
+            sample(3, 0.05, None, 1),        // single token: itl trivially ok
+        ];
+        let eval = spec.evaluate(&samples, Seconds(10.0));
+        assert_eq!(eval.offered, 4);
+        assert_eq!(eval.attaining, 2);
+        assert_eq!(eval.attainment, 0.5);
+        assert_eq!(eval.throughput_tokens_per_s, 3.1);
+        assert_eq!(eval.goodput_tokens_per_s, 1.1);
+        assert!(eval.meets_target);
+    }
+
+    #[test]
+    fn empty_sample_set_never_meets_target() {
+        let spec = SloSpec::new(Some(Seconds(1.0)), None, 0.9);
+        let eval = spec.evaluate(&[], Seconds(1.0));
+        assert!(!eval.meets_target);
+        assert_eq!(eval.goodput_tokens_per_s, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Sliding-window steady-state detection over per-step series.
+//!
+//! A trial that reports one number over its whole duration mixes the
+//! cold start (page faults, cache warmup, allocator growth) into the
+//! measurement. Instead, series trials record a per-step sample
+//! (e.g. tokens/s per decode step) and this detector finds the first
+//! window where the coefficient of variation drops under a threshold;
+//! everything from that window's start onward is the steady region the
+//! trial value is averaged over.
+
+use llmib_types::stats::coefficient_of_variation;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyStateConfig {
+    /// Sliding-window length in steps (at least 2).
+    pub window: usize,
+    /// Maximum coefficient of variation (`std/mean`) for a window to
+    /// count as steady.
+    pub max_cv: f64,
+}
+
+impl Default for SteadyStateConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            max_cv: 0.10,
+        }
+    }
+}
+
+/// Outcome of scanning one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SteadyState {
+    /// The series settled: `start` is the first index of the first
+    /// window whose CV was at most the threshold.
+    Steady {
+        /// First steady index; average `series[start..]`.
+        start: usize,
+        /// The qualifying window's coefficient of variation.
+        cv: f64,
+    },
+    /// No window qualified (series too short, still ramping, or
+    /// degrading throughout).
+    NeverSettled {
+        /// Best (smallest) CV observed, `INFINITY` when the series is
+        /// shorter than one window.
+        min_cv: f64,
+    },
+}
+
+/// Scan `series` left to right for the first steady window.
+pub fn detect(series: &[f64], cfg: &SteadyStateConfig) -> SteadyState {
+    assert!(cfg.window >= 2, "steady-state window must be at least 2");
+    assert!(
+        cfg.max_cv > 0.0,
+        "steady-state CV threshold must be positive"
+    );
+    let mut min_cv = f64::INFINITY;
+    if series.len() >= cfg.window {
+        for start in 0..=series.len() - cfg.window {
+            let cv = coefficient_of_variation(&series[start..start + cfg.window]);
+            if cv <= cfg.max_cv {
+                return SteadyState::Steady { start, cv };
+            }
+            min_cv = min_cv.min(cv);
+        }
+    }
+    SteadyState::NeverSettled { min_cv }
+}
+
+/// The steady tail of `series`, or `None` when it never settled.
+pub fn steady_tail<'a>(series: &'a [f64], cfg: &SteadyStateConfig) -> Option<&'a [f64]> {
+    match detect(series, cfg) {
+        SteadyState::Steady { start, .. } => Some(&series[start..]),
+        SteadyState::NeverSettled { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize, max_cv: f64) -> SteadyStateConfig {
+        SteadyStateConfig { window, max_cv }
+    }
+
+    #[test]
+    fn flat_series_is_steady_from_the_start() {
+        let series = vec![100.0; 16];
+        match detect(&series, &cfg(4, 0.05)) {
+            SteadyState::Steady { start, cv } => {
+                assert_eq!(start, 0);
+                assert_eq!(cv, 0.0);
+            }
+            other => panic!("expected steady, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ramp_then_flat_skips_the_ramp() {
+        // 6 ramp steps then a flat tail: the first steady window must
+        // start at or after the end of the ramp.
+        let mut series: Vec<f64> = (0..6).map(|i| 10.0 + 15.0 * i as f64).collect();
+        series.extend(std::iter::repeat_n(100.0, 10));
+        match detect(&series, &cfg(4, 0.02)) {
+            SteadyState::Steady { start, .. } => assert_eq!(start, 6),
+            other => panic!("expected steady, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_series_never_settles_with_infinite_cv() {
+        assert_eq!(
+            detect(&[1.0, 2.0], &cfg(4, 0.5)),
+            SteadyState::NeverSettled {
+                min_cv: f64::INFINITY
+            }
+        );
+    }
+
+    #[test]
+    fn steady_tail_returns_the_suffix() {
+        let series = [50.0, 80.0, 100.0, 100.0, 100.0, 100.0];
+        let tail = steady_tail(&series, &cfg(3, 0.01)).unwrap();
+        assert_eq!(tail, &[100.0, 100.0, 100.0, 100.0]);
+        assert!(steady_tail(&[1.0, 9.0, 1.0, 9.0], &cfg(3, 0.01)).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Repeated seeded trials with warmup trimming.
+//!
+//! A workload is a closure taking a seed and returning either one
+//! value ([`run_trials`]) or a per-step series
+//! ([`run_series_trials`]). The harness runs `warmup + trials`
+//! invocations with seeds `base_seed, base_seed + 1, …` — warmup runs
+//! are executed but discarded, so page faults and cold caches land
+//! outside the measurement — and collapses the kept values into a
+//! [`ConfidenceInterval`] via [`TrialSet::ci`].
+
+use super::stats::ConfidenceInterval;
+use super::steady_state::{detect, SteadyState, SteadyStateConfig};
+use llmib_types::stats::mean;
+use std::time::Instant;
+
+/// How many times to run a workload and how to seed it.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialConfig {
+    /// Measured trials (at least 1).
+    pub trials: usize,
+    /// Warmup runs executed before measurement and discarded.
+    pub warmup: usize,
+    /// Seed of the first (warmup) run; run `i` gets `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl TrialConfig {
+    /// A config with explicit counts.
+    pub fn new(trials: usize, warmup: usize, base_seed: u64) -> Self {
+        assert!(trials >= 1, "need at least one measured trial");
+        Self {
+            trials,
+            warmup,
+            base_seed,
+        }
+    }
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        Self {
+            trials: 5,
+            warmup: 1,
+            base_seed: 0x5EED,
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRun {
+    /// Seed the workload was invoked with.
+    pub seed: u64,
+    /// The trial value (steady-region mean for series trials).
+    pub value: f64,
+    /// First steady step for series trials that settled.
+    pub steady_start: Option<usize>,
+}
+
+/// The measured runs of one workload.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    /// Kept (post-warmup) runs, in execution order.
+    pub runs: Vec<TrialRun>,
+    /// Warmup runs that were executed and discarded.
+    pub warmup_discarded: usize,
+    /// Series trials whose per-step series never reached steady state
+    /// (their full-series mean is still used, but a high count means
+    /// the workload needs more steps).
+    pub never_settled: usize,
+}
+
+impl TrialSet {
+    /// The kept trial values, in execution order.
+    pub fn values(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.value).collect()
+    }
+
+    /// Confidence interval over the kept values at `level`%.
+    pub fn ci(&self, level: f64) -> ConfidenceInterval {
+        ConfidenceInterval::from_samples(&self.values(), level)
+    }
+
+    /// Default 95% interval.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        self.ci(95.0)
+    }
+}
+
+/// Run `workload` `cfg.warmup + cfg.trials` times, keeping the last
+/// `cfg.trials` values.
+pub fn run_trials(cfg: &TrialConfig, mut workload: impl FnMut(u64) -> f64) -> TrialSet {
+    let mut runs = Vec::with_capacity(cfg.trials);
+    for i in 0..cfg.warmup + cfg.trials {
+        let seed = cfg.base_seed.wrapping_add(i as u64);
+        let value = workload(seed);
+        if i >= cfg.warmup {
+            runs.push(TrialRun {
+                seed,
+                value,
+                steady_start: None,
+            });
+        }
+    }
+    TrialSet {
+        runs,
+        warmup_discarded: cfg.warmup,
+        never_settled: 0,
+    }
+}
+
+/// Like [`run_trials`], but each run yields a per-step series that is
+/// trimmed to its steady region before averaging.
+///
+/// A run that never settles falls back to the full-series mean and is
+/// counted in [`TrialSet::never_settled`].
+pub fn run_series_trials(
+    cfg: &TrialConfig,
+    steady: &SteadyStateConfig,
+    mut workload: impl FnMut(u64) -> Vec<f64>,
+) -> TrialSet {
+    let mut runs = Vec::with_capacity(cfg.trials);
+    let mut never_settled = 0;
+    for i in 0..cfg.warmup + cfg.trials {
+        let seed = cfg.base_seed.wrapping_add(i as u64);
+        let series = workload(seed);
+        if i < cfg.warmup {
+            continue;
+        }
+        assert!(!series.is_empty(), "series trial produced no steps");
+        let (value, steady_start) = match detect(&series, steady) {
+            SteadyState::Steady { start, .. } => (mean(&series[start..]), Some(start)),
+            SteadyState::NeverSettled { .. } => {
+                never_settled += 1;
+                (mean(&series), None)
+            }
+        };
+        runs.push(TrialRun {
+            seed,
+            value,
+            steady_start,
+        });
+    }
+    TrialSet {
+        runs,
+        warmup_discarded: cfg.warmup,
+        never_settled,
+    }
+}
+
+/// Wall-clock seconds taken by `f`.
+pub fn time_seconds(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_runs_execute_but_are_discarded() {
+        let mut invocations = Vec::new();
+        let cfg = TrialConfig::new(3, 2, 100);
+        let set = run_trials(&cfg, |seed| {
+            invocations.push(seed);
+            seed as f64
+        });
+        assert_eq!(invocations, vec![100, 101, 102, 103, 104]);
+        assert_eq!(set.values(), vec![102.0, 103.0, 104.0]);
+        assert_eq!(set.warmup_discarded, 2);
+        assert_eq!(set.ci95().n, 3);
+    }
+
+    #[test]
+    fn series_trials_trim_to_the_steady_tail() {
+        let cfg = TrialConfig::new(2, 0, 7);
+        let steady = SteadyStateConfig {
+            window: 3,
+            max_cv: 0.01,
+        };
+        // Ramp 10, 55 then flat 100s: trial value must be exactly 100.
+        let set = run_series_trials(&cfg, &steady, |_seed| {
+            let mut s = vec![10.0, 55.0];
+            s.extend(std::iter::repeat_n(100.0, 6));
+            s
+        });
+        assert_eq!(set.values(), vec![100.0, 100.0]);
+        assert_eq!(set.runs[0].steady_start, Some(2));
+        assert_eq!(set.never_settled, 0);
+    }
+
+    #[test]
+    fn never_settled_series_fall_back_to_full_mean() {
+        let cfg = TrialConfig::new(1, 0, 0);
+        let steady = SteadyStateConfig {
+            window: 2,
+            max_cv: 0.001,
+        };
+        let set = run_series_trials(&cfg, &steady, |_| vec![1.0, 9.0, 1.0, 9.0]);
+        assert_eq!(set.never_settled, 1);
+        assert_eq!(set.values(), vec![5.0]);
+        assert_eq!(set.runs[0].steady_start, None);
+    }
+}

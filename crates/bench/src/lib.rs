@@ -1,5 +1,14 @@
-//! Criterion benchmark harness for LLM-Inference-Bench.
+//! Benchmark harness for LLM-Inference-Bench.
 //!
-//! This crate's library target is intentionally empty; all content lives
-//! in `benches/` (one Criterion target per paper figure/table) so that
-//! `cargo bench --workspace` regenerates the full evaluation.
+//! Two halves live here:
+//!
+//! * `benches/` — one Criterion target per paper figure/table, so
+//!   `cargo bench --workspace` regenerates the full evaluation;
+//! * [`harness`] — the library subsystem that every `BENCH_*.json`
+//!   writer in `examples/` drives: repeated seeded trials with warmup
+//!   trimming, steady-state detection over per-step series, nearest-rank
+//!   percentile confidence intervals, goodput-under-SLO bisection, a
+//!   versioned schema writer, and a CI regression gate that only fails
+//!   on statistically significant slowdowns.
+
+pub mod harness;

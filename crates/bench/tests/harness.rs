@@ -1,0 +1,278 @@
+//! Integration fixtures for the goodput-under-SLO harness:
+//! nearest-rank confidence intervals, the steady-state detector on
+//! ramp/steady/degrading synthetic series, SLO bisection convergence
+//! on a monotone synthetic latency curve, and the end-to-end
+//! trial → schema → gate pipeline.
+
+use llmib_bench::harness::{
+    compare_documents, detect, max_sustainable_rate, run_series_trials, run_trials, BenchDocument,
+    ConfidenceInterval, GateConfig, Metric, RateSearch, Section, SloSpec, SteadyState,
+    SteadyStateConfig, TrialConfig, Verdict,
+};
+use llmib_types::{LatencySample, Seconds};
+
+// ---- confidence-interval fixtures -------------------------------------
+
+#[test]
+fn ci_fixture_1_to_100_at_95() {
+    let values: Vec<f64> = (1..=100).map(f64::from).collect();
+    let ci = ConfidenceInterval::from_samples(&values, 95.0);
+    // Nearest rank over n = 100: p2.5 → rank ceil(2.5) = 3rd value,
+    // p97.5 → rank ceil(97.5) = 98th value, median → 50th value.
+    assert_eq!((ci.lo, ci.point, ci.hi), (3.0, 50.0, 98.0));
+    assert_eq!(ci.n, 100);
+}
+
+#[test]
+fn ci_fixture_1_to_100_at_80() {
+    let values: Vec<f64> = (1..=100).map(f64::from).collect();
+    let ci = ConfidenceInterval::from_samples(&values, 80.0);
+    assert_eq!((ci.lo, ci.hi), (10.0, 90.0));
+}
+
+#[test]
+fn ci_of_three_trials_is_the_range() {
+    // The honest degenerate case the harness hits in CI smoke runs.
+    let ci = ConfidenceInterval::from_samples(&[7.0, 5.0, 6.0], 95.0);
+    assert_eq!((ci.lo, ci.point, ci.hi), (5.0, 6.0, 7.0));
+}
+
+#[test]
+fn ci_is_invariant_to_sample_order() {
+    let a = ConfidenceInterval::from_samples(&[3.0, 9.0, 1.0, 7.0, 5.0], 95.0);
+    let b = ConfidenceInterval::from_samples(&[1.0, 3.0, 5.0, 7.0, 9.0], 95.0);
+    assert_eq!(a, b);
+}
+
+// ---- steady-state detector on synthetic series ------------------------
+
+fn detector() -> SteadyStateConfig {
+    SteadyStateConfig {
+        window: 8,
+        max_cv: 0.05,
+    }
+}
+
+#[test]
+fn detector_on_ramp_then_steady_series() {
+    // 20 warmup steps climbing 20 → 96, then flat 100 with ±1 jitter.
+    let mut series: Vec<f64> = (0..20).map(|i| 20.0 + 4.0 * i as f64).collect();
+    for i in 0..40 {
+        series.push(100.0 + if i % 2 == 0 { 1.0 } else { -1.0 });
+    }
+    match detect(&series, &detector()) {
+        SteadyState::Steady { start, cv } => {
+            // The ramp climbs 4%+ per step, so no window can qualify
+            // until the flat tail dominates it; the first qualifying
+            // window may still straddle the last couple of ramp steps.
+            assert!((15..=22).contains(&start), "steady from {start}");
+            assert!(cv <= 0.05);
+        }
+        other => panic!("ramp+steady series must settle, got {other:?}"),
+    }
+}
+
+#[test]
+fn detector_on_already_steady_series() {
+    let series = vec![250.0; 30];
+    assert_eq!(
+        detect(&series, &detector()),
+        SteadyState::Steady { start: 0, cv: 0.0 }
+    );
+}
+
+#[test]
+fn detector_on_degrading_series_never_settles() {
+    // Throughput collapsing 12% per step (e.g. KV cache thrashing):
+    // every window's CV stays far above 5%.
+    let series: Vec<f64> = (0..40).map(|i| 400.0 * 0.88f64.powi(i)).collect();
+    match detect(&series, &detector()) {
+        SteadyState::NeverSettled { min_cv } => {
+            assert!(min_cv > 0.05, "degrading series reported cv {min_cv}");
+        }
+        other => panic!("degrading series must not settle, got {other:?}"),
+    }
+}
+
+#[test]
+fn series_trials_agree_on_steady_value_despite_different_ramps() {
+    // Two trials with different cold-start lengths must converge on
+    // the same steady value once the detector trims the ramp.
+    let cfg = TrialConfig::new(2, 0, 0);
+    let set = run_series_trials(&cfg, &detector(), |seed| {
+        let ramp = 5 + (seed as usize % 7) * 3;
+        let mut s: Vec<f64> = (0..ramp)
+            .map(|i| 10.0 * (i + 1) as f64 / ramp as f64)
+            .collect();
+        s.extend(std::iter::repeat_n(120.0, 20));
+        s
+    });
+    assert_eq!(set.never_settled, 0);
+    assert_eq!(set.values(), vec![120.0, 120.0]);
+}
+
+// ---- SLO bisection on a monotone synthetic latency curve --------------
+
+/// Synthetic closed-form server: TTFT grows exponentially with load,
+/// `ttft(rate) = 0.01 · e^(rate/10)`. With a 50 ms TTFT SLO the exact
+/// capacity is `rate* = 10 · ln 5 ≈ 16.094`.
+fn synthetic_eval(spec: &SloSpec, rate: f64) -> llmib_bench::harness::SloEval {
+    let ttft = 0.01 * (rate / 10.0).exp();
+    let samples: Vec<LatencySample> = (0..64)
+        .map(|id| LatencySample {
+            id,
+            prompt_tokens: 32,
+            output_tokens: 16,
+            ttft: Seconds(ttft),
+            itl: Some(Seconds(0.002)),
+            e2e: Seconds(ttft + 0.002 * 16.0),
+        })
+        .collect();
+    spec.evaluate(&samples, Seconds(64.0 / rate))
+}
+
+#[test]
+fn bisection_converges_to_the_analytic_capacity() {
+    let spec = SloSpec::new(Some(Seconds(0.05)), Some(Seconds(0.01)), 0.95);
+    let search = RateSearch {
+        lo: 1.0,
+        hi: 64.0,
+        rel_tol: 0.01,
+        max_probes: 24,
+    };
+    let result = max_sustainable_rate(&search, |rate| synthetic_eval(&spec, rate));
+    assert!(result.converged, "search must converge within the budget");
+    let exact = 10.0 * 5.0f64.ln();
+    // max_rate is the largest PASSING probe, so it sits within one
+    // tolerance step below the analytic capacity and never above it.
+    assert!(result.max_rate <= exact, "{} > {exact}", result.max_rate);
+    assert!(
+        result.max_rate > exact * (1.0 - 2.0 * search.rel_tol),
+        "{} too far below {exact}",
+        result.max_rate
+    );
+    assert!(result.eval.meets_target);
+    assert!(result.eval.goodput_tokens_per_s > 0.0);
+    // The probe trail brackets the answer: every passing probe is
+    // below every failing probe on this monotone curve.
+    let max_pass = result
+        .probes
+        .iter()
+        .filter(|p| p.eval.meets_target)
+        .map(|p| p.rate)
+        .fold(0.0, f64::max);
+    let min_fail = result
+        .probes
+        .iter()
+        .filter(|p| !p.eval.meets_target)
+        .map(|p| p.rate)
+        .fold(f64::INFINITY, f64::min);
+    assert!(max_pass < min_fail);
+    assert_eq!(result.max_rate, max_pass);
+}
+
+#[test]
+fn bisection_reports_unsustainable_slo_as_rate_zero() {
+    let spec = SloSpec::new(Some(Seconds(0.001)), None, 0.95); // impossible: floor is 10ms
+    let search = RateSearch::default();
+    let result = max_sustainable_rate(&search, |rate| synthetic_eval(&spec, rate));
+    assert_eq!(result.max_rate, 0.0);
+    assert!(!result.converged);
+    assert_eq!(result.probes.len(), 1);
+}
+
+#[test]
+fn bisection_saturates_at_the_upper_bracket_when_everything_passes() {
+    let spec = SloSpec::new(Some(Seconds(10.0)), None, 0.95); // trivially lax
+    let search = RateSearch {
+        lo: 1.0,
+        hi: 8.0,
+        rel_tol: 0.05,
+        max_probes: 8,
+    };
+    let result = max_sustainable_rate(&search, |rate| synthetic_eval(&spec, rate));
+    assert_eq!(result.max_rate, 8.0);
+    assert!(
+        !result.converged,
+        "bracket exhausted upward is not convergence"
+    );
+}
+
+// ---- trial → schema → gate pipeline -----------------------------------
+
+/// Deterministic pseudo-workload: `base` plus seed-dependent jitter.
+fn jittered(seed: u64, base: f64, jitter: f64) -> f64 {
+    let h = seed.wrapping_mul(0x9E3779B97F4A7C15);
+    base + jitter * ((h >> 32) as f64 / u32::MAX as f64 - 0.5)
+}
+
+fn measured_doc(base_speedup: f64) -> BenchDocument {
+    let cfg = TrialConfig::new(5, 1, 42);
+    let set = run_trials(&cfg, |seed| {
+        jittered(seed, base_speedup, 0.1 * base_speedup)
+    });
+    let metric = Metric::higher("ratio", set.ci95()).gated();
+    let mut doc = BenchDocument::new();
+    doc.merge_section(
+        Section::new("kernels", "test", "synthetic")
+            .with_trials(&cfg, &set)
+            .metric("speedup_vs_scalar", &metric),
+    );
+    doc
+}
+
+#[test]
+fn gate_passes_a_clean_rerun_and_fails_an_injected_slowdown() {
+    let baseline = measured_doc(4.0);
+    baseline.validate().unwrap();
+
+    // Clean re-run: same workload, same seeds → identical intervals.
+    let rerun = measured_doc(4.0);
+    let report = compare_documents(&baseline, &rerun, &GateConfig::default());
+    assert!(report.passed(), "{}", report.render());
+
+    // Injected 2× slowdown: disjoint beyond the 35% margin → FAIL,
+    // and the rendered report names the offending path with bounds.
+    let slowed = measured_doc(2.0);
+    let report = compare_documents(&baseline, &slowed, &GateConfig::default());
+    assert!(!report.passed());
+    assert_eq!(report.regressions()[0].verdict, Verdict::Regressed);
+    let rendered = report.render();
+    assert!(rendered.contains("REGRESSED kernels.speedup_vs_scalar"));
+    assert!(rendered.contains("baseline"), "{rendered}");
+
+    // A mild 10% dip overlaps or stays within margin → PASS.
+    let mild = measured_doc(3.6);
+    let report = compare_documents(&baseline, &mild, &GateConfig::default());
+    assert!(report.passed(), "{}", report.render());
+}
+
+#[test]
+fn document_write_load_roundtrip_preserves_the_gate_outcome() {
+    let dir = std::env::temp_dir().join("llmib_harness_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_test.json");
+
+    let baseline = measured_doc(4.0);
+    baseline.write(&path).unwrap();
+    let reloaded = BenchDocument::load(&path).unwrap();
+    assert_eq!(reloaded.sections().len(), 1);
+
+    let report = compare_documents(&reloaded, &measured_doc(4.0), &GateConfig::default());
+    assert!(report.passed());
+    let report = compare_documents(&reloaded, &measured_doc(1.5), &GateConfig::default());
+    assert!(!report.passed());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn legacy_unversioned_files_load_as_fresh_documents() {
+    let dir = std::env::temp_dir().join("llmib_harness_legacy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_legacy.json");
+    std::fs::write(&path, "{\"decode_tokens_per_s\": 42.0}\n").unwrap();
+    assert!(BenchDocument::load(&path).is_err());
+    let doc = BenchDocument::load_or_new(&path);
+    assert!(doc.sections().is_empty());
+    std::fs::remove_file(&path).ok();
+}

@@ -24,9 +24,10 @@
 #![allow(unsafe_code)]
 
 use std::arch::x86_64::{
-    __m128, __m128i, _mm_add_epi32, _mm_add_ps, _mm_loadu_ps, _mm_loadu_si128, _mm_madd_epi16,
-    _mm_mul_ps, _mm_set1_ps, _mm_setzero_ps, _mm_setzero_si128, _mm_srai_epi16, _mm_storeu_ps,
-    _mm_storeu_si128, _mm_unpackhi_epi8, _mm_unpacklo_epi8,
+    __m128, __m128i, _mm_add_epi32, _mm_add_ps, _mm_and_si128, _mm_loadu_ps, _mm_loadu_si128,
+    _mm_madd_epi16, _mm_mul_ps, _mm_set1_epi8, _mm_set1_ps, _mm_setzero_ps, _mm_setzero_si128,
+    _mm_srai_epi16, _mm_srli_epi16, _mm_storeu_ps, _mm_storeu_si128, _mm_sub_epi8,
+    _mm_unpackhi_epi8, _mm_unpacklo_epi8,
 };
 
 /// f32 dot product, bitwise identical to [`crate::tensor::dot_unrolled`].
@@ -180,6 +181,71 @@ unsafe fn dot_i8_sse2(a: &[i8], b: &[i8]) -> i32 {
     sum
 }
 
+/// Exact i32 dot of a packed-nibble INT4 weight row against i8
+/// activations — the inner loop of the W4A8 fused matmul, with the
+/// nibble unpack vectorized so weights stay packed in memory.
+///
+/// `packed` stores two codes per byte (low nibble first) as `q + 8`
+/// with `q ∈ [-8, 7]`; `packed.len()` must be `x.len().div_ceil(2)`
+/// (an odd `x.len()` uses only the final byte's low nibble). Like
+/// [`dot_i8`], integer accumulation is exact, so the result is
+/// value-identical to the scalar unpack loop regardless of order.
+#[inline]
+pub fn dot_i4(packed: &[u8], x: &[i8]) -> i32 {
+    debug_assert_eq!(packed.len(), x.len().div_ceil(2));
+    // SAFETY: SSE2 is baseline on x86_64.
+    unsafe { dot_i4_sse2(packed, x) }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn dot_i4_sse2(packed: &[u8], x: &[i8]) -> i32 {
+    let n = x.len();
+    // 16 packed bytes = 32 codes per iteration.
+    let blocks = n / 32;
+    let zero = _mm_setzero_si128();
+    let low_mask = _mm_set1_epi8(0x0F);
+    let bias = _mm_set1_epi8(8);
+    let mut acc = zero;
+    for i in 0..blocks {
+        // SAFETY: `16*i + 16 <= n/2 <= packed.len()` bytes are readable.
+        let p = unsafe { _mm_loadu_si128(packed.as_ptr().add(16 * i) as *const __m128i) };
+        // Split the nibbles: `evens` holds codes 0,2,…,30 and `odds`
+        // codes 1,3,…,31, each in a byte (still biased, values 0..=15).
+        // `_mm_srli_epi16` shifts within 16-bit lanes, so the low mask
+        // also clears the bits that crossed a byte boundary.
+        let evens = _mm_and_si128(p, low_mask);
+        let odds = _mm_and_si128(_mm_srli_epi16::<4>(p), low_mask);
+        // Interleaving evens with odds restores natural column order;
+        // subtracting the +8 bias maps 0..=15 into -8..=7 (no i8 wrap).
+        let w_lo = _mm_sub_epi8(_mm_unpacklo_epi8(evens, odds), bias);
+        let w_hi = _mm_sub_epi8(_mm_unpackhi_epi8(evens, odds), bias);
+        // SAFETY: `32*i + 32 <= n` and `x` has length `n`.
+        let (x_lo, x_hi) = unsafe {
+            (
+                _mm_loadu_si128(x.as_ptr().add(32 * i) as *const __m128i),
+                _mm_loadu_si128(x.as_ptr().add(32 * i + 16) as *const __m128i),
+            )
+        };
+        // Same sign-extend + `pmaddwd` pattern as `dot_i8`.
+        for (w, xv) in [(w_lo, x_lo), (w_hi, x_hi)] {
+            let a_lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(zero, w));
+            let a_hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(zero, w));
+            let b_lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(zero, xv));
+            let b_hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(zero, xv));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+        }
+    }
+    let lanes = lanes_i32(acc);
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for c in 32 * blocks..n {
+        let byte = packed[c / 2];
+        let q = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        sum += (i32::from(q) - 8) * i32::from(x[c]);
+    }
+    sum
+}
+
 /// Spill a `__m128` to its four f32 lanes (lane 0 first).
 #[inline]
 fn lanes_f32(v: __m128) -> [f32; 4] {
@@ -258,5 +324,42 @@ mod tests {
         let b = vec![i8::MAX; 33];
         let expect = 33 * i32::from(i8::MIN) * i32::from(i8::MAX);
         assert_eq!(dot_i8(&a, &b), expect);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_i4_matches_scalar_unpack(len in 0usize..100, seed in 0u64..50) {
+            let (fa, fb) = vecs(len, seed);
+            // Biased nibble codes (q + 8 for q in -8..=7) and i8 activations.
+            let codes: Vec<u8> = fa.iter().map(|v| (((v * 4.0) as i32).clamp(-8, 7) + 8) as u8).collect();
+            let x: Vec<i8> = fb.iter().map(|v| (v * 60.0) as i8).collect();
+            let mut packed = vec![0u8; len.div_ceil(2)];
+            for (c, &q) in codes.iter().enumerate() {
+                packed[c / 2] |= if c % 2 == 0 { q } else { q << 4 };
+            }
+            let scalar: i32 = codes
+                .iter()
+                .zip(&x)
+                .map(|(&q, &xv)| (i32::from(q) - 8) * i32::from(xv))
+                .sum();
+            prop_assert_eq!(dot_i4(&packed, &x), scalar);
+        }
+    }
+
+    #[test]
+    fn dot_i4_extreme_codes() {
+        // All codes at the magnitude extremes (-8 and 7) against
+        // saturating activations, length straddling the 32-code block.
+        let n = 67usize;
+        let mut packed = vec![0u8; n.div_ceil(2)];
+        for c in 0..n {
+            let q = if c % 2 == 0 { 0u8 } else { 15u8 }; // -8, +7 biased
+            packed[c / 2] |= if c % 2 == 0 { q } else { q << 4 };
+        }
+        let x = vec![i8::MIN; n];
+        let expect: i32 = (0..n as i32)
+            .map(|c| (if c % 2 == 0 { -8 } else { 7 }) * i32::from(i8::MIN))
+            .sum();
+        assert_eq!(dot_i4(&packed, &x), expect);
     }
 }

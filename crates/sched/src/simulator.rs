@@ -3,7 +3,8 @@
 use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
 use llmib_perf::ResolvedScenario;
 use llmib_types::{
-    stats, FaultKind, FaultPlan, ReplicaFaultPlan, Request, RequestState, RetryPolicy, Seconds,
+    stats, FaultKind, FaultPlan, LatencySample, ReplicaFaultPlan, Request, RequestState,
+    RetryPolicy, Seconds,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +113,11 @@ pub struct ServingReport {
     pub prefix_hits: u32,
     /// Prompt tokens whose prefill was skipped via prefix-cache hits.
     pub saved_prefill_tokens: u64,
+    /// Per-request latency observation of every finished request, in
+    /// request-id order — the same [`LatencySample`] shape the live
+    /// `llmib-serve` report derives, so one SLO spec can be evaluated
+    /// against either backend on the same trace.
+    pub per_request: Vec<LatencySample>,
 }
 
 /// Outcome of a replicated ([`ServingSimulator::run_replicated`]) run.
@@ -958,6 +964,12 @@ impl ServingSimulator {
             faults_injected: faults.faults_injected,
             prefix_hits: prefix.hits,
             saved_prefill_tokens: prefix.saved_tokens,
+            per_request: {
+                let mut samples: Vec<LatencySample> =
+                    finished.iter().filter_map(|r| r.latency_sample()).collect();
+                samples.sort_by_key(|s| s.id);
+                samples
+            },
         }
     }
 }

@@ -6,7 +6,7 @@
 //! directly comparable with [`llmib_sched::ServingReport`].
 
 use llmib_core::metrics::{mean, p50, p90, p99, InferenceMetrics, MetricInputs};
-use llmib_types::{Seconds, TokenShape};
+use llmib_types::{LatencySample, Seconds, TokenShape};
 use serde::Serialize;
 
 /// Wall-clock metrics of one completed request. All timestamps are
@@ -189,6 +189,28 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// The per-request latency observations of every completed request,
+    /// in request-id order — the same [`LatencySample`] shape
+    /// `llmib_sched::ServingReport` exposes, so one SLO spec evaluates
+    /// identically against the live runtime and the simulator on the
+    /// same trace.
+    pub fn latency_samples(&self) -> Vec<LatencySample> {
+        let mut samples: Vec<LatencySample> = self
+            .per_request
+            .iter()
+            .map(|m| LatencySample {
+                id: m.id,
+                prompt_tokens: m.prompt_tokens,
+                output_tokens: m.output_tokens,
+                ttft: m.ttft,
+                itl: m.itl,
+                e2e: m.e2e,
+            })
+            .collect();
+        samples.sort_by_key(|s| s.id);
+        samples
+    }
+
     /// Whether the lifecycle counters account for every request that
     /// reached the scheduler. Holds after a graceful shutdown; not
     /// meaningful when [`RobustnessStats::server_failed`] is set (a dead

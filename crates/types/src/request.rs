@@ -111,6 +111,56 @@ impl Request {
         self.finished_at
             .map(|t| Seconds(t.value() - self.arrival.value()))
     }
+
+    /// The latency observation this request contributes to SLO
+    /// accounting, available once it has finished.
+    pub fn latency_sample(&self) -> Option<LatencySample> {
+        let ttft = self.ttft()?;
+        let e2e = self.latency()?;
+        let itl = (self.output_tokens > 1)
+            .then(|| Seconds((e2e.value() - ttft.value()) / f64::from(self.output_tokens - 1)));
+        Some(LatencySample {
+            id: self.id,
+            prompt_tokens: self.prompt_tokens,
+            output_tokens: self.output_tokens,
+            ttft,
+            itl,
+            e2e,
+        })
+    }
+}
+
+/// One finished request's latency observation — the unit of
+/// SLO-attainment accounting.
+///
+/// Both serving backends produce these over identical traces: the
+/// discrete-event simulator ([`Request::latency_sample`] on its finished
+/// requests) and the live `llmib-serve` runtime (from wall-clock
+/// `RequestMetrics`). A benchmarking harness can therefore evaluate one
+/// TTFT/ITL SLO spec against either backend and reconcile the results.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySample {
+    /// Request id.
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Generated tokens.
+    pub output_tokens: u32,
+    /// Time to first token, measured from arrival/submission (queueing
+    /// included).
+    pub ttft: Seconds,
+    /// Eq. 1 inter-token latency; `None` for single-token outputs.
+    pub itl: Option<Seconds>,
+    /// End-to-end latency from arrival to last token.
+    pub e2e: Seconds,
+}
+
+impl LatencySample {
+    /// Total tokens this request moved (prompt + output) — the Eq. 2
+    /// numerator and the currency goodput counts.
+    pub fn total_tokens(&self) -> u64 {
+        u64::from(self.prompt_tokens) + u64::from(self.output_tokens)
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,33 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Sample standard deviation (n − 1 denominator); `0.0` for slices of
+/// fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation: sample standard deviation over mean — the
+/// dimensionless dispersion measure steady-state detectors threshold
+/// on. Returns `f64::INFINITY` when the mean is zero or negative (a
+/// throughput series that has not produced anything is, by definition,
+/// not steady), and `0.0` for slices of fewer than two values.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    if m <= 0.0 {
+        return f64::INFINITY;
+    }
+    std_dev(values) / m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +122,23 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn out_of_range_percentile_panics() {
         percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn std_dev_and_cv_on_known_data() {
+        // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((coefficient_of_variation(&v) - (32.0f64 / 7.0).sqrt() / 5.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[3.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn cv_of_non_positive_mean_is_infinite() {
+        assert!(coefficient_of_variation(&[0.0, 0.0]).is_infinite());
+        assert!(coefficient_of_variation(&[-1.0, 1.0]).is_infinite());
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
     }
 }

@@ -1,0 +1,244 @@
+//! CI regression gate: regenerate smoke sections, compare against the
+//! checked-in `BENCH_*.json` baselines, fail on significant slowdowns.
+//!
+//! Two cheap smoke measurements run fresh on every invocation:
+//!
+//! * **engine** — the tiny-model 256-token prefill through the batched
+//!   GEMM path vs the token-at-a-time GEMV loop; the paired per-trial
+//!   speedup ratio is the gated metric (`gate_engine_smoke`).
+//! * **serve** — goodput under SLO on the discrete-event
+//!   `ServingSimulator` at Llama3-8B/A100/vLLM scale: bisect for the
+//!   max sustainable Chat-profile arrival rate whose attainment stays
+//!   at 90%, then record goodput and attainment at that rate
+//!   (`gate_serve_smoke`). Simulated time comes from the performance
+//!   model, not the wall clock, so these numbers are machine-independent
+//!   and gate tightly.
+//!
+//! The fresh sections are compared against the same-named sections of
+//! the checked-in baselines with the harness CI-overlap test: a gated
+//! metric fails only when its fresh confidence interval is disjoint
+//! from the baseline's *and* beyond the relative margin on the bad
+//! side, so noisy-but-honest re-runs stay green.
+//!
+//! Environment knobs:
+//!
+//! * `LLMIB_TRIALS` — trial count (default 3; CI uses 3).
+//! * `LLMIB_GATE_SLOWDOWN=<f>` — multiply every fresh gated sample by
+//!   `f` before comparison. `0.5` emulates a 2× slowdown; CI runs this
+//!   to prove the gate actually trips.
+//! * `LLMIB_GATE_WRITE=1` — instead of comparing, merge the fresh
+//!   sections into the baseline files (used to establish or refresh
+//!   baselines after an intentional performance change).
+//!
+//! Exits 0 on pass, 1 on regression, 2 when a baseline is missing.
+
+use llm_inference_bench::prelude::*;
+use llmib_bench::harness::{
+    compare_documents, max_sustainable_rate, run_trials, time_seconds, BenchDocument, GateConfig,
+    Metric, RateSearch, Section, SloSpec, TrialConfig,
+};
+use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_sched::{BatchingPolicy, ServingSimulator, SimConfig};
+use llmib_types::{LatencySample, Seconds};
+use llmib_workloads::TrafficProfile;
+use serde_json::Value;
+
+const ENGINE_PATH: &str = "BENCH_engine.json";
+const SERVE_PATH: &str = "BENCH_serve.json";
+const CREATED_BY: &str = "cargo run --release --example bench_gate (LLMIB_GATE_WRITE=1)";
+const N: usize = 12;
+
+fn trial_config() -> TrialConfig {
+    let trials = std::env::var("LLMIB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    TrialConfig::new(trials, 1, 0x6A7E)
+}
+
+/// Synthetic slowdown factor applied to fresh gated samples (1.0 = off).
+fn slowdown() -> f64 {
+    std::env::var("LLMIB_GATE_SLOWDOWN")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Engine smoke: paired prefill GEMM-vs-GEMV speedup on the tiny model.
+/// Every gated sample is scaled by `factor` (the slowdown injection).
+fn engine_smoke(tc: &TrialConfig, factor: f64) -> Section {
+    let cfg = EngineConfig {
+        max_seq: 320,
+        ..EngineConfig::tiny()
+    };
+    let model = TransformerModel::new(cfg.clone(), false).expect("valid config");
+    let prompt: Vec<usize> = (0..256).map(|i| (i * 7 + 3) % cfg.vocab).collect();
+    let set = run_trials(tc, |_seed| {
+        let gemm_s = time_seconds(|| {
+            let mut cache = model.new_cache();
+            std::hint::black_box(model.prefill(&prompt, &mut cache));
+        });
+        let gemv_s = time_seconds(|| {
+            let mut cache = model.new_cache();
+            std::hint::black_box(model.prefill_unbatched(&prompt, &mut cache));
+        });
+        factor * (gemv_s / gemm_s)
+    });
+    Section::new(
+        "gate_engine_smoke",
+        CREATED_BY,
+        "tiny (max_seq=320), 256-token prompt prefill, GEMM vs GEMV loop",
+    )
+    .with_trials(tc, &set)
+    .metric(
+        "prefill_gemm_speedup",
+        &Metric::higher("ratio", set.ci95()).gated(),
+    )
+}
+
+/// Serve smoke: goodput under SLO on the deterministic simulator.
+fn serve_smoke(tc: &TrialConfig, factor: f64) -> Section {
+    let perf = PerfModel::default_calibration();
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(16)
+        .input_tokens(256)
+        .output_tokens(128)
+        .build()
+        .expect("valid scenario");
+    let resolved = perf.resolve_scenario(&scenario).expect("resolvable");
+    let sim = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 8,
+        kv_capacity_tokens: 1 << 15,
+        kv_block_tokens: Some(16),
+    });
+    let sim_run = |rate: f64, seed: u64| {
+        let trace = TrafficProfile::Chat.trace(N, rate, seed);
+        sim.run(trace, &resolved)
+    };
+
+    // SLO derived exactly like serving_live's sim study: 3× TTFT p95
+    // and 2× ITL p95 of a light-load run, 90% attainment.
+    let burst = sim_run(1e6, 7);
+    let capacity = f64::from(burst.completed) / burst.makespan.value();
+    let light = sim_run(0.25 * capacity, 777);
+    let derive = |samples: &[LatencySample], makespan: Seconds| {
+        let eval = SloSpec::new(None, None, 0.9).evaluate(samples, makespan);
+        SloSpec::new(
+            Some(Seconds(3.0 * eval.ttft_p95.value())),
+            Some(Seconds(2.0 * eval.itl_p95.value())),
+            0.9,
+        )
+    };
+    let spec = derive(&light.per_request, light.makespan);
+
+    let search = RateSearch {
+        lo: 0.25 * capacity,
+        hi: 4.0 * capacity,
+        rel_tol: 0.1,
+        max_probes: 8,
+    };
+    let result = max_sustainable_rate(&search, |rate| {
+        let rep = sim_run(rate, 777);
+        spec.evaluate(&rep.per_request, rep.makespan)
+    });
+    let sustained = if result.max_rate > 0.0 {
+        result.max_rate
+    } else {
+        search.lo
+    };
+    let mut attainment = Vec::new();
+    let set = run_trials(tc, |seed| {
+        let rep = sim_run(sustained, seed);
+        let eval = spec.evaluate(&rep.per_request, rep.makespan);
+        attainment.push(factor * eval.attainment);
+        factor * eval.goodput_tokens_per_s
+    });
+    let attainment = attainment.split_off(attainment.len() - tc.trials);
+
+    Section::new(
+        "gate_serve_smoke",
+        CREATED_BY,
+        &format!(
+            "ServingSimulator Llama3-8B/A100/vLLM, Chat profile, {N} requests; \
+             SLO = 3x TTFT p95 / 2x ITL p95 of light load, 90% attainment"
+        ),
+    )
+    .with_trials(tc, &set)
+    .field("slo", spec.to_value())
+    .field(
+        "max_sustainable_rate_req_per_s",
+        Value::Float(result.max_rate),
+    )
+    .field("search_converged", Value::Bool(result.converged))
+    .metric(
+        "sim_goodput_tokens_per_s",
+        &Metric::higher("tokens/s", set.ci95()).gated(),
+    )
+    .metric(
+        "sim_attainment",
+        &Metric::higher(
+            "fraction",
+            llmib_bench::harness::ConfidenceInterval::from_samples95(&attainment),
+        )
+        .gated(),
+    )
+}
+
+/// Gate one (baseline path, fresh section) pair. Returns the report, or
+/// exits 2 when the baseline is unusable.
+fn gate_one(path: &str, fresh_section: Section) -> llmib_bench::harness::GateReport {
+    let baseline = match BenchDocument::load(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!(
+                "gate: cannot load baseline {path}: {e}\n\
+                 run with LLMIB_GATE_WRITE=1 to establish baselines"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut fresh = BenchDocument::new();
+    fresh.merge_section(fresh_section);
+    compare_documents(&baseline, &fresh, &GateConfig::default())
+}
+
+fn main() {
+    let tc = trial_config();
+    let factor = slowdown();
+    let write_mode = std::env::var("LLMIB_GATE_WRITE").is_ok_and(|v| v == "1");
+    if factor != 1.0 {
+        println!("injecting synthetic slowdown: gated samples scaled by {factor}");
+    }
+
+    println!("regenerating gate smoke sections ({} trials)...", tc.trials);
+    let engine_section = engine_smoke(&tc, factor);
+    let serve_section = serve_smoke(&tc, factor);
+
+    if write_mode {
+        let mut doc = BenchDocument::load_or_new(ENGINE_PATH);
+        doc.merge_section(engine_section);
+        doc.write(ENGINE_PATH).expect("write engine baseline");
+        let mut doc = BenchDocument::load_or_new(SERVE_PATH);
+        doc.merge_section(serve_section);
+        doc.write(SERVE_PATH).expect("write serve baseline");
+        println!("baselines updated: gate_engine_smoke -> {ENGINE_PATH}, gate_serve_smoke -> {SERVE_PATH}");
+        return;
+    }
+
+    let engine_report = gate_one(ENGINE_PATH, engine_section);
+    let serve_report = gate_one(SERVE_PATH, serve_section);
+    println!("--- engine ({ENGINE_PATH}) ---");
+    print!("{}", engine_report.render());
+    println!("--- serve ({SERVE_PATH}) ---");
+    print!("{}", serve_report.render());
+
+    if !engine_report.passed() || !serve_report.passed() {
+        eprintln!("bench gate FAILED: statistically significant slowdown on a gated metric");
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

@@ -15,12 +15,16 @@
 //! cargo run --release --example chaos_serving
 //! ```
 
+use llmib_bench::harness::{
+    run_trials, BenchDocument, ConfidenceInterval, Metric, Section, TrialConfig,
+};
 use llmib_engine::{EngineConfig, TransformerModel};
 use llmib_serve::{
     deterministic_prompt, replay_admission_order, RequestOutcome, ServeConfig, ServeReport, Server,
     SubmitOptions,
 };
 use llmib_types::{FaultEvent, FaultKind, FaultPlan, Seconds};
+use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,6 +33,16 @@ const N: u64 = 8;
 const PROMPT_TOKENS: u32 = 6;
 const MAX_NEW: usize = 48;
 const POISONED_ID: u64 = 2;
+const BENCH_PATH: &str = "BENCH_serve.json";
+const CREATED_BY: &str = "cargo run --release --example chaos_serving";
+
+fn trial_config() -> TrialConfig {
+    let trials = std::env::var("LLMIB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    TrialConfig::new(trials, 1, 14)
+}
 
 fn serve_config(plan: FaultPlan) -> ServeConfig {
     ServeConfig {
@@ -94,23 +108,6 @@ fn serve_wave(
         .collect();
     let outcomes = handles.into_iter().map(|h| (h.id, h.wait())).collect();
     (server.shutdown(), outcomes)
-}
-
-/// Splice a `fault_drill` section into `BENCH_serve.json`, preserving
-/// whatever `serving_live` wrote and replacing any previous drill.
-fn splice_fault_drill(drill: &str) {
-    let path = "BENCH_serve.json";
-    let json = match std::fs::read_to_string(path) {
-        Ok(text) => {
-            let head = match text.find(",\n  \"fault_drill\"") {
-                Some(idx) => text[..idx].to_string(),
-                None => text.trim_end().trim_end_matches('}').trim_end().to_string(),
-            };
-            format!("{head},\n  \"fault_drill\": {drill}\n}}\n")
-        }
-        Err(_) => format!("{{\n  \"fault_drill\": {drill}\n}}\n"),
-    };
-    std::fs::write(path, json).expect("write BENCH_serve.json");
 }
 
 fn main() {
@@ -193,29 +190,77 @@ fn main() {
         retention * 100.0,
     );
 
-    let drill = format!(
-        "{{\n    \"created_by\": \"examples/chaos_serving.rs\",\n    \
-         \"plan\": \"stall(+20ms)@4, poison(req {POISONED_ID})@6, transient(x2)@10, \
-         pressure(0.4x,12 steps)@14\",\n    \
-         \"healthy\": {{ \"completed\": {}, \"aggregate_tokens_per_s\": {:.1}, \
-         \"mean_ttft_ms\": {:.2} }},\n    \
-         \"faulted\": {{ \"completed\": {}, \"failed\": {}, \"retries\": {}, \
-         \"evictions\": {}, \"watchdog_stalls\": {}, \"faults_injected\": {}, \
-         \"aggregate_tokens_per_s\": {:.1}, \"mean_ttft_ms\": {:.2} }},\n    \
-         \"throughput_retention\": {:.3}\n  }}",
-        healthy.completed,
-        healthy.throughput_tokens_per_s,
-        healthy.mean_ttft.value() * 1e3,
-        faulted.completed,
-        r.failed,
-        r.retries,
-        r.evictions,
-        r.watchdog_stalls,
-        r.faults_injected,
-        faulted.throughput_tokens_per_s,
-        faulted.mean_ttft.value() * 1e3,
-        retention,
+    // --- Record the drill with trial-based confidence bounds ---
+    // Each trial serves a healthy and a faulted wave back to back; the
+    // trial value is the paired throughput-retention ratio. Retention
+    // mixes a fixed 20 ms stall into machine-dependent step times, so
+    // it stays ungated (absolute wall-clock character); the lifecycle
+    // counters asserted above are what must not change.
+    let tc = trial_config();
+    let mut healthy_tps = Vec::new();
+    let mut faulted_tps = Vec::new();
+    let set = run_trials(&tc, |_seed| {
+        let (h, _) = serve_wave(&model, FaultPlan::empty());
+        let (f, _) = serve_wave(&model, drill_plan());
+        healthy_tps.push(h.throughput_tokens_per_s);
+        faulted_tps.push(f.throughput_tokens_per_s);
+        f.throughput_tokens_per_s / h.throughput_tokens_per_s
+    });
+    let healthy_tps = healthy_tps.split_off(healthy_tps.len() - tc.trials);
+    let faulted_tps = faulted_tps.split_off(faulted_tps.len() - tc.trials);
+
+    let mut doc = BenchDocument::load_or_new(BENCH_PATH);
+    doc.merge_section(
+        Section::new(
+            "fault_drill",
+            CREATED_BY,
+            &format!(
+                "stall(+20ms)@4, poison(req {POISONED_ID})@6, transient(x2)@10, \
+                 pressure(0.4x,12 steps)@14; {N} requests, max_concurrency=4"
+            ),
+        )
+        .with_trials(&tc, &set)
+        .field(
+            "healthy",
+            Value::Object(vec![
+                ("completed".into(), Value::Int(i64::from(healthy.completed))),
+                (
+                    "mean_ttft_ms".into(),
+                    Value::Float(healthy.mean_ttft.value() * 1e3),
+                ),
+            ]),
+        )
+        .field(
+            "faulted",
+            Value::Object(vec![
+                ("completed".into(), Value::Int(i64::from(faulted.completed))),
+                ("failed".into(), Value::Int(i64::from(r.failed))),
+                ("retries".into(), Value::Int(i64::from(r.retries))),
+                ("evictions".into(), Value::Int(i64::from(r.evictions))),
+                (
+                    "watchdog_stalls".into(),
+                    Value::Int(i64::from(r.watchdog_stalls)),
+                ),
+                (
+                    "faults_injected".into(),
+                    Value::Int(i64::from(r.faults_injected)),
+                ),
+                (
+                    "mean_ttft_ms".into(),
+                    Value::Float(faulted.mean_ttft.value() * 1e3),
+                ),
+            ]),
+        )
+        .metric(
+            "healthy_tokens_per_s",
+            &Metric::higher("tokens/s", ConfidenceInterval::from_samples95(&healthy_tps)),
+        )
+        .metric(
+            "faulted_tokens_per_s",
+            &Metric::higher("tokens/s", ConfidenceInterval::from_samples95(&faulted_tps)),
+        )
+        .metric("throughput_retention", &Metric::higher("ratio", set.ci95())),
     );
-    splice_fault_drill(&drill);
-    println!("appended fault_drill to BENCH_serve.json");
+    doc.write(BENCH_PATH).expect("write BENCH_serve.json");
+    println!("merged fault_drill into {BENCH_PATH}");
 }

@@ -6,16 +6,25 @@
 //! "x86_64-sse2" with `--features simd`), then validates every number
 //! against a host roofline whose peaks are *calibrated on the spot* — a
 //! register-resident FLOP microloop and a streaming-read microloop —
-//! rather than assumed. Results merge into `BENCH_engine.json` under the
-//! `kernels` section, keyed by backend, so running the example twice
-//! (scalar, then `--features simd`) fills the whole sweep and lets the
-//! second run compute cross-backend speedups against the scalar f32
-//! GEMV-loop baseline (the PR-1 kernel).
+//! rather than assumed. Timings run through the harness trial protocol
+//! (`LLMIB_TRIALS` overrides the count; CI smoke uses 3), so every
+//! recorded rate carries a nearest-rank confidence interval. Results
+//! merge into `BENCH_engine.json` as a `kernels_<backend>` section, so
+//! running the example twice (scalar, then `--features simd`) fills the
+//! whole sweep and lets the second run compute cross-backend speedups
+//! against the scalar f32 GEMV-loop baseline (the PR-1 kernel). Those
+//! `speedups_vs_scalar_f32_gemv` ratios are hardware-portable and
+//! recorded `gated`: the CI regression gate fails if one significantly
+//! drops.
 //!
 //! Run with `cargo run --release --example kernel_sweep` and again with
 //! `--features simd`. Exits nonzero if any kernel falls below the floor
 //! fraction of its roofline prediction — this is the CI smoke check.
 
+use llmib_bench::harness::{
+    obj_set, run_trials, time_seconds, BenchDocument, ConfidenceInterval, Metric, Section,
+    TrialConfig, TrialRun, TrialSet,
+};
 use llmib_engine::{
     dot_kernel, kernel_backend, matmul_mat, matmul_vec, softmax_in_place, Matrix, OnlineSoftmax,
     QuantizedLinear,
@@ -23,7 +32,6 @@ use llmib_engine::{
 use llmib_perf::{HostRoofline, KernelBound, KernelShape};
 use serde_json::Value;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Every kernel must attain at least this fraction of its roofline
 /// floor. Deliberately loose: the floor catches order-of-magnitude
@@ -33,17 +41,20 @@ const FLOOR_FRACTION: f64 = 0.02;
 
 const N: usize = 512;
 const BATCH: usize = 16;
+const BENCH_PATH: &str = "BENCH_engine.json";
+const CREATED_BY: &str = "cargo run --release --example kernel_sweep [--features simd]";
 
-fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+fn trial_config() -> TrialConfig {
+    let trials = std::env::var("LLMIB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    TrialConfig::new(trials, 1, 0x51)
+}
+
+/// Time one execution of `f` per trial under the harness protocol.
+fn time_trials(tc: &TrialConfig, mut f: impl FnMut()) -> TrialSet {
+    run_trials(tc, |_seed| time_seconds(&mut f))
 }
 
 /// Attainable FLOP rate in GFLOP/s: the engine's register-tiled GEMM
@@ -51,186 +62,195 @@ fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
 /// of our kernels could sustain on this host with this backend. Using
 /// the GEMM (not a bare dot) matters: the 2x2 tile reuses each loaded
 /// operand twice, so it sets a strictly higher — and honest — roof.
-fn calibrate_gflops() -> f64 {
+fn calibrate_gflops(tc: &TrialConfig) -> f64 {
     let w = Matrix::random(64, 64, 3, 0.5);
     let xs = Matrix::random(8, 64, 4, 0.5);
     let iters = 400;
-    let s = time_median(5, || {
+    let s = time_trials(tc, || {
         for _ in 0..iters {
             black_box(matmul_mat(black_box(&w), black_box(&xs)));
         }
     });
-    (2.0 * 8.0 * 64.0 * 64.0 * iters as f64) / s / 1e9
+    (2.0 * 8.0 * 64.0 * 64.0 * iters as f64) / s.ci95().point / 1e9
 }
 
 /// Attainable streaming bandwidth in GB/s: a read-reduce over two
 /// distinct buffers far larger than the last-level cache.
-fn calibrate_gbps() -> f64 {
+fn calibrate_gbps(tc: &TrialConfig) -> f64 {
     let len = 4 << 20; // 2 × 16 MiB of f32
     let a: Vec<f32> = (0..len).map(|i| (i % 17) as f32).collect();
     let b: Vec<f32> = (0..len).map(|i| (i % 13) as f32).collect();
-    let s = time_median(5, || {
+    let s = time_trials(tc, || {
         let mut acc = 0.0f32;
         for (ca, cb) in a.chunks(4096).zip(b.chunks(4096)) {
             acc += dot_kernel(black_box(ca), black_box(cb));
         }
         black_box(acc);
     });
-    (2.0 * len as f64 * 4.0) / s / 1e9
+    (2.0 * len as f64 * 4.0) / s.ci95().point / 1e9
 }
 
 struct Measured {
     name: &'static str,
     shape: KernelShape,
-    seconds: f64,
+    set: TrialSet,
 }
 
 impl Measured {
-    fn gflops(&self) -> f64 {
-        self.shape.flops / self.seconds / 1e9
+    /// Per-trial wall-clock seconds (lower is better).
+    fn seconds(&self) -> ConfidenceInterval {
+        self.set.ci95()
+    }
+
+    /// Per-trial attained GFLOP/s, aligned with the trial order.
+    fn gflops_values(&self) -> Vec<f64> {
+        self.set
+            .values()
+            .iter()
+            .map(|s| self.shape.flops / s / 1e9)
+            .collect()
+    }
+
+    fn gflops(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_samples95(&self.gflops_values())
     }
 }
 
-fn bench_kernels() -> Vec<Measured> {
+fn bench_kernels(tc: &TrialConfig) -> Vec<Measured> {
     let w = Matrix::random(N, N, 11, 0.5);
     let xs = Matrix::random(BATCH, N, 12, 0.8);
     let x: Vec<f32> = xs.row(0).to_vec();
     let q8 = QuantizedLinear::quantize(&w);
     let q4 = QuantizedLinear::quantize_int4(&w);
-    let runs = 9;
 
-    let mut out = Vec::new();
     let one_gemv = KernelShape::gemv(N, N, 4.0);
-    out.push(Measured {
-        name: "gemv_loop_f32",
-        shape: KernelShape {
-            flops: BATCH as f64 * one_gemv.flops,
-            bytes: BATCH as f64 * one_gemv.bytes,
+    vec![
+        Measured {
+            name: "gemv_loop_f32",
+            shape: KernelShape {
+                flops: BATCH as f64 * one_gemv.flops,
+                bytes: BATCH as f64 * one_gemv.bytes,
+            },
+            set: time_trials(tc, || {
+                for r in 0..BATCH {
+                    black_box(matmul_vec(black_box(&w), black_box(xs.row(r))));
+                }
+            }),
         },
-        seconds: time_median(runs, || {
-            for r in 0..BATCH {
-                black_box(matmul_vec(black_box(&w), black_box(xs.row(r))));
-            }
-        }),
-    });
-    out.push(Measured {
-        name: "gemm_f32",
-        shape: KernelShape::gemm(BATCH, N, N, 4.0),
-        seconds: time_median(runs, || {
-            black_box(matmul_mat(black_box(&w), black_box(&xs)));
-        }),
-    });
-    out.push(Measured {
-        name: "gemv_int8",
-        shape: KernelShape::gemv(N, N, 1.125),
-        seconds: time_median(runs, || {
-            black_box(q8.matmul_vec(black_box(&x)));
-        }),
-    });
-    out.push(Measured {
-        name: "gemm_int8",
-        shape: KernelShape::gemm(BATCH, N, N, 1.125),
-        seconds: time_median(runs, || {
-            black_box(q8.matmul_mat(black_box(&xs)));
-        }),
-    });
-    out.push(Measured {
-        name: "gemm_int4",
-        shape: KernelShape::gemm(BATCH, N, N, 0.625),
-        seconds: time_median(runs, || {
-            black_box(q4.matmul_mat(black_box(&xs)));
-        }),
-    });
-    out
+        Measured {
+            name: "gemm_f32",
+            shape: KernelShape::gemm(BATCH, N, N, 4.0),
+            set: time_trials(tc, || {
+                black_box(matmul_mat(black_box(&w), black_box(&xs)));
+            }),
+        },
+        Measured {
+            name: "gemv_int8",
+            shape: KernelShape::gemv(N, N, 1.125),
+            set: time_trials(tc, || {
+                black_box(q8.matmul_vec(black_box(&x)));
+            }),
+        },
+        Measured {
+            name: "gemm_int8",
+            shape: KernelShape::gemm(BATCH, N, N, 1.125),
+            set: time_trials(tc, || {
+                black_box(q8.matmul_mat(black_box(&xs)));
+            }),
+        },
+        Measured {
+            name: "gemm_int4",
+            shape: KernelShape::gemm(BATCH, N, N, 0.625),
+            set: time_trials(tc, || {
+                black_box(q4.matmul_mat(black_box(&xs)));
+            }),
+        },
+    ]
 }
 
 /// Fused online-softmax attention vs the two-pass reference over one
-/// query and `n` cached positions, `heads` heads of width `d`. Returns
-/// `(fused, two_pass_seconds)`.
-fn bench_flash(heads: usize, d: usize, n: usize) -> (Measured, f64) {
+/// query and `n` cached positions, `heads` heads of width `d`. Each
+/// trial times the pair back to back, so the returned ratio set is a
+/// paired fused-vs-two-pass speedup. Returns the fused measurement and
+/// the per-trial speedup set.
+fn bench_flash(tc: &TrialConfig, heads: usize, d: usize, n: usize) -> (Measured, TrialSet) {
     let keys = Matrix::random(n, heads * d, 31, 0.4);
     let vals = Matrix::random(n, heads * d, 32, 0.4);
     let q: Vec<f32> = (0..heads * d).map(|i| (i as f32 * 0.05).sin()).collect();
-    let runs = 9;
     let chunk = 16; // KV block size
 
-    let fused_s = time_median(runs, || {
-        let mut out = vec![0.0f32; heads * d];
-        let mut scores = Vec::with_capacity(chunk);
-        for h in 0..heads {
-            let qh = &q[h * d..(h + 1) * d];
-            let oh = &mut out[h * d..(h + 1) * d];
-            let mut os = OnlineSoftmax::new();
-            let mut pos = 0;
-            while pos < n {
-                let end = (pos + chunk).min(n);
-                scores.clear();
-                scores.extend((pos..end).map(|p| dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d])));
-                os.fold(&scores, oh, |i| &vals.row(pos + i)[h * d..(h + 1) * d]);
-                pos = end;
+    let mut fused_secs = Vec::new();
+    let ratios = run_trials(tc, |_seed| {
+        let fused = time_seconds(|| {
+            let mut out = vec![0.0f32; heads * d];
+            let mut scores = Vec::with_capacity(chunk);
+            for h in 0..heads {
+                let qh = &q[h * d..(h + 1) * d];
+                let oh = &mut out[h * d..(h + 1) * d];
+                let mut os = OnlineSoftmax::new();
+                let mut pos = 0;
+                while pos < n {
+                    let end = (pos + chunk).min(n);
+                    scores.clear();
+                    scores.extend(
+                        (pos..end).map(|p| dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d])),
+                    );
+                    os.fold(&scores, oh, |i| &vals.row(pos + i)[h * d..(h + 1) * d]);
+                    pos = end;
+                }
+                os.finish(oh);
             }
-            os.finish(oh);
-        }
-        black_box(out);
-    });
-    let two_pass_s = time_median(runs, || {
-        let mut out = vec![0.0f32; heads * d];
-        let mut scores = vec![0.0f32; n];
-        for h in 0..heads {
-            let qh = &q[h * d..(h + 1) * d];
-            for (p, s) in scores.iter_mut().enumerate() {
-                *s = dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d]);
-            }
-            softmax_in_place(&mut scores);
-            let oh = &mut out[h * d..(h + 1) * d];
-            for (p, &wt) in scores.iter().enumerate() {
-                for (o, v) in oh.iter_mut().zip(&vals.row(p)[h * d..(h + 1) * d]) {
-                    *o += wt * v;
+            black_box(out);
+        });
+        let two_pass = time_seconds(|| {
+            let mut out = vec![0.0f32; heads * d];
+            let mut scores = vec![0.0f32; n];
+            for h in 0..heads {
+                let qh = &q[h * d..(h + 1) * d];
+                for (p, s) in scores.iter_mut().enumerate() {
+                    *s = dot_kernel(qh, &keys.row(p)[h * d..(h + 1) * d]);
+                }
+                softmax_in_place(&mut scores);
+                let oh = &mut out[h * d..(h + 1) * d];
+                for (p, &wt) in scores.iter().enumerate() {
+                    for (o, v) in oh.iter_mut().zip(&vals.row(p)[h * d..(h + 1) * d]) {
+                        *o += wt * v;
+                    }
                 }
             }
-        }
-        black_box(out);
+            black_box(out);
+        });
+        fused_secs.push(fused);
+        two_pass / fused
     });
-    (
-        Measured {
-            name: "flash_attention",
-            shape: KernelShape::flash_attention(heads, heads, d, n),
-            seconds: fused_s,
+    let fused_secs = fused_secs.split_off(fused_secs.len() - tc.trials);
+    let fused = Measured {
+        name: "flash_attention",
+        shape: KernelShape::flash_attention(heads, heads, d, n),
+        set: TrialSet {
+            runs: ratios
+                .runs
+                .iter()
+                .zip(&fused_secs)
+                .map(|(r, &s)| TrialRun {
+                    seed: r.seed,
+                    value: s,
+                    steady_start: None,
+                })
+                .collect(),
+            warmup_discarded: ratios.warmup_discarded,
+            never_settled: 0,
         },
-        two_pass_s,
-    )
-}
-
-fn round2(v: f64) -> f64 {
-    (v * 100.0).round() / 100.0
-}
-
-fn round3(v: f64) -> f64 {
-    (v * 1000.0).round() / 1000.0
-}
-
-fn obj_get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
-    match v {
-        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-        _ => None,
-    }
-}
-
-fn obj_set(v: &mut Value, key: &str, section: Value) {
-    if let Value::Object(fields) = v {
-        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
-            slot.1 = section;
-        } else {
-            fields.push((key.into(), section));
-        }
-    }
+    };
+    (fused, ratios)
 }
 
 fn main() {
     let backend = kernel_backend();
-    println!("kernel backend: {backend}");
+    let tc = trial_config();
+    println!("kernel backend: {backend} ({} trials)", tc.trials);
 
-    let host = HostRoofline::new(calibrate_gflops(), calibrate_gbps());
+    let host = HostRoofline::new(calibrate_gflops(&tc), calibrate_gbps(&tc));
     println!(
         "calibrated peaks: {:.2} GFLOP/s, {:.2} GB/s (ridge {:.2} ops/byte)",
         host.peak_gflops,
@@ -238,26 +258,31 @@ fn main() {
         host.ridge_intensity()
     );
 
-    let mut measured = bench_kernels();
-    let (flash, two_pass_s) = bench_flash(8, 64, 1024);
-    let flash_speedup = two_pass_s / flash.seconds;
+    let mut measured = bench_kernels(&tc);
+    let (flash, flash_ratios) = bench_flash(&tc, 8, 64, 1024);
+    let flash_speedup = flash_ratios.ci95();
     measured.push(flash);
 
     // --- Roofline validation (the CI smoke assertion) ---
-    let mut kernel_rows = Vec::new();
+    let mut kernel_rows = Value::Object(Vec::new());
     let mut failures = Vec::new();
     for m in &measured {
+        let secs = m.seconds();
+        let gflops = m.gflops();
         let predicted = host.predict_seconds(&m.shape);
-        let fraction = host.attained_fraction(&m.shape, m.seconds);
+        let fraction = host.attained_fraction(&m.shape, secs.point);
         let bound = match host.bound(&m.shape) {
             KernelBound::Compute => "compute",
             KernelBound::Memory => "memory",
         };
         println!(
-            "{:<16} {:>8.2} GFLOP/s  measured {:>10.3e}s  roofline floor {:>10.3e}s  attained {:>5.1}%  ({bound}-bound)",
+            "{:<16} {:>8.2} GFLOP/s [{:.2}, {:.2}]  measured {:>10.3e}s  floor {:>10.3e}s  \
+             attained {:>5.1}%  ({bound}-bound)",
             m.name,
-            m.gflops(),
-            m.seconds,
+            gflops.point,
+            gflops.lo,
+            gflops.hi,
+            secs.point,
             predicted,
             fraction * 100.0
         );
@@ -267,102 +292,104 @@ fn main() {
                 m.name, fraction
             ));
         }
-        kernel_rows.push(Value::Object(vec![
-            ("kernel".into(), Value::Str(m.name.into())),
-            ("measured_gflops".into(), Value::Float(round2(m.gflops()))),
-            ("measured_s".into(), Value::Float(m.seconds)),
-            ("predicted_floor_s".into(), Value::Float(predicted)),
-            ("attained_fraction".into(), Value::Float(round3(fraction))),
-            ("bound".into(), Value::Str(bound.into())),
-        ]));
-    }
-
-    // --- Merge into BENCH_engine.json under kernels.<backend> ---
-    let mut root = std::fs::read_to_string("BENCH_engine.json")
-        .ok()
-        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
-        .unwrap_or(Value::Object(Vec::new()));
-    if !matches!(root, Value::Object(_)) {
-        root = Value::Object(Vec::new());
-    }
-
-    let gflops_of = |name: &str| {
-        measured
-            .iter()
-            .find(|m| m.name == name)
-            .map(|m| m.gflops())
-            .expect("kernel measured")
-    };
-    let backend_section = Value::Object(vec![
-        (
-            "config".into(),
-            Value::Str(format!(
-                "w {N}x{N} (f32 / int8-block / int4-block, group 32), batch {BATCH}; flash 8 heads x 64 over 1024 kv"
-            )),
-        ),
-        (
-            "roofline_peaks".into(),
-            Value::Object(vec![
-                ("peak_gflops".into(), Value::Float(round2(host.peak_gflops))),
-                ("peak_gbps".into(), Value::Float(round2(host.peak_gbps))),
-            ]),
-        ),
-        ("kernels".into(), Value::Array(kernel_rows)),
-        (
-            "flash_vs_two_pass_speedup".into(),
-            Value::Float(round2(flash_speedup)),
-        ),
-    ]);
-
-    let mut kernels = match obj_get(&root, "kernels") {
-        Some(v @ Value::Object(_)) => v.clone(),
-        _ => Value::Object(Vec::new()),
-    };
-    obj_set(&mut kernels, backend, backend_section);
-
-    // Cross-backend speedups against the PR-1 baseline kernel: the
-    // *scalar* f32 GEMV loop. The scalar run must happen first for the
-    // simd run to pick its baseline up; otherwise each backend falls
-    // back to its own gemv loop.
-    let scalar_gemv_gflops = obj_get(&kernels, "scalar")
-        .and_then(|s| obj_get(s, "kernels"))
-        .and_then(|ks| match ks {
-            Value::Array(rows) => rows.iter().find(
-                |r| matches!(obj_get(r, "kernel"), Some(Value::Str(n)) if n == "gemv_loop_f32"),
+        let mut row = Value::Object(vec![
+            (
+                "gflops".into(),
+                Metric::higher("GFLOP/s", gflops).to_value(),
             ),
-            _ => None,
-        })
-        .and_then(|row| match obj_get(row, "measured_gflops") {
-            Some(Value::Float(g)) => Some(*g),
-            Some(Value::Int(g)) => Some(*g as f64),
-            _ => None,
-        })
-        .unwrap_or_else(|| gflops_of("gemv_loop_f32"));
-    let mut speedups = match obj_get(&kernels, "speedups_vs_scalar_f32_gemv") {
-        Some(v @ Value::Object(_)) => v.clone(),
-        _ => Value::Object(Vec::new()),
+            ("measured_s".into(), Metric::lower("s", secs).to_value()),
+            ("predicted_floor_s".into(), Value::Float(predicted)),
+            ("attained_fraction".into(), Value::Float(fraction)),
+            ("bound".into(), Value::Str(bound.into())),
+        ]);
+        obj_set(
+            &mut row,
+            "roofline_floor_met",
+            Value::Bool(fraction >= FLOOR_FRACTION),
+        );
+        obj_set(&mut kernel_rows, m.name, row);
+    }
+
+    // --- Cross-backend speedups against the PR-1 baseline kernel: the
+    // *scalar* f32 GEMV loop. The scalar run must happen first for the
+    // simd run to pick its baseline up from the `kernels_scalar`
+    // section; otherwise each backend falls back to its own gemv loop.
+    let mut doc = BenchDocument::load_or_new(BENCH_PATH);
+    let gemv = &measured[0];
+    assert_eq!(gemv.name, "gemv_loop_f32");
+    let own_gemv_vals = gemv.gflops_values();
+    let scalar_gemv_point = if backend == "scalar" {
+        None // pair against this run's own per-trial gemv rates
+    } else {
+        doc.section("kernels_scalar")
+            .and_then(|s| s.get("kernels"))
+            .and_then(|k| k.get("gemv_loop_f32"))
+            .and_then(|g| g.get("gflops"))
+            .and_then(|g| g.get("point"))
+            .and_then(Value::as_f64)
     };
-    for name in ["gemm_f32", "gemv_int8", "gemm_int8", "gemm_int4"] {
+    let mut speedups = Value::Object(Vec::new());
+    for m in &measured {
+        if !["gemm_f32", "gemv_int8", "gemm_int8", "gemm_int4"].contains(&m.name) {
+            continue;
+        }
+        let ratios: Vec<f64> = m
+            .gflops_values()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g / scalar_gemv_point.unwrap_or(own_gemv_vals[i]))
+            .collect();
         obj_set(
             &mut speedups,
-            &format!("{backend}/{name}"),
-            Value::Float(round2(gflops_of(name) / scalar_gemv_gflops)),
+            m.name,
+            Metric::higher("ratio", ConfidenceInterval::from_samples95(&ratios))
+                .gated()
+                .to_value(),
         );
     }
-    obj_set(
-        &mut kernels,
-        "speedups_vs_scalar_f32_gemv",
-        speedups.clone(),
-    );
-    obj_set(&mut root, "kernels", kernels);
 
-    let json = serde_json::to_string_pretty(&root).expect("serialize");
-    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
-    println!("flash fused vs two-pass: {flash_speedup:.2}x");
+    // --- Merge into BENCH_engine.json under kernels_<backend> ---
+    doc.merge_section(
+        Section::new(
+            &format!("kernels_{backend}"),
+            CREATED_BY,
+            &format!(
+                "w {N}x{N} (f32 / int8-block / int4-block, group 32), batch {BATCH}; \
+                 flash 8 heads x 64 over 1024 kv"
+            ),
+        )
+        .with_trials(&tc, &measured[0].set)
+        .field(
+            "roofline_peaks",
+            Value::Object(vec![
+                ("peak_gflops".into(), Value::Float(host.peak_gflops)),
+                ("peak_gbps".into(), Value::Float(host.peak_gbps)),
+            ]),
+        )
+        .field("kernels", kernel_rows)
+        .metric(
+            "flash_vs_two_pass_speedup",
+            &Metric::higher("ratio", flash_speedup),
+        )
+        .field(
+            "speedup_baseline",
+            Value::Str(match scalar_gemv_point {
+                Some(p) => format!("kernels_scalar gemv_loop_f32 @ {p:.2} GFLOP/s"),
+                None => "own gemv_loop_f32 (paired per trial)".into(),
+            }),
+        )
+        .field("speedups_vs_scalar_f32_gemv", speedups.clone()),
+    );
+    doc.write(BENCH_PATH).expect("write BENCH_engine.json");
+
+    println!(
+        "flash fused vs two-pass: {:.2}x [{:.2}, {:.2}]",
+        flash_speedup.point, flash_speedup.lo, flash_speedup.hi
+    );
     if let Value::Object(fields) = &speedups {
         for (k, v) in fields {
-            if let Value::Float(s) = v {
-                println!("speedup vs scalar f32 gemv loop: {k} = {s:.2}x");
+            if let Some(p) = v.get("point").and_then(Value::as_f64) {
+                println!("speedup vs scalar f32 gemv loop: {backend}/{k} = {p:.2}x");
             }
         }
     }

@@ -8,15 +8,23 @@
 //! * **TTFT microbenchmark** — admit + first decode step for a
 //!   224-token prompt whose first 192 tokens are a shared prefix,
 //!   against a cold session vs a session where the prefix is already
-//!   resident. Warm admissions prefill only the 32-token suffix, so
-//!   the warm TTFT must be at least 2x faster (asserted: this example
-//!   runs in CI as the acceptance gate).
+//!   resident. Each trial measures a cold/warm pair; the paired
+//!   speedup ratio is collapsed to a 95% confidence interval and is
+//!   `gated`: the CI regression gate fails if it ever significantly
+//!   drops. Warm admissions prefill only the 32-token suffix, so the
+//!   median speedup must be at least 2x (asserted: this example runs
+//!   in CI as the acceptance gate).
 //! * **Share sweep** — a `TrafficProfile` trace at share 0 / 0.5 / 0.9
 //!   through one prefix-cached `BatchSession`, reporting hit rate and
-//!   saved prefill tokens per share.
+//!   saved prefill tokens per share (deterministic counters, no trials
+//!   needed).
 //!
 //! Run with `cargo run --release --example prefix_cache_sweep`.
+//! `LLMIB_TRIALS` overrides the trial count (CI smoke uses 3).
 
+use llmib_bench::harness::{
+    run_trials, BenchDocument, ConfidenceInterval, Metric, Section, TrialConfig,
+};
 use llmib_engine::{BatchSession, EngineConfig, PrefixConfig, Sampler, TransformerModel};
 use llmib_serve::deterministic_prompt_for;
 use llmib_workloads::{SharedPrefix, TrafficProfile};
@@ -26,6 +34,16 @@ use std::time::Instant;
 const BLOCK: usize = 16;
 const SHARED: usize = 192;
 const SUFFIX: usize = 32;
+const BENCH_PATH: &str = "BENCH_engine.json";
+const CREATED_BY: &str = "cargo run --release --example prefix_cache_sweep";
+
+fn trial_config() -> TrialConfig {
+    let trials = std::env::var("LLMIB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    TrialConfig::new(trials, 1, 1100)
+}
 
 fn prefix_session(model: &TransformerModel) -> BatchSession<'_> {
     BatchSession::with_prefix_cache(
@@ -52,64 +70,74 @@ fn sharer_prompt(id: usize, vocab: usize) -> Vec<usize> {
         .collect()
 }
 
-fn median(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
 fn main() {
     let cfg = EngineConfig {
         max_seq: 320,
         ..EngineConfig::tiny()
     };
     let model = TransformerModel::new(cfg.clone(), false).expect("valid config");
+    let tc = trial_config();
 
-    // --- TTFT microbenchmark: cold vs warm admission of the same shape ---
-    let runs = 5;
-    let cold_s = median(
-        (0..runs)
-            .map(|r| {
-                // Fresh session per run: nothing resident, full prefill.
-                let mut s = prefix_session(&model);
-                let t = Instant::now();
-                let out = s
-                    .admit(r as u64, &sharer_prompt(r, cfg.vocab), 1, Sampler::Greedy)
-                    .expect("admit");
-                s.step();
-                assert_eq!(out.cached_prefix_tokens, 0, "cold run must not hit");
-                t.elapsed().as_secs_f64()
-            })
-            .collect(),
-    );
+    // --- TTFT microbenchmark: cold vs warm admission of the same shape,
+    // one paired measurement per trial ---
     let mut warm_session = prefix_session(&model);
     warm_session
-        .admit(1000, &sharer_prompt(1000, cfg.vocab), 1, Sampler::Greedy)
+        .admit(
+            1_000_000,
+            &sharer_prompt(1_000_000, cfg.vocab),
+            1,
+            Sampler::Greedy,
+        )
         .expect("admit");
     warm_session.step();
-    let warm_s = median(
-        (1..=runs)
-            .map(|r| {
-                // Same resident prefix, fresh suffix per run.
-                let t = Instant::now();
-                let out = warm_session
-                    .admit(
-                        1000 + r as u64,
-                        &sharer_prompt(1000 + r, cfg.vocab),
-                        1,
-                        Sampler::Greedy,
-                    )
-                    .expect("admit");
-                warm_session.step();
-                assert_eq!(out.cached_prefix_tokens, SHARED, "warm run must hit");
-                t.elapsed().as_secs_f64()
-            })
-            .collect(),
-    );
-    let speedup = cold_s / warm_s;
+
+    let mut cold_vals = Vec::new();
+    let mut warm_vals = Vec::new();
+    let set = run_trials(&tc, |seed| {
+        // Cold: fresh session per trial, nothing resident, full prefill.
+        let mut s = prefix_session(&model);
+        let t = Instant::now();
+        let out = s
+            .admit(
+                seed,
+                &sharer_prompt(seed as usize, cfg.vocab),
+                1,
+                Sampler::Greedy,
+            )
+            .expect("admit");
+        s.step();
+        let cold = t.elapsed().as_secs_f64();
+        assert_eq!(out.cached_prefix_tokens, 0, "cold run must not hit");
+
+        // Warm: same resident prefix, fresh suffix.
+        let id = 2_000_000 + seed;
+        let t = Instant::now();
+        let out = warm_session
+            .admit(
+                id,
+                &sharer_prompt(id as usize, cfg.vocab),
+                1,
+                Sampler::Greedy,
+            )
+            .expect("admit");
+        warm_session.step();
+        let warm = t.elapsed().as_secs_f64();
+        assert_eq!(out.cached_prefix_tokens, SHARED, "warm run must hit");
+
+        cold_vals.push(cold);
+        warm_vals.push(warm);
+        cold / warm
+    });
+    let cold_vals = cold_vals.split_off(cold_vals.len() - tc.trials);
+    let warm_vals = warm_vals.split_off(warm_vals.len() - tc.trials);
+    let speedup = set.ci95();
     assert!(
-        speedup >= 2.0,
+        speedup.point >= 2.0,
         "warm TTFT must be at least 2x faster than cold \
-         (cold {cold_s:.6}s, warm {warm_s:.6}s, speedup {speedup:.2}x)"
+         (speedup {:.2}x [{:.2}, {:.2}])",
+        speedup.point,
+        speedup.lo,
+        speedup.hi,
     );
 
     // --- Share sweep: hit rate and saved prefill tokens vs share ratio ---
@@ -168,49 +196,36 @@ fn main() {
     }
 
     // --- Merge the prefix_cache section into BENCH_engine.json ---
-    let section = Value::Object(vec![
-        (
-            "config".into(),
-            Value::Str(format!(
+    let mut doc = BenchDocument::load_or_new(BENCH_PATH);
+    doc.merge_section(
+        Section::new(
+            "prefix_cache",
+            CREATED_BY,
+            &format!(
                 "tiny (max_seq=320), block_tokens={BLOCK}, shared_prefix={SHARED}, suffix={SUFFIX}"
-            )),
-        ),
-        (
-            "ttft".into(),
-            Value::Object(vec![
-                ("cold_s".into(), Value::Float(cold_s)),
-                ("warm_s".into(), Value::Float(warm_s)),
-                ("speedup".into(), Value::Float(speedup)),
-            ]),
-        ),
-        ("sweep".into(), Value::Array(sweep_rows)),
-    ]);
-    let mut root = std::fs::read_to_string("BENCH_engine.json")
-        .ok()
-        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
-        .unwrap_or_else(|| {
-            Value::Object(vec![(
-                "created_by".into(),
-                Value::Str("examples/prefix_cache_sweep.rs".into()),
-            )])
-        });
-    match &mut root {
-        Value::Object(fields) => {
-            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "prefix_cache") {
-                slot.1 = section;
-            } else {
-                fields.push(("prefix_cache".into(), section));
-            }
-        }
-        _ => root = Value::Object(vec![("prefix_cache".into(), section)]),
-    }
-    let json = serde_json::to_string_pretty(&root).expect("serialize");
-    std::fs::write("BENCH_engine.json", format!("{json}\n")).expect("write BENCH_engine.json");
+            ),
+        )
+        .with_trials(&tc, &set)
+        .metric(
+            "cold_ttft_s",
+            &Metric::lower("s", ConfidenceInterval::from_samples95(&cold_vals)),
+        )
+        .metric(
+            "warm_ttft_s",
+            &Metric::lower("s", ConfidenceInterval::from_samples95(&warm_vals)),
+        )
+        .metric("warm_speedup", &Metric::higher("ratio", speedup).gated())
+        .field("sweep", Value::Array(sweep_rows)),
+    );
+    doc.write(BENCH_PATH).expect("write BENCH_engine.json");
 
     println!(
-        "prefix cache TTFT: cold {:.2}ms, warm {:.2}ms ({speedup:.2}x)",
-        cold_s * 1e3,
-        warm_s * 1e3
+        "prefix cache TTFT: cold {:.2}ms, warm {:.2}ms ({:.2}x [{:.2}, {:.2}])",
+        ConfidenceInterval::from_samples95(&cold_vals).point * 1e3,
+        ConfidenceInterval::from_samples95(&warm_vals).point * 1e3,
+        speedup.point,
+        speedup.lo,
+        speedup.hi,
     );
-    println!("share sweep written to BENCH_engine.json (prefix_cache section)");
+    println!("share sweep merged into {BENCH_PATH} (prefix_cache section)");
 }

@@ -4,26 +4,55 @@
 //! Client threads submit arrival-timestamped requests; the scheduler
 //! thread admits them into a running `BatchSession` at decode-step
 //! boundaries and streams tokens back as they are produced. Each
-//! request's wall-clock TTFT / Eq. 1 ITL / Eq. 2 throughput is printed,
-//! the run is verified bitwise against an offline single-session replay
-//! of the recorded admission order, and a three-rate load sweep is
-//! recorded to `BENCH_serve.json`.
+//! request's wall-clock TTFT / Eq. 1 ITL / Eq. 2 throughput is printed
+//! and the run is verified bitwise against an offline single-session
+//! replay of the recorded admission order.
+//!
+//! Two harness-driven studies land in `BENCH_serve.json`:
+//!
+//! * `load_sweep` — light / saturation / overload points, each a set of
+//!   seeded trials collapsed to 95% confidence intervals;
+//! * `slo_search` — goodput under SLO: bisect for the maximum
+//!   sustainable arrival rate whose SLO attainment stays above 90%,
+//!   once against the live runtime and once against the discrete-event
+//!   `ServingSimulator` on the same trace family (same request count,
+//!   same seeds), with each backend's SLO derived the same way from its
+//!   own light-load p95s. The goodput at the sustained rate is then
+//!   re-measured across trials for confidence bounds.
 //!
 //! ```sh
 //! cargo run --release --example serving_live
 //! ```
+//! `LLMIB_TRIALS` overrides the trial count (CI smoke uses 3).
 
+use llm_inference_bench::prelude::*;
+use llmib_bench::harness::{
+    max_sustainable_rate, run_trials, BenchDocument, ConfidenceInterval, Metric, RateSearch,
+    Section, SloEval, SloSpec, TrialConfig,
+};
 use llmib_engine::{EngineConfig, TransformerModel};
+use llmib_sched::{BatchingPolicy, ServingSimulator, SimConfig};
 use llmib_serve::{
     deterministic_prompt, replay_admission_order, replay_trace, ReplayOptions, ReplayedRequest,
     ServeConfig, ServeReport, Server,
 };
-use llmib_types::Request;
+use llmib_types::{LatencySample, Request, Seconds};
 use llmib_workloads::{SharedPrefix, TrafficProfile};
+use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 const N: usize = 12;
+const BENCH_PATH: &str = "BENCH_serve.json";
+const CREATED_BY: &str = "cargo run --release --example serving_live";
+
+fn trial_config() -> TrialConfig {
+    let trials = std::env::var("LLMIB_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    TrialConfig::new(trials, 1, 2024)
+}
 
 fn serve_config() -> ServeConfig {
     ServeConfig {
@@ -58,7 +87,137 @@ fn serve_trace(
     (report, replayed)
 }
 
+/// Derive a backend's SLO from its own light-load p95s: 3× TTFT and
+/// 2× ITL headroom, 90% of requests must attain. Deriving per backend
+/// is what makes the live runtime (CPU microseconds) and the simulated
+/// A100 (model milliseconds) searchable by identical machinery.
+fn derive_spec(light: &[LatencySample], makespan: Seconds) -> SloSpec {
+    let unconstrained = SloSpec::new(None, None, 0.9);
+    let eval = unconstrained.evaluate(light, makespan);
+    SloSpec::new(
+        Some(Seconds(3.0 * eval.ttft_p95.value())),
+        Some(Seconds(2.0 * eval.itl_p95.value())),
+        0.9,
+    )
+}
+
+/// One backend's goodput-under-SLO study: bisect for the max
+/// sustainable rate, then re-measure goodput/attainment at that rate
+/// across seeded trials for confidence bounds.
+struct SloStudy {
+    spec: SloSpec,
+    search_lo: f64,
+    search_hi: f64,
+    max_rate: f64,
+    converged: bool,
+    probes: Vec<(f64, SloEval)>,
+    goodput: ConfidenceInterval,
+    throughput: ConfidenceInterval,
+    attainment: ConfidenceInterval,
+}
+
+fn run_slo_study(
+    capacity: f64,
+    tc: &TrialConfig,
+    mut measure: impl FnMut(f64, u64) -> SloEval,
+) -> SloStudy {
+    // Light load (a quarter of burst capacity) defines the SLO via the
+    // measure closure's own samples — see `derive_spec` at the callers.
+    let search = RateSearch {
+        lo: 0.25 * capacity,
+        hi: 4.0 * capacity,
+        rel_tol: 0.1,
+        max_probes: 8,
+    };
+    let spec_probe_seed = 777;
+    let result = max_sustainable_rate(&search, |rate| measure(rate, spec_probe_seed));
+    let sustained = if result.max_rate > 0.0 {
+        result.max_rate
+    } else {
+        search.lo // even light load missed: record its goodput anyway
+    };
+    let mut throughput = Vec::new();
+    let mut attainment = Vec::new();
+    let set = run_trials(tc, |seed| {
+        let eval = measure(sustained, seed);
+        throughput.push(eval.throughput_tokens_per_s);
+        attainment.push(eval.attainment);
+        eval.goodput_tokens_per_s
+    });
+    let throughput = throughput.split_off(throughput.len() - tc.trials);
+    let attainment = attainment.split_off(attainment.len() - tc.trials);
+    SloStudy {
+        spec: SloSpec::new(None, None, 0.9), // caller fills the real spec
+        search_lo: search.lo,
+        search_hi: search.hi,
+        max_rate: result.max_rate,
+        converged: result.converged,
+        probes: result.probes.iter().map(|p| (p.rate, p.eval)).collect(),
+        goodput: set.ci95(),
+        throughput: ConfidenceInterval::from_samples95(&throughput),
+        attainment: ConfidenceInterval::from_samples95(&attainment),
+    }
+}
+
+fn study_to_fields(study: &SloStudy, section: &mut Section, prefix: &str, gate_attainment: bool) {
+    let probes: Vec<Value> = study
+        .probes
+        .iter()
+        .map(|(rate, eval)| {
+            Value::Object(vec![
+                ("rate_req_per_s".into(), Value::Float(*rate)),
+                ("attainment".into(), Value::Float(eval.attainment)),
+                (
+                    "goodput_tokens_per_s".into(),
+                    Value::Float(eval.goodput_tokens_per_s),
+                ),
+            ])
+        })
+        .collect();
+    let attainment_metric = {
+        let m = Metric::higher("fraction", study.attainment);
+        if gate_attainment {
+            m.gated()
+        } else {
+            m
+        }
+    };
+    section.set(
+        prefix,
+        Value::Object(vec![
+            ("slo".into(), study.spec.to_value()),
+            (
+                "search".into(),
+                Value::Object(vec![
+                    ("lo_req_per_s".into(), Value::Float(study.search_lo)),
+                    ("hi_req_per_s".into(), Value::Float(study.search_hi)),
+                    ("converged".into(), Value::Bool(study.converged)),
+                    ("probes".into(), Value::Array(probes)),
+                ]),
+            ),
+            (
+                "max_sustainable_rate_req_per_s".into(),
+                Value::Float(study.max_rate),
+            ),
+            (
+                "goodput_tokens_per_s".into(),
+                Metric::higher("tokens/s", study.goodput).to_value(),
+            ),
+            (
+                "throughput_tokens_per_s".into(),
+                Metric::higher("tokens/s", study.throughput).to_value(),
+            ),
+            (
+                "attainment_at_max_rate".into(),
+                attainment_metric.to_value(),
+            ),
+        ]),
+    );
+}
+
 fn main() {
+    let tc = trial_config();
+
     // The paper's Chat profile reaches ~1.8k-token contexts; widen the
     // tiny model's window so every sampled request fits.
     let cfg = EngineConfig {
@@ -159,41 +318,163 @@ fn main() {
         prefix_report.prefix.hits, prefix_report.prefix.saved_prefill_tokens,
     );
 
-    // Load sweep for BENCH_serve.json: light load, saturation, overload.
+    // --- Load sweep: light / saturation / overload, trials → CIs ---
     println!("\nload sweep (Chat profile, continuous batching):");
     println!(
-        "{:>10} {:>12} {:>12} {:>10}",
-        "req/s", "tok/s", "TTFT ms", "occupancy"
+        "{:>12} {:>10} {:>12} {:>12} {:>10}",
+        "load", "req/s", "tok/s (p50)", "TTFT ms", "occupancy"
     );
-    let mut points = Vec::new();
+    let mut sweep_points = Vec::new();
     for (label, mult) in [("light", 0.5), ("saturation", 2.0), ("overload", 8.0)] {
-        let rate = mult * capacity;
-        let trace = TrafficProfile::Chat.trace(N, rate, 2024);
-        let (rep, _) = serve_trace(&model, &trace, 1.0);
+        let point_rate = mult * capacity;
+        let mut ttft_ms = Vec::new();
+        let mut occupancy = Vec::new();
+        let set = run_trials(&tc, |seed| {
+            let trace = TrafficProfile::Chat.trace(N, point_rate, seed);
+            let (rep, _) = serve_trace(&model, &trace, 1.0);
+            ttft_ms.push(rep.mean_ttft.value() * 1e3);
+            occupancy.push(rep.mean_batch_occupancy);
+            rep.throughput_tokens_per_s
+        });
+        let ttft_ms = ttft_ms.split_off(ttft_ms.len() - tc.trials);
+        let occupancy = occupancy.split_off(occupancy.len() - tc.trials);
+        let tps = set.ci95();
+        let ttft = ConfidenceInterval::from_samples95(&ttft_ms);
         println!(
-            "{:>10.1} {:>12.0} {:>12.1} {:>10.1}",
-            rate,
-            rep.throughput_tokens_per_s,
-            rep.mean_ttft.value() * 1e3,
-            rep.mean_batch_occupancy,
+            "{:>12} {:>10.1} {:>12.0} {:>12.1} {:>10.1}",
+            label,
+            point_rate,
+            tps.point,
+            ttft.point,
+            ConfidenceInterval::from_samples95(&occupancy).point,
         );
-        points.push(format!(
-            "    {{ \"load\": \"{label}\", \"rate_per_s\": {rate:.2}, \
-             \"aggregate_tokens_per_s\": {:.1}, \"mean_ttft_ms\": {:.2}, \
-             \"mean_batch_occupancy\": {:.2} }}",
-            rep.throughput_tokens_per_s,
-            rep.mean_ttft.value() * 1e3,
-            rep.mean_batch_occupancy,
-        ));
+        sweep_points.push(Value::Object(vec![
+            ("load".into(), Value::Str(label.into())),
+            ("rate_req_per_s".into(), Value::Float(point_rate)),
+            (
+                "aggregate_tokens_per_s".into(),
+                Metric::higher("tokens/s", tps).to_value(),
+            ),
+            ("mean_ttft_ms".into(), Metric::lower("ms", ttft).to_value()),
+            (
+                "mean_batch_occupancy".into(),
+                Metric::higher("sequences", ConfidenceInterval::from_samples95(&occupancy))
+                    .to_value(),
+            ),
+        ]));
     }
-    let json = format!(
-        "{{\n  \"created_by\": \"examples/serving_live.rs\",\n  \
-         \"config\": \"tiny (max_seq=2048), Chat profile, {N} requests, \
-         max_concurrency=8, paged(16)\",\n  \
-         \"measured_capacity_req_per_s\": {capacity:.2},\n  \
-         \"points\": [\n{}\n  ]\n}}\n",
-        points.join(",\n")
+
+    // --- Goodput under SLO, live runtime ---
+    let light_trace = TrafficProfile::Chat.trace(N, 0.25 * capacity, 777);
+    let (light_report, _) = serve_trace(&model, &light_trace, 1.0);
+    let live_spec = derive_spec(&light_report.latency_samples(), light_report.makespan);
+    let mut live_study = run_slo_study(capacity, &tc, |probe_rate, seed| {
+        let trace = TrafficProfile::Chat.trace(N, probe_rate, seed);
+        let (rep, _) = serve_trace(&model, &trace, 1.0);
+        live_spec.evaluate(&rep.latency_samples(), rep.makespan)
+    });
+    live_study.spec = live_spec;
+    println!(
+        "\ngoodput under SLO (live): max sustainable rate {:.1} req/s \
+         (converged: {}), goodput {:.0} tok/s [{:.0}, {:.0}]",
+        live_study.max_rate,
+        live_study.converged,
+        live_study.goodput.point,
+        live_study.goodput.lo,
+        live_study.goodput.hi,
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("\nwrote BENCH_serve.json");
+
+    // --- Goodput under SLO, discrete-event simulator, same trace
+    // family (same N, same seeds) at paper scale ---
+    let perf = PerfModel::default_calibration();
+    let scenario = Scenario::builder()
+        .model(ModelId::Llama3_8b)
+        .hardware(HardwareId::A100)
+        .framework(FrameworkId::Vllm)
+        .batch_size(16)
+        .input_tokens(256)
+        .output_tokens(128)
+        .build()
+        .expect("valid scenario");
+    let resolved = perf.resolve_scenario(&scenario).expect("resolvable");
+    let sim = ServingSimulator::new(SimConfig {
+        policy: BatchingPolicy::Continuous,
+        max_concurrency: 8,
+        kv_capacity_tokens: 1 << 15,
+        kv_block_tokens: Some(16),
+    });
+    let sim_run = |rate: f64, seed: u64| {
+        let trace = TrafficProfile::Chat.trace(N, rate, seed);
+        sim.run(trace, &resolved)
+    };
+    let sim_burst = sim.run(TrafficProfile::Chat.trace(N, 1e6, 7), &resolved);
+    let sim_capacity = f64::from(sim_burst.completed) / sim_burst.makespan.value();
+    let sim_light = sim_run(0.25 * sim_capacity, 777);
+    let sim_spec = derive_spec(&sim_light.per_request, sim_light.makespan);
+    let mut sim_study = run_slo_study(sim_capacity, &tc, |probe_rate, seed| {
+        let rep = sim_run(probe_rate, seed);
+        sim_spec.evaluate(&rep.per_request, rep.makespan)
+    });
+    sim_study.spec = sim_spec;
+    println!(
+        "goodput under SLO (sim, Llama3-8B/A100/vLLM): max sustainable rate \
+         {:.1} req/s (converged: {}), goodput {:.0} tok/s [{:.0}, {:.0}]",
+        sim_study.max_rate,
+        sim_study.converged,
+        sim_study.goodput.point,
+        sim_study.goodput.lo,
+        sim_study.goodput.hi,
+    );
+    println!(
+        "reconciled: both backends searched with identical harness machinery \
+         and per-backend SLOs (3x/2x light-load p95s, 90% attainment)"
+    );
+
+    // --- Merge sections into BENCH_serve.json ---
+    let mut doc = BenchDocument::load_or_new(BENCH_PATH);
+    let mut sweep = Section::new(
+        "load_sweep",
+        CREATED_BY,
+        &format!("tiny (max_seq=2048), Chat profile, {N} requests, max_concurrency=8, paged(16)"),
+    )
+    .field(
+        "measured_capacity_req_per_s",
+        Value::Float((capacity * 100.0).round() / 100.0),
+    )
+    .field(
+        "trials",
+        Value::Object(vec![
+            ("count".into(), Value::Int(tc.trials as i64)),
+            ("warmup".into(), Value::Int(tc.warmup as i64)),
+            ("base_seed".into(), Value::Int(tc.base_seed as i64)),
+        ]),
+    );
+    sweep.set("points", Value::Array(sweep_points));
+    doc.merge_section(sweep);
+
+    let mut slo_section = Section::new(
+        "slo_search",
+        CREATED_BY,
+        "bisect max sustainable Chat-profile rate; per-backend SLO = 3x TTFT p95 \
+         and 2x ITL p95 of that backend's light-load run, 90% attainment",
+    )
+    .field(
+        "trials",
+        Value::Object(vec![
+            ("count".into(), Value::Int(tc.trials as i64)),
+            ("warmup".into(), Value::Int(tc.warmup as i64)),
+            ("base_seed".into(), Value::Int(tc.base_seed as i64)),
+        ]),
+    );
+    study_to_fields(&live_study, &mut slo_section, "live", false);
+    study_to_fields(
+        &sim_study,
+        &mut slo_section,
+        "sim_llama3_8b_a100_vllm",
+        true,
+    );
+    doc.merge_section(slo_section);
+
+    doc.write(BENCH_PATH).expect("write BENCH_serve.json");
+    println!("\nwrote {BENCH_PATH} (load_sweep, slo_search)");
 }
