@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod allocator;
+mod overload;
 mod simulator;
 mod sweep;
 
 pub use allocator::{AllocStats, KvAllocator, MonolithicAllocator, PagedAllocator};
-pub use llmib_types::{Request, RequestState};
+pub use llmib_types::{Priority, Request, RequestState};
+pub use overload::{BrownoutConfig, BrownoutController, ClassCounters, OverloadConfig};
 pub use simulator::{
     ArrivalPattern, BatchingPolicy, ReplicatedReport, ServingReport, ServingSimulator, SimConfig,
 };

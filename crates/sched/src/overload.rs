@@ -1,0 +1,360 @@
+//! Overload-survival policy shared by both serving backends.
+//!
+//! The live `llmib-serve` scheduler and the discrete-event
+//! [`crate::ServingSimulator`] run the *same* overload machinery so
+//! their counters reconcile exactly on an identical trace:
+//!
+//! * **Priority preemption** — when a higher-class request cannot
+//!   reserve KV, the scheduler evicts the youngest running sequence of
+//!   the lowest class strictly below the preemptor's and re-admits it
+//!   later by prefix replay (its generated tokens fold into the prompt,
+//!   vLLM recompute-on-preempt style). Greedy decode through one shared
+//!   kernel is independent of batch composition, so the resumed stream
+//!   is bitwise identical to an uncontended run.
+//! * **Brownout** — a deterministic degradation ladder driven by
+//!   admission starvation at decode-step boundaries, with step-count
+//!   hysteresis (no wall clock, so the simulator replays it exactly):
+//!   level 1 clamps `max_new_tokens` for best-effort admissions, level
+//!   2 additionally sheds queued best-effort requests outright.
+//!
+//! Victim selection, the degradation ladder and every counter live
+//! here; the backends only differ in *what* they schedule (real engine
+//! steps vs. simulated clock advances).
+
+use llmib_types::Priority;
+use serde::Serialize;
+
+/// Brownout controller knobs. Disabled by default; both backends run
+/// the identical controller when enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BrownoutConfig {
+    /// Master switch; `false` preserves the all-or-nothing behavior.
+    pub enabled: bool,
+    /// Consecutive starved decode steps before escalating one level.
+    pub trip_after: u32,
+    /// Consecutive healthy decode steps before de-escalating one level.
+    pub recover_after: u32,
+    /// Level ≥ 1 clamp on `max_new_tokens` for newly admitted
+    /// best-effort requests (never applied to replays, which must keep
+    /// their remaining budget to stay bitwise identical).
+    pub degraded_max_new_tokens: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            trip_after: 4,
+            recover_after: 8,
+            degraded_max_new_tokens: 8,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Validate the knobs; both backends call this at construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.trip_after == 0 {
+            return Err("brownout trip_after must be > 0".into());
+        }
+        if self.recover_after == 0 {
+            return Err("brownout recover_after must be > 0".into());
+        }
+        if self.degraded_max_new_tokens == 0 {
+            return Err("brownout degraded_max_new_tokens must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// The overload-survival policy block: preemption plus brownout.
+/// Fully disabled by default so existing configurations keep their
+/// exact behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct OverloadConfig {
+    /// Allow preempting running lower-class sequences when a
+    /// higher-class request cannot reserve KV.
+    pub preemption: bool,
+    /// Brownout degradation ladder.
+    pub brownout: BrownoutConfig,
+}
+
+impl OverloadConfig {
+    /// Whether any overload machinery is active.
+    pub fn active(&self) -> bool {
+        self.preemption || self.brownout.enabled
+    }
+
+    /// Validate the policy block.
+    pub fn validate(&self) -> Result<(), String> {
+        self.brownout.validate()
+    }
+}
+
+/// Deterministic brownout ladder with step-count hysteresis.
+///
+/// The signal is *admission starvation*: a decode step is starved when
+/// the admission pass left an arrived request unadmitted because KV
+/// reservation failed even after preemption. `trip_after` consecutive
+/// starved steps escalate one level (max 2); `recover_after`
+/// consecutive healthy steps de-escalate one. Opposite samples reset
+/// the run counters, so a series oscillating around the threshold
+/// never flaps the level every step — mirroring the circuit breaker's
+/// HalfOpen→Closed discipline, but on the step clock instead of wall
+/// time so the simulator replays it exactly.
+#[derive(Debug, Clone)]
+pub struct BrownoutController {
+    config: BrownoutConfig,
+    level: u8,
+    starved_run: u32,
+    healthy_run: u32,
+    /// Level escalations performed.
+    pub trips: u32,
+    /// Level de-escalations performed.
+    pub recoveries: u32,
+    /// Decode steps observed while degraded (level > 0), counted
+    /// before the step's own transition applies.
+    pub brownout_steps: u64,
+}
+
+impl BrownoutController {
+    /// Maximum degradation level.
+    pub const MAX_LEVEL: u8 = 2;
+
+    /// New controller at level 0.
+    pub fn new(config: BrownoutConfig) -> Self {
+        Self {
+            config,
+            level: 0,
+            starved_run: 0,
+            healthy_run: 0,
+            trips: 0,
+            recoveries: 0,
+            brownout_steps: 0,
+        }
+    }
+
+    /// Current degradation level (0 = normal, 1 = clamp best-effort
+    /// budgets, 2 = shed queued best-effort).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Feed one decode step's starvation sample through the ladder.
+    pub fn observe_step(&mut self, starved: bool) {
+        if !self.config.enabled {
+            return;
+        }
+        if self.level > 0 {
+            self.brownout_steps += 1;
+        }
+        if starved {
+            self.starved_run += 1;
+            self.healthy_run = 0;
+            if self.starved_run >= self.config.trip_after && self.level < Self::MAX_LEVEL {
+                self.level += 1;
+                self.trips += 1;
+                self.starved_run = 0;
+            }
+        } else {
+            self.healthy_run += 1;
+            self.starved_run = 0;
+            if self.healthy_run >= self.config.recover_after && self.level > 0 {
+                self.level -= 1;
+                self.recoveries += 1;
+                self.healthy_run = 0;
+            }
+        }
+    }
+
+    /// The `max_new_tokens` budget a *first* admission of `priority`
+    /// gets under the current level (replays keep their remaining
+    /// budget untouched).
+    pub fn clamp_max_new(&self, priority: Priority, requested: usize) -> usize {
+        if self.config.enabled && self.level >= 1 && priority == Priority::BestEffort {
+            requested.min(self.config.degraded_max_new_tokens)
+        } else {
+            requested
+        }
+    }
+
+    /// Whether a queued first admission of `priority` should be shed
+    /// outright at the current level (replays are never shed: their
+    /// streams must complete to stay bitwise comparable).
+    pub fn should_shed(&self, priority: Priority) -> bool {
+        self.config.enabled && self.level >= Self::MAX_LEVEL && priority == Priority::BestEffort
+    }
+}
+
+/// Per-priority-class counters, indexed by [`Priority::index`]
+/// (0 = best-effort, 1 = standard, 2 = interactive). Both serving
+/// backends fill the same block so a reconciliation test can assert
+/// exact equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ClassCounters {
+    /// Requests finished, per class.
+    pub completed: [u32; 3],
+    /// Preemption events, per victim class.
+    pub preemptions: [u32; 3],
+    /// Generated tokens folded into replay prefills, per victim class.
+    pub replayed_tokens: [u64; 3],
+    /// Requests shed by brownout level 2, per class.
+    pub shed: [u32; 3],
+}
+
+impl ClassCounters {
+    /// Sum another block into this one (pool aggregation).
+    pub fn merge(&mut self, other: &ClassCounters) {
+        for i in 0..3 {
+            self.completed[i] += other.completed[i];
+            self.preemptions[i] += other.preemptions[i];
+            self.replayed_tokens[i] += other.replayed_tokens[i];
+            self.shed[i] += other.shed[i];
+        }
+    }
+
+    /// Total preemption events across classes.
+    pub fn total_preemptions(&self) -> u32 {
+        self.preemptions.iter().sum()
+    }
+
+    /// Total replayed tokens across classes.
+    pub fn total_replayed_tokens(&self) -> u64 {
+        self.replayed_tokens.iter().sum()
+    }
+
+    /// Total brownout sheds across classes.
+    pub fn total_shed(&self) -> u32 {
+        self.shed.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(trip_after: u32, recover_after: u32) -> BrownoutConfig {
+        BrownoutConfig {
+            enabled: true,
+            trip_after,
+            recover_after,
+            degraded_max_new_tokens: 4,
+        }
+    }
+
+    #[test]
+    fn disabled_controller_never_degrades() {
+        let mut c = BrownoutController::new(BrownoutConfig::default());
+        for _ in 0..100 {
+            c.observe_step(true);
+        }
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.trips, 0);
+        assert_eq!(c.brownout_steps, 0);
+        assert_eq!(c.clamp_max_new(Priority::BestEffort, 99), 99);
+        assert!(!c.should_shed(Priority::BestEffort));
+    }
+
+    #[test]
+    fn sustained_starvation_climbs_the_ladder_and_recovers() {
+        let mut c = BrownoutController::new(enabled(3, 2));
+        for _ in 0..3 {
+            c.observe_step(true);
+        }
+        assert_eq!(c.level(), 1, "trip_after starved steps reach level 1");
+        assert_eq!(c.clamp_max_new(Priority::BestEffort, 99), 4);
+        assert_eq!(
+            c.clamp_max_new(Priority::Interactive, 99),
+            99,
+            "only best-effort is clamped"
+        );
+        assert!(!c.should_shed(Priority::BestEffort), "level 1 never sheds");
+        for _ in 0..3 {
+            c.observe_step(true);
+        }
+        assert_eq!(c.level(), 2, "sustained starvation reaches level 2");
+        assert!(c.should_shed(Priority::BestEffort));
+        assert!(!c.should_shed(Priority::Standard));
+        for _ in 0..4 {
+            c.observe_step(false);
+        }
+        assert_eq!(c.level(), 0, "hysteretic recovery walks back down");
+        assert_eq!(c.trips, 2);
+        assert_eq!(c.recoveries, 2);
+        assert!(c.brownout_steps > 0);
+    }
+
+    #[test]
+    fn oscillating_health_series_does_not_flap_the_level() {
+        // The satellite property: a series that alternates around the
+        // threshold must not change the level every step — opposite
+        // samples reset the hysteresis runs, exactly like the breaker's
+        // HalfOpen recovery counting.
+        let mut c = BrownoutController::new(enabled(3, 3));
+        let mut transitions = 0u32;
+        let mut last = c.level();
+        for i in 0..200 {
+            c.observe_step(i % 2 == 0); // starved, healthy, starved, ...
+            if c.level() != last {
+                transitions += 1;
+                last = c.level();
+            }
+        }
+        assert_eq!(c.level(), 0, "alternating samples never sustain a trip run");
+        assert_eq!(transitions, 0, "the level must not flap");
+        assert_eq!(c.trips, 0);
+        assert_eq!(c.recoveries, 0);
+    }
+
+    #[test]
+    fn brownout_steps_count_degraded_steps_only() {
+        let mut c = BrownoutController::new(enabled(2, 2));
+        c.observe_step(true);
+        c.observe_step(true); // trips to level 1 after this step
+        assert_eq!(c.level(), 1);
+        assert_eq!(
+            c.brownout_steps, 0,
+            "the tripping step itself observed level 0"
+        );
+        c.observe_step(false);
+        c.observe_step(false); // recovers after this step
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.brownout_steps, 2, "both level-1 steps counted");
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_knobs() {
+        assert!(BrownoutConfig::default().validate().is_ok());
+        let mut cfg = enabled(0, 2);
+        assert!(cfg.validate().is_err());
+        cfg = enabled(2, 0);
+        assert!(cfg.validate().is_err());
+        cfg = enabled(2, 2);
+        cfg.degraded_max_new_tokens = 0;
+        assert!(cfg.validate().is_err());
+        cfg.degraded_max_new_tokens = 1;
+        assert!(cfg.validate().is_ok());
+        assert!(OverloadConfig::default().validate().is_ok());
+        assert!(!OverloadConfig::default().active());
+    }
+
+    #[test]
+    fn class_counters_merge_and_totals() {
+        let mut a = ClassCounters::default();
+        a.preemptions[0] = 2;
+        a.replayed_tokens[0] = 10;
+        a.shed[0] = 1;
+        a.completed[2] = 5;
+        let mut b = ClassCounters::default();
+        b.preemptions[0] = 1;
+        b.replayed_tokens[1] = 3;
+        a.merge(&b);
+        assert_eq!(a.total_preemptions(), 3);
+        assert_eq!(a.total_replayed_tokens(), 13);
+        assert_eq!(a.total_shed(), 1);
+        assert_eq!(a.completed[2], 5);
+    }
+}

@@ -1,9 +1,10 @@
 //! The discrete-event serving loop.
 
 use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
+use crate::overload::{BrownoutController, ClassCounters, OverloadConfig};
 use llmib_perf::ResolvedScenario;
 use llmib_types::{
-    stats, FaultKind, FaultPlan, LatencySample, ReplicaFaultPlan, Request, RequestState,
+    stats, FaultKind, FaultPlan, LatencySample, Priority, ReplicaFaultPlan, Request, RequestState,
     RetryPolicy, Seconds,
 };
 use rand::rngs::StdRng;
@@ -113,6 +114,17 @@ pub struct ServingReport {
     pub prefix_hits: u32,
     /// Prompt tokens whose prefill was skipped via prefix-cache hits.
     pub saved_prefill_tokens: u64,
+    /// Generated tokens folded into replay prefills by priority
+    /// preemptions (overload mode only; zero otherwise).
+    pub replayed_tokens: u64,
+    /// Decode steps observed while the brownout ladder was degraded
+    /// (level > 0).
+    pub brownout_steps: u64,
+    /// Queued best-effort requests shed outright by brownout level 2.
+    pub brownout_sheds: u32,
+    /// Per-priority-class breakdown (completed always filled;
+    /// preemption/replay/shed only by the overload machinery).
+    pub per_class: ClassCounters,
     /// Per-request latency observation of every finished request, in
     /// request-id order — the same [`LatencySample`] shape the live
     /// `llmib-serve` report derives, so one SLO spec can be evaluated
@@ -206,17 +218,65 @@ fn insert_by_arrival(queue: &mut VecDeque<usize>, idx: usize, requests: &[Reques
     queue.insert(pos, idx);
 }
 
+/// Keep a queue ordered by priority class (higher first, FIFO within a
+/// class): insert before the first entry of *strictly* lower class.
+/// Both serving backends use this exact rule so their admission orders
+/// match under overload.
+fn insert_by_priority(queue: &mut VecDeque<usize>, idx: usize, requests: &[Request]) {
+    let pri = requests[idx].priority;
+    let pos = queue
+        .iter()
+        .position(|&q| requests[q].priority < pri)
+        .unwrap_or(queue.len());
+    queue.insert(pos, idx);
+}
+
+/// Preemption victim among `running` for a preemptor of class
+/// `preemptor`: the lowest class strictly below it, youngest admission
+/// (max `seq_of`) within that class. Returns the position in `running`.
+fn pick_victim(
+    running: &[usize],
+    requests: &[Request],
+    seq_of: &[u64],
+    preemptor: Priority,
+) -> Option<usize> {
+    running
+        .iter()
+        .enumerate()
+        .filter(|&(_, &idx)| requests[idx].priority < preemptor)
+        .min_by_key(|&(_, &idx)| (requests[idx].priority, std::cmp::Reverse(seq_of[idx])))
+        .map(|(pos, _)| pos)
+}
+
 /// The serving simulator.
 #[derive(Debug)]
 pub struct ServingSimulator {
     config: SimConfig,
+    overload: Option<OverloadConfig>,
 }
 
 impl ServingSimulator {
     /// Create a simulator with the given configuration.
     pub fn new(config: SimConfig) -> Self {
         assert!(config.max_concurrency > 0);
-        Self { config }
+        Self {
+            config,
+            overload: None,
+        }
+    }
+
+    /// Enable the overload-survival mirror: priority-ordered admission
+    /// with the live runtime's *reservation* discipline (max context
+    /// rounded up to blocks, charged against the pool upfront — the
+    /// exact `KvBudget` arithmetic), priority preemption by eviction
+    /// with prefix-replay re-admission, and the shared
+    /// [`BrownoutController`] ladder. Counters then reconcile exactly
+    /// with an `llmib-serve` run of the same trace. Prefix caching is
+    /// not modeled in this mode (the live budget charges full prompts).
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        overload.validate().expect("invalid overload configuration");
+        self.overload = Some(overload);
+        self
     }
 
     /// Run `requests` to completion against the step costs of `perf`.
@@ -245,6 +305,9 @@ impl ServingSimulator {
         perf: &ResolvedScenario,
         plan: &FaultPlan,
     ) -> ServingReport {
+        if let Some(overload) = self.overload {
+            return self.run_overload(requests, perf, plan, &overload);
+        }
         requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
         let mut alloc = self.new_alloc();
 
@@ -529,6 +592,396 @@ impl ServingSimulator {
                 hits: prefix_hits,
                 saved_tokens: saved_prefill_tokens,
             },
+            OverloadTally::default(),
+        )
+    }
+
+    /// The overload-mode serving loop: the same discrete-event clock as
+    /// [`ServingSimulator::run_with_faults`], but admission mirrors the
+    /// live `llmib-serve` scheduler exactly —
+    ///
+    /// * requests wait in a **priority-ordered** ready queue (higher
+    ///   class first, FIFO within a class),
+    /// * admission **reserves** the block-rounded maximum context
+    ///   upfront (the live `KvBudget` arithmetic), so mid-decode
+    ///   appends never fail,
+    /// * a reservation failure **preempts** the youngest running
+    ///   sequence of the lowest class strictly below the preemptor's:
+    ///   its generated tokens fold into the prompt as a replay prefill
+    ///   and it re-enters the ready queue (counted in `preemptions` /
+    ///   `replayed_tokens`, per class),
+    /// * each decode step feeds the shared [`BrownoutController`] an
+    ///   admission-starvation sample; level 1 clamps best-effort
+    ///   budgets at first admission, level 2 sheds queued best-effort.
+    fn run_overload(
+        &self,
+        mut requests: Vec<Request>,
+        perf: &ResolvedScenario,
+        plan: &FaultPlan,
+        overload: &OverloadConfig,
+    ) -> ServingReport {
+        requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
+        let n = requests.len();
+        let total = n as u32;
+        let mut alloc = self.new_alloc();
+        let block = u64::from(self.config.kv_block_tokens.unwrap_or(1).max(1));
+        let capacity = self.config.kv_capacity_tokens;
+        let cost = |max_context: u32| u64::from(max_context).div_ceil(block) * block;
+        let mut brownout = BrownoutController::new(overload.brownout);
+
+        // Not-yet-arrived (arrival order) vs. arrived (priority order).
+        let mut pending: VecDeque<usize> = (0..n).collect();
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut running: Vec<usize> = Vec::new();
+        let mut now = Seconds::ZERO;
+        // The live KvBudget's reservation ledger, mirrored exactly.
+        let mut reserved = 0u64;
+        let mut cost_of = vec![0u64; n];
+        // Admission sequence numbers (incremented on every admission,
+        // replays included) — the victim tie-break both backends share.
+        let mut seq_of = vec![0u64; n];
+        let mut next_seq = 0u64;
+        // A replayed victim keeps its remaining budget (never clamped)
+        // and is never brownout-shed: its stream must complete.
+        let mut replay = vec![false; n];
+
+        let mut preemptions = 0u32;
+        let mut rejected = 0u32;
+        let mut sheds = 0u32;
+        let mut decode_steps = 0u64;
+        let mut occupancy_acc = 0.0f64;
+        let mut peak_util = 0.0f64;
+        let mut completed = 0u32;
+        let mut per_class = ClassCounters::default();
+        let mut replayed_tokens = 0u64;
+
+        let retry = RetryPolicy::default();
+        let mut next_event = 0usize;
+        let mut poisoned: Vec<u64> = Vec::new();
+        let mut pressure: Option<(f64, u64)> = None;
+        let mut failed = 0u32;
+        let mut retries = 0u32;
+        let mut faults_injected = 0u32;
+
+        'serve: while completed + rejected + failed + sheds < total {
+            // --- Fault activation (decode-step clock, *before* intake:
+            //     a stall's clock advance makes arrivals visible — the
+            //     live overload scheduler drains its pending stall at
+            //     the same loop point) ---
+            while let Some(ev) = plan.events().get(next_event) {
+                if ev.at_step > decode_steps {
+                    break;
+                }
+                faults_injected += 1;
+                next_event += 1;
+                match ev.kind {
+                    FaultKind::StepStall { extra } => {
+                        now += Seconds(extra.value().max(0.0));
+                    }
+                    FaultKind::TransientStepError { failures } => {
+                        if failures > retry.max_retries {
+                            for idx in running.drain(..) {
+                                let r = &mut requests[idx];
+                                alloc.release(r.id);
+                                reserved -= cost_of[idx];
+                                r.state = RequestState::Failed;
+                                failed += 1;
+                            }
+                        } else {
+                            for attempt in 1..=failures {
+                                now += retry.backoff(attempt, plan.seed ^ decode_steps);
+                                retries += 1;
+                            }
+                        }
+                    }
+                    FaultKind::RequestPoison { request } => poisoned.push(request),
+                    FaultKind::MemoryPressure {
+                        capacity_factor,
+                        steps,
+                    } => pressure = Some((capacity_factor.clamp(0.01, 1.0), steps.max(1))),
+                    FaultKind::SchedulerPanic => {
+                        // Terminal: the ledger dies with the scheduler,
+                        // so only the allocator needs releasing.
+                        for idx in pending.drain(..).chain(ready.drain(..)) {
+                            requests[idx].state = RequestState::Failed;
+                            failed += 1;
+                        }
+                        for idx in running.drain(..) {
+                            let r = &mut requests[idx];
+                            alloc.release(r.id);
+                            r.state = RequestState::Failed;
+                            failed += 1;
+                        }
+                        break 'serve;
+                    }
+                }
+            }
+            // --- Poison eviction (decoding victims only) ---
+            if !poisoned.is_empty() {
+                let mut i = 0;
+                while i < running.len() {
+                    let id = requests[running[i]].id;
+                    if let Some(pos) = poisoned.iter().position(|&p| p == id) {
+                        poisoned.swap_remove(pos);
+                        let idx = running.swap_remove(i);
+                        let r = &mut requests[idx];
+                        alloc.release(r.id);
+                        reserved -= cost_of[idx];
+                        r.state = RequestState::Failed;
+                        failed += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // --- Intake: arrived requests move to the priority-ordered
+            //     ready queue (the live waiting queue), with the live
+            //     oversized screen applied at the door ---
+            while let Some(&idx) = pending.front() {
+                if requests[idx].arrival.value() > now.value() {
+                    break;
+                }
+                pending.pop_front();
+                if cost(requests[idx].max_context()) > capacity {
+                    requests[idx].state = RequestState::Rejected;
+                    rejected += 1;
+                    continue;
+                }
+                insert_by_priority(&mut ready, idx, &requests);
+            }
+            // --- Admission (the live `Scheduler::admit` mirrored) ---
+            let may_admit = match self.config.policy {
+                BatchingPolicy::Continuous => true,
+                BatchingPolicy::Static => running.is_empty(),
+            };
+            let mut starved = false;
+            let mut newly_admitted: Vec<(usize, u32)> = Vec::new();
+            if may_admit {
+                // Brownout level 2: shed queued best-effort first
+                // admissions outright (never replays — their streams
+                // must complete to stay bitwise comparable).
+                if brownout.level() >= BrownoutController::MAX_LEVEL {
+                    let shed: Vec<usize> = ready
+                        .iter()
+                        .copied()
+                        .filter(|&idx| !replay[idx] && brownout.should_shed(requests[idx].priority))
+                        .collect();
+                    ready.retain(|idx| !shed.contains(idx));
+                    for idx in shed {
+                        let r = &mut requests[idx];
+                        r.state = RequestState::Rejected;
+                        per_class.shed[r.priority.index()] += 1;
+                        sheds += 1;
+                    }
+                }
+                'admit: while running.len() + newly_admitted.len()
+                    < self.config.max_concurrency as usize
+                {
+                    let Some(&idx) = ready.front() else { break };
+                    // Budget for this admission: replays keep their
+                    // remaining tokens; first admissions may be clamped
+                    // by brownout level 1. The clamp is applied only if
+                    // the admission succeeds, like the live scheduler.
+                    let out = if replay[idx] {
+                        requests[idx].output_tokens
+                    } else {
+                        brownout.clamp_max_new(
+                            requests[idx].priority,
+                            requests[idx].output_tokens as usize,
+                        ) as u32
+                    };
+                    let max_context = requests[idx].prompt_tokens + out;
+                    let c = cost(max_context);
+                    let effective = match pressure {
+                        Some((factor, _)) => (capacity as f64 * factor).floor() as u64,
+                        None => capacity,
+                    };
+                    if reserved + c > effective || !alloc.can_admit(max_context) {
+                        // Preempt the youngest running sequence of the
+                        // lowest class strictly below the preemptor's:
+                        // fold its stream into a replay prefill and
+                        // retry the same front.
+                        if overload.preemption {
+                            if let Some(pos) =
+                                pick_victim(&running, &requests, &seq_of, requests[idx].priority)
+                            {
+                                let vidx = running.swap_remove(pos);
+                                // Eviction for any reason cancels a
+                                // pending poison — the live injector's
+                                // `evict` contract, mirrored so both
+                                // backends agree on a preempted victim's
+                                // fate.
+                                poisoned.retain(|&p| p != requests[vidx].id);
+                                let v = &mut requests[vidx];
+                                alloc.release(v.id);
+                                reserved -= cost_of[vidx];
+                                preemptions += 1;
+                                per_class.preemptions[v.priority.index()] += 1;
+                                per_class.replayed_tokens[v.priority.index()] +=
+                                    u64::from(v.generated);
+                                replayed_tokens += u64::from(v.generated);
+                                v.prompt_tokens += v.generated;
+                                v.output_tokens -= v.generated;
+                                v.generated = 0;
+                                v.state = RequestState::Queued;
+                                replay[vidx] = true;
+                                insert_by_priority(&mut ready, vidx, &requests);
+                                continue 'admit;
+                            }
+                        }
+                        // The live idle-shed: an idle, unpressured pool
+                        // that still cannot hold the front can never
+                        // hold it — shed it and keep going.
+                        if running.is_empty()
+                            && newly_admitted.is_empty()
+                            && reserved == 0
+                            && pressure.is_none()
+                        {
+                            ready.pop_front();
+                            requests[idx].state = RequestState::Rejected;
+                            rejected += 1;
+                            continue 'admit;
+                        }
+                        starved = true;
+                        break;
+                    }
+                    if alloc.admit(requests[idx].id, max_context).is_err() {
+                        starved = true;
+                        break;
+                    }
+                    if alloc
+                        .append(requests[idx].id, requests[idx].prompt_tokens)
+                        .is_err()
+                    {
+                        alloc.release(requests[idx].id);
+                        starved = true;
+                        break;
+                    }
+                    ready.pop_front();
+                    requests[idx].output_tokens = out;
+                    reserved += c;
+                    cost_of[idx] = c;
+                    next_seq += 1;
+                    seq_of[idx] = next_seq;
+                    newly_admitted.push((idx, requests[idx].prompt_tokens));
+                }
+            }
+            if !newly_admitted.is_empty() {
+                let k = newly_admitted.len() as u32;
+                let mean_prompt = (newly_admitted
+                    .iter()
+                    .map(|&(_, prefill)| u64::from(prefill))
+                    .sum::<u64>()
+                    / u64::from(k)) as u32;
+                now += perf.prefill_time(k, mean_prompt.max(1));
+                for (idx, _) in newly_admitted {
+                    requests[idx].state = RequestState::Decoding;
+                    running.push(idx);
+                }
+            }
+
+            if running.is_empty() {
+                if let Some(&idx) = pending.front() {
+                    // Intake drained everything arrived, so the front's
+                    // arrival is in the future: jump to it.
+                    now = Seconds(now.value().max(requests[idx].arrival.value()));
+                    continue;
+                }
+                match ready.front() {
+                    Some(&idx) => {
+                        // Arrived work an idle pool still cannot admit
+                        // (pressure window or fragmentation): shed it
+                        // to guarantee progress, like the base loop.
+                        ready.pop_front();
+                        requests[idx].state = RequestState::Rejected;
+                        rejected += 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // --- One decode step ---
+            let batch = running.len() as u32;
+            let ctx_avg = (running
+                .iter()
+                .map(|&i| u64::from(requests[i].context()))
+                .sum::<u64>()
+                / u64::from(batch)) as u32;
+            now += perf.decode_step_time(batch, ctx_avg);
+            decode_steps += 1;
+            occupancy_acc += f64::from(batch);
+
+            // Reservation makes appends infallible; a failure is the
+            // accounting bug the live runtime fails per-request.
+            let mut i = 0;
+            while i < running.len() {
+                let idx = running[i];
+                let id = requests[idx].id;
+                match alloc.append(id, 1) {
+                    Ok(()) => {
+                        let r = &mut requests[idx];
+                        r.generated += 1;
+                        if r.first_token_at.is_none() {
+                            r.first_token_at = Some(now);
+                        }
+                        i += 1;
+                    }
+                    Err(_) => {
+                        running.swap_remove(i);
+                        let r = &mut requests[idx];
+                        alloc.release(r.id);
+                        reserved -= cost_of[idx];
+                        r.state = RequestState::Failed;
+                        failed += 1;
+                    }
+                }
+            }
+
+            peak_util = peak_util.max(alloc.stats().utilization());
+            // One starvation sample per completed decode step — the
+            // shared ladder both backends drive identically.
+            brownout.observe_step(starved);
+
+            // --- Completions ---
+            running.retain(|&idx| {
+                let r = &mut requests[idx];
+                if r.generated >= r.output_tokens {
+                    r.state = RequestState::Finished;
+                    r.finished_at = Some(now);
+                    alloc.release(r.id);
+                    reserved -= cost_of[idx];
+                    completed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        self.report(
+            &requests,
+            now,
+            decode_steps,
+            occupancy_acc,
+            peak_util,
+            preemptions,
+            rejected,
+            FaultTally {
+                failed,
+                retries,
+                faults_injected,
+            },
+            PrefixTally {
+                hits: 0,
+                saved_tokens: 0,
+            },
+            OverloadTally {
+                replayed_tokens,
+                brownout_steps: brownout.brownout_steps,
+                brownout_sheds: sheds,
+                per_class,
+            },
         )
     }
 
@@ -655,6 +1108,7 @@ impl ServingSimulator {
                 hits: tally.prefix_hits,
                 saved_tokens: tally.saved_prefill_tokens,
             },
+            OverloadTally::default(),
         );
         ReplicatedReport {
             aggregate,
@@ -911,12 +1365,17 @@ impl ServingSimulator {
         rejected: u32,
         faults: FaultTally,
         prefix: PrefixTally,
+        overload: OverloadTally,
     ) -> ServingReport {
         let finished: Vec<&Request> = requests
             .iter()
             .filter(|r| r.state == RequestState::Finished)
             .collect();
         let completed = finished.len() as u32;
+        let mut per_class = overload.per_class;
+        for r in &finished {
+            per_class.completed[r.priority.index()] += 1;
+        }
         let total_tokens: u64 = finished
             .iter()
             .map(|r| u64::from(r.prompt_tokens) + u64::from(r.output_tokens))
@@ -964,6 +1423,10 @@ impl ServingSimulator {
             faults_injected: faults.faults_injected,
             prefix_hits: prefix.hits,
             saved_prefill_tokens: prefix.saved_tokens,
+            replayed_tokens: overload.replayed_tokens,
+            brownout_steps: overload.brownout_steps,
+            brownout_sheds: overload.brownout_sheds,
+            per_class,
             per_request: {
                 let mut samples: Vec<LatencySample> =
                     finished.iter().filter_map(|r| r.latency_sample()).collect();
@@ -985,6 +1448,17 @@ struct FaultTally {
 struct PrefixTally {
     hits: u32,
     saved_tokens: u64,
+}
+
+/// Overload-machinery counters threaded from the serving loop into the
+/// report (all zero outside overload mode; `per_class.completed` is
+/// filled by the report builder for every run).
+#[derive(Default)]
+struct OverloadTally {
+    replayed_tokens: u64,
+    brownout_steps: u64,
+    brownout_sheds: u32,
+    per_class: ClassCounters,
 }
 
 #[cfg(test)]
@@ -1326,6 +1800,83 @@ mod tests {
             rep.aggregate.mean_ttft.value() > 0.0,
             "migrated request keeps its streamed-prefix TTFT"
         );
+    }
+
+    #[test]
+    fn priority_preemption_evicts_best_effort_for_interactive() {
+        use crate::overload::OverloadConfig;
+        use llmib_types::Priority;
+        // Four best-effort requests fill the reservation ledger
+        // (4 × 320 = 1280 of 1300); a late interactive cannot reserve
+        // and must preempt the youngest best-effort victim.
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|id| Request::new(id, Seconds::ZERO, 64, 256).with_priority(Priority::BestEffort))
+            .collect();
+        reqs.push(Request::new(4, Seconds(0.5), 64, 64).with_priority(Priority::Interactive));
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1300, Some(16)))
+            .with_overload(OverloadConfig {
+                preemption: true,
+                ..OverloadConfig::default()
+            });
+        let rep = sim.run(reqs.clone(), &perf(4));
+        assert_eq!(rep.completed, 5, "preempted victims still finish");
+        assert!(rep.preemptions >= 1, "the interactive arrival preempts");
+        assert_eq!(
+            rep.per_class.preemptions,
+            [rep.preemptions, 0, 0],
+            "only best-effort is ever the victim"
+        );
+        assert!(
+            rep.replayed_tokens > 0,
+            "the victim had streamed tokens to fold into its replay"
+        );
+        assert_eq!(
+            rep.per_class.replayed_tokens.iter().sum::<u64>(),
+            rep.replayed_tokens
+        );
+        assert_eq!(rep.per_class.completed, [4, 0, 1]);
+
+        // Same trace with preemption disabled: the interactive waits
+        // instead, and nothing is evicted.
+        let polite = ServingSimulator::new(config(BatchingPolicy::Continuous, 1300, Some(16)))
+            .with_overload(OverloadConfig::default());
+        let rep2 = polite.run(reqs, &perf(4));
+        assert_eq!(rep2.completed, 5);
+        assert_eq!(rep2.preemptions, 0);
+        assert_eq!(rep2.replayed_tokens, 0);
+    }
+
+    #[test]
+    fn brownout_ladder_clamps_and_sheds_best_effort_under_sustained_overload() {
+        use crate::overload::{BrownoutConfig, OverloadConfig};
+        use llmib_types::Priority;
+        // A 400-token ledger holds two 192-token reservations: a burst
+        // of eight best-effort requests starves admission every step,
+        // tripping the ladder to level 2, which sheds the queue.
+        let reqs: Vec<Request> = (0..8)
+            .map(|id| Request::new(id, Seconds::ZERO, 128, 64).with_priority(Priority::BestEffort))
+            .collect();
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 400, Some(16)))
+            .with_overload(OverloadConfig {
+                preemption: true,
+                brownout: BrownoutConfig {
+                    enabled: true,
+                    trip_after: 2,
+                    recover_after: 4,
+                    degraded_max_new_tokens: 8,
+                },
+            });
+        let rep = sim.run(reqs, &perf(2));
+        assert!(rep.brownout_steps > 0, "the run degraded");
+        assert!(rep.brownout_sheds > 0, "level 2 shed queued best-effort");
+        assert_eq!(rep.per_class.shed, [rep.brownout_sheds, 0, 0]);
+        assert_eq!(
+            rep.completed + rep.brownout_sheds + rep.rejected + rep.failed,
+            8,
+            "every request resolves exactly once"
+        );
+        assert!(rep.completed >= 2, "the admitted pair still finishes");
+        assert_eq!(rep.preemptions, 0, "same-class traffic never preempts");
     }
 
     #[test]

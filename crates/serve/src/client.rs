@@ -3,7 +3,7 @@
 use crate::event::{FailReason, RequestOutcome, ServeEvent};
 use crate::server::Submission;
 use llmib_engine::Sampler;
-use llmib_types::Seconds;
+use llmib_types::{Priority, Seconds};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -24,16 +24,29 @@ pub struct SubmitOptions {
     /// [`crate::FailReason::DeadlineExceeded`] (its streamed prefix
     /// stays valid).
     pub deadline: Option<Duration>,
+    /// Scheduling class. Under an active [`llmib_sched::OverloadConfig`]
+    /// the scheduler admits higher classes first and preempts, clamps,
+    /// or sheds lower ones; otherwise the class is recorded but FIFO
+    /// order is preserved (all-default traffic behaves identically).
+    pub priority: Priority,
 }
 
 impl SubmitOptions {
-    /// Greedy decoding of `max_new_tokens` tokens, no deadline.
+    /// Greedy decoding of `max_new_tokens` tokens, no deadline,
+    /// standard priority.
     pub fn greedy(max_new_tokens: usize) -> Self {
         Self {
             max_new_tokens,
             sampler: Sampler::Greedy,
             deadline: None,
+            priority: Priority::default(),
         }
+    }
+
+    /// Set the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -91,6 +104,7 @@ impl Client {
             sampler: opts.sampler,
             submitted_at,
             deadline,
+            priority: opts.priority,
             events: events_tx,
         };
         match self.ingress.try_send(sub) {

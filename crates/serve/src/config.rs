@@ -2,7 +2,7 @@
 
 use crate::breaker::BreakerConfig;
 use crate::router::RoutingPolicy;
-use llmib_sched::BatchingPolicy;
+use llmib_sched::{BatchingPolicy, OverloadConfig};
 use llmib_types::{Error, FaultPlan, ReplicaFaultPlan, Result, RetryPolicy};
 use std::time::Duration;
 
@@ -53,6 +53,12 @@ pub struct ServeConfig {
     /// drills replay seeded plans. The plan's seed also drives the
     /// retry jitter.
     pub fault_plan: FaultPlan,
+    /// Overload-survival policy: priority preemption with prefix-replay
+    /// re-admission, plus the brownout degradation ladder. Fully
+    /// disabled by default; the same [`OverloadConfig`] drives
+    /// [`llmib_sched::ServingSimulator::with_overload`] so the two
+    /// backends' overload counters reconcile exactly.
+    pub overload: OverloadConfig,
 }
 
 impl ServeConfig {
@@ -76,6 +82,7 @@ impl ServeConfig {
             return Err(Error::InvalidConfig("backoff must be non-negative".into()));
         }
         self.breaker.validate().map_err(Error::InvalidConfig)?;
+        self.overload.validate().map_err(Error::InvalidConfig)?;
         Ok(())
     }
 }
@@ -92,6 +99,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             watchdog_step_timeout: Some(Duration::from_millis(250)),
             fault_plan: FaultPlan::empty(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -183,7 +191,11 @@ mod tests {
             &mut |c: &mut ServeConfig| c.kv_block_tokens = Some(0),
             &mut |c: &mut ServeConfig| c.retry.base_backoff = Seconds(-1.0),
             &mut |c: &mut ServeConfig| c.breaker.degraded_concurrency = 0,
-        ] as [&mut dyn FnMut(&mut ServeConfig); 6]
+            &mut |c: &mut ServeConfig| {
+                c.overload.brownout.enabled = true;
+                c.overload.brownout.trip_after = 0;
+            },
+        ] as [&mut dyn FnMut(&mut ServeConfig); 7]
         {
             let mut c = ServeConfig::default();
             breakit(&mut c);

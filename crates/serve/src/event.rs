@@ -17,6 +17,11 @@ pub enum RejectReason {
     /// It can never be served: its KV footprint exceeds the pool or its
     /// context exceeds the model's maximum sequence length.
     Oversized,
+    /// Shed while queued by the brownout controller's level-2
+    /// degradation: sustained admission starvation made the scheduler
+    /// drop queued best-effort work so higher classes keep their SLO
+    /// (see [`llmib_sched::BrownoutConfig`]).
+    Brownout,
     /// Scheduler-internal failure (should not happen; kept so the
     /// runtime degrades to an explicit rejection instead of a panic).
     Internal,

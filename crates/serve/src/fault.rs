@@ -115,6 +115,19 @@ impl<S: EngineStep> FaultInjector<S> {
         self.activate_due();
         self.pressure.map_or(1.0, |(factor, _)| factor)
     }
+
+    /// Drain the pending stall (seconds to sleep) without stepping.
+    ///
+    /// The overload scheduler sleeps this at the *top* of its loop,
+    /// before intake, so arrivals during the stall are visible to the
+    /// same iteration's admission pass — mirroring the simulator's
+    /// overload loop, which advances its clock at the same point. The
+    /// legacy path leaves the stall in place and sleeps it inside
+    /// [`EngineStep::try_step`] instead.
+    pub fn take_stall(&mut self) -> f64 {
+        self.activate_due();
+        std::mem::replace(&mut self.pending_stall, 0.0)
+    }
 }
 
 impl<S: EngineStep> EngineStep for FaultInjector<S> {
@@ -312,6 +325,26 @@ mod tests {
         let t1 = std::time::Instant::now();
         inj.try_step().unwrap();
         assert!(t1.elapsed() < Duration::from_millis(18), "one-shot");
+    }
+
+    #[test]
+    fn take_stall_drains_the_pending_stall_before_the_step() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            kind: FaultKind::StepStall {
+                extra: Seconds(0.02),
+            },
+        }]);
+        let mut inj = FaultInjector::new(FakeEngine::default(), plan);
+        inj.admit(1, &[1], 2, Sampler::Greedy).unwrap();
+        assert!((inj.take_stall() - 0.02).abs() < 1e-12, "stall drained");
+        assert_eq!(inj.take_stall(), 0.0, "one-shot");
+        let t0 = std::time::Instant::now();
+        inj.try_step().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(18),
+            "the step no longer sleeps a drained stall"
+        );
     }
 
     #[test]

@@ -41,6 +41,18 @@
 //! exactly one terminal answer. Clients can also walk away:
 //! [`RequestHandle::cancel`] kills a queued or mid-decode request.
 //!
+//! Sustained overload is survived by class, not by luck: with an
+//! [`OverloadConfig`] active, requests carry a [`Priority`], admission
+//! prefers higher classes, a KV-starved high-class arrival preempts the
+//! youngest lowest-class running sequence (which resumes later via
+//! prefix replay, bitwise identical), and a hysteretic brownout
+//! controller ([`BrownoutConfig`]) first clamps and then sheds
+//! best-effort work while decode steps starve. The
+//! [`OverloadCounters`] block reports what the machinery did, per
+//! class — and `llmib_sched::ServingSimulator::run_with_faults` under
+//! the same config must reproduce those counters exactly on an
+//! identical trace.
+//!
 //! Because every engine path funnels through one dot kernel, the
 //! runtime changes *when* tokens are produced but never *which*:
 //! replaying a run's admission order through a plain
@@ -105,6 +117,12 @@ pub use replay::{
     deterministic_prompt, deterministic_prompt_for, replay_admission_order, replay_trace,
     replay_trace_on, ReplayOptions, ReplayedRequest,
 };
-pub use report::{PrefixCounters, RequestMetrics, RobustnessStats, ServeReport};
+pub use report::{OverloadCounters, PrefixCounters, RequestMetrics, RobustnessStats, ServeReport};
 pub use router::RoutingPolicy;
 pub use server::Server;
+
+// Overload-survival knobs and class tallies are defined next to the
+// simulator's mirror implementation; re-export them so serving users
+// configure both backends from one vocabulary.
+pub use llmib_sched::{BrownoutConfig, ClassCounters, OverloadConfig};
+pub use llmib_types::Priority;

@@ -17,7 +17,7 @@
 use crate::client::Client;
 use crate::config::PoolConfig;
 use crate::event::{RejectReason, ServeEvent};
-use crate::report::{PrefixCounters, RobustnessStats, ServeReport};
+use crate::report::{OverloadCounters, PrefixCounters, RobustnessStats, ServeReport};
 use crate::router::{router_loop, ReplicaSlot, RouterBooks};
 use crate::server::{now, spawn_scheduler};
 use llmib_engine::TransformerModel;
@@ -141,6 +141,7 @@ impl ReplicaPool {
                         Vec::new(),
                         robust,
                         PrefixCounters::default(),
+                        OverloadCounters::default(),
                     );
                     PoolReport {
                         aggregate,
@@ -206,7 +207,22 @@ impl Drop for ReplicaPool {
 fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolReport {
     let mut robust = books.robust;
     let mut prefix = PrefixCounters::default();
+    // Lifecycle rejection splits come from the router's books (counted
+    // once per request); mechanism counters (preemptions, replayed
+    // tokens, brownout steps, per-class tallies) are replica-local and
+    // sum below. A request completes on exactly one replica, so even
+    // `per_class.completed` sums cleanly.
+    let mut overload = OverloadCounters {
+        rejected_queue_full: books.rejected_queue_full,
+        rejected_internal: books.rejected_internal,
+        shed_brownout: books.shed_brownout,
+        ..OverloadCounters::default()
+    };
     for r in &per_replica {
+        overload.preemptions += r.overload.preemptions;
+        overload.replayed_tokens += r.overload.replayed_tokens;
+        overload.brownout_steps += r.overload.brownout_steps;
+        overload.per_class.merge(&r.overload.per_class);
         // Prefix-cache hits are replica-local facts (each replica owns
         // its own block trie) and sum cleanly.
         prefix.hits += r.prefix.hits;
@@ -246,6 +262,7 @@ fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolRe
         books.admission_order,
         robust,
         prefix,
+        overload,
     );
     PoolReport {
         aggregate,

@@ -132,6 +132,7 @@ pub fn replay_trace_on(
                                 max_new_tokens: req.output_tokens as usize,
                                 sampler: Sampler::Greedy,
                                 deadline: opts.deadline,
+                                priority: req.priority,
                             },
                         );
                         pending.push((req.id, submitted));

@@ -6,6 +6,7 @@
 //! directly comparable with [`llmib_sched::ServingReport`].
 
 use llmib_core::metrics::{mean, p50, p90, p99, InferenceMetrics, MetricInputs};
+use llmib_sched::ClassCounters;
 use llmib_types::{LatencySample, Seconds, TokenShape};
 use serde::Serialize;
 
@@ -84,6 +85,42 @@ pub struct PrefixCounters {
     pub hits: u32,
     /// Prompt tokens whose prefill was skipped via those hits.
     pub saved_prefill_tokens: u64,
+}
+
+/// Overload-layer counters of one serving run: per-reason rejections
+/// beyond oversize/deadline, plus the preemption and brownout mechanism
+/// tallies with their per-priority-class breakdowns. Field-compatible
+/// with the same counters on [`llmib_sched::ServingReport`], so the
+/// overload reconciliation suite asserts exact equality between the
+/// live runtime and the simulator on an identical trace. All zero when
+/// [`llmib_sched::OverloadConfig`] is fully disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct OverloadCounters {
+    /// Rejections because an ingress queue was full. Router-observed in
+    /// a pool (a replica's bounded queue refused a dispatch); always 0
+    /// on a standalone server, where queue-full refusals resolve
+    /// synchronously at [`crate::Client::submit`].
+    pub rejected_queue_full: u32,
+    /// Scheduler-internal rejections: an admission failure after intake
+    /// screening, or a submission racing the final shutdown drain.
+    /// Previously conflated into `rejected_oversized`.
+    pub rejected_internal: u32,
+    /// Queued best-effort requests shed outright by brownout level 2
+    /// ([`crate::RejectReason::Brownout`]).
+    pub shed_brownout: u32,
+    /// Running sequences preempted — evicted mid-decode and re-queued
+    /// for prefix-replay re-admission — to make room for a higher
+    /// class.
+    pub preemptions: u32,
+    /// Tokens already streamed at preemption time, folded into the
+    /// replay prompt and re-prefilled on re-admission (the
+    /// preemption-cost currency).
+    pub replayed_tokens: u64,
+    /// Decode steps executed while the brownout level was degraded.
+    pub brownout_steps: u64,
+    /// Per-priority-class completion / preemption / replay / shed
+    /// breakdowns.
+    pub per_class: ClassCounters,
 }
 
 /// Robustness counters of one serving run: what went wrong, what the
@@ -186,6 +223,9 @@ pub struct ServeReport {
     /// counted at admission time — so they cover failed and cancelled
     /// requests too, exactly like the simulator's model.
     pub prefix: PrefixCounters,
+    /// Overload-layer counters: per-reason rejections, preemption and
+    /// brownout tallies, per-priority-class breakdowns.
+    pub overload: OverloadCounters,
 }
 
 impl ServeReport {
@@ -212,9 +252,12 @@ impl ServeReport {
     }
 
     /// Whether the lifecycle counters account for every request that
-    /// reached the scheduler. Holds after a graceful shutdown; not
-    /// meaningful when [`RobustnessStats::server_failed`] is set (a dead
-    /// scheduler strands bookkeeping mid-flight by design).
+    /// reached the scheduler: every submission resolves as exactly one
+    /// of completed, failed, cancelled, or a per-reason rejection
+    /// (deadline shed, oversized, queue-full, brownout shed, internal).
+    /// Holds after a graceful shutdown; not meaningful when
+    /// [`RobustnessStats::server_failed`] is set (a dead scheduler
+    /// strands bookkeeping mid-flight by design).
     pub fn reconciles(&self) -> bool {
         self.robustness.submitted
             == self.completed
@@ -222,6 +265,9 @@ impl ServeReport {
                 + self.robustness.cancelled
                 + self.shed_deadline
                 + self.rejected_oversized
+                + self.overload.rejected_queue_full
+                + self.overload.rejected_internal
+                + self.overload.shed_brownout
     }
 
     /// The report a contained scheduler death produces: no per-request
@@ -238,6 +284,7 @@ impl ServeReport {
             Vec::new(),
             RobustnessStats::default(),
             PrefixCounters::default(),
+            OverloadCounters::default(),
         );
         report.robustness.server_failed = true;
         report
@@ -255,6 +302,7 @@ impl ServeReport {
         admission_order: Vec<u64>,
         robustness: RobustnessStats,
         prefix: PrefixCounters,
+        overload: OverloadCounters,
     ) -> Self {
         let completed = per_request.len() as u32;
         let total_tokens: u64 = per_request
@@ -293,6 +341,7 @@ impl ServeReport {
             per_request,
             robustness,
             prefix,
+            overload,
         }
     }
 }
@@ -351,6 +400,7 @@ mod tests {
                 ..RobustnessStats::default()
             },
             PrefixCounters::default(),
+            OverloadCounters::default(),
         );
         assert_eq!(rep.completed, 10);
         assert_eq!(rep.shed_deadline, 2);
@@ -381,8 +431,44 @@ mod tests {
                 ..RobustnessStats::default()
             },
             PrefixCounters::default(),
+            OverloadCounters::default(),
         );
         assert!(rep.reconciles());
+    }
+
+    #[test]
+    fn reconciliation_counts_every_reject_reason_separately() {
+        let overload = OverloadCounters {
+            rejected_queue_full: 2,
+            rejected_internal: 1,
+            shed_brownout: 3,
+            ..OverloadCounters::default()
+        };
+        let mut rep = ServeReport::from_parts(
+            Vec::new(),
+            1,
+            1,
+            Seconds(1.0),
+            10,
+            10.0,
+            0.1,
+            Vec::new(),
+            RobustnessStats {
+                submitted: 8,
+                ..RobustnessStats::default()
+            },
+            PrefixCounters::default(),
+            overload,
+        );
+        assert!(rep.reconciles(), "1 + 1 + 2 + 1 + 3 = 8 submitted");
+        // The old catch-all would have booked all five non-deadline
+        // refusals as oversized; per-reason books must not balance if a
+        // reason is miscounted.
+        rep.overload.rejected_internal = 0;
+        rep.rejected_oversized = 2;
+        assert!(rep.reconciles(), "totals still balance");
+        rep.rejected_oversized = 3;
+        assert!(!rep.reconciles(), "an over-count is caught");
     }
 
     #[test]

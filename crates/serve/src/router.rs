@@ -38,7 +38,7 @@ use crate::event::{FailReason, RejectReason, ServeEvent};
 use crate::report::{RequestMetrics, RobustnessStats};
 use crate::server::{now, ReplicaTelemetry, Submission};
 use llmib_engine::Sampler;
-use llmib_types::{ReplicaId, Seconds};
+use llmib_types::{Priority, ReplicaId, Seconds};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
@@ -125,6 +125,9 @@ struct Flight {
     sampler: Sampler,
     submitted_at: Seconds,
     deadline: Option<Seconds>,
+    /// Scheduling class, forwarded verbatim on every (re-)dispatch so
+    /// replica-side preemption and brownout see the client's class.
+    priority: Priority,
     /// The client's event channel; the router forwards exactly one
     /// coherent stream into it regardless of how many dispatches ran.
     client: Sender<ServeEvent>,
@@ -174,6 +177,12 @@ pub(crate) struct RouterBooks {
     pub robust: RobustnessStats,
     pub shed_deadline: u32,
     pub rejected_oversized: u32,
+    /// Per-[`RejectReason`] splits of the remaining rejection paths —
+    /// each relayed rejection increments exactly one lifecycle counter,
+    /// so the pool report reconciles without a catch-all bucket.
+    pub rejected_queue_full: u32,
+    pub rejected_internal: u32,
+    pub shed_brownout: u32,
     pub first_submitted_at: Option<f64>,
     pub last_finished_at: f64,
 }
@@ -281,6 +290,7 @@ pub(crate) fn router_loop(
                             sampler: sub.sampler,
                             submitted_at: sub.submitted_at,
                             deadline: sub.deadline,
+                            priority: sub.priority,
                             client: sub.events,
                             tokens: Vec::new(),
                             admitted_at: None,
@@ -489,7 +499,7 @@ pub(crate) fn router_loop(
     // dropped channel (mirrors the scheduler loop's final drain).
     while let Ok(sub) = rx.try_recv() {
         books.robust.submitted += 1;
-        books.rejected_oversized += 1;
+        books.rejected_internal += 1;
         let _ = sub.events.send(ServeEvent::Rejected {
             reason: RejectReason::Internal,
             at: now(epoch),
@@ -515,6 +525,7 @@ fn open_dispatch(id: u64, f: &Flight, slot: &ReplicaSlot) -> Option<Dispatch> {
         sampler: f.sampler.clone(),
         submitted_at: f.submitted_at,
         deadline: f.deadline,
+        priority: f.priority,
         events: tx,
     };
     match slot.ingress.try_send(sub) {
@@ -626,9 +637,14 @@ fn drain_relay(
                 if other_alive {
                     return DispatchFate::Gone;
                 }
+                // Exhaustive on purpose: a new rejection path must pick
+                // its lifecycle counter here, not inherit a catch-all.
                 match reason {
                     RejectReason::DeadlineExpired => books.shed_deadline += 1,
-                    _ => books.rejected_oversized += 1,
+                    RejectReason::Brownout => books.shed_brownout += 1,
+                    RejectReason::QueueFull => books.rejected_queue_full += 1,
+                    RejectReason::Internal => books.rejected_internal += 1,
+                    RejectReason::Oversized => books.rejected_oversized += 1,
                 }
                 let _ = f.client.send(ServeEvent::Rejected { reason, at });
                 return DispatchFate::FlightDone;

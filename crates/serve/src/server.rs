@@ -33,10 +33,12 @@ use crate::client::Client;
 use crate::config::ServeConfig;
 use crate::event::{FailReason, RejectReason, ServeEvent};
 use crate::fault::FaultInjector;
-use crate::report::{PrefixCounters, RequestMetrics, RobustnessStats, ServeReport};
+use crate::report::{
+    OverloadCounters, PrefixCounters, RequestMetrics, RobustnessStats, ServeReport,
+};
 use llmib_engine::{BatchSession, EngineStep, PrefixConfig, Sampler, TokenEvent, TransformerModel};
-use llmib_sched::BatchingPolicy;
-use llmib_types::{Result, Seconds, StepError};
+use llmib_sched::{BatchingPolicy, BrownoutController};
+use llmib_types::{Priority, Result, Seconds, StepError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
@@ -123,11 +125,16 @@ pub(crate) struct Submission {
     pub submitted_at: Seconds,
     /// Absolute admission deadline on the server clock.
     pub deadline: Option<Seconds>,
+    /// Scheduling class: admission is ordered by it, and under an
+    /// active overload policy lower classes are preempted/shed first.
+    pub priority: Priority,
     pub events: std::sync::mpsc::Sender<ServeEvent>,
 }
 
 /// Scheduler-side state of an admitted sequence.
 struct LiveSeq {
+    /// Original prompt length — metrics are reported against it even
+    /// after preemption folds streamed tokens into the replay prompt.
     prompt_tokens: u32,
     /// Prompt tokens served from resident shared-prefix KV blocks at
     /// admission (prefill skipped); 0 for a cold admission.
@@ -135,10 +142,48 @@ struct LiveSeq {
     submitted_at: Seconds,
     admitted_at: Seconds,
     first_token_at: Option<Seconds>,
+    /// Total tokens streamed to the client across all admissions.
     generated: u32,
     /// Absolute deadline on the server clock, enforced mid-decode too.
     deadline: Option<Seconds>,
     events: std::sync::mpsc::Sender<ServeEvent>,
+    /// Prompt of the *current* admission: the original prompt plus any
+    /// streamed tokens folded in by preemptions — the replay prefill.
+    prompt: Vec<usize>,
+    /// Tokens generated during the current admission only (cleared by
+    /// each preemption after folding them into `prompt`).
+    tokens: Vec<usize>,
+    /// Remaining generation budget of the current admission.
+    max_new_tokens: usize,
+    sampler: Sampler,
+    priority: Priority,
+    /// Admission sequence number, monotone across all admissions
+    /// (replays included) — the youngest-victim tie-break shared with
+    /// the simulator's overload loop.
+    admit_seq: u64,
+}
+
+/// Metrics continuity across a preemption: what the original admission
+/// already established, restored verbatim when the replay re-admits so
+/// the client-visible request metrics span the whole lifetime (one
+/// `Admitted` event, the original TTFT, the original prompt length).
+struct Carry {
+    prompt_tokens: u32,
+    cached_prefix_tokens: u32,
+    admitted_at: Seconds,
+    first_token_at: Option<Seconds>,
+    generated: u32,
+}
+
+/// Insert before the first queued submission of a *strictly* lower
+/// class (FIFO within a class) — identical to the simulator's ready
+/// queue, and equivalent to `push_back` for single-class traffic.
+fn insert_by_priority(queue: &mut VecDeque<Submission>, sub: Submission) {
+    let pos = queue
+        .iter()
+        .position(|q| q.priority < sub.priority)
+        .unwrap_or(queue.len());
+    queue.insert(pos, sub);
 }
 
 /// A live serving runtime over one [`TransformerModel`].
@@ -243,6 +288,22 @@ struct Scheduler<'m> {
     peak_kv: f64,
     first_submitted_at: Option<f64>,
     last_finished_at: f64,
+    /// Overload-layer counters reported in [`ServeReport::overload`].
+    overload: OverloadCounters,
+    /// The shared brownout ladder (no-op while disabled in config).
+    brownout: BrownoutController,
+    /// Metrics continuity of preempted requests currently waiting for
+    /// replay re-admission, keyed by request id. Membership marks a
+    /// queued submission as a replay (budget never re-clamped, never
+    /// brownout-shed).
+    carry: HashMap<u64, Carry>,
+    /// Monotone admission counter (replays included) — victim
+    /// tie-break.
+    next_admit_seq: u64,
+    /// The last admission pass left an arrived request unadmitted
+    /// because KV reservation failed even after preemption — the
+    /// brownout starvation signal, sampled once per decode step.
+    admit_starved: bool,
 }
 
 impl<'m> Scheduler<'m> {
@@ -274,7 +335,7 @@ impl<'m> Scheduler<'m> {
             });
             return;
         }
-        self.waiting.push_back(sub);
+        insert_by_priority(&mut self.waiting, sub);
     }
 
     /// Apply every cancellation currently queued on the control channel.
@@ -287,6 +348,9 @@ impl<'m> Scheduler<'m> {
     fn cancel(&mut self, id: u64) {
         if let Some(pos) = self.waiting.iter().position(|sub| sub.id == id) {
             let sub = self.waiting.remove(pos).expect("position just found");
+            // A preempted request cancelled while awaiting replay keeps
+            // its streamed prefix valid; drop its continuity record.
+            self.carry.remove(&id);
             self.robust.cancelled += 1;
             let _ = sub.events.send(ServeEvent::Cancelled {
                 at: now(self.epoch),
@@ -315,18 +379,34 @@ impl<'m> Scheduler<'m> {
         let t = now(self.epoch);
         let epoch = self.epoch;
         let mut shed = 0u32;
+        let mut exceeded = 0u32;
+        let carry = &mut self.carry;
         self.waiting.retain(|sub| {
             let expired = sub.deadline.is_some_and(|d| t.value() > d.value());
             if expired {
-                shed += 1;
-                let _ = sub.events.send(ServeEvent::Rejected {
-                    reason: RejectReason::DeadlineExpired,
-                    at: now(epoch),
-                });
+                if carry.remove(&sub.id).is_some() {
+                    // A preempted request expiring while queued for
+                    // replay already consumed service and streamed
+                    // tokens: resolve it like a mid-decode eviction,
+                    // not a queued shed.
+                    exceeded += 1;
+                    let _ = sub.events.send(ServeEvent::Failed {
+                        reason: FailReason::DeadlineExceeded,
+                        at: now(epoch),
+                    });
+                } else {
+                    shed += 1;
+                    let _ = sub.events.send(ServeEvent::Rejected {
+                        reason: RejectReason::DeadlineExpired,
+                        at: now(epoch),
+                    });
+                }
             }
             !expired
         });
         self.shed_deadline += shed;
+        self.robust.failed += exceeded;
+        self.robust.deadline_exceeded += exceeded;
         let expired_live: Vec<u64> = self
             .live
             .iter()
@@ -341,14 +421,39 @@ impl<'m> Scheduler<'m> {
 
     /// Admit queued requests at this step boundary while policy, the
     /// breaker-adjusted concurrency cap and the (pressure-adjusted) KV
-    /// reservation allow.
+    /// reservation allow. Under an active overload policy the pass
+    /// also runs the brownout ladder (level-2 sheds, level-1 clamps)
+    /// and preempts lower-class running sequences when a reservation
+    /// fails — mirroring the simulator's overload admission exactly.
     fn admit(&mut self) {
+        self.admit_starved = false;
         let may_admit = match self.config.policy {
             BatchingPolicy::Continuous => true,
             BatchingPolicy::Static => self.session.is_empty(),
         };
         if !may_admit {
             return;
+        }
+        // Brownout level 2: shed queued best-effort first admissions
+        // outright. Replays are never shed — their streams must
+        // complete to stay bitwise identical to an uncontended run.
+        if self.brownout.level() >= BrownoutController::MAX_LEVEL {
+            let epoch = self.epoch;
+            let brownout = &self.brownout;
+            let carry = &self.carry;
+            let counters = &mut self.overload;
+            self.waiting.retain(|sub| {
+                let shed = !carry.contains_key(&sub.id) && brownout.should_shed(sub.priority);
+                if shed {
+                    counters.shed_brownout += 1;
+                    counters.per_class.shed[sub.priority.index()] += 1;
+                    let _ = sub.events.send(ServeEvent::Rejected {
+                        reason: RejectReason::Brownout,
+                        at: now(epoch),
+                    });
+                }
+                !shed
+            });
         }
         let cap = self
             .breaker
@@ -357,11 +462,29 @@ impl<'m> Scheduler<'m> {
             let Some(front) = self.waiting.front() else {
                 break;
             };
-            let max_context = (front.prompt.len() + front.max_new_tokens) as u32;
+            let (front_id, front_priority, front_prompt_len) =
+                (front.id, front.priority, front.prompt.len());
+            // Budget of this admission: replays keep their remaining
+            // tokens; first admissions may be clamped by brownout
+            // level 1. The clamp is applied only if the admission
+            // succeeds, like the simulator's overload loop.
+            let max_new = if self.carry.contains_key(&front_id) {
+                front.max_new_tokens
+            } else {
+                self.brownout
+                    .clamp_max_new(front_priority, front.max_new_tokens)
+            };
+            let max_context = (front_prompt_len + max_new) as u32;
             if !self
                 .budget
-                .try_admit(front.id, max_context, front.prompt.len() as u32)
+                .try_admit(front_id, max_context, front_prompt_len as u32)
             {
+                // Preempt the youngest running sequence of the lowest
+                // class strictly below the front's, then retry the
+                // same front against the freed reservation.
+                if self.config.overload.preemption && self.preempt_below(front_priority) {
+                    continue;
+                }
                 // Does not fit *right now* (reservations or monolithic
                 // fragmentation): head-of-line wait for releases. If the
                 // pool is fully idle this can never improve — shed so an
@@ -373,6 +496,7 @@ impl<'m> Scheduler<'m> {
                 if self.session.is_empty() && self.budget.is_idle() && !self.budget.under_pressure()
                 {
                     let sub = self.waiting.pop_front().expect("front exists");
+                    self.carry.remove(&sub.id);
                     self.rejected_oversized += 1;
                     let _ = sub.events.send(ServeEvent::Rejected {
                         reason: RejectReason::Oversized,
@@ -380,47 +504,87 @@ impl<'m> Scheduler<'m> {
                     });
                     continue;
                 }
+                self.admit_starved = true;
                 break;
             }
-            let sub = self.waiting.pop_front().expect("front exists");
+            let mut sub = self.waiting.pop_front().expect("front exists");
+            sub.max_new_tokens = max_new;
             // Prefill runs synchronously inside `admit` — the admission
             // timestamp below includes it, as TTFT must.
             match self
                 .session
-                .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler)
+                .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler.clone())
             {
                 Ok(outcome) => {
                     let at = now(self.epoch);
-                    let cached = outcome.cached_prefix_tokens as u32;
-                    if cached > 0 {
-                        self.prefix.hits += 1;
-                        self.prefix.saved_prefill_tokens += u64::from(cached);
-                    }
-                    let _ = sub.events.send(ServeEvent::Admitted {
-                        at,
-                        cached_prefix_tokens: cached,
-                    });
-                    self.admission_order.push(sub.id);
-                    self.live.insert(
-                        sub.id,
-                        LiveSeq {
-                            prompt_tokens: sub.prompt.len() as u32,
+                    self.next_admit_seq += 1;
+                    if let Some(c) = self.carry.remove(&sub.id) {
+                        // Replay re-admission of a preempted request:
+                        // restore the original admission's metrics — no
+                        // second `Admitted` event, no admission-order
+                        // entry, and TTFT / prompt length stay those of
+                        // the first pass. Prefix-cache hits on the
+                        // replayed prompt are an artifact of replay and
+                        // are not counted (the simulator's overload
+                        // loop models no prefix reuse).
+                        self.live.insert(
+                            sub.id,
+                            LiveSeq {
+                                prompt_tokens: c.prompt_tokens,
+                                cached_prefix_tokens: c.cached_prefix_tokens,
+                                submitted_at: sub.submitted_at,
+                                admitted_at: c.admitted_at,
+                                first_token_at: c.first_token_at,
+                                generated: c.generated,
+                                deadline: sub.deadline,
+                                events: sub.events,
+                                prompt: sub.prompt,
+                                tokens: Vec::new(),
+                                max_new_tokens: sub.max_new_tokens,
+                                sampler: sub.sampler,
+                                priority: sub.priority,
+                                admit_seq: self.next_admit_seq,
+                            },
+                        );
+                    } else {
+                        let cached = outcome.cached_prefix_tokens as u32;
+                        if cached > 0 {
+                            self.prefix.hits += 1;
+                            self.prefix.saved_prefill_tokens += u64::from(cached);
+                        }
+                        let _ = sub.events.send(ServeEvent::Admitted {
+                            at,
                             cached_prefix_tokens: cached,
-                            submitted_at: sub.submitted_at,
-                            admitted_at: at,
-                            first_token_at: None,
-                            generated: 0,
-                            deadline: sub.deadline,
-                            events: sub.events,
-                        },
-                    );
+                        });
+                        self.admission_order.push(sub.id);
+                        self.live.insert(
+                            sub.id,
+                            LiveSeq {
+                                prompt_tokens: sub.prompt.len() as u32,
+                                cached_prefix_tokens: cached,
+                                submitted_at: sub.submitted_at,
+                                admitted_at: at,
+                                first_token_at: None,
+                                generated: 0,
+                                deadline: sub.deadline,
+                                events: sub.events,
+                                prompt: sub.prompt,
+                                tokens: Vec::new(),
+                                max_new_tokens: sub.max_new_tokens,
+                                sampler: sub.sampler,
+                                priority: sub.priority,
+                                admit_seq: self.next_admit_seq,
+                            },
+                        );
+                    }
                 }
                 Err(_) => {
                     // Unreachable by construction (intake validates
                     // context length and ids are unique) — degrade to an
                     // explicit rejection, never a panic.
                     self.budget.release(sub.id);
-                    self.rejected_oversized += 1;
+                    self.carry.remove(&sub.id);
+                    self.overload.rejected_internal += 1;
                     let _ = sub.events.send(ServeEvent::Rejected {
                         reason: RejectReason::Internal,
                         at: now(self.epoch),
@@ -428,6 +592,61 @@ impl<'m> Scheduler<'m> {
                 }
             }
         }
+    }
+
+    /// Evict the youngest running sequence of the lowest class strictly
+    /// below `preemptor` and re-queue it for prefix-replay
+    /// re-admission: its streamed tokens fold into the prompt (vLLM
+    /// recompute-on-preempt style), and greedy determinism resumes the
+    /// stream bitwise where it left off once it re-admits. Returns
+    /// whether a victim was found. No client-visible event fires — the
+    /// client only observes a pause in its token stream.
+    fn preempt_below(&mut self, preemptor: Priority) -> bool {
+        let victim = self
+            .live
+            .iter()
+            .filter(|(_, m)| m.priority < preemptor)
+            .min_by_key(|(_, m)| (m.priority, std::cmp::Reverse(m.admit_seq)))
+            .map(|(&id, _)| id);
+        let Some(id) = victim else {
+            return false;
+        };
+        let meta = self.live.remove(&id).expect("victim is live");
+        // Injector eviction also cancels any pending poison for the
+        // victim — the simulator's overload loop mirrors this contract.
+        self.session.evict(id);
+        self.budget.release(id);
+        let replayed = meta.tokens.len();
+        self.overload.preemptions += 1;
+        self.overload.per_class.preemptions[meta.priority.index()] += 1;
+        self.overload.per_class.replayed_tokens[meta.priority.index()] += replayed as u64;
+        self.overload.replayed_tokens += replayed as u64;
+        let mut prompt = meta.prompt;
+        prompt.extend_from_slice(&meta.tokens);
+        self.carry.insert(
+            id,
+            Carry {
+                prompt_tokens: meta.prompt_tokens,
+                cached_prefix_tokens: meta.cached_prefix_tokens,
+                admitted_at: meta.admitted_at,
+                first_token_at: meta.first_token_at,
+                generated: meta.generated,
+            },
+        );
+        insert_by_priority(
+            &mut self.waiting,
+            Submission {
+                id,
+                prompt,
+                max_new_tokens: meta.max_new_tokens - replayed,
+                sampler: meta.sampler,
+                submitted_at: meta.submitted_at,
+                deadline: meta.deadline,
+                priority: meta.priority,
+                events: meta.events,
+            },
+        );
+        true
     }
 
     /// One supervised decode step: retry transient errors with capped
@@ -497,6 +716,7 @@ impl<'m> Scheduler<'m> {
                 continue;
             };
             meta.generated += 1;
+            meta.tokens.push(ev.token);
             if meta.first_token_at.is_none() {
                 meta.first_token_at = Some(at);
             }
@@ -508,6 +728,7 @@ impl<'m> Scheduler<'m> {
                 self.budget.release(ev.seq);
                 self.pending_cancels.remove(&ev.seq);
                 let meta = self.live.remove(&ev.seq).expect("live seq");
+                self.overload.per_class.completed[meta.priority.index()] += 1;
                 let metrics = RequestMetrics::from_timestamps(
                     ev.seq,
                     meta.prompt_tokens,
@@ -532,6 +753,11 @@ impl<'m> Scheduler<'m> {
             self.fail_request(id, FailReason::KvAccounting);
         }
         self.peak_kv = self.peak_kv.max(self.budget.utilization());
+        // One brownout observation per completed decode step, carrying
+        // whether this step's admission pass starved on KV — the same
+        // cadence and signal as the simulator's overload loop. The
+        // controller no-ops unless brownout is enabled.
+        self.brownout.observe_step(self.admit_starved);
     }
 
     /// Kill one admitted request: evict it from the batch, free its KV
@@ -561,6 +787,7 @@ impl<'m> Scheduler<'m> {
         self.robust.breaker_opened = self.breaker.opened;
         self.robust.breaker_degraded_steps = self.breaker.degraded_steps;
         self.robust.breaker_recoveries = self.breaker.recoveries;
+        self.overload.brownout_steps = self.brownout.brownout_steps;
         ServeReport::from_parts(
             self.per_request,
             self.shed_deadline,
@@ -572,6 +799,7 @@ impl<'m> Scheduler<'m> {
             self.admission_order,
             self.robust,
             self.prefix,
+            self.overload,
         )
     }
 }
@@ -614,6 +842,11 @@ fn scheduler_loop(
         admission_order: Vec::new(),
         robust: RobustnessStats::default(),
         prefix: PrefixCounters::default(),
+        overload: OverloadCounters::default(),
+        brownout: BrownoutController::new(config.overload.brownout),
+        carry: HashMap::new(),
+        next_admit_seq: 0,
+        admit_starved: false,
         shed_deadline: 0,
         rejected_oversized: 0,
         decode_steps: 0,
@@ -638,6 +871,19 @@ fn scheduler_loop(
         // 1. Wall-clock breaker transitions (open → half-open) — driven
         //    here so an empty batch cannot freeze the breaker.
         sched.breaker.tick(Instant::now());
+        // 1b. Under an active overload policy any pending injected
+        //     stall sleeps here, *before* intake, so arrivals landing
+        //     during the stall are visible to this iteration's
+        //     admission pass — the simulator's overload loop advances
+        //     its clock at the same point. The legacy path keeps the
+        //     stall inside `try_step` (the chaos watchdog asserts on
+        //     in-step latency).
+        if config.overload.active() {
+            let stall = sched.session.take_stall();
+            if stall > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(stall));
+            }
+        }
         // 2. Intake: drain the ingress, but never hold more than
         //    `queue_capacity` requests in the waiting queue — leaving
         //    the channel full is what propagates backpressure to
@@ -683,7 +929,7 @@ fn scheduler_loop(
     // an explicit rejection instead of a silently dropped channel.
     while let Ok(sub) = rx.try_recv() {
         sched.robust.submitted += 1;
-        sched.rejected_oversized += 1;
+        sched.overload.rejected_internal += 1;
         let _ = sub.events.send(ServeEvent::Rejected {
             reason: RejectReason::Internal,
             at: now(epoch),

@@ -13,8 +13,8 @@
 
 use llmib_engine::{EngineConfig, TransformerModel};
 use llmib_serve::{
-    deterministic_prompt, replay_admission_order, RequestOutcome, ServeConfig, Server,
-    SubmitOptions,
+    deterministic_prompt, replay_admission_order, BrownoutConfig, OverloadConfig, Priority,
+    RequestOutcome, ServeConfig, Server, SubmitOptions,
 };
 use llmib_types::FaultPlan;
 use proptest::prelude::*;
@@ -114,6 +114,129 @@ proptest! {
                     }
                 }
                 RequestOutcome::Rejected { .. } => {}
+            }
+        }
+    }
+
+    /// Satellite property: arbitrary seeded fault plans interleaved
+    /// with priority preemption and re-admission under a KV pool tight
+    /// enough that an interactive arrival usually has to evict a
+    /// best-effort resident. For any interleaving of stalls, transient
+    /// bursts, poisons, pressure windows, preemptions, replays, and
+    /// (optionally) brownout clamps/sheds:
+    ///
+    /// * no client hangs,
+    /// * the books balance with no double-counting — one terminal
+    ///   answer per submission, per-class tallies summing to the
+    ///   scalar counters,
+    /// * every stream (including a preempted-and-resumed one) is a
+    ///   prefix of the same request's uncontended single-owner run —
+    ///   bitwise, with completed unclamped streams the full run.
+    #[test]
+    fn fault_plans_interleave_with_preemption_without_losing_the_books(
+        seed in 0u64..u64::MAX,
+        horizon in 4u64..24,
+        n_low in 2u64..5,
+        n_high in 1u64..3,
+        max_new in 8usize..16,
+        brownout in proptest::bool::ANY,
+    ) {
+        let model = model();
+        let n = n_low + n_high;
+        let request_ids: Vec<u64> = (0..n).collect();
+        let plan = FaultPlan::seeded(seed, horizon, &request_ids);
+        let server = Server::start(
+            Arc::clone(&model),
+            ServeConfig {
+                // Two 32-token block reservations at most: the
+                // interactive tail of the wave cannot admit without
+                // preempting a best-effort resident.
+                kv_capacity_tokens: 64,
+                kv_block_tokens: Some(16),
+                fault_plan: plan,
+                overload: OverloadConfig {
+                    preemption: true,
+                    brownout: BrownoutConfig {
+                        enabled: brownout,
+                        trip_after: 2,
+                        recover_after: 4,
+                        degraded_max_new_tokens: 4,
+                    },
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let client = server.client();
+
+        let mut spec = HashMap::new();
+        let mut handles = Vec::new();
+        for id in 0..n {
+            let prompt = deterministic_prompt(id, 5, VOCAB);
+            let priority = if id < n_low {
+                Priority::BestEffort
+            } else {
+                Priority::Interactive
+            };
+            let handle = client
+                .submit(
+                    prompt.clone(),
+                    SubmitOptions::greedy(max_new).with_priority(priority),
+                )
+                .expect("accepted");
+            spec.insert(handle.id, (prompt, max_new));
+            handles.push((handle.id, handle));
+        }
+        let mut outcomes: Vec<(u64, RequestOutcome)> = Vec::new();
+        for (id, handle) in handles {
+            let outcome = handle.wait_timeout(NO_HANG);
+            prop_assert!(outcome.is_some(), "request {} hung", id);
+            outcomes.push((id, outcome.expect("just checked")));
+        }
+        let report = server.shutdown();
+
+        prop_assert!(report.reconciles(), "books must balance: {report:?}");
+        let ov = &report.overload;
+        prop_assert_eq!(
+            ov.per_class.completed.iter().sum::<u32>(),
+            report.completed,
+            "per-class completions must partition the total"
+        );
+        prop_assert_eq!(ov.per_class.total_preemptions(), ov.preemptions);
+        prop_assert_eq!(ov.per_class.total_replayed_tokens(), ov.replayed_tokens);
+        prop_assert_eq!(ov.per_class.total_shed(), ov.shed_brownout);
+        if !brownout {
+            prop_assert_eq!(ov.shed_brownout, 0);
+            prop_assert_eq!(ov.brownout_steps, 0);
+        }
+
+        // Bitwise determinism through preemption/replay: each stream is
+        // a prefix of the request's own uncontended single-owner run
+        // (completed streams may be brownout-clamped short, failed ones
+        // cut short by a fault — never altered).
+        for (id, outcome) in &outcomes {
+            let tokens = match outcome {
+                RequestOutcome::Completed { tokens, .. }
+                | RequestOutcome::Failed { tokens, .. }
+                | RequestOutcome::Cancelled { tokens } => tokens,
+                RequestOutcome::Rejected { .. } => continue,
+            };
+            let full = &replay_admission_order(&model, &[*id], |rid| {
+                spec.get(&rid).expect("submitted id has a spec").clone()
+            })[0]
+                .1;
+            prop_assert!(
+                tokens.len() <= full.len() && tokens.as_slice() == &full[..tokens.len()],
+                "request {} stream is not a prefix of its uncontended run",
+                id
+            );
+            if matches!(outcome, RequestOutcome::Completed { .. }) && !brownout {
+                prop_assert_eq!(
+                    tokens.len(),
+                    full.len(),
+                    "request {} completed short without a brownout clamp",
+                    id
+                );
             }
         }
     }

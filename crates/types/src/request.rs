@@ -32,6 +32,48 @@ pub enum RequestState {
     Cancelled,
 }
 
+/// Scheduling priority class of a request.
+///
+/// Both serving backends order their admission queues by class (higher
+/// first, FIFO within a class) and, under overload, preempt or shed the
+/// lowest class first. The ordering derives from the declaration order:
+/// `BestEffort < Standard < Interactive`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Priority {
+    /// Lowest class: first to be preempted, brownout-clamped, or shed.
+    BestEffort,
+    /// Default class for traffic that declares nothing.
+    #[default]
+    Standard,
+    /// Highest class: latency-sensitive traffic whose SLO attainment the
+    /// overload machinery protects.
+    Interactive,
+}
+
+impl Priority {
+    /// All classes, lowest first — index with [`Priority::index`].
+    pub const ALL: [Priority; 3] = [
+        Priority::BestEffort,
+        Priority::Standard,
+        Priority::Interactive,
+    ];
+
+    /// Stable dense index (0 = lowest class), for per-class counter
+    /// arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable class name, stable for report serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::BestEffort => "best_effort",
+            Priority::Standard => "standard",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
 /// One inference request flowing through a serving system (simulated or
 /// live).
 #[derive(Debug, Clone, Serialize)]
@@ -59,6 +101,9 @@ pub struct Request {
     /// suffix to prefill. Prefix-caching runtimes/simulators can skip
     /// (the block-aligned part of) this prefix when it is resident.
     pub shared_prefix_tokens: u32,
+    /// Scheduling class; [`Priority::Standard`] unless the trace says
+    /// otherwise.
+    pub priority: Priority,
 }
 
 impl Request {
@@ -75,7 +120,14 @@ impl Request {
             first_token_at: None,
             finished_at: None,
             shared_prefix_tokens: 0,
+            priority: Priority::Standard,
         }
+    }
+
+    /// Set the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Mark the first `tokens` prompt tokens as drawn from the
@@ -197,5 +249,22 @@ mod tests {
     #[should_panic(expected = "shorter than the prompt")]
     fn fully_shared_prompt_rejected() {
         let _ = Request::new(1, Seconds::ZERO, 32, 4).with_shared_prefix(32);
+    }
+
+    #[test]
+    fn priority_classes_order_and_index() {
+        assert!(Priority::BestEffort < Priority::Standard);
+        assert!(Priority::Standard < Priority::Interactive);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::default(), Priority::Standard);
+        assert_eq!(
+            Request::new(1, Seconds::ZERO, 8, 2)
+                .with_priority(Priority::Interactive)
+                .priority,
+            Priority::Interactive
+        );
+        assert_eq!(Priority::BestEffort.as_str(), "best_effort");
     }
 }

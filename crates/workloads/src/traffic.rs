@@ -73,6 +73,45 @@ impl SharedPrefix {
     }
 }
 
+/// Two-state Markov-modulated (interrupted) Poisson arrivals: the
+/// source alternates between exponentially-distributed ON bursts, during
+/// which requests arrive as a Poisson process at `burst_rate_per_s`, and
+/// silent OFF gaps. Real serving traffic is bursty, not memoryless —
+/// the squared coefficient of variation of inter-arrival times exceeds
+/// the Poisson value of 1, which is exactly the regime that drives a
+/// scheduler into transient KV overload (queueing bursts, preemption,
+/// brownout) at a mean rate a Poisson trace would absorb smoothly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BurstProfile {
+    /// Arrival rate while the source is ON (requests/s).
+    pub burst_rate_per_s: f64,
+    /// Mean ON-sojourn length in seconds (exponential).
+    pub mean_on_s: f64,
+    /// Mean OFF-sojourn length in seconds (exponential).
+    pub mean_off_s: f64,
+}
+
+impl BurstProfile {
+    fn assert_valid(&self) {
+        assert!(
+            self.burst_rate_per_s > 0.0 && self.mean_on_s > 0.0 && self.mean_off_s > 0.0,
+            "burst rate and both mean sojourns must be positive"
+        );
+    }
+
+    /// Long-run mean arrival rate (requests/s): the ON rate thinned by
+    /// the fraction of time the source spends ON.
+    pub fn mean_rate_per_s(&self) -> f64 {
+        self.burst_rate_per_s * self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+    }
+}
+
+/// One exponential draw with the given rate, strictly positive.
+fn exp_draw(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
 impl TrafficProfile {
     /// Sample `n` request shapes, deterministically from `seed`.
     pub fn sample(self, n: usize, seed: u64) -> Vec<RequestShape> {
@@ -176,6 +215,46 @@ impl TrafficProfile {
                     req = req.with_shared_prefix(prefix.tokens);
                 }
                 req
+            })
+            .collect()
+    }
+
+    /// [`TrafficProfile::trace`] with MMPP on/off bursty arrivals
+    /// instead of a flat Poisson clock: shapes are sampled exactly as in
+    /// `trace`, but timestamps come from the two-state process described
+    /// by `burst`. Fully determined by `seed`, ids are trace positions,
+    /// and arrivals are non-decreasing by construction (time only ever
+    /// advances). The trace starts inside an ON burst, so overload
+    /// drills hit the scheduler with a burst immediately.
+    pub fn trace_bursty(self, n: usize, burst: BurstProfile, seed: u64) -> Vec<Request> {
+        burst.assert_valid();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut remaining_on = exp_draw(&mut rng, 1.0 / burst.mean_on_s);
+        (0..n)
+            .map(|id| {
+                let shape = self.sample_one(&mut rng);
+                loop {
+                    let dt = exp_draw(&mut rng, burst.burst_rate_per_s);
+                    if dt <= remaining_on {
+                        t += dt;
+                        remaining_on -= dt;
+                        break;
+                    }
+                    // The candidate arrival falls past the end of the
+                    // burst: consume the remainder of the ON period, sit
+                    // out an OFF gap, and redraw inside the next burst
+                    // (the exponential's memorylessness makes the redraw
+                    // exact, not an approximation).
+                    t += remaining_on + exp_draw(&mut rng, 1.0 / burst.mean_off_s);
+                    remaining_on = exp_draw(&mut rng, 1.0 / burst.mean_on_s);
+                }
+                Request::new(
+                    id as u64,
+                    Seconds(t),
+                    shape.prompt_tokens,
+                    shape.output_tokens,
+                )
             })
             .collect()
     }
@@ -334,6 +413,92 @@ mod tests {
                 tokens: 8,
                 share: 1.5,
             },
+        );
+    }
+
+    #[test]
+    fn bursty_trace_is_seeded_and_time_ordered() {
+        let burst = BurstProfile {
+            burst_rate_per_s: 40.0,
+            mean_on_s: 0.5,
+            mean_off_s: 1.5,
+        };
+        let a = TrafficProfile::Chat.trace_bursty(128, burst, 21);
+        let b = TrafficProfile::Chat.trace_bursty(128, burst, 21);
+        let c = TrafficProfile::Chat.trace_bursty(128, burst, 22);
+        assert_eq!(a.len(), 128);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival.value(), y.arrival.value());
+            assert_eq!(x.prompt_tokens, y.prompt_tokens);
+        }
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.arrival.value() != y.arrival.value()),
+            "different seeds must differ"
+        );
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].arrival.value() <= w[1].arrival.value()));
+        assert!(a[0].arrival.value() > 0.0);
+    }
+
+    #[test]
+    fn bursty_arrivals_are_burstier_than_poisson_at_the_same_mean_rate() {
+        // Squared coefficient of variation of inter-arrival gaps:
+        // Poisson == 1; an on/off MMPP with long silences must exceed it
+        // decisively.
+        let cv2 = |trace: &[Request]| {
+            let gaps: Vec<f64> = trace
+                .windows(2)
+                .map(|w| w[1].arrival.value() - w[0].arrival.value())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let burst = BurstProfile {
+            burst_rate_per_s: 80.0,
+            mean_on_s: 0.25,
+            mean_off_s: 2.0,
+        };
+        let bursty = TrafficProfile::Square { len: 64 }.trace_bursty(600, burst, 5);
+        let poisson = TrafficProfile::Square { len: 64 }.trace(600, burst.mean_rate_per_s(), 5);
+        let (b, p) = (cv2(&bursty), cv2(&poisson));
+        assert!(p < 2.0, "poisson CV^2 should sit near 1, got {p}");
+        assert!(b > 2.0 * p, "MMPP must be burstier: {b} vs {p}");
+    }
+
+    #[test]
+    fn burst_mean_rate_is_the_thinned_on_rate() {
+        let burst = BurstProfile {
+            burst_rate_per_s: 30.0,
+            mean_on_s: 1.0,
+            mean_off_s: 2.0,
+        };
+        assert!((burst.mean_rate_per_s() - 10.0).abs() < 1e-12);
+        // The empirical rate of a long trace should land near it.
+        let trace = TrafficProfile::Square { len: 32 }.trace_bursty(4000, burst, 17);
+        let span = trace.last().unwrap().arrival.value();
+        let rate = 4000.0 / span;
+        assert!(
+            (rate - 10.0).abs() < 3.0,
+            "empirical mean rate {rate} far from 10"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_burst_sojourn_is_rejected() {
+        let _ = TrafficProfile::Chat.trace_bursty(
+            4,
+            BurstProfile {
+                burst_rate_per_s: 10.0,
+                mean_on_s: 0.0,
+                mean_off_s: 1.0,
+            },
+            0,
         );
     }
 
