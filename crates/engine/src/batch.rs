@@ -25,6 +25,36 @@ struct SeqState {
     logits: Vec<f32>,
 }
 
+/// A chunk-admitted sequence whose prompt is still being prefilled.
+///
+/// It owns its KV cache from the moment of admission (cached prefix
+/// blocks already adopted), but joins the decode batch only once every
+/// prompt token has passed through [`BatchSession::prefill_chunk`].
+#[derive(Debug)]
+struct PendingSeq {
+    id: u64,
+    prompt: Vec<usize>,
+    /// Prompt tokens already in the cache: adopted prefix + prefilled
+    /// chunks. Prefill resumes here.
+    done: usize,
+    cached: usize,
+    max_new_tokens: usize,
+    cache: KvCache,
+    sampler: Sampler,
+}
+
+/// What one [`BatchSession::prefill_chunk`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkOutcome {
+    /// Sequence the chunk belonged to.
+    pub seq: u64,
+    /// Prompt tokens prefilled by this chunk.
+    pub tokens: usize,
+    /// Whether this was the sequence's final chunk — it is now live in
+    /// the decode batch.
+    pub prefill_complete: bool,
+}
+
 /// What [`BatchSession::admit`] did for a request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdmitOutcome {
@@ -61,6 +91,7 @@ pub struct TokenEvent {
 pub struct BatchSession<'m> {
     model: &'m TransformerModel,
     seqs: Vec<SeqState>,
+    pending: Vec<PendingSeq>,
     prefix: Option<PrefixState>,
 }
 
@@ -71,6 +102,7 @@ impl<'m> BatchSession<'m> {
         Self {
             model,
             seqs: Vec::new(),
+            pending: Vec::new(),
             prefix: None,
         }
     }
@@ -85,6 +117,7 @@ impl<'m> BatchSession<'m> {
         Self {
             model,
             seqs: Vec::new(),
+            pending: Vec::new(),
             prefix: Some(PrefixState {
                 pool: Arc::new(model.new_block_pool(cfg.block_tokens)),
                 trie: PrefixCache::new(cfg.block_tokens, cfg.max_cached_blocks),
@@ -117,11 +150,16 @@ impl<'m> BatchSession<'m> {
     /// N times.
     pub fn kv_bytes(&self) -> usize {
         let mut seen = HashSet::new();
-        let positions: usize = self
+        let mut positions: usize = self
             .seqs
             .iter()
             .map(|s| s.cache.unique_live_positions(&mut seen))
             .sum();
+        positions += self
+            .pending
+            .iter()
+            .map(|p| p.cache.unique_live_positions(&mut seen))
+            .sum::<usize>();
         2 * positions * self.model.config().kv_dim() * 4
     }
 
@@ -130,15 +168,16 @@ impl<'m> BatchSession<'m> {
         self.seqs.iter().map(|s| s.id).collect()
     }
 
-    /// Evict a live sequence mid-flight, dropping its KV cache and
-    /// remaining budget. Returns `false` if `id` is not live. Because
-    /// every sequence's forward pass is independent of batch
-    /// composition, eviction never changes the tokens any surviving
-    /// sequence goes on to produce.
+    /// Evict a live or pending sequence mid-flight, dropping its KV
+    /// cache and remaining budget. Returns `false` if `id` is neither
+    /// live nor pending prefill. Because every sequence's forward pass
+    /// is independent of batch composition, eviction never changes the
+    /// tokens any surviving sequence goes on to produce.
     pub fn evict(&mut self, id: u64) -> bool {
-        let before = self.seqs.len();
+        let before = self.seqs.len() + self.pending.len();
         self.seqs.retain(|s| s.id != id);
-        self.seqs.len() < before
+        self.pending.retain(|p| p.id != id);
+        self.seqs.len() + self.pending.len() < before
     }
 
     /// Admit a sequence: runs its prefill immediately (in-flight batching
@@ -155,10 +194,114 @@ impl<'m> BatchSession<'m> {
         max_new_tokens: usize,
         sampler: Sampler,
     ) -> Result<AdmitOutcome> {
+        let (mut cache, cached) = self.begin_admit(id, prompt, max_new_tokens)?;
+        let logits = self.model.prefill(&prompt[cached..], &mut cache);
+        self.register_prefilled(prompt, &cache, cached);
+        self.seqs.push(SeqState {
+            id,
+            tokens: prompt.to_vec(),
+            remaining: max_new_tokens,
+            cache,
+            sampler,
+            logits,
+        });
+        Ok(AdmitOutcome {
+            cached_prefix_tokens: cached,
+        })
+    }
+
+    /// Admit a sequence *without* running its prefill: the request is
+    /// validated, its cached prefix blocks are adopted, and it parks on
+    /// the pending-prefill queue. Cold prompt tokens are then pushed
+    /// through the model one [`prefill_chunk`](Self::prefill_chunk) at a
+    /// time, interleaved with decode steps, and the sequence joins the
+    /// decode batch after its final chunk. Because `prefill` over a
+    /// token slice is bitwise equal to token-at-a-time forward passes,
+    /// chunked prefill produces logits — and therefore every generated
+    /// token — bitwise identical to a monolithic
+    /// [`admit`](Self::admit).
+    pub fn admit_chunked(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<AdmitOutcome> {
+        let (cache, cached) = self.begin_admit(id, prompt, max_new_tokens)?;
+        self.pending.push(PendingSeq {
+            id,
+            prompt: prompt.to_vec(),
+            done: cached,
+            cached,
+            max_new_tokens,
+            cache,
+            sampler,
+        });
+        Ok(AdmitOutcome {
+            cached_prefix_tokens: cached,
+        })
+    }
+
+    /// Prefill up to `budget` cold prompt tokens of the oldest pending
+    /// sequence (FIFO: head-of-line prefill finishes before the next
+    /// prompt starts, so chunk counts are exactly
+    /// `ceil(cold_tokens / budget)` per request). Returns `None` when no
+    /// prefill is pending. On the final chunk the sequence's prompt
+    /// blocks are registered with the prefix cache and it joins the
+    /// decode batch, exactly as a monolithic admission would have.
+    pub fn prefill_chunk(&mut self, budget: usize) -> Option<ChunkOutcome> {
+        assert!(budget > 0, "prefill_token_budget must be positive");
+        let head = self.pending.first_mut()?;
+        let take = (head.prompt.len() - head.done).min(budget);
+        let logits = self
+            .model
+            .prefill(&head.prompt[head.done..head.done + take], &mut head.cache);
+        head.done += take;
+        let seq = head.id;
+        let prefill_complete = head.done == head.prompt.len();
+        if prefill_complete {
+            let p = self.pending.remove(0);
+            self.register_prefilled(&p.prompt, &p.cache, p.cached);
+            self.seqs.push(SeqState {
+                id: p.id,
+                tokens: p.prompt,
+                remaining: p.max_new_tokens,
+                cache: p.cache,
+                sampler: p.sampler,
+                logits,
+            });
+        }
+        Some(ChunkOutcome {
+            seq,
+            tokens: take,
+            prefill_complete,
+        })
+    }
+
+    /// Sequences admitted chunked whose prefill has not yet completed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cold prompt tokens still queued for chunked prefill — the
+    /// prefill backlog a router observes as pressure.
+    pub fn pending_prefill_tokens(&self) -> usize {
+        self.pending.iter().map(|p| p.prompt.len() - p.done).sum()
+    }
+
+    /// Shared admission front half: validation plus prefix-block
+    /// adoption. Returns the sequence's cache (prefix already adopted)
+    /// and how many prompt tokens that adoption covered.
+    fn begin_admit(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+    ) -> Result<(KvCache, usize)> {
         if prompt.is_empty() {
             return Err(Error::InvalidConfig("empty prompt".into()));
         }
-        if self.seqs.iter().any(|s| s.id == id) {
+        if self.seqs.iter().any(|s| s.id == id) || self.pending.iter().any(|p| p.id == id) {
             return Err(Error::InvalidConfig(format!("sequence {id} already live")));
         }
         if prompt.len() + max_new_tokens > self.model.config().max_seq {
@@ -168,7 +311,7 @@ impl<'m> BatchSession<'m> {
                 self.model.config().max_seq
             )));
         }
-        let (mut cache, cached) = match &mut self.prefix {
+        Ok(match &mut self.prefix {
             Some(prefix) => {
                 let mut cache = KvCache::in_pool(prefix.pool.clone(), self.model.config().max_seq);
                 let hit = prefix.trie.lookup(prompt);
@@ -181,8 +324,13 @@ impl<'m> BatchSession<'m> {
                 (cache, usable * bt)
             }
             None => (self.model.new_cache(), 0),
-        };
-        let logits = self.model.prefill(&prompt[cached..], &mut cache);
+        })
+    }
+
+    /// Shared admission back half, run once the whole prompt is in the
+    /// cache: register the prompt's full blocks with the prefix trie and
+    /// bump the reuse counters.
+    fn register_prefilled(&mut self, prompt: &[usize], cache: &KvCache, cached: usize) {
         if let Some(prefix) = &mut self.prefix {
             let bt = prefix.pool.block_tokens();
             let full_blocks = prompt.len() / bt;
@@ -194,17 +342,6 @@ impl<'m> BatchSession<'m> {
             prefix.stats.hits += u64::from(cached > 0);
             prefix.stats.saved_prefill_tokens += cached as u64;
         }
-        self.seqs.push(SeqState {
-            id,
-            tokens: prompt.to_vec(),
-            remaining: max_new_tokens,
-            cache,
-            sampler,
-            logits,
-        });
-        Ok(AdmitOutcome {
-            cached_prefix_tokens: cached,
-        })
     }
 
     /// Run one decode step for every live sequence, returning the
@@ -525,6 +662,100 @@ mod tests {
         // The second sequence adds only its cold tail: 20 positions
         // minus the 16 shared ones (its partial tail block is its own).
         assert_eq!(s.kv_bytes(), solo + 2 * (20 - shared) * layers * kv_dim * 4);
+    }
+
+    #[test]
+    fn chunked_prefill_matches_monolithic_for_every_budget() {
+        let m = model();
+        let prompts: [&[usize]; 3] = [&[1, 2, 3, 4, 5, 6, 7], &[9, 8, 7, 6], &[5; 11]];
+        let mut mono = BatchSession::new(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            mono.admit(i as u64, p, 8, Sampler::Greedy).unwrap();
+        }
+        let reference = mono.run_to_completion();
+        for budget in [1usize, 2, 3, 5, 64] {
+            let mut chunked = BatchSession::new(&m);
+            for (i, p) in prompts.iter().enumerate() {
+                chunked
+                    .admit_chunked(i as u64, p, 8, Sampler::Greedy)
+                    .unwrap();
+            }
+            // Interleave: one chunk, then one decode step for whatever
+            // is live — the serving scheduler's cadence.
+            let mut out: Vec<(u64, Vec<usize>)> = prompts
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (i as u64, Vec::new()))
+                .collect();
+            let mut chunks = 0usize;
+            while chunked.pending_len() > 0 || !chunked.is_empty() {
+                if let Some(c) = chunked.prefill_chunk(budget) {
+                    assert!(c.tokens >= 1 && c.tokens <= budget);
+                    chunks += 1;
+                }
+                for ev in chunked.step() {
+                    out[ev.seq as usize].1.push(ev.token);
+                }
+            }
+            assert_eq!(out, reference, "budget {budget}");
+            let expected_chunks: usize = prompts.iter().map(|p| p.len().div_ceil(budget)).sum();
+            assert_eq!(chunks, expected_chunks, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_with_prefix_cache_matches_cold_monolithic() {
+        let m = model();
+        let prompts: Vec<Vec<usize>> = (0..3).map(|id| shared_prompt(id, 16, 21)).collect();
+        let mut cold = BatchSession::new(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            cold.admit(i as u64, p, 9, Sampler::Greedy).unwrap();
+        }
+        let reference = cold.run_to_completion();
+
+        let mut warm = prefix_session(&m);
+        for (i, p) in prompts.iter().enumerate() {
+            let out = warm.admit_chunked(i as u64, p, 9, Sampler::Greedy).unwrap();
+            if i > 0 {
+                assert_eq!(out.cached_prefix_tokens, 16, "request {i}");
+            }
+            // Drain this request's chunks before admitting the next so
+            // its blocks are registered for the next lookup.
+            while warm.pending_len() > 0 {
+                warm.prefill_chunk(5);
+            }
+        }
+        assert_eq!(warm.run_to_completion(), reference);
+        let stats = warm.prefix_stats().unwrap();
+        assert_eq!(stats.admissions, 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.saved_prefill_tokens, 2 * 16);
+    }
+
+    #[test]
+    fn pending_sequences_are_tracked_and_evictable() {
+        let m = model();
+        let mut s = BatchSession::new(&m);
+        s.admit_chunked(0, &[1, 2, 3, 4, 5, 6], 4, Sampler::Greedy)
+            .unwrap();
+        s.admit_chunked(1, &[7, 8, 9], 4, Sampler::Greedy).unwrap();
+        assert_eq!(s.pending_len(), 2);
+        assert_eq!(s.pending_prefill_tokens(), 9);
+        assert_eq!(s.len(), 0, "nothing live until prefill completes");
+        // Duplicate ids are rejected against the pending queue too.
+        assert!(s.admit(0, &[1], 1, Sampler::Greedy).is_err());
+        assert!(s.admit_chunked(1, &[1], 1, Sampler::Greedy).is_err());
+        let c = s.prefill_chunk(4).unwrap();
+        assert_eq!((c.seq, c.tokens, c.prefill_complete), (0, 4, false));
+        assert_eq!(s.pending_prefill_tokens(), 5);
+        // Evicting a half-prefilled sequence frees its backlog; the
+        // KV it held is dropped with its cache.
+        assert!(s.evict(0));
+        assert_eq!(s.pending_prefill_tokens(), 3);
+        let c = s.prefill_chunk(64).unwrap();
+        assert_eq!((c.seq, c.tokens, c.prefill_complete), (1, 3, true));
+        assert_eq!((s.pending_len(), s.len()), (0, 1));
+        assert!(s.prefill_chunk(4).is_none(), "no pending prefill left");
     }
 
     #[test]

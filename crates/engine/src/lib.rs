@@ -72,7 +72,7 @@ mod tokenizer;
 mod simd;
 
 pub use attention::{Attention, KvBlock, KvCache, DEFAULT_BLOCK_TOKENS};
-pub use batch::{AdmitOutcome, BatchSession, TokenEvent};
+pub use batch::{AdmitOutcome, BatchSession, ChunkOutcome, TokenEvent};
 pub use blockpool::{BlockPool, PoolStats, PrefixCache, PrefixConfig, PrefixStats};
 pub use config::EngineConfig;
 pub use flash::OnlineSoftmax;

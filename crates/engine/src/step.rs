@@ -10,7 +10,7 @@
 //! healthy path pays nothing: [`BatchSession`]'s `try_step` never
 //! fails.
 
-use crate::batch::{AdmitOutcome, BatchSession, TokenEvent};
+use crate::batch::{AdmitOutcome, BatchSession, ChunkOutcome, TokenEvent};
 use crate::sampler::Sampler;
 use llmib_types::{Result, StepError};
 
@@ -51,6 +51,37 @@ pub trait EngineStep {
 
     /// Ids of the live sequences, in admission order.
     fn live_ids(&self) -> Vec<u64>;
+
+    /// Admit a sequence without prefilling it: cold prompt tokens are
+    /// pushed later through [`prefill_chunk`](Self::prefill_chunk),
+    /// interleaved with decode steps. Engines without chunked-prefill
+    /// support fall back to a monolithic [`admit`](Self::admit).
+    fn admit_chunked(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<AdmitOutcome> {
+        self.admit(id, prompt, max_new_tokens, sampler)
+    }
+
+    /// Prefill up to `budget` cold prompt tokens of the oldest
+    /// chunk-admitted sequence; `None` when no prefill is pending.
+    fn prefill_chunk(&mut self, budget: usize) -> Option<ChunkOutcome> {
+        let _ = budget;
+        None
+    }
+
+    /// Chunk-admitted sequences whose prefill has not yet completed.
+    fn pending_len(&self) -> usize {
+        0
+    }
+
+    /// Cold prompt tokens still queued for chunked prefill.
+    fn pending_prefill_tokens(&self) -> usize {
+        0
+    }
 }
 
 impl EngineStep for BatchSession<'_> {
@@ -78,6 +109,28 @@ impl EngineStep for BatchSession<'_> {
 
     fn live_ids(&self) -> Vec<u64> {
         BatchSession::live_ids(self)
+    }
+
+    fn admit_chunked(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<AdmitOutcome> {
+        BatchSession::admit_chunked(self, id, prompt, max_new_tokens, sampler)
+    }
+
+    fn prefill_chunk(&mut self, budget: usize) -> Option<ChunkOutcome> {
+        BatchSession::prefill_chunk(self, budget)
+    }
+
+    fn pending_len(&self) -> usize {
+        BatchSession::pending_len(self)
+    }
+
+    fn pending_prefill_tokens(&self) -> usize {
+        BatchSession::pending_prefill_tokens(self)
     }
 }
 

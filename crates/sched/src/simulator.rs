@@ -4,8 +4,8 @@ use crate::allocator::{KvAllocator, MonolithicAllocator, PagedAllocator};
 use crate::overload::{BrownoutController, ClassCounters, OverloadConfig};
 use llmib_perf::ResolvedScenario;
 use llmib_types::{
-    stats, FaultKind, FaultPlan, LatencySample, Priority, ReplicaFaultPlan, Request, RequestState,
-    RetryPolicy, Seconds,
+    stats, FaultKind, FaultPlan, ItlSummary, LatencySample, Priority, ReplicaFaultPlan,
+    ReplicaRole, Request, RequestState, RetryPolicy, Seconds,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +89,11 @@ pub struct ServingReport {
     pub p95_latency: Seconds,
     /// Mean inter-token latency across requests.
     pub mean_itl: Seconds,
+    /// Per-request-mean ITL percentiles, overall and per priority
+    /// class — the same Eq. 1 observations and nearest-rank arithmetic
+    /// the live `llmib-serve` report computes, so the two backends'
+    /// tails compare directly.
+    pub itl: ItlSummary,
     /// Mean concurrent batch size over decode steps.
     pub mean_batch_occupancy: f64,
     /// Peak KV-pool utilization observed.
@@ -99,6 +104,13 @@ pub struct ServingReport {
     pub rejected: u32,
     /// Decode steps executed.
     pub decode_steps: u64,
+    /// Prefill chunks executed under chunked prefill
+    /// ([`ServingSimulator::with_prefill_chunking`]); zero in
+    /// monolithic-prefill runs. Each admission contributes exactly
+    /// `ceil(cold_prefill_tokens / budget)` chunks — the identical
+    /// count the live scheduler reports, reconciled exactly by the
+    /// cross-validation suite.
+    pub prefill_chunks: u64,
     /// Requests killed by an injected fault (poison, retry exhaustion,
     /// simulated scheduler death). Zero on fault-free runs.
     pub failed: u32,
@@ -145,6 +157,11 @@ pub struct ReplicatedReport {
     /// Generated tokens carried over as prefill prefix by those
     /// migrations (the live pool replays exactly these).
     pub migrated_tokens: u64,
+    /// Planned prefill→decode boundary handoffs under disaggregated
+    /// roles ([`ServingSimulator::run_disaggregated`]); zero in
+    /// unified-role runs. Counted separately from failure
+    /// `migrations`, mirroring the live router's books.
+    pub disagg_handoffs: u32,
     /// Requests completed per replica, indexed by `ReplicaId`.
     pub per_replica_completed: Vec<u32>,
 }
@@ -253,6 +270,7 @@ fn pick_victim(
 pub struct ServingSimulator {
     config: SimConfig,
     overload: Option<OverloadConfig>,
+    chunk_budget: Option<u32>,
 }
 
 impl ServingSimulator {
@@ -262,7 +280,22 @@ impl ServingSimulator {
         Self {
             config,
             overload: None,
+            chunk_budget: None,
         }
+    }
+
+    /// Enable the chunked-prefill mirror: admission enqueues the
+    /// sequence cold, and each scheduler step runs at most one
+    /// token-budgeted chunk of the head pending sequence interleaved
+    /// with one decode step for the live batch — the exact policy the
+    /// live scheduler applies under
+    /// `ServeConfig::prefill_token_budget`. Each admission contributes
+    /// exactly `ceil(cold_prefill_tokens / budget)` chunks, so chunk
+    /// counts reconcile exactly against a live run of the same trace.
+    pub fn with_prefill_chunking(mut self, budget: u32) -> Self {
+        assert!(budget > 0, "prefill chunk budget must be positive");
+        self.chunk_budget = Some(budget);
+        self
     }
 
     /// Enable the overload-survival mirror: priority-ordered admission
@@ -333,6 +366,11 @@ impl ServingSimulator {
         let mut faults_injected = 0u32;
         let mut prefix_hits = 0u32;
         let mut saved_prefill_tokens = 0u64;
+        // Chunked mode: admitted-but-cold sequences wait here (KV
+        // already charged, like the live pending reservation) and
+        // drain one token-budgeted chunk per scheduler step.
+        let mut prefilling: VecDeque<(usize, u32)> = VecDeque::new();
+        let mut prefill_chunks = 0u64;
 
         'serve: while completed + rejected + failed < total {
             // --- Fault activation (anchored to the decode-step clock) ---
@@ -375,6 +413,12 @@ impl ServingSimulator {
                             requests[idx].state = RequestState::Failed;
                             failed += 1;
                         }
+                        for (idx, _) in prefilling.drain(..) {
+                            let r = &mut requests[idx];
+                            alloc.release(r.id);
+                            r.state = RequestState::Failed;
+                            failed += 1;
+                        }
                         for idx in running.drain(..) {
                             let r = &mut requests[idx];
                             alloc.release(r.id);
@@ -386,7 +430,9 @@ impl ServingSimulator {
                 }
             }
             // --- Poison eviction: victims die once (and only once they
-            //     are actually decoding) ---
+            //     are actually decoding — a poisoned pending sequence
+            //     surfaces after its prefill completes, like the live
+            //     injector) ---
             if !poisoned.is_empty() {
                 let mut i = 0;
                 while i < running.len() {
@@ -410,7 +456,11 @@ impl ServingSimulator {
             };
             let mut newly_admitted: Vec<(usize, u32)> = Vec::new();
             if may_admit {
-                while running.len() + newly_admitted.len() < self.config.max_concurrency as usize {
+                // Pending (still-prefilling) sequences count against the
+                // concurrency cap, exactly like the live scheduler.
+                while running.len() + prefilling.len() + newly_admitted.len()
+                    < self.config.max_concurrency as usize
+                {
                     let Some(&idx) = queue.front() else { break };
                     if requests[idx].arrival.value() > now.value() {
                         break;
@@ -468,20 +518,53 @@ impl ServingSimulator {
                 }
             }
             if !newly_admitted.is_empty() {
-                let k = newly_admitted.len() as u32;
-                let mean_prompt = (newly_admitted
-                    .iter()
-                    .map(|&(_, prefill)| u64::from(prefill))
-                    .sum::<u64>()
-                    / u64::from(k)) as u32;
-                now += perf.prefill_time(k, mean_prompt.max(1));
-                for (idx, _) in newly_admitted {
-                    requests[idx].state = RequestState::Decoding;
-                    running.push(idx);
+                if self.chunk_budget.is_some() {
+                    // Chunked mode: no prefill time is charged at
+                    // admission — the sequence queues cold and its
+                    // prefill drains below, one chunk per step.
+                    for (idx, cold) in newly_admitted {
+                        prefilling.push_back((idx, cold));
+                    }
+                } else {
+                    let k = newly_admitted.len() as u32;
+                    let mean_prompt = (newly_admitted
+                        .iter()
+                        .map(|&(_, prefill)| u64::from(prefill))
+                        .sum::<u64>()
+                        / u64::from(k)) as u32;
+                    now += perf.prefill_time(k, mean_prompt.max(1));
+                    for (idx, _) in newly_admitted {
+                        requests[idx].state = RequestState::Decoding;
+                        running.push(idx);
+                    }
+                }
+            }
+
+            // --- One prefill chunk (chunked mode): at most one
+            //     token-budgeted chunk of the head pending sequence per
+            //     scheduler step, interleaved with the decode step below
+            //     — the live scheduler-loop policy mirrored. ---
+            if let Some(budget) = self.chunk_budget {
+                if let Some((idx, remaining)) = prefilling.front_mut() {
+                    let take = (*remaining).min(budget).max(1);
+                    now += perf.prefill_time(1, take);
+                    prefill_chunks += 1;
+                    *remaining = remaining.saturating_sub(take);
+                    if *remaining == 0 {
+                        let idx = *idx;
+                        prefilling.pop_front();
+                        requests[idx].state = RequestState::Decoding;
+                        running.push(idx);
+                    }
                 }
             }
 
             if running.is_empty() {
+                if !prefilling.is_empty() {
+                    // A chunk just ran; the clock advanced, so keep
+                    // draining the pending queue.
+                    continue;
+                }
                 // Idle: jump to the next arrival.
                 match queue.front() {
                     Some(&idx) => {
@@ -579,6 +662,7 @@ impl ServingSimulator {
             &requests,
             now,
             decode_steps,
+            prefill_chunks,
             occupancy_acc,
             peak_util,
             preemptions,
@@ -662,6 +746,10 @@ impl ServingSimulator {
         let mut failed = 0u32;
         let mut retries = 0u32;
         let mut faults_injected = 0u32;
+        // Chunked mode: admitted-but-cold sequences (reservation held)
+        // drain one token-budgeted chunk per scheduler step.
+        let mut prefilling: VecDeque<(usize, u32)> = VecDeque::new();
+        let mut prefill_chunks = 0u64;
 
         'serve: while completed + rejected + failed + sheds < total {
             // --- Fault activation (decode-step clock, *before* intake:
@@ -704,6 +792,12 @@ impl ServingSimulator {
                         // so only the allocator needs releasing.
                         for idx in pending.drain(..).chain(ready.drain(..)) {
                             requests[idx].state = RequestState::Failed;
+                            failed += 1;
+                        }
+                        for (idx, _) in prefilling.drain(..) {
+                            let r = &mut requests[idx];
+                            alloc.release(r.id);
+                            r.state = RequestState::Failed;
                             failed += 1;
                         }
                         for idx in running.drain(..) {
@@ -774,7 +868,7 @@ impl ServingSimulator {
                         sheds += 1;
                     }
                 }
-                'admit: while running.len() + newly_admitted.len()
+                'admit: while running.len() + prefilling.len() + newly_admitted.len()
                     < self.config.max_concurrency as usize
                 {
                     let Some(&idx) = ready.front() else { break };
@@ -867,20 +961,45 @@ impl ServingSimulator {
                 }
             }
             if !newly_admitted.is_empty() {
-                let k = newly_admitted.len() as u32;
-                let mean_prompt = (newly_admitted
-                    .iter()
-                    .map(|&(_, prefill)| u64::from(prefill))
-                    .sum::<u64>()
-                    / u64::from(k)) as u32;
-                now += perf.prefill_time(k, mean_prompt.max(1));
-                for (idx, _) in newly_admitted {
-                    requests[idx].state = RequestState::Decoding;
-                    running.push(idx);
+                if self.chunk_budget.is_some() {
+                    for (idx, cold) in newly_admitted {
+                        prefilling.push_back((idx, cold));
+                    }
+                } else {
+                    let k = newly_admitted.len() as u32;
+                    let mean_prompt = (newly_admitted
+                        .iter()
+                        .map(|&(_, prefill)| u64::from(prefill))
+                        .sum::<u64>()
+                        / u64::from(k)) as u32;
+                    now += perf.prefill_time(k, mean_prompt.max(1));
+                    for (idx, _) in newly_admitted {
+                        requests[idx].state = RequestState::Decoding;
+                        running.push(idx);
+                    }
+                }
+            }
+
+            // --- One prefill chunk per scheduler step (chunked mode) ---
+            if let Some(budget) = self.chunk_budget {
+                if let Some((idx, remaining)) = prefilling.front_mut() {
+                    let take = (*remaining).min(budget).max(1);
+                    now += perf.prefill_time(1, take);
+                    prefill_chunks += 1;
+                    *remaining = remaining.saturating_sub(take);
+                    if *remaining == 0 {
+                        let idx = *idx;
+                        prefilling.pop_front();
+                        requests[idx].state = RequestState::Decoding;
+                        running.push(idx);
+                    }
                 }
             }
 
             if running.is_empty() {
+                if !prefilling.is_empty() {
+                    continue;
+                }
                 if let Some(&idx) = pending.front() {
                     // Intake drained everything arrived, so the front's
                     // arrival is in the future: jump to it.
@@ -963,6 +1082,7 @@ impl ServingSimulator {
             &requests,
             now,
             decode_steps,
+            prefill_chunks,
             occupancy_acc,
             peak_util,
             preemptions,
@@ -1095,6 +1215,7 @@ impl ServingSimulator {
             &requests,
             makespan,
             decode_steps,
+            0,
             tally.occupancy_acc,
             tally.peak_util,
             tally.preemptions,
@@ -1115,6 +1236,191 @@ impl ServingSimulator {
             failovers,
             migrations,
             migrated_tokens,
+            disagg_handoffs: 0,
+            per_replica_completed: reps.iter().map(|rep| rep.completed).collect(),
+        }
+    }
+
+    /// Disaggregated prefill/decode mirror of
+    /// [`ServingSimulator::run_replicated`]: `roles[i]` assigns
+    /// replica `i` its phase. Admissions are dealt round-robin over
+    /// prefill-capable replicas; when a request produces its first
+    /// token on a replica that does not accept decode, it hands off —
+    /// the generated prefix folds into a replay prefill on a
+    /// decode-capable replica, exactly the cancel-intercept +
+    /// prefix-replay handoff the live router performs at the phase
+    /// boundary. Handoffs count in
+    /// [`ReplicatedReport::disagg_handoffs`], never in `migrations`
+    /// (those remain failure-driven). A failover re-deals a streaming
+    /// flight to decode-capable survivors and an undispatched one to
+    /// prefill-capable survivors, the router's phase-aware placement.
+    pub fn run_disaggregated(
+        &self,
+        mut requests: Vec<Request>,
+        perf: &ResolvedScenario,
+        roles: &[ReplicaRole],
+        plan: &ReplicaFaultPlan,
+    ) -> ReplicatedReport {
+        assert!(!roles.is_empty(), "need at least one replica");
+        assert!(
+            roles.iter().any(|r| r.accepts_prefill()),
+            "need a prefill-capable replica"
+        );
+        assert!(
+            roles.iter().any(|r| r.accepts_decode()),
+            "need a decode-capable replica"
+        );
+        requests.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
+        let replicas = roles.len();
+        let mut reps: Vec<Rep> = (0..replicas as u32)
+            .map(|r| Rep {
+                plan: plan.plan_for(llmib_types::ReplicaId(r)),
+                alloc: self.new_alloc(),
+                queue: VecDeque::new(),
+                running: Vec::new(),
+                now: Seconds::ZERO,
+                decode_steps: 0,
+                next_event: 0,
+                poisoned: Vec::new(),
+                pressure: None,
+                dead: false,
+                completed: 0,
+            })
+            .collect();
+        let prefill_reps: Vec<usize> = (0..replicas)
+            .filter(|&i| roles[i].accepts_prefill())
+            .collect();
+        for (j, i) in (0..requests.len()).enumerate() {
+            let target = prefill_reps[j % prefill_reps.len()];
+            reps[target].queue.push_back(i);
+        }
+
+        let retry = RetryPolicy::default();
+        let mut tally = PoolTally::default();
+        let mut failovers = 0u32;
+        let mut migrations = 0u32;
+        let mut migrated_tokens = 0u64;
+        let mut disagg_handoffs = 0u32;
+        let mut rr = 0usize;
+        // Deterministic cursor for phase-boundary handoff targets.
+        let mut decode_rr = 0usize;
+
+        while let Some(r) = (0..reps.len())
+            .filter(|&i| !reps[i].dead && reps[i].has_work())
+            .min_by(|&a, &b| reps[a].now.value().total_cmp(&reps[b].now.value()))
+        {
+            match self.advance_replica(&mut reps[r], &mut requests, perf, &retry, &mut tally) {
+                ReplicaEvent::Died(outstanding) => {
+                    failovers += 1;
+                    let dead_now = reps[r].now;
+                    for idx in outstanding {
+                        let req = &mut requests[idx];
+                        let streamed = req.generated > 0;
+                        if req.arrival.value() <= dead_now.value() {
+                            migrations += 1;
+                            migrated_tokens += u64::from(req.generated);
+                            req.prompt_tokens += req.generated;
+                            req.output_tokens -= req.generated;
+                            req.generated = 0;
+                        }
+                        req.state = RequestState::Queued;
+                        // A streaming flight needs a decode-capable
+                        // survivor; an unstreamed one re-prefills.
+                        let survivor = (0..reps.len())
+                            .map(|_| {
+                                let t = rr % reps.len();
+                                rr += 1;
+                                t
+                            })
+                            .find(|&t| {
+                                !reps[t].dead
+                                    && if streamed {
+                                        roles[t].accepts_decode()
+                                    } else {
+                                        roles[t].accepts_prefill()
+                                    }
+                            });
+                        match survivor {
+                            Some(t) => insert_by_arrival(&mut reps[t].queue, idx, &requests),
+                            None => {
+                                requests[idx].state = RequestState::Failed;
+                                tally.failed += 1;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Phase boundary: a sequence that produced its first
+                    // token on a prefill-only replica hands off now.
+                    if !roles[r].accepts_decode() {
+                        let mut i = 0;
+                        while i < reps[r].running.len() {
+                            let idx = reps[r].running[i];
+                            if requests[idx].generated == 0 {
+                                i += 1;
+                                continue;
+                            }
+                            reps[r].running.swap_remove(i);
+                            let req = &mut requests[idx];
+                            reps[r].alloc.release(req.id);
+                            req.prompt_tokens += req.generated;
+                            req.output_tokens -= req.generated;
+                            req.generated = 0;
+                            req.state = RequestState::Queued;
+                            let target = (0..reps.len())
+                                .map(|_| {
+                                    let t = decode_rr % reps.len();
+                                    decode_rr += 1;
+                                    t
+                                })
+                                .find(|&t| !reps[t].dead && roles[t].accepts_decode());
+                            match target {
+                                Some(t) => {
+                                    disagg_handoffs += 1;
+                                    insert_by_arrival(&mut reps[t].queue, idx, &requests);
+                                }
+                                None => {
+                                    requests[idx].state = RequestState::Failed;
+                                    tally.failed += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let makespan = reps
+            .iter()
+            .map(|rep| rep.now)
+            .fold(Seconds::ZERO, |a, b| Seconds(a.value().max(b.value())));
+        let decode_steps: u64 = reps.iter().map(|rep| rep.decode_steps).sum();
+        let aggregate = self.report(
+            &requests,
+            makespan,
+            decode_steps,
+            0,
+            tally.occupancy_acc,
+            tally.peak_util,
+            tally.preemptions,
+            tally.rejected,
+            FaultTally {
+                failed: tally.failed,
+                retries: tally.retries,
+                faults_injected: tally.faults_injected,
+            },
+            PrefixTally {
+                hits: tally.prefix_hits,
+                saved_tokens: tally.saved_prefill_tokens,
+            },
+            OverloadTally::default(),
+        );
+        ReplicatedReport {
+            aggregate,
+            failovers,
+            migrations,
+            migrated_tokens,
+            disagg_handoffs,
             per_replica_completed: reps.iter().map(|rep| rep.completed).collect(),
         }
     }
@@ -1359,6 +1665,7 @@ impl ServingSimulator {
         requests: &[Request],
         makespan: Seconds,
         decode_steps: u64,
+        prefill_chunks: u64,
         occupancy_acc: f64,
         peak_kv_utilization: f64,
         preemptions: u32,
@@ -1398,6 +1705,15 @@ impl ServingSimulator {
                 (r.output_tokens > 1).then(|| (lat - ttft) / f64::from(r.output_tokens - 1))
             })
             .collect();
+        let itl = ItlSummary::from_observations(finished.iter().map(|r| {
+            let obs = (|| {
+                let lat = r.latency()?.value();
+                let ttft = r.ttft()?.value();
+                (r.output_tokens > 1)
+                    .then(|| Seconds((lat - ttft) / f64::from(r.output_tokens - 1)))
+            })();
+            (r.priority, obs)
+        }));
         ServingReport {
             completed,
             makespan,
@@ -1409,6 +1725,7 @@ impl ServingSimulator {
             mean_ttft: Seconds(mean(&ttfts)),
             p95_latency: Seconds(p95),
             mean_itl: Seconds(mean(&itls)),
+            itl,
             mean_batch_occupancy: if decode_steps > 0 {
                 occupancy_acc / decode_steps as f64
             } else {
@@ -1418,6 +1735,7 @@ impl ServingSimulator {
             preemptions,
             rejected,
             decode_steps,
+            prefill_chunks,
             failed: faults.failed,
             retries: faults.retries,
             faults_injected: faults.faults_injected,
@@ -1877,6 +2195,116 @@ mod tests {
         );
         assert!(rep.completed >= 2, "the admitted pair still finishes");
         assert_eq!(rep.preemptions, 0, "same-class traffic never preempts");
+    }
+
+    #[test]
+    fn chunked_prefill_counts_exactly_ceil_cold_over_budget() {
+        // 128-token prompts, budget 48: ceil(128/48) = 3 chunks per
+        // admission — the same formula the live scheduler realizes.
+        let reqs = ArrivalPattern::Burst.generate(6, 128, 16);
+        let cfg = config(BatchingPolicy::Continuous, 1 << 20, Some(16));
+        let mono = ServingSimulator::new(cfg.clone()).run(reqs.clone(), &perf(8));
+        let chunked = ServingSimulator::new(cfg)
+            .with_prefill_chunking(48)
+            .run(reqs, &perf(8));
+        assert_eq!(mono.prefill_chunks, 0);
+        assert_eq!(chunked.prefill_chunks, 6 * 3);
+        assert_eq!(chunked.completed, 6, "chunking never loses a request");
+        assert_eq!(chunked.completed, mono.completed);
+        // Prefix hits shrink the cold prefill, and the chunk count
+        // follows: 48 cached of 128 leaves ceil(80/48) = 2 chunks for
+        // every warm sharer (the first sharer is cold: 3).
+        let shared: Vec<Request> = (0..4)
+            .map(|id| Request::new(id, Seconds::ZERO, 128, 8).with_shared_prefix(48))
+            .collect();
+        let warm = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)))
+            .with_prefill_chunking(48)
+            .run(shared, &perf(4));
+        assert_eq!(warm.prefix_hits, 3);
+        assert_eq!(warm.prefill_chunks, 3 + 3 * 2);
+    }
+
+    #[test]
+    fn chunked_prefill_cuts_the_itl_tail_under_long_prompt_load() {
+        // Short-output chats straddling huge monolithic prefills absorb
+        // the full prefill stall between two of their tokens; chunking
+        // bounds each stall at one budget's worth of prefill.
+        let mut reqs: Vec<Request> = Vec::new();
+        for id in 0..24u64 {
+            if id % 3 == 0 {
+                reqs.push(Request::new(id, Seconds(id as f64 * 0.02), 2048, 8));
+            } else {
+                reqs.push(Request::new(id, Seconds(id as f64 * 0.02), 64, 16));
+            }
+        }
+        let cfg = config(BatchingPolicy::Continuous, 1 << 20, Some(16));
+        let mono = ServingSimulator::new(cfg.clone()).run(reqs.clone(), &perf(8));
+        let chunked = ServingSimulator::new(cfg)
+            .with_prefill_chunking(128)
+            .run(reqs, &perf(8));
+        assert_eq!(mono.completed, 24);
+        assert_eq!(chunked.completed, 24);
+        assert!(
+            chunked.itl.overall.p99.value() < mono.itl.overall.p99.value(),
+            "chunked p99 ITL {} must beat monolithic {}",
+            chunked.itl.overall.p99.value(),
+            mono.itl.overall.p99.value()
+        );
+    }
+
+    #[test]
+    fn disaggregated_pool_hands_off_at_the_phase_boundary() {
+        let reqs = ArrivalPattern::Burst.generate(10, 128, 8);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let rep = sim.run_disaggregated(
+            reqs,
+            &perf(4),
+            &[ReplicaRole::Prefill, ReplicaRole::Decode],
+            &ReplicaFaultPlan::empty(),
+        );
+        assert_eq!(rep.aggregate.completed, 10);
+        assert_eq!(rep.disagg_handoffs, 10, "every stream crosses the boundary");
+        assert_eq!(rep.migrations, 0, "handoffs are not failure migrations");
+        assert_eq!(
+            rep.per_replica_completed,
+            vec![0, 10],
+            "the prefill replica completes nothing; all streams finish on decode"
+        );
+        assert!(
+            rep.aggregate.mean_ttft.value() > 0.0,
+            "TTFT is stamped on the prefill replica and survives the handoff"
+        );
+    }
+
+    #[test]
+    fn disaggregated_failover_re_deals_by_phase() {
+        use llmib_types::{ReplicaFaultPlan, ReplicaId};
+        let reqs = ArrivalPattern::Burst.generate(9, 128, 12);
+        let sim = ServingSimulator::new(config(BatchingPolicy::Continuous, 1 << 20, Some(16)));
+        let roles = [
+            ReplicaRole::Prefill,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+        ];
+        // Step 0: the plan fires on replica 0's first advance, before
+        // it can run a decode step — its whole dealt share re-deals.
+        let plan = ReplicaFaultPlan::kill_replica(ReplicaId(0), 0);
+        let rep = sim.run_disaggregated(reqs, &perf(4), &roles, &plan);
+        assert_eq!(rep.failovers, 1);
+        assert_eq!(
+            rep.aggregate.completed + rep.aggregate.failed,
+            9,
+            "every request resolves"
+        );
+        assert_eq!(
+            rep.aggregate.completed, 9,
+            "a surviving prefill replica re-prefills the dead one's share"
+        );
+        assert_eq!(rep.per_replica_completed[0], 0);
+        assert_eq!(
+            rep.per_replica_completed[1], 0,
+            "prefill replicas finish none"
+        );
     }
 
     #[test]

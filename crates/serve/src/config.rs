@@ -3,7 +3,7 @@
 use crate::breaker::BreakerConfig;
 use crate::router::RoutingPolicy;
 use llmib_sched::{BatchingPolicy, OverloadConfig};
-use llmib_types::{Error, FaultPlan, ReplicaFaultPlan, Result, RetryPolicy};
+use llmib_types::{Error, FaultPlan, ReplicaFaultPlan, ReplicaRole, Result, RetryPolicy};
 use std::time::Duration;
 
 /// Configuration of a live [`crate::Server`].
@@ -27,6 +27,14 @@ pub struct ServeConfig {
     /// `Some(block)` = paged allocator with that block size; `None` =
     /// monolithic first-fit arena.
     pub kv_block_tokens: Option<u32>,
+    /// Chunked prefill: `Some(budget)` splits each admission's prompt
+    /// prefill into chunks of at most this many tokens, running one
+    /// chunk per scheduler step interleaved with a decode step for all
+    /// live sequences — a long prompt no longer stalls every in-flight
+    /// decode stream (the ITL-tail killer; §IV-A1's phase-interleaving
+    /// lever). `None` (the default) prefills monolithically inside
+    /// admission. Outputs are bitwise identical either way.
+    pub prefill_token_budget: Option<usize>,
     /// Bound of the ingress queue, applied twice: to the MPSC channel
     /// and to the scheduler's waiting queue (the scheduler stops
     /// draining the channel once that many requests wait, so the bound
@@ -78,6 +86,11 @@ impl ServeConfig {
         if self.kv_block_tokens == Some(0) {
             return Err(Error::InvalidConfig("kv block size must be > 0".into()));
         }
+        if self.prefill_token_budget == Some(0) {
+            return Err(Error::InvalidConfig(
+                "prefill_token_budget must be > 0; use None for monolithic prefill".into(),
+            ));
+        }
         if self.retry.base_backoff.value() < 0.0 || self.retry.max_backoff.value() < 0.0 {
             return Err(Error::InvalidConfig("backoff must be non-negative".into()));
         }
@@ -94,6 +107,7 @@ impl Default for ServeConfig {
             max_concurrency: 8,
             kv_capacity_tokens: 1 << 16,
             kv_block_tokens: Some(16),
+            prefill_token_budget: None,
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
@@ -132,6 +146,15 @@ pub struct PoolConfig {
     /// reaches this count, migrating its in-flight requests. `None`
     /// disables stall-based condemnation.
     pub condemn_stall_tally: Option<u32>,
+    /// Disaggregated prefill/decode: per-replica roles, indexed by
+    /// replica id. Empty (the default) leaves every replica
+    /// [`ReplicaRole::Unified`] (classic aggregated serving). When set,
+    /// the router sends admissions to prefill-capable replicas and, at
+    /// each sequence's prefill/decode boundary (its first generated
+    /// token), migrates it to a decode-capable replica by prefix
+    /// replay — the same KV-shipping machinery failover uses, so the
+    /// migrated stream is bitwise identical.
+    pub roles: Vec<ReplicaRole>,
 }
 
 impl Default for PoolConfig {
@@ -144,6 +167,7 @@ impl Default for PoolConfig {
             hedge_after: None,
             migrate_on_breaker_open: true,
             condemn_stall_tally: None,
+            roles: Vec::new(),
         }
     }
 }
@@ -168,7 +192,32 @@ impl PoolConfig {
                     .into(),
             ));
         }
+        if !self.roles.is_empty() {
+            if self.roles.len() != self.replicas as usize {
+                return Err(Error::InvalidConfig(format!(
+                    "roles has {} entries for {} replicas",
+                    self.roles.len(),
+                    self.replicas
+                )));
+            }
+            if !self.roles.iter().any(|r| r.accepts_prefill()) {
+                return Err(Error::InvalidConfig(
+                    "disaggregated pool needs at least one prefill-capable replica".into(),
+                ));
+            }
+            if !self.roles.iter().any(|r| r.accepts_decode()) {
+                return Err(Error::InvalidConfig(
+                    "disaggregated pool needs at least one decode-capable replica".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Role of replica `id` ([`ReplicaRole::Unified`] when no role map
+    /// is configured).
+    pub fn role_of(&self, id: usize) -> ReplicaRole {
+        self.roles.get(id).copied().unwrap_or_default()
     }
 }
 
@@ -189,13 +238,14 @@ mod tests {
             &mut |c: &mut ServeConfig| c.queue_capacity = 0,
             &mut |c: &mut ServeConfig| c.kv_capacity_tokens = 0,
             &mut |c: &mut ServeConfig| c.kv_block_tokens = Some(0),
+            &mut |c: &mut ServeConfig| c.prefill_token_budget = Some(0),
             &mut |c: &mut ServeConfig| c.retry.base_backoff = Seconds(-1.0),
             &mut |c: &mut ServeConfig| c.breaker.degraded_concurrency = 0,
             &mut |c: &mut ServeConfig| {
                 c.overload.brownout.enabled = true;
                 c.overload.brownout.trip_after = 0;
             },
-        ] as [&mut dyn FnMut(&mut ServeConfig); 7]
+        ] as [&mut dyn FnMut(&mut ServeConfig); 8]
         {
             let mut c = ServeConfig::default();
             breakit(&mut c);
@@ -235,5 +285,35 @@ mod tests {
             ..PoolConfig::default()
         };
         assert!(c.validate().is_ok(), "scoped faults are fine");
+    }
+
+    #[test]
+    fn role_maps_are_validated() {
+        use llmib_types::ReplicaRole;
+        let ok = PoolConfig {
+            roles: vec![ReplicaRole::Prefill, ReplicaRole::Decode],
+            ..PoolConfig::default()
+        };
+        ok.validate().unwrap();
+        assert_eq!(ok.role_of(0), ReplicaRole::Prefill);
+        assert_eq!(ok.role_of(5), ReplicaRole::Unified, "out of map = unified");
+
+        let wrong_len = PoolConfig {
+            roles: vec![ReplicaRole::Prefill],
+            ..PoolConfig::default()
+        };
+        assert!(wrong_len.validate().is_err());
+
+        let no_decode = PoolConfig {
+            roles: vec![ReplicaRole::Prefill, ReplicaRole::Prefill],
+            ..PoolConfig::default()
+        };
+        assert!(no_decode.validate().is_err());
+
+        let no_prefill = PoolConfig {
+            roles: vec![ReplicaRole::Decode, ReplicaRole::Decode],
+            ..PoolConfig::default()
+        };
+        assert!(no_prefill.validate().is_err());
     }
 }

@@ -13,7 +13,7 @@
 //! runtime and the `llmib-sched` simulator count identically — the same
 //! plan therefore describes the same chaos scenario in both.
 
-use llmib_engine::{AdmitOutcome, EngineStep, Sampler, TokenEvent};
+use llmib_engine::{AdmitOutcome, ChunkOutcome, EngineStep, Sampler, TokenEvent};
 use llmib_types::{FaultKind, FaultPlan, Result, StepError};
 use serde::Serialize;
 use std::time::Duration;
@@ -185,6 +185,32 @@ impl<S: EngineStep> EngineStep for FaultInjector<S> {
 
     fn live_ids(&self) -> Vec<u64> {
         self.inner.live_ids()
+    }
+
+    // Chunked prefill passes through untouched: faults stay anchored to
+    // the successful-decode-step clock, which both backends count
+    // identically whether prefill is monolithic or chunked.
+    fn admit_chunked(
+        &mut self,
+        id: u64,
+        prompt: &[usize],
+        max_new_tokens: usize,
+        sampler: Sampler,
+    ) -> Result<AdmitOutcome> {
+        self.inner
+            .admit_chunked(id, prompt, max_new_tokens, sampler)
+    }
+
+    fn prefill_chunk(&mut self, budget: usize) -> Option<ChunkOutcome> {
+        self.inner.prefill_chunk(budget)
+    }
+
+    fn pending_len(&self) -> usize {
+        self.inner.pending_len()
+    }
+
+    fn pending_prefill_tokens(&self) -> usize {
+        self.inner.pending_prefill_tokens()
     }
 }
 

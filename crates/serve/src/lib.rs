@@ -125,4 +125,4 @@ pub use server::Server;
 // simulator's mirror implementation; re-export them so serving users
 // configure both backends from one vocabulary.
 pub use llmib_sched::{BrownoutConfig, ClassCounters, OverloadConfig};
-pub use llmib_types::Priority;
+pub use llmib_types::{ItlPercentiles, ItlSummary, Priority, ReplicaRole};

@@ -136,6 +136,7 @@ impl ReplicaPool {
                         0,
                         Seconds(0.0),
                         0,
+                        0,
                         0.0,
                         0.0,
                         Vec::new(),
@@ -241,6 +242,9 @@ fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolRe
         robust.breaker_recoveries += r.robustness.breaker_recoveries;
     }
     let decode_steps: u64 = per_replica.iter().map(|r| r.decode_steps).sum();
+    // Prefill chunks are replica-local scheduler facts and sum cleanly;
+    // disaggregated handoffs are router-owned (already in `books.robust`).
+    let prefill_chunks: u64 = per_replica.iter().map(|r| r.prefill_chunks).sum();
     let occupancy_acc: f64 = per_replica
         .iter()
         .map(|r| r.mean_batch_occupancy * r.decode_steps as f64)
@@ -257,6 +261,7 @@ fn aggregate_report(books: RouterBooks, per_replica: Vec<ServeReport>) -> PoolRe
         books.rejected_oversized,
         makespan,
         decode_steps,
+        prefill_chunks,
         occupancy_acc,
         peak_kv,
         books.admission_order,

@@ -7,7 +7,7 @@
 
 use llmib_core::metrics::{mean, p50, p90, p99, InferenceMetrics, MetricInputs};
 use llmib_sched::ClassCounters;
-use llmib_types::{LatencySample, Seconds, TokenShape};
+use llmib_types::{ItlSummary, LatencySample, Priority, Seconds, TokenShape};
 use serde::Serialize;
 
 /// Wall-clock metrics of one completed request. All timestamps are
@@ -37,6 +37,9 @@ pub struct RequestMetrics {
     /// were already resident in the engine's shared-prefix cache. Zero
     /// for a cold admission (or when the prefix cache is disabled).
     pub cached_prefix_tokens: u32,
+    /// Scheduling class the request ran under — per-class latency
+    /// aggregation keys on it.
+    pub priority: Priority,
 }
 
 impl RequestMetrics {
@@ -52,6 +55,7 @@ impl RequestMetrics {
         first_token_at: Seconds,
         finished_at: Seconds,
         cached_prefix_tokens: u32,
+        priority: Priority,
     ) -> Self {
         let e2e = Seconds(finished_at.value() - submitted_at.value());
         let ttft = Seconds(first_token_at.value() - submitted_at.value());
@@ -71,6 +75,7 @@ impl RequestMetrics {
             itl: derived.itl,
             throughput_tokens_per_s: derived.throughput.value(),
             cached_prefix_tokens,
+            priority,
         }
     }
 }
@@ -168,6 +173,13 @@ pub struct RobustnessStats {
     /// Pool-only: replicas that died (scheduler panic or relay loss) and
     /// were permanently removed from routing.
     pub replicas_lost: u32,
+    /// Pool-only: sequences handed off from a prefill-role replica to a
+    /// decode-role replica at their prefill/decode boundary (first
+    /// generated token) under disaggregated serving
+    /// ([`crate::PoolConfig::roles`]). Counted separately from
+    /// failure-driven `migrations`; the KV shipping mechanism (prefix
+    /// replay) is the same.
+    pub disagg_handoffs: u32,
     /// Pool-only: hedged dispatches issued for stragglers (a duplicate
     /// of a stalled request raced on a second replica).
     pub hedges: u32,
@@ -198,6 +210,10 @@ pub struct ServeReport {
     pub mean_ttft: Seconds,
     /// Mean Eq. 1 inter-token latency across completed requests.
     pub mean_itl: Seconds,
+    /// ITL percentile summary, overall and per priority class — the
+    /// tail view `mean_itl` hides (one long-prompt prefill stall
+    /// inflates p99 long before it moves the mean).
+    pub itl: ItlSummary,
     /// Median end-to-end latency.
     pub p50_latency: Seconds,
     /// 90th-percentile end-to-end latency.
@@ -210,6 +226,12 @@ pub struct ServeReport {
     pub peak_kv_utilization: f64,
     /// Decode steps executed.
     pub decode_steps: u64,
+    /// Prefill chunks executed under chunked prefill
+    /// ([`crate::ServeConfig::prefill_token_budget`]); 0 under
+    /// monolithic prefill. Per request this is exactly
+    /// `ceil(cold_prompt_tokens / budget)`, which the simulator mirrors
+    /// for exact reconciliation.
+    pub prefill_chunks: u64,
     /// Sequence ids in the order the scheduler admitted them — replaying
     /// this order through a plain [`llmib_engine::BatchSession`] must
     /// reproduce every token bitwise (see [`crate::replay_admission_order`]).
@@ -279,6 +301,7 @@ impl ServeReport {
             0,
             Seconds(0.0),
             0,
+            0,
             0.0,
             0.0,
             Vec::new(),
@@ -297,6 +320,7 @@ impl ServeReport {
         rejected_oversized: u32,
         makespan: Seconds,
         decode_steps: u64,
+        prefill_chunks: u64,
         occupancy_acc: f64,
         peak_kv_utilization: f64,
         admission_order: Vec<u64>,
@@ -315,6 +339,7 @@ impl ServeReport {
             .iter()
             .filter_map(|m| m.itl.map(|s| s.value()))
             .collect();
+        let itl = ItlSummary::from_observations(per_request.iter().map(|m| (m.priority, m.itl)));
         Self {
             completed,
             shed_deadline,
@@ -327,6 +352,7 @@ impl ServeReport {
             },
             mean_ttft: Seconds(mean(&ttfts)),
             mean_itl: Seconds(mean(&itls)),
+            itl,
             p50_latency: Seconds(p50(&latencies)),
             p90_latency: Seconds(p90(&latencies)),
             p99_latency: Seconds(p99(&latencies)),
@@ -337,6 +363,7 @@ impl ServeReport {
             },
             peak_kv_utilization,
             decode_steps,
+            prefill_chunks,
             admission_order,
             per_request,
             robustness,
@@ -361,6 +388,7 @@ mod tests {
             Seconds(1.5),
             Seconds(3.5),
             0,
+            Priority::Standard,
         );
         assert!((m.ttft.value() - 0.5).abs() < 1e-12);
         assert!((m.e2e.value() - 2.5).abs() < 1e-12);
@@ -383,6 +411,7 @@ mod tests {
                     Seconds(0.2),
                     Seconds(1.0 + i as f64),
                     0,
+                    Priority::Standard,
                 )
             })
             .collect();
@@ -392,6 +421,7 @@ mod tests {
             1,
             Seconds(10.0),
             100,
+            0,
             250.0,
             0.5,
             (0..10).collect(),
@@ -421,6 +451,7 @@ mod tests {
             0,
             Seconds(1.0),
             10,
+            0,
             10.0,
             0.1,
             Vec::new(),
@@ -450,6 +481,7 @@ mod tests {
             1,
             Seconds(1.0),
             10,
+            0,
             10.0,
             0.1,
             Vec::new(),

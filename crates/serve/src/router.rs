@@ -148,6 +148,10 @@ struct Flight {
     /// A condemnation cancel is in flight; its `Cancelled` echo is a
     /// migration signal, not a client cancellation.
     migrating: bool,
+    /// The in-flight migration is a planned prefill/decode handoff
+    /// (disaggregated roles), counted as a [`RobustnessStats::disagg_handoffs`]
+    /// rather than a failure migration when the flight re-places.
+    disagg_handoff: bool,
     /// A hedge was issued at some point (one per flight).
     hedged: bool,
     client_cancelled: bool,
@@ -301,6 +305,7 @@ pub(crate) fn router_loop(
                             hedge: None,
                             dispatches: 0,
                             migrating: false,
+                            disagg_handoff: false,
                             hedged: false,
                             client_cancelled: false,
                             admitted_sent: false,
@@ -358,15 +363,24 @@ pub(crate) fn router_loop(
                 progressed = true;
                 continue;
             }
-            let pick = pick_replica(config, slots, &mut rr_cursor, None);
+            let pick = pick_replica(config, slots, &mut rr_cursor, None, f.tokens.is_empty());
             match pick {
                 Some(slot_idx) => match open_dispatch(id, f, &slots[slot_idx]) {
                     Some(d) => {
                         progressed = true;
                         if f.dispatches > 0 {
                             let replayed = f.tokens.len() as u32;
-                            books.robust.migrations += 1;
-                            books.robust.migrated_tokens += u64::from(replayed);
+                            if f.disagg_handoff {
+                                // Planned prefill→decode handoff, not a
+                                // failure migration. The recorded prefix
+                                // (the KV block chain's token content)
+                                // replays on the decode replica.
+                                f.disagg_handoff = false;
+                                books.robust.disagg_handoffs += 1;
+                            } else {
+                                books.robust.migrations += 1;
+                                books.robust.migrated_tokens += u64::from(replayed);
+                            }
                             let _ = f.client.send(ServeEvent::Migrated {
                                 to: slots[slot_idx].id,
                                 replayed_tokens: replayed,
@@ -381,18 +395,36 @@ pub(crate) fn router_loop(
                     // retry next iteration.
                     None => still_parked.push(id),
                 },
-                None if all_condemned || (disconnected && none_routable) => {
-                    // No replica will ever (or, during drain, can)
-                    // take it — resolve explicitly rather than hang.
-                    books.robust.failed += 1;
-                    let _ = f.client.send(ServeEvent::Failed {
-                        reason: FailReason::ServerFailed,
-                        at: t,
-                    });
-                    flights.remove(&id);
-                    progressed = true;
+                None => {
+                    // Under disaggregated roles, a flight whose needed
+                    // phase has no surviving replica (e.g. every
+                    // prefill-capable replica died) can never place.
+                    let phase_dead = !config.roles.is_empty() && {
+                        let needs_prefill = f.tokens.is_empty();
+                        !(0..slots.len()).any(|i| {
+                            let role = config.role_of(i);
+                            let capable = if needs_prefill {
+                                role.accepts_prefill()
+                            } else {
+                                role.accepts_decode()
+                            };
+                            capable && !slots[i].condemned && !slots[i].is_dead()
+                        })
+                    };
+                    if all_condemned || phase_dead || (disconnected && none_routable) {
+                        // No replica will ever (or, during drain, can)
+                        // take it — resolve explicitly rather than hang.
+                        books.robust.failed += 1;
+                        let _ = f.client.send(ServeEvent::Failed {
+                            reason: FailReason::ServerFailed,
+                            at: t,
+                        });
+                        flights.remove(&id);
+                        progressed = true;
+                    } else {
+                        still_parked.push(id);
+                    }
                 }
-                None => still_parked.push(id),
             }
         }
         parked = still_parked;
@@ -450,6 +482,29 @@ pub(crate) fn router_loop(
                 }
             }
         }
+        // 5b. Disaggregated prefill/decode boundary: a flight that has
+        //     streamed its first token on a prefill-role replica moves
+        //     to a decode-capable replica through the same
+        //     cancel-intercept machinery as condemnation migrations.
+        //     The replica echoes `Cancelled`, the flight parks with its
+        //     recorded prefix (prompt + streamed tokens — the content
+        //     of its KV block chain), and step 4 replays it on a decode
+        //     replica bitwise identically.
+        if !config.roles.is_empty() {
+            for (&id, f) in flights.iter_mut() {
+                if f.migrating || f.client_cancelled || f.hedge.is_some() || f.tokens.is_empty() {
+                    continue;
+                }
+                if let Some(d) = f.primary.as_ref() {
+                    if !config.role_of(d.replica).accepts_decode() {
+                        f.migrating = true;
+                        f.disagg_handoff = true;
+                        let _ = slots[d.replica].control.send(id);
+                        progressed = true;
+                    }
+                }
+            }
+        }
         // 6. Hedge stragglers: no progress past the deadline → race a
         //    prefix-replayed twin on a second replica.
         if let Some(hedge_after) = config.hedge_after {
@@ -470,7 +525,9 @@ pub(crate) fn router_loop(
                     continue;
                 };
                 let exclude = f.primary.as_ref().map(|d| d.replica);
-                let Some(slot_idx) = pick_replica(config, slots, &mut rr_cursor, exclude) else {
+                let Some(slot_idx) =
+                    pick_replica(config, slots, &mut rr_cursor, exclude, f.tokens.is_empty())
+                else {
                     continue;
                 };
                 if let Some(d) = open_dispatch(id, f, &slots[slot_idx]) {
@@ -545,15 +602,27 @@ fn slot_index(slot: &ReplicaSlot) -> usize {
 }
 
 /// Pick a routable replica by policy; `exclude` keeps a hedge off its
-/// primary's replica.
+/// primary's replica. `needs_prefill` is true for dispatches with no
+/// recorded prefix (cold admissions) — under disaggregated roles those
+/// go to prefill-capable replicas, while prefix-replayed re-dispatches
+/// (migrations, handoffs, hedges of streaming flights) go to
+/// decode-capable ones.
 fn pick_replica(
     config: &PoolConfig,
     slots: &[ReplicaSlot],
     rr_cursor: &mut usize,
     exclude: Option<usize>,
+    needs_prefill: bool,
 ) -> Option<usize> {
-    let routable =
-        |i: usize| exclude != Some(i) && slots[i].routable(config.migrate_on_breaker_open);
+    let routable = |i: usize| {
+        let role = config.role_of(i);
+        let role_ok = if needs_prefill {
+            role.accepts_prefill()
+        } else {
+            role.accepts_decode()
+        };
+        role_ok && exclude != Some(i) && slots[i].routable(config.migrate_on_breaker_open)
+    };
     match config.routing {
         RoutingPolicy::RoundRobin => {
             let n = slots.len();
@@ -697,6 +766,7 @@ fn finish_flight(id: u64, f: &Flight, finished_at: Seconds, books: &mut RouterBo
         f.first_token_at.unwrap_or(finished_at),
         finished_at,
         f.cached_prefix_tokens,
+        f.priority,
     );
     let _ = f.client.send(ServeEvent::Finished {
         metrics: metrics.clone(),

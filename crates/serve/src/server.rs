@@ -59,6 +59,15 @@ pub(crate) struct ReplicaTelemetry {
     pub breaker_state: AtomicU8,
     /// Watchdog stalls observed so far (condemnation tally).
     pub watchdog_stalls: AtomicU32,
+    /// Live decode batch size at the last step boundary — the
+    /// occupancy gauge routing policies and drills read instead of
+    /// waiting for the end-of-run mean.
+    pub batch_occupancy: AtomicU32,
+    /// Prompt tokens awaiting prefill on this replica: the cold
+    /// backlog of chunk-admitted sequences plus every queued
+    /// submission's prompt. The prefill-pressure signal disaggregated
+    /// routing observes.
+    pub queued_prefill_tokens: AtomicU64,
     /// Set once the scheduler thread died (contained panic); the router
     /// must stop dispatching and migrate the replica's in-flight work.
     pub dead: AtomicBool,
@@ -284,6 +293,10 @@ struct Scheduler<'m> {
     shed_deadline: u32,
     rejected_oversized: u32,
     decode_steps: u64,
+    /// Prefill chunks executed (chunked prefill only; exactly
+    /// `ceil(cold_tokens / budget)` per admission, which the simulator
+    /// mirrors for exact reconciliation).
+    prefill_chunks: u64,
     occupancy_acc: f64,
     peak_kv: f64,
     first_submitted_at: Option<f64>,
@@ -429,7 +442,7 @@ impl<'m> Scheduler<'m> {
         self.admit_starved = false;
         let may_admit = match self.config.policy {
             BatchingPolicy::Continuous => true,
-            BatchingPolicy::Static => self.session.is_empty(),
+            BatchingPolicy::Static => self.session.is_empty() && self.session.pending_len() == 0,
         };
         if !may_admit {
             return;
@@ -458,7 +471,10 @@ impl<'m> Scheduler<'m> {
         let cap = self
             .breaker
             .effective_concurrency(self.config.max_concurrency);
-        while self.session.len() < cap {
+        // Pending (chunk-admitted, still prefilling) sequences hold KV
+        // reservations and batch slots-to-be: they count against the
+        // concurrency cap exactly like live ones.
+        while self.session.len() + self.session.pending_len() < cap {
             let Some(front) = self.waiting.front() else {
                 break;
             };
@@ -493,7 +509,10 @@ impl<'m> Scheduler<'m> {
                 // window expires, so the shed must not fire. (Intake
                 // screens for truly oversized requests, so the branch is
                 // defensive.)
-                if self.session.is_empty() && self.budget.is_idle() && !self.budget.under_pressure()
+                if self.session.is_empty()
+                    && self.session.pending_len() == 0
+                    && self.budget.is_idle()
+                    && !self.budget.under_pressure()
                 {
                     let sub = self.waiting.pop_front().expect("front exists");
                     self.carry.remove(&sub.id);
@@ -509,12 +528,24 @@ impl<'m> Scheduler<'m> {
             }
             let mut sub = self.waiting.pop_front().expect("front exists");
             sub.max_new_tokens = max_new;
-            // Prefill runs synchronously inside `admit` — the admission
-            // timestamp below includes it, as TTFT must.
-            match self
-                .session
-                .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler.clone())
-            {
+            // Monolithic prefill runs synchronously inside `admit` — the
+            // admission timestamp below includes it, as TTFT must.
+            // Chunked admission defers prefill to per-step
+            // `prefill_chunk` calls; TTFT then accrues across the
+            // chunks, since the first token cannot appear earlier.
+            let admitted = match self.config.prefill_token_budget {
+                Some(_) => self.session.admit_chunked(
+                    sub.id,
+                    &sub.prompt,
+                    sub.max_new_tokens,
+                    sub.sampler.clone(),
+                ),
+                None => {
+                    self.session
+                        .admit(sub.id, &sub.prompt, sub.max_new_tokens, sub.sampler.clone())
+                }
+            };
+            match admitted {
                 Ok(outcome) => {
                     let at = now(self.epoch);
                     self.next_admit_seq += 1;
@@ -738,6 +769,7 @@ impl<'m> Scheduler<'m> {
                     meta.first_token_at.expect("finished implies first token"),
                     at,
                     meta.cached_prefix_tokens,
+                    meta.priority,
                 );
                 let _ = meta.events.send(ServeEvent::Finished {
                     metrics: metrics.clone(),
@@ -794,6 +826,7 @@ impl<'m> Scheduler<'m> {
             self.rejected_oversized,
             makespan,
             self.decode_steps,
+            self.prefill_chunks,
             self.occupancy_acc,
             self.peak_kv,
             self.admission_order,
@@ -850,6 +883,7 @@ fn scheduler_loop(
         shed_deadline: 0,
         rejected_oversized: 0,
         decode_steps: 0,
+        prefill_chunks: 0,
         occupancy_acc: 0.0,
         peak_kv: 0.0,
         first_submitted_at: None,
@@ -868,6 +902,18 @@ fn scheduler_loop(
         telemetry
             .watchdog_stalls
             .store(sched.robust.watchdog_stalls, Ordering::Relaxed);
+        telemetry
+            .batch_occupancy
+            .store(sched.session.len() as u32, Ordering::Relaxed);
+        let backlog = sched.session.pending_prefill_tokens() as u64
+            + sched
+                .waiting
+                .iter()
+                .map(|sub| sub.prompt.len() as u64)
+                .sum::<u64>();
+        telemetry
+            .queued_prefill_tokens
+            .store(backlog, Ordering::Relaxed);
         // 1. Wall-clock breaker transitions (open → half-open) — driven
         //    here so an empty batch cannot freeze the breaker.
         sched.breaker.tick(Instant::now());
@@ -907,10 +953,19 @@ fn scheduler_loop(
         let pressure = sched.session.kv_pressure();
         sched.budget.set_pressure_factor(pressure);
         sched.admit();
+        // 5b. Chunked prefill: push at most one token-budgeted chunk of
+        //     pending prompt through the model, interleaved with the
+        //     decode step below — a long prompt costs every live stream
+        //     one chunk of added ITL per step, never its whole prefill.
+        if let Some(budget) = config.prefill_token_budget {
+            if sched.session.prefill_chunk(budget).is_some() {
+                sched.prefill_chunks += 1;
+            }
+        }
         // 6. Run one supervised step, or wait for work.
         if !sched.session.is_empty() {
             sched.step_supervised();
-        } else if sched.waiting.is_empty() {
+        } else if sched.waiting.is_empty() && sched.session.pending_len() == 0 {
             if stop.load(Ordering::Acquire) || disconnected {
                 break;
             }
@@ -936,4 +991,107 @@ fn scheduler_loop(
         });
     }
     sched.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmib_engine::EngineConfig;
+
+    /// The scheduler publishes live batch-occupancy and queued-prefill
+    /// gauges. A one-slot replica fed two requests holds the second in
+    /// the waiting queue for the first one's whole decode, so the
+    /// backlog gauge reads that queued prompt and the occupancy gauge
+    /// reads the live batch for the entire window — long enough for a
+    /// polling thread to observe both deterministically. Both gauges
+    /// return to zero once the batch drains.
+    #[test]
+    fn telemetry_gauges_expose_prefill_backlog_and_batch_occupancy() {
+        let model = Arc::new(
+            TransformerModel::new(
+                EngineConfig::scaled_from(llmib_models::ModelId::Llama2_7b, 128, 7),
+                false,
+            )
+            .unwrap(),
+        );
+        let config = ServeConfig {
+            max_concurrency: 1,
+            prefill_token_budget: Some(8),
+            ..ServeConfig::default()
+        };
+        let replica = spawn_scheduler(model, config, Instant::now());
+        let (events, rx) = std::sync::mpsc::channel();
+        let (events2, rx2) = std::sync::mpsc::channel();
+        for (id, prompt_len, output, ev) in [(0u64, 32usize, 64, events), (1, 48, 8, events2)] {
+            replica
+                .ingress
+                .send(Submission {
+                    id,
+                    // Disjoint prompts: a shared prefix would be served
+                    // from the block trie, shrinking the second
+                    // request's cold-chunk count below ceil(48/8).
+                    prompt: (0..prompt_len)
+                        .map(|i| (i * 7 + 13 * id as usize) % 64)
+                        .collect(),
+                    max_new_tokens: output,
+                    sampler: Sampler::Greedy,
+                    submitted_at: Seconds(0.0),
+                    deadline: None,
+                    priority: Priority::Standard,
+                    events: ev,
+                })
+                .expect("scheduler hung up before the test submission");
+        }
+
+        // While request 0 decodes its 64 tokens, request 1's 48-token
+        // prompt sits in the waiting queue: every gauge publish in that
+        // window shows backlog >= 48 and occupancy == 1. Poll until
+        // both are seen or the run ends.
+        let mut peak_backlog = 0u64;
+        let mut peak_occupancy = 0u32;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            peak_backlog = peak_backlog.max(
+                replica
+                    .telemetry
+                    .queued_prefill_tokens
+                    .load(Ordering::Relaxed),
+            );
+            peak_occupancy =
+                peak_occupancy.max(replica.telemetry.batch_occupancy.load(Ordering::Relaxed));
+            if peak_backlog > 0 && peak_occupancy >= 1 {
+                break;
+            }
+            if matches!(rx2.try_recv(), Ok(ServeEvent::Finished { .. })) {
+                break;
+            }
+            std::thread::yield_now();
+            assert!(Instant::now() < deadline, "requests did not finish in time");
+        }
+        assert!(peak_backlog > 0, "never observed a queued-prefill backlog");
+        assert!(peak_occupancy >= 1, "never observed a live decode batch");
+
+        // Both streams complete despite the gauge polling.
+        for stream in [rx, rx2] {
+            let finished = stream
+                .iter()
+                .any(|ev| matches!(ev, ServeEvent::Finished { .. }));
+            assert!(finished, "a request died before finishing");
+        }
+        replica.stop.store(true, Ordering::Release);
+        drop(replica.ingress);
+        let report = replica.worker.join().expect("scheduler thread panicked");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.prefill_chunks, 32u64.div_ceil(8) + 48u64.div_ceil(8));
+        // The loop republishes the gauges after the batch drains, so
+        // an idle replica reads as idle.
+        assert_eq!(replica.telemetry.batch_occupancy.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            replica
+                .telemetry
+                .queued_prefill_tokens
+                .load(Ordering::Relaxed),
+            0
+        );
+    }
 }

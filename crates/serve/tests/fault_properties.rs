@@ -240,4 +240,114 @@ proptest! {
             }
         }
     }
+
+    /// Satellite property: chunked prefill interleaved with arbitrary
+    /// seeded faults, priority preemption under a tight KV pool, and
+    /// shared-prefix cache hits (every prompt shares one 16-token
+    /// block, so later admissions prefill only their cold suffix). For
+    /// any chunk budget and any interleaving:
+    ///
+    /// * no client hangs,
+    /// * the books balance — one terminal answer per submission,
+    /// * every stream is a bitwise prefix of the same request's
+    ///   uncontended monolithic single-owner run — chunk boundaries,
+    ///   cache hits, preemption replays, and faults change *when*
+    ///   tokens appear, never *which*,
+    /// * the chunk counter is live: the first admission meets an empty
+    ///   prefix trie, so its cold prompt chunks at least once.
+    #[test]
+    fn chunked_prefill_interleaves_with_faults_preemption_and_prefix_hits(
+        seed in 0u64..u64::MAX,
+        horizon in 4u64..24,
+        n_low in 2u64..5,
+        n_high in 1u64..3,
+        max_new in 8usize..16,
+        budget in 1usize..12,
+    ) {
+        let model = model();
+        let n = n_low + n_high;
+        let request_ids: Vec<u64> = (0..n).collect();
+        let plan = FaultPlan::seeded(seed, horizon, &request_ids);
+        let server = Server::start(
+            Arc::clone(&model),
+            ServeConfig {
+                kv_capacity_tokens: 96,
+                kv_block_tokens: Some(16),
+                prefill_token_budget: Some(budget),
+                fault_plan: plan,
+                overload: OverloadConfig {
+                    preemption: true,
+                    brownout: BrownoutConfig::default(),
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server starts");
+        let client = server.client();
+
+        let mut spec = HashMap::new();
+        let mut handles = Vec::new();
+        for id in 0..n {
+            // One shared 16-token block, then a per-id cold suffix:
+            // every admission after the first hits the prefix trie and
+            // chunk-prefills only the suffix.
+            let mut prompt: Vec<usize> = (0..16).map(|i| (i * 3 + 1) % VOCAB).collect();
+            prompt.extend(deterministic_prompt(id, 5, VOCAB));
+            let priority = if id < n_low {
+                Priority::BestEffort
+            } else {
+                Priority::Interactive
+            };
+            let handle = client
+                .submit(
+                    prompt.clone(),
+                    SubmitOptions::greedy(max_new).with_priority(priority),
+                )
+                .expect("accepted");
+            spec.insert(handle.id, (prompt, max_new));
+            handles.push((handle.id, handle));
+        }
+        let mut outcomes: Vec<(u64, RequestOutcome)> = Vec::new();
+        for (id, handle) in handles {
+            let outcome = handle.wait_timeout(NO_HANG);
+            prop_assert!(outcome.is_some(), "request {} hung", id);
+            outcomes.push((id, outcome.expect("just checked")));
+        }
+        let report = server.shutdown();
+
+        prop_assert!(report.reconciles(), "books must balance: {report:?}");
+        if !report.admission_order.is_empty() {
+            prop_assert!(
+                report.prefill_chunks > 0,
+                "a cold first admission must chunk at least once (budget {})",
+                budget
+            );
+        }
+
+        for (id, outcome) in &outcomes {
+            let tokens = match outcome {
+                RequestOutcome::Completed { tokens, .. }
+                | RequestOutcome::Failed { tokens, .. }
+                | RequestOutcome::Cancelled { tokens } => tokens,
+                RequestOutcome::Rejected { .. } => continue,
+            };
+            let full = &replay_admission_order(&model, &[*id], |rid| {
+                spec.get(&rid).expect("submitted id has a spec").clone()
+            })[0]
+                .1;
+            prop_assert!(
+                tokens.len() <= full.len() && tokens.as_slice() == &full[..tokens.len()],
+                "request {} stream is not a prefix of its uncontended monolithic run",
+                id
+            );
+            if matches!(outcome, RequestOutcome::Completed { .. }) {
+                prop_assert_eq!(
+                    tokens.len(),
+                    full.len(),
+                    "request {} completed short",
+                    id
+                );
+            }
+        }
+    }
 }

@@ -29,7 +29,9 @@ pub use fault::{
 };
 pub use parallelism::Parallelism;
 pub use precision::Precision;
-pub use request::{LatencySample, Priority, Request, RequestState};
+pub use request::{
+    ItlPercentiles, ItlSummary, LatencySample, Priority, ReplicaRole, Request, RequestState,
+};
 pub use units::{
     ByteCount, BytesPerSecond, Flops, FlopsRate, Joules, Seconds, TokensPerSecond, Watts,
 };

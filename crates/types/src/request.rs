@@ -7,7 +7,7 @@
 //! the two consume byte-identical traces and report metrics over the
 //! same state machine.
 
-use crate::Seconds;
+use crate::{stats, Seconds};
 use serde::Serialize;
 
 /// Where a request is in its lifecycle.
@@ -70,6 +70,51 @@ impl Priority {
             Priority::BestEffort => "best_effort",
             Priority::Standard => "standard",
             Priority::Interactive => "interactive",
+        }
+    }
+}
+
+/// Serving role of one replica in a disaggregated pool.
+///
+/// Disaggregated serving splits the two inference phases across
+/// replicas: *prefill* replicas absorb the compute-bound prompt pass
+/// and *decode* replicas run the memory-bound token loop, so a long
+/// prompt's prefill never stalls another stream's decode. A sequence
+/// admitted on a prefill replica migrates to a decode replica at the
+/// prefill/decode boundary by shipping its KV state (here: prefix
+/// replay, which reproduces the KV block chain bitwise). Both serving
+/// backends — the live router and the replicated simulator — consume
+/// the same role assignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum ReplicaRole {
+    /// Runs admissions' prompt prefill, handing each sequence off at
+    /// its first generated token.
+    Prefill,
+    /// Runs the decode loop of sequences prefilled elsewhere (arriving
+    /// via KV shipping / prefix replay).
+    Decode,
+    /// Classic aggregated replica: serves both phases.
+    #[default]
+    Unified,
+}
+
+impl ReplicaRole {
+    /// Whether new admissions (cold prompts) may be routed here.
+    pub fn accepts_prefill(self) -> bool {
+        matches!(self, ReplicaRole::Prefill | ReplicaRole::Unified)
+    }
+
+    /// Whether decode-phase work (post-prefill sequences) may run here.
+    pub fn accepts_decode(self) -> bool {
+        matches!(self, ReplicaRole::Decode | ReplicaRole::Unified)
+    }
+
+    /// Stable name for report serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+            ReplicaRole::Unified => "unified",
         }
     }
 }
@@ -215,6 +260,74 @@ impl LatencySample {
     }
 }
 
+/// Nearest-rank percentiles over one set of Eq. 1 ITL observations.
+///
+/// Single-token outputs have no ITL and contribute no sample, so
+/// `samples` can be below the completed-request count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ItlPercentiles {
+    /// ITL observations behind the percentiles.
+    pub samples: u32,
+    /// Median ITL.
+    pub p50: Seconds,
+    /// 95th-percentile ITL.
+    pub p95: Seconds,
+    /// 99th-percentile ITL — the tail the chunked-prefill and
+    /// disaggregation policies exist to protect.
+    pub p99: Seconds,
+}
+
+impl ItlPercentiles {
+    /// Percentiles of `values` (seconds; need not be sorted).
+    pub fn from_values(values: &[f64]) -> Self {
+        Self {
+            samples: values.len() as u32,
+            p50: Seconds(stats::p50(values)),
+            p95: Seconds(stats::p95(values)),
+            p99: Seconds(stats::p99(values)),
+        }
+    }
+}
+
+/// Overall and per-priority-class ITL percentile summary of one serving
+/// run. Both serving backends compute it with the same nearest-rank
+/// definition over their finished requests, so on an identical trace
+/// the per-class `samples` counts reconcile exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ItlSummary {
+    /// Percentiles over every finished request with an ITL observation.
+    pub overall: ItlPercentiles,
+    /// Per-class percentiles, indexed by [`Priority::index`].
+    pub per_class: [ItlPercentiles; 3],
+}
+
+impl ItlSummary {
+    /// Build the summary from `(priority, itl)` observations of
+    /// finished requests; `None` ITLs (single-token outputs) are
+    /// skipped.
+    pub fn from_observations<I>(obs: I) -> Self
+    where
+        I: IntoIterator<Item = (Priority, Option<Seconds>)>,
+    {
+        let mut all = Vec::new();
+        let mut per_class: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (priority, itl) in obs {
+            if let Some(itl) = itl {
+                all.push(itl.value());
+                per_class[priority.index()].push(itl.value());
+            }
+        }
+        Self {
+            overall: ItlPercentiles::from_values(&all),
+            per_class: [
+                ItlPercentiles::from_values(&per_class[0]),
+                ItlPercentiles::from_values(&per_class[1]),
+                ItlPercentiles::from_values(&per_class[2]),
+            ],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +362,37 @@ mod tests {
     #[should_panic(expected = "shorter than the prompt")]
     fn fully_shared_prompt_rejected() {
         let _ = Request::new(1, Seconds::ZERO, 32, 4).with_shared_prefix(32);
+    }
+
+    #[test]
+    fn itl_summary_splits_by_class_and_skips_single_token_outputs() {
+        let obs = vec![
+            (Priority::Interactive, Some(Seconds(0.010))),
+            (Priority::Interactive, Some(Seconds(0.030))),
+            (Priority::BestEffort, Some(Seconds(0.200))),
+            (Priority::Standard, None), // single-token output: no ITL
+        ];
+        let s = ItlSummary::from_observations(obs);
+        assert_eq!(s.overall.samples, 3);
+        assert_eq!(s.per_class[Priority::Interactive.index()].samples, 2);
+        assert_eq!(s.per_class[Priority::Standard.index()].samples, 0);
+        assert_eq!(s.per_class[Priority::BestEffort.index()].samples, 1);
+        assert!((s.overall.p99.value() - 0.200).abs() < 1e-12);
+        let inter = s.per_class[Priority::Interactive.index()];
+        assert!((inter.p50.value() - 0.010).abs() < 1e-12);
+        assert!((inter.p99.value() - 0.030).abs() < 1e-12);
+        assert_eq!(s.per_class[Priority::Standard.index()].p99.value(), 0.0);
+    }
+
+    #[test]
+    fn replica_roles_cover_both_phases() {
+        assert!(ReplicaRole::Prefill.accepts_prefill());
+        assert!(!ReplicaRole::Prefill.accepts_decode());
+        assert!(!ReplicaRole::Decode.accepts_prefill());
+        assert!(ReplicaRole::Decode.accepts_decode());
+        assert!(ReplicaRole::Unified.accepts_prefill() && ReplicaRole::Unified.accepts_decode());
+        assert_eq!(ReplicaRole::default(), ReplicaRole::Unified);
+        assert_eq!(ReplicaRole::Prefill.as_str(), "prefill");
     }
 
     #[test]

@@ -30,4 +30,4 @@ mod traffic;
 pub use corpus::{LongBenchLike, MarkovTextGenerator, SubsetSpec};
 pub use perplexity::{nll_from_logits, perplexity, PerplexityReport};
 pub use reference::{paper_perplexity, PaperPerplexity, PAPER_PERPLEXITY_TABLE};
-pub use traffic::{BurstProfile, RequestShape, SharedPrefix, TrafficProfile};
+pub use traffic::{BurstProfile, PromptLenDist, RequestShape, SharedPrefix, TrafficProfile};

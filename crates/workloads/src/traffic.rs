@@ -12,8 +12,53 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+/// Prompt-length distribution for heavy-tailed workloads: real prompt
+/// traffic is not unimodal — a small fraction of very long documents
+/// coexists with a mass of short chats, and it is exactly those rare
+/// giants whose monolithic prefills stall every concurrent decode
+/// stream (the ITL tail chunked prefill exists to kill).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum PromptLenDist {
+    /// `ln(len) ~ Normal(mu, sigma^2)`, rounded and clamped to
+    /// `[1, max]`. The median prompt is `exp(mu)` tokens; `sigma`
+    /// controls how heavy the tail is.
+    LogNormal {
+        /// Mean of the underlying normal (of `ln(tokens)`).
+        mu: f64,
+        /// Standard deviation of the underlying normal (> 0).
+        sigma: f64,
+        /// Hard cap on sampled lengths (>= 1), e.g. a context limit.
+        max: u32,
+    },
+}
+
+impl PromptLenDist {
+    fn assert_valid(&self) {
+        match *self {
+            PromptLenDist::LogNormal { sigma, max, .. } => {
+                assert!(sigma > 0.0, "log-normal sigma must be positive");
+                assert!(max >= 1, "log-normal max must be at least 1");
+            }
+        }
+    }
+
+    /// One deterministic draw (Box–Muller over the shared stream, so a
+    /// fixed seed yields a fixed length sequence).
+    fn sample_one(self, rng: &mut StdRng) -> u32 {
+        self.assert_valid();
+        match self {
+            PromptLenDist::LogNormal { mu, sigma, max } => {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp().round().clamp(1.0, f64::from(max)) as u32
+            }
+        }
+    }
+}
+
 /// A named traffic profile: distributions of prompt and output lengths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum TrafficProfile {
     /// Long inputs, short outputs (summarization / classification).
     Summarization,
@@ -25,6 +70,16 @@ pub enum TrafficProfile {
     Square {
         /// Token length for both sides.
         len: u32,
+    },
+    /// Heavy-tailed prompts with short chat-style outputs — the
+    /// long-prompt-heavy regime whose rare giant prefills drive the
+    /// inter-token-latency tail under monolithic admission.
+    HeavyTail {
+        /// Prompt-length distribution.
+        prompt: PromptLenDist,
+        /// Modal output length; outputs are triangular around it
+        /// (`peak/2 .. peak .. 2*peak`).
+        output_peak: u32,
     },
 }
 
@@ -161,6 +216,16 @@ impl TrafficProfile {
             TrafficProfile::Generation => (tri(rng, 32, 128, 256), tri(rng, 256, 640, 1536)),
             TrafficProfile::Chat => (tri(rng, 64, 256, 1024), tri(rng, 64, 192, 768)),
             TrafficProfile::Square { len } => (len, len),
+            TrafficProfile::HeavyTail {
+                prompt,
+                output_peak,
+            } => {
+                let peak = output_peak.max(1);
+                (
+                    prompt.sample_one(rng),
+                    tri(rng, (peak / 2).max(1), peak, peak * 2),
+                )
+            }
         };
         RequestShape {
             prompt_tokens,
@@ -500,6 +565,85 @@ mod tests {
             },
             0,
         );
+    }
+
+    #[test]
+    fn heavy_tail_sampling_is_seeded_bounded_and_actually_heavy_tailed() {
+        // Median exp(5.5) ~ 245 tokens, sigma 1.1, capped at 8192.
+        let profile = TrafficProfile::HeavyTail {
+            prompt: PromptLenDist::LogNormal {
+                mu: 5.5,
+                sigma: 1.1,
+                max: 8192,
+            },
+            output_peak: 32,
+        };
+        let a = profile.sample(512, 13);
+        let b = profile.sample(512, 13);
+        let c = profile.sample(512, 14);
+        assert_eq!(a, b, "same seed, same draws");
+        assert_ne!(a, c, "different seeds must differ");
+        for s in &a {
+            assert!((1..=8192).contains(&s.prompt_tokens));
+            assert!((16..=64).contains(&s.output_tokens));
+        }
+        // Heavy tail: the max prompt dwarfs the median, and a visible
+        // minority of prompts are >4x the median — the giants that
+        // stall monolithic prefill.
+        let mut lens: Vec<u32> = a.iter().map(|s| s.prompt_tokens).collect();
+        lens.sort_unstable();
+        let median = lens[lens.len() / 2];
+        let max = *lens.last().unwrap();
+        assert!(
+            max > 8 * median,
+            "tail too light: max {max} vs median {median}"
+        );
+        let giants = lens.iter().filter(|&&l| l > 4 * median).count();
+        assert!(
+            giants >= 10,
+            "expected a visible giant minority, got {giants}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_trace_is_deterministic_and_leaves_other_profiles_untouched() {
+        let profile = TrafficProfile::HeavyTail {
+            prompt: PromptLenDist::LogNormal {
+                mu: 5.0,
+                sigma: 1.0,
+                max: 4096,
+            },
+            output_peak: 16,
+        };
+        let a = profile.trace(64, 30.0, 21);
+        let b = profile.trace(64, 30.0, 21);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival.value(), y.arrival.value());
+            assert_eq!(x.prompt_tokens, y.prompt_tokens);
+            assert_eq!(x.output_tokens, y.output_tokens);
+        }
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].arrival.value() <= w[1].arrival.value()));
+        // Adding the variant must not perturb the existing profiles'
+        // seeded streams: Chat's draws are a function of (profile,
+        // seed) alone.
+        let chat = TrafficProfile::Chat.sample(8, 7);
+        assert_eq!(chat, TrafficProfile::Chat.sample(8, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_lognormal_is_rejected() {
+        let _ = TrafficProfile::HeavyTail {
+            prompt: PromptLenDist::LogNormal {
+                mu: 5.0,
+                sigma: 0.0,
+                max: 1024,
+            },
+            output_peak: 16,
+        }
+        .sample(1, 0);
     }
 
     #[test]

@@ -125,6 +125,61 @@ fn batched_decode_session_matches_solo_generation() {
 }
 
 #[test]
+fn chunked_prefill_is_bitwise_identical_to_monolithic() {
+    // The serving layer's chunked prefill splits one admission's
+    // prompt into token-budgeted slices fed through successive
+    // `prefill` calls on one cache. Causal attention makes the split
+    // algebraically irrelevant, and the shared dot kernel makes it
+    // bitwise irrelevant: final-chunk logits, the populated cache, and
+    // every subsequently decoded token must equal the monolithic run
+    // exactly — for every architecture variant and any chunk budget,
+    // aligned or not.
+    for (name, cfg) in all_variants() {
+        let model = TransformerModel::new(cfg.clone(), false).unwrap();
+        let prompt: Vec<usize> = (0..23).map(|i| (i * 5 + 2) % cfg.vocab).collect();
+
+        let mut mono_cache = model.new_cache();
+        let mono_logits = model.prefill(&prompt, &mut mono_cache);
+        let mut mono_tokens = Vec::new();
+        let mut logits = mono_logits.clone();
+        for pos in prompt.len()..prompt.len() + 12 {
+            let next = argmax(&logits);
+            mono_tokens.push(next);
+            logits = model.forward(next, pos, &mut mono_cache);
+        }
+
+        for budget in [1usize, 3, 8, 16, 23, 64] {
+            let mut cache = model.new_cache();
+            let mut last = Vec::new();
+            for chunk in prompt.chunks(budget) {
+                last = model.prefill(chunk, &mut cache);
+            }
+            assert_eq!(
+                last, mono_logits,
+                "{name}: budget {budget} final-chunk logits not bitwise equal"
+            );
+            assert_eq!(
+                cache.len(),
+                mono_cache.len() - 12,
+                "{name}: budget {budget}"
+            );
+
+            let mut tokens = Vec::new();
+            let mut logits = last;
+            for pos in prompt.len()..prompt.len() + 12 {
+                let next = argmax(&logits);
+                tokens.push(next);
+                logits = model.forward(next, pos, &mut cache);
+            }
+            assert_eq!(
+                tokens, mono_tokens,
+                "{name}: budget {budget} decode diverges after chunked prefill"
+            );
+        }
+    }
+}
+
+#[test]
 fn speculative_decoding_with_rollback_matches_plain_greedy() {
     // The speculative path exercises KvCache::truncate + replay (draft
     // rollback) on top of the workspace-based forward. A draft with a
@@ -234,5 +289,38 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Chunked prefill equivalence for *any* budget on a random
+    /// model/prompt: slicing the prompt into budget-sized prefill
+    /// calls on one cache yields the monolithic run's final logits
+    /// bitwise, including the ragged-last-chunk and budget-larger-
+    /// than-prompt corners the serving scheduler hits in practice.
+    #[test]
+    fn chunked_prefill_matches_monolithic_for_any_budget(
+        seed in 0u64..500,
+        variant in 0usize..4,
+        prompt_len in 2usize..24,
+        budget in 1usize..32,
+    ) {
+        let mut cfg = all_variants()[variant].1.clone();
+        cfg.seed = seed;
+        let prompt: Vec<usize> =
+            (0..prompt_len).map(|i| (i * 11 + seed as usize) % cfg.vocab).collect();
+        let model = TransformerModel::new(cfg, false).unwrap();
+
+        let mut mono_cache = model.new_cache();
+        let mono_logits = model.prefill(&prompt, &mut mono_cache);
+
+        let mut cache = model.new_cache();
+        let mut last = Vec::new();
+        for chunk in prompt.chunks(budget) {
+            last = model.prefill(chunk, &mut cache);
+        }
+        prop_assert_eq!(cache.len(), mono_cache.len());
+        prop_assert_eq!(
+            last, mono_logits,
+            "budget {}: chunked final logits not bitwise equal", budget
+        );
     }
 }
